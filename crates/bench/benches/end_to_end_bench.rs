@@ -1,0 +1,52 @@
+//! End-to-end simulation throughput: how much simulated application does
+//! the engine execute per second of host time. These are the numbers that
+//! decide whether the paper-scale experiments (8.4 × 10⁶ I/O operations in
+//! BT-IO *simple* class C) are practical.
+
+use cluster::{presets, DeviceLayout, IoConfigBuilder};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ioeval_core::charact::characterize_app;
+use workloads::{BtClass, BtIo, BtSubtype, FileType, MadBench};
+
+fn bench_btio(c: &mut Criterion) {
+    let spec = presets::test_cluster();
+    let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+
+    let ops = {
+        let bt = BtIo::new(BtClass::S, 4, BtSubtype::Simple).with_dumps(2);
+        (0..4)
+            .map(|r| bt.simple_ops_per_rank_per_dump(r) * 2 * 2) // writes+reads
+            .sum::<u64>()
+    };
+    g.throughput(Throughput::Elements(ops));
+    g.bench_function("btio_simple_class_s", |b| {
+        b.iter(|| {
+            let bt = BtIo::new(BtClass::S, 4, BtSubtype::Simple)
+                .with_dumps(2)
+                .gflops(50.0);
+            characterize_app(&spec, &config, bt.scenario(), None)
+        });
+    });
+
+    g.bench_function("btio_full_class_s", |b| {
+        b.iter(|| {
+            let bt = BtIo::new(BtClass::S, 4, BtSubtype::Full)
+                .with_dumps(2)
+                .gflops(50.0);
+            characterize_app(&spec, &config, bt.scenario(), None)
+        });
+    });
+
+    g.bench_function("madbench_1kpix", |b| {
+        b.iter(|| {
+            let mb = MadBench::new(4, FileType::Shared).with_kpix(1);
+            characterize_app(&spec, &config, mb.scenario(), None)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_btio);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Microbenchmarks of the filesystem models: range-cache operations (the
+//! hot path of every simulated I/O) and LocalFs streaming.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fs::{FileId, LocalFs, LocalFsParams, RangeCache};
+use simcore::{SplitMix64, Time, GIB, KIB, MIB};
+use storage::{Disk, DiskParams, Jbod};
+
+fn bench_range_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("range_cache");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("sequential_insert_coalescing", |b| {
+        let mut cache = RangeCache::new(u64::MAX);
+        let mut off = 0u64;
+        b.iter(|| {
+            cache.insert(FileId(1), off, off + 1600, true);
+            off += 1600;
+        });
+    });
+    g.bench_function("strided_insert", |b| {
+        let mut cache = RangeCache::new(16 * GIB);
+        let mut off = 0u64;
+        b.iter(|| {
+            cache.insert(FileId(1), off, off + 1600, true);
+            off += 64 * KIB;
+        });
+    });
+    g.bench_function("lookup_hit", |b| {
+        let mut cache = RangeCache::new(u64::MAX);
+        cache.insert(FileId(1), 0, GIB, false);
+        let mut rng = SplitMix64::new(5);
+        b.iter(|| {
+            let off = rng.next_below(GIB - MIB);
+            black_box(cache.lookup(FileId(1), off, off + 4096));
+        });
+    });
+    g.bench_function("lookup_miss", |b| {
+        let mut cache = RangeCache::new(u64::MAX);
+        // Sparse population: every other MiB cached.
+        for i in 0..512u64 {
+            cache.insert(FileId(1), i * 2 * MIB, i * 2 * MIB + MIB, false);
+        }
+        let mut rng = SplitMix64::new(5);
+        b.iter(|| {
+            let off = rng.next_below(1023) * MIB;
+            black_box(cache.lookup(FileId(1), off, off + MIB / 2));
+        });
+    });
+    g.finish();
+}
+
+fn bench_local_fs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_fs");
+    g.throughput(Throughput::Bytes(MIB));
+    g.bench_function("streaming_write_1mib", |b| {
+        let mut fs = LocalFs::new(
+            LocalFsParams::ext4(2 * GIB),
+            Box::new(Jbod::new(Disk::new(DiskParams::sata_7200(230, 75), 1))),
+        );
+        let mut now = fs.create(Time::ZERO, FileId(1));
+        let mut off = 0u64;
+        b.iter(|| {
+            now = fs.write(now, FileId(1), off, MIB);
+            off += MIB;
+        });
+    });
+    g.bench_function("streaming_read_1mib", |b| {
+        let mut fs = LocalFs::new(
+            LocalFsParams::ext4(2 * GIB),
+            Box::new(Jbod::new(Disk::new(DiskParams::sata_7200(230, 75), 1))),
+        );
+        fs.preallocate(FileId(1), 64 * GIB);
+        let mut now = Time::ZERO;
+        let mut off = 0u64;
+        b.iter(|| {
+            now = fs.read(now, FileId(1), off, MIB);
+            off += MIB;
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_range_cache, bench_local_fs);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Microbenchmarks of the methodology kernel: the Fig. 11 table search and
+//! the streaming trace profiler (which must keep up with multi-million-op
+//! applications).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fs::FileId;
+use ioeval_core::perf_table::{AccessMode, AccessType, OpType, PerfRow, PerfTable};
+use ioeval_core::trace::ProfileSink;
+use mpisim::{TraceEvent, TraceKind, TraceSink};
+use simcore::{Bandwidth, SplitMix64, Time, KIB};
+
+fn full_table() -> PerfTable {
+    let mut t = PerfTable::new();
+    for op in [OpType::Read, OpType::Write] {
+        for mode in [AccessMode::Sequential, AccessMode::Strided, AccessMode::Random] {
+            for i in 0..10u64 {
+                t.insert(PerfRow {
+                    op,
+                    block: (32 * KIB) << i,
+                    access: AccessType::Global,
+                    mode,
+                    rate: Bandwidth::from_mib_per_sec(40 + i),
+                    iops: 100.0,
+                    latency: Time::from_millis(1),
+                });
+            }
+        }
+    }
+    t
+}
+
+fn bench_search(c: &mut Criterion) {
+    let t = full_table();
+    let mut g = c.benchmark_group("perf_table");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("fig11_search", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let block = rng.next_below(64 * 1024 * 1024) + 1;
+            black_box(t.search(
+                OpType::Write,
+                block,
+                AccessType::Global,
+                AccessMode::Sequential,
+            ));
+        });
+    });
+    g.finish();
+}
+
+fn bench_profile_sink(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profile_sink");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("record_write_event", |b| {
+        let mut sink = ProfileSink::new(16);
+        let mut t = 0u64;
+        let mut rank = 0usize;
+        b.iter(|| {
+            t += 1000;
+            rank = (rank + 1) % 16;
+            sink.record(TraceEvent {
+                rank,
+                start: Time::from_nanos(t),
+                end: Time::from_nanos(t + 500),
+                kind: TraceKind::Write {
+                    file: FileId(1),
+                    offset: t,
+                    len: 1600,
+                    collective: false,
+                },
+            });
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_search, bench_profile_sink);
+criterion_main!(benches);

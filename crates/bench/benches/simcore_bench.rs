@@ -1,0 +1,80 @@
+//! Microbenchmarks of the simulation kernel — the per-event costs that
+//! bound how fast multi-million-operation scenarios simulate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use simcore::{EventQueue, FifoResource, SplitMix64, Time};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("schedule_pop_interleaved", |b| {
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        // Keep a standing population of 1024 events.
+        for i in 0..1024u64 {
+            q.schedule(Time::from_nanos(i), i);
+        }
+        b.iter(|| {
+            let (at, v) = q.pop().expect("population maintained");
+            t = at.as_nanos().max(t) + 100;
+            q.schedule(Time::from_nanos(t), black_box(v));
+        });
+    });
+    g.finish();
+}
+
+fn bench_fifo_resource(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fifo_resource");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("submit", |b| {
+        let mut r = FifoResource::new();
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            let grant = r.submit(now, Time::from_micros(3));
+            now = black_box(grant.end);
+        });
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("splitmix64_next", |b| {
+        let mut rng = SplitMix64::new(42);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    g.bench_function("splitmix64_below", |b| {
+        let mut rng = SplitMix64::new(42);
+        b.iter(|| black_box(rng.next_below(1_000_003)));
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    use simcore::stats::{OnlineStats, TransferMeter};
+    let mut g = c.benchmark_group("stats");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("online_stats_push", |b| {
+        let mut s = OnlineStats::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.0;
+            s.push(black_box(x));
+        });
+    });
+    g.bench_function("transfer_meter_record", |b| {
+        let mut m = TransferMeter::new();
+        b.iter(|| m.record(black_box(4096), Time::from_micros(100)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_fifo_resource,
+    bench_rng,
+    bench_stats
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Microbenchmarks of the storage models: per-request costs of the disk
+//! timing math and the RAID engines (including the aggregated-span
+//! submission paths that keep 162 MB requests cheap).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use simcore::{SplitMix64, Time, KIB, MIB};
+use storage::{raid::raid5_locate, BlockReq, Disk, DiskParams, Raid5, Volume};
+
+fn disk() -> Disk {
+    Disk::new(DiskParams::sata_7200(230, 75), 7)
+}
+
+fn disks(n: usize) -> Vec<Disk> {
+    (0..n as u64)
+        .map(|i| Disk::new(DiskParams::sata_7200(230, 75), i + 1))
+        .collect()
+}
+
+fn bench_disk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disk");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("sequential_submit", |b| {
+        let mut d = disk();
+        let mut now = Time::ZERO;
+        let mut off = 0u64;
+        b.iter(|| {
+            let grant = d.submit(now, BlockReq::write(off, 64 * KIB));
+            now = grant.ack;
+            off += 64 * KIB;
+        });
+    });
+    g.bench_function("random_submit", |b| {
+        let mut d = disk();
+        let mut rng = SplitMix64::new(3);
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            let off = rng.next_below(200_000) * MIB;
+            let grant = d.submit(now, BlockReq::read(off, 64 * KIB));
+            now = grant.ack;
+        });
+    });
+    g.finish();
+}
+
+fn bench_raid5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raid5");
+    g.bench_function("locate", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            off += 100_003;
+            black_box(raid5_locate(off, 256 * KIB, 5));
+        });
+    });
+    g.throughput(Throughput::Bytes(MIB));
+    g.bench_function("full_stripe_write_1mib", |b| {
+        let mut r = Raid5::new(disks(5), 256 * KIB, true);
+        let mut now = Time::ZERO;
+        let mut off = 0u64;
+        b.iter(|| {
+            let grant = r.submit(now, BlockReq::write(off, MIB));
+            now = grant.ack;
+            off += MIB;
+        });
+    });
+    g.throughput(Throughput::Bytes(162 * MIB));
+    g.bench_function("large_write_162mib", |b| {
+        let mut r = Raid5::new(disks(5), 256 * KIB, true);
+        let mut now = Time::ZERO;
+        let mut off = 0u64;
+        b.iter(|| {
+            let grant = r.submit(now, BlockReq::write(off, 162 * MIB));
+            now = grant.ack;
+            off += 162 * MIB;
+        });
+    });
+    g.finish();
+}
+
+fn bench_raid5_small_write_penalty(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raid5_small_writes");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("random_4k_rmw", |b| {
+        let mut r = Raid5::new(disks(5), 256 * KIB, true);
+        let mut rng = SplitMix64::new(9);
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            let row = rng.next_below(100_000);
+            let grant = r.submit(now, BlockReq::write(row * MIB, 4096));
+            now = grant.ack;
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_disk, bench_raid5, bench_raid5_small_write_penalty);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--scale quick|paper] [--out FILE] <experiment>... | all | list
+//! ```
+//!
+//! Experiments are named after the paper's artifacts (`table3`, `fig12`,
+//! ...); `all` runs the full evaluation section in order. `--scale paper`
+//! uses the paper's exact parameters (class C BT-IO, 18 KPIX MADbench2,
+//! full sweeps); `--scale quick` (default) runs a structurally identical
+//! reduced version in seconds.
+
+use bench::experiments::registry;
+use bench::{Repro, Scale};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut out_file: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| die("expected --scale quick|paper"));
+            }
+            "--out" => {
+                i += 1;
+                out_file = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("expected --out FILE")),
+                );
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if selected.is_empty() {
+        usage();
+        return;
+    }
+    if selected.iter().any(|s| s == "list") {
+        for (id, desc, _) in registry() {
+            println!("{id:<8} {desc}");
+        }
+        return;
+    }
+
+    let reg = registry();
+    let to_run: Vec<&(&str, &str, bench::experiments::ExperimentFn)> =
+        if selected.iter().any(|s| s == "all") {
+            reg.iter().collect()
+        } else {
+            selected
+                .iter()
+                .map(|want| {
+                    reg.iter()
+                        .find(|(id, _, _)| id == want)
+                        .unwrap_or_else(|| {
+                            die(&format!("unknown experiment '{want}' (try 'list')"))
+                        })
+                })
+                .collect()
+        };
+
+    let mut repro = Repro::new(scale);
+    let mut full_output = String::new();
+    for (id, desc, f) in to_run {
+        eprintln!("[repro] running {id} ({desc}, scale {scale:?}) ...");
+        let t0 = std::time::Instant::now();
+        let output = f(&mut repro);
+        eprintln!("[repro] {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+        println!("\n######## {id} ########\n{output}");
+        full_output.push_str(&format!("\n######## {id} ########\n{output}"));
+    }
+    if let Some(path) = out_file {
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+        f.write_all(full_output.as_bytes())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("[repro] wrote {path}");
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro [--scale quick|paper] [--out FILE] <experiment>... | all | list\n\
+         experiments regenerate the paper's tables/figures; see 'repro list'."
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,171 @@
+//! Shared experiment context: scales, cached characterizations and runs.
+
+use cluster::{config as ioconfig, presets, ClusterSpec, IoConfig};
+use ioeval_core::charact::{characterize_system, CharacterizeOptions};
+use ioeval_core::eval::{evaluate, EvalOptions, EvalReport};
+use ioeval_core::perf_table::{AccessMode, PerfTableSet};
+use simcore::{KIB, MIB};
+use std::collections::HashMap;
+use workloads::{BtClass, BtIo, BtSubtype, FileType, MadBench, Scenario};
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced parameters, same structure (seconds of host time).
+    Quick,
+    /// The paper's parameters (minutes of host time).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `"quick"` / `"paper"`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Experiment context: clusters, configurations, and memoized
+/// characterizations/evaluations shared between related experiments
+/// (Fig. 12 and Tables III/IV reuse the same runs, exactly like the paper).
+pub struct Repro {
+    /// Selected scale.
+    pub scale: Scale,
+    tables: HashMap<String, PerfTableSet>,
+    reports: HashMap<String, EvalReport>,
+}
+
+impl Repro {
+    /// A fresh context.
+    pub fn new(scale: Scale) -> Repro {
+        Repro {
+            scale,
+            tables: HashMap::new(),
+            reports: HashMap::new(),
+        }
+    }
+
+    /// The Aohyper spec.
+    pub fn aohyper(&self) -> ClusterSpec {
+        presets::aohyper()
+    }
+
+    /// The Cluster A spec.
+    pub fn cluster_a(&self) -> ClusterSpec {
+        presets::cluster_a()
+    }
+
+    /// Aohyper's three configurations (paper Fig. 4).
+    pub fn aohyper_configs(&self) -> Vec<IoConfig> {
+        ioconfig::aohyper_configs()
+    }
+
+    /// Cluster A's configuration.
+    pub fn cluster_a_config(&self) -> IoConfig {
+        ioconfig::cluster_a_config()
+    }
+
+    /// Characterization sweep for the scale.
+    pub fn charact_options(&self, spec: &ClusterSpec) -> CharacterizeOptions {
+        match self.scale {
+            Scale::Paper => {
+                // The paper's published sweep (sequential, full record and
+                // block ranges); applications' strided/random operations
+                // resolve through the lenient mode fallback, as the
+                // paper's usage tables do against its sequential curves.
+                let _ = spec;
+                CharacterizeOptions::paper()
+            }
+            Scale::Quick => {
+                let mut o = CharacterizeOptions::quick();
+                o.records = vec![64 * KIB, MIB, 16 * MIB];
+                o.iozone_file_size = Some(256 * MIB);
+                o.ior_blocks = vec![MIB, 16 * MIB];
+                o.ior_ranks = 4;
+                o.modes = vec![AccessMode::Sequential];
+                o
+            }
+        }
+    }
+
+    /// Memoized system characterization of `(spec, config)`.
+    pub fn characterize(&mut self, spec: &ClusterSpec, config: &IoConfig) -> PerfTableSet {
+        let key = format!("{}::{}", spec.name, config.name);
+        if let Some(t) = self.tables.get(&key) {
+            return t.clone();
+        }
+        let opts = self.charact_options(spec);
+        let set = characterize_system(spec, config, &opts);
+        self.tables.insert(key, set.clone());
+        set
+    }
+
+    /// A BT-IO instance at the scale.
+    pub fn btio(&self, procs: usize, subtype: BtSubtype) -> BtIo {
+        match self.scale {
+            Scale::Paper => BtIo::new(BtClass::C, procs, subtype),
+            Scale::Quick => BtIo::new(BtClass::A, procs, subtype).with_dumps(8),
+        }
+    }
+
+    /// A MADbench2 instance at the scale.
+    pub fn madbench(&self, procs: usize, filetype: FileType) -> MadBench {
+        match self.scale {
+            Scale::Paper => MadBench::new(procs, filetype),
+            Scale::Quick => MadBench::new(procs, filetype).with_kpix(4),
+        }
+    }
+
+    /// Memoized evaluation of a scenario on `(spec, config)`.
+    pub fn eval(
+        &mut self,
+        spec: &ClusterSpec,
+        config: &IoConfig,
+        key: &str,
+        scenario: Scenario,
+    ) -> EvalReport {
+        let full_key = format!("{}::{}::{}", spec.name, config.name, key);
+        if let Some(r) = self.reports.get(&full_key) {
+            return r.clone();
+        }
+        let tables = self.characterize(spec, config);
+        let report = evaluate(spec, config, scenario, &tables, &EvalOptions::default());
+        self.reports.insert(full_key, report.clone());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("x"), None);
+    }
+
+    #[test]
+    fn btio_scales() {
+        let quick = Repro::new(Scale::Quick).btio(16, BtSubtype::Full);
+        assert_eq!(quick.dumps, 8);
+        let paper = Repro::new(Scale::Paper).btio(16, BtSubtype::Full);
+        assert_eq!(paper.dumps, 40);
+        assert_eq!(paper.class.size(), 162);
+    }
+
+    #[test]
+    fn characterization_is_memoized() {
+        let mut r = Repro::new(Scale::Quick);
+        let spec = presets::test_cluster();
+        let config = r.aohyper_configs().remove(0);
+        let a = r.characterize(&spec, &config);
+        let b = r.characterize(&spec, &config);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(r.tables.len(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! I/O configurations — the paper's configurable factors.
+//!
+//! Phase 2 of the methodology enumerates the factors that can be changed on
+//! a cluster's I/O architecture: device organization (JBOD or RAID level),
+//! buffer/cache state and placement, and the number/type of networks.
+//! An [`IoConfig`] is one point in that space; the builder makes sweeps
+//! over the space concise.
+
+use serde::{Deserialize, Serialize};
+use simcore::KIB;
+
+/// Organization of the I/O node's devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceLayout {
+    /// A single disk, no redundancy (the paper's JBOD).
+    Jbod,
+    /// Two mirrored disks.
+    Raid1,
+    /// Block-interleaved distributed parity over `disks` members with the
+    /// given stripe chunk size.
+    Raid5 {
+        /// Member count (≥ 3).
+        disks: usize,
+        /// Stripe chunk in bytes.
+        stripe: u64,
+    },
+    /// Striping without redundancy over `disks` members.
+    Raid0 {
+        /// Member count (≥ 2).
+        disks: usize,
+        /// Stripe chunk in bytes.
+        stripe: u64,
+    },
+}
+
+impl DeviceLayout {
+    /// The paper's five-disk RAID 5 with 256 KiB stripe.
+    pub fn raid5_paper() -> DeviceLayout {
+        DeviceLayout::Raid5 {
+            disks: 5,
+            stripe: 256 * KIB,
+        }
+    }
+
+    /// Short name for reports ("JBOD", "RAID 1", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceLayout::Jbod => "JBOD",
+            DeviceLayout::Raid1 => "RAID 1",
+            DeviceLayout::Raid5 { .. } => "RAID 5",
+            DeviceLayout::Raid0 { .. } => "RAID 0",
+        }
+    }
+}
+
+/// Number/role of networks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkLayout {
+    /// One network carries MPI and storage traffic.
+    Shared,
+    /// Dedicated data network (the paper's clusters).
+    Split,
+}
+
+/// One I/O configuration under evaluation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IoConfig {
+    /// Report label, e.g. `"RAID 5"`.
+    pub name: String,
+    /// Device organization on the I/O node.
+    pub devices: DeviceLayout,
+    /// Network layout.
+    pub network: NetworkLayout,
+    /// Controller write-back cache size in MiB (0 disables it).
+    pub write_cache_mib: u64,
+    /// Whether RAID 5 coalesces sequential partial-stripe writes
+    /// (controller stripe cache). Ignored for other layouts.
+    pub raid5_coalesce: bool,
+    /// Number of parallel-filesystem I/O servers deployed on compute
+    /// nodes (0 = no PFS; the paper's "number and placement of I/O node"
+    /// factor). Files on `Mount::Pfs` stripe across them.
+    pub pfs_servers: usize,
+    /// PFS stripe unit in bytes.
+    pub pfs_stripe: u64,
+}
+
+/// Builder for [`IoConfig`].
+#[derive(Clone, Debug)]
+pub struct IoConfigBuilder {
+    devices: DeviceLayout,
+    network: NetworkLayout,
+    write_cache_mib: u64,
+    raid5_coalesce: bool,
+    pfs_servers: usize,
+    pfs_stripe: u64,
+    name: Option<String>,
+}
+
+impl IoConfigBuilder {
+    /// Starts from a device layout with the paper's defaults: dedicated
+    /// data network and write-back cache enabled.
+    pub fn new(devices: DeviceLayout) -> IoConfigBuilder {
+        IoConfigBuilder {
+            devices,
+            network: NetworkLayout::Split,
+            write_cache_mib: 256,
+            raid5_coalesce: true,
+            pfs_servers: 0,
+            pfs_stripe: 64 * KIB,
+            name: None,
+        }
+    }
+
+    /// Sets the network layout.
+    pub fn network(mut self, network: NetworkLayout) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Sets the controller write-back cache size (0 disables).
+    pub fn write_cache_mib(mut self, mib: u64) -> Self {
+        self.write_cache_mib = mib;
+        self
+    }
+
+    /// Enables/disables RAID 5 sequential parity coalescing.
+    pub fn raid5_coalesce(mut self, on: bool) -> Self {
+        self.raid5_coalesce = on;
+        self
+    }
+
+    /// Deploys a parallel filesystem over `servers` compute nodes.
+    pub fn pfs(mut self, servers: usize) -> Self {
+        self.pfs_servers = servers;
+        self
+    }
+
+    /// Sets the PFS stripe unit.
+    pub fn pfs_stripe(mut self, stripe: u64) -> Self {
+        self.pfs_stripe = stripe;
+        self
+    }
+
+    /// Overrides the report label.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> IoConfig {
+        IoConfig {
+            name: self.name.unwrap_or_else(|| self.devices.label().to_string()),
+            devices: self.devices,
+            network: self.network,
+            write_cache_mib: self.write_cache_mib,
+            raid5_coalesce: self.raid5_coalesce,
+            pfs_servers: self.pfs_servers,
+            pfs_stripe: self.pfs_stripe,
+        }
+    }
+}
+
+/// The paper's three Aohyper configurations (Fig. 4): JBOD, RAID 1 and
+/// RAID 5 — RAID arrays with write-back cache enabled.
+pub fn aohyper_configs() -> Vec<IoConfig> {
+    vec![
+        IoConfigBuilder::new(DeviceLayout::Jbod)
+            .write_cache_mib(0)
+            .build(),
+        IoConfigBuilder::new(DeviceLayout::Raid1).build(),
+        IoConfigBuilder::new(DeviceLayout::raid5_paper()).build(),
+    ]
+}
+
+/// Cluster A's single configuration: the front-end's RAID 5.
+pub fn cluster_a_config() -> IoConfig {
+    IoConfigBuilder::new(DeviceLayout::raid5_paper()).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let c = IoConfigBuilder::new(DeviceLayout::raid5_paper()).build();
+        assert_eq!(c.name, "RAID 5");
+        assert_eq!(c.network, NetworkLayout::Split);
+        assert!(c.raid5_coalesce);
+        assert_eq!(c.write_cache_mib, 256);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = IoConfigBuilder::new(DeviceLayout::Jbod)
+            .network(NetworkLayout::Shared)
+            .write_cache_mib(64)
+            .name("jbod-shared")
+            .build();
+        assert_eq!(c.name, "jbod-shared");
+        assert_eq!(c.network, NetworkLayout::Shared);
+        assert_eq!(c.write_cache_mib, 64);
+    }
+
+    #[test]
+    fn aohyper_configs_are_the_papers_three() {
+        let cs = aohyper_configs();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].devices.label(), "JBOD");
+        assert_eq!(cs[1].devices.label(), "RAID 1");
+        assert_eq!(cs[2].devices.label(), "RAID 5");
+        // JBOD is a bare disk: no controller cache.
+        assert_eq!(cs[0].write_cache_mib, 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DeviceLayout::Jbod.label(), "JBOD");
+        assert_eq!(
+            DeviceLayout::Raid0 {
+                disks: 2,
+                stripe: 64 * KIB
+            }
+            .label(),
+            "RAID 0"
+        );
+    }
+}

@@ -1,0 +1,522 @@
+//! The concrete [`Machine`] implementation for a configured cluster.
+
+use crate::config::{DeviceLayout, IoConfig, NetworkLayout};
+use crate::spec::ClusterSpec;
+use fs::{
+    FileId, LocalFs, LocalFsParams, NfsClient, NfsClientParams, NfsServer, NfsServerParams,
+    PfsParams, PfsSystem,
+};
+use mpisim::Machine;
+use netsim::{Network, NodeId, TrafficClass};
+use simcore::Time;
+use std::collections::HashMap;
+use storage::{CachedVolume, Disk, Jbod, Raid0, Raid1, Raid5, Volume, WriteCacheParams};
+
+/// Where a file lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mount {
+    /// The NFS export of the I/O node (shared access).
+    Nfs,
+    /// The local filesystem of the node performing the operation
+    /// (independent access; a rank only sees its own node's disk).
+    Local,
+    /// The NFS export accessed the way ROMIO drives MPI-IO on NFS:
+    /// attribute caching off (`noac`), synchronous uncached data transfer.
+    /// Application workloads (BT-IO, MADbench2, IOR) use this.
+    NfsDirect,
+    /// The parallel filesystem (requires `IoConfig::pfs_servers > 0`).
+    Pfs,
+    /// The I/O node's filesystem accessed locally on the I/O node —
+    /// used to characterize the device level below NFS.
+    ServerLocal,
+}
+
+use serde::{Deserialize, Serialize};
+
+/// Builds the I/O node's volume for a configuration.
+fn build_server_volume(spec: &ClusterSpec, config: &IoConfig) -> Box<dyn Volume> {
+    let disk = |i: u64| -> Disk { Disk::new(spec.server_disk.clone(), spec.seed ^ (0x5151 + i)) };
+    let raw: Box<dyn Volume> = match config.devices {
+        DeviceLayout::Jbod => Box::new(Jbod::new(disk(0))),
+        DeviceLayout::Raid1 => Box::new(Raid1::new(disk(0), disk(1))),
+        DeviceLayout::Raid5 { disks, stripe } => Box::new(Raid5::new(
+            (0..disks as u64).map(disk).collect(),
+            stripe,
+            config.raid5_coalesce,
+        )),
+        DeviceLayout::Raid0 { disks, stripe } => Box::new(Raid0::new(
+            (0..disks as u64).map(disk).collect(),
+            stripe,
+        )),
+    };
+    if config.write_cache_mib > 0 {
+        Box::new(CachedVolume::new(
+            WriteCacheParams::controller(config.write_cache_mib),
+            BoxedVolume(raw),
+        ))
+    } else {
+        raw
+    }
+}
+
+/// Adapter: `CachedVolume` is generic over `V: Volume`; this lets it wrap a
+/// boxed volume.
+struct BoxedVolume(Box<dyn Volume>);
+
+impl Volume for BoxedVolume {
+    fn submit(&mut self, now: Time, req: storage::BlockReq) -> storage::IoGrant {
+        self.0.submit(now, req)
+    }
+    fn flush(&mut self, now: Time) -> Time {
+        self.0.flush(now)
+    }
+    fn capacity(&self) -> u64 {
+        self.0.capacity()
+    }
+    fn kind(&self) -> &'static str {
+        self.0.kind()
+    }
+    fn meter(&self) -> &storage::VolumeMeter {
+        self.0.meter()
+    }
+}
+
+/// A configured cluster: compute nodes with local disks and NFS mounts, an
+/// I/O node exporting the configured volume, and the configured network(s).
+pub struct ClusterMachine {
+    spec: ClusterSpec,
+    config: IoConfig,
+    net: Network,
+    server: NfsServer,
+    local: Vec<LocalFs>,
+    clients: Vec<NfsClient>,
+    pfs: Option<PfsSystem>,
+    mounts: HashMap<FileId, Mount>,
+    default_mount: Mount,
+}
+
+impl ClusterMachine {
+    /// Builds the machine for `spec` under `config`.
+    pub fn new(spec: &ClusterSpec, config: &IoConfig) -> ClusterMachine {
+        let nodes = spec.total_nodes();
+        let net = match config.network {
+            NetworkLayout::Shared => Network::shared(nodes, spec.fabric),
+            NetworkLayout::Split => Network::split(nodes, spec.fabric),
+        };
+        let server_fs = LocalFs::new(
+            LocalFsParams::ext4(spec.io_node_ram),
+            build_server_volume(spec, config),
+        );
+        let server = NfsServer::new(spec.io_node(), NfsServerParams::default(), server_fs);
+        let local = (0..spec.compute_nodes)
+            .map(|i| {
+                let disk = Disk::new(spec.node_disk.clone(), spec.seed ^ (0x10c0 + i as u64));
+                LocalFs::new(LocalFsParams::ext4(spec.node_ram), Box::new(Jbod::new(disk)))
+            })
+            .collect();
+        let clients = (0..spec.compute_nodes)
+            .map(|i| NfsClient::new(i, NfsClientParams::linux_default(spec.node_ram)))
+            .collect();
+        let pfs = if config.pfs_servers > 0 {
+            assert!(
+                config.pfs_servers <= spec.compute_nodes,
+                "more PFS servers than compute nodes"
+            );
+            // Each I/O-server node gets a dedicated data disk (PVFS-style
+            // deployment over a subset of the compute nodes).
+            let backends = (0..config.pfs_servers)
+                .map(|i| {
+                    let disk =
+                        Disk::new(spec.node_disk.clone(), spec.seed ^ (0x9F50 + i as u64));
+                    LocalFs::new(LocalFsParams::ext4(spec.node_ram), Box::new(Jbod::new(disk)))
+                })
+                .collect();
+            Some(PfsSystem::new(
+                PfsParams {
+                    stripe: config.pfs_stripe,
+                    ..PfsParams::default()
+                },
+                (0..config.pfs_servers).collect(),
+                backends,
+            ))
+        } else {
+            None
+        };
+        ClusterMachine {
+            spec: spec.clone(),
+            config: config.clone(),
+            net,
+            server,
+            local,
+            clients,
+            pfs,
+            mounts: HashMap::new(),
+            default_mount: Mount::Nfs,
+        }
+    }
+
+    fn pfs_mut(&mut self) -> &mut PfsSystem {
+        self.pfs
+            .as_mut()
+            .expect("Mount::Pfs used but IoConfig::pfs_servers is 0")
+    }
+
+    /// The parallel filesystem, when deployed.
+    pub fn pfs(&self) -> Option<&PfsSystem> {
+        self.pfs.as_ref()
+    }
+
+    /// The cluster's hardware spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The active I/O configuration.
+    pub fn config(&self) -> &IoConfig {
+        &self.config
+    }
+
+    /// Routes `file` to a mount.
+    pub fn mount(&mut self, file: FileId, mount: Mount) {
+        self.mounts.insert(file, mount);
+    }
+
+    /// Sets the mount used for unregistered files (default: NFS).
+    pub fn set_default_mount(&mut self, mount: Mount) {
+        self.default_mount = mount;
+    }
+
+    fn mount_of(&self, file: FileId) -> Mount {
+        self.mounts.get(&file).copied().unwrap_or(self.default_mount)
+    }
+
+    /// The NFS server (for meters / direct characterization).
+    pub fn server(&self) -> &NfsServer {
+        &self.server
+    }
+
+    /// Mutable access to the NFS server.
+    pub fn server_mut(&mut self) -> &mut NfsServer {
+        &mut self.server
+    }
+
+    /// A compute node's local filesystem.
+    pub fn local_fs(&self, node: NodeId) -> &LocalFs {
+        &self.local[node]
+    }
+
+    /// A node's NFS client (for diagnostics).
+    pub fn client(&self, node: NodeId) -> &NfsClient {
+        &self.clients[node]
+    }
+
+    /// The network (for meters).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Pre-populates a file with `size` valid bytes on its mount (the
+    /// "existing input file" case for read benchmarks).
+    pub fn preallocate(&mut self, file: FileId, size: u64) {
+        match self.mount_of(file) {
+            Mount::Nfs | Mount::NfsDirect | Mount::ServerLocal => {
+                self.server.fs_mut().preallocate(file, size)
+            }
+            Mount::Pfs => self.pfs_mut().preallocate(file, size),
+            Mount::Local => {
+                for fs in &mut self.local {
+                    fs.preallocate(file, size);
+                }
+            }
+        }
+    }
+
+    /// Flushes and drops every cache in the cluster (between runs); returns
+    /// the completion instant.
+    pub fn drop_all_caches(&mut self, now: Time) -> Time {
+        let mut t = now;
+        for i in 0..self.clients.len() {
+            let done = self.clients[i].drop_caches(&mut self.net, &mut self.server, now);
+            t = t.max(done);
+        }
+        for fs in &mut self.local {
+            t = t.max(fs.drop_caches(now));
+        }
+        t.max(self.server.fs_mut().drop_caches(t))
+    }
+}
+
+impl Machine for ClusterMachine {
+    fn nodes(&self) -> usize {
+        self.spec.total_nodes()
+    }
+
+    fn mpi_send(&mut self, now: Time, from: NodeId, to: NodeId, bytes: u64) -> Time {
+        self.net.send(now, from, to, bytes, TrafficClass::Mpi)
+    }
+
+    fn io_open(&mut self, now: Time, node: NodeId, file: FileId, create: bool) -> Time {
+        match self.mount_of(file) {
+            Mount::Nfs | Mount::NfsDirect => {
+                self.clients[node].open(&mut self.net, &mut self.server, now, file, create)
+            }
+            Mount::Pfs => {
+                let net = &mut self.net;
+                let pfs = self.pfs.as_mut().expect("PFS not deployed");
+                pfs.open(net, node, now, file, create)
+            }
+            Mount::Local => {
+                if create && self.local[node].file_size(file) == 0 {
+                    self.local[node].create(now, file)
+                } else {
+                    self.local[node].open(now, file)
+                }
+            }
+            Mount::ServerLocal => {
+                let fs = self.server.fs_mut();
+                if create && fs.file_size(file) == 0 {
+                    fs.create(now, file)
+                } else {
+                    fs.open(now, file)
+                }
+            }
+        }
+    }
+
+    fn io_close(&mut self, now: Time, node: NodeId, file: FileId) -> Time {
+        match self.mount_of(file) {
+            Mount::Nfs => self.clients[node].close(&mut self.net, &mut self.server, now, file),
+            Mount::NfsDirect => {
+                // ROMIO fsyncs on close; no client cache to flush.
+                self.clients[node].fsync(&mut self.net, &mut self.server, now, file)
+            }
+            Mount::Pfs => {
+                let net = &mut self.net;
+                let pfs = self.pfs.as_mut().expect("PFS not deployed");
+                pfs.close(net, node, now, file)
+            }
+            Mount::Local => self.local[node].close(now, file),
+            Mount::ServerLocal => self.server.fs_mut().close(now, file),
+        }
+    }
+
+    fn io_read(&mut self, now: Time, node: NodeId, file: FileId, offset: u64, len: u64) -> Time {
+        match self.mount_of(file) {
+            Mount::Nfs => {
+                self.clients[node].read(&mut self.net, &mut self.server, now, file, offset, len)
+            }
+            // A ROMIO mount pays lock/revalidation round trips, then uses
+            // the normal cached read path (NFS clients cache read data
+            // even under the MPI-IO discipline).
+            Mount::NfsDirect => {
+                let t = self.clients[node].lock_roundtrips(&mut self.net, &mut self.server, now);
+                self.clients[node].read(&mut self.net, &mut self.server, t, file, offset, len)
+            }
+            Mount::Pfs => {
+                let net = &mut self.net;
+                let pfs = self.pfs.as_mut().expect("PFS not deployed");
+                pfs.read(net, node, now, file, offset, len)
+            }
+            Mount::Local => self.local[node].read(now, file, offset, len),
+            Mount::ServerLocal => self.server.fs_mut().read(now, file, offset, len),
+        }
+    }
+
+    fn io_write(&mut self, now: Time, node: NodeId, file: FileId, offset: u64, len: u64) -> Time {
+        match self.mount_of(file) {
+            Mount::Nfs => {
+                self.clients[node].write(&mut self.net, &mut self.server, now, file, offset, len)
+            }
+            Mount::NfsDirect => {
+                let t = self.clients[node].lock_roundtrips(&mut self.net, &mut self.server, now);
+                self.clients[node]
+                    .write_direct(&mut self.net, &mut self.server, t, file, offset, len)
+            }
+            Mount::Pfs => {
+                let net = &mut self.net;
+                let pfs = self.pfs.as_mut().expect("PFS not deployed");
+                pfs.write(net, node, now, file, offset, len)
+            }
+            Mount::Local => self.local[node].write(now, file, offset, len),
+            Mount::ServerLocal => self.server.fs_mut().write(now, file, offset, len),
+        }
+    }
+
+    fn io_sync(&mut self, now: Time, node: NodeId, file: FileId) -> Time {
+        match self.mount_of(file) {
+            Mount::Nfs | Mount::NfsDirect => {
+                self.clients[node].fsync(&mut self.net, &mut self.server, now, file)
+            }
+            Mount::Pfs => {
+                let net = &mut self.net;
+                let pfs = self.pfs.as_mut().expect("PFS not deployed");
+                pfs.sync(net, node, now, file)
+            }
+            Mount::Local => self.local[node].fsync(now, file),
+            Mount::ServerLocal => self.server.fs_mut().fsync(now, file),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{aohyper_configs, IoConfigBuilder};
+    use crate::presets;
+    use simcore::{Bandwidth, MIB};
+
+    const F: FileId = FileId(100);
+
+    fn machine() -> ClusterMachine {
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
+        ClusterMachine::new(&spec, &config)
+    }
+
+    #[test]
+    fn nfs_roundtrip_through_machine() {
+        let mut m = machine();
+        m.mount(F, Mount::Nfs);
+        let t = m.io_open(Time::ZERO, 0, F, true);
+        let t = m.io_write(t, 0, F, 0, 4 * MIB);
+        let t = m.io_close(t, 0, F);
+        assert!(t > Time::ZERO);
+        assert_eq!(m.server().fs().file_size(F), 4 * MIB);
+    }
+
+    #[test]
+    fn local_mount_stays_on_node() {
+        let mut m = machine();
+        m.mount(F, Mount::Local);
+        let t = m.io_open(Time::ZERO, 2, F, true);
+        let t = m.io_write(t, 2, F, 0, MIB);
+        m.io_sync(t, 2, F);
+        assert_eq!(m.local_fs(2).file_size(F), MIB);
+        assert_eq!(m.local_fs(0).file_size(F), 0);
+        assert_eq!(m.server().fs().file_size(F), 0);
+    }
+
+    #[test]
+    fn server_local_mount_hits_io_node_directly() {
+        let mut m = machine();
+        m.mount(F, Mount::ServerLocal);
+        let t = m.io_open(Time::ZERO, 0, F, true);
+        let t = m.io_write(t, 0, F, 0, MIB);
+        let before_msgs = m.network().fabric(TrafficClass::Storage).meter().messages;
+        assert_eq!(before_msgs, 0, "server-local I/O must not touch the network");
+        m.io_sync(t, 0, F);
+        assert_eq!(m.server().fs().file_size(F), MIB);
+    }
+
+    #[test]
+    fn different_layouts_build_different_volumes() {
+        let spec = presets::aohyper();
+        for config in aohyper_configs() {
+            let m = ClusterMachine::new(&spec, &config);
+            assert_eq!(m.server().fs().volume_kind(), config.devices.label());
+        }
+    }
+
+    #[test]
+    fn raid5_server_is_faster_than_jbod_server_for_streaming_writes() {
+        let spec = presets::aohyper();
+        let mut rates = Vec::new();
+        for config in [
+            IoConfigBuilder::new(DeviceLayout::Jbod).write_cache_mib(0).build(),
+            IoConfigBuilder::new(DeviceLayout::raid5_paper()).build(),
+        ] {
+            let mut m = ClusterMachine::new(&spec, &config);
+            m.mount(F, Mount::ServerLocal);
+            let mut t = m.io_open(Time::ZERO, 0, F, true);
+            let start = t;
+            let total = 6u64 * 1024 * MIB / 1024; // 6 GiB: beyond server RAM
+            let mut off = 0;
+            while off < total {
+                t = m.io_write(t, 0, F, off, 4 * MIB);
+                off += 4 * MIB;
+            }
+            t = m.io_sync(t, 0, F);
+            rates.push(Bandwidth::measured(total, t - start).as_mib_per_sec());
+        }
+        assert!(
+            rates[1] > rates[0] * 2.0,
+            "RAID 5 {} vs JBOD {}",
+            rates[1],
+            rates[0]
+        );
+    }
+
+    #[test]
+    fn preallocate_routes_by_mount() {
+        let mut m = machine();
+        m.mount(F, Mount::Nfs);
+        m.preallocate(F, 2 * MIB);
+        assert_eq!(m.server().fs().file_size(F), 2 * MIB);
+
+        let g = FileId(200);
+        m.mount(g, Mount::Local);
+        m.preallocate(g, MIB);
+        assert_eq!(m.local_fs(0).file_size(g), MIB);
+        assert_eq!(m.local_fs(3).file_size(g), MIB);
+    }
+
+    #[test]
+    fn drop_all_caches_completes() {
+        let mut m = machine();
+        m.mount(F, Mount::Nfs);
+        let t = m.io_open(Time::ZERO, 0, F, true);
+        let t = m.io_write(t, 0, F, 0, 8 * MIB);
+        let t2 = m.drop_all_caches(t);
+        assert!(t2 >= t);
+    }
+
+    #[test]
+    fn default_mount_is_nfs() {
+        let mut m = machine();
+        let t = m.io_open(Time::ZERO, 1, FileId(777), true);
+        let t = m.io_write(t, 1, FileId(777), 0, MIB);
+        // Write-behind: the server sees the data once the client flushes.
+        m.io_close(t, 1, FileId(777));
+        assert_eq!(m.server().fs().file_size(FileId(777)), MIB);
+    }
+
+    #[test]
+    fn pfs_mount_routes_to_parallel_fs() {
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).pfs(2).build();
+        let mut m = ClusterMachine::new(&spec, &config);
+        m.mount(F, Mount::Pfs);
+        let t = m.io_open(Time::ZERO, 3, F, true);
+        let t = m.io_write(t, 3, F, 0, 4 * MIB);
+        let t = m.io_sync(t, 3, F);
+        let t2 = m.io_read(t, 3, F, 0, 4 * MIB);
+        assert!(t2 > t);
+        assert_eq!(m.pfs().unwrap().servers(), 2);
+        assert_eq!(m.pfs().unwrap().meter().writes.bytes(), 4 * MIB);
+        // The NFS server never saw the file.
+        assert_eq!(m.server().fs().file_size(F), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "PFS not deployed")]
+    fn pfs_mount_without_deployment_panics() {
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
+        let mut m = ClusterMachine::new(&spec, &config);
+        m.mount(F, Mount::Pfs);
+        m.io_open(Time::ZERO, 0, F, true);
+    }
+
+    #[test]
+    fn shared_network_couples_mpi_and_storage() {
+        let spec = presets::test_cluster();
+        let shared = IoConfigBuilder::new(DeviceLayout::Jbod)
+            .network(NetworkLayout::Shared)
+            .build();
+        let m = ClusterMachine::new(&spec, &shared);
+        assert!(!m.network().is_split());
+        let split = IoConfigBuilder::new(DeviceLayout::Jbod).build();
+        let m = ClusterMachine::new(&spec, &split);
+        assert!(m.network().is_split());
+    }
+}

@@ -1,0 +1,85 @@
+//! The paper's two testbeds, plus a miniature cluster for fast tests.
+
+use crate::spec::ClusterSpec;
+use netsim::FabricParams;
+use simcore::GIB;
+use storage::DiskParams;
+
+/// The *Aohyper* cluster (paper §III): 8 nodes with AMD Athlon 64 X2
+/// 3800+ processors, 2 GB RAM and a 150 GB local disk (ext4); an NFS
+/// server with a RAID 1 pair (230 GB usable), a five-disk RAID 5
+/// (stripe 256 KiB, 917 GB) — both with write-back cache — and a plain
+/// disk for the JBOD configuration; two Gigabit Ethernet networks (one
+/// for communication, one for data).
+pub fn aohyper() -> ClusterSpec {
+    ClusterSpec {
+        name: "Aohyper".to_string(),
+        compute_nodes: 8,
+        node_ram: 2 * GIB,
+        // 2007-era 150 GB SATA: ~72 MiB/s outer-track sequential.
+        node_disk: DiskParams::sata_7200(150, 72),
+        io_node_ram: 2 * GIB,
+        // The server's member disks (230 GB usable per RAID 1 pair).
+        server_disk: DiskParams::sata_7200(230, 75),
+        fabric: FabricParams::gigabit_ethernet(),
+        seed: 0xA0A0_1111,
+    }
+}
+
+/// *Cluster A* (paper §IV): 32 compute nodes with 2 × dual-core Xeon
+/// 3.00 GHz, 12 GB RAM and a 160 GB SATA disk, dual Gigabit Ethernet;
+/// a front-end NFS server (dual-core Xeon 2.66 GHz, 8 GB RAM) with a
+/// 1.8 TB RAID 5.
+pub fn cluster_a() -> ClusterSpec {
+    ClusterSpec {
+        name: "Cluster A".to_string(),
+        compute_nodes: 32,
+        node_ram: 12 * GIB,
+        // 2009-era 160 GB SATA: ~95 MiB/s.
+        node_disk: DiskParams::sata_7200(160, 95),
+        io_node_ram: 8 * GIB,
+        server_disk: DiskParams::sata_7200(450, 100),
+        fabric: FabricParams::gigabit_ethernet(),
+        seed: 0xC1A5_2222,
+    }
+}
+
+/// A miniature cluster for unit/integration tests and doctests: 4 nodes
+/// with 256 MiB RAM and slow small disks, so scenarios finish in
+/// milliseconds of host time.
+pub fn test_cluster() -> ClusterSpec {
+    ClusterSpec {
+        name: "test".to_string(),
+        compute_nodes: 4,
+        node_ram: 256 * 1024 * 1024,
+        node_disk: DiskParams::sata_7200(10, 60),
+        io_node_ram: 256 * 1024 * 1024,
+        server_disk: DiskParams::sata_7200(20, 70),
+        fabric: FabricParams::gigabit_ethernet(),
+        seed: 0x7E57_3333,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_and_sized_like_the_paper() {
+        let a = aohyper();
+        let c = cluster_a();
+        assert_eq!(a.compute_nodes, 8);
+        assert_eq!(c.compute_nodes, 32);
+        assert_eq!(a.node_ram, 2 * GIB);
+        assert_eq!(c.node_ram, 12 * GIB);
+        assert_eq!(c.io_node_ram, 8 * GIB);
+        assert!(a.seed != c.seed);
+    }
+
+    #[test]
+    fn test_cluster_is_small() {
+        let t = test_cluster();
+        assert!(t.node_ram < GIB);
+        assert_eq!(t.compute_nodes, 4);
+    }
+}

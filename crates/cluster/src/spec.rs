@@ -1,0 +1,90 @@
+//! Hardware description of a cluster.
+
+use netsim::FabricParams;
+use serde::{Deserialize, Serialize};
+use storage::DiskParams;
+
+/// Static hardware description of a cluster: `compute_nodes` compute nodes
+/// plus one I/O node (the NFS server / front-end), all on the same
+/// fabric(s). Node ids `0..compute_nodes` are compute nodes; id
+/// `compute_nodes` is the I/O node.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// Number of compute nodes.
+    pub compute_nodes: usize,
+    /// RAM per compute node, bytes.
+    pub node_ram: u64,
+    /// The local disk of each compute node.
+    pub node_disk: DiskParams,
+    /// RAM of the I/O node.
+    pub io_node_ram: u64,
+    /// The disk model the I/O node's volumes are built from.
+    pub server_disk: DiskParams,
+    /// Interconnect link/switch parameters (each configured network is one
+    /// such fabric).
+    pub fabric: FabricParams,
+    /// Deterministic seed stream for the cluster's devices.
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// Total node count (compute nodes + the I/O node).
+    pub fn total_nodes(&self) -> usize {
+        self.compute_nodes + 1
+    }
+
+    /// The node id of the I/O node.
+    pub fn io_node(&self) -> usize {
+        self.compute_nodes
+    }
+
+    /// A round-robin placement of `ranks` MPI ranks over the compute nodes.
+    pub fn placement(&self, ranks: usize) -> Vec<usize> {
+        (0..ranks).map(|r| r % self.compute_nodes).collect()
+    }
+
+    /// A blocked placement (ranks fill a node before moving on), given
+    /// `per_node` slots per node.
+    pub fn placement_blocked(&self, ranks: usize, per_node: usize) -> Vec<usize> {
+        assert!(per_node > 0);
+        (0..ranks)
+            .map(|r| (r / per_node).min(self.compute_nodes - 1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+
+    #[test]
+    fn node_numbering() {
+        let s = presets::aohyper();
+        assert_eq!(s.compute_nodes, 8);
+        assert_eq!(s.total_nodes(), 9);
+        assert_eq!(s.io_node(), 8);
+    }
+
+    #[test]
+    fn round_robin_placement() {
+        let s = presets::aohyper();
+        let p = s.placement(16);
+        assert_eq!(p.len(), 16);
+        assert_eq!(p[0], 0);
+        assert_eq!(p[8], 0);
+        assert_eq!(p[15], 7);
+        assert!(p.iter().all(|&n| n < 8));
+    }
+
+    #[test]
+    fn blocked_placement() {
+        let s = presets::aohyper();
+        let p = s.placement_blocked(16, 2);
+        assert_eq!(p[0], 0);
+        assert_eq!(p[1], 0);
+        assert_eq!(p[2], 1);
+        assert_eq!(p[15], 7);
+    }
+}

@@ -1,0 +1,215 @@
+//! A full methodology campaign in one call.
+//!
+//! The paper's workflow (Fig. 1) iterates: characterize each candidate
+//! configuration, characterize the application(s), evaluate every
+//! (application × configuration) pair, and read the used-percentage tables
+//! to pick a configuration. [`run_campaign`] packages that loop; the
+//! [`Campaign`] result carries every intermediate artifact plus the
+//! advisor's prediction quality, so the whole study is reproducible from
+//! one value.
+
+use crate::advisor::{predict, Prediction};
+use crate::charact::{characterize_system, CharacterizeOptions};
+use crate::eval::{evaluate, EvalOptions, EvalReport};
+use crate::perf_table::PerfTableSet;
+use crate::report::{render_metrics, TextTable};
+use cluster::{ClusterSpec, IoConfig};
+use workloads::Scenario;
+
+/// A named application factory: campaigns run each scenario on several
+/// configurations, so the workload must be constructible repeatedly.
+pub type AppFactory<'a> = (&'a str, &'a dyn Fn() -> Scenario);
+
+/// One (application × configuration) cell of the campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignCell {
+    /// Application label.
+    pub app: String,
+    /// Configuration name.
+    pub config: String,
+    /// The full evaluation report.
+    pub report: EvalReport,
+    /// The advisor's prediction for this cell (from the tables alone).
+    pub prediction: Option<Prediction>,
+}
+
+impl CampaignCell {
+    /// Relative error of the predicted I/O time vs the simulated one
+    /// (`None` when no prediction was possible).
+    pub fn prediction_error(&self) -> Option<f64> {
+        let p = self.prediction.as_ref()?;
+        let actual = self.report.io_time.as_secs_f64();
+        if actual == 0.0 {
+            return None;
+        }
+        Some((p.io_time.as_secs_f64() - actual).abs() / actual)
+    }
+}
+
+/// The outcome of a whole methodology campaign.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Cluster name.
+    pub cluster: String,
+    /// Characterizations per configuration, in input order.
+    pub tables: Vec<PerfTableSet>,
+    /// Evaluation cells, application-major.
+    pub cells: Vec<CampaignCell>,
+}
+
+impl Campaign {
+    /// The fastest configuration for `app` by simulated execution time.
+    pub fn best_config(&self, app: &str) -> Option<&CampaignCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.app == app)
+            .min_by_key(|c| c.report.exec_time)
+    }
+
+    /// Mean advisor prediction error across all predicted cells.
+    pub fn mean_prediction_error(&self) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .cells
+            .iter()
+            .filter_map(|c| c.prediction_error())
+            .collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    }
+
+    /// Renders the campaign summary: metrics per cell plus the winner and
+    /// prediction quality per application.
+    pub fn render(&self) -> String {
+        let mut out = format!("=== Campaign on {} ===\n", self.cluster);
+        let mut apps: Vec<&str> = self.cells.iter().map(|c| c.app.as_str()).collect();
+        apps.dedup();
+        for app in apps {
+            let rows: Vec<(&str, &str, &EvalReport)> = self
+                .cells
+                .iter()
+                .filter(|c| c.app == app)
+                .map(|c| (c.config.as_str(), "", &c.report))
+                .collect();
+            out.push_str(&format!("\n-- {app} --\n{}", render_metrics(&rows)));
+            if let Some(best) = self.best_config(app) {
+                out.push_str(&format!(
+                    "fastest configuration: {} ({})\n",
+                    best.config, best.report.exec_time
+                ));
+            }
+            let mut t = TextTable::new(vec!["config", "predicted io", "simulated io", "error"]);
+            for c in self.cells.iter().filter(|c| c.app == app) {
+                if let (Some(p), Some(e)) = (&c.prediction, c.prediction_error()) {
+                    t.row(vec![
+                        c.config.clone(),
+                        format!("{}", p.io_time),
+                        format!("{}", c.report.io_time),
+                        format!("{:.1}%", e * 100.0),
+                    ]);
+                }
+            }
+            if !t.is_empty() {
+                out.push_str("advisor check:\n");
+                out.push_str(&t.render());
+            }
+        }
+        out
+    }
+}
+
+/// Runs the full methodology: characterize every configuration, evaluate
+/// every application on every configuration, and validate the advisor's
+/// table-only predictions against the simulated outcomes.
+pub fn run_campaign(
+    spec: &ClusterSpec,
+    configs: &[IoConfig],
+    apps: &[AppFactory<'_>],
+    opts: &CharacterizeOptions,
+) -> Campaign {
+    let tables: Vec<PerfTableSet> = configs
+        .iter()
+        .map(|c| characterize_system(spec, c, opts))
+        .collect();
+
+    let mut cells = Vec::new();
+    for (app_name, factory) in apps {
+        for (config, tset) in configs.iter().zip(&tables) {
+            let report = evaluate(spec, config, factory(), tset, &EvalOptions::default());
+            let prediction = predict(&report.profile, tset);
+            cells.push(CampaignCell {
+                app: app_name.to_string(),
+                config: config.name.clone(),
+                report,
+                prediction,
+            });
+        }
+    }
+    Campaign {
+        cluster: spec.name.clone(),
+        tables,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{presets, DeviceLayout, IoConfigBuilder};
+    use simcore::KIB;
+    use workloads::{BtClass, BtIo, BtSubtype};
+
+    fn quick_campaign() -> Campaign {
+        let spec = presets::test_cluster();
+        let configs = vec![
+            IoConfigBuilder::new(DeviceLayout::Jbod).write_cache_mib(0).build(),
+            IoConfigBuilder::new(DeviceLayout::Raid5 {
+                disks: 5,
+                stripe: 256 * KIB,
+            })
+            .build(),
+        ];
+        let bt = || {
+            BtIo::new(BtClass::S, 4, BtSubtype::Full)
+                .with_dumps(3)
+                .gflops(20.0)
+                .scenario()
+        };
+        let apps: Vec<AppFactory> = vec![("btio-full", &bt)];
+        run_campaign(&spec, &configs, &apps, &CharacterizeOptions::quick())
+    }
+
+    #[test]
+    fn campaign_covers_every_cell() {
+        let c = quick_campaign();
+        assert_eq!(c.tables.len(), 2);
+        assert_eq!(c.cells.len(), 2);
+        assert!(c.cells.iter().all(|cell| cell.app == "btio-full"));
+        assert!(c.best_config("btio-full").is_some());
+        assert!(c.best_config("unknown").is_none());
+    }
+
+    #[test]
+    fn predictions_are_present_and_bounded() {
+        let c = quick_campaign();
+        for cell in &c.cells {
+            assert!(cell.prediction.is_some(), "no prediction for {}", cell.config);
+        }
+        let err = c.mean_prediction_error().expect("errors computed");
+        // The advisor models only the I/O path; an order of magnitude is
+        // the sanity bound, typical errors are far smaller.
+        assert!(err < 10.0, "mean prediction error {err}");
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let c = quick_campaign();
+        let s = c.render();
+        assert!(s.contains("Campaign on test"));
+        assert!(s.contains("btio-full"));
+        assert!(s.contains("fastest configuration"));
+        assert!(s.contains("advisor check"));
+    }
+}

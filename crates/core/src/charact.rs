@@ -1,0 +1,359 @@
+//! Phase 1 — characterization (paper §III-A).
+//!
+//! *System side*: run IOzone-like sweeps against the local-filesystem level
+//! (the I/O node's devices, accessed locally) and the network-filesystem
+//! level (through an NFS mount), and IOR-like sweeps against the I/O
+//! library level, recording transfer rate / IOPs / latency per
+//! (operation, block size, access mode) into [`PerfTable`]s. Every
+//! measurement point runs on a *fresh* machine ("the characterized values
+//! were measured under stressed I/O system" — and with cold caches, the
+//! 2×RAM file-size rule doing the stressing).
+//!
+//! *Application side*: run the application once with a [`ProfileSink`]
+//! attached and collect its [`AppProfile`].
+
+use crate::perf_table::{AccessMode, IoLevel, OpType, PerfRow, PerfTable, PerfTableSet};
+use crate::trace::{AppProfile, ProfileSink};
+use cluster::{ClusterMachine, ClusterSpec, IoConfig, Mount};
+use fs::FileId;
+use mpisim::{NullSink, RunStats, Runtime};
+use simcore::{Bandwidth, Time, KIB, MIB};
+use workloads::ior::{paper_block_sweep, Ior, IorOp};
+use workloads::iozone::{paper_record_sweep, IozonePattern, IozoneRun};
+use workloads::Scenario;
+
+/// What to sweep during system characterization.
+#[derive(Clone, Debug)]
+pub struct CharacterizeOptions {
+    /// IOzone record sizes.
+    pub records: Vec<u64>,
+    /// IOzone file size; `None` applies the paper's 2×RAM rule.
+    pub iozone_file_size: Option<u64>,
+    /// Access modes to sweep at the filesystem levels.
+    pub modes: Vec<AccessMode>,
+    /// IOR per-rank block sizes.
+    pub ior_blocks: Vec<u64>,
+    /// IOR process count (the paper uses 8).
+    pub ior_ranks: usize,
+    /// IOR transfer size (the paper uses 256 KiB).
+    pub ior_transfer: u64,
+    /// Levels to characterize.
+    pub levels: Vec<IoLevel>,
+}
+
+impl CharacterizeOptions {
+    /// The paper's published sweep: records 32 KiB–16 MiB, file 2×RAM,
+    /// sequential access (the mode the paper's Figs. 5/6/13/14 report),
+    /// IOR blocks 1 MiB–1 GiB at 256 KiB transfers with 8 processes, all
+    /// three levels. Use [`Self::all_modes`] to add the strided/random
+    /// sweeps Table I's `AccessesMode` attribute supports.
+    pub fn paper() -> CharacterizeOptions {
+        CharacterizeOptions {
+            records: paper_record_sweep(),
+            iozone_file_size: None,
+            modes: vec![AccessMode::Sequential],
+            ior_blocks: paper_block_sweep(),
+            ior_ranks: 8,
+            ior_transfer: 256 * KIB,
+            levels: IoLevel::ALL.to_vec(),
+        }
+    }
+
+    /// Extends the sweep to every access mode of Table I.
+    pub fn all_modes(mut self) -> CharacterizeOptions {
+        self.modes = vec![
+            AccessMode::Sequential,
+            AccessMode::Strided,
+            AccessMode::Random,
+        ];
+        self
+    }
+
+    /// A reduced sweep for tests and doctests.
+    pub fn quick() -> CharacterizeOptions {
+        CharacterizeOptions {
+            records: vec![64 * KIB, MIB],
+            iozone_file_size: Some(64 * MIB),
+            modes: vec![AccessMode::Sequential],
+            ior_blocks: vec![4 * MIB],
+            ior_ranks: 2,
+            ior_transfer: 256 * KIB,
+            levels: IoLevel::ALL.to_vec(),
+        }
+    }
+}
+
+/// File ids reserved for characterization workloads.
+const CHARACT_FILE: FileId = FileId(0xC4A2);
+
+/// Runs one scenario on a fresh machine; returns the run stats.
+fn run_fresh(
+    spec: &ClusterSpec,
+    config: &IoConfig,
+    scenario: Scenario,
+) -> RunStats {
+    let ranks = scenario.ranks();
+    let mut machine = ClusterMachine::new(spec, config);
+    let programs = scenario.install(&mut machine);
+    let placement = spec.placement(ranks);
+    let mut sink = NullSink;
+    Runtime::default().run(&mut machine, &placement, programs, &mut sink)
+}
+
+/// Extracts (rate, iops, latency) from a measurement run.
+fn point_metrics(stats: &RunStats) -> (Bandwidth, f64, Time) {
+    let bytes: u64 = stats.total_bytes();
+    let rate = Bandwidth::measured(bytes, stats.wall_time);
+    let ops: u64 = stats.per_rank.iter().map(|r| r.io_ops).sum();
+    let io_time: Time = stats.per_rank.iter().map(|r| r.io_time).sum();
+    let iops = if stats.max_io_time() == Time::ZERO {
+        0.0
+    } else {
+        ops as f64 / stats.max_io_time().as_secs_f64()
+    };
+    let latency = if ops == 0 { Time::ZERO } else { io_time / ops };
+    (rate, iops, latency)
+}
+
+fn iozone_pattern(op: OpType, mode: AccessMode) -> IozonePattern {
+    match (op, mode) {
+        (OpType::Write, AccessMode::Sequential) => IozonePattern::SeqWrite,
+        (OpType::Read, AccessMode::Sequential) => IozonePattern::SeqRead,
+        (OpType::Write, AccessMode::Strided) => IozonePattern::StridedWrite,
+        (OpType::Read, AccessMode::Strided) => IozonePattern::StridedRead,
+        (OpType::Write, AccessMode::Random) => IozonePattern::RandWrite,
+        (OpType::Read, AccessMode::Random) => IozonePattern::RandRead,
+    }
+}
+
+/// Characterizes one filesystem level with the IOzone sweep.
+fn characterize_fs_level(
+    spec: &ClusterSpec,
+    config: &IoConfig,
+    opts: &CharacterizeOptions,
+    level: IoLevel,
+) -> PerfTable {
+    let mount = match level {
+        IoLevel::LocalFs => Mount::ServerLocal,
+        // The global-filesystem level is whatever shared filesystem the
+        // configuration deploys: the NFS export, or the parallel FS when
+        // one is configured.
+        IoLevel::GlobalFs if config.pfs_servers > 0 => Mount::Pfs,
+        IoLevel::GlobalFs => Mount::Nfs,
+        IoLevel::Library => unreachable!("library level uses IOR"),
+    };
+    // The paper's rule: a file twice the main memory of the machine under
+    // test, so the page cache cannot hide the device.
+    let ram = match level {
+        IoLevel::LocalFs => spec.io_node_ram,
+        _ => spec.node_ram.max(spec.io_node_ram),
+    };
+    let file_size = opts.iozone_file_size.unwrap_or(2 * ram);
+
+    let mut table = PerfTable::new();
+    for &record in &opts.records {
+        if record > file_size {
+            continue;
+        }
+        for &mode in &opts.modes {
+            for op in [OpType::Write, OpType::Read] {
+                let run = IozoneRun::new(
+                    CHARACT_FILE,
+                    file_size,
+                    record,
+                    iozone_pattern(op, mode),
+                )
+                .on(mount);
+                let stats = run_fresh(spec, config, run.scenario());
+                let (rate, iops, latency) = point_metrics(&stats);
+                table.insert(PerfRow {
+                    op,
+                    block: record,
+                    access: level.access_type(),
+                    mode,
+                    rate,
+                    iops,
+                    latency,
+                });
+            }
+        }
+    }
+    table
+}
+
+/// Characterizes the I/O library level with the IOR sweep.
+fn characterize_library_level(
+    spec: &ClusterSpec,
+    config: &IoConfig,
+    opts: &CharacterizeOptions,
+) -> PerfTable {
+    let mut table = PerfTable::new();
+    for &block in &opts.ior_blocks {
+        for op in [OpType::Write, OpType::Read] {
+            let ior = Ior {
+                ranks: opts.ior_ranks,
+                file: CHARACT_FILE,
+                block,
+                transfer: opts.ior_transfer,
+                collective: false,
+                op: if op == OpType::Write {
+                    IorOp::Write
+                } else {
+                    IorOp::Read
+                },
+                // The library level is MPI-IO: on NFS it pays the ROMIO
+                // discipline (locking, synchronous transfers); on a
+                // parallel FS it runs natively.
+                mount: if config.pfs_servers > 0 {
+                    Mount::Pfs
+                } else {
+                    Mount::NfsDirect
+                },
+            };
+            let stats = run_fresh(spec, config, ior.scenario());
+            let (rate, iops, latency) = point_metrics(&stats);
+            table.insert(PerfRow {
+                op,
+                block,
+                access: IoLevel::Library.access_type(),
+                mode: AccessMode::Sequential,
+                rate,
+                iops,
+                latency,
+            });
+        }
+    }
+    table
+}
+
+/// Phase 1a: characterizes the I/O system of `spec` under `config` at every
+/// requested level (paper Figs. 3, 5, 6, 13, 14).
+pub fn characterize_system(
+    spec: &ClusterSpec,
+    config: &IoConfig,
+    opts: &CharacterizeOptions,
+) -> PerfTableSet {
+    let mut set = PerfTableSet::new(spec.name.clone(), config.name.clone());
+    for &level in &opts.levels {
+        let table = match level {
+            IoLevel::Library => characterize_library_level(spec, config, opts),
+            IoLevel::GlobalFs | IoLevel::LocalFs => {
+                characterize_fs_level(spec, config, opts, level)
+            }
+        };
+        set.set(level, table);
+    }
+    set
+}
+
+/// Phase 1b: characterizes an application by running its scenario under
+/// `config` with the tracing sink attached (paper Fig. 7; Tables II/V/VIII).
+pub fn characterize_app(
+    spec: &ClusterSpec,
+    config: &IoConfig,
+    scenario: Scenario,
+    placement: Option<Vec<usize>>,
+) -> AppProfile {
+    let ranks = scenario.ranks();
+    let mut machine = ClusterMachine::new(spec, config);
+    let programs = scenario.install(&mut machine);
+    let placement = placement.unwrap_or_else(|| spec.placement(ranks));
+    let mut sink = ProfileSink::new(ranks);
+    Runtime::default().run(&mut machine, &placement, programs, &mut sink);
+    sink.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{presets, DeviceLayout, IoConfigBuilder};
+    use workloads::{BtClass, BtIo, BtSubtype};
+
+    fn quick_setup() -> (ClusterSpec, IoConfig) {
+        (
+            presets::test_cluster(),
+            IoConfigBuilder::new(DeviceLayout::Jbod).build(),
+        )
+    }
+
+    #[test]
+    fn quick_characterization_produces_all_levels() {
+        let (spec, config) = quick_setup();
+        let set = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+        for level in IoLevel::ALL {
+            let t = set.get(level).unwrap_or_else(|| panic!("missing {level:?}"));
+            assert!(!t.is_empty(), "{level:?} table is empty");
+            for row in t.rows() {
+                assert!(
+                    row.rate.bytes_per_sec() > 0,
+                    "{level:?} {:?} {} has zero rate",
+                    row.op,
+                    row.block
+                );
+            }
+        }
+        assert_eq!(set.cluster, "test");
+        assert_eq!(set.config, "JBOD");
+    }
+
+    #[test]
+    fn local_fs_is_at_least_as_fast_as_nfs_for_streaming() {
+        let (spec, config) = quick_setup();
+        let set = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+        let local = set
+            .get(IoLevel::LocalFs)
+            .unwrap()
+            .search(
+                OpType::Read,
+                MIB,
+                crate::perf_table::AccessType::Local,
+                AccessMode::Sequential,
+            )
+            .unwrap()
+            .rate;
+        let nfs = set
+            .get(IoLevel::GlobalFs)
+            .unwrap()
+            .search(
+                OpType::Read,
+                MIB,
+                crate::perf_table::AccessType::Global,
+                AccessMode::Sequential,
+            )
+            .unwrap()
+            .rate;
+        assert!(
+            local.bytes_per_sec() >= nfs.bytes_per_sec(),
+            "local {local} vs nfs {nfs}: NFS cannot beat its own backend"
+        );
+    }
+
+    #[test]
+    fn app_characterization_matches_generator_counts() {
+        let (spec, config) = quick_setup();
+        let bt = BtIo::new(BtClass::S, 4, BtSubtype::Simple)
+            .with_dumps(2)
+            .gflops(50.0);
+        let expected_writes: u64 = (0..4)
+            .map(|r| bt.simple_ops_per_rank_per_dump(r) * 2)
+            .sum();
+        let profile = characterize_app(&spec, &config, bt.scenario(), None);
+        assert_eq!(profile.numio_write, expected_writes);
+        assert_eq!(profile.numio_read, expected_writes);
+        assert_eq!(profile.procs, 4);
+        assert_eq!(profile.num_files, 1);
+        assert!(profile.exec_time > Time::ZERO);
+        assert!(profile.io_time > Time::ZERO);
+        // Class S / 4 procs: line sizes 5×8×12 = 480 bytes only.
+        assert_eq!(profile.write_sizes.len(), 1);
+        assert_eq!(profile.write_sizes[0].0, 480);
+    }
+
+    #[test]
+    fn deterministic_characterization() {
+        let (spec, config) = quick_setup();
+        let a = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+        let b = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -1,0 +1,377 @@
+//! Phase 3 — evaluation (paper §III-C, Figs. 9–11).
+//!
+//! Runs the application on a configuration, collects the paper's metrics
+//! (execution time, I/O time, IOPs, latency, throughput), and generates the
+//! **used-percentage table**: for every application-level measurement the
+//! characterized transfer rate is looked up at each I/O-path level
+//! (Fig. 11 search) and the usage is `measured / characterized × 100`
+//! (Fig. 10). Values above 100% mean the application is not limited at
+//! that level (e.g. it is served from buffer/cache, or aggregates several
+//! components the single-level characterization cannot see).
+
+use crate::perf_table::{IoLevel, OpType, PerfTableSet};
+use crate::trace::{AppProfile, ProfileSink};
+use cluster::{ClusterMachine, ClusterSpec, IoConfig};
+use mpisim::Runtime;
+use serde::{Deserialize, Serialize};
+use simcore::{Bandwidth, Time};
+use workloads::Scenario;
+
+/// Evaluation options.
+#[derive(Clone, Debug, Default)]
+pub struct EvalOptions {
+    /// Rank placement override (default: round-robin over compute nodes).
+    pub placement: Option<Vec<usize>>,
+}
+
+/// One row of the used-percentage table.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct UsageRow {
+    /// Operation type.
+    pub op: OpType,
+    /// Application block size.
+    pub block: u64,
+    /// Bytes the application moved at this block size.
+    pub bytes: u64,
+    /// Application-level measured rate.
+    pub measured: Bandwidth,
+    /// I/O-path level compared against.
+    pub level: IoLevel,
+    /// Characterized rate selected by the Fig. 11 search.
+    pub characterized: Bandwidth,
+    /// `measured / characterized × 100`.
+    pub used_pct: f64,
+}
+
+/// Usage of one workload-labelled section (MADbench2 S/W/C) at one level.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MarkerUsageRow {
+    /// Marker id.
+    pub marker: u32,
+    /// Operation type.
+    pub op: OpType,
+    /// Mean block size within the section.
+    pub block: u64,
+    /// Measured rate within the section.
+    pub measured: Bandwidth,
+    /// Level compared against.
+    pub level: IoLevel,
+    /// Characterized rate.
+    pub characterized: Bandwidth,
+    /// Usage percentage.
+    pub used_pct: f64,
+}
+
+/// The outcome of evaluating one application on one configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Cluster name.
+    pub cluster: String,
+    /// Configuration name.
+    pub config: String,
+    /// Application name.
+    pub app: String,
+    /// The application profile collected during the run.
+    pub profile: AppProfile,
+    /// Execution time (wall).
+    pub exec_time: Time,
+    /// I/O time of the slowest rank.
+    pub io_time: Time,
+    /// Application-level aggregate write rate.
+    pub write_rate: Bandwidth,
+    /// Application-level aggregate read rate.
+    pub read_rate: Bandwidth,
+    /// Per-(op, block, level) usage rows.
+    pub usage: Vec<UsageRow>,
+    /// Per-marker usage rows.
+    pub marker_usage: Vec<MarkerUsageRow>,
+}
+
+impl EvalReport {
+    /// Bytes-weighted mean usage for an operation at a level — the single
+    /// number the paper's Tables III/IV/VI/VII report per cell.
+    pub fn usage_summary(&self, op: OpType, level: IoLevel) -> Option<f64> {
+        let rows: Vec<&UsageRow> = self
+            .usage
+            .iter()
+            .filter(|u| u.op == op && u.level == level)
+            .collect();
+        if rows.is_empty() {
+            return None;
+        }
+        let total: u64 = rows.iter().map(|u| u.bytes).sum();
+        if total == 0 {
+            return None;
+        }
+        Some(
+            rows.iter()
+                .map(|u| u.used_pct * u.bytes as f64 / total as f64)
+                .sum(),
+        )
+    }
+
+    /// Usage of a marker section at a level (paper Tables IX/X/XI cells).
+    pub fn marker_usage_of(&self, marker: u32, op: OpType, level: IoLevel) -> Option<f64> {
+        self.marker_usage
+            .iter()
+            .find(|m| m.marker == marker && m.op == op && m.level == level)
+            .map(|m| m.used_pct)
+    }
+
+    /// The fraction of execution time spent in I/O.
+    pub fn io_fraction(&self) -> f64 {
+        if self.exec_time == Time::ZERO {
+            0.0
+        } else {
+            self.io_time.as_secs_f64() / self.exec_time.as_secs_f64()
+        }
+    }
+}
+
+/// Generates the usage rows for a profile against characterized tables —
+/// the Fig. 10 algorithm, separated from the run for testability.
+pub fn usage_table(profile: &AppProfile, tables: &PerfTableSet) -> Vec<UsageRow> {
+    let mut out = Vec::new();
+    for m in &profile.measured {
+        for level in IoLevel::ALL {
+            let Some(table) = tables.get(level) else {
+                continue;
+            };
+            let Some(row) = table.search_lenient(m.op, m.block, level.access_type(), m.mode)
+            else {
+                continue;
+            };
+            let characterized = row.rate;
+            let used_pct = if characterized.bytes_per_sec() == 0 {
+                0.0
+            } else {
+                m.rate.bytes_per_sec() as f64 / characterized.bytes_per_sec() as f64 * 100.0
+            };
+            out.push(UsageRow {
+                op: m.op,
+                block: m.block,
+                bytes: m.bytes,
+                measured: m.rate,
+                level,
+                characterized,
+                used_pct,
+            });
+        }
+    }
+    out
+}
+
+/// Generates per-marker usage rows.
+pub fn marker_usage_table(profile: &AppProfile, tables: &PerfTableSet) -> Vec<MarkerUsageRow> {
+    let mut out = Vec::new();
+    for m in &profile.per_marker {
+        if m.ops == 0 {
+            continue;
+        }
+        let block = m.bytes / m.ops;
+        let mode = match m.op {
+            OpType::Read => profile.mode_read,
+            OpType::Write => profile.mode_write,
+        };
+        for level in IoLevel::ALL {
+            let Some(table) = tables.get(level) else {
+                continue;
+            };
+            let Some(row) = table.search_lenient(m.op, block, level.access_type(), mode) else {
+                continue;
+            };
+            let used_pct = if row.rate.bytes_per_sec() == 0 {
+                0.0
+            } else {
+                m.rate.bytes_per_sec() as f64 / row.rate.bytes_per_sec() as f64 * 100.0
+            };
+            out.push(MarkerUsageRow {
+                marker: m.marker,
+                op: m.op,
+                block,
+                measured: m.rate,
+                level,
+                characterized: row.rate,
+                used_pct,
+            });
+        }
+    }
+    out
+}
+
+/// Phase 3: runs `scenario` on `(spec, config)` and evaluates it against
+/// the configuration's characterized `tables`.
+pub fn evaluate(
+    spec: &ClusterSpec,
+    config: &IoConfig,
+    scenario: Scenario,
+    tables: &PerfTableSet,
+    opts: &EvalOptions,
+) -> EvalReport {
+    let app = scenario.name.clone();
+    let ranks = scenario.ranks();
+    let mut machine = ClusterMachine::new(spec, config);
+    let programs = scenario.install(&mut machine);
+    let placement = opts
+        .placement
+        .clone()
+        .unwrap_or_else(|| spec.placement(ranks));
+    let mut sink = ProfileSink::new(ranks);
+    Runtime::default().run(&mut machine, &placement, programs, &mut sink);
+    let profile = sink.finish();
+
+    let usage = usage_table(&profile, tables);
+    let marker_usage = marker_usage_table(&profile, tables);
+    EvalReport {
+        cluster: spec.name.clone(),
+        config: config.name.clone(),
+        app,
+        exec_time: profile.exec_time,
+        io_time: profile.io_time,
+        write_rate: profile.write_rate(),
+        read_rate: profile.read_rate(),
+        usage,
+        marker_usage,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charact::{characterize_system, CharacterizeOptions};
+    use crate::perf_table::{AccessMode, AccessType, PerfRow, PerfTable};
+    use crate::trace::MeasuredRow;
+    use cluster::{presets, DeviceLayout, IoConfigBuilder};
+    use simcore::MIB;
+    use workloads::{BtClass, BtIo, BtSubtype};
+
+    fn fake_tables(rate_mib: u64) -> PerfTableSet {
+        let mut set = PerfTableSet::new("test", "JBOD");
+        for level in IoLevel::ALL {
+            let mut t = PerfTable::new();
+            for op in [OpType::Read, OpType::Write] {
+                for mode in [AccessMode::Sequential, AccessMode::Strided, AccessMode::Random] {
+                    t.insert(PerfRow {
+                        op,
+                        block: MIB,
+                        access: level.access_type(),
+                        mode,
+                        rate: Bandwidth::from_mib_per_sec(rate_mib),
+                        iops: 0.0,
+                        latency: Time::ZERO,
+                    });
+                }
+            }
+            set.set(level, t);
+        }
+        set
+    }
+
+    fn fake_profile(rate_mib: u64) -> AppProfile {
+        AppProfile {
+            procs: 1,
+            measured: vec![MeasuredRow {
+                op: OpType::Write,
+                block: MIB,
+                mode: AccessMode::Sequential,
+                rate: Bandwidth::from_mib_per_sec(rate_mib),
+                ops: 10,
+                bytes: 10 * MIB,
+                iops: 10.0,
+                latency: Time::from_millis(1),
+            }],
+            ..AppProfile::default()
+        }
+    }
+
+    #[test]
+    fn usage_is_measured_over_characterized() {
+        let tables = fake_tables(100);
+        let profile = fake_profile(50);
+        let rows = usage_table(&profile, &tables);
+        assert_eq!(rows.len(), 3, "one row per level");
+        for r in &rows {
+            assert!((r.used_pct - 50.0).abs() < 1e-9, "usage {}", r.used_pct);
+        }
+    }
+
+    #[test]
+    fn usage_above_100_when_cache_beats_characterization() {
+        let tables = fake_tables(100);
+        let profile = fake_profile(250);
+        let rows = usage_table(&profile, &tables);
+        assert!(rows.iter().all(|r| (r.used_pct - 250.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn end_to_end_btio_eval_on_test_cluster() {
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
+        let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+        let bt = BtIo::new(BtClass::S, 4, BtSubtype::Full)
+            .with_dumps(4)
+            .gflops(50.0);
+        let report = evaluate(&spec, &config, bt.scenario(), &tables, &EvalOptions::default());
+        assert!(report.exec_time > Time::ZERO);
+        assert!(report.io_time > Time::ZERO);
+        assert!(report.io_time <= report.exec_time);
+        assert!(report.write_rate.bytes_per_sec() > 0);
+        assert!(!report.usage.is_empty());
+        let s = report.usage_summary(OpType::Write, IoLevel::Library);
+        assert!(s.is_some());
+        assert!(s.unwrap() > 0.0);
+        assert!(report.io_fraction() > 0.0 && report.io_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn full_subtype_beats_simple_on_io_time() {
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
+        let tables = fake_tables(100); // usage table irrelevant here
+        let run = |subtype| {
+            let bt = BtIo::new(BtClass::S, 4, subtype).with_dumps(4).gflops(50.0);
+            evaluate(&spec, &config, bt.scenario(), &tables, &EvalOptions::default())
+        };
+        let full = run(BtSubtype::Full);
+        let simple = run(BtSubtype::Simple);
+        assert!(
+            simple.io_time > full.io_time,
+            "simple {:?} must exceed full {:?} (paper's headline result)",
+            simple.io_time,
+            full.io_time
+        );
+        assert!(simple.exec_time > full.exec_time);
+    }
+
+    #[test]
+    fn marker_usage_lookup() {
+        let tables = fake_tables(100);
+        let mut profile = fake_profile(50);
+        profile.per_marker = vec![crate::trace::MarkerRates {
+            marker: 1,
+            op: OpType::Write,
+            rate: Bandwidth::from_mib_per_sec(25),
+            bytes: 10 * MIB,
+            ops: 10,
+        }];
+        let rows = marker_usage_table(&profile, &tables);
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].used_pct - 25.0).abs() < 1e-9);
+        assert_eq!(rows[0].block, MIB);
+    }
+
+    #[test]
+    fn usage_handles_missing_tables_gracefully() {
+        let mut tables = fake_tables(100);
+        tables.tables.remove(&IoLevel::LocalFs);
+        let rows = usage_table(&fake_profile(50), &tables);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn access_type_is_exported() {
+        // Silence the unused-import lint meaningfully: levels map to types.
+        assert_eq!(IoLevel::LocalFs.access_type(), AccessType::Local);
+    }
+}

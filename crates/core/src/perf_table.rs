@@ -1,0 +1,390 @@
+//! Performance tables (paper Table I) and the search algorithm (Fig. 11).
+//!
+//! A characterized configuration carries one table per I/O-path level; each
+//! row is `{OperationType, Blocksize, AccessType, AccessMode, transferRate}`
+//! plus the IOPs and latency the characterization also collects. The search
+//! algorithm resolves an application's operation against the table:
+//!
+//! * block size below the table's minimum → the minimum row's rate;
+//! * above the maximum → the maximum row's rate;
+//! * exact hit → that row's rate;
+//! * otherwise → the **closest upper** characterized block size.
+
+use serde::{Deserialize, Serialize};
+use simcore::{Bandwidth, Time};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Operation type (Table I: read = 0, write = 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpType {
+    /// Read operations.
+    Read,
+    /// Write operations.
+    Write,
+}
+
+impl fmt::Display for OpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpType::Read => write!(f, "read"),
+            OpType::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Access type (Table I: Local = 0, Global = 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AccessType {
+    /// Node-local access (local filesystem level).
+    Local,
+    /// Shared/global access (network filesystem, I/O library levels).
+    Global,
+}
+
+/// Access mode (Table I: Sequential, Strided, Random).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum AccessMode {
+    /// Consecutive offsets.
+    #[default]
+    Sequential,
+    /// Constant-stride offsets.
+    Strided,
+    /// Unpredictable offsets.
+    Random,
+}
+
+impl fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessMode::Sequential => write!(f, "sequential"),
+            AccessMode::Strided => write!(f, "strided"),
+            AccessMode::Random => write!(f, "random"),
+        }
+    }
+}
+
+/// A level of the I/O path (paper Fig. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IoLevel {
+    /// The I/O library (MPI-IO).
+    Library,
+    /// The network/global filesystem (NFS).
+    GlobalFs,
+    /// The local filesystem and devices below it.
+    LocalFs,
+}
+
+impl IoLevel {
+    /// All levels, top-down along the I/O path.
+    pub const ALL: [IoLevel; 3] = [IoLevel::Library, IoLevel::GlobalFs, IoLevel::LocalFs];
+
+    /// Report label (matches the paper's table headers).
+    pub fn label(self) -> &'static str {
+        match self {
+            IoLevel::Library => "I/O Lib",
+            IoLevel::GlobalFs => "NFS",
+            IoLevel::LocalFs => "Local FS",
+        }
+    }
+
+    /// The access type this level is characterized with.
+    pub fn access_type(self) -> AccessType {
+        match self {
+            IoLevel::LocalFs => AccessType::Local,
+            _ => AccessType::Global,
+        }
+    }
+}
+
+/// One characterized measurement point (a row of Table I).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PerfRow {
+    /// Operation type.
+    pub op: OpType,
+    /// Block size in bytes.
+    pub block: u64,
+    /// Access type.
+    pub access: AccessType,
+    /// Access mode.
+    pub mode: AccessMode,
+    /// Characterized transfer rate.
+    pub rate: Bandwidth,
+    /// Characterized I/O operations per second.
+    pub iops: f64,
+    /// Characterized mean operation latency.
+    pub latency: Time,
+}
+
+/// The characterization of one I/O-path level of one configuration.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PerfTable {
+    rows: Vec<PerfRow>,
+}
+
+impl PerfTable {
+    /// An empty table.
+    pub fn new() -> PerfTable {
+        PerfTable::default()
+    }
+
+    /// Adds a row, keeping rows sorted by (op, access, mode, block).
+    /// A row with the same key replaces the previous one.
+    pub fn insert(&mut self, row: PerfRow) {
+        let key =
+            |r: &PerfRow| (r.op, r.access, r.mode, r.block);
+        match self.rows.binary_search_by(|r| key(r).cmp(&key(&row))) {
+            Ok(i) => self.rows[i] = row,
+            Err(i) => self.rows.insert(i, row),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates rows in key order.
+    pub fn rows(&self) -> impl Iterator<Item = &PerfRow> {
+        self.rows.iter()
+    }
+
+    /// The paper's Fig. 11 search: resolves `(op, block, access, mode)` to
+    /// the characterized row per the closest-upper-block-size rule.
+    /// Returns `None` when no row matches the non-block key at all.
+    pub fn search(
+        &self,
+        op: OpType,
+        block: u64,
+        access: AccessType,
+        mode: AccessMode,
+    ) -> Option<&PerfRow> {
+        let candidates: Vec<&PerfRow> = self
+            .rows
+            .iter()
+            .filter(|r| r.op == op && r.access == access && r.mode == mode)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        // Rows are block-sorted within the key (insert keeps them so).
+        let min = candidates.first().expect("nonempty");
+        let max = candidates.last().expect("nonempty");
+        if block <= min.block {
+            return Some(min);
+        }
+        if block >= max.block {
+            return Some(max);
+        }
+        // Exact hit, else the closest upper characterized block size.
+        for r in &candidates {
+            if r.block >= block {
+                return Some(r);
+            }
+        }
+        unreachable!("block < max yet no upper row found");
+    }
+
+    /// Like [`Self::search`] but falls back to any access mode (preferring
+    /// the searched one) — used when the characterization did not sweep the
+    /// application's exact mode.
+    pub fn search_lenient(
+        &self,
+        op: OpType,
+        block: u64,
+        access: AccessType,
+        mode: AccessMode,
+    ) -> Option<&PerfRow> {
+        self.search(op, block, access, mode).or_else(|| {
+            [AccessMode::Sequential, AccessMode::Strided, AccessMode::Random]
+                .into_iter()
+                .filter(|&m| m != mode)
+                .find_map(|m| self.search(op, block, access, m))
+        })
+    }
+}
+
+/// All levels of one configuration's characterization.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PerfTableSet {
+    /// Cluster name.
+    pub cluster: String,
+    /// Configuration name (e.g. `"RAID 5"`).
+    pub config: String,
+    /// One table per characterized level.
+    pub tables: BTreeMap<IoLevel, PerfTable>,
+}
+
+impl PerfTableSet {
+    /// An empty set for a (cluster, config) pair.
+    pub fn new(cluster: impl Into<String>, config: impl Into<String>) -> PerfTableSet {
+        PerfTableSet {
+            cluster: cluster.into(),
+            config: config.into(),
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// The table of a level, if characterized.
+    pub fn get(&self, level: IoLevel) -> Option<&PerfTable> {
+        self.tables.get(&level)
+    }
+
+    /// Inserts/replaces a level's table.
+    pub fn set(&mut self, level: IoLevel, table: PerfTable) {
+        self.tables.insert(level, table);
+    }
+
+    /// Serializes to JSON (the persisted "performance table file" the
+    /// paper's flowcharts read back in the evaluation phase).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("PerfTableSet serializes")
+    }
+
+    /// Parses a JSON performance-table file.
+    pub fn from_json(s: &str) -> Result<PerfTableSet, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(op: OpType, block: u64, rate_mib: u64) -> PerfRow {
+        PerfRow {
+            op,
+            block,
+            access: AccessType::Global,
+            mode: AccessMode::Sequential,
+            rate: Bandwidth::from_mib_per_sec(rate_mib),
+            iops: 100.0,
+            latency: Time::from_millis(1),
+        }
+    }
+
+    fn table() -> PerfTable {
+        let mut t = PerfTable::new();
+        // Inserted out of order on purpose.
+        t.insert(row(OpType::Write, 1024, 50));
+        t.insert(row(OpType::Write, 4096, 80));
+        t.insert(row(OpType::Write, 256, 20));
+        t.insert(row(OpType::Read, 1024, 70));
+        t
+    }
+
+    #[test]
+    fn rows_are_key_sorted() {
+        let t = table();
+        let blocks: Vec<u64> = t
+            .rows()
+            .filter(|r| r.op == OpType::Write)
+            .map(|r| r.block)
+            .collect();
+        assert_eq!(blocks, vec![256, 1024, 4096]);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn insert_replaces_same_key() {
+        let mut t = table();
+        t.insert(row(OpType::Write, 1024, 99));
+        assert_eq!(t.len(), 4);
+        let r = t
+            .search(OpType::Write, 1024, AccessType::Global, AccessMode::Sequential)
+            .unwrap();
+        assert_eq!(r.rate, Bandwidth::from_mib_per_sec(99));
+    }
+
+    #[test]
+    fn search_below_min_selects_min() {
+        let t = table();
+        let r = t
+            .search(OpType::Write, 64, AccessType::Global, AccessMode::Sequential)
+            .unwrap();
+        assert_eq!(r.block, 256);
+    }
+
+    #[test]
+    fn search_above_max_selects_max() {
+        let t = table();
+        let r = t
+            .search(OpType::Write, 1 << 30, AccessType::Global, AccessMode::Sequential)
+            .unwrap();
+        assert_eq!(r.block, 4096);
+    }
+
+    #[test]
+    fn search_exact_hit() {
+        let t = table();
+        let r = t
+            .search(OpType::Write, 1024, AccessType::Global, AccessMode::Sequential)
+            .unwrap();
+        assert_eq!(r.block, 1024);
+        assert_eq!(r.rate, Bandwidth::from_mib_per_sec(50));
+    }
+
+    #[test]
+    fn search_between_selects_closest_upper() {
+        let t = table();
+        let r = t
+            .search(OpType::Write, 2000, AccessType::Global, AccessMode::Sequential)
+            .unwrap();
+        assert_eq!(r.block, 4096, "closest upper value per Fig. 11");
+        let r = t
+            .search(OpType::Write, 300, AccessType::Global, AccessMode::Sequential)
+            .unwrap();
+        assert_eq!(r.block, 1024);
+    }
+
+    #[test]
+    fn search_respects_op_and_access() {
+        let t = table();
+        assert!(t
+            .search(OpType::Read, 1024, AccessType::Global, AccessMode::Sequential)
+            .is_some());
+        assert!(t
+            .search(OpType::Read, 1024, AccessType::Local, AccessMode::Sequential)
+            .is_none());
+        assert!(t
+            .search(OpType::Read, 1024, AccessType::Global, AccessMode::Random)
+            .is_none());
+    }
+
+    #[test]
+    fn lenient_search_falls_back_across_modes() {
+        let t = table();
+        let r = t
+            .search_lenient(OpType::Read, 1024, AccessType::Global, AccessMode::Random)
+            .unwrap();
+        assert_eq!(r.mode, AccessMode::Sequential);
+    }
+
+    #[test]
+    fn set_roundtrips_through_json() {
+        let mut set = PerfTableSet::new("Aohyper", "RAID 5");
+        set.set(IoLevel::GlobalFs, table());
+        let json = set.to_json();
+        let back = PerfTableSet::from_json(&json).unwrap();
+        assert_eq!(back.cluster, "Aohyper");
+        assert_eq!(back.config, "RAID 5");
+        assert_eq!(back.get(IoLevel::GlobalFs).unwrap().len(), 4);
+        assert!(back.get(IoLevel::LocalFs).is_none());
+    }
+
+    #[test]
+    fn level_labels_and_access() {
+        assert_eq!(IoLevel::Library.label(), "I/O Lib");
+        assert_eq!(IoLevel::GlobalFs.label(), "NFS");
+        assert_eq!(IoLevel::LocalFs.label(), "Local FS");
+        assert_eq!(IoLevel::LocalFs.access_type(), AccessType::Local);
+        assert_eq!(IoLevel::Library.access_type(), AccessType::Global);
+    }
+}

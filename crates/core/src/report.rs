@@ -1,0 +1,321 @@
+//! Text rendering of methodology artifacts (for the `repro` harness and
+//! examples).
+
+use crate::eval::EvalReport;
+use crate::perf_table::{IoLevel, OpType, PerfTable, PerfTableSet};
+use crate::trace::AppProfile;
+use simcore::fmt_bytes;
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(c);
+                for _ in c.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing pad.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Renders one performance table (paper Table I layout).
+pub fn render_perf_table(table: &PerfTable) -> String {
+    let mut t = TextTable::new(vec![
+        "OperationType",
+        "Blocksize",
+        "AccessType",
+        "AccessMode",
+        "transferRate",
+        "IOPs",
+        "latency",
+    ]);
+    for r in table.rows() {
+        t.row(vec![
+            r.op.to_string(),
+            fmt_bytes(r.block),
+            format!("{:?}", r.access),
+            r.mode.to_string(),
+            format!("{}", r.rate),
+            format!("{:.0}", r.iops),
+            format!("{}", r.latency),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders a whole characterized configuration.
+pub fn render_table_set(set: &PerfTableSet) -> String {
+    let mut out = format!(
+        "=== Characterization: cluster {}, configuration {} ===\n",
+        set.cluster, set.config
+    );
+    for level in IoLevel::ALL {
+        if let Some(t) = set.get(level) {
+            out.push_str(&format!("\n-- level: {} --\n", level.label()));
+            out.push_str(&render_perf_table(t));
+        }
+    }
+    out
+}
+
+/// Renders an application profile (paper Tables II/V/VIII layout).
+pub fn render_app_profile(p: &AppProfile) -> String {
+    let fmt_sizes = |sizes: &[(u64, u64)]| {
+        sizes
+            .iter()
+            .map(|(s, n)| format!("{} x{}", fmt_bytes(*s), n))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut t = TextTable::new(vec!["Parameter", "Value"]);
+    t.row(vec!["numProcs".to_string(), p.procs.to_string()]);
+    t.row(vec!["numFiles".to_string(), p.num_files.to_string()]);
+    t.row(vec!["numIO_read".to_string(), p.numio_read.to_string()]);
+    t.row(vec!["numIO_write".to_string(), p.numio_write.to_string()]);
+    t.row(vec!["numIO_open".to_string(), p.numio_open.to_string()]);
+    t.row(vec!["numIO_close".to_string(), p.numio_close.to_string()]);
+    t.row(vec!["bk_read".to_string(), fmt_sizes(&p.read_sizes)]);
+    t.row(vec!["bk_write".to_string(), fmt_sizes(&p.write_sizes)]);
+    t.row(vec!["mode_read".to_string(), p.mode_read.to_string()]);
+    t.row(vec!["mode_write".to_string(), p.mode_write.to_string()]);
+    t.row(vec!["exec_time".to_string(), format!("{}", p.exec_time)]);
+    t.row(vec!["io_time".to_string(), format!("{}", p.io_time)]);
+    t.render()
+}
+
+/// Renders the paper's usage-table layout: one row per
+/// (configuration, variant), one column per I/O-path level.
+pub fn render_usage_matrix(
+    title: &str,
+    op: OpType,
+    reports: &[(&str, &str, &EvalReport)],
+) -> String {
+    let mut t = TextTable::new(vec![
+        "I/O configuration".to_string(),
+        "I/O Lib %".to_string(),
+        "NFS %".to_string(),
+        "Local FS %".to_string(),
+        "VARIANT".to_string(),
+    ]);
+    for (config, variant, report) in reports {
+        let cell = |level| {
+            report
+                .usage_summary(op, level)
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        t.row(vec![
+            config.to_string(),
+            cell(IoLevel::Library),
+            cell(IoLevel::GlobalFs),
+            cell(IoLevel::LocalFs),
+            variant.to_string(),
+        ]);
+    }
+    format!("=== {title} ({op} operations) ===\n{}", t.render())
+}
+
+/// Renders the representative rank's phase structure as a proportional
+/// text timeline — the information of the paper's Jumpshot screenshots
+/// (Figs. 8/16): `W` = write burst, `R` = read burst, `.` = computation /
+/// communication.
+pub fn render_phase_timeline(p: &AppProfile, width: usize) -> String {
+    use crate::trace::PhaseClass;
+    let width = width.max(10);
+    let total = p.exec_time.as_nanos().max(1);
+    let mut cells = vec![' '; width];
+    for burst in &p.phases.bursts {
+        let from = (burst.start.as_nanos() as u128 * width as u128 / total as u128) as usize;
+        let to = (burst.end.as_nanos() as u128 * width as u128 / total as u128) as usize;
+        let ch = match burst.class {
+            PhaseClass::Write => 'W',
+            PhaseClass::Read => 'R',
+            PhaseClass::NonIo => '.',
+        };
+        let from = from.min(width - 1);
+        let to = to.clamp(from + 1, width); // at least one cell, exclusive end
+        for cell in cells.iter_mut().take(to).skip(from) {
+            // I/O bursts paint over compute, not the other way round.
+            if *cell == ' ' || (*cell == '.' && ch != '.') {
+                *cell = ch;
+            }
+        }
+    }
+    let line: String = cells
+        .into_iter()
+        .map(|c| if c == ' ' { '.' } else { c })
+        .collect();
+    format!(
+        "|{line}| 0 .. {}\n(W = write burst, R = read burst, . = compute/comm)\n",
+        p.exec_time
+    )
+}
+
+/// Renders the run metrics the paper plots in Figs. 12/15/17/18.
+pub fn render_metrics(reports: &[(&str, &str, &EvalReport)]) -> String {
+    let mut t = TextTable::new(vec![
+        "config", "variant", "exec_time", "io_time", "io_frac", "write_rate", "read_rate",
+    ]);
+    for (config, variant, r) in reports {
+        t.row(vec![
+            config.to_string(),
+            variant.to_string(),
+            format!("{}", r.exec_time),
+            format!("{}", r.io_time),
+            format!("{:.1}%", r.io_fraction() * 100.0),
+            format!("{}", r.write_rate),
+            format!("{}", r.read_rate),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf_table::{AccessMode, AccessType, PerfRow};
+    use simcore::{Bandwidth, Time, MIB};
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let mut t = TextTable::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxx", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a      bbbb"));
+        assert!(lines[2].starts_with("xxxxx  y"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn perf_table_renders_rows() {
+        let mut table = PerfTable::new();
+        table.insert(PerfRow {
+            op: crate::perf_table::OpType::Write,
+            block: MIB,
+            access: AccessType::Global,
+            mode: AccessMode::Sequential,
+            rate: Bandwidth::from_mib_per_sec(100),
+            iops: 100.0,
+            latency: Time::from_millis(10),
+        });
+        let s = render_perf_table(&table);
+        assert!(s.contains("write"));
+        assert!(s.contains("1MiB"));
+        assert!(s.contains("100.00MiB/s"));
+        assert!(s.contains("sequential"));
+    }
+
+    #[test]
+    fn phase_timeline_is_proportional() {
+        use crate::trace::{Phase, PhaseClass, PhaseReport};
+        let p = AppProfile {
+            exec_time: Time::from_secs(100),
+            phases: PhaseReport {
+                bursts: vec![
+                    Phase {
+                        class: PhaseClass::Write,
+                        start: Time::ZERO,
+                        end: Time::from_secs(50),
+                        ops: 1,
+                        bytes: 1,
+                        marker: u32::MAX,
+                    },
+                    Phase {
+                        class: PhaseClass::Read,
+                        start: Time::from_secs(90),
+                        end: Time::from_secs(100),
+                        ops: 1,
+                        bytes: 1,
+                        marker: u32::MAX,
+                    },
+                ],
+            },
+            ..AppProfile::default()
+        };
+        let line = render_phase_timeline(&p, 20);
+        let bar: &str = line.split('|').nth(1).unwrap();
+        assert_eq!(bar.len(), 20);
+        let w = bar.chars().filter(|&c| c == 'W').count();
+        let r = bar.chars().filter(|&c| c == 'R').count();
+        assert!((9..=12).contains(&w), "write half: {bar}");
+        assert!((2..=4).contains(&r), "read tail: {bar}");
+        assert!(bar.contains('.'), "gap rendered: {bar}");
+    }
+
+    #[test]
+    fn app_profile_renders_parameters() {
+        let p = AppProfile {
+            procs: 16,
+            numio_write: 640,
+            write_sizes: vec![(1600, 320), (1640, 320)],
+            ..AppProfile::default()
+        };
+        let s = render_app_profile(&p);
+        assert!(s.contains("numProcs"));
+        assert!(s.contains("16"));
+        assert!(s.contains("640"));
+        assert!(s.contains("x320"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Trace export in the Chrome tracing format.
+//!
+//! The paper inspects application behaviour with Jumpshot over MPE logs
+//! (Figs. 8 and 16). The modern equivalent is the Chrome trace-event JSON
+//! consumed by `chrome://tracing` / [Perfetto](https://ui.perfetto.dev):
+//! one lane per rank, one slice per MPI/MPI-IO primitive, zoomable.
+//!
+//! [`ChromeTraceSink`] implements [`TraceSink`], so it can be attached to
+//! any run (alone or via `TeeSink` next to a profiling sink).
+
+use mpisim::{TraceEvent, TraceKind, TraceSink};
+
+/// Collects trace events and serializes them as a Chrome trace JSON array.
+///
+/// Events beyond `max_events` are dropped (and counted) so that pathological
+/// multi-million-op applications cannot exhaust memory; the truncation is
+/// reported in the trace metadata.
+pub struct ChromeTraceSink {
+    events: Vec<TraceEvent>,
+    max_events: usize,
+    dropped: u64,
+}
+
+impl ChromeTraceSink {
+    /// A sink holding at most `max_events` events.
+    pub fn new(max_events: usize) -> ChromeTraceSink {
+        ChromeTraceSink {
+            events: Vec::new(),
+            max_events,
+            dropped: 0,
+        }
+    }
+
+    /// Number of events dropped after the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn slice_name(kind: &TraceKind) -> String {
+        match kind {
+            TraceKind::Compute => "compute".into(),
+            TraceKind::Send { dst, bytes } => format!("send→{dst} ({bytes}B)"),
+            TraceKind::Recv { src } => format!("recv←{src}"),
+            TraceKind::Barrier => "barrier".into(),
+            TraceKind::Bcast { root, .. } => format!("bcast(root {root})"),
+            TraceKind::Allreduce { .. } => "allreduce".into(),
+            TraceKind::Wait => "waitall".into(),
+            TraceKind::Open { file, create } => {
+                format!("open {file}{}", if *create { " (create)" } else { "" })
+            }
+            TraceKind::Close { file } => format!("close {file}"),
+            TraceKind::Write {
+                file,
+                len,
+                collective,
+                ..
+            } => format!(
+                "write{} {file} {}",
+                if *collective { "_all" } else { "" },
+                simcore::fmt_bytes(*len)
+            ),
+            TraceKind::Read {
+                file,
+                len,
+                collective,
+                ..
+            } => format!(
+                "read{} {file} {}",
+                if *collective { "_all" } else { "" },
+                simcore::fmt_bytes(*len)
+            ),
+            TraceKind::Sync { file } => format!("sync {file}"),
+            TraceKind::Marker(id) => format!("marker {id}"),
+        }
+    }
+
+    fn category(kind: &TraceKind) -> &'static str {
+        if kind.is_io_data() {
+            "io"
+        } else if kind.is_comm() {
+            "comm"
+        } else if matches!(kind, TraceKind::Compute) {
+            "compute"
+        } else {
+            "meta"
+        }
+    }
+
+    /// Serializes the collected events as Chrome trace-event JSON.
+    pub fn to_json(&self) -> String {
+        let mut entries: Vec<serde_json::Value> = self
+            .events
+            .iter()
+            .filter(|ev| ev.end > ev.start || matches!(ev.kind, TraceKind::Marker(_)))
+            .map(|ev| {
+                serde_json::json!({
+                    "name": Self::slice_name(&ev.kind),
+                    "cat": Self::category(&ev.kind),
+                    "ph": "X",
+                    "ts": ev.start.as_micros_f64(),
+                    "dur": ev.duration().as_micros_f64(),
+                    "pid": 0,
+                    "tid": ev.rank,
+                })
+            })
+            .collect();
+        if self.dropped > 0 {
+            entries.push(serde_json::json!({
+                "name": format!("[{} events dropped past the cap]", self.dropped),
+                "cat": "meta",
+                "ph": "i",
+                "ts": 0.0,
+                "pid": 0,
+                "tid": 0,
+            }));
+        }
+        serde_json::to_string(&entries).expect("trace serializes")
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() >= self.max_events {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs::FileId;
+    use simcore::Time;
+
+    fn ev(rank: usize, t0: u64, t1: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            rank,
+            start: Time::from_micros(t0),
+            end: Time::from_micros(t1),
+            kind,
+        }
+    }
+
+    #[test]
+    fn exports_valid_json_with_one_slice_per_event() {
+        let mut sink = ChromeTraceSink::new(100);
+        sink.record(ev(0, 0, 10, TraceKind::Compute));
+        sink.record(ev(
+            1,
+            5,
+            9,
+            TraceKind::Write {
+                file: FileId(3),
+                offset: 0,
+                len: 4096,
+                collective: true,
+            },
+        ));
+        let json = sink.to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let arr = parsed.as_array().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0]["cat"], "compute");
+        assert_eq!(arr[1]["cat"], "io");
+        assert_eq!(arr[1]["tid"], 1);
+        assert_eq!(arr[1]["dur"], 4.0);
+        assert!(arr[1]["name"].as_str().unwrap().contains("write_all"));
+    }
+
+    #[test]
+    fn cap_drops_and_reports() {
+        let mut sink = ChromeTraceSink::new(2);
+        for i in 0..5u64 {
+            sink.record(ev(0, i, i + 1, TraceKind::Compute));
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        let json = sink.to_json();
+        assert!(json.contains("3 events dropped"));
+    }
+
+    #[test]
+    fn zero_duration_non_marker_events_are_skipped() {
+        let mut sink = ChromeTraceSink::new(10);
+        sink.record(ev(0, 5, 5, TraceKind::Barrier)); // zero duration
+        sink.record(ev(0, 5, 5, TraceKind::Marker(1))); // markers kept
+        let parsed: serde_json::Value = serde_json::from_str(&sink.to_json()).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn end_to_end_trace_of_a_small_run() {
+        use cluster::{presets, ClusterMachine, DeviceLayout, IoConfigBuilder};
+        use mpisim::Runtime;
+        use workloads::{BtClass, BtIo, BtSubtype};
+
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
+        let mut machine = ClusterMachine::new(&spec, &config);
+        let sc = BtIo::new(BtClass::S, 4, BtSubtype::Full)
+            .with_dumps(2)
+            .gflops(50.0)
+            .scenario();
+        let programs = sc.install(&mut machine);
+        let mut sink = ChromeTraceSink::new(100_000);
+        Runtime::default().run(&mut machine, &spec.placement(4), programs, &mut sink);
+        assert!(sink.len() > 100, "trace captured {} events", sink.len());
+        let parsed: serde_json::Value = serde_json::from_str(&sink.to_json()).unwrap();
+        let arr = parsed.as_array().unwrap();
+        // Four rank lanes present.
+        let lanes: std::collections::BTreeSet<u64> = arr
+            .iter()
+            .filter_map(|e| e["tid"].as_u64())
+            .collect();
+        assert_eq!(lanes.len(), 4);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests of the Fig. 11 search rule and usage arithmetic.
+
+use ioeval_core::perf_table::{AccessMode, AccessType, OpType, PerfRow, PerfTable};
+use proptest::prelude::*;
+use simcore::{Bandwidth, Time};
+
+fn table_from(blocks: &[u64]) -> PerfTable {
+    let mut t = PerfTable::new();
+    for &b in blocks {
+        t.insert(PerfRow {
+            op: OpType::Write,
+            block: b,
+            access: AccessType::Global,
+            mode: AccessMode::Sequential,
+            rate: Bandwidth::from_bytes_per_sec(b + 1), // distinct per block
+            iops: 1.0,
+            latency: Time::from_micros(1),
+        });
+    }
+    t
+}
+
+proptest! {
+    /// The Fig. 11 selection rule, verified against an oracle: below min →
+    /// min; above max → max; otherwise the smallest characterized block
+    /// that is ≥ the searched block.
+    #[test]
+    fn search_matches_fig11_oracle(
+        mut blocks in proptest::collection::btree_set(1u64..1_000_000, 1..20),
+        probe in 0u64..2_000_000,
+    ) {
+        let blocks: Vec<u64> = std::mem::take(&mut blocks).into_iter().collect();
+        let t = table_from(&blocks);
+        let found = t
+            .search(OpType::Write, probe, AccessType::Global, AccessMode::Sequential)
+            .expect("non-empty table always resolves");
+        let min = *blocks.first().unwrap();
+        let max = *blocks.last().unwrap();
+        let expected = if probe <= min {
+            min
+        } else if probe >= max {
+            max
+        } else {
+            *blocks.iter().find(|&&b| b >= probe).unwrap()
+        };
+        prop_assert_eq!(found.block, expected);
+    }
+
+    /// Insertion order never affects search results.
+    #[test]
+    fn insertion_order_is_irrelevant(
+        blocks in proptest::collection::btree_set(1u64..100_000, 2..15),
+        probe in 0u64..200_000,
+        seed in any::<u64>(),
+    ) {
+        let sorted: Vec<u64> = blocks.iter().copied().collect();
+        let mut shuffled = sorted.clone();
+        let mut rng = simcore::SplitMix64::new(seed);
+        rng.shuffle(&mut shuffled);
+        let a = table_from(&sorted);
+        let b = table_from(&shuffled);
+        let ra = a.search(OpType::Write, probe, AccessType::Global, AccessMode::Sequential);
+        let rb = b.search(OpType::Write, probe, AccessType::Global, AccessMode::Sequential);
+        prop_assert_eq!(ra.map(|r| r.block), rb.map(|r| r.block));
+    }
+
+    /// Reinserting a key replaces instead of duplicating: table size equals
+    /// the number of distinct keys.
+    #[test]
+    fn insert_is_idempotent_per_key(blocks in proptest::collection::vec(1u64..1000, 1..50)) {
+        let t = table_from(&blocks);
+        let distinct: std::collections::BTreeSet<u64> = blocks.iter().copied().collect();
+        prop_assert_eq!(t.len(), distinct.len());
+    }
+}

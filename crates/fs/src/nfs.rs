@@ -1,0 +1,754 @@
+//! An NFSv3-like network filesystem.
+//!
+//! * [`NfsServer`] — an I/O node: a daemon pool (`nfsd` threads) serving
+//!   RPCs on top of a [`LocalFs`] (which supplies the server page cache and
+//!   the RAID/JBOD device level below it).
+//! * [`NfsClient`] — one mount on a compute node: a client page cache with
+//!   write-behind (WRITE RPCs of `wsize` bytes, a bounded in-flight window
+//!   providing back-pressure), pipelined READ RPCs of `rsize` bytes with
+//!   readahead, close-to-open consistency (flush on close, cache
+//!   invalidation on open) and COMMIT on fsync.
+//!
+//! Client methods borrow the [`Network`] and the server explicitly — the
+//! cluster owns both and the simulation issues operations in global time
+//! order, which keeps every underlying timeline exact.
+
+use crate::file::FileId;
+use crate::local::{FsMeter, LocalFs};
+use crate::range_cache::{RangeCache, RangeRef};
+use netsim::{Network, NodeId, TrafficClass};
+use simcore::{Bandwidth, FifoResource, MultiResource, Time};
+use std::collections::{HashMap, VecDeque};
+
+/// NFS RPC header/trailer size on the wire.
+const RPC_HEADER: u64 = 136;
+/// Size of a reply that carries no data payload.
+const RPC_REPLY: u64 = 112;
+
+/// Server-side parameters.
+#[derive(Clone, Debug)]
+pub struct NfsServerParams {
+    /// Number of `nfsd` daemons (concurrent RPC executions).
+    pub daemons: usize,
+    /// CPU cost of decoding/dispatching one RPC.
+    pub rpc_overhead: Time,
+}
+
+impl Default for NfsServerParams {
+    fn default() -> Self {
+        NfsServerParams {
+            daemons: 8,
+            rpc_overhead: Time::from_micros(90),
+        }
+    }
+}
+
+/// An NFS server on an I/O node.
+pub struct NfsServer {
+    /// The cluster node hosting the server.
+    pub node: NodeId,
+    params: NfsServerParams,
+    fs: LocalFs,
+    pool: MultiResource,
+    /// The lock manager: `lockd` is a single daemon, so byte-range lock
+    /// traffic from all clients serializes here — the choke point that
+    /// strangles fine-grained MPI-IO on NFS.
+    lockd: FifoResource,
+    rpcs: u64,
+}
+
+impl NfsServer {
+    /// Exports `fs` from `node`.
+    pub fn new(node: NodeId, params: NfsServerParams, fs: LocalFs) -> NfsServer {
+        let pool = MultiResource::new(params.daemons);
+        NfsServer {
+            node,
+            params,
+            fs,
+            pool,
+            lockd: FifoResource::new(),
+            rpcs: 0,
+        }
+    }
+
+    /// The exported filesystem (for meters and direct characterization).
+    pub fn fs(&self) -> &LocalFs {
+        &self.fs
+    }
+
+    /// Mutable access to the exported filesystem.
+    pub fn fs_mut(&mut self) -> &mut LocalFs {
+        &mut self.fs
+    }
+
+    /// RPCs served.
+    pub fn rpcs(&self) -> u64 {
+        self.rpcs
+    }
+
+    fn dispatch(&mut self, arrival: Time) -> Time {
+        self.rpcs += 1;
+        self.pool.submit(arrival, self.params.rpc_overhead).end
+    }
+
+    /// Serves a WRITE RPC; returns when the reply may be sent.
+    pub fn serve_write(&mut self, arrival: Time, file: FileId, offset: u64, len: u64) -> Time {
+        let t = self.dispatch(arrival);
+        self.fs.write(t, file, offset, len)
+    }
+
+    /// Serves a READ RPC; returns when the data is ready to send back.
+    pub fn serve_read(&mut self, arrival: Time, file: FileId, offset: u64, len: u64) -> Time {
+        let t = self.dispatch(arrival);
+        self.fs.read(t, file, offset, len)
+    }
+
+    /// Serves a metadata RPC (LOOKUP/CREATE/GETATTR/...).
+    pub fn serve_meta(&mut self, arrival: Time, file: FileId, create: bool) -> Time {
+        let t = self.dispatch(arrival);
+        if create {
+            self.fs.create(t, file)
+        } else {
+            self.fs.open(t, file)
+        }
+    }
+
+    /// Serves a COMMIT RPC: makes `file` durable on the server.
+    pub fn serve_commit(&mut self, arrival: Time, file: FileId) -> Time {
+        let t = self.dispatch(arrival);
+        self.fs.fsync(t, file)
+    }
+
+    /// Serves a lock/unlock-class RPC. The lock manager (`lockd`) is its
+    /// own *single-threaded* daemon with its own queue: it does not contend
+    /// on the `nfsd` pool, but concurrent clients serialize on it — with
+    /// millions of fine-grained locked operations this is the bottleneck
+    /// (the BT-IO *simple* pathology).
+    pub fn serve_null(&mut self, arrival: Time) -> Time {
+        self.rpcs += 1;
+        self.lockd.submit(arrival, self.params.rpc_overhead).end
+    }
+}
+
+/// Client-side (mount) parameters.
+#[derive(Clone, Debug)]
+pub struct NfsClientParams {
+    /// READ RPC payload size.
+    pub rsize: u64,
+    /// WRITE RPC payload size.
+    pub wsize: u64,
+    /// Maximum outstanding RPCs per client (write-behind / readahead window).
+    pub max_inflight: usize,
+    /// Client page-cache capacity.
+    pub cache_capacity: u64,
+    /// Dirty bytes beyond which the writer throttles.
+    pub dirty_limit: u64,
+    /// Dirty level the flusher drains to.
+    pub dirty_background: u64,
+    /// Client memory-copy bandwidth.
+    pub mem_bw: Bandwidth,
+    /// Sequential readahead window.
+    pub readahead: u64,
+    /// Flush dirty data on close (close-to-open consistency).
+    pub close_to_open: bool,
+}
+
+impl NfsClientParams {
+    /// A typical Linux NFSv3 mount of the paper's era on a node with `ram`
+    /// bytes of memory (rsize/wsize 32 KiB, 16 slot RPC table).
+    pub fn linux_default(ram: u64) -> NfsClientParams {
+        let cache = ram / 10 * 8;
+        NfsClientParams {
+            rsize: 32 * 1024,
+            wsize: 32 * 1024,
+            max_inflight: 16,
+            cache_capacity: cache,
+            dirty_limit: cache / 5,
+            dirty_background: cache / 10,
+            mem_bw: Bandwidth::from_mib_per_sec(1600),
+            readahead: 512 * 1024,
+            close_to_open: true,
+        }
+    }
+}
+
+/// One NFS mount on a compute node.
+pub struct NfsClient {
+    /// The cluster node this mount lives on.
+    pub node: NodeId,
+    params: NfsClientParams,
+    cache: RangeCache,
+    inflight: VecDeque<Time>,
+    last_read_end: HashMap<FileId, u64>,
+    meter: FsMeter,
+}
+
+impl NfsClient {
+    /// Mounts the export on `node`.
+    pub fn new(node: NodeId, params: NfsClientParams) -> NfsClient {
+        let cache = RangeCache::new(params.cache_capacity);
+        NfsClient {
+            node,
+            params,
+            cache,
+            inflight: VecDeque::new(),
+            last_read_end: HashMap::new(),
+            meter: FsMeter::default(),
+        }
+    }
+
+    /// Client-observed transfer statistics.
+    pub fn meter(&self) -> &FsMeter {
+        &self.meter
+    }
+
+    /// Diagnostic view of the client page cache: (used, dirty, segments).
+    pub fn cache_stats(&self) -> (u64, u64, usize) {
+        (self.cache.used(), self.cache.dirty(), self.cache.segments())
+    }
+
+    /// Client mount parameters.
+    pub fn params(&self) -> &NfsClientParams {
+        &self.params
+    }
+
+    /// Waits for a window slot if the RPC table is full; returns the
+    /// earliest instant a new RPC may be issued at or after `now`.
+    fn window_gate(&mut self, now: Time) -> Time {
+        while self.inflight.front().is_some_and(|&t| t <= now) {
+            self.inflight.pop_front();
+        }
+        if self.inflight.len() >= self.params.max_inflight {
+            let t = self.inflight.pop_front().expect("nonempty");
+            t.max(now)
+        } else {
+            now
+        }
+    }
+
+    /// Issues one WRITE RPC (asynchronously); returns the instant the
+    /// client may continue issuing.
+    fn rpc_write(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Time {
+        let t_issue = self.window_gate(now);
+        let arrive = net.send(
+            t_issue,
+            self.node,
+            srv.node,
+            len + RPC_HEADER,
+            TrafficClass::Storage,
+        );
+        let ready = srv.serve_write(arrive, file, offset, len);
+        let reply = net.send(ready, srv.node, self.node, RPC_REPLY, TrafficClass::Storage);
+        self.inflight.push_back(reply);
+        t_issue
+    }
+
+    /// Issues one READ RPC; returns the instant the data is at the client.
+    fn rpc_read(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Time {
+        let t_issue = self.window_gate(now);
+        let arrive = net.send(t_issue, self.node, srv.node, RPC_HEADER, TrafficClass::Storage);
+        let ready = srv.serve_read(arrive, file, offset, len);
+        let reply = net.send(
+            ready,
+            srv.node,
+            self.node,
+            len + RPC_REPLY,
+            TrafficClass::Storage,
+        );
+        self.inflight.push_back(reply);
+        reply
+    }
+
+    /// Streams `ranges` to the server as WRITE RPCs; returns the instant
+    /// the last RPC was *issued* (write-behind, window-gated).
+    fn flush_ranges(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+        ranges: &[RangeRef],
+    ) -> Time {
+        let mut t = now;
+        for r in ranges {
+            let mut pos = r.start;
+            while pos < r.end {
+                let take = self.params.wsize.min(r.end - pos);
+                t = self.rpc_write(net, srv, t, r.file, pos, take);
+                pos += take;
+            }
+            self.cache.mark_clean(r.file, r.start, r.end);
+        }
+        t
+    }
+
+    /// Waits for every outstanding RPC; returns the drain instant.
+    fn drain_inflight(&mut self, now: Time) -> Time {
+        let t = self
+            .inflight
+            .iter()
+            .copied()
+            .fold(now, |a, b| a.max(b));
+        self.inflight.clear();
+        t
+    }
+
+    /// Creates (or opens) a file over the mount.
+    pub fn open(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+        file: FileId,
+        create: bool,
+    ) -> Time {
+        // Close-to-open consistency: revalidate by dropping cached pages of
+        // this file so reads observe other clients' writes.
+        self.cache.drop_file(file);
+        self.last_read_end.remove(&file);
+        let arrive = net.send(now, self.node, srv.node, RPC_HEADER, TrafficClass::Storage);
+        let ready = srv.serve_meta(arrive, file, create);
+        let reply = net.send(ready, srv.node, self.node, RPC_REPLY, TrafficClass::Storage);
+        self.meter.meta_ops += 1;
+        reply
+    }
+
+    /// Writes through the mount; returns when the caller may continue.
+    pub fn write(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Time {
+        assert!(len > 0, "zero-length write");
+        let mut t = now;
+
+        let evicted = self.cache.ensure_room(len.min(self.cache.capacity()));
+        if !evicted.is_empty() {
+            // Evicted dirty pages must be on the wire before we can reuse
+            // their memory; mark_clean is a no-op for detached ranges.
+            for r in &evicted {
+                let mut pos = r.start;
+                while pos < r.end {
+                    let take = self.params.wsize.min(r.end - pos);
+                    t = self.rpc_write(net, srv, t, r.file, pos, take);
+                    pos += take;
+                }
+            }
+        }
+
+        t += self.params.mem_bw.time_for(len);
+        self.cache.insert(file, offset, offset + len, true);
+
+        if self.cache.dirty() > self.params.dirty_limit {
+            let excess = self.cache.dirty() - self.params.dirty_background;
+            let ranges = self.cache.dirty_ranges(excess);
+            t = self.flush_ranges(net, srv, t, &ranges);
+        }
+
+        self.meter.writes.record(len, t - now);
+        t
+    }
+
+    /// Reads through the mount; returns when the data is at the caller.
+    pub fn read(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Time {
+        assert!(len > 0, "zero-length read");
+        let end = offset + len;
+        let (_hits, mut misses) = self.cache.lookup(file, offset, end);
+
+        let sequential = self.last_read_end.get(&file) == Some(&offset);
+        if sequential && self.params.readahead > 0 {
+            if let Some(last) = misses.last_mut() {
+                if last.end == end {
+                    last.end += self.params.readahead;
+                }
+            }
+        }
+        self.last_read_end.insert(file, end);
+
+        let mut data_ready = now;
+        let miss_list = misses.clone();
+        for m in &miss_list {
+            let evicted = self.cache.ensure_room(m.len().min(self.cache.capacity()));
+            let mut t = now;
+            for r in &evicted {
+                let mut pos = r.start;
+                while pos < r.end {
+                    let take = self.params.wsize.min(r.end - pos);
+                    t = self.rpc_write(net, srv, t, r.file, pos, take);
+                    pos += take;
+                }
+            }
+            let mut pos = m.start;
+            while pos < m.end {
+                let take = self.params.rsize.min(m.end - pos);
+                let ready = self.rpc_read(net, srv, t.max(now), m.file, pos, take);
+                // Only chunks inside the requested range gate completion;
+                // readahead beyond `end` is speculative.
+                if pos < end {
+                    data_ready = data_ready.max(ready);
+                }
+                pos += take;
+            }
+            self.cache.insert(m.file, m.start, m.end, false);
+        }
+
+        let t = data_ready + self.params.mem_bw.time_for(len);
+        self.meter.reads.record(len, t - now);
+        t
+    }
+
+    /// `fsync`: flushes dirty data, waits for the window, COMMITs.
+    pub fn fsync(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+        file: FileId,
+    ) -> Time {
+        let ranges = self.cache.dirty_ranges_of(file);
+        let t = self.flush_ranges(net, srv, now, &ranges);
+        let t = self.drain_inflight(t);
+        let arrive = net.send(t, self.node, srv.node, RPC_HEADER, TrafficClass::Storage);
+        let ready = srv.serve_commit(arrive, file);
+        net.send(ready, srv.node, self.node, RPC_REPLY, TrafficClass::Storage)
+    }
+
+    /// The byte-range-lock + attribute-revalidation round trips ROMIO
+    /// performs around every MPI-IO data operation on NFS (`noac` mounts
+    /// with `fcntl` locking). Two sequential small RPCs.
+    ///
+    /// Lock manager traffic travels on its own connection (NLM/lockd) and
+    /// its frames are tiny, so switch fair queuing keeps it from waiting
+    /// behind other hosts' bulk transfers: the wire cost is plain
+    /// propagation+stack latency, while the *server dispatch* still
+    /// contends on the daemon pool (the real choke point at scale).
+    pub fn lock_roundtrips(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+    ) -> Time {
+        let p = net.fabric(TrafficClass::Storage).params();
+        let hop = p.per_msg_overhead + p.link.latency;
+        let mut t = self.window_gate(now);
+        for _ in 0..2 {
+            let arrive = t + hop;
+            let ready = srv.serve_null(arrive);
+            t = ready + hop;
+        }
+        t
+    }
+
+    /// Synchronous write-through — the discipline ROMIO imposes for MPI-IO
+    /// on NFS (no write-behind; data must be visible at the server when the
+    /// call returns): the data is shipped as `wsize` RPCs and the call
+    /// returns only when every RPC has been answered. Like a write-through
+    /// cache, the written range is left *clean* in the client page cache,
+    /// so the process's own re-reads can hit locally — the buffer/cache
+    /// effect behind the paper's >100% read-usage cells.
+    pub fn write_direct(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Time {
+        assert!(len > 0, "zero-length write");
+        let mut t = now;
+        // Make room for the write-through fill; dirty evictions (possible
+        // when a cached mount shares this client) must be on the wire.
+        let evicted = self.cache.ensure_room(len.min(self.cache.capacity()));
+        for r in &evicted {
+            let mut pos = r.start;
+            while pos < r.end {
+                let take = self.params.wsize.min(r.end - pos);
+                t = self.rpc_write(net, srv, t, r.file, pos, take);
+                pos += take;
+            }
+        }
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let take = self.params.wsize.min(end - pos);
+            t = self.rpc_write(net, srv, t, file, pos, take);
+            pos += take;
+        }
+        let t = self.drain_inflight(t);
+        self.cache.insert(file, offset, end, false);
+        self.meter.writes.record(len, t - now);
+        t
+    }
+
+    /// Flushes every dirty page and drops the whole client cache (used
+    /// between characterization runs, like `drop_caches` on a real client).
+    pub fn drop_caches(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+    ) -> Time {
+        let ranges = self.cache.dirty_ranges(u64::MAX);
+        let t = self.flush_ranges(net, srv, now, &ranges);
+        let t = self.drain_inflight(t);
+        let evicted = self.cache.ensure_room(self.cache.capacity());
+        debug_assert!(evicted.is_empty(), "flush left dirty pages behind");
+        self.last_read_end.clear();
+        t
+    }
+
+    /// Closes the file; with close-to-open semantics this flushes first.
+    pub fn close(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+        file: FileId,
+    ) -> Time {
+        self.meter.meta_ops += 1;
+        if self.params.close_to_open {
+            self.fsync(net, srv, now, file)
+        } else {
+            let arrive = net.send(now, self.node, srv.node, RPC_HEADER, TrafficClass::Storage);
+            let ready = srv.serve_meta(arrive, file, false);
+            net.send(ready, srv.node, self.node, RPC_REPLY, TrafficClass::Storage)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalFsParams;
+    use netsim::FabricParams;
+    use simcore::{GIB, MIB};
+    use storage::{Disk, DiskParams, Jbod};
+
+    const F: FileId = FileId(1);
+
+    struct Rig {
+        net: Network,
+        srv: NfsServer,
+        client: NfsClient,
+    }
+
+    fn rig() -> Rig {
+        // Node 0: client; node 1: server.
+        let net = Network::split(2, FabricParams::gigabit_ethernet());
+        let disk = Disk::new(DiskParams::sata_7200(230, 72), 42);
+        let fs = LocalFs::new(LocalFsParams::ext4(2 * GIB), Box::new(Jbod::new(disk)));
+        let srv = NfsServer::new(1, NfsServerParams::default(), fs);
+        let client = NfsClient::new(0, NfsClientParams::linux_default(2 * GIB));
+        Rig { net, srv, client }
+    }
+
+    #[test]
+    fn open_write_close_makes_data_durable_on_server() {
+        let mut r = rig();
+        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+        let t = r.client.write(&mut r.net, &mut r.srv, t, F, 0, 8 * MIB);
+        let t = r.client.close(&mut r.net, &mut r.srv, t, F);
+        assert!(t > Time::ZERO);
+        assert_eq!(r.srv.fs().file_size(F), 8 * MIB);
+        assert_eq!(r.srv.fs().dirty_bytes(), 0, "close commits on the server");
+    }
+
+    #[test]
+    fn small_cached_writes_are_fast_until_flush() {
+        let mut r = rig();
+        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+        let start = t;
+        let mut now = t;
+        for i in 0..64u64 {
+            now = r.client.write(&mut r.net, &mut r.srv, now, F, i * MIB, MIB);
+        }
+        let rate = Bandwidth::measured(64 * MIB, now - start).as_mib_per_sec();
+        assert!(rate > 400.0, "client-cached writes at {rate} MiB/s");
+    }
+
+    #[test]
+    fn sustained_write_is_bounded_by_wire_and_disk() {
+        let mut r = rig();
+        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+        let start = t;
+        let mut now = t;
+        let total = 4 * GIB; // 2× client RAM
+        let mut off = 0;
+        while off < total {
+            now = r.client.write(&mut r.net, &mut r.srv, now, F, off, 4 * MIB);
+            off += 4 * MIB;
+        }
+        now = r.client.fsync(&mut r.net, &mut r.srv, now, F);
+        let rate = Bandwidth::measured(total, now - start).as_mib_per_sec();
+        // GigE wire ≈ 112 MiB/s; server disk ≈ 68 MiB/s → disk bound.
+        assert!(rate < 112.0, "NFS write rate {rate} cannot beat the wire");
+        assert!(rate > 35.0, "NFS write rate {rate} collapsed");
+    }
+
+    #[test]
+    fn cold_sequential_read_streams_near_bottleneck() {
+        let mut r = rig();
+        r.srv.fs_mut().preallocate(F, 2 * GIB);
+        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, false);
+        let mut now = t;
+        let start = t;
+        let total = GIB;
+        let mut off = 0;
+        while off < total {
+            now = r.client.read(&mut r.net, &mut r.srv, now, F, off, MIB);
+            off += MIB;
+        }
+        let rate = Bandwidth::measured(total, now - start).as_mib_per_sec();
+        // Bounded by server disk (~72 MiB/s); pipelining must keep us near it.
+        assert!(rate > 35.0 && rate < 112.0, "NFS cold read at {rate} MiB/s");
+    }
+
+    #[test]
+    fn client_cache_serves_rereads_at_memory_speed() {
+        let mut r = rig();
+        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+        let mut now = r.client.write(&mut r.net, &mut r.srv, t, F, 0, 64 * MIB);
+        let start = now;
+        now = r.client.read(&mut r.net, &mut r.srv, now, F, 0, 64 * MIB);
+        let rate = Bandwidth::measured(64 * MIB, now - start).as_mib_per_sec();
+        assert!(rate > 500.0, "client cache re-read at {rate} MiB/s");
+    }
+
+    #[test]
+    fn reopen_invalidates_client_cache() {
+        let mut r = rig();
+        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+        let t = r.client.write(&mut r.net, &mut r.srv, t, F, 0, 8 * MIB);
+        let t = r.client.close(&mut r.net, &mut r.srv, t, F);
+        let t = r.client.open(&mut r.net, &mut r.srv, t, F, false);
+        let start = t;
+        let t_end = r.client.read(&mut r.net, &mut r.srv, t, F, 0, 8 * MIB);
+        let rate = Bandwidth::measured(8 * MIB, t_end - start).as_mib_per_sec();
+        // Must traverse the network again (≤ wire), not the client cache.
+        assert!(rate < 150.0, "post-reopen read at {rate} MiB/s bypassed CTO");
+    }
+
+    #[test]
+    fn two_clients_share_one_file_through_server() {
+        let mut net = Network::split(3, FabricParams::gigabit_ethernet());
+        let disk = Disk::new(DiskParams::sata_7200(230, 72), 42);
+        let fs = LocalFs::new(LocalFsParams::ext4(2 * GIB), Box::new(Jbod::new(disk)));
+        let mut srv = NfsServer::new(2, NfsServerParams::default(), fs);
+        let mut c0 = NfsClient::new(0, NfsClientParams::linux_default(2 * GIB));
+        let mut c1 = NfsClient::new(1, NfsClientParams::linux_default(2 * GIB));
+
+        let t0 = c0.open(&mut net, &mut srv, Time::ZERO, F, true);
+        let t1 = c1.open(&mut net, &mut srv, Time::ZERO, F, false);
+        let t0 = c0.write(&mut net, &mut srv, t0, F, 0, 4 * MIB);
+        let t1 = c1.write(&mut net, &mut srv, t1, F, 4 * MIB, 4 * MIB);
+        let t0 = c0.close(&mut net, &mut srv, t0, F);
+        let t1 = c1.close(&mut net, &mut srv, t1, F);
+        assert_eq!(srv.fs().file_size(F), 8 * MIB);
+
+        // Client 0 re-opens and reads client 1's half through the server.
+        let t = c0.open(&mut net, &mut srv, t0.max(t1), F, false);
+        let t_end = c0.read(&mut net, &mut srv, t, F, 4 * MIB, 4 * MIB);
+        assert!(t_end > t);
+    }
+
+    #[test]
+    fn rpc_window_limits_inflight() {
+        let mut r = rig();
+        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+        // Force flushing by writing beyond the dirty limit in one burst.
+        let mut now = t;
+        let total = r.client.params().dirty_limit + 64 * MIB;
+        let mut off = 0;
+        while off < total {
+            now = r.client.write(&mut r.net, &mut r.srv, now, F, off, 4 * MIB);
+            off += 4 * MIB;
+        }
+        assert!(
+            r.client.inflight.len() <= r.client.params().max_inflight,
+            "window exceeded: {}",
+            r.client.inflight.len()
+        );
+    }
+
+    #[test]
+    fn write_direct_is_synchronous_and_fills_cache() {
+        let mut r = rig();
+        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+        let start = t;
+        let t = r
+            .client
+            .write_direct(&mut r.net, &mut r.srv, t, F, 0, 64 * MIB);
+        // Synchronous: bounded by the wire (112 MiB/s), no write-behind.
+        let rate = Bandwidth::measured(64 * MIB, t - start).as_mib_per_sec();
+        assert!(rate < 112.0, "direct write at {rate} beat the wire");
+        assert!(rate > 40.0, "direct write at {rate} collapsed");
+        // The server saw everything already (no dirty client state).
+        assert_eq!(r.srv.fs().file_size(F), 64 * MIB);
+        let (used, dirty, _) = r.client.cache_stats();
+        assert_eq!(used, 64 * MIB, "write-through fill");
+        assert_eq!(dirty, 0, "write-through leaves nothing dirty");
+        // Re-read hits the client cache at memory speed.
+        let t2 = r.client.read(&mut r.net, &mut r.srv, t, F, 0, 64 * MIB);
+        let reread = Bandwidth::measured(64 * MIB, t2 - t).as_mib_per_sec();
+        assert!(reread > 500.0, "re-read after write-through at {reread}");
+    }
+
+    #[test]
+    fn lock_roundtrips_cost_is_small_and_serializes_on_lockd() {
+        let mut r = rig();
+        let t1 = r.client.lock_roundtrips(&mut r.net, &mut r.srv, Time::ZERO);
+        // Two round trips of ~(100us + 90us + 100us).
+        assert!(t1 > Time::from_micros(400) && t1 < Time::from_millis(2));
+        // A second client's locks queue behind the first on lockd.
+        let mut c2 = NfsClient::new(0, NfsClientParams::linux_default(2 * GIB));
+        let t2 = c2.lock_roundtrips(&mut r.net, &mut r.srv, Time::ZERO);
+        assert!(t2 > t1, "lockd must serialize concurrent lock traffic");
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let run = || {
+            let mut r = rig();
+            let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+            let mut now = t;
+            for i in 0..256u64 {
+                now = r.client.write(&mut r.net, &mut r.srv, now, F, i * MIB, MIB);
+            }
+            let now = r.client.fsync(&mut r.net, &mut r.srv, now, F);
+            let mut t = r.client.open(&mut r.net, &mut r.srv, now, F, false);
+            for i in 0..256u64 {
+                t = r.client.read(&mut r.net, &mut r.srv, t, F, i * MIB, MIB);
+            }
+            t
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,651 @@
+//! A byte-accurate LRU cache of file ranges with clean/dirty state.
+//!
+//! The Linux page cache tracks 4 KiB pages; tracking *byte ranges* instead
+//! keeps the model exact for sub-page operations while using memory
+//! proportional to the number of distinct extents, not the number of pages.
+//! Sequential streams coalesce into single segments; strided small writes
+//! stay separate — both exactly what the costing needs.
+//!
+//! Invariants (property-tested):
+//! * segments of a file never overlap;
+//! * adjacent segments with equal dirty state are merged;
+//! * `used()` equals the summed length of all segments and never exceeds
+//!   capacity after [`RangeCache::ensure_room`];
+//! * every segment is indexed by a unique LRU stamp.
+
+use crate::file::FileId;
+use std::collections::{BTreeMap, HashMap};
+
+/// A cached byte range of some file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Seg {
+    end: u64,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// A (file, start, end) triple returned by flush/evict operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RangeRef {
+    /// Owning file.
+    pub file: FileId,
+    /// Inclusive start offset.
+    pub start: u64,
+    /// Exclusive end offset.
+    pub end: u64,
+}
+
+impl RangeRef {
+    /// Range length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// LRU cache of byte ranges; see the module docs.
+#[derive(Clone, Debug)]
+pub struct RangeCache {
+    capacity: u64,
+    used: u64,
+    dirty: u64,
+    next_stamp: u64,
+    files: HashMap<u64, BTreeMap<u64, Seg>>,
+    lru: BTreeMap<u64, (u64, u64)>,
+}
+
+impl RangeCache {
+    /// A cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> RangeCache {
+        RangeCache {
+            capacity,
+            used: 0,
+            dirty: 0,
+            next_stamp: 0,
+            files: HashMap::new(),
+            lru: BTreeMap::new(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently dirty.
+    pub fn dirty(&self) -> u64 {
+        self.dirty
+    }
+
+    fn stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    /// Removes the segment starting at `start` from all indexes.
+    fn detach(&mut self, file: u64, start: u64) -> Seg {
+        let seg = self
+            .files
+            .get_mut(&file)
+            .and_then(|m| m.remove(&start))
+            .expect("detach of unknown segment");
+        self.lru.remove(&seg.stamp);
+        self.used -= seg.end - start;
+        if seg.dirty {
+            self.dirty -= seg.end - start;
+        }
+        seg
+    }
+
+    /// Adds a segment to all indexes (no overlap/merge handling).
+    fn attach(&mut self, file: u64, start: u64, seg: Seg) {
+        debug_assert!(seg.end > start);
+        self.used += seg.end - start;
+        if seg.dirty {
+            self.dirty += seg.end - start;
+        }
+        self.lru.insert(seg.stamp, (file, start));
+        self.files.entry(file).or_default().insert(start, seg);
+    }
+
+    /// Segments of `file` overlapping `[start, end)`.
+    fn overlapping(&self, file: u64, start: u64, end: u64) -> Vec<(u64, Seg)> {
+        let Some(map) = self.files.get(&file) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        // The predecessor segment may extend into [start, end).
+        if let Some((&s, seg)) = map.range(..start).next_back() {
+            if seg.end > start {
+                out.push((s, *seg));
+            }
+        }
+        for (&s, seg) in map.range(start..end) {
+            out.push((s, *seg));
+        }
+        out
+    }
+
+    /// Removes `[start, end)` from the cache, keeping remnants of partially
+    /// overlapped segments. Returns the number of previously-dirty bytes
+    /// that were punched out (callers deciding to *discard* dirty data —
+    /// only `insert(dirty=true)` over dirty data does — rely on this).
+    fn punch(&mut self, file: u64, start: u64, end: u64) -> u64 {
+        let mut lost_dirty = 0;
+        for (s, seg) in self.overlapping(file, start, end) {
+            let seg = {
+                self.detach(file, s);
+                seg
+            };
+            let cut_from = s.max(start);
+            let cut_to = seg.end.min(end);
+            if seg.dirty {
+                lost_dirty += cut_to - cut_from;
+            }
+            if s < start {
+                // Left remnant keeps the original stamp.
+                self.attach(
+                    file,
+                    s,
+                    Seg {
+                        end: start,
+                        dirty: seg.dirty,
+                        stamp: seg.stamp,
+                    },
+                );
+            }
+            if seg.end > end {
+                // Right remnant needs a fresh stamp (one stamp per segment).
+                let stamp = self.stamp();
+                self.attach(
+                    file,
+                    end,
+                    Seg {
+                        end: seg.end,
+                        dirty: seg.dirty,
+                        stamp,
+                    },
+                );
+            }
+        }
+        lost_dirty
+    }
+
+    /// Merges the segment at `start` with adjacent same-state neighbours.
+    fn coalesce(&mut self, file: u64, mut start: u64) {
+        let map = self.files.get(&file).expect("coalesce on unknown file");
+        let seg = *map.get(&start).expect("coalesce on unknown segment");
+        // Merge with predecessor.
+        if let Some((ps, pseg)) = self
+            .files
+            .get(&file)
+            .and_then(|m| m.range(..start).next_back().map(|(a, b)| (*a, *b)))
+        {
+            if pseg.end == start && pseg.dirty == seg.dirty {
+                self.detach(file, ps);
+                let seg = self.detach(file, start);
+                let stamp = self.stamp();
+                self.attach(
+                    file,
+                    ps,
+                    Seg {
+                        end: seg.end,
+                        dirty: seg.dirty,
+                        stamp,
+                    },
+                );
+                start = ps;
+            }
+        }
+        // Merge with successor.
+        let seg = *self
+            .files
+            .get(&file)
+            .and_then(|m| m.get(&start))
+            .expect("segment vanished during coalesce");
+        if let Some((ns, nseg)) = self
+            .files
+            .get(&file)
+            .and_then(|m| m.range(start + 1..).next().map(|(a, b)| (*a, *b)))
+        {
+            if seg.end == ns && nseg.dirty == seg.dirty {
+                let nseg = self.detach(file, ns);
+                self.detach(file, start);
+                let stamp = self.stamp();
+                self.attach(
+                    file,
+                    start,
+                    Seg {
+                        end: nseg.end,
+                        dirty: seg.dirty,
+                        stamp,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Inserts `[start, end)` of `file` with the given dirty state,
+    /// replacing any overlapped content. Returns the number of dirty bytes
+    /// that were overwritten (nonzero only when rewriting dirty data).
+    pub fn insert(&mut self, file: FileId, start: u64, end: u64, dirty: bool) -> u64 {
+        assert!(end > start, "empty insert");
+        let lost = self.punch(file.0, start, end);
+        let stamp = self.stamp();
+        self.attach(
+            file.0,
+            start,
+            Seg {
+                end,
+                dirty,
+                stamp,
+            },
+        );
+        self.coalesce(file.0, start);
+        lost
+    }
+
+    /// Splits `[start, end)` of `file` into cached and missing subranges.
+    /// Cached segments are touched (made most-recently-used). The returned
+    /// lists are offset-sorted and disjoint; together they cover the range.
+    pub fn lookup(&mut self, file: FileId, start: u64, end: u64) -> (Vec<RangeRef>, Vec<RangeRef>) {
+        assert!(end > start, "empty lookup");
+        let mut hits = Vec::new();
+        let mut misses = Vec::new();
+        let mut pos = start;
+        let overlaps = self.overlapping(file.0, start, end);
+        for (s, seg) in overlaps {
+            let h_from = s.max(start);
+            let h_to = seg.end.min(end);
+            if h_from > pos {
+                misses.push(RangeRef {
+                    file,
+                    start: pos,
+                    end: h_from,
+                });
+            }
+            hits.push(RangeRef {
+                file,
+                start: h_from,
+                end: h_to,
+            });
+            pos = h_to;
+            // Refresh LRU stamp.
+            let mut seg = self.detach(file.0, s);
+            seg.stamp = self.stamp();
+            self.attach(file.0, s, seg);
+        }
+        if pos < end {
+            misses.push(RangeRef {
+                file,
+                start: pos,
+                end,
+            });
+        }
+        (hits, misses)
+    }
+
+    /// Marks `[start, end)` clean where cached (after a successful
+    /// writeback). Leaves LRU order unchanged.
+    pub fn mark_clean(&mut self, file: FileId, start: u64, end: u64) {
+        for (s, seg) in self.overlapping(file.0, start, end) {
+            if !seg.dirty {
+                continue;
+            }
+            let from = s.max(start);
+            let to = seg.end.min(end);
+            self.detach(file.0, s);
+            if s < from {
+                self.attach(
+                    file.0,
+                    s,
+                    Seg {
+                        end: from,
+                        dirty: true,
+                        stamp: seg.stamp,
+                    },
+                );
+            }
+            let stamp = self.stamp();
+            self.attach(
+                file.0,
+                from,
+                Seg {
+                    end: to,
+                    dirty: false,
+                    stamp,
+                },
+            );
+            if seg.end > to {
+                let stamp = self.stamp();
+                self.attach(
+                    file.0,
+                    to,
+                    Seg {
+                        end: seg.end,
+                        dirty: true,
+                        stamp,
+                    },
+                );
+            }
+            self.coalesce(file.0, from);
+        }
+    }
+
+    /// Collects up to `max_bytes` of dirty ranges in LRU order, expanding
+    /// each pick to its whole file's offset-ordered dirty set for sequential
+    /// writeback (what the flusher threads do). Ranges stay dirty until
+    /// [`Self::mark_clean`]. Returns offset-sorted ranges per pass.
+    pub fn dirty_ranges(&self, max_bytes: u64) -> Vec<RangeRef> {
+        let mut out = Vec::new();
+        let mut budget = max_bytes;
+        let mut files_seen = Vec::new();
+        for &(file, _) in self.lru.values() {
+            if budget == 0 {
+                break;
+            }
+            if files_seen.contains(&file) {
+                continue;
+            }
+            files_seen.push(file);
+            let Some(map) = self.files.get(&file) else {
+                continue;
+            };
+            for (&s, seg) in map.iter() {
+                if !seg.dirty {
+                    continue;
+                }
+                let len = seg.end - s;
+                out.push(RangeRef {
+                    file: FileId(file),
+                    start: s,
+                    end: seg.end,
+                });
+                budget = budget.saturating_sub(len);
+                if budget == 0 {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// All dirty ranges of `file`, offset-sorted.
+    pub fn dirty_ranges_of(&self, file: FileId) -> Vec<RangeRef> {
+        self.files
+            .get(&file.0)
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, seg)| seg.dirty)
+                    .map(|(&s, seg)| RangeRef {
+                        file,
+                        start: s,
+                        end: seg.end,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Evicts least-recently-used segments until `need` additional bytes
+    /// fit. Clean segments are dropped silently; dirty segments are
+    /// returned — the caller must write them out (they are already removed
+    /// from the cache and from the dirty count).
+    pub fn ensure_room(&mut self, need: u64) -> Vec<RangeRef> {
+        let mut must_flush = Vec::new();
+        while self.used + need > self.capacity {
+            let Some((&stamp, &(file, start))) = self.lru.iter().next() else {
+                break; // nothing left to evict
+            };
+            debug_assert_eq!(
+                self.files.get(&file).and_then(|m| m.get(&start)).map(|s| s.stamp),
+                Some(stamp)
+            );
+            let seg = self.detach(file, start);
+            if seg.dirty {
+                must_flush.push(RangeRef {
+                    file: FileId(file),
+                    start,
+                    end: seg.end,
+                });
+            }
+        }
+        must_flush
+    }
+
+    /// Drops every cached range of `file` (e.g. on delete). Dirty data is
+    /// discarded; returns how many dirty bytes were lost.
+    pub fn drop_file(&mut self, file: FileId) -> u64 {
+        let Some(map) = self.files.remove(&file.0) else {
+            return 0;
+        };
+        let mut lost = 0;
+        for (s, seg) in map {
+            self.lru.remove(&seg.stamp);
+            self.used -= seg.end - s;
+            if seg.dirty {
+                self.dirty -= seg.end - s;
+                lost += seg.end - s;
+            }
+        }
+        lost
+    }
+
+    /// Number of cached segments (for tests and diagnostics).
+    pub fn segments(&self) -> usize {
+        self.files.values().map(|m| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FileId = FileId(1);
+    const G: FileId = FileId(2);
+
+    fn cache() -> RangeCache {
+        RangeCache::new(1 << 20)
+    }
+
+    #[test]
+    fn insert_and_lookup_roundtrip() {
+        let mut c = cache();
+        c.insert(F, 100, 200, false);
+        let (hits, misses) = c.lookup(F, 50, 250);
+        assert_eq!(
+            hits,
+            vec![RangeRef {
+                file: F,
+                start: 100,
+                end: 200
+            }]
+        );
+        assert_eq!(misses.len(), 2);
+        assert_eq!((misses[0].start, misses[0].end), (50, 100));
+        assert_eq!((misses[1].start, misses[1].end), (200, 250));
+        assert_eq!(c.used(), 100);
+    }
+
+    #[test]
+    fn adjacent_same_state_segments_merge() {
+        let mut c = cache();
+        c.insert(F, 0, 100, false);
+        c.insert(F, 100, 200, false);
+        assert_eq!(c.segments(), 1);
+        let (hits, misses) = c.lookup(F, 0, 200);
+        assert_eq!(hits.len(), 1);
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn adjacent_different_state_segments_do_not_merge() {
+        let mut c = cache();
+        c.insert(F, 0, 100, false);
+        c.insert(F, 100, 200, true);
+        assert_eq!(c.segments(), 2);
+        assert_eq!(c.dirty(), 100);
+    }
+
+    #[test]
+    fn overwrite_splits_partial_overlaps() {
+        let mut c = cache();
+        c.insert(F, 0, 300, false);
+        c.insert(F, 100, 200, true);
+        assert_eq!(c.segments(), 3);
+        assert_eq!(c.used(), 300);
+        assert_eq!(c.dirty(), 100);
+        let (hits, misses) = c.lookup(F, 0, 300);
+        assert_eq!(hits.len(), 3);
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn dirty_overwrite_reports_lost_bytes() {
+        let mut c = cache();
+        c.insert(F, 0, 100, true);
+        let lost = c.insert(F, 50, 150, true);
+        assert_eq!(lost, 50);
+        assert_eq!(c.dirty(), 150);
+    }
+
+    #[test]
+    fn mark_clean_converts_dirty_ranges() {
+        let mut c = cache();
+        c.insert(F, 0, 1000, true);
+        c.mark_clean(F, 200, 700);
+        assert_eq!(c.dirty(), 500);
+        assert_eq!(c.used(), 1000);
+        // Ranges [0,200) and [700,1000) remain dirty.
+        let d = c.dirty_ranges_of(F);
+        assert_eq!(d.len(), 2);
+        assert_eq!((d[0].start, d[0].end), (0, 200));
+        assert_eq!((d[1].start, d[1].end), (700, 1000));
+    }
+
+    #[test]
+    fn mark_clean_is_idempotent() {
+        let mut c = cache();
+        c.insert(F, 0, 100, true);
+        c.mark_clean(F, 0, 100);
+        c.mark_clean(F, 0, 100);
+        assert_eq!(c.dirty(), 0);
+        assert_eq!(c.used(), 100);
+        assert_eq!(c.segments(), 1);
+    }
+
+    #[test]
+    fn files_are_independent() {
+        let mut c = cache();
+        c.insert(F, 0, 100, true);
+        c.insert(G, 0, 100, false);
+        let (hits, _) = c.lookup(G, 0, 100);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(c.dirty(), 100);
+        assert_eq!(c.drop_file(F), 100);
+        assert_eq!(c.dirty(), 0);
+        assert_eq!(c.used(), 100);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let mut c = RangeCache::new(300);
+        c.insert(F, 0, 100, false);
+        c.insert(F, 1000, 1100, false);
+        c.insert(F, 2000, 2100, false);
+        // Touch the first range so the second is now oldest.
+        c.lookup(F, 0, 100);
+        let flush = c.ensure_room(100);
+        assert!(flush.is_empty());
+        assert_eq!(c.used(), 200);
+        let (hits, misses) = c.lookup(F, 1000, 1100);
+        assert!(hits.is_empty(), "oldest range must be evicted");
+        assert_eq!(misses.len(), 1);
+    }
+
+    #[test]
+    fn eviction_returns_dirty_ranges_for_flush() {
+        let mut c = RangeCache::new(100);
+        c.insert(F, 0, 100, true);
+        let flush = c.ensure_room(50);
+        assert_eq!(flush.len(), 1);
+        assert_eq!((flush[0].start, flush[0].end), (0, 100));
+        assert_eq!(c.dirty(), 0);
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn ensure_room_stops_when_empty() {
+        let mut c = RangeCache::new(10);
+        let flush = c.ensure_room(100); // bigger than capacity
+        assert!(flush.is_empty());
+    }
+
+    #[test]
+    fn dirty_ranges_respects_budget_and_order() {
+        let mut c = cache();
+        c.insert(F, 0, 100, true);
+        c.insert(F, 500, 600, true);
+        c.insert(F, 200, 300, true);
+        let all = c.dirty_ranges(u64::MAX);
+        let offs: Vec<u64> = all.iter().map(|r| r.start).collect();
+        assert_eq!(offs, vec![0, 200, 500], "offset-sorted within file");
+        let some = c.dirty_ranges(150);
+        assert_eq!(some.len(), 2, "budget cuts the list");
+    }
+
+    #[test]
+    fn range_ref_len() {
+        let r = RangeRef {
+            file: F,
+            start: 10,
+            end: 30,
+        };
+        assert_eq!(r.len(), 20);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn strided_small_writes_stay_separate() {
+        let mut c = cache();
+        for i in 0..100u64 {
+            c.insert(F, i * 4096, i * 4096 + 1600, true);
+        }
+        assert_eq!(c.segments(), 100);
+        assert_eq!(c.dirty(), 100 * 1600);
+    }
+
+    #[test]
+    fn sequential_writes_coalesce_to_one_segment() {
+        let mut c = cache();
+        for i in 0..100u64 {
+            c.insert(F, i * 1600, (i + 1) * 1600, true);
+        }
+        assert_eq!(c.segments(), 1);
+        assert_eq!(c.dirty(), 100 * 1600);
+    }
+
+    #[test]
+    fn lookup_touch_protects_from_eviction() {
+        let mut c = RangeCache::new(200);
+        c.insert(F, 0, 100, false);
+        c.insert(F, 1000, 1100, false);
+        // Touch the first (oldest) range; insertion pressure must now evict
+        // the second one instead.
+        c.lookup(F, 0, 100);
+        c.ensure_room(100);
+        c.insert(F, 5000, 5100, false);
+        let (hits, _) = c.lookup(F, 0, 100);
+        assert_eq!(hits.len(), 1, "recently touched range survived");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests of the range-cache invariants the filesystem models
+//! depend on.
+
+use fs::{FileId, RangeCache};
+use proptest::prelude::*;
+
+/// An operation against the cache.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { file: u64, start: u64, len: u64, dirty: bool },
+    Lookup { file: u64, start: u64, len: u64 },
+    MarkClean { file: u64, start: u64, len: u64 },
+    EnsureRoom { need: u64 },
+    DropFile { file: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..3, 0u64..10_000, 1u64..2_000, any::<bool>())
+            .prop_map(|(file, start, len, dirty)| Op::Insert { file, start, len, dirty }),
+        (0u64..3, 0u64..10_000, 1u64..2_000)
+            .prop_map(|(file, start, len)| Op::Lookup { file, start, len }),
+        (0u64..3, 0u64..10_000, 1u64..2_000)
+            .prop_map(|(file, start, len)| Op::MarkClean { file, start, len }),
+        (0u64..5_000).prop_map(|need| Op::EnsureRoom { need }),
+        (0u64..3).prop_map(|file| Op::DropFile { file }),
+    ]
+}
+
+proptest! {
+    /// Under arbitrary op sequences: `used ≤ capacity` after every
+    /// `ensure_room`, `dirty ≤ used` always, lookups partition their range,
+    /// and hit/miss ranges never overlap.
+    #[test]
+    fn cache_invariants_hold(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let capacity = 8_000u64;
+        let mut cache = RangeCache::new(capacity);
+        for op in ops {
+            match op {
+                Op::Insert { file, start, len, dirty } => {
+                    let flush = cache.ensure_room(len.min(capacity));
+                    for r in &flush {
+                        prop_assert!(!r.is_empty());
+                    }
+                    cache.insert(FileId(file), start, start + len, dirty);
+                }
+                Op::Lookup { file, start, len } => {
+                    let (hits, misses) = cache.lookup(FileId(file), start, start + len);
+                    let mut covered = 0u64;
+                    let mut ranges: Vec<(u64, u64)> = hits
+                        .iter()
+                        .chain(misses.iter())
+                        .map(|r| (r.start, r.end))
+                        .collect();
+                    ranges.sort_unstable();
+                    let mut pos = start;
+                    for (s, e) in ranges {
+                        prop_assert_eq!(s, pos, "gap or overlap in lookup partition");
+                        prop_assert!(e > s);
+                        covered += e - s;
+                        pos = e;
+                    }
+                    prop_assert_eq!(pos, start + len);
+                    prop_assert_eq!(covered, len);
+                }
+                Op::MarkClean { file, start, len } => {
+                    cache.mark_clean(FileId(file), start, start + len);
+                }
+                Op::EnsureRoom { need } => {
+                    cache.ensure_room(need.min(capacity));
+                    prop_assert!(
+                        cache.used() + need.min(capacity) <= capacity
+                            || cache.used() == 0,
+                        "ensure_room left used={} need={}",
+                        cache.used(),
+                        need
+                    );
+                }
+                Op::DropFile { file } => {
+                    cache.drop_file(FileId(file));
+                }
+            }
+            prop_assert!(cache.dirty() <= cache.used(), "dirty exceeds used");
+        }
+    }
+
+    /// After inserting a range, looking it up is a full hit; after
+    /// drop_file it is a full miss.
+    #[test]
+    fn insert_then_lookup_hits(start in 0u64..100_000, len in 1u64..10_000) {
+        let mut cache = RangeCache::new(u64::MAX);
+        cache.insert(FileId(1), start, start + len, false);
+        let (hits, misses) = cache.lookup(FileId(1), start, start + len);
+        prop_assert!(misses.is_empty());
+        prop_assert_eq!(hits.iter().map(|r| r.len()).sum::<u64>(), len);
+
+        cache.drop_file(FileId(1));
+        let (hits, misses) = cache.lookup(FileId(1), start, start + len);
+        prop_assert!(hits.is_empty());
+        prop_assert_eq!(misses.iter().map(|r| r.len()).sum::<u64>(), len);
+    }
+
+    /// Dirty accounting: inserting dirty then cleaning the same range
+    /// always returns the cache to zero dirty bytes.
+    #[test]
+    fn dirty_roundtrip(ranges in proptest::collection::vec((0u64..50_000, 1u64..5_000), 1..40)) {
+        let mut cache = RangeCache::new(u64::MAX);
+        for &(s, l) in &ranges {
+            cache.insert(FileId(1), s, s + l, true);
+        }
+        for r in cache.dirty_ranges(u64::MAX) {
+            cache.mark_clean(r.file, r.start, r.end);
+        }
+        prop_assert_eq!(cache.dirty(), 0);
+        prop_assert!(cache.used() > 0);
+    }
+}

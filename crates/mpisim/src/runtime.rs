@@ -1,0 +1,1343 @@
+//! The MPI runtime: executes rank programs on a machine.
+
+use crate::machine::Machine;
+use crate::op::{MpiOp, OpStream, Rank};
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
+use fs::FileId;
+use netsim::NodeId;
+use simcore::{EventQueue, Time};
+use std::collections::{HashMap, VecDeque};
+
+/// Runtime tunables (MPICH-like defaults).
+#[derive(Clone, Debug)]
+pub struct RuntimeParams {
+    /// Messages up to this size are sent eagerly (sender does not block).
+    pub eager_threshold: u64,
+    /// Sender-side software overhead per message.
+    pub send_overhead: Time,
+    /// Receiver-side software overhead per message.
+    pub recv_overhead: Time,
+    /// Per-hop cost of the barrier dissemination algorithm.
+    pub barrier_hop: Time,
+    /// Alignment of aggregator file domains in collective buffering.
+    pub cb_align: u64,
+}
+
+impl Default for RuntimeParams {
+    fn default() -> Self {
+        RuntimeParams {
+            eager_threshold: 64 * 1024,
+            send_overhead: Time::from_micros(5),
+            recv_overhead: Time::from_micros(2),
+            barrier_hop: Time::from_micros(60),
+            cb_align: 1024 * 1024,
+        }
+    }
+}
+
+/// Per-rank outcome of a run.
+#[derive(Clone, Debug, Default)]
+pub struct RankStats {
+    /// When the rank finished its program.
+    pub end: Time,
+    /// Time inside file data operations (the paper's "I/O time").
+    pub io_time: Time,
+    /// Time inside communication operations.
+    pub comm_time: Time,
+    /// Time inside compute operations.
+    pub compute_time: Time,
+    /// Time inside metadata operations (open/close/sync).
+    pub meta_time: Time,
+    /// Bytes written at application level.
+    pub bytes_written: u64,
+    /// Bytes read at application level.
+    pub bytes_read: u64,
+    /// Number of data I/O operations.
+    pub io_ops: u64,
+}
+
+/// Whole-run outcome.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Completion time of the slowest rank.
+    pub wall_time: Time,
+    /// Per-rank statistics.
+    pub per_rank: Vec<RankStats>,
+}
+
+impl RunStats {
+    /// Aggregate I/O time of the *slowest* rank (the paper reports
+    /// application-level I/O time, which is gated by the slowest rank).
+    pub fn max_io_time(&self) -> Time {
+        self.per_rank
+            .iter()
+            .map(|r| r.io_time)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Total bytes moved by all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.bytes_written + r.bytes_read)
+            .sum()
+    }
+}
+
+/// What a parked rank is waiting for (to finalize its trace on resume).
+#[derive(Clone, Copy, Debug)]
+enum ResumeAction {
+    Recv { src: Rank, start: Time },
+    WaitAll { start: Time },
+    Barrier { start: Time },
+    Bcast { root: Rank, bytes: u64, start: Time },
+    Allreduce { bytes: u64, start: Time },
+    CollWrite { file: FileId, offset: u64, len: u64, start: Time },
+    CollRead { file: FileId, offset: u64, len: u64, start: Time },
+}
+
+struct RankCtx {
+    stream: Box<dyn OpStream>,
+    node: NodeId,
+    t: Time,
+    stats: RankStats,
+    resume: Option<ResumeAction>,
+    done: bool,
+    /// Latest completion among resolved nonblocking requests.
+    nb_complete: Time,
+    /// Posted-but-unmatched nonblocking receives.
+    nb_pending: usize,
+}
+
+#[derive(Default)]
+struct CollState {
+    /// (rank, arrival, offset, len) in arrival order.
+    arrivals: Vec<(Rank, Time, u64, u64)>,
+}
+
+/// The MPI runtime.
+pub struct Runtime {
+    params: RuntimeParams,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new(RuntimeParams::default())
+    }
+}
+
+impl Runtime {
+    /// A runtime with the given parameters.
+    pub fn new(params: RuntimeParams) -> Runtime {
+        Runtime { params }
+    }
+
+    /// Executes `programs` (one per rank) placed on `placement`
+    /// (rank → node) against `machine`, reporting every primitive to
+    /// `sink`. Returns per-rank statistics.
+    pub fn run(
+        &self,
+        machine: &mut dyn Machine,
+        placement: &[NodeId],
+        programs: Vec<Box<dyn OpStream>>,
+        sink: &mut dyn TraceSink,
+    ) -> RunStats {
+        assert_eq!(
+            placement.len(),
+            programs.len(),
+            "one placement entry per rank"
+        );
+        for &n in placement {
+            assert!(n < machine.nodes(), "placement references unknown node");
+        }
+        let world = programs.len();
+        let mut exec = Exec {
+            params: self.params.clone(),
+            machine,
+            placement,
+            sink,
+            world,
+            ranks: programs
+                .into_iter()
+                .zip(placement)
+                .map(|(stream, &node)| RankCtx {
+                    stream,
+                    node,
+                    t: Time::ZERO,
+                    stats: RankStats::default(),
+                    resume: None,
+                    done: false,
+                    nb_complete: Time::ZERO,
+                    nb_pending: 0,
+                })
+                .collect(),
+            queue: EventQueue::new(),
+            sends: HashMap::new(),
+            recvs: HashMap::new(),
+            irecvs: HashMap::new(),
+            barrier: Vec::new(),
+            bcast: Vec::new(),
+            allreduce: Vec::new(),
+            colls: HashMap::new(),
+        };
+        for r in 0..world {
+            exec.queue.schedule(Time::ZERO, r);
+        }
+        while let Some((t, rank)) = exec.queue.pop() {
+            exec.resume(rank, t);
+        }
+        let mut stats = RunStats {
+            wall_time: Time::ZERO,
+            per_rank: Vec::with_capacity(world),
+        };
+        for ctx in &mut exec.ranks {
+            assert!(
+                ctx.done,
+                "rank never finished: deadlock in the program (blocked on {:?})",
+                ctx.resume
+            );
+            ctx.stats.end = ctx.t;
+            stats.wall_time = stats.wall_time.max(ctx.t);
+            stats.per_rank.push(ctx.stats.clone());
+        }
+        stats
+    }
+}
+
+struct Exec<'a> {
+    params: RuntimeParams,
+    machine: &'a mut dyn Machine,
+    placement: &'a [NodeId],
+    sink: &'a mut dyn TraceSink,
+    world: usize,
+    ranks: Vec<RankCtx>,
+    queue: EventQueue<Rank>,
+    /// Unmatched sends: (src, dst, tag) → (delivery, bytes).
+    sends: HashMap<(Rank, Rank, u32), VecDeque<(Time, u64)>>,
+    /// Parked receivers: (src, dst, tag) → receiver ranks.
+    recvs: HashMap<(Rank, Rank, u32), VecDeque<Rank>>,
+    /// Posted nonblocking receives awaiting a matching send.
+    irecvs: HashMap<(Rank, Rank, u32), VecDeque<Rank>>,
+    /// Barrier arrivals.
+    barrier: Vec<(Rank, Time)>,
+    /// Broadcast arrivals (root, bytes fixed by the first arrival).
+    bcast: Vec<(Rank, Time)>,
+    /// All-reduce arrivals.
+    allreduce: Vec<(Rank, Time)>,
+    /// Collective I/O arrivals per (file, is_write).
+    colls: HashMap<(u64, bool), CollState>,
+}
+
+impl Exec<'_> {
+    fn emit(&mut self, rank: Rank, start: Time, end: Time, kind: TraceKind) {
+        self.sink.record(TraceEvent {
+            rank,
+            start,
+            end,
+            kind,
+        });
+    }
+
+    /// Wakes `rank` at `t`, finalizing whatever it was parked on, then
+    /// continues stepping it.
+    fn resume(&mut self, rank: Rank, t: Time) {
+        {
+            let action = self.ranks[rank].resume.take();
+            let ctx = &mut self.ranks[rank];
+            ctx.t = ctx.t.max(t);
+            if let Some(action) = action {
+                let end = ctx.t;
+                match action {
+                    ResumeAction::Recv { src, start } => {
+                        ctx.stats.comm_time += end - start;
+                        self.emit(rank, start, end, TraceKind::Recv { src });
+                    }
+                    ResumeAction::WaitAll { start } => {
+                        ctx.stats.comm_time += end - start;
+                        ctx.nb_complete = Time::ZERO;
+                        self.emit(rank, start, end, TraceKind::Wait);
+                    }
+                    ResumeAction::Barrier { start } => {
+                        ctx.stats.comm_time += end - start;
+                        self.emit(rank, start, end, TraceKind::Barrier);
+                    }
+                    ResumeAction::Bcast { root, bytes, start } => {
+                        ctx.stats.comm_time += end - start;
+                        self.emit(rank, start, end, TraceKind::Bcast { root, bytes });
+                    }
+                    ResumeAction::Allreduce { bytes, start } => {
+                        ctx.stats.comm_time += end - start;
+                        self.emit(rank, start, end, TraceKind::Allreduce { bytes });
+                    }
+                    ResumeAction::CollWrite {
+                        file,
+                        offset,
+                        len,
+                        start,
+                    } => {
+                        ctx.stats.io_time += end - start;
+                        ctx.stats.bytes_written += len;
+                        ctx.stats.io_ops += 1;
+                        self.emit(
+                            rank,
+                            start,
+                            end,
+                            TraceKind::Write {
+                                file,
+                                offset,
+                                len,
+                                collective: true,
+                            },
+                        );
+                    }
+                    ResumeAction::CollRead {
+                        file,
+                        offset,
+                        len,
+                        start,
+                    } => {
+                        ctx.stats.io_time += end - start;
+                        ctx.stats.bytes_read += len;
+                        ctx.stats.io_ops += 1;
+                        self.emit(
+                            rank,
+                            start,
+                            end,
+                            TraceKind::Read {
+                                file,
+                                offset,
+                                len,
+                                collective: true,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.step(rank);
+    }
+
+    /// Runs `rank` until it parks, yields, or finishes.
+    ///
+    /// A rank *yields* back to the event queue whenever an op advanced its
+    /// clock: machine state side-effects (file truncation, cache
+    /// invalidation, resource submissions) must happen in simulation-time
+    /// order across ranks, not in whole-program execution order. Ops that
+    /// take no simulated time run inline.
+    fn step(&mut self, rank: Rank) {
+        loop {
+            let op = match self.ranks[rank].stream.next_op() {
+                Some(op) => op,
+                None => {
+                    self.ranks[rank].done = true;
+                    return;
+                }
+            };
+            let before = self.ranks[rank].t;
+            if !self.execute(rank, op) {
+                return; // parked
+            }
+            let after = self.ranks[rank].t;
+            if after > before {
+                self.queue.schedule(after.max(self.queue.now()), rank);
+                return; // yielded
+            }
+        }
+    }
+
+    /// Executes one op for `rank`; returns `false` if the rank parked.
+    fn execute(&mut self, rank: Rank, op: MpiOp) -> bool {
+        let node = self.ranks[rank].node;
+        let start = self.ranks[rank].t;
+        match op {
+            MpiOp::Compute(d) => {
+                let ctx = &mut self.ranks[rank];
+                ctx.t += d;
+                ctx.stats.compute_time += d;
+                self.emit(rank, start, start + d, TraceKind::Compute);
+            }
+            MpiOp::Marker(id) => {
+                self.emit(rank, start, start, TraceKind::Marker(id));
+            }
+            MpiOp::Send { dst, bytes, tag } => {
+                assert!(dst < self.world, "send to unknown rank");
+                let delivery =
+                    self.machine
+                        .mpi_send(start, node, self.placement[dst], bytes);
+                let t_cont = if bytes <= self.params.eager_threshold {
+                    start + self.params.send_overhead
+                } else {
+                    delivery
+                };
+                {
+                    let ctx = &mut self.ranks[rank];
+                    ctx.t = t_cont;
+                    ctx.stats.comm_time += t_cont - start;
+                }
+                self.emit(rank, start, t_cont, TraceKind::Send { dst, bytes });
+                self.deliver(rank, dst, tag, delivery, bytes);
+            }
+            MpiOp::Isend { dst, bytes, tag } => {
+                assert!(dst < self.world, "isend to unknown rank");
+                let delivery =
+                    self.machine
+                        .mpi_send(start, node, self.placement[dst], bytes);
+                // Nonblocking: the sender continues immediately; buffer
+                // completion (delivery) is what WaitAll observes.
+                let t_cont = start + self.params.send_overhead;
+                {
+                    let ctx = &mut self.ranks[rank];
+                    ctx.t = t_cont;
+                    ctx.stats.comm_time += t_cont - start;
+                    ctx.nb_complete = ctx.nb_complete.max(delivery);
+                }
+                self.emit(rank, start, t_cont, TraceKind::Send { dst, bytes });
+                self.deliver(rank, dst, tag, delivery, bytes);
+            }
+            MpiOp::Irecv { src, tag } => {
+                assert!(src < self.world, "irecv from unknown rank");
+                let key = (src, rank, tag);
+                if let Some((delivery, _bytes)) =
+                    self.sends.get_mut(&key).and_then(|q| q.pop_front())
+                {
+                    let ctx = &mut self.ranks[rank];
+                    ctx.nb_complete = ctx.nb_complete.max(delivery);
+                } else {
+                    self.irecvs.entry(key).or_default().push_back(rank);
+                    self.ranks[rank].nb_pending += 1;
+                }
+                // Posting costs nothing observable; no trace event until
+                // the WaitAll that completes it.
+            }
+            MpiOp::WaitAll => {
+                if self.ranks[rank].nb_pending == 0 {
+                    let end = {
+                        let ctx = &mut self.ranks[rank];
+                        let end =
+                            ctx.t.max(ctx.nb_complete) + self.params.recv_overhead;
+                        ctx.stats.comm_time += end - start;
+                        ctx.t = end;
+                        ctx.nb_complete = Time::ZERO;
+                        end
+                    };
+                    self.emit(rank, start, end, TraceKind::Wait);
+                } else {
+                    self.ranks[rank].resume = Some(ResumeAction::WaitAll { start });
+                    return false;
+                }
+            }
+            MpiOp::Recv { src, tag } => {
+                assert!(src < self.world, "recv from unknown rank");
+                let key = (src, rank, tag);
+                if let Some((delivery, _bytes)) =
+                    self.sends.get_mut(&key).and_then(|q| q.pop_front())
+                {
+                    let end = delivery.max(start) + self.params.recv_overhead;
+                    let ctx = &mut self.ranks[rank];
+                    ctx.t = end;
+                    ctx.stats.comm_time += end - start;
+                    self.emit(rank, start, end, TraceKind::Recv { src });
+                } else {
+                    self.recvs.entry(key).or_default().push_back(rank);
+                    self.ranks[rank].resume = Some(ResumeAction::Recv { src, start });
+                    return false;
+                }
+            }
+            MpiOp::Barrier => {
+                self.barrier.push((rank, start));
+                self.ranks[rank].resume = Some(ResumeAction::Barrier { start });
+                if self.barrier.len() == self.world {
+                    let hops = (self.world.max(2) as f64).log2().ceil() as u64;
+                    let latest = self
+                        .barrier
+                        .iter()
+                        .map(|&(_, t)| t)
+                        .max()
+                        .expect("nonempty barrier");
+                    let release = latest + self.params.barrier_hop * hops;
+                    for (r, _) in std::mem::take(&mut self.barrier) {
+                        self.queue.schedule(release.max(self.queue.now()), r);
+                    }
+                }
+                return false;
+            }
+            MpiOp::Bcast { root, bytes } => {
+                assert!(root < self.world, "bcast from unknown root");
+                self.bcast.push((rank, start));
+                self.ranks[rank].resume = Some(ResumeAction::Bcast { root, bytes, start });
+                if self.bcast.len() == self.world {
+                    let arrivals = std::mem::take(&mut self.bcast);
+                    self.run_bcast(root, bytes, arrivals);
+                }
+                return false;
+            }
+            MpiOp::Allreduce { bytes } => {
+                self.allreduce.push((rank, start));
+                self.ranks[rank].resume = Some(ResumeAction::Allreduce { bytes, start });
+                if self.allreduce.len() == self.world {
+                    let arrivals = std::mem::take(&mut self.allreduce);
+                    self.run_allreduce(bytes, arrivals);
+                }
+                return false;
+            }
+            MpiOp::FileOpen { file, create } => {
+                let end = self.machine.io_open(start, node, file, create);
+                let ctx = &mut self.ranks[rank];
+                ctx.t = end;
+                ctx.stats.meta_time += end - start;
+                self.emit(rank, start, end, TraceKind::Open { file, create });
+            }
+            MpiOp::FileClose { file } => {
+                let end = self.machine.io_close(start, node, file);
+                let ctx = &mut self.ranks[rank];
+                ctx.t = end;
+                ctx.stats.meta_time += end - start;
+                self.emit(rank, start, end, TraceKind::Close { file });
+            }
+            MpiOp::FileSync { file } => {
+                let end = self.machine.io_sync(start, node, file);
+                let ctx = &mut self.ranks[rank];
+                ctx.t = end;
+                ctx.stats.meta_time += end - start;
+                self.emit(rank, start, end, TraceKind::Sync { file });
+            }
+            MpiOp::WriteAt { file, offset, len } => {
+                let end = self.machine.io_write(start, node, file, offset, len);
+                let ctx = &mut self.ranks[rank];
+                ctx.t = end;
+                ctx.stats.io_time += end - start;
+                ctx.stats.bytes_written += len;
+                ctx.stats.io_ops += 1;
+                self.emit(
+                    rank,
+                    start,
+                    end,
+                    TraceKind::Write {
+                        file,
+                        offset,
+                        len,
+                        collective: false,
+                    },
+                );
+            }
+            MpiOp::ReadAt { file, offset, len } => {
+                let end = self.machine.io_read(start, node, file, offset, len);
+                let ctx = &mut self.ranks[rank];
+                ctx.t = end;
+                ctx.stats.io_time += end - start;
+                ctx.stats.bytes_read += len;
+                ctx.stats.io_ops += 1;
+                self.emit(
+                    rank,
+                    start,
+                    end,
+                    TraceKind::Read {
+                        file,
+                        offset,
+                        len,
+                        collective: false,
+                    },
+                );
+            }
+            MpiOp::WriteAtAll { file, offset, len } => {
+                self.ranks[rank].resume = Some(ResumeAction::CollWrite {
+                    file,
+                    offset,
+                    len,
+                    start,
+                });
+                self.collective_arrive(file, true, rank, start, offset, len);
+                return false;
+            }
+            MpiOp::ReadAtAll { file, offset, len } => {
+                self.ranks[rank].resume = Some(ResumeAction::CollRead {
+                    file,
+                    offset,
+                    len,
+                    start,
+                });
+                self.collective_arrive(file, false, rank, start, offset, len);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Routes a delivered message to whoever is waiting for it (a parked
+    /// blocking receiver, a posted nonblocking receive) or queues it.
+    fn deliver(&mut self, src: Rank, dst: Rank, tag: u32, delivery: Time, bytes: u64) {
+        let key = (src, dst, tag);
+        if let Some(receiver) = self.recvs.get_mut(&key).and_then(|q| q.pop_front()) {
+            let wake = delivery.max(self.ranks[receiver].t) + self.params.recv_overhead;
+            self.queue.schedule(wake.max(self.queue.now()), receiver);
+            return;
+        }
+        if let Some(receiver) = self.irecvs.get_mut(&key).and_then(|q| q.pop_front()) {
+            let ctx = &mut self.ranks[receiver];
+            ctx.nb_complete = ctx.nb_complete.max(delivery);
+            ctx.nb_pending -= 1;
+            if ctx.nb_pending == 0
+                && matches!(ctx.resume, Some(ResumeAction::WaitAll { .. }))
+            {
+                let wake = ctx.t.max(ctx.nb_complete) + self.params.recv_overhead;
+                self.queue.schedule(wake.max(self.queue.now()), receiver);
+            }
+            return;
+        }
+        self.sends.entry(key).or_default().push_back((delivery, bytes));
+    }
+
+    /// Binomial-tree broadcast: virtual rank 0 is the root; in round `k`
+    /// vranks `< 2^k` forward to vrank `+2^k`. Each rank is released when
+    /// its copy of the data arrives.
+    fn run_bcast(&mut self, root: Rank, bytes: u64, arrivals: Vec<(Rank, Time)>) {
+        let p = self.world;
+        let mut arrival_of = vec![Time::ZERO; p];
+        for &(r, t) in &arrivals {
+            arrival_of[r] = t;
+        }
+        let vrank = |r: Rank| (r + p - root) % p;
+        let real = |v: usize| (v + root) % p;
+        let mut ready = vec![Time::MAX; p];
+        ready[0] = arrival_of[root];
+        let mut k = 1usize;
+        while k < p {
+            for i in 0..k.min(p) {
+                let j = i + k;
+                if j < p {
+                    let src = real(i);
+                    let dst = real(j);
+                    // The sender forwards once it has the data *and* the
+                    // receiver has at least posted the collective.
+                    let go = ready[i].max(arrival_of[src]);
+                    let delivery = self.machine.mpi_send(
+                        go,
+                        self.placement[src],
+                        self.placement[dst],
+                        bytes,
+                    );
+                    ready[j] = delivery.max(arrival_of[dst]);
+                }
+            }
+            k *= 2;
+        }
+        for (v, &t) in ready.iter().enumerate() {
+            let r = real(v);
+            let wake = t + self.params.recv_overhead;
+            self.queue.schedule(wake.max(self.queue.now()), r);
+        }
+        let _ = vrank;
+    }
+
+    /// All-reduce as binomial reduce-to-rank-0 followed by broadcast.
+    fn run_allreduce(&mut self, bytes: u64, arrivals: Vec<(Rank, Time)>) {
+        let p = self.world;
+        let mut ready = vec![Time::ZERO; p];
+        for &(r, t) in &arrivals {
+            ready[r] = t;
+        }
+        // Reduce: in round k, rank i (i % 2k == 0) receives from i + k.
+        let mut k = 1usize;
+        while k < p {
+            let mut i = 0;
+            while i + k < p {
+                let delivery = self.machine.mpi_send(
+                    ready[i + k],
+                    self.placement[i + k],
+                    self.placement[i],
+                    bytes,
+                );
+                ready[i] = ready[i].max(delivery);
+                i += 2 * k;
+            }
+            k *= 2;
+        }
+        // Broadcast the reduced value back down the same tree.
+        k /= 2;
+        while k >= 1 {
+            let mut i = 0;
+            while i + k < p {
+                let delivery = self.machine.mpi_send(
+                    ready[i],
+                    self.placement[i],
+                    self.placement[i + k],
+                    bytes,
+                );
+                ready[i + k] = ready[i + k].max(delivery);
+                i += 2 * k;
+            }
+            if k == 1 {
+                break;
+            }
+            k /= 2;
+        }
+        for (r, &t) in ready.iter().enumerate() {
+            let wake = t + self.params.recv_overhead;
+            self.queue.schedule(wake.max(self.queue.now()), r);
+        }
+    }
+
+    /// Registers a collective arrival; runs the two-phase exchange when the
+    /// whole world has arrived.
+    fn collective_arrive(
+        &mut self,
+        file: FileId,
+        is_write: bool,
+        rank: Rank,
+        t: Time,
+        offset: u64,
+        len: u64,
+    ) {
+        let state = self.colls.entry((file.0, is_write)).or_default();
+        state.arrivals.push((rank, t, offset, len));
+        if state.arrivals.len() < self.world {
+            return;
+        }
+        let state = self
+            .colls
+            .remove(&(file.0, is_write))
+            .expect("state just inserted");
+        if is_write {
+            self.collective_write(file, state);
+        } else {
+            self.collective_read(file, state);
+        }
+    }
+
+    /// Aggregator file domains: one aggregator per distinct node, contiguous
+    /// chunks of the accessed region aligned to `cb_align`.
+    fn aggregators(&self, lo: u64, hi: u64) -> Vec<(NodeId, u64, u64)> {
+        let mut agg_nodes: Vec<NodeId> = Vec::new();
+        for &n in self.placement {
+            if !agg_nodes.contains(&n) {
+                agg_nodes.push(n);
+            }
+        }
+        let total = hi - lo;
+        let a = agg_nodes.len() as u64;
+        let chunk = total.div_ceil(a).div_ceil(self.params.cb_align) * self.params.cb_align;
+        let mut out = Vec::new();
+        for (i, &node) in agg_nodes.iter().enumerate() {
+            let from = lo + i as u64 * chunk;
+            let to = (from + chunk).min(hi);
+            if from < to {
+                out.push((node, from, to));
+            }
+        }
+        out
+    }
+
+    /// Two-phase collective write: shuffle to aggregators, then large
+    /// contiguous writes; all ranks released when the slowest domain is
+    /// written.
+    fn collective_write(&mut self, file: FileId, state: CollState) {
+        let t0 = state
+            .arrivals
+            .iter()
+            .map(|&(_, t, _, _)| t)
+            .max()
+            .expect("nonempty collective");
+        let lo = state
+            .arrivals
+            .iter()
+            .map(|&(_, _, o, _)| o)
+            .min()
+            .expect("nonempty");
+        let hi = state
+            .arrivals
+            .iter()
+            .map(|&(_, _, o, l)| o + l)
+            .max()
+            .expect("nonempty");
+        let domains = self.aggregators(lo, hi);
+
+        let mut release = t0;
+        for &(agg_node, from, to) in &domains {
+            // Phase 1: every rank ships its overlap with this domain.
+            let mut data_ready = t0;
+            for &(r, _, o, l) in &state.arrivals {
+                let ov_from = o.max(from);
+                let ov_to = (o + l).min(to);
+                if ov_from < ov_to {
+                    let src_node = self.placement[r];
+                    let d = self
+                        .machine
+                        .mpi_send(t0, src_node, agg_node, ov_to - ov_from);
+                    data_ready = data_ready.max(d);
+                }
+            }
+            // Phase 2: one large contiguous write per aggregator.
+            let done = self
+                .machine
+                .io_write(data_ready, agg_node, file, from, to - from);
+            release = release.max(done);
+        }
+        // Completion notification.
+        let release = release + self.params.barrier_hop;
+        for &(r, _, _, _) in &state.arrivals {
+            self.queue.schedule(release.max(self.queue.now()), r);
+        }
+    }
+
+    /// Two-phase collective read: aggregators read their domains, then
+    /// scatter; each rank is released when its own data arrives.
+    fn collective_read(&mut self, file: FileId, state: CollState) {
+        let t0 = state
+            .arrivals
+            .iter()
+            .map(|&(_, t, _, _)| t)
+            .max()
+            .expect("nonempty collective");
+        let lo = state
+            .arrivals
+            .iter()
+            .map(|&(_, _, o, _)| o)
+            .min()
+            .expect("nonempty");
+        let hi = state
+            .arrivals
+            .iter()
+            .map(|&(_, _, o, l)| o + l)
+            .max()
+            .expect("nonempty");
+        let domains = self.aggregators(lo, hi);
+
+        // Aggregators read their domains in parallel.
+        let mut ready: Vec<(u64, u64, NodeId, Time)> = Vec::with_capacity(domains.len());
+        for &(agg_node, from, to) in &domains {
+            let t = self.machine.io_read(t0, agg_node, file, from, to - from);
+            ready.push((from, to, agg_node, t));
+        }
+        // Scatter each rank's pieces back.
+        for &(r, _, o, l) in &state.arrivals {
+            let mut arrive = t0;
+            for &(from, to, agg_node, t_ready) in &ready {
+                let ov_from = o.max(from);
+                let ov_to = (o + l).min(to);
+                if ov_from < ov_to {
+                    let d = self.machine.mpi_send(
+                        t_ready,
+                        agg_node,
+                        self.placement[r],
+                        ov_to - ov_from,
+                    );
+                    arrive = arrive.max(d);
+                }
+            }
+            self.queue
+                .schedule((arrive + self.params.recv_overhead).max(self.queue.now()), r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::FixedMachine;
+    use crate::op::VecStream;
+    use crate::trace::VecSink;
+    use simcore::MIB;
+
+    fn boxed(ops: Vec<MpiOp>) -> Box<dyn OpStream> {
+        Box::new(VecStream::new(ops))
+    }
+
+    fn run(
+        placement: &[NodeId],
+        programs: Vec<Vec<MpiOp>>,
+    ) -> (RunStats, Vec<TraceEvent>) {
+        let mut machine = FixedMachine::new(placement.iter().max().unwrap() + 1);
+        let mut sink = VecSink::new();
+        let rt = Runtime::default();
+        let stats = rt.run(
+            &mut machine,
+            placement,
+            programs.into_iter().map(boxed).collect(),
+            &mut sink,
+        );
+        (stats, sink.events)
+    }
+
+    const F: FileId = FileId(1);
+
+    #[test]
+    fn compute_advances_time() {
+        let (stats, events) = run(
+            &[0],
+            vec![vec![MpiOp::Compute(Time::from_secs(2))]],
+        );
+        assert_eq!(stats.wall_time, Time::from_secs(2));
+        assert_eq!(stats.per_rank[0].compute_time, Time::from_secs(2));
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn recv_waits_for_send() {
+        let (stats, _) = run(
+            &[0, 1],
+            vec![
+                vec![
+                    MpiOp::Compute(Time::from_secs(1)),
+                    MpiOp::Send {
+                        dst: 1,
+                        bytes: 100,
+                        tag: 0,
+                    },
+                ],
+                vec![MpiOp::Recv { src: 0, tag: 0 }],
+            ],
+        );
+        // Receiver had to wait ~1s for the sender.
+        assert!(stats.per_rank[1].end >= Time::from_secs(1));
+        assert!(stats.per_rank[1].comm_time >= Time::from_secs(1));
+    }
+
+    #[test]
+    fn send_matches_already_posted_recv_and_vice_versa() {
+        // Case A: recv posted first (tested above). Case B: send first.
+        let (stats, _) = run(
+            &[0, 1],
+            vec![
+                vec![MpiOp::Send {
+                    dst: 1,
+                    bytes: 100,
+                    tag: 5,
+                }],
+                vec![
+                    MpiOp::Compute(Time::from_secs(1)),
+                    MpiOp::Recv { src: 0, tag: 5 },
+                ],
+            ],
+        );
+        // Message was already there; recv completes almost immediately.
+        let end = stats.per_rank[1].end;
+        assert!(end < Time::from_millis(1001), "recv end {end:?}");
+    }
+
+    #[test]
+    fn eager_send_does_not_block_sender() {
+        let (stats, _) = run(
+            &[0, 1],
+            vec![
+                vec![MpiOp::Send {
+                    dst: 1,
+                    bytes: 1024, // below eager threshold
+                    tag: 0,
+                }],
+                vec![
+                    MpiOp::Compute(Time::from_secs(5)),
+                    MpiOp::Recv { src: 0, tag: 0 },
+                ],
+            ],
+        );
+        assert!(
+            stats.per_rank[0].end < Time::from_millis(1),
+            "eager sender finished at {:?}",
+            stats.per_rank[0].end
+        );
+    }
+
+    #[test]
+    fn large_send_blocks_until_delivery() {
+        let (stats, _) = run(
+            &[0, 1],
+            vec![
+                vec![MpiOp::Send {
+                    dst: 1,
+                    bytes: MIB, // above eager threshold
+                    tag: 0,
+                }],
+                vec![MpiOp::Recv { src: 0, tag: 0 }],
+            ],
+        );
+        // FixedMachine delivery cost is 100us.
+        assert_eq!(stats.per_rank[0].end, Time::from_micros(100));
+    }
+
+    #[test]
+    fn tags_keep_messages_apart() {
+        let (_, events) = run(
+            &[0, 1],
+            vec![
+                vec![
+                    MpiOp::Send {
+                        dst: 1,
+                        bytes: 10,
+                        tag: 1,
+                    },
+                    MpiOp::Send {
+                        dst: 1,
+                        bytes: 10,
+                        tag: 2,
+                    },
+                ],
+                vec![
+                    // Receive in reverse tag order: must still match.
+                    MpiOp::Recv { src: 0, tag: 2 },
+                    MpiOp::Recv { src: 0, tag: 1 },
+                ],
+            ],
+        );
+        let recvs = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Recv { .. }))
+            .count();
+        assert_eq!(recvs, 2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        let (stats, _) = run(
+            &[0, 1, 2],
+            vec![
+                vec![MpiOp::Compute(Time::from_secs(3)), MpiOp::Barrier],
+                vec![MpiOp::Barrier],
+                vec![MpiOp::Compute(Time::from_secs(1)), MpiOp::Barrier],
+            ],
+        );
+        for r in 0..3 {
+            assert!(
+                stats.per_rank[r].end >= Time::from_secs(3),
+                "rank {r} left the barrier early at {:?}",
+                stats.per_rank[r].end
+            );
+        }
+        // Fast ranks accumulated the wait as comm time.
+        assert!(stats.per_rank[1].comm_time >= Time::from_secs(3));
+    }
+
+    #[test]
+    fn independent_io_counts_in_stats() {
+        let (stats, events) = run(
+            &[0],
+            vec![vec![
+                MpiOp::FileOpen { file: F, create: true },
+                MpiOp::WriteAt {
+                    file: F,
+                    offset: 0,
+                    len: 1000,
+                },
+                MpiOp::ReadAt {
+                    file: F,
+                    offset: 0,
+                    len: 500,
+                },
+                MpiOp::FileClose { file: F },
+            ]],
+        );
+        let s = &stats.per_rank[0];
+        assert_eq!(s.bytes_written, 1000);
+        assert_eq!(s.bytes_read, 500);
+        assert_eq!(s.io_ops, 2);
+        assert!(s.io_time > Time::ZERO);
+        assert!(s.meta_time > Time::ZERO);
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn collective_write_releases_all_ranks_together() {
+        let world = 4;
+        let programs: Vec<Vec<MpiOp>> = (0..world)
+            .map(|r| {
+                vec![MpiOp::WriteAtAll {
+                    file: F,
+                    offset: (r as u64) * MIB,
+                    len: MIB,
+                }]
+            })
+            .collect();
+        let (stats, events) = run(&[0, 0, 1, 1], programs);
+        let ends: Vec<Time> = stats.per_rank.iter().map(|r| r.end).collect();
+        assert!(ends.windows(2).all(|w| w[0] == w[1]), "ends differ: {ends:?}");
+        // Each rank records exactly one collective write of its own piece.
+        let coll_writes = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::Write {
+                        collective: true,
+                        len,
+                        ..
+                    } if len == MIB
+                )
+            })
+            .count();
+        assert_eq!(coll_writes, world);
+        assert_eq!(stats.total_bytes(), world as u64 * MIB);
+    }
+
+    #[test]
+    fn collective_read_scatters_back() {
+        let world = 4;
+        let programs: Vec<Vec<MpiOp>> = (0..world)
+            .map(|r| {
+                vec![MpiOp::ReadAtAll {
+                    file: F,
+                    offset: (r as u64) * MIB,
+                    len: MIB,
+                }]
+            })
+            .collect();
+        let (stats, _) = run(&[0, 1, 2, 3], programs);
+        for r in 0..world {
+            assert_eq!(stats.per_rank[r].bytes_read, MIB);
+            assert!(stats.per_rank[r].io_time > Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn collective_waits_for_slowest_rank() {
+        let programs = vec![
+            vec![
+                MpiOp::Compute(Time::from_secs(2)),
+                MpiOp::WriteAtAll {
+                    file: F,
+                    offset: 0,
+                    len: 1000,
+                },
+            ],
+            vec![MpiOp::WriteAtAll {
+                file: F,
+                offset: 1000,
+                len: 1000,
+            }],
+        ];
+        let (stats, _) = run(&[0, 1], programs);
+        assert!(stats.per_rank[1].end >= Time::from_secs(2));
+        // The fast rank's wait shows up as I/O time — exactly how an
+        // application experiences collective I/O imbalance.
+        assert!(stats.per_rank[1].io_time >= Time::from_secs(2));
+    }
+
+    #[test]
+    fn isend_irecv_waitall_roundtrip() {
+        // Classic BT-style exchange: both ranks post Irecv, Isend, WaitAll.
+        let build = |_me: usize, other: usize| {
+            vec![
+                MpiOp::Irecv {
+                    src: other,
+                    tag: 7,
+                },
+                MpiOp::Isend {
+                    dst: other,
+                    bytes: 128 * 1024, // above eager: blocking Send would jam
+                    tag: 7,
+                },
+                MpiOp::WaitAll,
+                MpiOp::Compute(Time::from_millis(1)),
+            ]
+        };
+        let (stats, events) = run(&[0, 1], vec![build(0, 1), build(1, 0)]);
+        for r in 0..2 {
+            // FixedMachine delivery = 100us; WaitAll must cover it.
+            assert!(
+                stats.per_rank[r].end >= Time::from_micros(100),
+                "rank {r} finished before its message arrived"
+            );
+        }
+        let waits = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Wait))
+            .count();
+        assert_eq!(waits, 2);
+    }
+
+    #[test]
+    fn waitall_without_outstanding_requests_is_cheap() {
+        let (stats, events) = run(&[0], vec![vec![MpiOp::WaitAll]]);
+        assert!(stats.wall_time < Time::from_micros(10));
+        assert!(events.iter().any(|e| matches!(e.kind, TraceKind::Wait)));
+    }
+
+    #[test]
+    fn isend_does_not_block_even_for_large_messages() {
+        let (stats, _) = run(
+            &[0, 1],
+            vec![
+                vec![MpiOp::Isend {
+                    dst: 1,
+                    bytes: 64 * MIB,
+                    tag: 0,
+                }],
+                vec![MpiOp::Recv { src: 0, tag: 0 }],
+            ],
+        );
+        assert!(
+            stats.per_rank[0].end < Time::from_micros(50),
+            "isend blocked: {:?}",
+            stats.per_rank[0].end
+        );
+    }
+
+    #[test]
+    fn irecv_posted_before_and_after_send_both_complete() {
+        // Rank 1 posts Irecv before rank 0 sends; rank 2 posts after.
+        let programs = vec![
+            vec![
+                MpiOp::Compute(Time::from_millis(5)),
+                MpiOp::Isend { dst: 1, bytes: 10, tag: 1 },
+                MpiOp::Isend { dst: 2, bytes: 10, tag: 2 },
+                MpiOp::WaitAll,
+            ],
+            vec![MpiOp::Irecv { src: 0, tag: 1 }, MpiOp::WaitAll],
+            vec![
+                MpiOp::Compute(Time::from_millis(20)),
+                MpiOp::Irecv { src: 0, tag: 2 },
+                MpiOp::WaitAll,
+            ],
+        ];
+        let (stats, _) = run(&[0, 1, 2], programs);
+        assert!(stats.per_rank[1].end >= Time::from_millis(5));
+        assert!(stats.per_rank[2].end >= Time::from_millis(20));
+    }
+
+    #[test]
+    fn bcast_delivers_to_all_ranks_after_root_arrives() {
+        let world = 8;
+        let programs: Vec<Vec<MpiOp>> = (0..world)
+            .map(|r| {
+                let mut ops = Vec::new();
+                if r == 3 {
+                    ops.push(MpiOp::Compute(Time::from_secs(2))); // slow root
+                }
+                ops.push(MpiOp::Bcast {
+                    root: 3,
+                    bytes: 4096,
+                });
+                ops
+            })
+            .collect();
+        let (stats, events) = run(&[0, 1, 0, 1, 0, 1, 0, 1], programs);
+        for r in 0..world {
+            assert!(
+                stats.per_rank[r].end >= Time::from_secs(2),
+                "rank {r} got the broadcast before the root had the data"
+            );
+            assert!(stats.per_rank[r].comm_time > Time::ZERO || r == 3);
+        }
+        let bcasts = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Bcast { root: 3, .. }))
+            .count();
+        assert_eq!(bcasts, world);
+    }
+
+    #[test]
+    fn bcast_tree_beats_sequential_sends() {
+        // With 8 ranks a binomial tree needs 3 rounds, not 7 sends in a row.
+        let world = 8;
+        let programs: Vec<Vec<MpiOp>> = (0..world)
+            .map(|_| vec![MpiOp::Bcast { root: 0, bytes: 1 }])
+            .collect();
+        let placement: Vec<usize> = (0..world).collect();
+        let mut machine = FixedMachine::new(world);
+        let mut sink = VecSink::new();
+        let stats = Runtime::default().run(
+            &mut machine,
+            &placement,
+            programs.into_iter().map(boxed).collect(),
+            &mut sink,
+        );
+        // FixedMachine delivery is 100us/hop; 3 rounds ≈ 300us ≪ 700us.
+        assert!(
+            stats.wall_time < Time::from_micros(500),
+            "bcast took {:?}",
+            stats.wall_time
+        );
+    }
+
+    #[test]
+    fn allreduce_synchronizes_and_costs_two_tree_traversals() {
+        let world = 4;
+        let programs: Vec<Vec<MpiOp>> = (0..world)
+            .map(|r| {
+                let mut ops = Vec::new();
+                if r == 2 {
+                    ops.push(MpiOp::Compute(Time::from_secs(1)));
+                }
+                ops.push(MpiOp::Allreduce { bytes: 8 });
+                ops
+            })
+            .collect();
+        let (stats, events) = run(&[0, 1, 2, 3], programs);
+        for r in 0..world {
+            assert!(
+                stats.per_rank[r].end >= Time::from_secs(1),
+                "rank {r} finished before the slowest contribution"
+            );
+        }
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, TraceKind::Allreduce { bytes: 8 }))
+                .count(),
+            world
+        );
+    }
+
+    #[test]
+    fn allreduce_works_for_non_power_of_two() {
+        let world = 5;
+        let programs: Vec<Vec<MpiOp>> = (0..world)
+            .map(|_| vec![MpiOp::Allreduce { bytes: 64 }, MpiOp::Barrier])
+            .collect();
+        let (stats, _) = run(&[0, 1, 2, 3, 4], programs);
+        assert!(stats.wall_time > Time::ZERO);
+    }
+
+    #[test]
+    fn marker_has_no_cost_but_is_traced() {
+        let (stats, events) = run(&[0], vec![vec![MpiOp::Marker(42)]]);
+        assert_eq!(stats.wall_time, Time::ZERO);
+        assert_eq!(events[0].kind, TraceKind::Marker(42));
+    }
+
+    #[test]
+    fn pingpong_is_deterministic() {
+        let build = || {
+            vec![
+                vec![
+                    MpiOp::Send {
+                        dst: 1,
+                        bytes: 128 * 1024,
+                        tag: 0,
+                    },
+                    MpiOp::Recv { src: 1, tag: 1 },
+                    MpiOp::Send {
+                        dst: 1,
+                        bytes: 128 * 1024,
+                        tag: 2,
+                    },
+                ],
+                vec![
+                    MpiOp::Recv { src: 0, tag: 0 },
+                    MpiOp::Send {
+                        dst: 0,
+                        bytes: 128 * 1024,
+                        tag: 1,
+                    },
+                    MpiOp::Recv { src: 0, tag: 2 },
+                ],
+            ]
+        };
+        let (a, _) = run(&[0, 1], build());
+        let (b, _) = run(&[0, 1], build());
+        assert_eq!(a.wall_time, b.wall_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unmatched_recv_is_reported_as_deadlock() {
+        run(&[0], vec![vec![MpiOp::Recv { src: 0, tag: 9 }]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one placement entry per rank")]
+    fn placement_must_cover_ranks() {
+        let mut machine = FixedMachine::new(1);
+        let mut sink = VecSink::new();
+        Runtime::default().run(&mut machine, &[0, 0], vec![boxed(vec![])], &mut sink);
+    }
+}

@@ -1,0 +1,226 @@
+//! Trace events — the PAS2P-IO substitute.
+//!
+//! The paper extends the PAS2P tracing tool with a preloaded
+//! `libpas2p_io.so` that records every MPI-IO primitive together with the
+//! computation/communication context. Here the runtime itself emits a
+//! [`TraceEvent`] per primitive into a [`TraceSink`]; the methodology crate
+//! provides aggregating sinks that build application characterizations
+//! without materializing multi-million-event logs.
+
+use crate::op::Rank;
+use fs::FileId;
+use serde::{Deserialize, Serialize};
+use simcore::Time;
+
+/// What a trace event describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Local computation.
+    Compute,
+    /// Message sent (payload size, destination).
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Message received (source).
+    Recv {
+        /// Source rank.
+        src: Rank,
+    },
+    /// Barrier participation.
+    Barrier,
+    /// Broadcast participation.
+    Bcast {
+        /// Root rank.
+        root: Rank,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// All-reduce participation.
+    Allreduce {
+        /// Per-rank contribution bytes.
+        bytes: u64,
+    },
+    /// `MPI_Waitall` over the rank's outstanding nonblocking requests.
+    Wait,
+    /// File open (`create` true for creation).
+    Open {
+        /// File.
+        file: FileId,
+        /// Created/truncated?
+        create: bool,
+    },
+    /// File close.
+    Close {
+        /// File.
+        file: FileId,
+    },
+    /// A write at application level.
+    Write {
+        /// File.
+        file: FileId,
+        /// Offset.
+        offset: u64,
+        /// Length.
+        len: u64,
+        /// Was this a collective (`_all`) operation?
+        collective: bool,
+    },
+    /// A read at application level.
+    Read {
+        /// File.
+        file: FileId,
+        /// Offset.
+        offset: u64,
+        /// Length.
+        len: u64,
+        /// Was this a collective (`_all`) operation?
+        collective: bool,
+    },
+    /// Explicit file sync.
+    Sync {
+        /// File.
+        file: FileId,
+    },
+    /// A workload-defined section marker.
+    Marker(u32),
+}
+
+impl TraceKind {
+    /// Whether this is a file I/O data operation (read or write).
+    pub fn is_io_data(&self) -> bool {
+        matches!(self, TraceKind::Write { .. } | TraceKind::Read { .. })
+    }
+
+    /// Whether this is communication (send/recv/collectives).
+    pub fn is_comm(&self) -> bool {
+        matches!(
+            self,
+            TraceKind::Send { .. }
+                | TraceKind::Recv { .. }
+                | TraceKind::Barrier
+                | TraceKind::Bcast { .. }
+                | TraceKind::Allreduce { .. }
+                | TraceKind::Wait
+        )
+    }
+}
+
+/// One traced primitive execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Executing rank.
+    pub rank: Rank,
+    /// When the primitive began.
+    pub start: Time,
+    /// When it completed (from the rank's perspective).
+    pub end: Time,
+    /// What it was.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// The primitive's duration.
+    pub fn duration(&self) -> Time {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Consumer of trace events.
+pub trait TraceSink {
+    /// Records one event. Events of one rank arrive in program order;
+    /// events of different ranks may interleave arbitrarily.
+    fn record(&mut self, ev: TraceEvent);
+}
+
+/// A sink that stores every event (use only for small runs / diagrams).
+#[derive(Default)]
+pub struct VecSink {
+    /// The collected events in arrival order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+}
+
+/// A sink that discards everything.
+#[derive(Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: TraceEvent) {}
+}
+
+/// Two sinks in sequence.
+pub struct TeeSink<'a, A, B> {
+    /// First sink.
+    pub a: &'a mut A,
+    /// Second sink.
+    pub b: &'a mut B,
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<'_, A, B> {
+    fn record(&mut self, ev: TraceEvent) {
+        self.a.record(ev);
+        self.b.record(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            rank: 0,
+            start: Time::from_secs(1),
+            end: Time::from_secs(3),
+            kind,
+        }
+    }
+
+    #[test]
+    fn duration_and_classification() {
+        let e = ev(TraceKind::Write {
+            file: FileId(1),
+            offset: 0,
+            len: 10,
+            collective: false,
+        });
+        assert_eq!(e.duration(), Time::from_secs(2));
+        assert!(e.kind.is_io_data());
+        assert!(!e.kind.is_comm());
+        assert!(ev(TraceKind::Barrier).kind.is_comm());
+        assert!(!ev(TraceKind::Marker(1)).kind.is_io_data());
+    }
+
+    #[test]
+    fn vec_sink_collects_and_tee_duplicates() {
+        let mut a = VecSink::new();
+        let mut b = VecSink::new();
+        {
+            let mut tee = TeeSink {
+                a: &mut a,
+                b: &mut b,
+            };
+            tee.record(ev(TraceKind::Barrier));
+            tee.record(ev(TraceKind::Compute));
+        }
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(b.events.len(), 2);
+        let mut n = NullSink;
+        n.record(ev(TraceKind::Barrier));
+    }
+}

@@ -1,0 +1,381 @@
+//! Switched full-duplex fabric with frame-level interleaving.
+
+use serde::{Deserialize, Serialize};
+use simcore::stats::TransferMeter;
+use simcore::{Bandwidth, FifoResource, Time};
+
+/// Index of a node on the fabric.
+pub type NodeId = usize;
+
+/// Physical parameters of one link.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Usable link bandwidth (payload rate after protocol framing).
+    pub bandwidth: Bandwidth,
+    /// One-way propagation + switching latency.
+    pub latency: Time,
+}
+
+impl LinkParams {
+    /// Gigabit Ethernet with TCP/IP framing: ~112 MiB/s payload, 80 µs of
+    /// one-way latency, the fabric of both clusters in the paper.
+    pub fn gigabit_ethernet() -> LinkParams {
+        LinkParams {
+            bandwidth: Bandwidth::from_bytes_per_sec(117_500_000),
+            latency: Time::from_micros(80),
+        }
+    }
+}
+
+/// Parameters of a switched fabric.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FabricParams {
+    /// Per-node link characteristics.
+    pub link: LinkParams,
+    /// Fragmentation unit: concurrent flows interleave at this granularity.
+    pub max_frame: u64,
+    /// Per-message software overhead (protocol stack traversal).
+    pub per_msg_overhead: Time,
+    /// Bandwidth for node-local (loopback) transfers.
+    pub loopback_bw: Bandwidth,
+}
+
+impl FabricParams {
+    /// A Gigabit Ethernet fabric with 64 KiB frames.
+    pub fn gigabit_ethernet() -> FabricParams {
+        FabricParams {
+            link: LinkParams::gigabit_ethernet(),
+            max_frame: 64 * 1024,
+            per_msg_overhead: Time::from_micros(20),
+            loopback_bw: Bandwidth::from_mib_per_sec(2500),
+        }
+    }
+}
+
+/// Aggregate traffic statistics of a fabric.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct NetMeter {
+    /// All transfers (bytes and in-flight time per message).
+    pub transfers: TransferMeter,
+    /// Number of messages sent.
+    pub messages: u64,
+}
+
+/// A non-blocking switch with one full-duplex link per node.
+///
+/// A message from `a` to `b` serializes on `a`'s TX link and `b`'s RX link
+/// frame by frame (TX of frame *k+1* overlaps RX of frame *k*, so long
+/// transfers run at wire speed); delivery is when the last frame clears the
+/// RX link plus propagation latency. Messages on a common link are served
+/// FIFO, so concurrent workloads interleave at message/RPC granularity —
+/// the resolution the cluster I/O models need.
+pub struct Fabric {
+    params: FabricParams,
+    tx: Vec<FifoResource>,
+    rx: Vec<FifoResource>,
+    meter: NetMeter,
+}
+
+impl Fabric {
+    /// A fabric connecting `nodes` endpoints.
+    pub fn new(nodes: usize, params: FabricParams) -> Fabric {
+        Fabric {
+            params,
+            tx: vec![FifoResource::new(); nodes],
+            rx: vec![FifoResource::new(); nodes],
+            meter: NetMeter::default(),
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn nodes(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Fabric parameters.
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    /// Traffic statistics.
+    pub fn meter(&self) -> &NetMeter {
+        &self.meter
+    }
+
+    /// Sends `bytes` from `from` to `to` starting at `now`; returns the
+    /// delivery instant at the receiver.
+    pub fn send(&mut self, now: Time, from: NodeId, to: NodeId, bytes: u64) -> Time {
+        assert!(from < self.nodes() && to < self.nodes(), "unknown endpoint");
+        let delivered = if from == to {
+            // Loopback: memory copy, no link involvement.
+            now + self.params.per_msg_overhead + self.params.loopback_bw.time_for(bytes)
+        } else {
+            let bw = self.params.link.bandwidth;
+            let mut remaining = bytes;
+            let mut t = now + self.params.per_msg_overhead;
+            let mut last_rx_end;
+            // Zero-byte messages still traverse the stack and the wire.
+            loop {
+                let frame = remaining.min(self.params.max_frame);
+                let service = bw.time_for(frame.max(1).min(remaining.max(1)));
+                let txg = self.tx[from].submit(t, service);
+                let rxg = self.rx[to].submit(txg.end, service);
+                last_rx_end = rxg.end;
+                t = txg.end;
+                if remaining <= self.params.max_frame {
+                    break;
+                }
+                remaining -= frame;
+            }
+            last_rx_end + self.params.link.latency
+        };
+        self.meter.messages += 1;
+        self.meter.transfers.record(bytes, delivered - now);
+        delivered
+    }
+}
+
+/// How a message should be routed across the cluster's networks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// MPI point-to-point / collective traffic.
+    Mpi,
+    /// Storage traffic (NFS RPCs, parallel-FS transfers).
+    Storage,
+}
+
+/// One or two fabrics plus the routing policy between traffic classes.
+pub struct Network {
+    fabrics: Vec<Fabric>,
+    /// `route[class]` is the fabric index for that class.
+    route_mpi: usize,
+    route_storage: usize,
+}
+
+impl Network {
+    /// A single fabric carrying both classes (the "shared" layout).
+    pub fn shared(nodes: usize, params: FabricParams) -> Network {
+        Network {
+            fabrics: vec![Fabric::new(nodes, params)],
+            route_mpi: 0,
+            route_storage: 0,
+        }
+    }
+
+    /// Two fabrics: communication and data networks (the paper's clusters).
+    pub fn split(nodes: usize, params: FabricParams) -> Network {
+        Network {
+            fabrics: vec![Fabric::new(nodes, params), Fabric::new(nodes, params)],
+            route_mpi: 0,
+            route_storage: 1,
+        }
+    }
+
+    /// Whether storage traffic has a dedicated fabric.
+    pub fn is_split(&self) -> bool {
+        self.route_mpi != self.route_storage
+    }
+
+    /// Number of endpoints.
+    pub fn nodes(&self) -> usize {
+        self.fabrics[0].nodes()
+    }
+
+    /// Sends a message of the given class; returns delivery time.
+    pub fn send(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        class: TrafficClass,
+    ) -> Time {
+        let idx = match class {
+            TrafficClass::Mpi => self.route_mpi,
+            TrafficClass::Storage => self.route_storage,
+        };
+        self.fabrics[idx].send(now, from, to, bytes)
+    }
+
+    /// The fabric serving a class (for meters).
+    pub fn fabric(&self, class: TrafficClass) -> &Fabric {
+        let idx = match class {
+            TrafficClass::Mpi => self.route_mpi,
+            TrafficClass::Storage => self.route_storage,
+        };
+        &self.fabrics[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::MIB;
+
+    fn fabric(n: usize) -> Fabric {
+        Fabric::new(n, FabricParams::gigabit_ethernet())
+    }
+
+    #[test]
+    fn small_message_cost_is_latency_dominated() {
+        let mut f = fabric(4);
+        let t = f.send(Time::ZERO, 0, 1, 1);
+        let us = t.as_micros_f64();
+        // overhead 20 + latency 80 + negligible serialization.
+        assert!(us > 99.0 && us < 140.0, "1-byte latency = {us}us");
+    }
+
+    #[test]
+    fn large_transfer_achieves_wire_speed() {
+        let mut f = fabric(2);
+        let bytes = 512 * MIB;
+        let t = f.send(Time::ZERO, 0, 1, bytes);
+        let rate = Bandwidth::measured(bytes, t).as_mib_per_sec();
+        let wire = FabricParams::gigabit_ethernet()
+            .link
+            .bandwidth
+            .as_mib_per_sec();
+        assert!(
+            rate > wire * 0.9 && rate <= wire * 1.01,
+            "rate {rate} vs wire {wire}"
+        );
+    }
+
+    #[test]
+    fn two_senders_share_receiver_link() {
+        let mut f = fabric(3);
+        let bytes = 64 * MIB;
+        // Interleave the two flows frame by frame as concurrent senders do.
+        let t1 = f.send(Time::ZERO, 0, 2, bytes);
+        let t2 = f.send(Time::ZERO, 1, 2, bytes);
+        let finish = t1.max(t2);
+        let agg = Bandwidth::measured(2 * bytes, finish).as_mib_per_sec();
+        let wire = FabricParams::gigabit_ethernet()
+            .link
+            .bandwidth
+            .as_mib_per_sec();
+        // Aggregate into one receiver cannot exceed its RX link.
+        assert!(agg <= wire * 1.02, "aggregate {agg} vs wire {wire}");
+        // And both flows finish roughly together (they shared the RX link).
+        assert!(finish.as_secs_f64() > (bytes * 2) as f64 / (wire * MIB as f64) * 0.9);
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_contend() {
+        let mut f = fabric(4);
+        let bytes = 64 * MIB;
+        let t1 = f.send(Time::ZERO, 0, 1, bytes);
+        let t2 = f.send(Time::ZERO, 2, 3, bytes);
+        // A non-blocking switch carries disjoint pairs in parallel.
+        let each = Bandwidth::measured(bytes, t1.max(t2)).as_mib_per_sec();
+        assert!(each > 100.0, "disjoint flows at {each} MiB/s each");
+    }
+
+    #[test]
+    fn loopback_is_fast() {
+        let mut f = fabric(2);
+        let t = f.send(Time::ZERO, 1, 1, 16 * MIB);
+        let rate = Bandwidth::measured(16 * MIB, t).as_mib_per_sec();
+        assert!(rate > 1000.0, "loopback rate {rate}");
+    }
+
+    #[test]
+    fn zero_byte_message_still_has_latency() {
+        let mut f = fabric(2);
+        let t = f.send(Time::ZERO, 0, 1, 0);
+        assert!(t > Time::from_micros(90));
+    }
+
+    #[test]
+    fn meter_counts_messages_and_bytes() {
+        let mut f = fabric(2);
+        f.send(Time::ZERO, 0, 1, 1000);
+        f.send(Time::from_secs(1), 1, 0, 2000);
+        assert_eq!(f.meter().messages, 2);
+        assert_eq!(f.meter().transfers.bytes(), 3000);
+    }
+
+    #[test]
+    fn split_network_isolates_storage_from_mpi() {
+        let bytes = 64 * MIB;
+        // Shared: storage and MPI fight over node 0's TX link.
+        let mut shared = Network::shared(3, FabricParams::gigabit_ethernet());
+        let s1 = shared.send(Time::ZERO, 0, 1, bytes, TrafficClass::Mpi);
+        let s2 = shared.send(Time::ZERO, 0, 2, bytes, TrafficClass::Storage);
+        let shared_finish = s1.max(s2);
+
+        let mut split = Network::split(3, FabricParams::gigabit_ethernet());
+        let p1 = split.send(Time::ZERO, 0, 1, bytes, TrafficClass::Mpi);
+        let p2 = split.send(Time::ZERO, 0, 2, bytes, TrafficClass::Storage);
+        let split_finish = p1.max(p2);
+
+        assert!(
+            shared_finish.as_secs_f64() > split_finish.as_secs_f64() * 1.7,
+            "shared {shared_finish:?} vs split {split_finish:?}"
+        );
+        assert!(split.is_split());
+        assert!(!shared.is_split());
+    }
+
+    #[test]
+    fn send_is_deterministic() {
+        let run = || {
+            let mut f = fabric(4);
+            let mut t = Time::ZERO;
+            for i in 0..20u64 {
+                t = f.send(t, (i % 3) as usize, 3, i * 1000 + 1);
+            }
+            t
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown endpoint")]
+    fn unknown_endpoint_panics() {
+        fabric(2).send(Time::ZERO, 0, 5, 10);
+    }
+
+    #[test]
+    fn shared_and_split_expose_same_fabric_for_mpi() {
+        let shared = Network::shared(4, FabricParams::gigabit_ethernet());
+        assert_eq!(shared.nodes(), 4);
+        // In a shared network both classes report the same meter object.
+        let mut shared = shared;
+        shared.send(Time::ZERO, 0, 1, 100, TrafficClass::Mpi);
+        shared.send(Time::ZERO, 0, 1, 100, TrafficClass::Storage);
+        assert_eq!(shared.fabric(TrafficClass::Mpi).meter().messages, 2);
+
+        let mut split = Network::split(4, FabricParams::gigabit_ethernet());
+        split.send(Time::ZERO, 0, 1, 100, TrafficClass::Mpi);
+        split.send(Time::ZERO, 0, 1, 100, TrafficClass::Storage);
+        assert_eq!(split.fabric(TrafficClass::Mpi).meter().messages, 1);
+        assert_eq!(split.fabric(TrafficClass::Storage).meter().messages, 1);
+    }
+
+    #[test]
+    fn pipelined_frames_overlap_tx_and_rx() {
+        // A transfer of N frames should take ~N+1 frame times end to end,
+        // not 2N (TX of frame k+1 overlaps RX of frame k).
+        let mut f = fabric(2);
+        let params = FabricParams::gigabit_ethernet();
+        let frames = 64u64;
+        let bytes = frames * params.max_frame;
+        let t = f.send(Time::ZERO, 0, 1, bytes);
+        let frame_time = params.link.bandwidth.time_for(params.max_frame);
+        let serialized_upper = frame_time * (frames + 2);
+        assert!(
+            t < serialized_upper,
+            "transfer {t:?} not pipelined (bound {serialized_upper:?})"
+        );
+        assert!(t > frame_time * frames, "faster than the wire");
+    }
+
+    #[test]
+    fn later_messages_queue_behind_earlier_ones_on_a_link() {
+        let mut f = fabric(2);
+        let t1 = f.send(Time::ZERO, 0, 1, 10 * MIB);
+        let t2 = f.send(Time::ZERO, 0, 1, 1);
+        assert!(t2 > t1, "small message must wait behind the bulk transfer");
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests of the fabric invariants.
+
+use netsim::{Fabric, FabricParams, Network, TrafficClass};
+use proptest::prelude::*;
+use simcore::Time;
+
+proptest! {
+    /// Delivery never precedes send time plus the physical minimum
+    /// (stack overhead + propagation latency), and per-link delivery
+    /// times are nondecreasing for a fixed (src, dst) pair.
+    #[test]
+    fn delivery_respects_physics(
+        msgs in proptest::collection::vec((0usize..4, 0usize..4, 1u64..10_000_000), 1..60)
+    ) {
+        let params = FabricParams::gigabit_ethernet();
+        let min_cost = params.per_msg_overhead + params.link.latency;
+        let mut f = Fabric::new(4, params);
+        let mut now = Time::ZERO;
+        let mut last_per_pair = std::collections::HashMap::new();
+        for (from, to, bytes) in msgs {
+            let t = f.send(now, from, to, bytes);
+            prop_assert!(t >= now, "delivery precedes send");
+            if from != to {
+                prop_assert!(t >= now + min_cost, "faster than the wire minimum");
+                let prev = last_per_pair.insert((from, to), t);
+                if let Some(p) = prev {
+                    prop_assert!(t >= p, "per-pair FIFO violated");
+                }
+            }
+            // Advance issuance time slightly to keep submissions ordered.
+            now += Time::from_micros(1);
+        }
+    }
+
+    /// Larger messages never arrive sooner than smaller ones sent at the
+    /// same instant on a fresh fabric.
+    #[test]
+    fn cost_monotone_in_size(bytes in 1u64..100_000_000) {
+        let params = FabricParams::gigabit_ethernet();
+        let t_small = Fabric::new(2, params).send(Time::ZERO, 0, 1, bytes);
+        let t_big = Fabric::new(2, params).send(Time::ZERO, 0, 1, bytes + 1500);
+        prop_assert!(t_big >= t_small);
+    }
+
+    /// A shared network is never faster than a split one for mixed traffic.
+    #[test]
+    fn shared_never_beats_split(
+        flows in proptest::collection::vec((any::<bool>(), 1u64..5_000_000), 2..20)
+    ) {
+        let params = FabricParams::gigabit_ethernet();
+        let run = |net: &mut Network| {
+            let mut done = Time::ZERO;
+            for (i, &(is_storage, bytes)) in flows.iter().enumerate() {
+                let class = if is_storage {
+                    TrafficClass::Storage
+                } else {
+                    TrafficClass::Mpi
+                };
+                let t = net.send(
+                    Time::from_micros(i as u64),
+                    0,
+                    1,
+                    bytes,
+                    class,
+                );
+                done = done.max(t);
+            }
+            done
+        };
+        let shared = run(&mut Network::shared(2, params));
+        let split = run(&mut Network::split(2, params));
+        prop_assert!(shared >= split, "shared {shared:?} beat split {split:?}");
+    }
+}

@@ -1,0 +1,198 @@
+//! A stable event queue.
+//!
+//! [`EventQueue`] orders events by timestamp; events with equal timestamps
+//! are delivered in insertion order (FIFO). Stability matters for
+//! reproducibility: rank programs frequently schedule several events at the
+//! same instant (e.g. all ranks released by a barrier) and the methodology's
+//! determinism tests require identical delivery order on every run.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    at: Time,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest
+        // sequence number) event is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of events with stable FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (the current
+    /// simulation time), or zero if nothing has been popped yet.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `item` for delivery at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller; the queue
+    /// panics (in debug and release) rather than silently reordering time.
+    pub fn schedule(&mut self, at: Time, item: T) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, item });
+    }
+
+    /// Schedules `item` at `now() + delay`.
+    pub fn schedule_after(&mut self, delay: Time, item: T) {
+        let at = self.now + delay;
+        self.schedule(at, item);
+    }
+
+    /// Removes and returns the earliest event, advancing [`Self::now`].
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.item))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(3), "c");
+        q.schedule(Time::from_secs(1), "a");
+        q.schedule(Time::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((Time::from_secs(1), "a")));
+        assert_eq!(q.pop(), Some((Time::from_secs(2), "b")));
+        assert_eq!(q.pop(), Some((Time::from_secs(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Time::ZERO);
+        q.schedule(Time::from_secs(2), ());
+        q.pop();
+        assert_eq!(q.now(), Time::from_secs(2));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(1), 1);
+        q.pop();
+        q.schedule_after(Time::from_secs(4), 2);
+        assert_eq!(q.pop(), Some((Time::from_secs(5), 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(10), ());
+        q.pop();
+        q.schedule(Time::from_secs(1), ());
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Time::ZERO, ());
+        q.schedule(Time::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert_eq!(q.peek_time(), Some(Time::ZERO));
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(1), 1u32);
+        q.schedule(Time::from_secs(5), 5);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(Time::from_secs(3), 3);
+        q.schedule(Time::from_secs(4), 4);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert_eq!(q.pop().unwrap().1, 5);
+    }
+}

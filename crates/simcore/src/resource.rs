@@ -1,0 +1,263 @@
+//! Timeline resources: exact FIFO queueing without callbacks.
+//!
+//! A [`FifoResource`] models a single server (a disk arm, a network link, an
+//! NFS daemon thread). A request arriving at `t` with service time `s`
+//! starts at `max(t, free_at)`, completes at `start + s`, and pushes
+//! `free_at` to the completion time. Provided requests are *issued* in
+//! nondecreasing simulation time — which the event-driven MPI engine
+//! guarantees — the computed completion times are exactly those of a FIFO
+//! queue.
+//!
+//! [`MultiResource`] generalizes this to `k` identical servers (e.g. an NFS
+//! server's worker-thread pool): each request is placed on the server that
+//! frees up earliest.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of submitting a request to a resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// When the request actually began service (≥ arrival).
+    pub start: Time,
+    /// When the request completed.
+    pub end: Time,
+}
+
+impl Grant {
+    /// Time spent waiting in queue before service began.
+    pub fn queue_delay(&self, arrival: Time) -> Time {
+        self.start.saturating_sub(arrival)
+    }
+
+    /// Total latency from arrival to completion.
+    pub fn latency(&self, arrival: Time) -> Time {
+        self.end.saturating_sub(arrival)
+    }
+}
+
+/// A single-server FIFO resource with utilization accounting.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FifoResource {
+    free_at: Time,
+    busy: Time,
+    requests: u64,
+}
+
+impl FifoResource {
+    /// A resource that is free immediately.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits a request arriving at `arrival` needing `service` time.
+    pub fn submit(&mut self, arrival: Time, service: Time) -> Grant {
+        let start = arrival.max(self.free_at);
+        let end = start + service;
+        self.free_at = end;
+        self.busy += service;
+        self.requests += 1;
+        Grant { start, end }
+    }
+
+    /// When the resource next becomes idle.
+    pub fn free_at(&self) -> Time {
+        self.free_at
+    }
+
+    /// Total time the resource spent serving requests.
+    pub fn busy_time(&self) -> Time {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Fraction of `horizon` the resource was busy (clamped to 1.0).
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            return 0.0;
+        }
+        (self.busy.as_secs_f64() / horizon.as_secs_f64()).min(1.0)
+    }
+
+    /// Forgets all state (timeline and statistics).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// `k` identical FIFO servers fed from a common queue.
+///
+/// Requests go to the server that becomes free earliest, matching the
+/// behaviour of a thread pool draining a shared run queue.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MultiResource {
+    servers: Vec<FifoResource>,
+}
+
+impl MultiResource {
+    /// Creates a pool of `k` servers (`k ≥ 1`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "a resource pool needs at least one server");
+        MultiResource {
+            servers: vec![FifoResource::new(); k],
+        }
+    }
+
+    /// Number of servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Submits a request to the earliest-free server.
+    pub fn submit(&mut self, arrival: Time, service: Time) -> Grant {
+        let idx = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.free_at())
+            .map(|(i, _)| i)
+            .expect("pool is non-empty");
+        self.servers[idx].submit(arrival, service)
+    }
+
+    /// When the pool could start a new request at the earliest.
+    pub fn earliest_free(&self) -> Time {
+        self.servers
+            .iter()
+            .map(|s| s.free_at())
+            .min()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Total busy time across all servers.
+    pub fn busy_time(&self) -> Time {
+        self.servers.iter().map(|s| s.busy_time()).sum()
+    }
+
+    /// Total requests across all servers.
+    pub fn requests(&self) -> u64 {
+        self.servers.iter().map(|s| s.requests()).sum()
+    }
+
+    /// Mean per-server utilization over `horizon`.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO || self.servers.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .servers
+            .iter()
+            .map(|s| s.utilization(horizon))
+            .sum();
+        total / self.servers.len() as f64
+    }
+
+    /// Forgets all state.
+    pub fn reset(&mut self) {
+        for s in &mut self.servers {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: u64) -> Time {
+        Time::from_secs(x)
+    }
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut r = FifoResource::new();
+        let g = r.submit(s(5), s(2));
+        assert_eq!(g.start, s(5));
+        assert_eq!(g.end, s(7));
+        assert_eq!(g.queue_delay(s(5)), Time::ZERO);
+        assert_eq!(g.latency(s(5)), s(2));
+    }
+
+    #[test]
+    fn busy_resource_queues_fifo() {
+        let mut r = FifoResource::new();
+        r.submit(s(0), s(10));
+        let g = r.submit(s(2), s(3));
+        assert_eq!(g.start, s(10));
+        assert_eq!(g.end, s(13));
+        assert_eq!(g.queue_delay(s(2)), s(8));
+        let g2 = r.submit(s(2), s(1));
+        assert_eq!(g2.start, s(13));
+    }
+
+    #[test]
+    fn utilization_accounts_busy_fraction() {
+        let mut r = FifoResource::new();
+        r.submit(s(0), s(2));
+        r.submit(s(4), s(2));
+        assert!((r.utilization(s(8)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.requests(), 2);
+        assert_eq!(r.busy_time(), s(4));
+        assert_eq!(r.utilization(Time::ZERO), 0.0);
+    }
+
+    #[test]
+    fn utilization_clamps_to_one() {
+        let mut r = FifoResource::new();
+        r.submit(s(0), s(100));
+        assert_eq!(r.utilization(s(10)), 1.0);
+    }
+
+    #[test]
+    fn reset_clears_timeline() {
+        let mut r = FifoResource::new();
+        r.submit(s(0), s(100));
+        r.reset();
+        let g = r.submit(s(1), s(1));
+        assert_eq!(g.start, s(1));
+        assert_eq!(r.requests(), 1);
+    }
+
+    #[test]
+    fn multi_resource_runs_k_in_parallel() {
+        let mut pool = MultiResource::new(2);
+        let a = pool.submit(s(0), s(10));
+        let b = pool.submit(s(0), s(10));
+        let c = pool.submit(s(0), s(10));
+        assert_eq!(a.start, s(0));
+        assert_eq!(b.start, s(0));
+        // Third request waits for the first free server.
+        assert_eq!(c.start, s(10));
+        assert_eq!(pool.requests(), 3);
+        assert_eq!(pool.busy_time(), s(30));
+    }
+
+    #[test]
+    fn multi_resource_picks_earliest_free_server() {
+        let mut pool = MultiResource::new(2);
+        pool.submit(s(0), s(10)); // server 0 busy until 10
+        pool.submit(s(0), s(2)); // server 1 busy until 2
+        let g = pool.submit(s(3), s(1));
+        assert_eq!(g.start, s(3)); // server 1 free at 2 < arrival 3
+        assert_eq!(pool.earliest_free(), s(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_pool_is_rejected() {
+        MultiResource::new(0);
+    }
+
+    #[test]
+    fn multi_utilization_is_mean_of_servers() {
+        let mut pool = MultiResource::new(2);
+        pool.submit(s(0), s(4)); // server A: 4s busy
+        pool.submit(s(0), s(0)); // server B: idle
+        let u = pool.utilization(s(8));
+        assert!((u - 0.25).abs() < 1e-12, "u = {u}");
+    }
+}

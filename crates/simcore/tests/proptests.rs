@@ -1,0 +1,89 @@
+//! Property tests of the simulation kernel invariants.
+
+use proptest::prelude::*;
+use simcore::{Bandwidth, EventQueue, FifoResource, SplitMix64, Time};
+
+proptest! {
+    /// Events always pop in nondecreasing time order, regardless of the
+    /// schedule order.
+    #[test]
+    fn event_queue_orders_any_schedule(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Time::from_nanos(t), i);
+        }
+        let mut last = Time::ZERO;
+        let mut n = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    /// Same-timestamp events preserve insertion order (stability).
+    #[test]
+    fn event_queue_is_stable(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(Time::from_secs(1), i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    /// A FIFO resource never overlaps grants and never loses busy time.
+    #[test]
+    fn fifo_resource_grants_never_overlap(
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..100)
+    ) {
+        let mut r = FifoResource::new();
+        let mut arrivals: Vec<u64> = jobs.iter().map(|&(a, _)| a).collect();
+        arrivals.sort_unstable();
+        let mut prev_end = Time::ZERO;
+        let mut total_service = Time::ZERO;
+        for (i, &arrival) in arrivals.iter().enumerate() {
+            let service = Time::from_nanos(jobs[i].1);
+            let g = r.submit(Time::from_nanos(arrival), service);
+            prop_assert!(g.start >= prev_end, "grant overlaps predecessor");
+            prop_assert_eq!(g.end - g.start, service);
+            prop_assert!(g.start >= Time::from_nanos(arrival));
+            prev_end = g.end;
+            total_service += service;
+        }
+        prop_assert_eq!(r.busy_time(), total_service);
+    }
+
+    /// `time_for` and `measured` are mutually consistent within rounding.
+    #[test]
+    fn bandwidth_roundtrip(bps in 1u64..10_000_000_000u64, bytes in 1u64..1_000_000_000u64) {
+        let bw = Bandwidth::from_bytes_per_sec(bps);
+        let t = bw.time_for(bytes);
+        prop_assume!(t > Time::ZERO && t < Time::from_secs(1_000_000));
+        let back = Bandwidth::measured(bytes, t);
+        let rel = (back.bytes_per_sec() as f64 - bps as f64).abs() / bps as f64;
+        prop_assert!(rel < 0.01, "bps {} back {} rel {}", bps, back.bytes_per_sec(), rel);
+    }
+
+    /// The RNG's bounded generation respects its bound for any bound.
+    #[test]
+    fn rng_bounded(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Shuffle is always a permutation.
+    #[test]
+    fn rng_shuffle_permutes(seed in any::<u64>(), n in 0usize..200) {
+        let mut rng = SplitMix64::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,868 @@
+//! JBOD and RAID volume engines.
+//!
+//! * [`Jbod`] — a single disk exposed as a volume (the paper's "JBOD
+//!   configuration is single disk without redundancy").
+//! * [`Raid0`] — striping, no redundancy.
+//! * [`Raid1`] — mirroring; writes go to both members, reads are balanced
+//!   across members with sequential affinity (a sequential stream stays on
+//!   one member; concurrent streams spread over both).
+//! * [`Raid5`] — block-interleaved distributed parity with the
+//!   *left-symmetric* layout. Full-stripe writes update parity in place;
+//!   small writes pay the classic read-modify-write penalty. Sequential
+//!   partial writes are *coalesced*: parity for a stripe row is written once
+//!   when the row fills (the job of a controller stripe cache), while
+//!   abandoned partial rows are settled with an RMW.
+//!
+//! Address mapping is exact and property-tested ([`raid5_locate`]); command
+//! *submission* aggregates per-disk contiguous spans so a 162 MB request
+//! costs a handful of disk commands instead of hundreds, without changing
+//! the timing model (the spans are physically contiguous on each member).
+
+use crate::disk::Disk;
+use crate::req::{BlockOp, BlockReq, IoGrant};
+use crate::volume::{Volume, VolumeMeter};
+use simcore::Time;
+
+/// Location of one logical byte range inside a RAID 5 array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Raid5Chunk {
+    /// Stripe row index.
+    pub row: u64,
+    /// Member disk holding the data.
+    pub disk: usize,
+    /// Byte offset on that member disk.
+    pub disk_offset: u64,
+    /// Member disk holding the row's parity.
+    pub parity_disk: usize,
+}
+
+/// Maps a logical byte offset to its RAID 5 location (left-symmetric layout:
+/// parity rotates from the last disk downward; data chunks follow the parity
+/// disk cyclically).
+pub fn raid5_locate(offset: u64, stripe: u64, n_disks: usize) -> Raid5Chunk {
+    assert!(n_disks >= 3, "RAID 5 needs at least 3 members");
+    let n = n_disks as u64;
+    let row_width = (n - 1) * stripe;
+    let row = offset / row_width;
+    let within = offset % row_width;
+    let chunk = within / stripe;
+    let off_in_chunk = within % stripe;
+    let parity = (n - 1) - (row % n);
+    let disk = (parity + 1 + chunk) % n;
+    Raid5Chunk {
+        row,
+        disk: disk as usize,
+        disk_offset: row * stripe + off_in_chunk,
+        parity_disk: parity as usize,
+    }
+}
+
+/// A single-disk volume.
+pub struct Jbod {
+    disk: Disk,
+    meter: VolumeMeter,
+}
+
+impl Jbod {
+    /// Wraps `disk` as a volume.
+    pub fn new(disk: Disk) -> Jbod {
+        Jbod {
+            disk,
+            meter: VolumeMeter::default(),
+        }
+    }
+}
+
+impl Volume for Jbod {
+    fn submit(&mut self, now: Time, req: BlockReq) -> IoGrant {
+        let grant = self.disk.submit(now, req);
+        self.meter.record(&req, now, &grant);
+        self.meter.disk_ios += 1;
+        grant
+    }
+
+    fn flush(&mut self, _now: Time) -> Time {
+        self.disk.free_at()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.disk.params().capacity
+    }
+
+    fn kind(&self) -> &'static str {
+        "JBOD"
+    }
+
+    fn meter(&self) -> &VolumeMeter {
+        &self.meter
+    }
+}
+
+/// A striped (RAID 0) volume.
+pub struct Raid0 {
+    disks: Vec<Disk>,
+    stripe: u64,
+    meter: VolumeMeter,
+}
+
+impl Raid0 {
+    /// Builds a stripe set over `disks` with the given chunk size.
+    pub fn new(disks: Vec<Disk>, stripe: u64) -> Raid0 {
+        assert!(disks.len() >= 2, "RAID 0 needs at least 2 members");
+        assert!(stripe > 0);
+        Raid0 {
+            disks,
+            stripe,
+            meter: VolumeMeter::default(),
+        }
+    }
+
+    /// Per-disk contiguous spans covering `req` (offset, len on each disk).
+    fn spans(&self, req: &BlockReq) -> Vec<(usize, u64, u64)> {
+        let n = self.disks.len() as u64;
+        let mut per_disk: Vec<Option<(u64, u64)>> = vec![None; self.disks.len()];
+        let mut pos = req.offset;
+        let end = req.end();
+        while pos < end {
+            let chunk = pos / self.stripe;
+            let disk = (chunk % n) as usize;
+            let disk_off = (chunk / n) * self.stripe + pos % self.stripe;
+            let take = (self.stripe - pos % self.stripe).min(end - pos);
+            match &mut per_disk[disk] {
+                Some((_, len)) => *len += take,
+                None => per_disk[disk] = Some((disk_off, take)),
+            }
+            pos += take;
+        }
+        per_disk
+            .into_iter()
+            .enumerate()
+            .filter_map(|(d, s)| s.map(|(o, l)| (d, o, l)))
+            .collect()
+    }
+}
+
+impl Volume for Raid0 {
+    fn submit(&mut self, now: Time, req: BlockReq) -> IoGrant {
+        let mut grant: Option<IoGrant> = None;
+        for (disk, off, len) in self.spans(&req) {
+            let g = self.disks[disk].submit(now, BlockReq { op: req.op, offset: off, len });
+            self.meter.disk_ios += 1;
+            grant = Some(match grant {
+                Some(acc) => acc.join(g),
+                None => g,
+            });
+        }
+        let grant = grant.expect("nonzero request produced no spans");
+        self.meter.record(&req, now, &grant);
+        grant
+    }
+
+    fn flush(&mut self, _now: Time) -> Time {
+        self.disks
+            .iter()
+            .map(|d| d.free_at())
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.disks.iter().map(|d| d.params().capacity).sum()
+    }
+
+    fn kind(&self) -> &'static str {
+        "RAID 0"
+    }
+
+    fn meter(&self) -> &VolumeMeter {
+        &self.meter
+    }
+}
+
+/// A mirrored (RAID 1) volume over two members.
+pub struct Raid1 {
+    disks: [Box<Disk>; 2],
+    meter: VolumeMeter,
+    last_read_end: [Option<u64>; 2],
+}
+
+impl Raid1 {
+    /// Builds a mirror pair.
+    pub fn new(primary: Disk, mirror: Disk) -> Raid1 {
+        Raid1 {
+            disks: [Box::new(primary), Box::new(mirror)],
+            meter: VolumeMeter::default(),
+            last_read_end: [None, None],
+        }
+    }
+
+    /// Read balancing: prefer the member whose head is already positioned
+    /// (sequential affinity), otherwise the member that frees up earliest.
+    fn pick_reader(&self, offset: u64) -> usize {
+        for (i, end) in self.last_read_end.iter().enumerate() {
+            if *end == Some(offset) {
+                return i;
+            }
+        }
+        if self.disks[0].free_at() <= self.disks[1].free_at() {
+            0
+        } else {
+            1
+        }
+    }
+}
+
+impl Volume for Raid1 {
+    fn submit(&mut self, now: Time, req: BlockReq) -> IoGrant {
+        let grant = match req.op {
+            BlockOp::Write => {
+                // Both members must be written; ack when both complete.
+                let g0 = self.disks[0].submit(now, req);
+                let g1 = self.disks[1].submit(now, req);
+                self.meter.disk_ios += 2;
+                g0.join(g1)
+            }
+            BlockOp::Read => {
+                let d = self.pick_reader(req.offset);
+                let g = self.disks[d].submit(now, req);
+                self.last_read_end[d] = Some(req.end());
+                self.meter.disk_ios += 1;
+                g
+            }
+        };
+        self.meter.record(&req, now, &grant);
+        grant
+    }
+
+    fn flush(&mut self, _now: Time) -> Time {
+        self.disks[0].free_at().max(self.disks[1].free_at())
+    }
+
+    fn capacity(&self) -> u64 {
+        self.disks[0]
+            .params()
+            .capacity
+            .min(self.disks[1].params().capacity)
+    }
+
+    fn kind(&self) -> &'static str {
+        "RAID 1"
+    }
+
+    fn meter(&self) -> &VolumeMeter {
+        &self.meter
+    }
+}
+
+/// A partially filled stripe row awaiting its parity write.
+#[derive(Clone, Copy, Debug)]
+struct OpenRow {
+    row: u64,
+    /// Covered byte range within the row (relative to row start).
+    covered_from: u64,
+    covered_to: u64,
+}
+
+/// A RAID 5 volume with distributed parity.
+pub struct Raid5 {
+    disks: Vec<Disk>,
+    stripe: u64,
+    meter: VolumeMeter,
+    open_row: Option<OpenRow>,
+    /// Whether sequential partial writes defer parity until the row fills
+    /// (controller stripe-cache behaviour). Disabled → every partial write
+    /// pays an immediate RMW.
+    coalesce: bool,
+    /// Count of read-modify-write parity settlements (for ablation reports).
+    rmw_count: u64,
+    /// A failed member (degraded mode), if any.
+    failed: Option<usize>,
+}
+
+impl Raid5 {
+    /// Builds an array over `disks` (≥ 3) with the given stripe chunk size.
+    pub fn new(disks: Vec<Disk>, stripe: u64, coalesce: bool) -> Raid5 {
+        assert!(disks.len() >= 3, "RAID 5 needs at least 3 members");
+        assert!(stripe > 0);
+        Raid5 {
+            disks,
+            stripe,
+            meter: VolumeMeter::default(),
+            open_row: None,
+            coalesce,
+            rmw_count: 0,
+            failed: None,
+        }
+    }
+
+    /// Number of parity read-modify-write settlements performed.
+    pub fn rmw_count(&self) -> u64 {
+        self.rmw_count
+    }
+
+    /// Marks a member disk as failed. The array keeps serving requests in
+    /// *degraded mode*: chunks of the failed member are reconstructed by
+    /// reading every surviving member of the row — the availability price
+    /// the paper's configuration analysis weighs against JBOD.
+    pub fn fail_disk(&mut self, disk: usize) {
+        assert!(disk < self.disks.len(), "unknown member");
+        assert!(self.failed.is_none(), "RAID 5 survives a single failure");
+        self.failed = Some(disk);
+    }
+
+    /// The failed member, if any.
+    pub fn failed_disk(&self) -> Option<usize> {
+        self.failed
+    }
+
+    fn n(&self) -> u64 {
+        self.disks.len() as u64
+    }
+
+    fn row_width(&self) -> u64 {
+        (self.n() - 1) * self.stripe
+    }
+
+    fn parity_disk(&self, row: u64) -> usize {
+        ((self.n() - 1) - (row % self.n())) as usize
+    }
+
+    /// Writes the parity chunk of `row` (skipped when the parity member is
+    /// the failed disk — the row is then unprotected, as on real arrays).
+    fn write_parity(&mut self, now: Time, row: u64) -> IoGrant {
+        let p = self.parity_disk(row);
+        if Some(p) == self.failed {
+            return IoGrant::immediate(now);
+        }
+        let g = self.disks[p].submit(
+            now,
+            BlockReq::write(row * self.stripe, self.stripe),
+        );
+        self.meter.disk_ios += 1;
+        g
+    }
+
+    /// Settles an abandoned partial row with a read-modify-write: read old
+    /// parity and one old data chunk, then write the new parity.
+    fn settle_rmw(&mut self, now: Time, row: OpenRow) -> Time {
+        self.rmw_count += 1;
+        let p = self.parity_disk(row.row);
+        if Some(p) == self.failed {
+            // No surviving parity for this row: nothing to settle.
+            return now;
+        }
+        let touched = raid5_locate(
+            row.row * self.row_width() + row.covered_from,
+            self.stripe,
+            self.disks.len(),
+        );
+        let r1 = self.disks[p].submit(
+            now,
+            BlockReq::read(row.row * self.stripe, self.stripe),
+        );
+        self.meter.disk_ios += 1;
+        let mut ready = r1.ack;
+        if Some(touched.disk) != self.failed {
+            let r2 = self.disks[touched.disk].submit(
+                now,
+                BlockReq::read(row.row * self.stripe, self.stripe),
+            );
+            self.meter.disk_ios += 1;
+            ready = ready.max(r2.ack);
+        }
+        let w = self.disks[p].submit(
+            ready,
+            BlockReq::write(row.row * self.stripe, self.stripe),
+        );
+        self.meter.disk_ios += 1;
+        w.ack
+    }
+
+    /// Closes the open row if `keep` does not refer to it.
+    fn settle_open_row_unless(&mut self, now: Time, keep: Option<u64>) {
+        if let Some(open) = self.open_row {
+            if keep != Some(open.row) {
+                self.open_row = None;
+                self.settle_rmw(now, open);
+            }
+        }
+    }
+
+    /// Handles the partially covered head/tail row of a write.
+    fn write_partial_row(&mut self, now: Time, row: u64, from: u64, to: u64) -> IoGrant {
+        // Write the new data chunks (exact chunk-level submission).
+        let mut grant: Option<IoGrant> = None;
+        let mut pos = from;
+        while pos < to {
+            let loc = raid5_locate(row * self.row_width() + pos, self.stripe, self.disks.len());
+            let take = (self.stripe - (pos % self.stripe)).min(to - pos);
+            if Some(loc.disk) != self.failed {
+                let g = self.disks[loc.disk].submit(
+                    now,
+                    BlockReq::write(loc.disk_offset, take),
+                );
+                self.meter.disk_ios += 1;
+                grant = Some(match grant {
+                    Some(acc) => acc.join(g),
+                    None => g,
+                });
+            }
+            pos += take;
+        }
+        let data_grant = grant.unwrap_or(IoGrant::immediate(now));
+
+        if !self.coalesce {
+            let done = self.settle_rmw(
+                now,
+                OpenRow {
+                    row,
+                    covered_from: from,
+                    covered_to: to,
+                },
+            );
+            return IoGrant {
+                start: data_grant.start,
+                ack: data_grant.ack.max(done),
+                durable: data_grant.durable.max(done),
+            };
+        }
+
+        // Coalescing: extend or open the pending row.
+        match &mut self.open_row {
+            Some(open) if open.row == row && open.covered_to == from => {
+                open.covered_to = to;
+            }
+            Some(open) if open.row == row && to == open.covered_from => {
+                open.covered_from = from;
+            }
+            Some(_) => {
+                let old = self.open_row.take().expect("checked above");
+                self.settle_rmw(now, old);
+                self.open_row = Some(OpenRow {
+                    row,
+                    covered_from: from,
+                    covered_to: to,
+                });
+            }
+            None => {
+                self.open_row = Some(OpenRow {
+                    row,
+                    covered_from: from,
+                    covered_to: to,
+                });
+            }
+        }
+        // Row completed by this extension → write parity, close it.
+        if let Some(open) = self.open_row {
+            if open.covered_from == 0 && open.covered_to == self.row_width() {
+                self.open_row = None;
+                let pg = self.write_parity(now, open.row);
+                return data_grant.join(pg);
+            }
+        }
+        data_grant
+    }
+}
+
+impl Volume for Raid5 {
+    fn submit(&mut self, now: Time, req: BlockReq) -> IoGrant {
+        let rw = self.row_width();
+        let first_row = req.offset / rw;
+        let last_row = (req.end() - 1) / rw;
+
+        let grant = match req.op {
+            BlockOp::Read => {
+                // Settle any pending parity before reads of the same area
+                // would observe stale parity; cheap conservatism.
+                self.settle_open_row_unless(now, None);
+                // Aggregate per-disk: each member holds (n-1)/n of the span
+                // as physically contiguous data+gap regions; issue one span
+                // per member sized by its share.
+                let n = self.disks.len();
+                let mut per_disk = vec![0u64; n];
+                let mut pos = req.offset;
+                while pos < req.end() {
+                    let loc = raid5_locate(pos, self.stripe, n);
+                    let take = (self.stripe - (pos % self.stripe)).min(req.end() - pos);
+                    per_disk[loc.disk] += take;
+                    pos += take;
+                }
+                let base = first_row * self.stripe;
+                let mut grant: Option<IoGrant> = None;
+                // Degraded mode: the failed member's share is rebuilt from
+                // parity, which costs an equal-sized read on every survivor.
+                let rebuild = self.failed.map(|f| per_disk[f]).unwrap_or(0);
+                for (d, bytes) in per_disk.iter().enumerate() {
+                    if Some(d) == self.failed {
+                        continue;
+                    }
+                    let amount = bytes + rebuild;
+                    if amount == 0 {
+                        continue;
+                    }
+                    let g = self.disks[d].submit(now, BlockReq::read(base, amount));
+                    self.meter.disk_ios += 1;
+                    grant = Some(match grant {
+                        Some(acc) => acc.join(g),
+                        None => g,
+                    });
+                }
+                grant.expect("nonzero read produced no spans")
+            }
+            BlockOp::Write => {
+                // A write to some other row abandons the open partial row.
+                self.settle_open_row_unless(now, Some(first_row));
+
+                let mut grant: Option<IoGrant> = None;
+                let join = |acc: &mut Option<IoGrant>, g: IoGrant| {
+                    *acc = Some(match acc.take() {
+                        Some(a) => a.join(g),
+                        None => g,
+                    });
+                };
+
+                // Head partial row.
+                let head_from = req.offset % rw;
+                let mut full_first = first_row;
+                if head_from != 0 || req.end() < (first_row + 1) * rw {
+                    let to = (req.end() - first_row * rw).min(rw);
+                    let g = self.write_partial_row(now, first_row, head_from, to);
+                    join(&mut grant, g);
+                    full_first += 1;
+                }
+
+                // Tail partial row (distinct from head).
+                let tail_to = req.end() % rw;
+                let mut full_last = last_row;
+                if last_row >= full_first && tail_to != 0 {
+                    let g = self.write_partial_row(now, last_row, 0, tail_to);
+                    join(&mut grant, g);
+                    full_last = last_row.saturating_sub(1);
+                }
+
+                // Full rows [full_first, full_last]: every member writes one
+                // contiguous span (data chunks + its rotating parity chunks).
+                if full_first <= full_last {
+                    let rows = full_last - full_first + 1;
+                    let base = full_first * self.stripe;
+                    let len = rows * self.stripe;
+                    for d in 0..self.disks.len() {
+                        if Some(d) == self.failed {
+                            continue;
+                        }
+                        let g = self.disks[d].submit(now, BlockReq::write(base, len));
+                        self.meter.disk_ios += 1;
+                        join(&mut grant, g);
+                    }
+                }
+                grant.expect("nonzero write produced no spans")
+            }
+        };
+        self.meter.record(&req, now, &grant);
+        grant
+    }
+
+    fn flush(&mut self, now: Time) -> Time {
+        self.settle_open_row_unless(now, None);
+        self.disks
+            .iter()
+            .map(|d| d.free_at())
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    fn capacity(&self) -> u64 {
+        let min = self
+            .disks
+            .iter()
+            .map(|d| d.params().capacity)
+            .min()
+            .unwrap_or(0);
+        min * (self.n() - 1)
+    }
+
+    fn kind(&self) -> &'static str {
+        "RAID 5"
+    }
+
+    fn meter(&self) -> &VolumeMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskParams;
+    use simcore::{Bandwidth, SplitMix64, KIB, MIB};
+
+    fn disk(seed: u64) -> Disk {
+        Disk::new(DiskParams::sata_7200(150, 72), seed)
+    }
+
+    fn disks(n: usize) -> Vec<Disk> {
+        (0..n).map(|i| disk(i as u64 + 1)).collect()
+    }
+
+    const STRIPE: u64 = 256 * KIB;
+
+    #[test]
+    fn raid5_locate_left_symmetric_layout() {
+        // 5 disks, row 0: parity on disk 4, data on 0..3.
+        let c = raid5_locate(0, STRIPE, 5);
+        assert_eq!(c.row, 0);
+        assert_eq!(c.parity_disk, 4);
+        assert_eq!(c.disk, 0);
+        assert_eq!(c.disk_offset, 0);
+        // Second chunk of row 0 → disk 1.
+        let c = raid5_locate(STRIPE, STRIPE, 5);
+        assert_eq!(c.disk, 1);
+        // Row 1: parity rotates to disk 3; first data chunk on disk 4.
+        let c = raid5_locate(4 * STRIPE, STRIPE, 5);
+        assert_eq!(c.row, 1);
+        assert_eq!(c.parity_disk, 3);
+        assert_eq!(c.disk, 4);
+        assert_eq!(c.disk_offset, STRIPE);
+    }
+
+    #[test]
+    fn raid5_locate_never_maps_data_to_parity_disk() {
+        for off in (0..100 * MIB).step_by((STRIPE / 2) as usize) {
+            let c = raid5_locate(off, STRIPE, 5);
+            assert_ne!(c.disk, c.parity_disk, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn raid0_spans_cover_request_exactly() {
+        let r = Raid0::new(disks(4), STRIPE);
+        let req = BlockReq::read(STRIPE / 2, 5 * STRIPE);
+        let spans = r.spans(&req);
+        let total: u64 = spans.iter().map(|(_, _, l)| l).sum();
+        assert_eq!(total, req.len);
+        // 5.5 stripes starting mid-chunk touch at most all 4 disks.
+        assert!(spans.len() <= 4);
+    }
+
+    #[test]
+    fn raid0_sequential_read_scales_with_members() {
+        let mut single = Jbod::new(disk(9));
+        let mut striped = Raid0::new(disks(4), STRIPE);
+        let measure = |v: &mut dyn Volume| {
+            let mut now = v.submit(Time::ZERO, BlockReq::read(0, 4 * MIB)).ack;
+            let start = now;
+            for i in 1..64u64 {
+                now = v.submit(now, BlockReq::read(i * 4 * MIB, 4 * MIB)).ack;
+            }
+            Bandwidth::measured(63 * 4 * MIB, now - start).as_mib_per_sec()
+        };
+        let s = measure(&mut single);
+        let m = measure(&mut striped);
+        assert!(m > s * 2.5, "raid0 {m} vs single {s}");
+    }
+
+    #[test]
+    fn raid1_write_hits_both_members_read_hits_one() {
+        let mut r = Raid1::new(disk(1), disk(2));
+        r.submit(Time::ZERO, BlockReq::write(0, MIB));
+        assert_eq!(r.meter().disk_ios, 2);
+        r.submit(Time::from_secs(1), BlockReq::read(0, MIB));
+        assert_eq!(r.meter().disk_ios, 3);
+    }
+
+    #[test]
+    fn raid1_concurrent_readers_use_both_members() {
+        let mut r = Raid1::new(disk(1), disk(2));
+        // Two interleaved sequential streams issued at the same instants.
+        let mut now = Time::ZERO;
+        let warm_a = r.submit(now, BlockReq::read(0, MIB));
+        let warm_b = r.submit(now, BlockReq::read(1000 * MIB, MIB));
+        now = warm_a.ack.max(warm_b.ack);
+        let start = now;
+        let mut done = now;
+        for i in 1..33u64 {
+            let a = r.submit(now, BlockReq::read(i * MIB, MIB));
+            let b = r.submit(now, BlockReq::read((1000 + i) * MIB, MIB));
+            now = a.ack.max(b.ack);
+            done = now;
+        }
+        let rate = Bandwidth::measured(2 * 32 * MIB, done - start).as_mib_per_sec();
+        // Two streams on two members ≈ 2× media rate; require > 1.5×.
+        assert!(rate > 1.5 * 72.0, "aggregate mirror read rate {rate}");
+    }
+
+    #[test]
+    fn raid1_single_stream_keeps_sequential_affinity() {
+        let mut r = Raid1::new(disk(1), disk(2));
+        let mut now = r.submit(Time::ZERO, BlockReq::read(0, MIB)).ack;
+        let start = now;
+        for i in 1..65u64 {
+            now = r.submit(now, BlockReq::read(i * MIB, MIB)).ack;
+        }
+        let rate = Bandwidth::measured(64 * MIB, now - start).as_mib_per_sec();
+        assert!(rate > 0.85 * 72.0, "single-stream mirror read rate {rate}");
+    }
+
+    #[test]
+    fn raid5_full_stripe_write_uses_all_members_once() {
+        let mut r = Raid5::new(disks(5), STRIPE, true);
+        let row = 4 * STRIPE; // full row width for 5 disks
+        r.submit(Time::ZERO, BlockReq::write(0, row));
+        assert_eq!(r.meter().disk_ios, 5);
+        assert_eq!(r.rmw_count(), 0);
+    }
+
+    #[test]
+    fn raid5_sequential_write_outpaces_single_disk() {
+        let mut r5 = Raid5::new(disks(5), STRIPE, true);
+        let mut jbod = Jbod::new(disk(7));
+        let measure = |v: &mut dyn Volume| {
+            let mut now = v.submit(Time::ZERO, BlockReq::write(0, 4 * MIB)).ack;
+            let start = now;
+            for i in 1..64u64 {
+                now = v.submit(now, BlockReq::write(i * 4 * MIB, 4 * MIB)).ack;
+            }
+            Bandwidth::measured(63 * 4 * MIB, now - start).as_mib_per_sec()
+        };
+        let r5_rate = measure(&mut r5);
+        let jbod_rate = measure(&mut jbod);
+        assert!(
+            r5_rate > jbod_rate * 2.0,
+            "raid5 seq write {r5_rate} vs jbod {jbod_rate}"
+        );
+    }
+
+    #[test]
+    fn raid5_random_small_writes_pay_rmw() {
+        let mut r = Raid5::new(disks(5), STRIPE, true);
+        let mut rng = SplitMix64::new(11);
+        let mut now = Time::ZERO;
+        for _ in 0..50 {
+            let row = rng.next_below(10_000);
+            let off = row * 4 * STRIPE + 4096;
+            now = r.submit(now, BlockReq::write(off, 4096)).ack;
+        }
+        // Every write lands on a different row, abandoning the previous
+        // partial row → RMW settlements accumulate (the last row stays open).
+        assert!(r.rmw_count() >= 48, "rmw_count = {}", r.rmw_count());
+    }
+
+    #[test]
+    fn raid5_sequential_small_writes_coalesce_parity() {
+        let mut r = Raid5::new(disks(5), STRIPE, true);
+        let mut now = Time::ZERO;
+        let mut off = 0;
+        // 64 KiB sequential writes over 8 full rows.
+        while off < 8 * 4 * STRIPE {
+            now = r.submit(now, BlockReq::write(off, 64 * KIB)).ack;
+            off += 64 * KIB;
+        }
+        assert_eq!(r.rmw_count(), 0, "sequential stream must not RMW");
+    }
+
+    #[test]
+    fn raid5_no_coalesce_pays_rmw_per_partial_write() {
+        let mut r = Raid5::new(disks(5), STRIPE, false);
+        let mut now = Time::ZERO;
+        for i in 0..10u64 {
+            now = r.submit(now, BlockReq::write(i * 64 * KIB, 64 * KIB)).ack;
+        }
+        assert_eq!(r.rmw_count(), 10);
+    }
+
+    #[test]
+    fn raid5_flush_settles_open_row() {
+        let mut r = Raid5::new(disks(5), STRIPE, true);
+        r.submit(Time::ZERO, BlockReq::write(0, 64 * KIB));
+        assert_eq!(r.rmw_count(), 0);
+        r.flush(Time::from_secs(1));
+        assert_eq!(r.rmw_count(), 1);
+    }
+
+    #[test]
+    fn raid5_read_faster_than_single_disk() {
+        let mut r5 = Raid5::new(disks(5), STRIPE, true);
+        let mut jbod = Jbod::new(disk(3));
+        let measure = |v: &mut dyn Volume| {
+            let mut now = v.submit(Time::ZERO, BlockReq::read(0, 4 * MIB)).ack;
+            let start = now;
+            for i in 1..64u64 {
+                now = v.submit(now, BlockReq::read(i * 4 * MIB, 4 * MIB)).ack;
+            }
+            Bandwidth::measured(63 * 4 * MIB, now - start).as_mib_per_sec()
+        };
+        let a = measure(&mut r5);
+        let b = measure(&mut jbod);
+        assert!(a > b * 2.0, "raid5 read {a} vs jbod {b}");
+    }
+
+    #[test]
+    fn capacities() {
+        assert_eq!(Jbod::new(disk(1)).capacity(), 150 * 1024 * 1024 * 1024);
+        assert_eq!(
+            Raid1::new(disk(1), disk(2)).capacity(),
+            150 * 1024 * 1024 * 1024
+        );
+        assert_eq!(
+            Raid5::new(disks(5), STRIPE, true).capacity(),
+            4 * 150 * 1024 * 1024 * 1024
+        );
+        assert_eq!(
+            Raid0::new(disks(4), STRIPE).capacity(),
+            4 * 150 * 1024 * 1024 * 1024
+        );
+        assert_eq!(Raid5::new(disks(5), STRIPE, true).kind(), "RAID 5");
+    }
+
+    #[test]
+    fn raid5_write_then_read_roundtrip_grants_are_ordered() {
+        let mut r = Raid5::new(disks(5), STRIPE, true);
+        let w = r.submit(Time::ZERO, BlockReq::write(0, 8 * MIB));
+        let rd = r.submit(w.ack, BlockReq::read(0, 8 * MIB));
+        assert!(rd.start >= w.ack || rd.start >= w.start);
+        assert!(rd.ack > w.ack);
+    }
+
+    #[test]
+    fn raid5_degraded_reads_cost_reconstruction() {
+        let measure = |fail: bool| {
+            let mut r = Raid5::new(disks(5), STRIPE, true);
+            if fail {
+                r.fail_disk(2);
+            }
+            let mut now = r.submit(Time::ZERO, BlockReq::read(0, 4 * MIB)).ack;
+            let start = now;
+            for i in 1..32u64 {
+                now = r.submit(now, BlockReq::read(i * 4 * MIB, 4 * MIB)).ack;
+            }
+            Bandwidth::measured(31 * 4 * MIB, now - start).as_mib_per_sec()
+        };
+        let healthy = measure(false);
+        let degraded = measure(true);
+        assert!(
+            degraded < healthy * 0.75,
+            "degraded {degraded} vs healthy {healthy}: reconstruction must cost"
+        );
+        assert!(degraded > 20.0, "degraded array still serves reads");
+    }
+
+    #[test]
+    fn raid5_degraded_writes_complete() {
+        let mut r = Raid5::new(disks(5), STRIPE, true);
+        r.fail_disk(0);
+        assert_eq!(r.failed_disk(), Some(0));
+        let g = r.submit(Time::ZERO, BlockReq::write(0, 8 * MIB));
+        assert!(g.ack > Time::ZERO);
+        // Small writes + flush still settle without touching the dead disk.
+        let g2 = r.submit(g.ack, BlockReq::write(100 * MIB, 64 * KIB));
+        r.flush(g2.ack);
+    }
+
+    #[test]
+    #[should_panic(expected = "single failure")]
+    fn raid5_second_failure_rejected() {
+        let mut r = Raid5::new(disks(5), STRIPE, true);
+        r.fail_disk(0);
+        r.fail_disk(1);
+    }
+}

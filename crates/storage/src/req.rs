@@ -1,0 +1,137 @@
+//! Block-level request and completion types.
+
+use serde::{Deserialize, Serialize};
+use simcore::Time;
+
+/// Direction of a block operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockOp {
+    /// Transfer from media to host.
+    Read,
+    /// Transfer from host to media.
+    Write,
+}
+
+impl BlockOp {
+    /// `true` for [`BlockOp::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, BlockOp::Write)
+    }
+}
+
+/// A block-level I/O request against a volume's logical address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockReq {
+    /// Operation direction.
+    pub op: BlockOp,
+    /// Logical byte offset within the volume.
+    pub offset: u64,
+    /// Length in bytes (must be nonzero).
+    pub len: u64,
+}
+
+impl BlockReq {
+    /// A read request.
+    pub fn read(offset: u64, len: u64) -> Self {
+        BlockReq {
+            op: BlockOp::Read,
+            offset,
+            len,
+        }
+    }
+
+    /// A write request.
+    pub fn write(offset: u64, len: u64) -> Self {
+        BlockReq {
+            op: BlockOp::Write,
+            offset,
+            len,
+        }
+    }
+
+    /// One-past-the-end offset.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// Completion information for a block request.
+///
+/// `ack` is when the submitter may proceed (for write-back caches this is
+/// before the data is on stable media); `durable` is when the data is
+/// actually persistent. For reads the two coincide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoGrant {
+    /// When service began.
+    pub start: Time,
+    /// When the submitter observes completion.
+    pub ack: Time,
+    /// When the data is on stable media (`== ack` for reads).
+    pub durable: Time,
+}
+
+impl IoGrant {
+    /// A grant that starts and completes at the same instants.
+    pub fn immediate(at: Time) -> Self {
+        IoGrant {
+            start: at,
+            ack: at,
+            durable: at,
+        }
+    }
+
+    /// Combines two grants of parallel sub-operations: the combined request
+    /// starts at the earlier start and completes when both complete.
+    pub fn join(self, other: IoGrant) -> IoGrant {
+        IoGrant {
+            start: self.start.min(other.start),
+            ack: self.ack.max(other.ack),
+            durable: self.durable.max(other.durable),
+        }
+    }
+
+    /// Latency from `arrival` to `ack`.
+    pub fn latency(&self, arrival: Time) -> Time {
+        self.ack.saturating_sub(arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_constructors() {
+        let r = BlockReq::read(100, 50);
+        assert_eq!(r.op, BlockOp::Read);
+        assert_eq!(r.end(), 150);
+        let w = BlockReq::write(0, 8);
+        assert!(w.op.is_write());
+        assert!(!r.op.is_write());
+    }
+
+    #[test]
+    fn grant_join_takes_envelope() {
+        let a = IoGrant {
+            start: Time::from_secs(1),
+            ack: Time::from_secs(5),
+            durable: Time::from_secs(6),
+        };
+        let b = IoGrant {
+            start: Time::from_secs(2),
+            ack: Time::from_secs(4),
+            durable: Time::from_secs(9),
+        };
+        let j = a.join(b);
+        assert_eq!(j.start, Time::from_secs(1));
+        assert_eq!(j.ack, Time::from_secs(5));
+        assert_eq!(j.durable, Time::from_secs(9));
+    }
+
+    #[test]
+    fn grant_latency_saturates() {
+        let g = IoGrant::immediate(Time::from_secs(3));
+        assert_eq!(g.latency(Time::from_secs(1)), Time::from_secs(2));
+        assert_eq!(g.latency(Time::from_secs(10)), Time::ZERO);
+    }
+}

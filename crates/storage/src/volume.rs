@@ -1,0 +1,77 @@
+//! The [`Volume`] abstraction shared by JBOD, RAID engines and caches.
+
+use crate::req::{BlockReq, IoGrant};
+use serde::{Deserialize, Serialize};
+use simcore::stats::TransferMeter;
+use simcore::Time;
+
+/// Transfer accounting for a volume, split by direction.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VolumeMeter {
+    /// Read-side meter (bytes, rate, IOPs, latency).
+    pub reads: TransferMeter,
+    /// Write-side meter.
+    pub writes: TransferMeter,
+    /// Number of physical disk operations issued (parity and mirror
+    /// traffic included), for write-amplification analysis.
+    pub disk_ios: u64,
+}
+
+impl VolumeMeter {
+    /// Records a logical request outcome.
+    pub fn record(&mut self, req: &BlockReq, arrival: Time, grant: &IoGrant) {
+        let meter = if req.op.is_write() {
+            &mut self.writes
+        } else {
+            &mut self.reads
+        };
+        meter.record(req.len, grant.latency(arrival));
+    }
+}
+
+/// A block volume: a logical byte address space with timed access.
+///
+/// Implementations must tolerate requests arriving in nondecreasing
+/// simulation time; within that contract completion times are exact FIFO
+/// queueing results.
+pub trait Volume {
+    /// Submits a request arriving at `now`; returns its completion times.
+    fn submit(&mut self, now: Time, req: BlockReq) -> IoGrant;
+
+    /// Forces all previously acknowledged writes to stable media; returns
+    /// the instant everything submitted so far is durable.
+    fn flush(&mut self, now: Time) -> Time;
+
+    /// Usable capacity in bytes (parity/mirror overhead excluded).
+    fn capacity(&self) -> u64;
+
+    /// Volume kind for reports (e.g. `"RAID 5"`).
+    fn kind(&self) -> &'static str;
+
+    /// Access statistics.
+    fn meter(&self) -> &VolumeMeter;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::req::BlockOp;
+
+    #[test]
+    fn meter_splits_directions() {
+        let mut m = VolumeMeter::default();
+        let g = IoGrant {
+            start: Time::ZERO,
+            ack: Time::from_millis(1),
+            durable: Time::from_millis(1),
+        };
+        m.record(&BlockReq::read(0, 100), Time::ZERO, &g);
+        m.record(&BlockReq::write(0, 300), Time::ZERO, &g);
+        m.record(&BlockReq::write(300, 300), Time::ZERO, &g);
+        assert_eq!(m.reads.bytes(), 100);
+        assert_eq!(m.reads.ops(), 1);
+        assert_eq!(m.writes.bytes(), 600);
+        assert_eq!(m.writes.ops(), 2);
+        assert!(!BlockOp::Read.is_write());
+    }
+}

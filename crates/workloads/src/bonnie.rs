@@ -1,0 +1,223 @@
+//! A bonnie++-like filesystem exerciser.
+//!
+//! The paper: "To evaluate global filesystem and local filesystem, IOzone
+//! and/or bonnie++ benchmarks can be used." Bonnie++'s distinctive tests —
+//! beyond IOzone's pattern sweep — are the **rewrite** pass (read a block,
+//! modify it, write it back) and the **random-seek** pass whose result is
+//! an IOPs figure rather than a bandwidth.
+
+use crate::scenario::Scenario;
+use cluster::Mount;
+use fs::FileId;
+use mpisim::{ChainStream, GenStream, MpiOp, VecStream};
+use simcore::SplitMix64;
+
+/// The bonnie++ test being run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BonnieTest {
+    /// Sequential block output (write the file front to back).
+    SeqOutput,
+    /// Sequential block input (read the file front to back).
+    SeqInput,
+    /// Rewrite: for each block, read it, then write it back.
+    Rewrite,
+    /// Random seeks: read small records at random offsets (IOPs test).
+    RandomSeeks,
+}
+
+/// One bonnie++ run.
+#[derive(Clone, Debug)]
+pub struct Bonnie {
+    /// File under test.
+    pub file: FileId,
+    /// File size (bonnie++ recommends ≥ 2× RAM, like the paper's rule).
+    pub file_size: u64,
+    /// Block size (bonnie++ default: 8 KiB chunks; we default to 64 KiB
+    /// to match the era's tuned runs).
+    pub block: u64,
+    /// Which test.
+    pub test: BonnieTest,
+    /// Number of random seeks (bonnie++ default: 4000... scaled here).
+    pub seeks: u64,
+    /// Seek read size (bonnie++ reads 512 B per seek; chunk-aligned here).
+    pub seek_read: u64,
+    /// Mount under test.
+    pub mount: Mount,
+    /// RNG seed for the seek test.
+    pub seed: u64,
+}
+
+impl Bonnie {
+    /// A run with bonnie-ish defaults.
+    pub fn new(file: FileId, file_size: u64, test: BonnieTest) -> Bonnie {
+        Bonnie {
+            file,
+            file_size,
+            block: 64 * 1024,
+            test,
+            seeks: 1000,
+            seek_read: 4096,
+            mount: Mount::ServerLocal,
+            seed: 0xB0,
+        }
+    }
+
+    /// Selects the mount under test.
+    pub fn on(mut self, mount: Mount) -> Self {
+        self.mount = mount;
+        self
+    }
+
+    /// Builds the single-process scenario.
+    pub fn scenario(&self) -> Scenario {
+        let file = self.file;
+        let block = self.block;
+        let blocks = self.file_size / block;
+        let needs_input = !matches!(self.test, BonnieTest::SeqOutput);
+
+        let head = VecStream::new(vec![MpiOp::FileOpen {
+            file,
+            create: matches!(self.test, BonnieTest::SeqOutput),
+        }]);
+
+        let body: Box<dyn mpisim::OpStream> = match self.test {
+            BonnieTest::SeqOutput => Box::new(GenStream::new(blocks as usize, move |i| {
+                MpiOp::WriteAt {
+                    file,
+                    offset: i as u64 * block,
+                    len: block,
+                }
+            })),
+            BonnieTest::SeqInput => Box::new(GenStream::new(blocks as usize, move |i| {
+                MpiOp::ReadAt {
+                    file,
+                    offset: i as u64 * block,
+                    len: block,
+                }
+            })),
+            // Rewrite interleaves a read and a write per block: generate
+            // 2×blocks ops, even index = read, odd = write-back.
+            BonnieTest::Rewrite => Box::new(GenStream::new(2 * blocks as usize, move |i| {
+                let offset = (i as u64 / 2) * block;
+                if i % 2 == 0 {
+                    MpiOp::ReadAt { file, offset, len: block }
+                } else {
+                    MpiOp::WriteAt { file, offset, len: block }
+                }
+            })),
+            BonnieTest::RandomSeeks => {
+                let mut rng = SplitMix64::new(self.seed);
+                let span = self.file_size - self.seek_read;
+                let read = self.seek_read;
+                Box::new(GenStream::new(self.seeks as usize, move |_| {
+                    let offset = rng.next_below(span / read) * read;
+                    MpiOp::ReadAt { file, offset, len: read }
+                }))
+            }
+        };
+
+        let tail = VecStream::new(match self.test {
+            BonnieTest::SeqOutput | BonnieTest::Rewrite => {
+                vec![MpiOp::FileSync { file }, MpiOp::FileClose { file }]
+            }
+            _ => vec![MpiOp::FileClose { file }],
+        });
+
+        Scenario {
+            name: format!("bonnie++ {:?}", self.test),
+            programs: vec![Box::new(ChainStream::new(vec![
+                Box::new(head),
+                body,
+                Box::new(tail),
+            ]))],
+            mounts: vec![(file, self.mount)],
+            prealloc: if needs_input {
+                vec![(file, self.file_size)]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::MIB;
+
+    fn drain(sc: &mut Scenario) -> Vec<MpiOp> {
+        let mut v = Vec::new();
+        while let Some(op) = sc.programs[0].next_op() {
+            v.push(op);
+        }
+        v
+    }
+
+    #[test]
+    fn rewrite_alternates_read_then_write_per_block() {
+        let b = Bonnie::new(FileId(1), MIB, BonnieTest::Rewrite);
+        let mut sc = b.scenario();
+        let ops = drain(&mut sc);
+        let io: Vec<&MpiOp> = ops
+            .iter()
+            .filter(|op| matches!(op, MpiOp::ReadAt { .. } | MpiOp::WriteAt { .. }))
+            .collect();
+        assert_eq!(io.len(), 32, "16 blocks x (read + write)");
+        for pair in io.chunks(2) {
+            let (MpiOp::ReadAt { offset: ro, .. }, MpiOp::WriteAt { offset: wo, .. }) =
+                (pair[0], pair[1])
+            else {
+                panic!("expected read-then-write, got {pair:?}");
+            };
+            assert_eq!(ro, wo, "write-back targets the block just read");
+        }
+        // Rewrite needs pre-existing content.
+        assert_eq!(sc.prealloc, vec![(FileId(1), MIB)]);
+    }
+
+    #[test]
+    fn random_seeks_are_bounded_and_counted() {
+        let mut b = Bonnie::new(FileId(1), 64 * MIB, BonnieTest::RandomSeeks);
+        b.seeks = 200;
+        let mut sc = b.scenario();
+        let ops = drain(&mut sc);
+        let reads: Vec<(u64, u64)> = ops
+            .iter()
+            .filter_map(|op| match op {
+                MpiOp::ReadAt { offset, len, .. } => Some((*offset, *len)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reads.len(), 200);
+        for (off, len) in reads {
+            assert_eq!(len, 4096);
+            assert!(off + len <= 64 * MIB);
+        }
+    }
+
+    #[test]
+    fn seq_output_writes_whole_file_and_syncs() {
+        let b = Bonnie::new(FileId(1), 4 * MIB, BonnieTest::SeqOutput);
+        let mut sc = b.scenario();
+        let ops = drain(&mut sc);
+        let written: u64 = ops
+            .iter()
+            .filter_map(|op| match op {
+                MpiOp::WriteAt { len, .. } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(written, 4 * MIB);
+        assert!(ops.iter().any(|op| matches!(op, MpiOp::FileSync { .. })));
+        assert!(sc.prealloc.is_empty());
+    }
+
+    #[test]
+    fn seq_input_reads_without_sync() {
+        let b = Bonnie::new(FileId(1), 4 * MIB, BonnieTest::SeqInput);
+        let mut sc = b.scenario();
+        let ops = drain(&mut sc);
+        assert!(!ops.iter().any(|op| matches!(op, MpiOp::FileSync { .. })));
+        assert!(ops.iter().any(|op| matches!(op, MpiOp::ReadAt { .. })));
+    }
+}

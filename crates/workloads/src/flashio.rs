@@ -1,0 +1,230 @@
+//! A FLASH3-IO-like checkpoint benchmark.
+//!
+//! The third benchmark family the paper's related work evaluates ("NAS
+//! BT-IO, MadBench2, and Flash3 I/O benchmarks", §II citing the Blue
+//! Gene/P study). FLASH's I/O kernel writes a checkpoint file plus two
+//! smaller plot files: every rank contributes a block of cell data per
+//! variable, preceded by small metadata records — a *mixed-block-size*
+//! pattern (a handful of tiny writes, then many large collective writes)
+//! that exercises exactly the multi-row performance-table lookups of the
+//! methodology.
+
+use crate::scenario::Scenario;
+use cluster::Mount;
+use fs::FileId;
+use mpisim::{MpiOp, VecStream};
+use simcore::Time;
+
+/// A FLASH-IO-like instance.
+#[derive(Clone, Debug)]
+pub struct FlashIo {
+    /// Number of processes.
+    pub procs: usize,
+    /// Number of mesh variables (FLASH's checkpoint stores 24).
+    pub variables: usize,
+    /// Per-rank, per-variable block size (8x8x8 blocks of 80 doubles ≈
+    /// FLASH defaults scale with `nxb*nyb*nzb*maxblocks`).
+    pub block_bytes: u64,
+    /// Number of checkpoint epochs.
+    pub checkpoints: usize,
+    /// Plot files per checkpoint (FLASH writes 2 smaller plot files).
+    pub plots_per_checkpoint: usize,
+    /// Plot files store a 4-byte-per-cell corner subset: this fraction of
+    /// the checkpoint block.
+    pub plot_fraction: u64,
+    /// Metadata records written by rank 0 before the data (sim info,
+    /// runtime parameters, scalars...).
+    pub meta_records: usize,
+    /// Size of one metadata record.
+    pub meta_bytes: u64,
+    /// Compute time between epochs.
+    pub epoch_compute: Time,
+    /// Whether data writes are collective.
+    pub collective: bool,
+    /// Base file id (one file per checkpoint/plot).
+    pub file_base: u64,
+    /// Mount the files live on.
+    pub mount: Mount,
+}
+
+impl FlashIo {
+    /// A FLASH-like configuration for `procs` ranks.
+    pub fn new(procs: usize) -> FlashIo {
+        FlashIo {
+            procs,
+            variables: 24,
+            block_bytes: 512 * 1024,
+            checkpoints: 3,
+            plots_per_checkpoint: 2,
+            plot_fraction: 8,
+            meta_records: 6,
+            meta_bytes: 2048,
+            epoch_compute: Time::from_millis(800),
+            collective: true,
+            file_base: 0xF1A5,
+            mount: Mount::NfsDirect,
+        }
+    }
+
+    /// Shrinks the run for tests.
+    pub fn quick(mut self) -> Self {
+        self.variables = 4;
+        self.block_bytes = 64 * 1024;
+        self.checkpoints = 2;
+        self
+    }
+
+    /// Selects the mount.
+    pub fn on(mut self, mount: Mount) -> Self {
+        self.mount = mount;
+        self
+    }
+
+    /// Files written over the whole run (checkpoints + plots).
+    pub fn files(&self) -> Vec<FileId> {
+        let per_epoch = 1 + self.plots_per_checkpoint;
+        (0..self.checkpoints * per_epoch)
+            .map(|i| FileId(self.file_base + i as u64))
+            .collect()
+    }
+
+    /// Bytes one rank contributes to one checkpoint file.
+    pub fn checkpoint_bytes_per_rank(&self) -> u64 {
+        self.variables as u64 * self.block_bytes
+    }
+
+    /// Emits one output file's ops for `rank` into `ops`.
+    fn emit_file(&self, rank: usize, file: FileId, block: u64, ops: &mut Vec<MpiOp>) {
+        ops.push(MpiOp::FileOpen { file, create: true });
+        // Rank 0 writes the metadata header records.
+        let header = self.meta_records as u64 * self.meta_bytes;
+        if rank == 0 {
+            for m in 0..self.meta_records {
+                ops.push(MpiOp::WriteAt {
+                    file,
+                    offset: m as u64 * self.meta_bytes,
+                    len: self.meta_bytes,
+                });
+            }
+        }
+        // Data: variable-major layout, one block per rank per variable.
+        for v in 0..self.variables {
+            let var_base = header + (v as u64 * self.procs as u64) * block;
+            let offset = var_base + rank as u64 * block;
+            ops.push(if self.collective {
+                MpiOp::WriteAtAll { file, offset, len: block }
+            } else {
+                MpiOp::WriteAt { file, offset, len: block }
+            });
+        }
+        ops.push(MpiOp::FileClose { file });
+    }
+
+    /// Builds the scenario.
+    pub fn scenario(&self) -> Scenario {
+        let files = self.files();
+        let mut programs: Vec<Box<dyn mpisim::OpStream>> = Vec::with_capacity(self.procs);
+        for rank in 0..self.procs {
+            let mut ops = Vec::new();
+            let mut fidx = 0;
+            for _epoch in 0..self.checkpoints {
+                ops.push(MpiOp::Compute(self.epoch_compute));
+                ops.push(MpiOp::Allreduce { bytes: 8 }); // dt reduction
+                self.emit_file(rank, files[fidx], self.block_bytes, &mut ops);
+                fidx += 1;
+                for _ in 0..self.plots_per_checkpoint {
+                    self.emit_file(
+                        rank,
+                        files[fidx],
+                        (self.block_bytes / self.plot_fraction).max(1),
+                        &mut ops,
+                    );
+                    fidx += 1;
+                }
+            }
+            programs.push(Box::new(VecStream::new(ops)));
+        }
+        Scenario {
+            name: format!(
+                "FLASH-IO {} procs, {} vars, {} checkpoints",
+                self.procs, self.variables, self.checkpoints
+            ),
+            programs,
+            mounts: files.iter().map(|&f| (f, self.mount)).collect(),
+            prealloc: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_structure_per_rank() {
+        let f = FlashIo::new(4).quick();
+        let mut sc = f.scenario();
+        let mut writes_large = 0u64;
+        let mut writes_small = 0u64;
+        let mut opens = 0;
+        let mut reduces = 0;
+        while let Some(op) = sc.programs[1].next_op() {
+            match op {
+                MpiOp::WriteAtAll { len, .. } if len == 64 * 1024 => writes_large += 1,
+                MpiOp::WriteAtAll { .. } => writes_small += 1,
+                MpiOp::FileOpen { .. } => opens += 1,
+                MpiOp::Allreduce { .. } => reduces += 1,
+                _ => {}
+            }
+        }
+        // 2 checkpoints × 4 variables of full blocks.
+        assert_eq!(writes_large, 8);
+        // 2 checkpoints × 2 plots × 4 variables of small blocks.
+        assert_eq!(writes_small, 16);
+        // One open per output file: 2 × (1 + 2).
+        assert_eq!(opens, 6);
+        assert_eq!(reduces, 2);
+    }
+
+    #[test]
+    fn rank0_also_writes_metadata() {
+        let f = FlashIo::new(4).quick();
+        let mut sc = f.scenario();
+        let mut meta = 0;
+        while let Some(op) = sc.programs[0].next_op() {
+            if let MpiOp::WriteAt { len, .. } = op {
+                if len == f.meta_bytes {
+                    meta += 1;
+                }
+            }
+        }
+        // 6 records × 6 files.
+        assert_eq!(meta, 36);
+    }
+
+    #[test]
+    fn data_offsets_never_collide() {
+        let f = FlashIo::new(4).quick();
+        let mut seen = std::collections::BTreeSet::new();
+        for rank in 0..4 {
+            let mut sc_ops = Vec::new();
+            f.emit_file(rank, FileId(1), f.block_bytes, &mut sc_ops);
+            for op in sc_ops {
+                if let MpiOp::WriteAtAll { offset, len, .. } = op {
+                    assert!(seen.insert(offset), "offset {offset} reused");
+                    // No overlap with the metadata header.
+                    assert!(offset >= f.meta_records as u64 * f.meta_bytes);
+                    let _ = len;
+                }
+            }
+        }
+        assert_eq!(seen.len(), 4 * f.variables);
+    }
+
+    #[test]
+    fn checkpoint_sizing() {
+        let f = FlashIo::new(16);
+        assert_eq!(f.checkpoint_bytes_per_rank(), 24 * 512 * 1024);
+        assert_eq!(f.files().len(), 9);
+    }
+}

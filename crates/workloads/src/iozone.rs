@@ -1,0 +1,286 @@
+//! An IOzone-like filesystem exerciser.
+//!
+//! IOzone measures one access pattern at a time: it streams a file of a
+//! configured size in records of a configured size. The paper runs it "at
+//! block level with a file size which doubles the main memory size, and the
+//! block size was changed from 32KB to 16MB" against the local and network
+//! filesystems (Figs. 5/13).
+
+use crate::scenario::Scenario;
+use cluster::Mount;
+use fs::FileId;
+use mpisim::{ChainStream, GenStream, MpiOp, VecStream};
+use simcore::SplitMix64;
+
+/// The access pattern of one IOzone measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IozonePattern {
+    /// Stream the file front to back, writing.
+    SeqWrite,
+    /// Stream the file front to back, reading.
+    SeqRead,
+    /// Write records at a fixed stride (record, skip, record, ...).
+    StridedWrite,
+    /// Read records at a fixed stride.
+    StridedRead,
+    /// Write records at uniformly random record-aligned offsets.
+    RandWrite,
+    /// Read records at uniformly random record-aligned offsets.
+    RandRead,
+}
+
+impl IozonePattern {
+    /// Whether the pattern writes.
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            IozonePattern::SeqWrite | IozonePattern::StridedWrite | IozonePattern::RandWrite
+        )
+    }
+
+    /// The paper's access-mode label.
+    pub fn mode_label(self) -> &'static str {
+        match self {
+            IozonePattern::SeqWrite | IozonePattern::SeqRead => "sequential",
+            IozonePattern::StridedWrite | IozonePattern::StridedRead => "strided",
+            IozonePattern::RandWrite | IozonePattern::RandRead => "random",
+        }
+    }
+}
+
+/// One IOzone measurement point.
+#[derive(Clone, Debug)]
+pub struct IozoneRun {
+    /// File under test.
+    pub file: FileId,
+    /// Total file size (the paper uses 2× node RAM).
+    pub file_size: u64,
+    /// Record (block) size.
+    pub record: u64,
+    /// Access pattern.
+    pub pattern: IozonePattern,
+    /// Stride multiplier for the strided patterns (offset advances by
+    /// `stride_factor × record` per operation).
+    pub stride_factor: u64,
+    /// RNG seed for the random patterns.
+    pub seed: u64,
+    /// Mount the file lives on.
+    pub mount: Mount,
+}
+
+impl IozoneRun {
+    /// A measurement with the paper's defaults (stride ×4).
+    pub fn new(file: FileId, file_size: u64, record: u64, pattern: IozonePattern) -> IozoneRun {
+        assert!(record > 0 && file_size >= record);
+        IozoneRun {
+            file,
+            file_size,
+            record,
+            pattern,
+            stride_factor: 4,
+            seed: 0x10_20_30,
+            mount: Mount::ServerLocal,
+        }
+    }
+
+    /// Selects the mount under test.
+    pub fn on(mut self, mount: Mount) -> Self {
+        self.mount = mount;
+        self
+    }
+
+    /// Number of record operations the run performs.
+    pub fn ops(&self) -> u64 {
+        match self.pattern {
+            IozonePattern::SeqWrite | IozonePattern::SeqRead => self.file_size / self.record,
+            IozonePattern::StridedWrite | IozonePattern::StridedRead => {
+                self.file_size / (self.record * self.stride_factor)
+            }
+            // Random touches as many records as a sequential pass would,
+            // over the same extent.
+            IozonePattern::RandWrite | IozonePattern::RandRead => self.file_size / self.record,
+        }
+    }
+
+    /// Builds the single-process scenario for this measurement.
+    pub fn scenario(&self) -> Scenario {
+        let record = self.record;
+        let file = self.file;
+        let n = self.ops() as usize;
+        let records_in_file = self.file_size / record;
+        let write = self.pattern.is_write();
+        let is_read_pattern = !write;
+
+        let mut ops: Vec<MpiOp> = Vec::with_capacity(2);
+        ops.push(MpiOp::FileOpen {
+            file,
+            create: write,
+        });
+
+        let stride = self.stride_factor;
+        let mut rng = SplitMix64::new(self.seed);
+        let pattern = self.pattern;
+        let body = GenStream::new(n, move |i| {
+            let offset = match pattern {
+                IozonePattern::SeqWrite | IozonePattern::SeqRead => i as u64 * record,
+                IozonePattern::StridedWrite | IozonePattern::StridedRead => {
+                    i as u64 * record * stride
+                }
+                IozonePattern::RandWrite | IozonePattern::RandRead => {
+                    rng.next_below(records_in_file) * record
+                }
+            };
+            if write {
+                MpiOp::WriteAt {
+                    file,
+                    offset,
+                    len: record,
+                }
+            } else {
+                MpiOp::ReadAt {
+                    file,
+                    offset,
+                    len: record,
+                }
+            }
+        });
+
+        let tail = vec![
+            MpiOp::FileSync { file },
+            MpiOp::FileClose { file },
+        ];
+
+        let program: Box<dyn mpisim::OpStream> = Box::new(ChainStream::new(vec![
+            Box::new(VecStream::new(ops)),
+            Box::new(body),
+            Box::new(VecStream::new(tail)),
+        ]));
+
+        Scenario {
+            name: format!(
+                "iozone {} {} record={}",
+                self.pattern.mode_label(),
+                if write { "write" } else { "read" },
+                record
+            ),
+            programs: vec![program],
+            mounts: vec![(file, self.mount)],
+            prealloc: if is_read_pattern {
+                // Reads need pre-existing content covering the whole extent
+                // the pattern can touch.
+                let extent = match self.pattern {
+                    IozonePattern::StridedRead => self.file_size * stride,
+                    _ => self.file_size,
+                };
+                vec![(file, extent)]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+/// The paper's record-size sweep: 32 KiB to 16 MiB in powers of two.
+pub fn paper_record_sweep() -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut r = 32 * 1024u64;
+    while r <= 16 * 1024 * 1024 {
+        v.push(r);
+        r *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::OpStream;
+    use simcore::MIB;
+
+    fn drain(s: &mut Box<dyn OpStream>) -> Vec<MpiOp> {
+        let mut v = Vec::new();
+        while let Some(op) = s.next_op() {
+            v.push(op);
+        }
+        v
+    }
+
+    #[test]
+    fn sweep_is_32k_to_16m() {
+        let s = paper_record_sweep();
+        assert_eq!(s.first(), Some(&(32 * 1024)));
+        assert_eq!(s.last(), Some(&(16 * MIB)));
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn sequential_write_covers_file_exactly() {
+        let run = IozoneRun::new(FileId(1), 8 * MIB, MIB, IozonePattern::SeqWrite);
+        let mut sc = run.scenario();
+        let ops = drain(&mut sc.programs[0]);
+        let writes: Vec<_> = ops
+            .iter()
+            .filter_map(|op| match op {
+                MpiOp::WriteAt { offset, len, .. } => Some((*offset, *len)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes.len(), 8);
+        assert_eq!(writes[0], (0, MIB));
+        assert_eq!(writes[7], (7 * MIB, MIB));
+        // Open at the front, sync+close at the back.
+        assert!(matches!(ops[0], MpiOp::FileOpen { create: true, .. }));
+        assert!(matches!(ops[ops.len() - 2], MpiOp::FileSync { .. }));
+        assert!(matches!(ops[ops.len() - 1], MpiOp::FileClose { .. }));
+    }
+
+    #[test]
+    fn read_patterns_preallocate_input() {
+        let run = IozoneRun::new(FileId(1), 8 * MIB, MIB, IozonePattern::SeqRead);
+        let sc = run.scenario();
+        assert_eq!(sc.prealloc, vec![(FileId(1), 8 * MIB)]);
+        let run = IozoneRun::new(FileId(1), 8 * MIB, MIB, IozonePattern::SeqWrite);
+        assert!(run.scenario().prealloc.is_empty());
+    }
+
+    #[test]
+    fn strided_read_strides_by_factor() {
+        let run = IozoneRun::new(FileId(1), 16 * MIB, MIB, IozonePattern::StridedRead);
+        let mut sc = run.scenario();
+        let ops = drain(&mut sc.programs[0]);
+        let offs: Vec<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                MpiOp::ReadAt { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offs, vec![0, 4 * MIB, 8 * MIB, 12 * MIB]);
+    }
+
+    #[test]
+    fn random_reads_stay_in_bounds_and_are_deterministic() {
+        let mk = || {
+            let run = IozoneRun::new(FileId(1), 64 * MIB, MIB, IozonePattern::RandRead);
+            let mut sc = run.scenario();
+            drain(&mut sc.programs[0])
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b, "random pattern must be seed-deterministic");
+        for op in &a {
+            if let MpiOp::ReadAt { offset, len, .. } = op {
+                assert!(offset + len <= 64 * MIB);
+                assert_eq!(offset % MIB, 0, "record-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn op_counts_by_pattern() {
+        let base = |p| IozoneRun::new(FileId(1), 64 * MIB, MIB, p).ops();
+        assert_eq!(base(IozonePattern::SeqWrite), 64);
+        assert_eq!(base(IozonePattern::RandRead), 64);
+        assert_eq!(base(IozonePattern::StridedRead), 16);
+    }
+}

@@ -1,0 +1,302 @@
+//! Synthetic MADbench2 (IO mode).
+//!
+//! MADbench2 computes a CMB angular power spectrum from an `npix × npix`
+//! pixel correlation matrix; in IO mode the dense algebra is replaced by
+//! busy-work so the benchmark "tests the overall integrated performance of
+//! the I/O, communication and calculation subsystems" through its three
+//! I/O phases (paper §IV-E, Fig. 16, Table VIII):
+//!
+//! * **S** — builds and *writes* the `bins` component matrices (8 writes
+//!   per process);
+//! * **W** — *reads and rewrites* each component (8 reads + 8 writes);
+//! * **C** — *reads* each component (8 reads).
+//!
+//! Per-process component size is `npix² × 8 / P` bytes: 162 MiB at 16
+//! processes and 40.5 MiB at 64 (18 KPIX), matching Table VIII. Files are
+//! either per-process (**UNIQUE**) or one shared file (**SHARED**);
+//! `IOMODE = SYNC` issues an `MPI_File_sync` after every write.
+
+use crate::scenario::Scenario;
+use cluster::Mount;
+use fs::FileId;
+use mpisim::{MpiOp, VecStream};
+use simcore::Time;
+
+/// File organization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileType {
+    /// One file per process.
+    Unique,
+    /// A single shared file.
+    Shared,
+}
+
+/// Marker ids used to label the S / W / C functions in the trace.
+pub mod markers {
+    /// Start of the S (write) function.
+    pub const S: u32 = 0;
+    /// Start of the W (read+write) function.
+    pub const W: u32 = 1;
+    /// Start of the C (read) function.
+    pub const C: u32 = 2;
+}
+
+/// A MADbench2 instance.
+#[derive(Clone, Debug)]
+pub struct MadBench {
+    /// Number of processes (MADbench requires a square count).
+    pub procs: usize,
+    /// Pixel count in units of 1024 (the paper uses 18 KPIX).
+    pub kpix: u64,
+    /// Number of component matrices / bins (the paper uses 8).
+    pub bins: usize,
+    /// File organization.
+    pub filetype: FileType,
+    /// Mount the files live on.
+    pub mount: Mount,
+    /// Busy-work between I/O calls (IO-mode replacement of the algebra).
+    pub busywork: Time,
+    /// `IOMODE = SYNC`: sync after every write.
+    pub sync_writes: bool,
+    /// Base file id (UNIQUE uses `base + rank`).
+    pub file_base: u64,
+}
+
+impl MadBench {
+    /// The paper's configuration: 18 KPIX, 8 BIN, `IOMODE = SYNC`.
+    pub fn new(procs: usize, filetype: FileType) -> MadBench {
+        let side = (procs as f64).sqrt() as usize;
+        assert_eq!(side * side, procs, "MADbench needs a square process count");
+        MadBench {
+            procs,
+            kpix: 18,
+            bins: 8,
+            filetype,
+            mount: Mount::NfsDirect,
+            busywork: Time::from_millis(500),
+            sync_writes: true,
+            file_base: 0x3AD0,
+        }
+    }
+
+    /// Shrinks the matrix for tests.
+    pub fn with_kpix(mut self, kpix: u64) -> Self {
+        self.kpix = kpix;
+        self
+    }
+
+    /// Selects the mount.
+    pub fn on(mut self, mount: Mount) -> Self {
+        self.mount = mount;
+        self
+    }
+
+    /// Per-process component bytes: `npix² × 8 / P`.
+    pub fn component_bytes(&self) -> u64 {
+        let npix = self.kpix * 1024;
+        npix * npix * 8 / self.procs as u64
+    }
+
+    /// The file a rank works on.
+    pub fn file_of(&self, rank: usize) -> FileId {
+        match self.filetype {
+            FileType::Unique => FileId(self.file_base + rank as u64),
+            FileType::Shared => FileId(self.file_base),
+        }
+    }
+
+    /// Offset of component `bin` for `rank`.
+    pub fn offset_of(&self, rank: usize, bin: usize) -> u64 {
+        let comp = self.component_bytes();
+        match self.filetype {
+            FileType::Unique => bin as u64 * comp,
+            FileType::Shared => {
+                // Component matrices are global; each holds every rank's
+                // share contiguously.
+                let global_comp = comp * self.procs as u64;
+                bin as u64 * global_comp + rank as u64 * comp
+            }
+        }
+    }
+
+    /// Total bytes written per process (S + W writes).
+    pub fn bytes_written_per_proc(&self) -> u64 {
+        2 * self.bins as u64 * self.component_bytes()
+    }
+
+    /// Builds the scenario.
+    pub fn scenario(&self) -> Scenario {
+        let comp = self.component_bytes();
+        let mut programs: Vec<Box<dyn mpisim::OpStream>> = Vec::with_capacity(self.procs);
+        for rank in 0..self.procs {
+            let file = self.file_of(rank);
+            let mut ops = Vec::new();
+            ops.push(MpiOp::FileOpen { file, create: true });
+
+            // S: busy-work + write each component.
+            ops.push(MpiOp::Marker(markers::S));
+            for b in 0..self.bins {
+                ops.push(MpiOp::Compute(self.busywork));
+                ops.push(MpiOp::WriteAt {
+                    file,
+                    offset: self.offset_of(rank, b),
+                    len: comp,
+                });
+                if self.sync_writes {
+                    ops.push(MpiOp::FileSync { file });
+                }
+            }
+            ops.push(MpiOp::Barrier);
+
+            // W: read, busy-work, rewrite each component.
+            ops.push(MpiOp::Marker(markers::W));
+            for b in 0..self.bins {
+                ops.push(MpiOp::ReadAt {
+                    file,
+                    offset: self.offset_of(rank, b),
+                    len: comp,
+                });
+                ops.push(MpiOp::Compute(self.busywork));
+                ops.push(MpiOp::WriteAt {
+                    file,
+                    offset: self.offset_of(rank, b),
+                    len: comp,
+                });
+                if self.sync_writes {
+                    ops.push(MpiOp::FileSync { file });
+                }
+            }
+            ops.push(MpiOp::Barrier);
+
+            // C: read each component.
+            ops.push(MpiOp::Marker(markers::C));
+            for b in 0..self.bins {
+                ops.push(MpiOp::ReadAt {
+                    file,
+                    offset: self.offset_of(rank, b),
+                    len: comp,
+                });
+                ops.push(MpiOp::Compute(self.busywork));
+            }
+            ops.push(MpiOp::FileClose { file });
+            programs.push(Box::new(VecStream::new(ops)));
+        }
+
+        let mounts = match self.filetype {
+            FileType::Unique => (0..self.procs)
+                .map(|r| (self.file_of(r), self.mount))
+                .collect(),
+            FileType::Shared => vec![(self.file_of(0), self.mount)],
+        };
+        Scenario {
+            name: format!(
+                "MADbench2 {:?} {} procs ({} KPIX, {} BIN)",
+                self.filetype, self.procs, self.kpix, self.bins
+            ),
+            programs,
+            mounts,
+            prealloc: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_sizes_match_paper_table_8() {
+        let mb16 = MadBench::new(16, FileType::Unique);
+        // 18432² × 8 / 16 = 169,869,312 B = 162 MiB.
+        assert_eq!(mb16.component_bytes(), 162 * 1024 * 1024);
+        let mb64 = MadBench::new(64, FileType::Unique);
+        // 40.5 MiB at 64 processes.
+        assert_eq!(mb64.component_bytes(), 162 * 1024 * 1024 / 4);
+    }
+
+    #[test]
+    fn op_counts_match_paper_phases() {
+        let mb = MadBench::new(16, FileType::Shared).with_kpix(1);
+        let mut sc = mb.scenario();
+        let mut writes = 0;
+        let mut reads = 0;
+        let mut syncs = 0;
+        while let Some(op) = sc.programs[0].next_op() {
+            match op {
+                MpiOp::WriteAt { .. } => writes += 1,
+                MpiOp::ReadAt { .. } => reads += 1,
+                MpiOp::FileSync { .. } => syncs += 1,
+                _ => {}
+            }
+        }
+        // S: 8 writes; W: 8 reads + 8 writes; C: 8 reads.
+        assert_eq!(writes, 16);
+        assert_eq!(reads, 16);
+        assert_eq!(syncs, 16, "IOMODE=SYNC syncs every write");
+    }
+
+    #[test]
+    fn unique_uses_one_file_per_rank() {
+        let mb = MadBench::new(16, FileType::Unique);
+        assert_ne!(mb.file_of(0), mb.file_of(1));
+        assert_eq!(mb.offset_of(3, 2), 2 * mb.component_bytes());
+        let sc = mb.scenario();
+        assert_eq!(sc.mounts.len(), 16);
+    }
+
+    #[test]
+    fn shared_interleaves_ranks_within_components() {
+        let mb = MadBench::new(4, FileType::Shared).with_kpix(1);
+        assert_eq!(mb.file_of(0), mb.file_of(3));
+        let comp = mb.component_bytes();
+        // Rank strides within a component; components stack globally.
+        assert_eq!(mb.offset_of(1, 0), comp);
+        assert_eq!(mb.offset_of(0, 1), 4 * comp);
+        assert_eq!(mb.offset_of(2, 1), 4 * comp + 2 * comp);
+        let sc = mb.scenario();
+        assert_eq!(sc.mounts.len(), 1);
+    }
+
+    #[test]
+    fn shared_offsets_never_overlap() {
+        let mb = MadBench::new(9, FileType::Shared).with_kpix(3);
+        let comp = mb.component_bytes();
+        let mut offsets = std::collections::BTreeSet::new();
+        for r in 0..9 {
+            for b in 0..mb.bins {
+                let off = mb.offset_of(r, b);
+                assert!(offsets.insert(off));
+                assert_eq!(off % comp, 0);
+            }
+        }
+        assert_eq!(offsets.len(), 9 * 8);
+    }
+
+    #[test]
+    fn markers_label_the_three_functions() {
+        let mb = MadBench::new(4, FileType::Unique).with_kpix(1);
+        let mut sc = mb.scenario();
+        let mut marks = Vec::new();
+        while let Some(op) = sc.programs[2].next_op() {
+            if let MpiOp::Marker(id) = op {
+                marks.push(id);
+            }
+        }
+        assert_eq!(marks, vec![markers::S, markers::W, markers::C]);
+    }
+
+    #[test]
+    fn bytes_written_accounting() {
+        let mb = MadBench::new(16, FileType::Unique);
+        assert_eq!(
+            mb.bytes_written_per_proc(),
+            16 * 162 * 1024 * 1024
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "square process count")]
+    fn non_square_rejected() {
+        MadBench::new(6, FileType::Unique);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests of workload geometry invariants.
+
+use fs::FileId;
+use proptest::prelude::*;
+use workloads::{BtClass, BtIo, BtSubtype, FileType, MadBench};
+
+fn square_procs() -> impl Strategy<Value = usize> {
+    (2usize..9).prop_map(|n| n * n)
+}
+
+fn any_class() -> impl Strategy<Value = BtClass> {
+    prop_oneof![
+        Just(BtClass::S),
+        Just(BtClass::A),
+        Just(BtClass::B),
+        Just(BtClass::C),
+    ]
+}
+
+proptest! {
+    /// The simple-subtype line decomposition partitions every dump exactly:
+    /// offsets unique, sizes sum to the dump size, and per-rank op counts
+    /// sum to the global line count.
+    #[test]
+    fn btio_lines_partition_dump(class in any_class(), procs in square_procs()) {
+        let bt = BtIo::new(class, procs, BtSubtype::Simple);
+        let mut bytes = 0u64;
+        let mut offsets = std::collections::BTreeSet::new();
+        for l in 0..bt.lines_per_dump() {
+            let (off, sz) = bt.line_location(l);
+            prop_assert!(offsets.insert(off), "duplicate offset for line {}", l);
+            bytes += sz;
+        }
+        prop_assert_eq!(bytes, bt.dump_bytes());
+        let per_rank: u64 = (0..procs).map(|r| bt.simple_ops_per_rank_per_dump(r)).sum();
+        prop_assert_eq!(per_rank, bt.lines_per_dump());
+    }
+
+    /// The full-subtype chunks tile the dump contiguously for any square
+    /// process count and class.
+    #[test]
+    fn btio_full_chunks_tile(class in any_class(), procs in square_procs()) {
+        let bt = BtIo::new(class, procs, BtSubtype::Full);
+        let mut expected = 0u64;
+        for r in 0..procs {
+            let (off, len) = bt.full_chunk(r);
+            prop_assert_eq!(off, expected);
+            prop_assert!(len > 0);
+            expected += len;
+        }
+        prop_assert_eq!(expected, bt.dump_bytes());
+    }
+
+    /// Column extents always sum to the mesh edge, and line sizes follow.
+    #[test]
+    fn btio_columns_cover_mesh(class in any_class(), procs in square_procs()) {
+        let bt = BtIo::new(class, procs, BtSubtype::Simple);
+        let dims = bt.col_dims();
+        prop_assert_eq!(dims.iter().sum::<u64>(), class.size());
+        prop_assert_eq!(dims.len() as u64, bt.ncells());
+        for (c, &d) in dims.iter().enumerate() {
+            prop_assert_eq!(bt.line_bytes(c), 40 * d);
+        }
+    }
+
+    /// MADbench SHARED offsets never overlap across (rank, bin) pairs and
+    /// stay component-aligned; UNIQUE offsets are disjoint per file.
+    #[test]
+    fn madbench_offsets_disjoint(procs in square_procs(), kpix in 1u64..8) {
+        for ft in [FileType::Shared, FileType::Unique] {
+            let mb = MadBench::new(procs, ft).with_kpix(kpix);
+            let comp = mb.component_bytes();
+            prop_assume!(comp > 0);
+            let mut seen = std::collections::BTreeSet::new();
+            for r in 0..procs {
+                for b in 0..mb.bins {
+                    let key = (mb.file_of(r), mb.offset_of(r, b));
+                    prop_assert!(seen.insert(key), "overlap {:?}", key);
+                    prop_assert_eq!(key.1 % comp, 0, "unaligned offset");
+                }
+            }
+        }
+    }
+
+    /// The file a rank uses is its own under UNIQUE and common under SHARED.
+    #[test]
+    fn madbench_file_identity(procs in square_procs()) {
+        let unique = MadBench::new(procs, FileType::Unique);
+        let shared = MadBench::new(procs, FileType::Shared);
+        let unique_files: std::collections::BTreeSet<FileId> =
+            (0..procs).map(|r| unique.file_of(r)).collect();
+        prop_assert_eq!(unique_files.len(), procs);
+        let shared_files: std::collections::BTreeSet<FileId> =
+            (0..procs).map(|r| shared.file_of(r)).collect();
+        prop_assert_eq!(shared_files.len(), 1);
+    }
+}

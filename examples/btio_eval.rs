@@ -1,0 +1,73 @@
+//! NAS BT-IO across the Aohyper configurations — the paper's §III case
+//! study: which I/O configuration suits BT-IO, and why is the `simple`
+//! subtype unable to exploit the I/O system?
+//!
+//! ```text
+//! cargo run --release --example btio_eval            # reduced class A
+//! cargo run --release --example btio_eval -- --paper # class C (slower)
+//! ```
+
+use cluster_io_eval::prelude::*;
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let spec = cluster::presets::aohyper();
+
+    let btio = |subtype| {
+        if paper {
+            BtIo::new(BtClass::C, 16, subtype)
+        } else {
+            BtIo::new(BtClass::A, 16, subtype).with_dumps(8)
+        }
+    };
+
+    let mut opts = CharacterizeOptions::quick();
+    if paper {
+        opts = CharacterizeOptions::paper();
+    }
+
+    println!(
+        "NAS BT-IO class {} / 16 processes on {}\n",
+        if paper { "C" } else { "A (reduced)" },
+        spec.name
+    );
+
+    for config in cluster::config::aohyper_configs() {
+        let tables = characterize_system(&spec, &config, &opts);
+        for subtype in [BtSubtype::Full, BtSubtype::Simple] {
+            let rep = evaluate(
+                &spec,
+                &config,
+                btio(subtype).scenario(),
+                &tables,
+                &EvalOptions::default(),
+            );
+            let lib_w = rep
+                .usage_summary(OpType::Write, IoLevel::Library)
+                .unwrap_or(0.0);
+            let lib_r = rep
+                .usage_summary(OpType::Read, IoLevel::Library)
+                .unwrap_or(0.0);
+            println!(
+                "{:<7} {:<7} exec {:>10}  io {:>10} ({:>5.1}%)  w {:>12}  r {:>12}  lib use w/r {:>6.1}%/{:.1}%",
+                config.name,
+                format!("{subtype:?}"),
+                format!("{}", rep.exec_time),
+                format!("{}", rep.io_time),
+                rep.io_fraction() * 100.0,
+                format!("{}", rep.write_rate),
+                format!("{}", rep.read_rate),
+                lib_w,
+                lib_r,
+            );
+        }
+    }
+
+    println!(
+        "\nReading the paper's conclusion off these rows: the full subtype\n\
+         exploits the I/O system (usage near or above 100% at the library\n\
+         level) and performs similarly on all three configurations, so the\n\
+         choice is about availability, not speed; the simple subtype's tiny\n\
+         strided operations leave most of the system idle."
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the three methodology phases on a small test cluster.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! 1. characterize the I/O system (performance tables per I/O-path level),
+//! 2. characterize an application (NAS BT-IO),
+//! 3. evaluate: run the application and compute the percentage of the
+//!    characterized I/O capacity it actually uses at every level.
+
+use cluster_io_eval::prelude::*;
+
+fn main() {
+    // The cluster under study and one I/O configuration (phase 2 of the
+    // methodology is choosing candidates; here: a single JBOD).
+    let spec = cluster::presets::test_cluster();
+    let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
+
+    // ---- Phase 1a: system characterization -----------------------------
+    let opts = CharacterizeOptions::quick();
+    let tables = characterize_system(&spec, &config, &opts);
+    println!("{}", report::render_table_set(&tables));
+
+    // ---- Phase 1b: application characterization ------------------------
+    let app = BtIo::new(BtClass::S, 4, BtSubtype::Full)
+        .with_dumps(4)
+        .gflops(10.0);
+    let profile = characterize_app(&spec, &config, app.scenario(), None);
+    println!("=== Application characterization (NAS BT-IO class S) ===");
+    println!("{}", report::render_app_profile(&profile));
+
+    // ---- Phase 3: evaluation -------------------------------------------
+    let app = BtIo::new(BtClass::S, 4, BtSubtype::Full)
+        .with_dumps(4)
+        .gflops(10.0);
+    let rep = evaluate(&spec, &config, app.scenario(), &tables, &EvalOptions::default());
+    println!("=== Evaluation ===");
+    println!(
+        "execution time {}   I/O time {} ({:.1}% of runtime)",
+        rep.exec_time,
+        rep.io_time,
+        rep.io_fraction() * 100.0
+    );
+    println!(
+        "application rates: write {}   read {}",
+        rep.write_rate, rep.read_rate
+    );
+    println!("\npercentage of characterized capacity used:");
+    for op in [OpType::Write, OpType::Read] {
+        for level in IoLevel::ALL {
+            if let Some(pct) = rep.usage_summary(op, level) {
+                println!("  {op:<5} @ {:<8} {pct:>7.1}%", level.label());
+            }
+        }
+    }
+}
