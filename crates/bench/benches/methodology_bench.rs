@@ -12,7 +12,11 @@ use simcore::{Bandwidth, SplitMix64, Time, KIB};
 fn full_table() -> PerfTable {
     let mut t = PerfTable::new();
     for op in [OpType::Read, OpType::Write] {
-        for mode in [AccessMode::Sequential, AccessMode::Strided, AccessMode::Random] {
+        for mode in [
+            AccessMode::Sequential,
+            AccessMode::Strided,
+            AccessMode::Random,
+        ] {
             for i in 0..10u64 {
                 t.insert(PerfRow {
                     op,

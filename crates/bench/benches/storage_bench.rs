@@ -92,5 +92,10 @@ fn bench_raid5_small_write_penalty(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_disk, bench_raid5, bench_raid5_small_write_penalty);
+criterion_group!(
+    benches,
+    bench_disk,
+    bench_raid5,
+    bench_raid5_small_write_penalty
+);
 criterion_main!(benches);

@@ -68,11 +68,9 @@ fn main() {
             selected
                 .iter()
                 .map(|want| {
-                    reg.iter()
-                        .find(|(id, _, _)| id == want)
-                        .unwrap_or_else(|| {
-                            die(&format!("unknown experiment '{want}' (try 'list')"))
-                        })
+                    reg.iter().find(|(id, _, _)| id == want).unwrap_or_else(|| {
+                        die(&format!("unknown experiment '{want}' (try 'list')"))
+                    })
                 })
                 .collect()
         };

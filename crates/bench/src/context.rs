@@ -2,7 +2,7 @@
 
 use cluster::{config as ioconfig, presets, ClusterSpec, IoConfig};
 use ioeval_core::charact::{characterize_system, CharacterizeOptions};
-use ioeval_core::eval::{evaluate, EvalOptions, EvalReport};
+use ioeval_core::eval::{evaluate, EvalOptions, EvalReport, FaultScenario};
 use ioeval_core::perf_table::{AccessMode, PerfTableSet};
 use simcore::{KIB, MIB};
 use std::collections::HashMap;
@@ -127,12 +127,36 @@ impl Repro {
         key: &str,
         scenario: Scenario,
     ) -> EvalReport {
-        let full_key = format!("{}::{}::{}", spec.name, config.name, key);
+        self.eval_under(spec, config, key, scenario, FaultScenario::Healthy)
+    }
+
+    /// Memoized evaluation under a fault scenario; the scenario label is
+    /// part of the memoization key, so the same workload can be compared
+    /// healthy vs degraded vs rebuilding without re-running either.
+    pub fn eval_under(
+        &mut self,
+        spec: &ClusterSpec,
+        config: &IoConfig,
+        key: &str,
+        scenario: Scenario,
+        faults: FaultScenario,
+    ) -> EvalReport {
+        let full_key = format!(
+            "{}::{}::{}::{}",
+            spec.name,
+            config.name,
+            key,
+            faults.label()
+        );
         if let Some(r) = self.reports.get(&full_key) {
             return r.clone();
         }
         let tables = self.characterize(spec, config);
-        let report = evaluate(spec, config, scenario, &tables, &EvalOptions::default());
+        let opts = EvalOptions {
+            faults,
+            ..EvalOptions::default()
+        };
+        let report = evaluate(spec, config, scenario, &tables, &opts);
         self.reports.insert(full_key, report.clone());
         report
     }

@@ -92,7 +92,11 @@ fn fs_characterization_figure(r: &mut Repro, spec: &ClusterSpec, title: &str) ->
                 rate_cell(&set, IoLevel::GlobalFs, OpType::Read, rec),
             ]);
         }
-        out.push_str(&format!("\n-- configuration: {} --\n{}", config.name, t.render()));
+        out.push_str(&format!(
+            "\n-- configuration: {} --\n{}",
+            config.name,
+            t.render()
+        ));
     }
     out
 }
@@ -127,7 +131,11 @@ fn library_characterization_figure(r: &mut Repro, spec: &ClusterSpec, title: &st
                 rate_cell(&set, IoLevel::Library, OpType::Read, b),
             ]);
         }
-        out.push_str(&format!("\n-- configuration: {} --\n{}", config.name, t.render()));
+        out.push_str(&format!(
+            "\n-- configuration: {} --\n{}",
+            config.name,
+            t.render()
+        ));
     }
     out
 }
@@ -181,11 +189,7 @@ fn phase_figure(title: &str, profile: &ioeval_core::trace::AppProfile) -> String
     }
     let mut sig = TextTable::new(vec!["class", "bytes bucket", "repetitions (weight)"]);
     for (class, bucket, n) in profile.phases.signature_weights() {
-        sig.row(vec![
-            format!("{class:?}"),
-            fmt_bytes(bucket),
-            n.to_string(),
-        ]);
+        sig.row(vec![format!("{class:?}"), fmt_bytes(bucket), n.to_string()]);
     }
     let writes = profile
         .phases
@@ -234,7 +238,11 @@ fn btio_aohyper_runs(r: &mut Repro, procs: usize) -> Vec<(String, String, EvalRe
             let bt = r.btio(procs, subtype);
             let key = format!("btio{procs}-{subtype:?}");
             let report = r.eval(&spec, &config, &key, bt.scenario());
-            out.push((config.name.clone(), format!("{subtype:?}").to_uppercase(), report));
+            out.push((
+                config.name.clone(),
+                format!("{subtype:?}").to_uppercase(),
+                report,
+            ));
         }
     }
     out
@@ -434,7 +442,13 @@ fn marker_usage_matrix(
 
 fn madbench_marker_metrics(runs: &[(String, String, EvalReport)]) -> String {
     let mut t = TextTable::new(vec![
-        "config", "filetype", "exec", "io_time", "S_w MiB/s", "W_w MiB/s", "W_r MiB/s",
+        "config",
+        "filetype",
+        "exec",
+        "io_time",
+        "S_w MiB/s",
+        "W_w MiB/s",
+        "W_r MiB/s",
         "C_r MiB/s",
     ]);
     for (config, variant, r) in runs {
@@ -508,11 +522,7 @@ fn madbench_cluster_a_runs(r: &mut Repro) -> Vec<(String, String, EvalReport)> {
             let mb = r.madbench(procs, ft);
             let key = format!("madbenchA{procs}-{ft:?}");
             let report = r.eval(&spec, &config, &key, mb.scenario());
-            out.push((
-                format!("{procs}"),
-                format!("{ft:?}").to_uppercase(),
-                report,
-            ));
+            out.push((format!("{procs}"), format!("{ft:?}").to_uppercase(), report));
         }
     }
     out
@@ -604,9 +614,8 @@ pub fn ablation_coalesce(r: &mut Repro) -> String {
     use ioeval_core::charact::{characterize_system, CharacterizeOptions};
     use simcore::{KIB, MIB};
     let spec = r.aohyper();
-    let mut out = String::from(
-        "Ablation — RAID 5 stripe coalescing (local-FS characterized write rates):\n",
-    );
+    let mut out =
+        String::from("Ablation — RAID 5 stripe coalescing (local-FS characterized write rates):\n");
     for (label, on) in [("coalescing on", true), ("coalescing off", false)] {
         let config = IoConfigBuilder::new(cluster::DeviceLayout::raid5_paper())
             .raid5_coalesce(on)
@@ -698,9 +707,8 @@ pub fn advisor(r: &mut Repro) -> String {
     let spec = r.aohyper();
     let configs = r.aohyper_configs();
 
-    let mut out = String::from(
-        "Advisor (paper §V future work) — predicted vs simulated I/O time:\n",
-    );
+    let mut out =
+        String::from("Advisor (paper §V future work) — predicted vs simulated I/O time:\n");
     let cases: Vec<(String, Vec<(String, EvalReport)>)> = vec![
         (
             "BT-IO full 16p".to_string(),
@@ -727,22 +735,15 @@ pub fn advisor(r: &mut Repro) -> String {
     ];
 
     for (app, runs) in cases {
-        let table_sets: Vec<ioeval_core::perf_table::PerfTableSet> = configs
-            .iter()
-            .map(|c| r.characterize(&spec, c))
-            .collect();
+        let table_sets: Vec<ioeval_core::perf_table::PerfTableSet> =
+            configs.iter().map(|c| r.characterize(&spec, c)).collect();
         // Use the first configuration's profile as the application model
         // (the paper: "it is not necessary to re-characterize the
         // application in other system for the same class and processes").
         let profile = &runs[0].1.profile;
         let ranked = rank_configs(profile, table_sets.iter());
 
-        let mut t = TextTable::new(vec![
-            "config",
-            "predicted io",
-            "bottleneck",
-            "simulated io",
-        ]);
+        let mut t = TextTable::new(vec!["config", "predicted io", "bottleneck", "simulated io"]);
         for p in &ranked {
             let actual = runs
                 .iter()
@@ -756,9 +757,59 @@ pub fn advisor(r: &mut Repro) -> String {
                 actual,
             ]);
         }
-        out.push_str(&format!("\n-- {app} (ranked best-first) --\n{}", t.render()));
+        out.push_str(&format!(
+            "\n-- {app} (ranked best-first) --\n{}",
+            t.render()
+        ));
     }
     out
+}
+
+/// Beyond the paper: the same IOR-style read campaign on the RAID 5
+/// configuration while the array is healthy, one-disk degraded, and
+/// rebuilding onto a hot-spare. Degraded cold reads reconstruct the dead
+/// member's chunks from every survivor, and the resilver competes with the
+/// foreground stream — the table reports how much of the healthy transfer
+/// rate each condition retains and how long the rebuild window lasts.
+pub fn resilience(r: &mut Repro) -> String {
+    use ioeval_core::eval::FaultScenario;
+    use ioeval_core::report::render_resilience_table;
+    use simcore::{Time, MIB};
+    use workloads::{Ior, IorOp};
+
+    let spec = r.aohyper();
+    let config = r.aohyper_configs().remove(2); // RAID 5
+    let (ranks, block) = match r.scale {
+        crate::context::Scale::Paper => (8, 256 * MIB),
+        crate::context::Scale::Quick => (4, 32 * MIB),
+    };
+    let ior = Ior::new(ranks, fs::FileId(90), block, IorOp::Read);
+    let key = format!("resilience-ior{ranks}-{}", fmt_bytes(block));
+
+    let scenarios = [
+        FaultScenario::Healthy,
+        FaultScenario::Degraded {
+            disk: 1,
+            at: Time::from_millis(100),
+        },
+        FaultScenario::Rebuilding {
+            disk: 1,
+            fail_at: Time::from_millis(100),
+            replace_at: Time::from_millis(500),
+        },
+    ];
+    let reports: Vec<EvalReport> = scenarios
+        .iter()
+        .map(|f| r.eval_under(&spec, &config, &key, ior.scenario(), f.clone()))
+        .collect();
+    let refs: Vec<&EvalReport> = reports.iter().collect();
+    format!(
+        "Resilience — {} on {} / {}: healthy vs degraded vs rebuilding:\n\n{}",
+        reports[0].app,
+        spec.name,
+        config.name,
+        render_resilience_table(&refs)
+    )
 }
 
 /// The experiment registry: (id, description, function).
@@ -767,9 +818,17 @@ pub type ExperimentFn = fn(&mut Repro) -> String;
 /// All experiments in paper order.
 pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
     vec![
-        ("table1", "performance-table schema with sample rows", table1),
+        (
+            "table1",
+            "performance-table schema with sample rows",
+            table1,
+        ),
         ("fig4", "Aohyper I/O configurations", fig4),
-        ("fig5", "Aohyper local/NFS filesystem characterization", fig5),
+        (
+            "fig5",
+            "Aohyper local/NFS filesystem characterization",
+            fig5,
+        ),
         ("fig6", "Aohyper I/O library characterization", fig6),
         ("table2", "BT-IO characterization, 16 procs", table2),
         ("fig8", "BT-IO trace phases", fig8),
@@ -790,11 +849,36 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
         ("table10", "MADbench2 NFS usage on Cluster A", table10),
         ("table11", "MADbench2 local-FS usage on Cluster A", table11),
         // Extensions beyond the paper's artifacts:
-        ("ablation-net", "shared vs dedicated data network", ablation_network),
-        ("ablation-wcache", "controller write cache on/off", ablation_write_cache),
-        ("ablation-coalesce", "RAID 5 stripe coalescing on/off", ablation_coalesce),
-        ("ablation-pfs", "single NFS node vs parallel FS", ablation_pfs),
-        ("advisor", "predicted vs simulated config ranking (paper §V)", advisor),
+        (
+            "ablation-net",
+            "shared vs dedicated data network",
+            ablation_network,
+        ),
+        (
+            "ablation-wcache",
+            "controller write cache on/off",
+            ablation_write_cache,
+        ),
+        (
+            "ablation-coalesce",
+            "RAID 5 stripe coalescing on/off",
+            ablation_coalesce,
+        ),
+        (
+            "ablation-pfs",
+            "single NFS node vs parallel FS",
+            ablation_pfs,
+        ),
+        (
+            "advisor",
+            "predicted vs simulated config ranking (paper §V)",
+            advisor,
+        ),
+        (
+            "resilience",
+            "RAID 5 healthy vs degraded vs rebuilding",
+            resilience,
+        ),
     ]
 }
 

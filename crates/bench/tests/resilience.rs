@@ -1,0 +1,97 @@
+//! Resilience campaign: the same IOR-style read stream on a RAID 5
+//! server while the array is healthy, one-disk degraded, and rebuilding.
+//!
+//! Degraded cold reads must pay the reconstruction penalty (strictly
+//! below the healthy rate), the rebuild must complete in finite simulated
+//! time, and two same-seed campaigns must render byte-identical reports.
+
+use cluster::{presets, DeviceLayout, IoConfigBuilder};
+use ioeval_core::eval::{evaluate, EvalOptions, EvalReport, FaultScenario};
+use ioeval_core::perf_table::PerfTableSet;
+use ioeval_core::report::render_resilience_table;
+use simcore::{Time, MIB};
+use workloads::{Ior, IorOp};
+
+fn run(faults: FaultScenario) -> EvalReport {
+    let spec = presets::test_cluster();
+    let config = IoConfigBuilder::new(DeviceLayout::raid5_paper()).build();
+    let ior = Ior::new(4, fs::FileId(7), 32 * MIB, IorOp::Read);
+    // Usage tables are irrelevant to the resilience comparison.
+    let tables = PerfTableSet::new("test", "RAID 5");
+    let opts = EvalOptions {
+        faults,
+        ..EvalOptions::default()
+    };
+    evaluate(&spec, &config, ior.scenario(), &tables, &opts)
+}
+
+fn campaign() -> Vec<EvalReport> {
+    vec![
+        run(FaultScenario::Healthy),
+        run(FaultScenario::Degraded {
+            disk: 1,
+            at: Time::ZERO,
+        }),
+        run(FaultScenario::Rebuilding {
+            disk: 1,
+            fail_at: Time::from_millis(1),
+            replace_at: Time::from_millis(500),
+        }),
+    ]
+}
+
+#[test]
+fn degraded_reads_trail_healthy_and_rebuild_is_finite() {
+    let reports = campaign();
+    let (healthy, degraded, rebuilding) = (&reports[0], &reports[1], &reports[2]);
+
+    assert!(
+        degraded.read_rate.bytes_per_sec() < healthy.read_rate.bytes_per_sec(),
+        "degraded {} must be strictly below healthy {}",
+        degraded.read_rate,
+        healthy.read_rate
+    );
+    assert!(degraded.exec_time > healthy.exec_time);
+    assert!(healthy.rebuild.is_none());
+
+    let rebuild = rebuilding
+        .rebuild
+        .expect("replacement must start a rebuild");
+    assert!(rebuild.finished.is_some(), "rebuild must finish");
+    assert_eq!(rebuild.bytes_done, rebuild.bytes_total);
+    assert!(rebuild.bytes_total > 0);
+    assert!(rebuild.duration(rebuilding.exec_time) > Time::ZERO);
+    assert!(rebuild.duration(rebuilding.exec_time) < Time::from_secs(3600));
+
+    let refs: Vec<&EvalReport> = reports.iter().collect();
+    let table = render_resilience_table(&refs);
+    for needle in ["healthy", "degraded", "rebuilding", "w_retained", "rebuild"] {
+        assert!(table.contains(needle), "missing {needle} in:\n{table}");
+    }
+}
+
+#[test]
+fn same_seed_campaigns_render_identically() {
+    let a = campaign();
+    let b = campaign();
+    let render = |reports: &[EvalReport]| {
+        let refs: Vec<&EvalReport> = reports.iter().collect();
+        render_resilience_table(&refs)
+    };
+    assert_eq!(
+        render(&a),
+        render(&b),
+        "fault-injected campaigns must be deterministic"
+    );
+}
+
+#[test]
+#[ignore = "characterizes Aohyper at quick scale (slow in debug)"]
+fn resilience_experiment_renders_the_full_table() {
+    let mut repro = bench::Repro::new(bench::Scale::Quick);
+    let out = bench::experiments::resilience(&mut repro);
+    for needle in ["Resilience", "healthy", "degraded", "rebuilding"] {
+        assert!(out.contains(needle), "missing {needle} in:\n{out}");
+    }
+    assert!(!out.contains("NaN") && !out.contains("inf"));
+}

@@ -6,8 +6,58 @@
 //! An [`IoConfig`] is one point in that space; the builder makes sweeps
 //! over the space concise.
 
+use crate::spec::ClusterSpec;
 use serde::{Deserialize, Serialize};
 use simcore::KIB;
+use std::fmt;
+
+/// A structurally invalid [`IoConfig`] for a given cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A RAID layout has fewer members than the level requires.
+    TooFewDisks {
+        /// Layout label ("RAID 5", ...).
+        layout: &'static str,
+        /// Minimum member count for the level.
+        need: usize,
+        /// Configured member count.
+        got: usize,
+    },
+    /// A striped layout has a zero stripe unit.
+    ZeroStripe {
+        /// Layout label ("RAID 5", "RAID 0").
+        layout: &'static str,
+    },
+    /// More PFS I/O servers than compute nodes to host them.
+    TooManyPfsServers {
+        /// Configured server count.
+        servers: usize,
+        /// Compute nodes available.
+        compute_nodes: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewDisks { layout, need, got } => {
+                write!(f, "{layout} needs at least {need} member disks, got {got}")
+            }
+            ConfigError::ZeroStripe { layout } => {
+                write!(f, "{layout} stripe unit must be nonzero")
+            }
+            ConfigError::TooManyPfsServers {
+                servers,
+                compute_nodes,
+            } => write!(
+                f,
+                "{servers} PFS servers cannot be placed on {compute_nodes} compute nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Organization of the I/O node's devices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -84,6 +134,48 @@ pub struct IoConfig {
     pub pfs_stripe: u64,
 }
 
+impl IoConfig {
+    /// Checks the configuration against a cluster: RAID member counts,
+    /// stripe units and PFS server placement. Mirrors the panics the
+    /// volume constructors would otherwise raise, as typed errors.
+    pub fn validate(&self, spec: &ClusterSpec) -> Result<(), ConfigError> {
+        match self.devices {
+            DeviceLayout::Jbod | DeviceLayout::Raid1 => {}
+            DeviceLayout::Raid5 { disks, stripe } => {
+                if disks < 3 {
+                    return Err(ConfigError::TooFewDisks {
+                        layout: "RAID 5",
+                        need: 3,
+                        got: disks,
+                    });
+                }
+                if stripe == 0 {
+                    return Err(ConfigError::ZeroStripe { layout: "RAID 5" });
+                }
+            }
+            DeviceLayout::Raid0 { disks, stripe } => {
+                if disks < 2 {
+                    return Err(ConfigError::TooFewDisks {
+                        layout: "RAID 0",
+                        need: 2,
+                        got: disks,
+                    });
+                }
+                if stripe == 0 {
+                    return Err(ConfigError::ZeroStripe { layout: "RAID 0" });
+                }
+            }
+        }
+        if self.pfs_servers > spec.compute_nodes {
+            return Err(ConfigError::TooManyPfsServers {
+                servers: self.pfs_servers,
+                compute_nodes: spec.compute_nodes,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Builder for [`IoConfig`].
 #[derive(Clone, Debug)]
 pub struct IoConfigBuilder {
@@ -150,7 +242,9 @@ impl IoConfigBuilder {
     /// Finalizes the configuration.
     pub fn build(self) -> IoConfig {
         IoConfig {
-            name: self.name.unwrap_or_else(|| self.devices.label().to_string()),
+            name: self
+                .name
+                .unwrap_or_else(|| self.devices.label().to_string()),
             devices: self.devices,
             network: self.network,
             write_cache_mib: self.write_cache_mib,
@@ -212,6 +306,47 @@ mod tests {
         assert_eq!(cs[2].devices.label(), "RAID 5");
         // JBOD is a bare disk: no controller cache.
         assert_eq!(cs[0].write_cache_mib, 0);
+    }
+
+    #[test]
+    fn validate_checks_raid_geometry_and_pfs_placement() {
+        let spec = crate::presets::test_cluster();
+        for config in aohyper_configs() {
+            assert_eq!(config.validate(&spec), Ok(()));
+        }
+        let bad = IoConfigBuilder::new(DeviceLayout::Raid5 {
+            disks: 2,
+            stripe: KIB,
+        })
+        .build();
+        assert_eq!(
+            bad.validate(&spec),
+            Err(ConfigError::TooFewDisks {
+                layout: "RAID 5",
+                need: 3,
+                got: 2
+            })
+        );
+        let bad = IoConfigBuilder::new(DeviceLayout::Raid5 {
+            disks: 5,
+            stripe: 0,
+        })
+        .build();
+        assert_eq!(
+            bad.validate(&spec),
+            Err(ConfigError::ZeroStripe { layout: "RAID 5" })
+        );
+        let bad = IoConfigBuilder::new(DeviceLayout::Jbod).pfs(10_000).build();
+        assert!(matches!(
+            bad.validate(&spec),
+            Err(ConfigError::TooManyPfsServers { .. })
+        ));
+        // Errors read like sentences for report logs.
+        assert!(bad
+            .validate(&spec)
+            .unwrap_err()
+            .to_string()
+            .contains("PFS servers"));
     }
 
     #[test]

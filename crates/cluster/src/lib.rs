@@ -21,6 +21,6 @@ pub mod machine;
 pub mod presets;
 pub mod spec;
 
-pub use config::{DeviceLayout, IoConfig, IoConfigBuilder, NetworkLayout};
+pub use config::{ConfigError, DeviceLayout, IoConfig, IoConfigBuilder, NetworkLayout};
 pub use machine::{ClusterMachine, Mount};
 pub use spec::ClusterSpec;

@@ -1,16 +1,19 @@
 //! The concrete [`Machine`] implementation for a configured cluster.
 
-use crate::config::{DeviceLayout, IoConfig, NetworkLayout};
+use crate::config::{ConfigError, DeviceLayout, IoConfig, NetworkLayout};
 use crate::spec::ClusterSpec;
 use fs::{
-    FileId, LocalFs, LocalFsParams, NfsClient, NfsClientParams, NfsServer, NfsServerParams,
-    PfsParams, PfsSystem,
+    FileId, LocalFs, LocalFsParams, NfsClient, NfsClientParams, NfsError, NfsRetryParams,
+    NfsServer, NfsServerParams, PfsParams, PfsSystem,
 };
 use mpisim::Machine;
 use netsim::{Network, NodeId, TrafficClass};
-use simcore::Time;
+use simcore::{Fault, FaultEvent, FaultSchedule, NetClass, Time};
 use std::collections::HashMap;
-use storage::{CachedVolume, Disk, Jbod, Raid0, Raid1, Raid5, Volume, WriteCacheParams};
+use storage::{
+    CachedVolume, Disk, Jbod, Raid0, Raid1, Raid5, RebuildReport, Volume, VolumeError,
+    WriteCacheParams,
+};
 
 /// Where a file lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,10 +47,9 @@ fn build_server_volume(spec: &ClusterSpec, config: &IoConfig) -> Box<dyn Volume>
             stripe,
             config.raid5_coalesce,
         )),
-        DeviceLayout::Raid0 { disks, stripe } => Box::new(Raid0::new(
-            (0..disks as u64).map(disk).collect(),
-            stripe,
-        )),
+        DeviceLayout::Raid0 { disks, stripe } => {
+            Box::new(Raid0::new((0..disks as u64).map(disk).collect(), stripe))
+        }
     };
     if config.write_cache_mib > 0 {
         Box::new(CachedVolume::new(
@@ -56,6 +58,14 @@ fn build_server_volume(spec: &ClusterSpec, config: &IoConfig) -> Box<dyn Volume>
         ))
     } else {
         raw
+    }
+}
+
+/// Maps the simcore fault vocabulary onto the network simulator's classes.
+fn traffic_class(class: NetClass) -> TrafficClass {
+    match class {
+        NetClass::Mpi => TrafficClass::Mpi,
+        NetClass::Storage => TrafficClass::Storage,
     }
 }
 
@@ -79,6 +89,24 @@ impl Volume for BoxedVolume {
     fn meter(&self) -> &storage::VolumeMeter {
         self.0.meter()
     }
+    fn fail_disk(&mut self, disk: usize) -> Result<(), VolumeError> {
+        self.0.fail_disk(disk)
+    }
+    fn replace_disk(&mut self, now: Time, disk: usize) -> Result<(), VolumeError> {
+        self.0.replace_disk(now, disk)
+    }
+    fn set_disk_slowdown(&mut self, disk: usize, factor: f64) -> Result<(), VolumeError> {
+        self.0.set_disk_slowdown(disk, factor)
+    }
+    fn pump(&mut self, now: Time) {
+        self.0.pump(now)
+    }
+    fn rebuild_report(&self) -> Option<RebuildReport> {
+        self.0.rebuild_report()
+    }
+    fn finish_rebuild(&mut self, now: Time) -> Time {
+        self.0.finish_rebuild(now)
+    }
 }
 
 /// A configured cluster: compute nodes with local disks and NFS mounts, an
@@ -93,11 +121,33 @@ pub struct ClusterMachine {
     pfs: Option<PfsSystem>,
     mounts: HashMap<FileId, Mount>,
     default_mount: Mount,
+    /// Injected fault schedule; applied lazily as simulated time advances.
+    faults: FaultSchedule,
+    fault_cursor: usize,
+    /// Human-readable trace of applied faults and surfaced I/O errors.
+    fault_log: Vec<(Time, String)>,
+    io_errors: u64,
 }
 
 impl ClusterMachine {
+    /// Builds the machine for `spec` under `config`, validating first.
+    pub fn try_new(spec: &ClusterSpec, config: &IoConfig) -> Result<ClusterMachine, ConfigError> {
+        config.validate(spec)?;
+        Ok(ClusterMachine::build(spec, config))
+    }
+
     /// Builds the machine for `spec` under `config`.
+    ///
+    /// Panics on an invalid configuration; use [`try_new`](Self::try_new)
+    /// to get the reason as a typed [`ConfigError`] instead.
     pub fn new(spec: &ClusterSpec, config: &IoConfig) -> ClusterMachine {
+        match ClusterMachine::try_new(spec, config) {
+            Ok(m) => m,
+            Err(e) => panic!("invalid cluster configuration: {e}"),
+        }
+    }
+
+    fn build(spec: &ClusterSpec, config: &IoConfig) -> ClusterMachine {
         let nodes = spec.total_nodes();
         let net = match config.network {
             NetworkLayout::Shared => Network::shared(nodes, spec.fabric),
@@ -111,7 +161,10 @@ impl ClusterMachine {
         let local = (0..spec.compute_nodes)
             .map(|i| {
                 let disk = Disk::new(spec.node_disk.clone(), spec.seed ^ (0x10c0 + i as u64));
-                LocalFs::new(LocalFsParams::ext4(spec.node_ram), Box::new(Jbod::new(disk)))
+                LocalFs::new(
+                    LocalFsParams::ext4(spec.node_ram),
+                    Box::new(Jbod::new(disk)),
+                )
             })
             .collect();
         let clients = (0..spec.compute_nodes)
@@ -126,9 +179,11 @@ impl ClusterMachine {
             // deployment over a subset of the compute nodes).
             let backends = (0..config.pfs_servers)
                 .map(|i| {
-                    let disk =
-                        Disk::new(spec.node_disk.clone(), spec.seed ^ (0x9F50 + i as u64));
-                    LocalFs::new(LocalFsParams::ext4(spec.node_ram), Box::new(Jbod::new(disk)))
+                    let disk = Disk::new(spec.node_disk.clone(), spec.seed ^ (0x9F50 + i as u64));
+                    LocalFs::new(
+                        LocalFsParams::ext4(spec.node_ram),
+                        Box::new(Jbod::new(disk)),
+                    )
                 })
                 .collect();
             Some(PfsSystem::new(
@@ -152,7 +207,140 @@ impl ClusterMachine {
             pfs,
             mounts: HashMap::new(),
             default_mount: Mount::Nfs,
+            faults: FaultSchedule::none(),
+            fault_cursor: 0,
+            fault_log: Vec::new(),
+            io_errors: 0,
         }
+    }
+
+    /// Installs a fault schedule. Events are applied lazily: each simulated
+    /// operation first applies every event due by its start instant, so a
+    /// schedule installed before the run plays out deterministically as the
+    /// workload advances the clock.
+    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+        self.faults = schedule;
+        self.fault_cursor = 0;
+    }
+
+    /// The applied-fault / surfaced-error trace: `(instant, description)`.
+    pub fn fault_log(&self) -> &[(Time, String)] {
+        &self.fault_log
+    }
+
+    /// I/O operations that surfaced an error (NFS major timeouts).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    /// Total RPC retransmissions across every NFS mount.
+    pub fn client_retries(&self) -> u64 {
+        self.clients.iter().map(|c| c.retries()).sum()
+    }
+
+    /// Remounts every NFS client with a different retry discipline (e.g.
+    /// an impatient soft mount for fault drills).
+    pub fn set_client_retry(&mut self, retry: NfsRetryParams) {
+        for c in &mut self.clients {
+            c.set_retry(retry);
+        }
+    }
+
+    /// Rebuild progress of the I/O node's volume, if one ran.
+    pub fn rebuild_report(&self) -> Option<RebuildReport> {
+        self.server.fs().volume().rebuild_report()
+    }
+
+    /// Runs any in-progress rebuild on the I/O node's volume to completion
+    /// in the background (no foreground competition); returns the instant
+    /// the array is whole again.
+    pub fn finish_rebuild(&mut self, now: Time) -> Time {
+        self.server.fs_mut().volume_mut().finish_rebuild(now)
+    }
+
+    /// Applies every scheduled fault due by `now`. Events act at the next
+    /// operation boundary at or after their nominal instant, which keeps
+    /// all device timelines submitted in nondecreasing order. Public so an
+    /// evaluation can settle faults that fall after the last I/O op.
+    pub fn apply_faults_up_to(&mut self, now: Time) {
+        if self.faults.is_empty() {
+            return;
+        }
+        let mut cursor = self.fault_cursor;
+        let due: Vec<FaultEvent> = self.faults.due(&mut cursor, now).to_vec();
+        self.fault_cursor = cursor;
+        for e in due {
+            self.apply_fault(now, &e);
+        }
+    }
+
+    fn log_volume_result(&mut self, now: Time, what: String, r: Result<(), VolumeError>) {
+        match r {
+            Ok(()) => self.fault_log.push((now, what)),
+            Err(e) => self.fault_log.push((now, format!("{what}: ignored ({e})"))),
+        }
+    }
+
+    fn apply_fault(&mut self, now: Time, event: &FaultEvent) {
+        let seed = self.spec.seed;
+        match event.fault {
+            Fault::DiskFail { disk } => {
+                let r = self.server.fs_mut().volume_mut().fail_disk(disk);
+                self.log_volume_result(now, format!("disk {disk} failed"), r);
+            }
+            Fault::DiskReplace { disk } => {
+                let r = self.server.fs_mut().volume_mut().replace_disk(now, disk);
+                self.log_volume_result(now, format!("disk {disk} replaced; rebuild started"), r);
+            }
+            Fault::DiskSlow { disk, factor } => {
+                let r = self
+                    .server
+                    .fs_mut()
+                    .volume_mut()
+                    .set_disk_slowdown(disk, factor);
+                self.log_volume_result(now, format!("disk {disk} slowed {factor}x"), r);
+            }
+            Fault::DiskRecover { disk } => {
+                let r = self
+                    .server
+                    .fs_mut()
+                    .volume_mut()
+                    .set_disk_slowdown(disk, 1.0);
+                self.log_volume_result(now, format!("disk {disk} recovered"), r);
+            }
+            Fault::ServerStall { duration } => {
+                self.server.stall(now, duration);
+                self.fault_log.push((
+                    now,
+                    format!("server stalled for {:.3}s", duration.as_secs_f64()),
+                ));
+            }
+            Fault::NetDegrade {
+                class,
+                drop,
+                duplicate,
+            } => {
+                let tc = traffic_class(class);
+                self.net.set_degradation(tc, drop, duplicate, seed ^ 0xDE64);
+                self.fault_log.push((
+                    now,
+                    format!("{tc:?} network degraded: drop {drop}, duplicate {duplicate}"),
+                ));
+            }
+            Fault::NetHeal { class } => {
+                let tc = traffic_class(class);
+                self.net.clear_degradation(tc);
+                self.fault_log.push((now, format!("{tc:?} network healed")));
+            }
+        }
+    }
+
+    /// Records a surfaced I/O error and returns the instant the caller's
+    /// clock resumes (failed operations cost their timeout budget).
+    fn note_error(&mut self, e: NfsError) -> Time {
+        self.io_errors += 1;
+        self.fault_log.push((e.at(), e.to_string()));
+        e.at()
     }
 
     fn pfs_mut(&mut self) -> &mut PfsSystem {
@@ -187,7 +375,10 @@ impl ClusterMachine {
     }
 
     fn mount_of(&self, file: FileId) -> Mount {
-        self.mounts.get(&file).copied().unwrap_or(self.default_mount)
+        self.mounts
+            .get(&file)
+            .copied()
+            .unwrap_or(self.default_mount)
     }
 
     /// The NFS server (for meters / direct characterization).
@@ -236,7 +427,10 @@ impl ClusterMachine {
     pub fn drop_all_caches(&mut self, now: Time) -> Time {
         let mut t = now;
         for i in 0..self.clients.len() {
-            let done = self.clients[i].drop_caches(&mut self.net, &mut self.server, now);
+            let done = match self.clients[i].drop_caches(&mut self.net, &mut self.server, now) {
+                Ok(done) => done,
+                Err(e) => self.note_error(e),
+            };
             t = t.max(done);
         }
         for fs in &mut self.local {
@@ -252,13 +446,18 @@ impl Machine for ClusterMachine {
     }
 
     fn mpi_send(&mut self, now: Time, from: NodeId, to: NodeId, bytes: u64) -> Time {
+        self.apply_faults_up_to(now);
         self.net.send(now, from, to, bytes, TrafficClass::Mpi)
     }
 
     fn io_open(&mut self, now: Time, node: NodeId, file: FileId, create: bool) -> Time {
+        self.apply_faults_up_to(now);
         match self.mount_of(file) {
             Mount::Nfs | Mount::NfsDirect => {
-                self.clients[node].open(&mut self.net, &mut self.server, now, file, create)
+                match self.clients[node].open(&mut self.net, &mut self.server, now, file, create) {
+                    Ok(t) => t,
+                    Err(e) => self.note_error(e),
+                }
             }
             Mount::Pfs => {
                 let net = &mut self.net;
@@ -284,11 +483,20 @@ impl Machine for ClusterMachine {
     }
 
     fn io_close(&mut self, now: Time, node: NodeId, file: FileId) -> Time {
+        self.apply_faults_up_to(now);
         match self.mount_of(file) {
-            Mount::Nfs => self.clients[node].close(&mut self.net, &mut self.server, now, file),
+            Mount::Nfs => {
+                match self.clients[node].close(&mut self.net, &mut self.server, now, file) {
+                    Ok(t) => t,
+                    Err(e) => self.note_error(e),
+                }
+            }
             Mount::NfsDirect => {
                 // ROMIO fsyncs on close; no client cache to flush.
-                self.clients[node].fsync(&mut self.net, &mut self.server, now, file)
+                match self.clients[node].fsync(&mut self.net, &mut self.server, now, file) {
+                    Ok(t) => t,
+                    Err(e) => self.note_error(e),
+                }
             }
             Mount::Pfs => {
                 let net = &mut self.net;
@@ -301,16 +509,31 @@ impl Machine for ClusterMachine {
     }
 
     fn io_read(&mut self, now: Time, node: NodeId, file: FileId, offset: u64, len: u64) -> Time {
+        self.apply_faults_up_to(now);
         match self.mount_of(file) {
             Mount::Nfs => {
-                self.clients[node].read(&mut self.net, &mut self.server, now, file, offset, len)
+                match self.clients[node].read(
+                    &mut self.net,
+                    &mut self.server,
+                    now,
+                    file,
+                    offset,
+                    len,
+                ) {
+                    Ok(t) => t,
+                    Err(e) => self.note_error(e),
+                }
             }
             // A ROMIO mount pays lock/revalidation round trips, then uses
             // the normal cached read path (NFS clients cache read data
             // even under the MPI-IO discipline).
             Mount::NfsDirect => {
                 let t = self.clients[node].lock_roundtrips(&mut self.net, &mut self.server, now);
-                self.clients[node].read(&mut self.net, &mut self.server, t, file, offset, len)
+                match self.clients[node].read(&mut self.net, &mut self.server, t, file, offset, len)
+                {
+                    Ok(t) => t,
+                    Err(e) => self.note_error(e),
+                }
             }
             Mount::Pfs => {
                 let net = &mut self.net;
@@ -323,14 +546,34 @@ impl Machine for ClusterMachine {
     }
 
     fn io_write(&mut self, now: Time, node: NodeId, file: FileId, offset: u64, len: u64) -> Time {
+        self.apply_faults_up_to(now);
         match self.mount_of(file) {
             Mount::Nfs => {
-                self.clients[node].write(&mut self.net, &mut self.server, now, file, offset, len)
+                match self.clients[node].write(
+                    &mut self.net,
+                    &mut self.server,
+                    now,
+                    file,
+                    offset,
+                    len,
+                ) {
+                    Ok(t) => t,
+                    Err(e) => self.note_error(e),
+                }
             }
             Mount::NfsDirect => {
                 let t = self.clients[node].lock_roundtrips(&mut self.net, &mut self.server, now);
-                self.clients[node]
-                    .write_direct(&mut self.net, &mut self.server, t, file, offset, len)
+                match self.clients[node].write_direct(
+                    &mut self.net,
+                    &mut self.server,
+                    t,
+                    file,
+                    offset,
+                    len,
+                ) {
+                    Ok(t) => t,
+                    Err(e) => self.note_error(e),
+                }
             }
             Mount::Pfs => {
                 let net = &mut self.net;
@@ -343,9 +586,13 @@ impl Machine for ClusterMachine {
     }
 
     fn io_sync(&mut self, now: Time, node: NodeId, file: FileId) -> Time {
+        self.apply_faults_up_to(now);
         match self.mount_of(file) {
             Mount::Nfs | Mount::NfsDirect => {
-                self.clients[node].fsync(&mut self.net, &mut self.server, now, file)
+                match self.clients[node].fsync(&mut self.net, &mut self.server, now, file) {
+                    Ok(t) => t,
+                    Err(e) => self.note_error(e),
+                }
             }
             Mount::Pfs => {
                 let net = &mut self.net;
@@ -403,7 +650,10 @@ mod tests {
         let t = m.io_open(Time::ZERO, 0, F, true);
         let t = m.io_write(t, 0, F, 0, MIB);
         let before_msgs = m.network().fabric(TrafficClass::Storage).meter().messages;
-        assert_eq!(before_msgs, 0, "server-local I/O must not touch the network");
+        assert_eq!(
+            before_msgs, 0,
+            "server-local I/O must not touch the network"
+        );
         m.io_sync(t, 0, F);
         assert_eq!(m.server().fs().file_size(F), MIB);
     }
@@ -422,7 +672,9 @@ mod tests {
         let spec = presets::aohyper();
         let mut rates = Vec::new();
         for config in [
-            IoConfigBuilder::new(DeviceLayout::Jbod).write_cache_mib(0).build(),
+            IoConfigBuilder::new(DeviceLayout::Jbod)
+                .write_cache_mib(0)
+                .build(),
             IoConfigBuilder::new(DeviceLayout::raid5_paper()).build(),
         ] {
             let mut m = ClusterMachine::new(&spec, &config);
@@ -505,6 +757,206 @@ mod tests {
         let mut m = ClusterMachine::new(&spec, &config);
         m.mount(F, Mount::Pfs);
         m.io_open(Time::ZERO, 0, F, true);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs_with_typed_errors() {
+        let spec = presets::test_cluster();
+        let bad_raid5 = IoConfigBuilder::new(DeviceLayout::Raid5 {
+            disks: 2,
+            stripe: 256 * 1024,
+        })
+        .build();
+        assert_eq!(
+            ClusterMachine::try_new(&spec, &bad_raid5).err(),
+            Some(crate::config::ConfigError::TooFewDisks {
+                layout: "RAID 5",
+                need: 3,
+                got: 2
+            })
+        );
+        let bad_stripe = IoConfigBuilder::new(DeviceLayout::Raid0 {
+            disks: 2,
+            stripe: 0,
+        })
+        .build();
+        assert!(matches!(
+            ClusterMachine::try_new(&spec, &bad_stripe),
+            Err(crate::config::ConfigError::ZeroStripe { .. })
+        ));
+        let bad_pfs = IoConfigBuilder::new(DeviceLayout::Jbod)
+            .pfs(spec.compute_nodes + 1)
+            .build();
+        assert!(matches!(
+            ClusterMachine::try_new(&spec, &bad_pfs),
+            Err(crate::config::ConfigError::TooManyPfsServers { .. })
+        ));
+        assert!(ClusterMachine::try_new(
+            &spec,
+            &IoConfigBuilder::new(DeviceLayout::raid5_paper()).build()
+        )
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster configuration")]
+    fn new_panics_on_invalid_config() {
+        let spec = presets::test_cluster();
+        let bad = IoConfigBuilder::new(DeviceLayout::Raid5 {
+            disks: 1,
+            stripe: 1,
+        })
+        .build();
+        ClusterMachine::new(&spec, &bad);
+    }
+
+    /// Streams `total` bytes to the server volume and returns MiB/s.
+    fn stream_rate(m: &mut ClusterMachine, total: u64) -> f64 {
+        m.mount(F, Mount::ServerLocal);
+        let mut t = m.io_open(Time::ZERO, 0, F, true);
+        let start = t;
+        let mut off = 0;
+        while off < total {
+            t = m.io_write(t, 0, F, off, 4 * MIB);
+            off += 4 * MIB;
+        }
+        t = m.io_sync(t, 0, F);
+        Bandwidth::measured(total, t - start).as_mib_per_sec()
+    }
+
+    /// Streams `total` bytes of cold reads from the server volume; MiB/s.
+    fn read_rate(m: &mut ClusterMachine, total: u64) -> f64 {
+        m.mount(F, Mount::ServerLocal);
+        m.preallocate(F, total);
+        let mut t = m.io_open(Time::ZERO, 0, F, false);
+        let start = t;
+        let mut off = 0;
+        while off < total {
+            t = m.io_read(t, 0, F, off, 4 * MIB);
+            off += 4 * MIB;
+        }
+        Bandwidth::measured(total, t - start).as_mib_per_sec()
+    }
+
+    #[test]
+    fn injected_disk_failure_degrades_the_raid5_server() {
+        let spec = presets::aohyper();
+        let config = IoConfigBuilder::new(DeviceLayout::raid5_paper())
+            .write_cache_mib(0)
+            .build();
+        // Cold reads: a degraded array reconstructs the dead member's chunks
+        // from all survivors, so read bandwidth drops (writes merely skip
+        // the dead member and cost the same).
+        let total = 1024 * MIB;
+
+        let mut healthy = ClusterMachine::new(&spec, &config);
+        let healthy_rate = read_rate(&mut healthy, total);
+        assert!(healthy.fault_log().is_empty());
+
+        let mut degraded = ClusterMachine::new(&spec, &config);
+        degraded.install_faults(FaultSchedule::new(vec![FaultEvent {
+            at: Time::ZERO,
+            fault: Fault::DiskFail { disk: 2 },
+        }]));
+        let degraded_rate = read_rate(&mut degraded, total);
+        assert_eq!(degraded.fault_log().len(), 1);
+        assert!(
+            degraded_rate < healthy_rate * 0.95,
+            "degraded {degraded_rate} must trail healthy {healthy_rate}"
+        );
+    }
+
+    #[test]
+    fn replace_after_failure_triggers_rebuild_through_machine() {
+        let spec = presets::aohyper();
+        let config = IoConfigBuilder::new(DeviceLayout::raid5_paper())
+            .write_cache_mib(0)
+            .build();
+        let mut m = ClusterMachine::new(&spec, &config);
+        m.install_faults(FaultSchedule::new(vec![
+            FaultEvent {
+                at: Time::from_millis(1),
+                fault: Fault::DiskFail { disk: 0 },
+            },
+            FaultEvent {
+                at: Time::from_secs(2),
+                fault: Fault::DiskReplace { disk: 0 },
+            },
+        ]));
+        let rate = stream_rate(&mut m, 1024 * MIB);
+        assert!(rate > 0.0);
+        let report = m.rebuild_report().expect("rebuild must have started");
+        assert!(report.bytes_total > 0);
+        let done = m.finish_rebuild(Time::from_secs(1_000));
+        let report = m.rebuild_report().expect("report persists");
+        assert!(report.finished.is_some(), "resilver must complete");
+        assert_eq!(report.bytes_done, report.bytes_total);
+        assert!(done >= Time::from_secs(2));
+    }
+
+    #[test]
+    fn unsupported_faults_are_logged_not_fatal() {
+        let mut m = machine(); // JBOD server
+        m.install_faults(FaultSchedule::new(vec![FaultEvent {
+            at: Time::ZERO,
+            fault: Fault::DiskFail { disk: 0 },
+        }]));
+        m.mount(F, Mount::Nfs);
+        let t = m.io_open(Time::ZERO, 0, F, true);
+        assert!(t > Time::ZERO);
+        assert_eq!(m.fault_log().len(), 1);
+        assert!(
+            m.fault_log()[0].1.contains("ignored"),
+            "{:?}",
+            m.fault_log()
+        );
+        assert_eq!(m.io_errors(), 0);
+    }
+
+    #[test]
+    fn long_server_stall_surfaces_as_counted_io_error() {
+        let mut m = machine();
+        m.mount(F, Mount::Nfs);
+        m.preallocate(F, 8 * MIB);
+        // 10 min outage: beyond the Linux-TCP retransmission budget
+        // (60 s + 120 s + 240 s of timeouts), so the soft mount errors out.
+        m.install_faults(FaultSchedule::new(vec![FaultEvent {
+            at: Time::ZERO,
+            fault: Fault::ServerStall {
+                duration: Time::from_secs(600),
+            },
+        }]));
+        let t = m.io_read(Time::from_millis(1), 0, F, 0, MIB);
+        assert_eq!(m.io_errors(), 1, "log: {:?}", m.fault_log());
+        assert!(m.client_retries() >= 2);
+        // The failed call consumed its timeout budget but not the outage.
+        assert!(t > Time::from_secs(60) && t < Time::from_secs(600));
+        // After the outage the same file is readable again.
+        let t2 = m.io_read(Time::from_secs(601), 0, F, 0, MIB);
+        assert!(t2 > Time::from_secs(601));
+        assert_eq!(m.io_errors(), 1);
+    }
+
+    #[test]
+    fn network_degradation_slows_mpi_traffic() {
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
+        let mut m = ClusterMachine::new(&spec, &config);
+        let clean = m.mpi_send(Time::ZERO, 0, 1, 4 * MIB) - Time::ZERO;
+        let mut m = ClusterMachine::new(&spec, &config);
+        m.install_faults(FaultSchedule::new(vec![FaultEvent {
+            at: Time::ZERO,
+            fault: Fault::NetDegrade {
+                class: simcore::NetClass::Mpi,
+                drop: 1.0,
+                duplicate: 0.0,
+            },
+        }]));
+        let lossy = m.mpi_send(Time::ZERO, 0, 1, 4 * MIB) - Time::ZERO;
+        assert!(
+            lossy.as_secs_f64() > clean.as_secs_f64() * 1.5,
+            "lossy {lossy:?} vs clean {clean:?}"
+        );
     }
 
     #[test]

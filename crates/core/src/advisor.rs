@@ -68,8 +68,7 @@ pub fn predict(profile: &AppProfile, tables: &PerfTableSet) -> Option<Prediction
             let Some(table) = tables.get(level) else {
                 continue;
             };
-            let Some(row) = table.search_lenient(m.op, m.block, level.access_type(), m.mode)
-            else {
+            let Some(row) = table.search_lenient(m.op, m.block, level.access_type(), m.mode) else {
                 continue;
             };
             match best {

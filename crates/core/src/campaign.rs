@@ -164,7 +164,9 @@ mod tests {
     fn quick_campaign() -> Campaign {
         let spec = presets::test_cluster();
         let configs = vec![
-            IoConfigBuilder::new(DeviceLayout::Jbod).write_cache_mib(0).build(),
+            IoConfigBuilder::new(DeviceLayout::Jbod)
+                .write_cache_mib(0)
+                .build(),
             IoConfigBuilder::new(DeviceLayout::Raid5 {
                 disks: 5,
                 stripe: 256 * KIB,
@@ -195,7 +197,11 @@ mod tests {
     fn predictions_are_present_and_bounded() {
         let c = quick_campaign();
         for cell in &c.cells {
-            assert!(cell.prediction.is_some(), "no prediction for {}", cell.config);
+            assert!(
+                cell.prediction.is_some(),
+                "no prediction for {}",
+                cell.config
+            );
         }
         let err = c.mean_prediction_error().expect("errors computed");
         // The advisor models only the I/O path; an order of magnitude is

@@ -87,11 +87,7 @@ impl CharacterizeOptions {
 const CHARACT_FILE: FileId = FileId(0xC4A2);
 
 /// Runs one scenario on a fresh machine; returns the run stats.
-fn run_fresh(
-    spec: &ClusterSpec,
-    config: &IoConfig,
-    scenario: Scenario,
-) -> RunStats {
+fn run_fresh(spec: &ClusterSpec, config: &IoConfig, scenario: Scenario) -> RunStats {
     let ranks = scenario.ranks();
     let mut machine = ClusterMachine::new(spec, config);
     let programs = scenario.install(&mut machine);
@@ -157,13 +153,8 @@ fn characterize_fs_level(
         }
         for &mode in &opts.modes {
             for op in [OpType::Write, OpType::Read] {
-                let run = IozoneRun::new(
-                    CHARACT_FILE,
-                    file_size,
-                    record,
-                    iozone_pattern(op, mode),
-                )
-                .on(mount);
+                let run = IozoneRun::new(CHARACT_FILE, file_size, record, iozone_pattern(op, mode))
+                    .on(mount);
                 let stats = run_fresh(spec, config, run.scenario());
                 let (rate, iops, latency) = point_metrics(&stats);
                 table.insert(PerfRow {
@@ -281,7 +272,9 @@ mod tests {
         let (spec, config) = quick_setup();
         let set = characterize_system(&spec, &config, &CharacterizeOptions::quick());
         for level in IoLevel::ALL {
-            let t = set.get(level).unwrap_or_else(|| panic!("missing {level:?}"));
+            let t = set
+                .get(level)
+                .unwrap_or_else(|| panic!("missing {level:?}"));
             assert!(!t.is_empty(), "{level:?} table is empty");
             for row in t.rows() {
                 assert!(
@@ -334,9 +327,7 @@ mod tests {
         let bt = BtIo::new(BtClass::S, 4, BtSubtype::Simple)
             .with_dumps(2)
             .gflops(50.0);
-        let expected_writes: u64 = (0..4)
-            .map(|r| bt.simple_ops_per_rank_per_dump(r) * 2)
-            .sum();
+        let expected_writes: u64 = (0..4).map(|r| bt.simple_ops_per_rank_per_dump(r) * 2).sum();
         let profile = characterize_app(&spec, &config, bt.scenario(), None);
         assert_eq!(profile.numio_write, expected_writes);
         assert_eq!(profile.numio_read, expected_writes);

@@ -14,14 +14,93 @@ use crate::trace::{AppProfile, ProfileSink};
 use cluster::{ClusterMachine, ClusterSpec, IoConfig};
 use mpisim::Runtime;
 use serde::{Deserialize, Serialize};
-use simcore::{Bandwidth, Time};
+use simcore::{Bandwidth, Fault, FaultEvent, FaultSchedule, Time};
+use storage::RebuildReport;
 use workloads::Scenario;
+
+/// The fault condition an evaluation runs under — the resilience axis of
+/// the methodology. `Healthy` reproduces the paper's measurements; the
+/// other variants re-run the same workload while the I/O system is
+/// recovering from a component failure, so the report can state how much
+/// of the healthy capacity survives.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum FaultScenario {
+    /// No faults (the paper's baseline).
+    #[default]
+    Healthy,
+    /// A member disk of the server volume fails at `at` and is never
+    /// replaced: the array serves the whole run degraded.
+    Degraded {
+        /// Member index within the server volume.
+        disk: usize,
+        /// When the member fails.
+        at: Time,
+    },
+    /// A member fails at `fail_at` and a replacement arrives at
+    /// `replace_at`: the background rebuild competes with the workload.
+    Rebuilding {
+        /// Member index within the server volume.
+        disk: usize,
+        /// When the member fails.
+        fail_at: Time,
+        /// When the hot-spare arrives and the resilver starts.
+        replace_at: Time,
+    },
+    /// Any explicit schedule (stall windows, limping disks, lossy
+    /// networks, ...), with a label for the report.
+    Custom {
+        /// Report label, e.g. `"stall 2s"`.
+        label: String,
+        /// The events to inject.
+        schedule: FaultSchedule,
+    },
+}
+
+impl FaultScenario {
+    /// Report label for this scenario.
+    pub fn label(&self) -> &str {
+        match self {
+            FaultScenario::Healthy => "healthy",
+            FaultScenario::Degraded { .. } => "degraded",
+            FaultScenario::Rebuilding { .. } => "rebuilding",
+            FaultScenario::Custom { label, .. } => label,
+        }
+    }
+
+    /// The fault schedule this scenario injects.
+    pub fn schedule(&self) -> FaultSchedule {
+        match self {
+            FaultScenario::Healthy => FaultSchedule::none(),
+            FaultScenario::Degraded { disk, at } => FaultSchedule::new(vec![FaultEvent {
+                at: *at,
+                fault: Fault::DiskFail { disk: *disk },
+            }]),
+            FaultScenario::Rebuilding {
+                disk,
+                fail_at,
+                replace_at,
+            } => FaultSchedule::new(vec![
+                FaultEvent {
+                    at: *fail_at,
+                    fault: Fault::DiskFail { disk: *disk },
+                },
+                FaultEvent {
+                    at: *replace_at,
+                    fault: Fault::DiskReplace { disk: *disk },
+                },
+            ]),
+            FaultScenario::Custom { schedule, .. } => schedule.clone(),
+        }
+    }
+}
 
 /// Evaluation options.
 #[derive(Clone, Debug, Default)]
 pub struct EvalOptions {
     /// Rank placement override (default: round-robin over compute nodes).
     pub placement: Option<Vec<usize>>,
+    /// Fault condition to run under (default: healthy).
+    pub faults: FaultScenario,
 }
 
 /// One row of the used-percentage table.
@@ -85,6 +164,16 @@ pub struct EvalReport {
     pub usage: Vec<UsageRow>,
     /// Per-marker usage rows.
     pub marker_usage: Vec<MarkerUsageRow>,
+    /// Label of the fault scenario the run executed under.
+    pub scenario: String,
+    /// I/O operations that exhausted their NFS retry budget.
+    pub io_errors: u64,
+    /// NFS RPC retransmissions across all clients.
+    pub client_retries: u64,
+    /// Rebuild progress, if the scenario replaced a failed member. The
+    /// rebuild is driven to completion after the workload finishes, so
+    /// `finished` is always set and `duration` reports the full window.
+    pub rebuild: Option<RebuildReport>,
 }
 
 impl EvalReport {
@@ -137,8 +226,7 @@ pub fn usage_table(profile: &AppProfile, tables: &PerfTableSet) -> Vec<UsageRow>
             let Some(table) = tables.get(level) else {
                 continue;
             };
-            let Some(row) = table.search_lenient(m.op, m.block, level.access_type(), m.mode)
-            else {
+            let Some(row) = table.search_lenient(m.op, m.block, level.access_type(), m.mode) else {
                 continue;
             };
             let characterized = row.rate;
@@ -211,6 +299,7 @@ pub fn evaluate(
     let app = scenario.name.clone();
     let ranks = scenario.ranks();
     let mut machine = ClusterMachine::new(spec, config);
+    machine.install_faults(opts.faults.schedule());
     let programs = scenario.install(&mut machine);
     let placement = opts
         .placement
@@ -219,6 +308,18 @@ pub fn evaluate(
     let mut sink = ProfileSink::new(ranks);
     Runtime::default().run(&mut machine, &placement, programs, &mut sink);
     let profile = sink.finish();
+
+    // Settle faults scheduled after the last I/O op (e.g. a replacement
+    // arriving once the workload is quiescent), then let any in-progress
+    // resilver drain so the report shows a finite rebuild window.
+    machine.apply_faults_up_to(profile.exec_time);
+    let rebuild = match machine.rebuild_report() {
+        Some(r) if r.finished.is_none() => {
+            machine.finish_rebuild(profile.exec_time);
+            machine.rebuild_report()
+        }
+        other => other,
+    };
 
     let usage = usage_table(&profile, tables);
     let marker_usage = marker_usage_table(&profile, tables);
@@ -233,6 +334,10 @@ pub fn evaluate(
         usage,
         marker_usage,
         profile,
+        scenario: opts.faults.label().to_string(),
+        io_errors: machine.io_errors(),
+        client_retries: machine.client_retries(),
+        rebuild,
     }
 }
 
@@ -251,7 +356,11 @@ mod tests {
         for level in IoLevel::ALL {
             let mut t = PerfTable::new();
             for op in [OpType::Read, OpType::Write] {
-                for mode in [AccessMode::Sequential, AccessMode::Strided, AccessMode::Random] {
+                for mode in [
+                    AccessMode::Sequential,
+                    AccessMode::Strided,
+                    AccessMode::Random,
+                ] {
                     t.insert(PerfRow {
                         op,
                         block: MIB,
@@ -312,7 +421,13 @@ mod tests {
         let bt = BtIo::new(BtClass::S, 4, BtSubtype::Full)
             .with_dumps(4)
             .gflops(50.0);
-        let report = evaluate(&spec, &config, bt.scenario(), &tables, &EvalOptions::default());
+        let report = evaluate(
+            &spec,
+            &config,
+            bt.scenario(),
+            &tables,
+            &EvalOptions::default(),
+        );
         assert!(report.exec_time > Time::ZERO);
         assert!(report.io_time > Time::ZERO);
         assert!(report.io_time <= report.exec_time);
@@ -331,7 +446,13 @@ mod tests {
         let tables = fake_tables(100); // usage table irrelevant here
         let run = |subtype| {
             let bt = BtIo::new(BtClass::S, 4, subtype).with_dumps(4).gflops(50.0);
-            evaluate(&spec, &config, bt.scenario(), &tables, &EvalOptions::default())
+            evaluate(
+                &spec,
+                &config,
+                bt.scenario(),
+                &tables,
+                &EvalOptions::default(),
+            )
         };
         let full = run(BtSubtype::Full);
         let simple = run(BtSubtype::Simple);
@@ -373,5 +494,102 @@ mod tests {
     fn access_type_is_exported() {
         // Silence the unused-import lint meaningfully: levels map to types.
         assert_eq!(IoLevel::LocalFs.access_type(), AccessType::Local);
+    }
+
+    #[test]
+    fn fault_scenarios_compile_to_schedules() {
+        assert!(FaultScenario::Healthy.schedule().is_empty());
+        assert_eq!(FaultScenario::default(), FaultScenario::Healthy);
+        let d = FaultScenario::Degraded {
+            disk: 2,
+            at: Time::from_secs(1),
+        };
+        assert_eq!(d.label(), "degraded");
+        assert_eq!(d.schedule().events().len(), 1);
+        let r = FaultScenario::Rebuilding {
+            disk: 0,
+            fail_at: Time::from_secs(1),
+            replace_at: Time::from_secs(3),
+        };
+        assert_eq!(r.label(), "rebuilding");
+        let events = r.schedule().events().to_vec();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0].fault,
+            simcore::Fault::DiskFail { disk: 0 }
+        ));
+        assert!(matches!(
+            events[1].fault,
+            simcore::Fault::DiskReplace { disk: 0 }
+        ));
+        let c = FaultScenario::Custom {
+            label: "stall 2s".to_string(),
+            schedule: FaultSchedule::none(),
+        };
+        assert_eq!(c.label(), "stall 2s");
+    }
+
+    fn ior_read_eval(faults: FaultScenario) -> EvalReport {
+        use workloads::{Ior, IorOp};
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::raid5_paper()).build();
+        let ior = Ior::new(4, fs::FileId(40), 32 * MIB, IorOp::Read);
+        let opts = EvalOptions {
+            faults,
+            ..EvalOptions::default()
+        };
+        evaluate(&spec, &config, ior.scenario(), &fake_tables(100), &opts)
+    }
+
+    #[test]
+    fn degraded_eval_retains_less_read_throughput() {
+        let healthy = ior_read_eval(FaultScenario::Healthy);
+        let degraded = ior_read_eval(FaultScenario::Degraded {
+            disk: 1,
+            at: Time::ZERO,
+        });
+        assert_eq!(healthy.scenario, "healthy");
+        assert_eq!(degraded.scenario, "degraded");
+        assert_eq!(healthy.io_errors, 0);
+        assert_eq!(
+            degraded.io_errors, 0,
+            "degraded reads reconstruct, not fail"
+        );
+        assert!(healthy.rebuild.is_none());
+        assert!(
+            degraded.read_rate.bytes_per_sec() < healthy.read_rate.bytes_per_sec(),
+            "degraded {} must trail healthy {}",
+            degraded.read_rate,
+            healthy.read_rate
+        );
+    }
+
+    #[test]
+    fn rebuilding_eval_reports_a_finite_rebuild_window() {
+        let report = ior_read_eval(FaultScenario::Rebuilding {
+            disk: 1,
+            fail_at: Time::from_millis(1),
+            replace_at: Time::from_millis(50),
+        });
+        let rebuild = report.rebuild.expect("replacement must start a rebuild");
+        assert!(rebuild.finished.is_some(), "rebuild must complete");
+        assert_eq!(rebuild.bytes_done, rebuild.bytes_total);
+        assert!(rebuild.bytes_total > 0);
+        assert!(rebuild.duration(report.exec_time) > Time::ZERO);
+    }
+
+    #[test]
+    fn same_seed_evaluations_are_identical() {
+        let scenario = FaultScenario::Degraded {
+            disk: 0,
+            at: Time::from_millis(10),
+        };
+        let a = ior_read_eval(scenario.clone());
+        let b = ior_read_eval(scenario);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "fault-injected runs must stay deterministic"
+        );
     }
 }

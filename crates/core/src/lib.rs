@@ -38,7 +38,8 @@ pub mod trace_export;
 pub use advisor::{predict, rank_configs, Prediction};
 pub use campaign::{run_campaign, Campaign};
 pub use charact::{characterize_app, characterize_system, CharacterizeOptions};
-pub use eval::{evaluate, EvalOptions, EvalReport, UsageRow};
+pub use eval::{evaluate, EvalOptions, EvalReport, FaultScenario, UsageRow};
 pub use perf_table::{AccessMode, AccessType, IoLevel, OpType, PerfRow, PerfTable, PerfTableSet};
+pub use report::render_resilience_table;
 pub use trace::{AppProfile, PhaseReport, ProfileSink};
 pub use trace_export::ChromeTraceSink;

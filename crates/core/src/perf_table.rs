@@ -133,8 +133,7 @@ impl PerfTable {
     /// Adds a row, keeping rows sorted by (op, access, mode, block).
     /// A row with the same key replaces the previous one.
     pub fn insert(&mut self, row: PerfRow) {
-        let key =
-            |r: &PerfRow| (r.op, r.access, r.mode, r.block);
+        let key = |r: &PerfRow| (r.op, r.access, r.mode, r.block);
         match self.rows.binary_search_by(|r| key(r).cmp(&key(&row))) {
             Ok(i) => self.rows[i] = row,
             Err(i) => self.rows.insert(i, row),
@@ -203,10 +202,14 @@ impl PerfTable {
         mode: AccessMode,
     ) -> Option<&PerfRow> {
         self.search(op, block, access, mode).or_else(|| {
-            [AccessMode::Sequential, AccessMode::Strided, AccessMode::Random]
-                .into_iter()
-                .filter(|&m| m != mode)
-                .find_map(|m| self.search(op, block, access, m))
+            [
+                AccessMode::Sequential,
+                AccessMode::Strided,
+                AccessMode::Random,
+            ]
+            .into_iter()
+            .filter(|&m| m != mode)
+            .find_map(|m| self.search(op, block, access, m))
         })
     }
 }
@@ -298,7 +301,12 @@ mod tests {
         t.insert(row(OpType::Write, 1024, 99));
         assert_eq!(t.len(), 4);
         let r = t
-            .search(OpType::Write, 1024, AccessType::Global, AccessMode::Sequential)
+            .search(
+                OpType::Write,
+                1024,
+                AccessType::Global,
+                AccessMode::Sequential,
+            )
             .unwrap();
         assert_eq!(r.rate, Bandwidth::from_mib_per_sec(99));
     }
@@ -307,7 +315,12 @@ mod tests {
     fn search_below_min_selects_min() {
         let t = table();
         let r = t
-            .search(OpType::Write, 64, AccessType::Global, AccessMode::Sequential)
+            .search(
+                OpType::Write,
+                64,
+                AccessType::Global,
+                AccessMode::Sequential,
+            )
             .unwrap();
         assert_eq!(r.block, 256);
     }
@@ -316,7 +329,12 @@ mod tests {
     fn search_above_max_selects_max() {
         let t = table();
         let r = t
-            .search(OpType::Write, 1 << 30, AccessType::Global, AccessMode::Sequential)
+            .search(
+                OpType::Write,
+                1 << 30,
+                AccessType::Global,
+                AccessMode::Sequential,
+            )
             .unwrap();
         assert_eq!(r.block, 4096);
     }
@@ -325,7 +343,12 @@ mod tests {
     fn search_exact_hit() {
         let t = table();
         let r = t
-            .search(OpType::Write, 1024, AccessType::Global, AccessMode::Sequential)
+            .search(
+                OpType::Write,
+                1024,
+                AccessType::Global,
+                AccessMode::Sequential,
+            )
             .unwrap();
         assert_eq!(r.block, 1024);
         assert_eq!(r.rate, Bandwidth::from_mib_per_sec(50));
@@ -335,11 +358,21 @@ mod tests {
     fn search_between_selects_closest_upper() {
         let t = table();
         let r = t
-            .search(OpType::Write, 2000, AccessType::Global, AccessMode::Sequential)
+            .search(
+                OpType::Write,
+                2000,
+                AccessType::Global,
+                AccessMode::Sequential,
+            )
             .unwrap();
         assert_eq!(r.block, 4096, "closest upper value per Fig. 11");
         let r = t
-            .search(OpType::Write, 300, AccessType::Global, AccessMode::Sequential)
+            .search(
+                OpType::Write,
+                300,
+                AccessType::Global,
+                AccessMode::Sequential,
+            )
             .unwrap();
         assert_eq!(r.block, 1024);
     }
@@ -348,10 +381,20 @@ mod tests {
     fn search_respects_op_and_access() {
         let t = table();
         assert!(t
-            .search(OpType::Read, 1024, AccessType::Global, AccessMode::Sequential)
+            .search(
+                OpType::Read,
+                1024,
+                AccessType::Global,
+                AccessMode::Sequential
+            )
             .is_some());
         assert!(t
-            .search(OpType::Read, 1024, AccessType::Local, AccessMode::Sequential)
+            .search(
+                OpType::Read,
+                1024,
+                AccessType::Local,
+                AccessMode::Sequential
+            )
             .is_none());
         assert!(t
             .search(OpType::Read, 1024, AccessType::Global, AccessMode::Random)

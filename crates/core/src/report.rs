@@ -210,10 +210,70 @@ pub fn render_phase_timeline(p: &AppProfile, width: usize) -> String {
     )
 }
 
+/// Renders the resilience comparison: the same workload under each fault
+/// scenario, with throughput retained relative to the first (healthy) row,
+/// surfaced I/O errors / RPC retransmissions, and the rebuild window.
+/// Pass the healthy run first — it is the 100% baseline.
+pub fn render_resilience_table(reports: &[&EvalReport]) -> String {
+    let retained = |rate: simcore::Bandwidth, base: simcore::Bandwidth| {
+        if base.bytes_per_sec() == 0 {
+            "-".to_string()
+        } else {
+            format!(
+                "{:.1}%",
+                rate.bytes_per_sec() as f64 / base.bytes_per_sec() as f64 * 100.0
+            )
+        }
+    };
+    let mut t = TextTable::new(vec![
+        "scenario",
+        "exec_time",
+        "write_rate",
+        "read_rate",
+        "w_retained",
+        "r_retained",
+        "io_errors",
+        "retries",
+        "rebuild",
+    ]);
+    let base = reports.first();
+    for r in reports {
+        let (w_ret, r_ret) = match base {
+            Some(b) => (
+                retained(r.write_rate, b.write_rate),
+                retained(r.read_rate, b.read_rate),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        let rebuild = match &r.rebuild {
+            Some(rb) => format!("{}", rb.duration(r.exec_time)),
+            None => "-".to_string(),
+        };
+        t.row(vec![
+            r.scenario.clone(),
+            format!("{}", r.exec_time),
+            format!("{}", r.write_rate),
+            format!("{}", r.read_rate),
+            w_ret,
+            r_ret,
+            format!("{}", r.io_errors),
+            format!("{}", r.client_retries),
+            rebuild,
+        ]);
+    }
+    t.render()
+}
+
 /// Renders the run metrics the paper plots in Figs. 12/15/17/18.
 pub fn render_metrics(reports: &[(&str, &str, &EvalReport)]) -> String {
     let mut t = TextTable::new(vec![
-        "config", "variant", "exec_time", "io_time", "io_frac", "write_rate", "read_rate",
+        "config",
+        "variant",
+        "exec_time",
+        "io_time",
+        "io_frac",
+        "write_rate",
+        "read_rate",
     ]);
     for (config, variant, r) in reports {
         t.row(vec![
@@ -302,6 +362,46 @@ mod tests {
         assert!((9..=12).contains(&w), "write half: {bar}");
         assert!((2..=4).contains(&r), "read tail: {bar}");
         assert!(bar.contains('.'), "gap rendered: {bar}");
+    }
+
+    #[test]
+    fn resilience_table_reports_retained_capacity() {
+        let report = |scenario: &str, rate_mib: u64, rebuild| EvalReport {
+            cluster: "test".to_string(),
+            config: "RAID 5".to_string(),
+            app: "ior".to_string(),
+            profile: AppProfile::default(),
+            exec_time: Time::from_secs(10),
+            io_time: Time::from_secs(5),
+            write_rate: Bandwidth::from_mib_per_sec(rate_mib),
+            read_rate: Bandwidth::from_mib_per_sec(rate_mib / 2),
+            usage: Vec::new(),
+            marker_usage: Vec::new(),
+            scenario: scenario.to_string(),
+            io_errors: 0,
+            client_retries: 0,
+            rebuild,
+        };
+        let healthy = report("healthy", 100, None);
+        let degraded = report("degraded", 60, None);
+        let rebuilding = report(
+            "rebuilding",
+            40,
+            Some(storage::RebuildReport {
+                started: Time::from_secs(1),
+                finished: Some(Time::from_secs(7)),
+                bytes_done: MIB,
+                bytes_total: MIB,
+            }),
+        );
+        let s = render_resilience_table(&[&healthy, &degraded, &rebuilding]);
+        assert!(s.contains("scenario"), "{s}");
+        assert!(s.contains("100.0%"), "healthy baseline row: {s}");
+        assert!(s.contains("60.0%"), "degraded write retention: {s}");
+        assert!(s.contains("40.0%"), "rebuilding write retention: {s}");
+        assert!(s.contains("6.000s"), "rebuild window: {s}");
+        // The degraded/no-rebuild rows render a dash.
+        assert!(s.lines().nth(2).unwrap().trim_end().ends_with('-'), "{s}");
     }
 
     #[test]

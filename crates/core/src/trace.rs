@@ -74,10 +74,7 @@ impl PhaseReport {
             };
             *counts.entry((p.class, bucket)).or_insert(0) += 1;
         }
-        counts
-            .into_iter()
-            .map(|((c, b), n)| (c, b, n))
-            .collect()
+        counts.into_iter().map(|((c, b), n)| (c, b, n)).collect()
     }
 }
 
@@ -540,7 +537,15 @@ mod tests {
     #[test]
     fn counts_and_sizes() {
         let mut sink = ProfileSink::new(2);
-        sink.record(ev(0, 0, 1, TraceKind::Open { file: FileId(1), create: true }));
+        sink.record(ev(
+            0,
+            0,
+            1,
+            TraceKind::Open {
+                file: FileId(1),
+                create: true,
+            },
+        ));
         sink.record(write(0, 1, 2, 0, 100));
         sink.record(write(0, 2, 3, 100, 100));
         sink.record(write(1, 1, 2, 200, 50));

@@ -220,10 +220,8 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&sink.to_json()).unwrap();
         let arr = parsed.as_array().unwrap();
         // Four rank lanes present.
-        let lanes: std::collections::BTreeSet<u64> = arr
-            .iter()
-            .filter_map(|e| e["tid"].as_u64())
-            .collect();
+        let lanes: std::collections::BTreeSet<u64> =
+            arr.iter().filter_map(|e| e["tid"].as_u64()).collect();
         assert_eq!(lanes.len(), 4);
     }
 }

@@ -34,6 +34,6 @@ pub mod range_cache;
 
 pub use file::FileId;
 pub use local::{LocalFs, LocalFsParams};
-pub use nfs::{NfsClient, NfsClientParams, NfsServer, NfsServerParams};
+pub use nfs::{NfsClient, NfsClientParams, NfsError, NfsRetryParams, NfsServer, NfsServerParams};
 pub use pfs::{PfsParams, PfsSystem};
 pub use range_cache::RangeCache;

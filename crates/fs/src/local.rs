@@ -122,6 +122,17 @@ impl LocalFs {
         self.vol.kind()
     }
 
+    /// The backing volume (e.g. for rebuild progress).
+    pub fn volume(&self) -> &dyn Volume {
+        &*self.vol
+    }
+
+    /// Mutable access to the backing volume (fault injection, rebuild
+    /// control).
+    pub fn volume_mut(&mut self) -> &mut dyn Volume {
+        &mut *self.vol
+    }
+
     /// Current size of `file` (0 if unknown).
     pub fn file_size(&self, file: FileId) -> u64 {
         self.files.get(&file).map(|m| m.size).unwrap_or(0)
@@ -497,7 +508,10 @@ mod tests {
         let start = t;
         let t_end = fs.read(t, F, 0, 64 * MIB);
         let rate = Bandwidth::measured(64 * MIB, t_end - start).as_mib_per_sec();
-        assert!(rate < 100.0, "read after drop_caches at {rate} MiB/s must hit disk");
+        assert!(
+            rate < 100.0,
+            "read after drop_caches at {rate} MiB/s must hit disk"
+        );
     }
 
     #[test]

@@ -17,13 +17,109 @@ use crate::file::FileId;
 use crate::local::{FsMeter, LocalFs};
 use crate::range_cache::{RangeCache, RangeRef};
 use netsim::{Network, NodeId, TrafficClass};
-use simcore::{Bandwidth, FifoResource, MultiResource, Time};
+use simcore::{Bandwidth, FifoResource, MultiResource, SplitMix64, Time};
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 
 /// NFS RPC header/trailer size on the wire.
 const RPC_HEADER: u64 = 136;
 /// Size of a reply that carries no data payload.
 const RPC_REPLY: u64 = 112;
+
+/// A client-visible NFS failure.
+///
+/// The simulated client behaves like a `soft` mount: an RPC whose reply does
+/// not arrive within the (exponentially backed-off) retransmission budget
+/// surfaces as an error instead of hanging the application forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NfsError {
+    /// The retransmission budget was exhausted without a reply.
+    MajorTimeout {
+        /// RPC procedure that gave up (`"WRITE"`, `"READ"`, ...).
+        op: &'static str,
+        /// File the operation targeted.
+        file: FileId,
+        /// Instant the client gave up (the final retransmission deadline).
+        at: Time,
+        /// RPC attempts made (first send plus retransmissions).
+        attempts: u32,
+    },
+}
+
+impl NfsError {
+    /// The simulated instant the error was observed by the caller; lets the
+    /// application layer keep its clock moving past a failed operation.
+    pub fn at(&self) -> Time {
+        match *self {
+            NfsError::MajorTimeout { at, .. } => at,
+        }
+    }
+}
+
+impl fmt::Display for NfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NfsError::MajorTimeout {
+                op,
+                file,
+                at,
+                attempts,
+            } => write!(
+                f,
+                "nfs: {op} on file {} major timeout after {attempts} attempts at {:.3}s",
+                file.0,
+                at.as_secs_f64()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NfsError {}
+
+/// RPC retransmission discipline of a mount (the `timeo`/`retrans` options).
+#[derive(Clone, Copy, Debug)]
+pub struct NfsRetryParams {
+    /// Initial per-RPC timeout; doubles on every retransmission.
+    pub timeo: Time,
+    /// Retransmissions after the first send before a major timeout.
+    pub retrans: u32,
+    /// Ceiling for the backed-off timeout.
+    pub max_timeo: Time,
+    /// Deterministic jitter added to each retransmission instant, as a
+    /// fraction of the current timeout (desynchronizes client herds).
+    pub jitter_frac: f64,
+}
+
+impl NfsRetryParams {
+    /// Linux NFS-over-TCP defaults: `timeo=600` (60 s), `retrans=2`.
+    /// Healthy RPCs never get near the timeout, so retransmission cost is
+    /// strictly an under-fault behaviour.
+    pub fn linux_tcp() -> NfsRetryParams {
+        NfsRetryParams {
+            timeo: Time::from_secs(60),
+            retrans: 2,
+            max_timeo: Time::from_secs(600),
+            jitter_frac: 0.1,
+        }
+    }
+
+    /// An impatient discipline for fault drills: short initial timeout and
+    /// a bounded budget, so stall windows are observable in test-sized runs.
+    pub fn impatient(timeo: Time, retrans: u32) -> NfsRetryParams {
+        NfsRetryParams {
+            timeo,
+            retrans,
+            max_timeo: Time::from_secs(60),
+            jitter_frac: 0.1,
+        }
+    }
+}
+
+impl Default for NfsRetryParams {
+    fn default() -> NfsRetryParams {
+        NfsRetryParams::linux_tcp()
+    }
+}
 
 /// Server-side parameters.
 #[derive(Clone, Debug)]
@@ -55,6 +151,8 @@ pub struct NfsServer {
     /// strangles fine-grained MPI-IO on NFS.
     lockd: FifoResource,
     rpcs: u64,
+    /// No RPC dispatches before this instant (fault-injected stall window).
+    stall_until: Time,
 }
 
 impl NfsServer {
@@ -68,6 +166,7 @@ impl NfsServer {
             pool,
             lockd: FifoResource::new(),
             rpcs: 0,
+            stall_until: Time::ZERO,
         }
     }
 
@@ -88,6 +187,8 @@ impl NfsServer {
 
     fn dispatch(&mut self, arrival: Time) -> Time {
         self.rpcs += 1;
+        // Stalled daemons pick nothing up until the window passes.
+        let arrival = arrival.max(self.stall_until);
         self.pool.submit(arrival, self.params.rpc_overhead).end
     }
 
@@ -126,7 +227,21 @@ impl NfsServer {
     /// (the BT-IO *simple* pathology).
     pub fn serve_null(&mut self, arrival: Time) -> Time {
         self.rpcs += 1;
+        let arrival = arrival.max(self.stall_until);
         self.lockd.submit(arrival, self.params.rpc_overhead).end
+    }
+
+    /// Injects a service stall: no RPC dispatches before `from + duration`
+    /// (daemon pause, failover window, deep firmware hiccup). Requests keep
+    /// arriving and queue; overlapping stalls extend the window.
+    pub fn stall(&mut self, from: Time, duration: Time) {
+        self.stall_until = self.stall_until.max(from + duration);
+    }
+
+    /// The instant the current stall window ends (`Time::ZERO` if none was
+    /// ever injected).
+    pub fn stalled_until(&self) -> Time {
+        self.stall_until
     }
 }
 
@@ -151,6 +266,8 @@ pub struct NfsClientParams {
     pub readahead: u64,
     /// Flush dirty data on close (close-to-open consistency).
     pub close_to_open: bool,
+    /// RPC timeout/retransmission discipline.
+    pub retry: NfsRetryParams,
 }
 
 impl NfsClientParams {
@@ -168,6 +285,7 @@ impl NfsClientParams {
             mem_bw: Bandwidth::from_mib_per_sec(1600),
             readahead: 512 * 1024,
             close_to_open: true,
+            retry: NfsRetryParams::linux_tcp(),
         }
     }
 }
@@ -181,6 +299,10 @@ pub struct NfsClient {
     inflight: VecDeque<Time>,
     last_read_end: HashMap<FileId, u64>,
     meter: FsMeter,
+    /// Jitter stream for retransmission backoff (seeded from the node id,
+    /// so every mount has its own deterministic stream).
+    rng: SplitMix64,
+    retries: u64,
 }
 
 impl NfsClient {
@@ -194,12 +316,25 @@ impl NfsClient {
             inflight: VecDeque::new(),
             last_read_end: HashMap::new(),
             meter: FsMeter::default(),
+            rng: SplitMix64::new(0x4e46_5343 ^ node as u64),
+            retries: 0,
         }
     }
 
     /// Client-observed transfer statistics.
     pub fn meter(&self) -> &FsMeter {
         &self.meter
+    }
+
+    /// RPC retransmissions this mount has performed (0 while healthy).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Replaces the mount's timeout/retransmission discipline (remounting
+    /// with different `timeo`/`retrans` options).
+    pub fn set_retry(&mut self, retry: NfsRetryParams) {
+        self.params.retry = retry;
     }
 
     /// Diagnostic view of the client page cache: (used, dirty, segments).
@@ -226,6 +361,55 @@ impl NfsClient {
         }
     }
 
+    /// Runs one RPC under the mount's timeout/retransmission discipline.
+    ///
+    /// `send(t)` performs a full round trip issued at `t` (request wire +
+    /// server service + reply wire) and returns the reply instant; every
+    /// retransmission is a real RPC that burns wire and daemon time. A reply
+    /// arriving within the current timeout completes the call (the earliest
+    /// reply wins — duplicate replies are discarded by XID matching). Each
+    /// timeout doubles the next one up to `max_timeo` and fires the
+    /// retransmission at the deadline plus deterministic jitter; exhausting
+    /// the budget surfaces a soft-mount [`NfsError::MajorTimeout`].
+    fn retry_rpc<F>(
+        &mut self,
+        op: &'static str,
+        file: FileId,
+        first_issue: Time,
+        mut send: F,
+    ) -> Result<Time, NfsError>
+    where
+        F: FnMut(Time) -> Time,
+    {
+        let retry = self.params.retry;
+        let attempts = retry.retrans + 1;
+        let mut timeout = retry.timeo;
+        let mut issue = first_issue;
+        let mut best: Option<Time> = None;
+        for attempt in 1..=attempts {
+            let reply = send(issue);
+            let best_reply = best.map_or(reply, |b| b.min(reply));
+            best = Some(best_reply);
+            let deadline = issue + timeout;
+            if best_reply <= deadline {
+                return Ok(best_reply);
+            }
+            if attempt == attempts {
+                return Err(NfsError::MajorTimeout {
+                    op,
+                    file,
+                    at: deadline,
+                    attempts,
+                });
+            }
+            self.retries += 1;
+            let jitter = timeout.as_secs_f64() * retry.jitter_frac * self.rng.next_f64();
+            issue = deadline + Time::from_secs_f64(jitter);
+            timeout = Time::from_nanos(timeout.as_nanos().saturating_mul(2)).min(retry.max_timeo);
+        }
+        unreachable!("retry loop returns on success or exhaustion");
+    }
+
     /// Issues one WRITE RPC (asynchronously); returns the instant the
     /// client may continue issuing.
     fn rpc_write(
@@ -236,19 +420,16 @@ impl NfsClient {
         file: FileId,
         offset: u64,
         len: u64,
-    ) -> Time {
+    ) -> Result<Time, NfsError> {
         let t_issue = self.window_gate(now);
-        let arrive = net.send(
-            t_issue,
-            self.node,
-            srv.node,
-            len + RPC_HEADER,
-            TrafficClass::Storage,
-        );
-        let ready = srv.serve_write(arrive, file, offset, len);
-        let reply = net.send(ready, srv.node, self.node, RPC_REPLY, TrafficClass::Storage);
+        let node = self.node;
+        let reply = self.retry_rpc("WRITE", file, t_issue, |t| {
+            let arrive = net.send(t, node, srv.node, len + RPC_HEADER, TrafficClass::Storage);
+            let ready = srv.serve_write(arrive, file, offset, len);
+            net.send(ready, srv.node, node, RPC_REPLY, TrafficClass::Storage)
+        })?;
         self.inflight.push_back(reply);
-        t_issue
+        Ok(t_issue)
     }
 
     /// Issues one READ RPC; returns the instant the data is at the client.
@@ -260,19 +441,22 @@ impl NfsClient {
         file: FileId,
         offset: u64,
         len: u64,
-    ) -> Time {
+    ) -> Result<Time, NfsError> {
         let t_issue = self.window_gate(now);
-        let arrive = net.send(t_issue, self.node, srv.node, RPC_HEADER, TrafficClass::Storage);
-        let ready = srv.serve_read(arrive, file, offset, len);
-        let reply = net.send(
-            ready,
-            srv.node,
-            self.node,
-            len + RPC_REPLY,
-            TrafficClass::Storage,
-        );
+        let node = self.node;
+        let reply = self.retry_rpc("READ", file, t_issue, |t| {
+            let arrive = net.send(t, node, srv.node, RPC_HEADER, TrafficClass::Storage);
+            let ready = srv.serve_read(arrive, file, offset, len);
+            net.send(
+                ready,
+                srv.node,
+                node,
+                len + RPC_REPLY,
+                TrafficClass::Storage,
+            )
+        })?;
         self.inflight.push_back(reply);
-        reply
+        Ok(reply)
     }
 
     /// Streams `ranges` to the server as WRITE RPCs; returns the instant
@@ -283,27 +467,23 @@ impl NfsClient {
         srv: &mut NfsServer,
         now: Time,
         ranges: &[RangeRef],
-    ) -> Time {
+    ) -> Result<Time, NfsError> {
         let mut t = now;
         for r in ranges {
             let mut pos = r.start;
             while pos < r.end {
                 let take = self.params.wsize.min(r.end - pos);
-                t = self.rpc_write(net, srv, t, r.file, pos, take);
+                t = self.rpc_write(net, srv, t, r.file, pos, take)?;
                 pos += take;
             }
             self.cache.mark_clean(r.file, r.start, r.end);
         }
-        t
+        Ok(t)
     }
 
     /// Waits for every outstanding RPC; returns the drain instant.
     fn drain_inflight(&mut self, now: Time) -> Time {
-        let t = self
-            .inflight
-            .iter()
-            .copied()
-            .fold(now, |a, b| a.max(b));
+        let t = self.inflight.iter().copied().fold(now, |a, b| a.max(b));
         self.inflight.clear();
         t
     }
@@ -316,16 +496,19 @@ impl NfsClient {
         now: Time,
         file: FileId,
         create: bool,
-    ) -> Time {
+    ) -> Result<Time, NfsError> {
         // Close-to-open consistency: revalidate by dropping cached pages of
         // this file so reads observe other clients' writes.
         self.cache.drop_file(file);
         self.last_read_end.remove(&file);
-        let arrive = net.send(now, self.node, srv.node, RPC_HEADER, TrafficClass::Storage);
-        let ready = srv.serve_meta(arrive, file, create);
-        let reply = net.send(ready, srv.node, self.node, RPC_REPLY, TrafficClass::Storage);
+        let node = self.node;
+        let reply = self.retry_rpc("META", file, now, |t| {
+            let arrive = net.send(t, node, srv.node, RPC_HEADER, TrafficClass::Storage);
+            let ready = srv.serve_meta(arrive, file, create);
+            net.send(ready, srv.node, node, RPC_REPLY, TrafficClass::Storage)
+        })?;
         self.meter.meta_ops += 1;
-        reply
+        Ok(reply)
     }
 
     /// Writes through the mount; returns when the caller may continue.
@@ -337,7 +520,7 @@ impl NfsClient {
         file: FileId,
         offset: u64,
         len: u64,
-    ) -> Time {
+    ) -> Result<Time, NfsError> {
         assert!(len > 0, "zero-length write");
         let mut t = now;
 
@@ -349,7 +532,7 @@ impl NfsClient {
                 let mut pos = r.start;
                 while pos < r.end {
                     let take = self.params.wsize.min(r.end - pos);
-                    t = self.rpc_write(net, srv, t, r.file, pos, take);
+                    t = self.rpc_write(net, srv, t, r.file, pos, take)?;
                     pos += take;
                 }
             }
@@ -361,11 +544,11 @@ impl NfsClient {
         if self.cache.dirty() > self.params.dirty_limit {
             let excess = self.cache.dirty() - self.params.dirty_background;
             let ranges = self.cache.dirty_ranges(excess);
-            t = self.flush_ranges(net, srv, t, &ranges);
+            t = self.flush_ranges(net, srv, t, &ranges)?;
         }
 
         self.meter.writes.record(len, t - now);
-        t
+        Ok(t)
     }
 
     /// Reads through the mount; returns when the data is at the caller.
@@ -377,7 +560,7 @@ impl NfsClient {
         file: FileId,
         offset: u64,
         len: u64,
-    ) -> Time {
+    ) -> Result<Time, NfsError> {
         assert!(len > 0, "zero-length read");
         let end = offset + len;
         let (_hits, mut misses) = self.cache.lookup(file, offset, end);
@@ -401,14 +584,14 @@ impl NfsClient {
                 let mut pos = r.start;
                 while pos < r.end {
                     let take = self.params.wsize.min(r.end - pos);
-                    t = self.rpc_write(net, srv, t, r.file, pos, take);
+                    t = self.rpc_write(net, srv, t, r.file, pos, take)?;
                     pos += take;
                 }
             }
             let mut pos = m.start;
             while pos < m.end {
                 let take = self.params.rsize.min(m.end - pos);
-                let ready = self.rpc_read(net, srv, t.max(now), m.file, pos, take);
+                let ready = self.rpc_read(net, srv, t.max(now), m.file, pos, take)?;
                 // Only chunks inside the requested range gate completion;
                 // readahead beyond `end` is speculative.
                 if pos < end {
@@ -421,23 +604,28 @@ impl NfsClient {
 
         let t = data_ready + self.params.mem_bw.time_for(len);
         self.meter.reads.record(len, t - now);
-        t
+        Ok(t)
     }
 
     /// `fsync`: flushes dirty data, waits for the window, COMMITs.
+    ///
+    /// COMMIT is exempt from the retransmission timer: its reply time is
+    /// dominated by legitimate server-side flushing (possibly far beyond
+    /// `timeo`), and the Linux client keeps waiting as long as the
+    /// connection makes progress rather than re-driving the flush.
     pub fn fsync(
         &mut self,
         net: &mut Network,
         srv: &mut NfsServer,
         now: Time,
         file: FileId,
-    ) -> Time {
+    ) -> Result<Time, NfsError> {
         let ranges = self.cache.dirty_ranges_of(file);
-        let t = self.flush_ranges(net, srv, now, &ranges);
+        let t = self.flush_ranges(net, srv, now, &ranges)?;
         let t = self.drain_inflight(t);
         let arrive = net.send(t, self.node, srv.node, RPC_HEADER, TrafficClass::Storage);
         let ready = srv.serve_commit(arrive, file);
-        net.send(ready, srv.node, self.node, RPC_REPLY, TrafficClass::Storage)
+        Ok(net.send(ready, srv.node, self.node, RPC_REPLY, TrafficClass::Storage))
     }
 
     /// The byte-range-lock + attribute-revalidation round trips ROMIO
@@ -449,12 +637,7 @@ impl NfsClient {
     /// behind other hosts' bulk transfers: the wire cost is plain
     /// propagation+stack latency, while the *server dispatch* still
     /// contends on the daemon pool (the real choke point at scale).
-    pub fn lock_roundtrips(
-        &mut self,
-        net: &mut Network,
-        srv: &mut NfsServer,
-        now: Time,
-    ) -> Time {
+    pub fn lock_roundtrips(&mut self, net: &mut Network, srv: &mut NfsServer, now: Time) -> Time {
         let p = net.fabric(TrafficClass::Storage).params();
         let hop = p.per_msg_overhead + p.link.latency;
         let mut t = self.window_gate(now);
@@ -481,7 +664,7 @@ impl NfsClient {
         file: FileId,
         offset: u64,
         len: u64,
-    ) -> Time {
+    ) -> Result<Time, NfsError> {
         assert!(len > 0, "zero-length write");
         let mut t = now;
         // Make room for the write-through fill; dirty evictions (possible
@@ -491,7 +674,7 @@ impl NfsClient {
             let mut pos = r.start;
             while pos < r.end {
                 let take = self.params.wsize.min(r.end - pos);
-                t = self.rpc_write(net, srv, t, r.file, pos, take);
+                t = self.rpc_write(net, srv, t, r.file, pos, take)?;
                 pos += take;
             }
         }
@@ -499,13 +682,13 @@ impl NfsClient {
         let end = offset + len;
         while pos < end {
             let take = self.params.wsize.min(end - pos);
-            t = self.rpc_write(net, srv, t, file, pos, take);
+            t = self.rpc_write(net, srv, t, file, pos, take)?;
             pos += take;
         }
         let t = self.drain_inflight(t);
         self.cache.insert(file, offset, end, false);
         self.meter.writes.record(len, t - now);
-        t
+        Ok(t)
     }
 
     /// Flushes every dirty page and drops the whole client cache (used
@@ -515,14 +698,14 @@ impl NfsClient {
         net: &mut Network,
         srv: &mut NfsServer,
         now: Time,
-    ) -> Time {
+    ) -> Result<Time, NfsError> {
         let ranges = self.cache.dirty_ranges(u64::MAX);
-        let t = self.flush_ranges(net, srv, now, &ranges);
+        let t = self.flush_ranges(net, srv, now, &ranges)?;
         let t = self.drain_inflight(t);
         let evicted = self.cache.ensure_room(self.cache.capacity());
         debug_assert!(evicted.is_empty(), "flush left dirty pages behind");
         self.last_read_end.clear();
-        t
+        Ok(t)
     }
 
     /// Closes the file; with close-to-open semantics this flushes first.
@@ -532,14 +715,17 @@ impl NfsClient {
         srv: &mut NfsServer,
         now: Time,
         file: FileId,
-    ) -> Time {
+    ) -> Result<Time, NfsError> {
         self.meter.meta_ops += 1;
         if self.params.close_to_open {
             self.fsync(net, srv, now, file)
         } else {
-            let arrive = net.send(now, self.node, srv.node, RPC_HEADER, TrafficClass::Storage);
-            let ready = srv.serve_meta(arrive, file, false);
-            net.send(ready, srv.node, self.node, RPC_REPLY, TrafficClass::Storage)
+            let node = self.node;
+            self.retry_rpc("META", file, now, |t| {
+                let arrive = net.send(t, node, srv.node, RPC_HEADER, TrafficClass::Storage);
+                let ready = srv.serve_meta(arrive, file, false);
+                net.send(ready, srv.node, node, RPC_REPLY, TrafficClass::Storage)
+            })
         }
     }
 }
@@ -573,9 +759,15 @@ mod tests {
     #[test]
     fn open_write_close_makes_data_durable_on_server() {
         let mut r = rig();
-        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
-        let t = r.client.write(&mut r.net, &mut r.srv, t, F, 0, 8 * MIB);
-        let t = r.client.close(&mut r.net, &mut r.srv, t, F);
+        let t = r
+            .client
+            .open(&mut r.net, &mut r.srv, Time::ZERO, F, true)
+            .unwrap();
+        let t = r
+            .client
+            .write(&mut r.net, &mut r.srv, t, F, 0, 8 * MIB)
+            .unwrap();
+        let t = r.client.close(&mut r.net, &mut r.srv, t, F).unwrap();
         assert!(t > Time::ZERO);
         assert_eq!(r.srv.fs().file_size(F), 8 * MIB);
         assert_eq!(r.srv.fs().dirty_bytes(), 0, "close commits on the server");
@@ -584,11 +776,17 @@ mod tests {
     #[test]
     fn small_cached_writes_are_fast_until_flush() {
         let mut r = rig();
-        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+        let t = r
+            .client
+            .open(&mut r.net, &mut r.srv, Time::ZERO, F, true)
+            .unwrap();
         let start = t;
         let mut now = t;
         for i in 0..64u64 {
-            now = r.client.write(&mut r.net, &mut r.srv, now, F, i * MIB, MIB);
+            now = r
+                .client
+                .write(&mut r.net, &mut r.srv, now, F, i * MIB, MIB)
+                .unwrap();
         }
         let rate = Bandwidth::measured(64 * MIB, now - start).as_mib_per_sec();
         assert!(rate > 400.0, "client-cached writes at {rate} MiB/s");
@@ -597,16 +795,22 @@ mod tests {
     #[test]
     fn sustained_write_is_bounded_by_wire_and_disk() {
         let mut r = rig();
-        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+        let t = r
+            .client
+            .open(&mut r.net, &mut r.srv, Time::ZERO, F, true)
+            .unwrap();
         let start = t;
         let mut now = t;
         let total = 4 * GIB; // 2× client RAM
         let mut off = 0;
         while off < total {
-            now = r.client.write(&mut r.net, &mut r.srv, now, F, off, 4 * MIB);
+            now = r
+                .client
+                .write(&mut r.net, &mut r.srv, now, F, off, 4 * MIB)
+                .unwrap();
             off += 4 * MIB;
         }
-        now = r.client.fsync(&mut r.net, &mut r.srv, now, F);
+        now = r.client.fsync(&mut r.net, &mut r.srv, now, F).unwrap();
         let rate = Bandwidth::measured(total, now - start).as_mib_per_sec();
         // GigE wire ≈ 112 MiB/s; server disk ≈ 68 MiB/s → disk bound.
         assert!(rate < 112.0, "NFS write rate {rate} cannot beat the wire");
@@ -617,13 +821,19 @@ mod tests {
     fn cold_sequential_read_streams_near_bottleneck() {
         let mut r = rig();
         r.srv.fs_mut().preallocate(F, 2 * GIB);
-        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, false);
+        let t = r
+            .client
+            .open(&mut r.net, &mut r.srv, Time::ZERO, F, false)
+            .unwrap();
         let mut now = t;
         let start = t;
         let total = GIB;
         let mut off = 0;
         while off < total {
-            now = r.client.read(&mut r.net, &mut r.srv, now, F, off, MIB);
+            now = r
+                .client
+                .read(&mut r.net, &mut r.srv, now, F, off, MIB)
+                .unwrap();
             off += MIB;
         }
         let rate = Bandwidth::measured(total, now - start).as_mib_per_sec();
@@ -634,10 +844,19 @@ mod tests {
     #[test]
     fn client_cache_serves_rereads_at_memory_speed() {
         let mut r = rig();
-        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
-        let mut now = r.client.write(&mut r.net, &mut r.srv, t, F, 0, 64 * MIB);
+        let t = r
+            .client
+            .open(&mut r.net, &mut r.srv, Time::ZERO, F, true)
+            .unwrap();
+        let mut now = r
+            .client
+            .write(&mut r.net, &mut r.srv, t, F, 0, 64 * MIB)
+            .unwrap();
         let start = now;
-        now = r.client.read(&mut r.net, &mut r.srv, now, F, 0, 64 * MIB);
+        now = r
+            .client
+            .read(&mut r.net, &mut r.srv, now, F, 0, 64 * MIB)
+            .unwrap();
         let rate = Bandwidth::measured(64 * MIB, now - start).as_mib_per_sec();
         assert!(rate > 500.0, "client cache re-read at {rate} MiB/s");
     }
@@ -645,15 +864,27 @@ mod tests {
     #[test]
     fn reopen_invalidates_client_cache() {
         let mut r = rig();
-        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
-        let t = r.client.write(&mut r.net, &mut r.srv, t, F, 0, 8 * MIB);
-        let t = r.client.close(&mut r.net, &mut r.srv, t, F);
-        let t = r.client.open(&mut r.net, &mut r.srv, t, F, false);
+        let t = r
+            .client
+            .open(&mut r.net, &mut r.srv, Time::ZERO, F, true)
+            .unwrap();
+        let t = r
+            .client
+            .write(&mut r.net, &mut r.srv, t, F, 0, 8 * MIB)
+            .unwrap();
+        let t = r.client.close(&mut r.net, &mut r.srv, t, F).unwrap();
+        let t = r.client.open(&mut r.net, &mut r.srv, t, F, false).unwrap();
         let start = t;
-        let t_end = r.client.read(&mut r.net, &mut r.srv, t, F, 0, 8 * MIB);
+        let t_end = r
+            .client
+            .read(&mut r.net, &mut r.srv, t, F, 0, 8 * MIB)
+            .unwrap();
         let rate = Bandwidth::measured(8 * MIB, t_end - start).as_mib_per_sec();
         // Must traverse the network again (≤ wire), not the client cache.
-        assert!(rate < 150.0, "post-reopen read at {rate} MiB/s bypassed CTO");
+        assert!(
+            rate < 150.0,
+            "post-reopen read at {rate} MiB/s bypassed CTO"
+        );
     }
 
     #[test]
@@ -665,30 +896,38 @@ mod tests {
         let mut c0 = NfsClient::new(0, NfsClientParams::linux_default(2 * GIB));
         let mut c1 = NfsClient::new(1, NfsClientParams::linux_default(2 * GIB));
 
-        let t0 = c0.open(&mut net, &mut srv, Time::ZERO, F, true);
-        let t1 = c1.open(&mut net, &mut srv, Time::ZERO, F, false);
-        let t0 = c0.write(&mut net, &mut srv, t0, F, 0, 4 * MIB);
-        let t1 = c1.write(&mut net, &mut srv, t1, F, 4 * MIB, 4 * MIB);
-        let t0 = c0.close(&mut net, &mut srv, t0, F);
-        let t1 = c1.close(&mut net, &mut srv, t1, F);
+        let t0 = c0.open(&mut net, &mut srv, Time::ZERO, F, true).unwrap();
+        let t1 = c1.open(&mut net, &mut srv, Time::ZERO, F, false).unwrap();
+        let t0 = c0.write(&mut net, &mut srv, t0, F, 0, 4 * MIB).unwrap();
+        let t1 = c1
+            .write(&mut net, &mut srv, t1, F, 4 * MIB, 4 * MIB)
+            .unwrap();
+        let t0 = c0.close(&mut net, &mut srv, t0, F).unwrap();
+        let t1 = c1.close(&mut net, &mut srv, t1, F).unwrap();
         assert_eq!(srv.fs().file_size(F), 8 * MIB);
 
         // Client 0 re-opens and reads client 1's half through the server.
-        let t = c0.open(&mut net, &mut srv, t0.max(t1), F, false);
-        let t_end = c0.read(&mut net, &mut srv, t, F, 4 * MIB, 4 * MIB);
+        let t = c0.open(&mut net, &mut srv, t0.max(t1), F, false).unwrap();
+        let t_end = c0.read(&mut net, &mut srv, t, F, 4 * MIB, 4 * MIB).unwrap();
         assert!(t_end > t);
     }
 
     #[test]
     fn rpc_window_limits_inflight() {
         let mut r = rig();
-        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+        let t = r
+            .client
+            .open(&mut r.net, &mut r.srv, Time::ZERO, F, true)
+            .unwrap();
         // Force flushing by writing beyond the dirty limit in one burst.
         let mut now = t;
         let total = r.client.params().dirty_limit + 64 * MIB;
         let mut off = 0;
         while off < total {
-            now = r.client.write(&mut r.net, &mut r.srv, now, F, off, 4 * MIB);
+            now = r
+                .client
+                .write(&mut r.net, &mut r.srv, now, F, off, 4 * MIB)
+                .unwrap();
             off += 4 * MIB;
         }
         assert!(
@@ -701,11 +940,15 @@ mod tests {
     #[test]
     fn write_direct_is_synchronous_and_fills_cache() {
         let mut r = rig();
-        let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+        let t = r
+            .client
+            .open(&mut r.net, &mut r.srv, Time::ZERO, F, true)
+            .unwrap();
         let start = t;
         let t = r
             .client
-            .write_direct(&mut r.net, &mut r.srv, t, F, 0, 64 * MIB);
+            .write_direct(&mut r.net, &mut r.srv, t, F, 0, 64 * MIB)
+            .unwrap();
         // Synchronous: bounded by the wire (112 MiB/s), no write-behind.
         let rate = Bandwidth::measured(64 * MIB, t - start).as_mib_per_sec();
         assert!(rate < 112.0, "direct write at {rate} beat the wire");
@@ -716,7 +959,10 @@ mod tests {
         assert_eq!(used, 64 * MIB, "write-through fill");
         assert_eq!(dirty, 0, "write-through leaves nothing dirty");
         // Re-read hits the client cache at memory speed.
-        let t2 = r.client.read(&mut r.net, &mut r.srv, t, F, 0, 64 * MIB);
+        let t2 = r
+            .client
+            .read(&mut r.net, &mut r.srv, t, F, 0, 64 * MIB)
+            .unwrap();
         let reread = Bandwidth::measured(64 * MIB, t2 - t).as_mib_per_sec();
         assert!(reread > 500.0, "re-read after write-through at {reread}");
     }
@@ -734,18 +980,151 @@ mod tests {
     }
 
     #[test]
+    fn healthy_runs_never_retransmit() {
+        let mut r = rig();
+        let t = r
+            .client
+            .open(&mut r.net, &mut r.srv, Time::ZERO, F, true)
+            .unwrap();
+        let mut now = t;
+        for i in 0..64u64 {
+            now = r
+                .client
+                .write(&mut r.net, &mut r.srv, now, F, i * MIB, MIB)
+                .unwrap();
+        }
+        r.client.fsync(&mut r.net, &mut r.srv, now, F).unwrap();
+        assert_eq!(r.client.retries(), 0, "healthy path must not retransmit");
+    }
+
+    #[test]
+    fn stalled_server_triggers_retransmissions_then_recovers() {
+        let mut r = rig();
+        r.client.params.retry = NfsRetryParams::impatient(Time::from_millis(50), 5);
+        r.srv.fs_mut().preallocate(F, 64 * MIB);
+        let stall = Time::from_millis(400);
+        r.srv.stall(Time::ZERO, stall);
+        let t = r
+            .client
+            .read(&mut r.net, &mut r.srv, Time::ZERO, F, 0, 32 * 1024)
+            .unwrap();
+        assert!(t >= stall, "reply cannot precede the stall window end");
+        assert!(
+            r.client.retries() > 0,
+            "a 400ms stall must beat a 50ms timeo"
+        );
+        // The mount keeps working after the window passes, without retries.
+        let before = r.client.retries();
+        let t2 = r
+            .client
+            .read(&mut r.net, &mut r.srv, t, F, MIB, 32 * 1024)
+            .unwrap();
+        assert!(t2 > t);
+        assert_eq!(r.client.retries(), before, "post-stall RPCs are clean");
+    }
+
+    #[test]
+    fn backoff_doubles_deterministically_until_major_timeout() {
+        let trace = || {
+            let mut c = NfsClient::new(0, NfsClientParams::linux_default(2 * GIB));
+            c.params.retry = NfsRetryParams::impatient(Time::from_millis(10), 4);
+            let mut issues = Vec::new();
+            let err = c
+                .retry_rpc("READ", F, Time::ZERO, |t| {
+                    issues.push(t);
+                    Time::MAX // the reply never makes any deadline
+                })
+                .unwrap_err();
+            (issues, err)
+        };
+        let (issues, err) = trace();
+        assert_eq!(issues.len(), 5, "first send plus four retransmissions");
+        // Gaps double (10, 20, 40, 80 ms) within the 10% jitter allowance.
+        for (k, pair) in issues.windows(2).enumerate() {
+            let gap = (pair[1] - pair[0]).as_secs_f64();
+            let timeo = 0.010 * (1u64 << k) as f64;
+            assert!(
+                gap >= timeo && gap <= timeo * 1.1,
+                "gap {k} = {gap}s outside [{timeo}, {}]",
+                timeo * 1.1
+            );
+        }
+        match err {
+            NfsError::MajorTimeout { op, attempts, .. } => {
+                assert_eq!(op, "READ");
+                assert_eq!(attempts, 5);
+            }
+        }
+        // Same seed, same trace.
+        assert_eq!(trace().0, issues);
+    }
+
+    #[test]
+    fn unreachable_server_surfaces_major_timeout_error() {
+        let mut r = rig();
+        r.client.params.retry = NfsRetryParams::impatient(Time::from_millis(10), 2);
+        r.srv.fs_mut().preallocate(F, 64 * MIB);
+        r.srv.stall(Time::ZERO, Time::from_secs(10));
+        let err = r
+            .client
+            .read(&mut r.net, &mut r.srv, Time::ZERO, F, 0, 32 * 1024)
+            .unwrap_err();
+        let NfsError::MajorTimeout {
+            op,
+            file,
+            at,
+            attempts,
+        } = err;
+        assert_eq!(op, "READ");
+        assert_eq!(file, F);
+        assert_eq!(attempts, 3);
+        // The client gives up long before the stall clears (soft mount).
+        assert!(at < Time::from_secs(1), "gave up at {:?}", at);
+        assert_eq!(err.at(), at);
+    }
+
+    #[test]
+    fn stall_applies_backpressure_through_the_rpc_window() {
+        let mut r = rig();
+        r.srv.fs_mut().preallocate(F, GIB);
+        let stall = Time::from_secs(2);
+        r.srv.stall(Time::ZERO, stall);
+        // Synchronous write-through must wait out the stall: with the
+        // default patient (Linux TCP) discipline nothing retransmits, the
+        // window just fills and blocks until the stalled replies drain.
+        let t = r
+            .client
+            .write_direct(&mut r.net, &mut r.srv, Time::ZERO, F, 0, 4 * MIB)
+            .unwrap();
+        assert!(t > stall, "completion {t:?} must absorb the stall window");
+        assert_eq!(r.client.retries(), 0, "60s timeo outlasts a 2s stall");
+    }
+
+    #[test]
     fn deterministic_end_to_end() {
         let run = || {
             let mut r = rig();
-            let t = r.client.open(&mut r.net, &mut r.srv, Time::ZERO, F, true);
+            let t = r
+                .client
+                .open(&mut r.net, &mut r.srv, Time::ZERO, F, true)
+                .unwrap();
             let mut now = t;
             for i in 0..256u64 {
-                now = r.client.write(&mut r.net, &mut r.srv, now, F, i * MIB, MIB);
+                now = r
+                    .client
+                    .write(&mut r.net, &mut r.srv, now, F, i * MIB, MIB)
+                    .unwrap();
             }
-            let now = r.client.fsync(&mut r.net, &mut r.srv, now, F);
-            let mut t = r.client.open(&mut r.net, &mut r.srv, now, F, false);
+            let now = r.client.fsync(&mut r.net, &mut r.srv, now, F).unwrap();
+            let mut t = r
+                .client
+                .open(&mut r.net, &mut r.srv, now, F, false)
+                .unwrap();
             for i in 0..256u64 {
-                t = r.client.read(&mut r.net, &mut r.srv, t, F, i * MIB, MIB);
+                t = r
+                    .client
+                    .read(&mut r.net, &mut r.srv, t, F, i * MIB, MIB)
+                    .unwrap();
             }
             t
         };

@@ -65,17 +65,9 @@ pub struct PfsSystem {
 
 impl PfsSystem {
     /// Deploys servers on `server_nodes`, one backing filesystem each.
-    pub fn new(
-        params: PfsParams,
-        server_nodes: Vec<NodeId>,
-        backends: Vec<LocalFs>,
-    ) -> PfsSystem {
+    pub fn new(params: PfsParams, server_nodes: Vec<NodeId>, backends: Vec<LocalFs>) -> PfsSystem {
         assert!(!server_nodes.is_empty(), "a PFS needs at least one server");
-        assert_eq!(
-            server_nodes.len(),
-            backends.len(),
-            "one backend per server"
-        );
+        assert_eq!(server_nodes.len(), backends.len(), "one backend per server");
         let servers = server_nodes
             .into_iter()
             .zip(backends)
@@ -156,13 +148,7 @@ impl PfsSystem {
 
     /// Closes `file` (metadata RPC; PVFS close does not flush — servers
     /// persist on their own schedule, `sync` forces it).
-    pub fn close(
-        &mut self,
-        net: &mut Network,
-        client: NodeId,
-        now: Time,
-        file: FileId,
-    ) -> Time {
+    pub fn close(&mut self, net: &mut Network, client: NodeId, now: Time, file: FileId) -> Time {
         let srv = &mut self.servers[0];
         let arrive = net.send(now, client, srv.node, RPC_HEADER, TrafficClass::Storage);
         let t = srv.pool.submit(arrive, self.params.rpc_overhead).end;
@@ -234,13 +220,7 @@ impl PfsSystem {
                 let arrive = net.send(now, client, srv.node, RPC_HEADER, TrafficClass::Storage);
                 let t = srv.pool.submit(arrive, overhead).end;
                 let t = srv.fs.read(t, file, local_off + pos, take);
-                let reply = net.send(
-                    t,
-                    srv.node,
-                    client,
-                    take + RPC_REPLY,
-                    TrafficClass::Storage,
-                );
+                let reply = net.send(t, srv.node, client, take + RPC_REPLY, TrafficClass::Storage);
                 server_done = server_done.max(reply);
                 pos += take;
             }

@@ -242,15 +242,7 @@ impl RangeCache {
         assert!(end > start, "empty insert");
         let lost = self.punch(file.0, start, end);
         let stamp = self.stamp();
-        self.attach(
-            file.0,
-            start,
-            Seg {
-                end,
-                dirty,
-                stamp,
-            },
-        );
+        self.attach(file.0, start, Seg { end, dirty, stamp });
         self.coalesce(file.0, start);
         lost
     }
@@ -408,7 +400,10 @@ impl RangeCache {
                 break; // nothing left to evict
             };
             debug_assert_eq!(
-                self.files.get(&file).and_then(|m| m.get(&start)).map(|s| s.stamp),
+                self.files
+                    .get(&file)
+                    .and_then(|m| m.get(&start))
+                    .map(|s| s.stamp),
                 Some(stamp)
             );
             let seg = self.detach(file, start);

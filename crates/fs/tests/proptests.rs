@@ -7,21 +7,50 @@ use proptest::prelude::*;
 /// An operation against the cache.
 #[derive(Clone, Debug)]
 enum Op {
-    Insert { file: u64, start: u64, len: u64, dirty: bool },
-    Lookup { file: u64, start: u64, len: u64 },
-    MarkClean { file: u64, start: u64, len: u64 },
-    EnsureRoom { need: u64 },
-    DropFile { file: u64 },
+    Insert {
+        file: u64,
+        start: u64,
+        len: u64,
+        dirty: bool,
+    },
+    Lookup {
+        file: u64,
+        start: u64,
+        len: u64,
+    },
+    MarkClean {
+        file: u64,
+        start: u64,
+        len: u64,
+    },
+    EnsureRoom {
+        need: u64,
+    },
+    DropFile {
+        file: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..3, 0u64..10_000, 1u64..2_000, any::<bool>())
-            .prop_map(|(file, start, len, dirty)| Op::Insert { file, start, len, dirty }),
-        (0u64..3, 0u64..10_000, 1u64..2_000)
-            .prop_map(|(file, start, len)| Op::Lookup { file, start, len }),
-        (0u64..3, 0u64..10_000, 1u64..2_000)
-            .prop_map(|(file, start, len)| Op::MarkClean { file, start, len }),
+        (0u64..3, 0u64..10_000, 1u64..2_000, any::<bool>()).prop_map(
+            |(file, start, len, dirty)| Op::Insert {
+                file,
+                start,
+                len,
+                dirty
+            }
+        ),
+        (0u64..3, 0u64..10_000, 1u64..2_000).prop_map(|(file, start, len)| Op::Lookup {
+            file,
+            start,
+            len
+        }),
+        (0u64..3, 0u64..10_000, 1u64..2_000).prop_map(|(file, start, len)| Op::MarkClean {
+            file,
+            start,
+            len
+        }),
         (0u64..5_000).prop_map(|need| Op::EnsureRoom { need }),
         (0u64..3).prop_map(|file| Op::DropFile { file }),
     ]

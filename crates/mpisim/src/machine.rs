@@ -87,7 +87,14 @@ impl Machine for FixedMachine {
         now + self.io_cost(len)
     }
 
-    fn io_write(&mut self, now: Time, _node: NodeId, _file: FileId, _offset: u64, len: u64) -> Time {
+    fn io_write(
+        &mut self,
+        now: Time,
+        _node: NodeId,
+        _file: FileId,
+        _offset: u64,
+        len: u64,
+    ) -> Time {
         now + self.io_cost(len)
     }
 

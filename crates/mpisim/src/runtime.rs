@@ -88,13 +88,37 @@ impl RunStats {
 /// What a parked rank is waiting for (to finalize its trace on resume).
 #[derive(Clone, Copy, Debug)]
 enum ResumeAction {
-    Recv { src: Rank, start: Time },
-    WaitAll { start: Time },
-    Barrier { start: Time },
-    Bcast { root: Rank, bytes: u64, start: Time },
-    Allreduce { bytes: u64, start: Time },
-    CollWrite { file: FileId, offset: u64, len: u64, start: Time },
-    CollRead { file: FileId, offset: u64, len: u64, start: Time },
+    Recv {
+        src: Rank,
+        start: Time,
+    },
+    WaitAll {
+        start: Time,
+    },
+    Barrier {
+        start: Time,
+    },
+    Bcast {
+        root: Rank,
+        bytes: u64,
+        start: Time,
+    },
+    Allreduce {
+        bytes: u64,
+        start: Time,
+    },
+    CollWrite {
+        file: FileId,
+        offset: u64,
+        len: u64,
+        start: Time,
+    },
+    CollRead {
+        file: FileId,
+        offset: u64,
+        len: u64,
+        start: Time,
+    },
 }
 
 struct RankCtx {
@@ -362,9 +386,9 @@ impl Exec<'_> {
             }
             MpiOp::Send { dst, bytes, tag } => {
                 assert!(dst < self.world, "send to unknown rank");
-                let delivery =
-                    self.machine
-                        .mpi_send(start, node, self.placement[dst], bytes);
+                let delivery = self
+                    .machine
+                    .mpi_send(start, node, self.placement[dst], bytes);
                 let t_cont = if bytes <= self.params.eager_threshold {
                     start + self.params.send_overhead
                 } else {
@@ -380,9 +404,9 @@ impl Exec<'_> {
             }
             MpiOp::Isend { dst, bytes, tag } => {
                 assert!(dst < self.world, "isend to unknown rank");
-                let delivery =
-                    self.machine
-                        .mpi_send(start, node, self.placement[dst], bytes);
+                let delivery = self
+                    .machine
+                    .mpi_send(start, node, self.placement[dst], bytes);
                 // Nonblocking: the sender continues immediately; buffer
                 // completion (delivery) is what WaitAll observes.
                 let t_cont = start + self.params.send_overhead;
@@ -414,8 +438,7 @@ impl Exec<'_> {
                 if self.ranks[rank].nb_pending == 0 {
                     let end = {
                         let ctx = &mut self.ranks[rank];
-                        let end =
-                            ctx.t.max(ctx.nb_complete) + self.params.recv_overhead;
+                        let end = ctx.t.max(ctx.nb_complete) + self.params.recv_overhead;
                         ctx.stats.comm_time += end - start;
                         ctx.t = end;
                         ctx.nb_complete = Time::ZERO;
@@ -577,15 +600,16 @@ impl Exec<'_> {
             let ctx = &mut self.ranks[receiver];
             ctx.nb_complete = ctx.nb_complete.max(delivery);
             ctx.nb_pending -= 1;
-            if ctx.nb_pending == 0
-                && matches!(ctx.resume, Some(ResumeAction::WaitAll { .. }))
-            {
+            if ctx.nb_pending == 0 && matches!(ctx.resume, Some(ResumeAction::WaitAll { .. })) {
                 let wake = ctx.t.max(ctx.nb_complete) + self.params.recv_overhead;
                 self.queue.schedule(wake.max(self.queue.now()), receiver);
             }
             return;
         }
-        self.sends.entry(key).or_default().push_back((delivery, bytes));
+        self.sends
+            .entry(key)
+            .or_default()
+            .push_back((delivery, bytes));
     }
 
     /// Binomial-tree broadcast: virtual rank 0 is the root; in round `k`
@@ -611,12 +635,9 @@ impl Exec<'_> {
                     // The sender forwards once it has the data *and* the
                     // receiver has at least posted the collective.
                     let go = ready[i].max(arrival_of[src]);
-                    let delivery = self.machine.mpi_send(
-                        go,
-                        self.placement[src],
-                        self.placement[dst],
-                        bytes,
-                    );
+                    let delivery =
+                        self.machine
+                            .mpi_send(go, self.placement[src], self.placement[dst], bytes);
                     ready[j] = delivery.max(arrival_of[dst]);
                 }
             }
@@ -825,8 +846,10 @@ impl Exec<'_> {
                     arrive = arrive.max(d);
                 }
             }
-            self.queue
-                .schedule((arrive + self.params.recv_overhead).max(self.queue.now()), r);
+            self.queue.schedule(
+                (arrive + self.params.recv_overhead).max(self.queue.now()),
+                r,
+            );
         }
     }
 }
@@ -843,10 +866,7 @@ mod tests {
         Box::new(VecStream::new(ops))
     }
 
-    fn run(
-        placement: &[NodeId],
-        programs: Vec<Vec<MpiOp>>,
-    ) -> (RunStats, Vec<TraceEvent>) {
+    fn run(placement: &[NodeId], programs: Vec<Vec<MpiOp>>) -> (RunStats, Vec<TraceEvent>) {
         let mut machine = FixedMachine::new(placement.iter().max().unwrap() + 1);
         let mut sink = VecSink::new();
         let rt = Runtime::default();
@@ -863,10 +883,7 @@ mod tests {
 
     #[test]
     fn compute_advances_time() {
-        let (stats, events) = run(
-            &[0],
-            vec![vec![MpiOp::Compute(Time::from_secs(2))]],
-        );
+        let (stats, events) = run(&[0], vec![vec![MpiOp::Compute(Time::from_secs(2))]]);
         assert_eq!(stats.wall_time, Time::from_secs(2));
         assert_eq!(stats.per_rank[0].compute_time, Time::from_secs(2));
         assert_eq!(events.len(), 1);
@@ -1012,7 +1029,10 @@ mod tests {
         let (stats, events) = run(
             &[0],
             vec![vec![
-                MpiOp::FileOpen { file: F, create: true },
+                MpiOp::FileOpen {
+                    file: F,
+                    create: true,
+                },
                 MpiOp::WriteAt {
                     file: F,
                     offset: 0,
@@ -1049,7 +1069,10 @@ mod tests {
             .collect();
         let (stats, events) = run(&[0, 0, 1, 1], programs);
         let ends: Vec<Time> = stats.per_rank.iter().map(|r| r.end).collect();
-        assert!(ends.windows(2).all(|w| w[0] == w[1]), "ends differ: {ends:?}");
+        assert!(
+            ends.windows(2).all(|w| w[0] == w[1]),
+            "ends differ: {ends:?}"
+        );
         // Each rank records exactly one collective write of its own piece.
         let coll_writes = events
             .iter()
@@ -1116,10 +1139,7 @@ mod tests {
         // Classic BT-style exchange: both ranks post Irecv, Isend, WaitAll.
         let build = |_me: usize, other: usize| {
             vec![
-                MpiOp::Irecv {
-                    src: other,
-                    tag: 7,
-                },
+                MpiOp::Irecv { src: other, tag: 7 },
                 MpiOp::Isend {
                     dst: other,
                     bytes: 128 * 1024, // above eager: blocking Send would jam
@@ -1177,8 +1197,16 @@ mod tests {
         let programs = vec![
             vec![
                 MpiOp::Compute(Time::from_millis(5)),
-                MpiOp::Isend { dst: 1, bytes: 10, tag: 1 },
-                MpiOp::Isend { dst: 2, bytes: 10, tag: 2 },
+                MpiOp::Isend {
+                    dst: 1,
+                    bytes: 10,
+                    tag: 1,
+                },
+                MpiOp::Isend {
+                    dst: 2,
+                    bytes: 10,
+                    tag: 2,
+                },
                 MpiOp::WaitAll,
             ],
             vec![MpiOp::Irecv { src: 0, tag: 1 }, MpiOp::WaitAll],

@@ -9,10 +9,7 @@ use simcore::Time;
 /// Generates a random well-formed multi-rank program: compute bursts,
 /// matched ring exchanges (blocking and nonblocking), barriers, collectives
 /// and file I/O, arranged so no deadlock is possible.
-fn random_programs(
-    world: usize,
-    rounds: &[u8],
-) -> Vec<Vec<MpiOp>> {
+fn random_programs(world: usize, rounds: &[u8]) -> Vec<Vec<MpiOp>> {
     let mut programs: Vec<Vec<MpiOp>> = (0..world).map(|_| Vec::new()).collect();
     for (round, &kind) in rounds.iter().enumerate() {
         let tag = round as u32;

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use simcore::stats::TransferMeter;
-use simcore::{Bandwidth, FifoResource, Time};
+use simcore::{Bandwidth, FifoResource, SplitMix64, Time};
 
 /// Index of a node on the fabric.
 pub type NodeId = usize;
@@ -144,12 +144,29 @@ pub enum TrafficClass {
     Storage,
 }
 
+/// Sender-observed retransmission delay after a lost message (a fast
+/// retransmit at transport level, not a full RTO).
+const RETRANS_DELAY: Time = Time::from_millis(1);
+
+/// Loss/duplication state of one traffic class (fault injection).
+#[derive(Clone, Debug)]
+struct Degradation {
+    /// Probability the first copy of a message is lost in flight.
+    drop: f64,
+    /// Probability a message is transmitted twice.
+    duplicate: f64,
+    /// Deterministic per-class stream deciding each message's fate.
+    rng: SplitMix64,
+}
+
 /// One or two fabrics plus the routing policy between traffic classes.
 pub struct Network {
     fabrics: Vec<Fabric>,
     /// `route[class]` is the fabric index for that class.
     route_mpi: usize,
     route_storage: usize,
+    degrade_mpi: Option<Degradation>,
+    degrade_storage: Option<Degradation>,
 }
 
 impl Network {
@@ -159,6 +176,8 @@ impl Network {
             fabrics: vec![Fabric::new(nodes, params)],
             route_mpi: 0,
             route_storage: 0,
+            degrade_mpi: None,
+            degrade_storage: None,
         }
     }
 
@@ -168,6 +187,39 @@ impl Network {
             fabrics: vec![Fabric::new(nodes, params), Fabric::new(nodes, params)],
             route_mpi: 0,
             route_storage: 1,
+            degrade_mpi: None,
+            degrade_storage: None,
+        }
+    }
+
+    /// Starts dropping and/or duplicating `class` messages with the given
+    /// probabilities, decided by a deterministic stream seeded with `seed`.
+    /// Probabilities are clamped to `[0, 1]`.
+    pub fn set_degradation(&mut self, class: TrafficClass, drop: f64, duplicate: f64, seed: u64) {
+        let state = Some(Degradation {
+            drop: drop.clamp(0.0, 1.0),
+            duplicate: duplicate.clamp(0.0, 1.0),
+            rng: SplitMix64::new(seed),
+        });
+        match class {
+            TrafficClass::Mpi => self.degrade_mpi = state,
+            TrafficClass::Storage => self.degrade_storage = state,
+        }
+    }
+
+    /// Returns `class` to lossless service.
+    pub fn clear_degradation(&mut self, class: TrafficClass) {
+        match class {
+            TrafficClass::Mpi => self.degrade_mpi = None,
+            TrafficClass::Storage => self.degrade_storage = None,
+        }
+    }
+
+    /// Whether `class` currently drops or duplicates messages.
+    pub fn is_degraded(&self, class: TrafficClass) -> bool {
+        match class {
+            TrafficClass::Mpi => self.degrade_mpi.is_some(),
+            TrafficClass::Storage => self.degrade_storage.is_some(),
         }
     }
 
@@ -182,6 +234,12 @@ impl Network {
     }
 
     /// Sends a message of the given class; returns delivery time.
+    ///
+    /// Under degradation a dropped message burns the wire for the doomed
+    /// copy, waits a fast-retransmit delay at the sender, then goes again
+    /// (loss applies at most once per message, as transport retransmissions
+    /// rarely lose twice in a row at these rates); a duplicated message
+    /// sends a second bandwidth-consuming copy but delivery is the first.
     pub fn send(
         &mut self,
         now: Time,
@@ -194,7 +252,27 @@ impl Network {
             TrafficClass::Mpi => self.route_mpi,
             TrafficClass::Storage => self.route_storage,
         };
-        self.fabrics[idx].send(now, from, to, bytes)
+        let (dropped, duplicated) = match match class {
+            TrafficClass::Mpi => &mut self.degrade_mpi,
+            TrafficClass::Storage => &mut self.degrade_storage,
+        } {
+            Some(d) => (
+                d.drop > 0.0 && d.rng.next_f64() < d.drop,
+                d.duplicate > 0.0 && d.rng.next_f64() < d.duplicate,
+            ),
+            None => (false, false),
+        };
+        let fabric = &mut self.fabrics[idx];
+        let mut t = now;
+        if dropped {
+            let doomed = fabric.send(t, from, to, bytes);
+            t = doomed + RETRANS_DELAY;
+        }
+        let delivered = fabric.send(t, from, to, bytes);
+        if duplicated {
+            fabric.send(t, from, to, bytes);
+        }
+        delivered
     }
 
     /// The fabric serving a class (for meters).
@@ -377,5 +455,67 @@ mod tests {
         let t1 = f.send(Time::ZERO, 0, 1, 10 * MIB);
         let t2 = f.send(Time::ZERO, 0, 1, 1);
         assert!(t2 > t1, "small message must wait behind the bulk transfer");
+    }
+
+    #[test]
+    fn dropped_messages_pay_wire_plus_retransmit() {
+        let mut clean = Network::shared(2, FabricParams::gigabit_ethernet());
+        let baseline = clean.send(Time::ZERO, 0, 1, MIB, TrafficClass::Storage);
+
+        let mut lossy = Network::shared(2, FabricParams::gigabit_ethernet());
+        lossy.set_degradation(TrafficClass::Storage, 1.0, 0.0, 7);
+        assert!(lossy.is_degraded(TrafficClass::Storage));
+        let t = lossy.send(Time::ZERO, 0, 1, MIB, TrafficClass::Storage);
+        // Lost copy + retransmit delay + second full copy.
+        assert!(
+            t.as_secs_f64() > baseline.as_secs_f64() * 1.8,
+            "dropped delivery {t:?} vs baseline {baseline:?}"
+        );
+        // Both copies crossed the wire.
+        assert_eq!(lossy.fabric(TrafficClass::Storage).meter().messages, 2);
+    }
+
+    #[test]
+    fn duplicates_burn_bandwidth_without_delaying_delivery() {
+        let mut clean = Network::shared(2, FabricParams::gigabit_ethernet());
+        let baseline = clean.send(Time::ZERO, 0, 1, MIB, TrafficClass::Storage);
+
+        let mut dupey = Network::shared(2, FabricParams::gigabit_ethernet());
+        dupey.set_degradation(TrafficClass::Storage, 0.0, 1.0, 7);
+        let t = dupey.send(Time::ZERO, 0, 1, MIB, TrafficClass::Storage);
+        assert_eq!(t, baseline, "the first copy still delivers on time");
+        assert_eq!(dupey.fabric(TrafficClass::Storage).meter().messages, 2);
+        // The duplicate occupies the link, delaying the NEXT message.
+        let next = dupey.send(t, 0, 1, MIB, TrafficClass::Storage);
+        let clean_next = clean.send(baseline, 0, 1, MIB, TrafficClass::Storage);
+        assert!(next > clean_next, "duplicate must congest the link");
+    }
+
+    #[test]
+    fn degradation_is_per_class_and_clearable() {
+        let mut net = Network::split(2, FabricParams::gigabit_ethernet());
+        net.set_degradation(TrafficClass::Storage, 1.0, 0.0, 3);
+        assert!(net.is_degraded(TrafficClass::Storage));
+        assert!(!net.is_degraded(TrafficClass::Mpi));
+        net.send(Time::ZERO, 0, 1, 1000, TrafficClass::Mpi);
+        assert_eq!(net.fabric(TrafficClass::Mpi).meter().messages, 1);
+        net.clear_degradation(TrafficClass::Storage);
+        assert!(!net.is_degraded(TrafficClass::Storage));
+        net.send(Time::ZERO, 0, 1, 1000, TrafficClass::Storage);
+        assert_eq!(net.fabric(TrafficClass::Storage).meter().messages, 1);
+    }
+
+    #[test]
+    fn degraded_sends_are_deterministic() {
+        let run = || {
+            let mut net = Network::shared(3, FabricParams::gigabit_ethernet());
+            net.set_degradation(TrafficClass::Storage, 0.3, 0.2, 99);
+            let mut t = Time::ZERO;
+            for i in 0..50u64 {
+                t = net.send(t, (i % 2) as usize, 2, 64 * 1024, TrafficClass::Storage);
+            }
+            t
+        };
+        assert_eq!(run(), run());
     }
 }

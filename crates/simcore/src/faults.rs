@@ -1,0 +1,298 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultSchedule`] is a time-sorted list of [`FaultEvent`]s describing
+//! *when* components of the simulated I/O path misbehave: a RAID member
+//! dies or limps, the NFS server stalls, a traffic class starts dropping
+//! or duplicating messages. The schedule itself is inert data — the
+//! machine layers poll [`FaultSchedule::due`] as simulated time advances
+//! and apply each event to the owning component, so the same schedule
+//! always produces the same trace.
+//!
+//! Schedules are either written out explicitly (one event per line of the
+//! scenario) or drawn from a seeded RNG via [`FaultSchedule::random`],
+//! which keeps stochastic campaigns reproducible: same seed, same faults.
+
+use crate::rng::SplitMix64;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// A network traffic class, mirrored here so the fault vocabulary does not
+/// depend on the network simulator (which sits above `simcore`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetClass {
+    /// Compute (MPI) traffic.
+    Mpi,
+    /// Storage (NFS/PFS) traffic.
+    Storage,
+}
+
+/// One injectable fault.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// A volume member disk fails hard; the array runs degraded.
+    DiskFail {
+        /// Member index within the server volume.
+        disk: usize,
+    },
+    /// A failed member is hot-swapped for a fresh disk; the array starts
+    /// rebuilding onto it.
+    DiskReplace {
+        /// Member index within the server volume.
+        disk: usize,
+    },
+    /// A member disk limps: every service time is multiplied by `factor`.
+    DiskSlow {
+        /// Member index within the server volume.
+        disk: usize,
+        /// Service-time multiplier (> 1.0 slows the member down).
+        factor: f64,
+    },
+    /// A limping member returns to nominal service times.
+    DiskRecover {
+        /// Member index within the server volume.
+        disk: usize,
+    },
+    /// The NFS server stops dispatching RPCs for `duration` (daemon pause,
+    /// failover window, deep firmware hiccup).
+    ServerStall {
+        /// Length of the stall window.
+        duration: Time,
+    },
+    /// A traffic class starts dropping and/or duplicating messages.
+    NetDegrade {
+        /// Which fabric class degrades.
+        class: NetClass,
+        /// Probability a message's first copy is lost.
+        drop: f64,
+        /// Probability a message is sent twice.
+        duplicate: f64,
+    },
+    /// A degraded traffic class returns to lossless service.
+    NetHeal {
+        /// Which fabric class heals.
+        class: NetClass,
+    },
+}
+
+/// A fault bound to the simulated instant it occurs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: Time,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// Knobs for [`FaultSchedule::random`].
+#[derive(Clone, Debug)]
+pub struct FaultProfile {
+    /// Member disks eligible for failure/slow-down.
+    pub disks: usize,
+    /// Disk failures to draw (each followed by a replacement after
+    /// `repair_after`, if nonzero).
+    pub disk_failures: usize,
+    /// Delay between a drawn failure and its replacement
+    /// (`Time::ZERO` leaves the array degraded).
+    pub repair_after: Time,
+    /// Limping-disk episodes to draw.
+    pub slowdowns: usize,
+    /// Service-time multiplier for drawn slow-downs.
+    pub slow_factor: f64,
+    /// Length of each drawn slow-down episode.
+    pub slow_duration: Time,
+    /// NFS server stall windows to draw.
+    pub server_stalls: usize,
+    /// Length of each drawn stall window.
+    pub stall_duration: Time,
+}
+
+impl Default for FaultProfile {
+    fn default() -> FaultProfile {
+        FaultProfile {
+            disks: 1,
+            disk_failures: 0,
+            repair_after: Time::ZERO,
+            slowdowns: 0,
+            slow_factor: 3.0,
+            slow_duration: Time::from_secs(5),
+            server_stalls: 0,
+            stall_duration: Time::from_millis(500),
+        }
+    }
+}
+
+/// A deterministic, time-sorted fault schedule.
+///
+/// The schedule is immutable after construction; consumers track their own
+/// cursor and call [`due`](FaultSchedule::due) with nondecreasing `now`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no faults (the healthy baseline).
+    pub fn none() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Builds a schedule from explicit events; events are stably sorted by
+    /// time, so same-instant events keep their authoring order.
+    pub fn new(mut events: Vec<FaultEvent>) -> FaultSchedule {
+        events.sort_by_key(|e| e.at);
+        FaultSchedule { events }
+    }
+
+    /// Draws a schedule from `seed` over `[Time::ZERO, horizon)` according
+    /// to `profile`. Identical inputs yield identical schedules.
+    pub fn random(seed: u64, horizon: Time, profile: &FaultProfile) -> FaultSchedule {
+        let mut rng = SplitMix64::new(seed);
+        let mut events = Vec::new();
+        let span = horizon.as_nanos().max(1);
+        let draw_at = |rng: &mut SplitMix64| Time::from_nanos(rng.next_below(span));
+        for _ in 0..profile.disk_failures {
+            let at = draw_at(&mut rng);
+            let disk = rng.next_below(profile.disks.max(1) as u64) as usize;
+            events.push(FaultEvent {
+                at,
+                fault: Fault::DiskFail { disk },
+            });
+            if profile.repair_after > Time::ZERO {
+                events.push(FaultEvent {
+                    at: at + profile.repair_after,
+                    fault: Fault::DiskReplace { disk },
+                });
+            }
+        }
+        for _ in 0..profile.slowdowns {
+            let at = draw_at(&mut rng);
+            let disk = rng.next_below(profile.disks.max(1) as u64) as usize;
+            events.push(FaultEvent {
+                at,
+                fault: Fault::DiskSlow {
+                    disk,
+                    factor: profile.slow_factor,
+                },
+            });
+            events.push(FaultEvent {
+                at: at + profile.slow_duration,
+                fault: Fault::DiskRecover { disk },
+            });
+        }
+        for _ in 0..profile.server_stalls {
+            events.push(FaultEvent {
+                at: draw_at(&mut rng),
+                fault: Fault::ServerStall {
+                    duration: profile.stall_duration,
+                },
+            });
+        }
+        FaultSchedule::new(events)
+    }
+
+    /// All events, time-sorted.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule carries no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that have become due by `now`, starting at `*cursor`.
+    /// Advances the cursor past the returned slice, so each event is
+    /// delivered exactly once per cursor.
+    pub fn due<'a>(&'a self, cursor: &mut usize, now: Time) -> &'a [FaultEvent] {
+        let start = (*cursor).min(self.events.len());
+        let mut end = start;
+        while end < self.events.len() && self.events[end].at <= now {
+            end += 1;
+        }
+        *cursor = end;
+        &self.events[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_schedule_sorts_by_time() {
+        let s = FaultSchedule::new(vec![
+            FaultEvent {
+                at: Time::from_secs(2),
+                fault: Fault::DiskFail { disk: 1 },
+            },
+            FaultEvent {
+                at: Time::from_secs(1),
+                fault: Fault::ServerStall {
+                    duration: Time::from_millis(10),
+                },
+            },
+        ]);
+        assert_eq!(s.events()[0].at, Time::from_secs(1));
+        assert_eq!(s.events()[1].at, Time::from_secs(2));
+    }
+
+    #[test]
+    fn due_delivers_each_event_once() {
+        let s = FaultSchedule::new(vec![
+            FaultEvent {
+                at: Time::from_secs(1),
+                fault: Fault::DiskFail { disk: 0 },
+            },
+            FaultEvent {
+                at: Time::from_secs(3),
+                fault: Fault::DiskReplace { disk: 0 },
+            },
+        ]);
+        let mut cursor = 0;
+        assert!(s.due(&mut cursor, Time::from_millis(500)).is_empty());
+        assert_eq!(s.due(&mut cursor, Time::from_secs(2)).len(), 1);
+        assert!(s.due(&mut cursor, Time::from_secs(2)).is_empty());
+        assert_eq!(s.due(&mut cursor, Time::from_secs(10)).len(), 1);
+        assert!(s.due(&mut cursor, Time::from_secs(100)).is_empty());
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_and_bounded() {
+        let profile = FaultProfile {
+            disks: 5,
+            disk_failures: 2,
+            repair_after: Time::from_secs(1),
+            slowdowns: 1,
+            server_stalls: 3,
+            ..FaultProfile::default()
+        };
+        let horizon = Time::from_secs(60);
+        let a = FaultSchedule::random(42, horizon, &profile);
+        let b = FaultSchedule::random(42, horizon, &profile);
+        assert_eq!(a, b);
+        // 2 failures + 2 replacements + 1 slow + 1 recover + 3 stalls.
+        assert_eq!(a.events().len(), 9);
+        for e in a.events() {
+            assert!(e.at < horizon + Time::from_secs(6));
+        }
+        let c = FaultSchedule::random(43, horizon, &profile);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn same_instant_events_keep_author_order() {
+        let t = Time::from_secs(1);
+        let s = FaultSchedule::new(vec![
+            FaultEvent {
+                at: t,
+                fault: Fault::DiskFail { disk: 0 },
+            },
+            FaultEvent {
+                at: t,
+                fault: Fault::DiskReplace { disk: 0 },
+            },
+        ]);
+        assert!(matches!(s.events()[0].fault, Fault::DiskFail { .. }));
+        assert!(matches!(s.events()[1].fault, Fault::DiskReplace { .. }));
+    }
+}

@@ -16,12 +16,14 @@
 //! * [`stats`] — online statistics, histograms and utilization meters used by
 //!   the characterization reports.
 
+pub mod faults;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use faults::{Fault, FaultEvent, FaultProfile, FaultSchedule, NetClass};
 pub use queue::EventQueue;
 pub use resource::{FifoResource, MultiResource};
 pub use rng::SplitMix64;

@@ -148,11 +148,7 @@ impl MultiResource {
         if horizon == Time::ZERO || self.servers.is_empty() {
             return 0.0;
         }
-        let total: f64 = self
-            .servers
-            .iter()
-            .map(|s| s.utilization(horizon))
-            .sum();
+        let total: f64 = self.servers.iter().map(|s| s.utilization(horizon)).sum();
         total / self.servers.len() as f64
     }
 

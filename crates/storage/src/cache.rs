@@ -15,7 +15,7 @@
 //! * Reads pass through (read caching belongs to the filesystem page cache).
 
 use crate::req::{BlockOp, BlockReq, IoGrant};
-use crate::volume::{Volume, VolumeMeter};
+use crate::volume::{RebuildReport, Volume, VolumeError, VolumeMeter};
 use serde::{Deserialize, Serialize};
 use simcore::{Bandwidth, FifoResource, Time};
 use std::collections::VecDeque;
@@ -130,8 +130,7 @@ impl<V: Volume> Volume for CachedVolume<V> {
                     // Larger than the whole cache: effectively write-through.
                     destage.durable
                 } else {
-                    let service =
-                        self.params.latency + self.params.absorb_bw.time_for(req.len);
+                    let service = self.params.latency + self.params.absorb_bw.time_for(req.len);
                     self.front.submit(admitted_at, service).end
                 };
 
@@ -165,6 +164,31 @@ impl<V: Volume> Volume for CachedVolume<V> {
 
     fn meter(&self) -> &VolumeMeter {
         &self.meter
+    }
+
+    // Fault hooks pass straight through to the backing volume.
+    fn fail_disk(&mut self, disk: usize) -> Result<(), VolumeError> {
+        self.inner.fail_disk(disk)
+    }
+
+    fn replace_disk(&mut self, now: Time, disk: usize) -> Result<(), VolumeError> {
+        self.inner.replace_disk(now, disk)
+    }
+
+    fn set_disk_slowdown(&mut self, disk: usize, factor: f64) -> Result<(), VolumeError> {
+        self.inner.set_disk_slowdown(disk, factor)
+    }
+
+    fn pump(&mut self, now: Time) {
+        self.inner.pump(now);
+    }
+
+    fn rebuild_report(&self) -> Option<RebuildReport> {
+        self.inner.rebuild_report()
+    }
+
+    fn finish_rebuild(&mut self, now: Time) -> Time {
+        self.inner.finish_rebuild(now)
     }
 }
 
@@ -247,7 +271,10 @@ mod tests {
         let g = v.submit(Time::ZERO, BlockReq::write(0, 16 * MIB));
         assert_eq!(v.occupied(), 16 * MIB);
         // Submitting long after the destage completed releases the space.
-        v.submit(g.durable + Time::from_secs(1), BlockReq::write(32 * MIB, MIB));
+        v.submit(
+            g.durable + Time::from_secs(1),
+            BlockReq::write(32 * MIB, MIB),
+        );
         assert_eq!(v.occupied(), MIB);
     }
 }

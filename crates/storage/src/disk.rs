@@ -59,6 +59,9 @@ pub struct Disk {
     last_end: Option<u64>,
     rng: SplitMix64,
     ios: u64,
+    /// Service-time multiplier (1.0 nominal; > 1.0 models a limping drive
+    /// suffering media retries or thermal recalibration storms).
+    slow_factor: f64,
 }
 
 impl Disk {
@@ -70,6 +73,7 @@ impl Disk {
             last_end: None,
             rng: SplitMix64::new(seed),
             ios: 0,
+            slow_factor: 1.0,
         }
     }
 
@@ -91,6 +95,28 @@ impl Disk {
     /// Total busy time (for utilization reports).
     pub fn busy_time(&self) -> Time {
         self.timeline.busy_time()
+    }
+
+    /// Current service-time multiplier.
+    pub fn slow_factor(&self) -> f64 {
+        self.slow_factor
+    }
+
+    /// Sets the service-time multiplier. `1.0` restores nominal service;
+    /// values `> 1.0` model a limping member. Non-positive inputs are
+    /// clamped to nominal.
+    pub fn set_slow_factor(&mut self, factor: f64) {
+        self.slow_factor = if factor > 0.0 { factor } else { 1.0 };
+    }
+
+    /// Replaces the physical drive with a factory-fresh one (hot swap):
+    /// the command queue, head position and any slow-down are discarded.
+    /// The RNG stream and cumulative IO count carry over so traces stay
+    /// deterministic and meters keep counting.
+    pub fn swap_fresh(&mut self) {
+        self.timeline.reset();
+        self.last_end = None;
+        self.slow_factor = 1.0;
     }
 
     /// Positioning time for a request starting at `offset` given the head
@@ -131,7 +157,10 @@ impl Disk {
         } else {
             self.params.read_bw
         };
-        let service = self.params.cmd_overhead + positioning + bw.time_for(req.len);
+        let mut service = self.params.cmd_overhead + positioning + bw.time_for(req.len);
+        if self.slow_factor != 1.0 {
+            service = Time::from_secs_f64(service.as_secs_f64() * self.slow_factor);
+        }
         let grant = self.timeline.submit(now, service);
         self.last_end = Some(req.end());
         self.ios += 1;

@@ -28,4 +28,4 @@ pub use cache::{CachedVolume, WriteCacheParams};
 pub use disk::{Disk, DiskParams};
 pub use raid::{Jbod, Raid0, Raid1, Raid5};
 pub use req::{BlockOp, BlockReq, IoGrant};
-pub use volume::{Volume, VolumeMeter};
+pub use volume::{RebuildReport, Volume, VolumeError, VolumeMeter};

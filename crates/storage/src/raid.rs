@@ -20,8 +20,56 @@
 
 use crate::disk::Disk;
 use crate::req::{BlockOp, BlockReq, IoGrant};
-use crate::volume::{Volume, VolumeMeter};
+use crate::volume::{RebuildReport, Volume, VolumeError, VolumeMeter};
 use simcore::Time;
+
+/// Member-local bytes reconstructed per background rebuild pass.
+const REBUILD_BATCH: u64 = 4 * 1024 * 1024;
+
+/// Background rebuild of a replacement member.
+///
+/// Rebuild I/O is *lazily pumped*: whenever foreground work observes
+/// simulated time `now`, all rebuild batches whose issue instants fall at
+/// or before `now` are submitted first. Each batch reads the batch extent
+/// from every surviving member, writes the reconstructed data to the
+/// replacement, and schedules the next batch at its completion — so
+/// rebuild traffic competes with foreground I/O on the member FIFO
+/// timelines exactly as a `md`-style resync does, while submissions stay
+/// nondecreasing in time.
+///
+/// Only the written extent of the array is resilvered (bitmap-assisted
+/// resync), so rebuild duration is proportional to the data footprint.
+#[derive(Clone, Copy, Debug)]
+struct Rebuilder {
+    /// Member being rebuilt onto.
+    target: usize,
+    /// Next member-local offset to reconstruct.
+    next_off: u64,
+    /// Issue instant of the next batch (completion of the previous one).
+    next_issue: Time,
+    /// Externally visible progress.
+    report: RebuildReport,
+}
+
+impl Rebuilder {
+    fn new(target: usize, total: u64, now: Time) -> Rebuilder {
+        Rebuilder {
+            target,
+            next_off: 0,
+            next_issue: now,
+            report: RebuildReport {
+                started: now,
+                finished: None,
+                bytes_done: 0,
+                bytes_total: total,
+            },
+        }
+    }
+
+    fn running(&self) -> bool {
+        self.report.finished.is_none()
+    }
+}
 
 /// Location of one logical byte range inside a RAID 5 array.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,8 +87,30 @@ pub struct Raid5Chunk {
 /// Maps a logical byte offset to its RAID 5 location (left-symmetric layout:
 /// parity rotates from the last disk downward; data chunks follow the parity
 /// disk cyclically).
+///
+/// Geometry is assumed valid; configuration paths validate through
+/// [`try_raid5_locate`] or [`Raid5::try_new`] instead of panicking.
 pub fn raid5_locate(offset: u64, stripe: u64, n_disks: usize) -> Raid5Chunk {
-    assert!(n_disks >= 3, "RAID 5 needs at least 3 members");
+    try_raid5_locate(offset, stripe, n_disks).expect("invalid RAID 5 geometry")
+}
+
+/// Fallible form of [`raid5_locate`]: rejects arrays of fewer than three
+/// members and zero stripe sizes with a typed error instead of panicking.
+pub fn try_raid5_locate(
+    offset: u64,
+    stripe: u64,
+    n_disks: usize,
+) -> Result<Raid5Chunk, VolumeError> {
+    if n_disks < 3 {
+        return Err(VolumeError::TooFewMembers {
+            kind: "RAID 5",
+            need: 3,
+            got: n_disks,
+        });
+    }
+    if stripe == 0 {
+        return Err(VolumeError::ZeroStripe);
+    }
     let n = n_disks as u64;
     let row_width = (n - 1) * stripe;
     let row = offset / row_width;
@@ -49,12 +119,12 @@ pub fn raid5_locate(offset: u64, stripe: u64, n_disks: usize) -> Raid5Chunk {
     let off_in_chunk = within % stripe;
     let parity = (n - 1) - (row % n);
     let disk = (parity + 1 + chunk) % n;
-    Raid5Chunk {
+    Ok(Raid5Chunk {
         row,
         disk: disk as usize,
         disk_offset: row * stripe + off_in_chunk,
         parity_disk: parity as usize,
-    }
+    })
 }
 
 /// A single-disk volume.
@@ -96,6 +166,16 @@ impl Volume for Jbod {
     fn meter(&self) -> &VolumeMeter {
         &self.meter
     }
+
+    // JBOD has no redundancy: a member failure is data loss, so only the
+    // slow-down fault is honoured.
+    fn set_disk_slowdown(&mut self, disk: usize, factor: f64) -> Result<(), VolumeError> {
+        if disk != 0 {
+            return Err(VolumeError::UnknownMember { disk, members: 1 });
+        }
+        self.disk.set_slow_factor(factor);
+        Ok(())
+    }
 }
 
 /// A striped (RAID 0) volume.
@@ -107,14 +187,31 @@ pub struct Raid0 {
 
 impl Raid0 {
     /// Builds a stripe set over `disks` with the given chunk size.
+    ///
+    /// Panics on invalid geometry; configuration paths should prefer
+    /// [`Raid0::try_new`].
     pub fn new(disks: Vec<Disk>, stripe: u64) -> Raid0 {
-        assert!(disks.len() >= 2, "RAID 0 needs at least 2 members");
-        assert!(stripe > 0);
-        Raid0 {
+        Raid0::try_new(disks, stripe).expect("invalid RAID 0 geometry")
+    }
+
+    /// Fallible constructor: rejects fewer than two members or a zero
+    /// stripe with a typed error.
+    pub fn try_new(disks: Vec<Disk>, stripe: u64) -> Result<Raid0, VolumeError> {
+        if disks.len() < 2 {
+            return Err(VolumeError::TooFewMembers {
+                kind: "RAID 0",
+                need: 2,
+                got: disks.len(),
+            });
+        }
+        if stripe == 0 {
+            return Err(VolumeError::ZeroStripe);
+        }
+        Ok(Raid0 {
             disks,
             stripe,
             meter: VolumeMeter::default(),
-        }
+        })
     }
 
     /// Per-disk contiguous spans covering `req` (offset, len on each disk).
@@ -146,7 +243,14 @@ impl Volume for Raid0 {
     fn submit(&mut self, now: Time, req: BlockReq) -> IoGrant {
         let mut grant: Option<IoGrant> = None;
         for (disk, off, len) in self.spans(&req) {
-            let g = self.disks[disk].submit(now, BlockReq { op: req.op, offset: off, len });
+            let g = self.disks[disk].submit(
+                now,
+                BlockReq {
+                    op: req.op,
+                    offset: off,
+                    len,
+                },
+            );
             self.meter.disk_ios += 1;
             grant = Some(match grant {
                 Some(acc) => acc.join(g),
@@ -177,6 +281,20 @@ impl Volume for Raid0 {
     fn meter(&self) -> &VolumeMeter {
         &self.meter
     }
+
+    // RAID 0 has no redundancy either; only slow-downs are injectable.
+    fn set_disk_slowdown(&mut self, disk: usize, factor: f64) -> Result<(), VolumeError> {
+        match self.disks.get_mut(disk) {
+            Some(d) => {
+                d.set_slow_factor(factor);
+                Ok(())
+            }
+            None => Err(VolumeError::UnknownMember {
+                disk,
+                members: self.disks.len(),
+            }),
+        }
+    }
 }
 
 /// A mirrored (RAID 1) volume over two members.
@@ -184,6 +302,11 @@ pub struct Raid1 {
     disks: [Box<Disk>; 2],
     meter: VolumeMeter,
     last_read_end: [Option<u64>; 2],
+    /// A failed member (degraded mode), if any.
+    failed: Option<usize>,
+    rebuild: Option<Rebuilder>,
+    /// Highest logical byte ever addressed — the extent a rebuild covers.
+    high_water: u64,
 }
 
 impl Raid1 {
@@ -193,12 +316,29 @@ impl Raid1 {
             disks: [Box::new(primary), Box::new(mirror)],
             meter: VolumeMeter::default(),
             last_read_end: [None, None],
+            failed: None,
+            rebuild: None,
+            high_water: 0,
         }
     }
 
-    /// Read balancing: prefer the member whose head is already positioned
-    /// (sequential affinity), otherwise the member that frees up earliest.
+    /// The failed member, if any.
+    pub fn failed_disk(&self) -> Option<usize> {
+        self.failed
+    }
+
+    /// Cumulative command counts per member (mirror balance analysis).
+    pub fn member_ios(&self) -> Vec<u64> {
+        self.disks.iter().map(|d| d.ios()).collect()
+    }
+
+    /// Read balancing: a dead member never serves; otherwise prefer the
+    /// member whose head is already positioned (sequential affinity), then
+    /// the member that frees up earliest.
     fn pick_reader(&self, offset: u64) -> usize {
+        if let Some(f) = self.failed {
+            return 1 - f;
+        }
         for (i, end) in self.last_read_end.iter().enumerate() {
             if *end == Some(offset) {
                 return i;
@@ -214,14 +354,24 @@ impl Raid1 {
 
 impl Volume for Raid1 {
     fn submit(&mut self, now: Time, req: BlockReq) -> IoGrant {
+        self.pump(now);
+        self.high_water = self.high_water.max(req.end());
         let grant = match req.op {
-            BlockOp::Write => {
-                // Both members must be written; ack when both complete.
-                let g0 = self.disks[0].submit(now, req);
-                let g1 = self.disks[1].submit(now, req);
-                self.meter.disk_ios += 2;
-                g0.join(g1)
-            }
+            BlockOp::Write => match self.failed {
+                // Degraded: only the survivor takes the write.
+                Some(f) => {
+                    let g = self.disks[1 - f].submit(now, req);
+                    self.meter.disk_ios += 1;
+                    g
+                }
+                None => {
+                    // Both members must be written; ack when both complete.
+                    let g0 = self.disks[0].submit(now, req);
+                    let g1 = self.disks[1].submit(now, req);
+                    self.meter.disk_ios += 2;
+                    g0.join(g1)
+                }
+            },
             BlockOp::Read => {
                 let d = self.pick_reader(req.offset);
                 let g = self.disks[d].submit(now, req);
@@ -234,7 +384,8 @@ impl Volume for Raid1 {
         grant
     }
 
-    fn flush(&mut self, _now: Time) -> Time {
+    fn flush(&mut self, now: Time) -> Time {
+        self.pump(now);
         self.disks[0].free_at().max(self.disks[1].free_at())
     }
 
@@ -251,6 +402,81 @@ impl Volume for Raid1 {
 
     fn meter(&self) -> &VolumeMeter {
         &self.meter
+    }
+
+    fn fail_disk(&mut self, disk: usize) -> Result<(), VolumeError> {
+        if disk >= 2 {
+            return Err(VolumeError::UnknownMember { disk, members: 2 });
+        }
+        if let Some(failed) = self.failed {
+            return Err(VolumeError::AlreadyDegraded { failed });
+        }
+        self.failed = Some(disk);
+        self.last_read_end[disk] = None;
+        Ok(())
+    }
+
+    fn replace_disk(&mut self, now: Time, disk: usize) -> Result<(), VolumeError> {
+        if disk >= 2 {
+            return Err(VolumeError::UnknownMember { disk, members: 2 });
+        }
+        if self.rebuild.is_some_and(|rb| rb.running()) {
+            return Err(VolumeError::RebuildInProgress);
+        }
+        if self.failed != Some(disk) {
+            return Err(VolumeError::NotFailed { disk });
+        }
+        self.disks[disk].swap_fresh();
+        let total = self.high_water;
+        let mut rb = Rebuilder::new(disk, total, now);
+        if total == 0 {
+            rb.report.finished = Some(now);
+            self.failed = None;
+        }
+        self.rebuild = Some(rb);
+        Ok(())
+    }
+
+    fn set_disk_slowdown(&mut self, disk: usize, factor: f64) -> Result<(), VolumeError> {
+        if disk >= 2 {
+            return Err(VolumeError::UnknownMember { disk, members: 2 });
+        }
+        self.disks[disk].set_slow_factor(factor);
+        Ok(())
+    }
+
+    fn pump(&mut self, now: Time) {
+        let Some(mut rb) = self.rebuild else { return };
+        if !rb.running() {
+            return;
+        }
+        while rb.next_off < rb.report.bytes_total && rb.next_issue <= now {
+            let take = REBUILD_BATCH.min(rb.report.bytes_total - rb.next_off);
+            let issue = rb.next_issue;
+            let r = self.disks[1 - rb.target].submit(issue, BlockReq::read(rb.next_off, take));
+            let w = self.disks[rb.target].submit(r.ack, BlockReq::write(rb.next_off, take));
+            self.meter.disk_ios += 2;
+            rb.next_off += take;
+            rb.report.bytes_done += take;
+            rb.next_issue = w.ack;
+        }
+        if rb.next_off >= rb.report.bytes_total {
+            rb.report.finished = Some(rb.next_issue);
+            self.failed = None;
+        }
+        self.rebuild = Some(rb);
+    }
+
+    fn rebuild_report(&self) -> Option<RebuildReport> {
+        self.rebuild.map(|rb| rb.report)
+    }
+
+    fn finish_rebuild(&mut self, now: Time) -> Time {
+        self.pump(Time::MAX);
+        match self.rebuild {
+            Some(rb) => rb.report.finished.map_or(now, |f| f.max(now)),
+            None => now,
+        }
     }
 }
 
@@ -277,14 +503,34 @@ pub struct Raid5 {
     rmw_count: u64,
     /// A failed member (degraded mode), if any.
     failed: Option<usize>,
+    rebuild: Option<Rebuilder>,
+    /// Highest logical byte ever addressed — the extent a rebuild covers.
+    high_water: u64,
 }
 
 impl Raid5 {
     /// Builds an array over `disks` (≥ 3) with the given stripe chunk size.
+    ///
+    /// Panics on invalid geometry; configuration paths should prefer
+    /// [`Raid5::try_new`].
     pub fn new(disks: Vec<Disk>, stripe: u64, coalesce: bool) -> Raid5 {
-        assert!(disks.len() >= 3, "RAID 5 needs at least 3 members");
-        assert!(stripe > 0);
-        Raid5 {
+        Raid5::try_new(disks, stripe, coalesce).expect("invalid RAID 5 geometry")
+    }
+
+    /// Fallible constructor: rejects fewer than three members or a zero
+    /// stripe with a typed error.
+    pub fn try_new(disks: Vec<Disk>, stripe: u64, coalesce: bool) -> Result<Raid5, VolumeError> {
+        if disks.len() < 3 {
+            return Err(VolumeError::TooFewMembers {
+                kind: "RAID 5",
+                need: 3,
+                got: disks.len(),
+            });
+        }
+        if stripe == 0 {
+            return Err(VolumeError::ZeroStripe);
+        }
+        Ok(Raid5 {
             disks,
             stripe,
             meter: VolumeMeter::default(),
@@ -292,7 +538,9 @@ impl Raid5 {
             coalesce,
             rmw_count: 0,
             failed: None,
-        }
+            rebuild: None,
+            high_water: 0,
+        })
     }
 
     /// Number of parity read-modify-write settlements performed.
@@ -300,19 +548,21 @@ impl Raid5 {
         self.rmw_count
     }
 
-    /// Marks a member disk as failed. The array keeps serving requests in
-    /// *degraded mode*: chunks of the failed member are reconstructed by
-    /// reading every surviving member of the row — the availability price
-    /// the paper's configuration analysis weighs against JBOD.
-    pub fn fail_disk(&mut self, disk: usize) {
-        assert!(disk < self.disks.len(), "unknown member");
-        assert!(self.failed.is_none(), "RAID 5 survives a single failure");
-        self.failed = Some(disk);
-    }
-
     /// The failed member, if any.
     pub fn failed_disk(&self) -> Option<usize> {
         self.failed
+    }
+
+    /// Cumulative command counts per member (used by the degraded-mode
+    /// property tests to check exactly the survivors are touched).
+    pub fn member_ios(&self) -> Vec<u64> {
+        self.disks.iter().map(|d| d.ios()).collect()
+    }
+
+    /// Member-local extent a rebuild must cover for the current write
+    /// high-water mark: every stripe row that carries addressed data.
+    fn member_extent(&self) -> u64 {
+        self.high_water.div_ceil(self.row_width()) * self.stripe
     }
 
     fn n(&self) -> u64 {
@@ -334,10 +584,7 @@ impl Raid5 {
         if Some(p) == self.failed {
             return IoGrant::immediate(now);
         }
-        let g = self.disks[p].submit(
-            now,
-            BlockReq::write(row * self.stripe, self.stripe),
-        );
+        let g = self.disks[p].submit(now, BlockReq::write(row * self.stripe, self.stripe));
         self.meter.disk_ios += 1;
         g
     }
@@ -356,24 +603,16 @@ impl Raid5 {
             self.stripe,
             self.disks.len(),
         );
-        let r1 = self.disks[p].submit(
-            now,
-            BlockReq::read(row.row * self.stripe, self.stripe),
-        );
+        let r1 = self.disks[p].submit(now, BlockReq::read(row.row * self.stripe, self.stripe));
         self.meter.disk_ios += 1;
         let mut ready = r1.ack;
         if Some(touched.disk) != self.failed {
-            let r2 = self.disks[touched.disk].submit(
-                now,
-                BlockReq::read(row.row * self.stripe, self.stripe),
-            );
+            let r2 = self.disks[touched.disk]
+                .submit(now, BlockReq::read(row.row * self.stripe, self.stripe));
             self.meter.disk_ios += 1;
             ready = ready.max(r2.ack);
         }
-        let w = self.disks[p].submit(
-            ready,
-            BlockReq::write(row.row * self.stripe, self.stripe),
-        );
+        let w = self.disks[p].submit(ready, BlockReq::write(row.row * self.stripe, self.stripe));
         self.meter.disk_ios += 1;
         w.ack
     }
@@ -397,10 +636,7 @@ impl Raid5 {
             let loc = raid5_locate(row * self.row_width() + pos, self.stripe, self.disks.len());
             let take = (self.stripe - (pos % self.stripe)).min(to - pos);
             if Some(loc.disk) != self.failed {
-                let g = self.disks[loc.disk].submit(
-                    now,
-                    BlockReq::write(loc.disk_offset, take),
-                );
+                let g = self.disks[loc.disk].submit(now, BlockReq::write(loc.disk_offset, take));
                 self.meter.disk_ios += 1;
                 grant = Some(match grant {
                     Some(acc) => acc.join(g),
@@ -466,6 +702,10 @@ impl Raid5 {
 
 impl Volume for Raid5 {
     fn submit(&mut self, now: Time, req: BlockReq) -> IoGrant {
+        // Rebuild batches due by `now` go in first so member submissions
+        // stay nondecreasing and foreground work queues behind them.
+        self.pump(now);
+        self.high_water = self.high_water.max(req.end());
         let rw = self.row_width();
         let first_row = req.offset / rw;
         let last_row = (req.end() - 1) / rw;
@@ -563,6 +803,7 @@ impl Volume for Raid5 {
     }
 
     fn flush(&mut self, now: Time) -> Time {
+        self.pump(now);
         self.settle_open_row_unless(now, None);
         self.disks
             .iter()
@@ -587,6 +828,109 @@ impl Volume for Raid5 {
 
     fn meter(&self) -> &VolumeMeter {
         &self.meter
+    }
+
+    /// Marks a member disk as failed. The array keeps serving requests in
+    /// *degraded mode*: chunks of the failed member are reconstructed by
+    /// reading every surviving member of the row — the availability price
+    /// the paper's configuration analysis weighs against JBOD.
+    fn fail_disk(&mut self, disk: usize) -> Result<(), VolumeError> {
+        if disk >= self.disks.len() {
+            return Err(VolumeError::UnknownMember {
+                disk,
+                members: self.disks.len(),
+            });
+        }
+        if let Some(failed) = self.failed {
+            // RAID 5 survives exactly one failure.
+            return Err(VolumeError::AlreadyDegraded { failed });
+        }
+        self.failed = Some(disk);
+        Ok(())
+    }
+
+    fn replace_disk(&mut self, now: Time, disk: usize) -> Result<(), VolumeError> {
+        if disk >= self.disks.len() {
+            return Err(VolumeError::UnknownMember {
+                disk,
+                members: self.disks.len(),
+            });
+        }
+        if self.rebuild.is_some_and(|rb| rb.running()) {
+            return Err(VolumeError::RebuildInProgress);
+        }
+        if self.failed != Some(disk) {
+            return Err(VolumeError::NotFailed { disk });
+        }
+        self.disks[disk].swap_fresh();
+        let total = self.member_extent();
+        let mut rb = Rebuilder::new(disk, total, now);
+        if total == 0 {
+            rb.report.finished = Some(now);
+            self.failed = None;
+        }
+        self.rebuild = Some(rb);
+        Ok(())
+    }
+
+    fn set_disk_slowdown(&mut self, disk: usize, factor: f64) -> Result<(), VolumeError> {
+        match self.disks.get_mut(disk) {
+            Some(d) => {
+                d.set_slow_factor(factor);
+                Ok(())
+            }
+            None => Err(VolumeError::UnknownMember {
+                disk,
+                members: self.disks.len(),
+            }),
+        }
+    }
+
+    /// Issues every rebuild batch whose instant falls at or before `now`:
+    /// read the batch extent from all `n-1` survivors, write the
+    /// reconstruction to the replacement, schedule the next batch at its
+    /// completion. The member stays logically failed (writes skip it,
+    /// reads reconstruct) until the resilver covers the whole extent.
+    fn pump(&mut self, now: Time) {
+        let Some(mut rb) = self.rebuild else { return };
+        if !rb.running() {
+            return;
+        }
+        while rb.next_off < rb.report.bytes_total && rb.next_issue <= now {
+            let take = REBUILD_BATCH.min(rb.report.bytes_total - rb.next_off);
+            let issue = rb.next_issue;
+            let mut ready = issue;
+            for d in 0..self.disks.len() {
+                if d == rb.target {
+                    continue;
+                }
+                let g = self.disks[d].submit(issue, BlockReq::read(rb.next_off, take));
+                self.meter.disk_ios += 1;
+                ready = ready.max(g.ack);
+            }
+            let w = self.disks[rb.target].submit(ready, BlockReq::write(rb.next_off, take));
+            self.meter.disk_ios += 1;
+            rb.next_off += take;
+            rb.report.bytes_done += take;
+            rb.next_issue = w.ack;
+        }
+        if rb.next_off >= rb.report.bytes_total {
+            rb.report.finished = Some(rb.next_issue);
+            self.failed = None;
+        }
+        self.rebuild = Some(rb);
+    }
+
+    fn rebuild_report(&self) -> Option<RebuildReport> {
+        self.rebuild.map(|rb| rb.report)
+    }
+
+    fn finish_rebuild(&mut self, now: Time) -> Time {
+        self.pump(Time::MAX);
+        match self.rebuild {
+            Some(rb) => rb.report.finished.map_or(now, |f| f.max(now)),
+            None => now,
+        }
     }
 }
 
@@ -828,7 +1172,7 @@ mod tests {
         let measure = |fail: bool| {
             let mut r = Raid5::new(disks(5), STRIPE, true);
             if fail {
-                r.fail_disk(2);
+                r.fail_disk(2).unwrap();
             }
             let mut now = r.submit(Time::ZERO, BlockReq::read(0, 4 * MIB)).ack;
             let start = now;
@@ -849,7 +1193,7 @@ mod tests {
     #[test]
     fn raid5_degraded_writes_complete() {
         let mut r = Raid5::new(disks(5), STRIPE, true);
-        r.fail_disk(0);
+        r.fail_disk(0).unwrap();
         assert_eq!(r.failed_disk(), Some(0));
         let g = r.submit(Time::ZERO, BlockReq::write(0, 8 * MIB));
         assert!(g.ack > Time::ZERO);
@@ -859,10 +1203,217 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "single failure")]
     fn raid5_second_failure_rejected() {
         let mut r = Raid5::new(disks(5), STRIPE, true);
-        r.fail_disk(0);
-        r.fail_disk(1);
+        r.fail_disk(0).unwrap();
+        assert_eq!(
+            r.fail_disk(1),
+            Err(VolumeError::AlreadyDegraded { failed: 0 })
+        );
+        assert_eq!(
+            r.fail_disk(9),
+            Err(VolumeError::UnknownMember {
+                disk: 9,
+                members: 5
+            })
+        );
+    }
+
+    #[test]
+    fn constructors_reject_bad_geometry() {
+        assert_eq!(
+            Raid5::try_new(disks(2), STRIPE, true).err(),
+            Some(VolumeError::TooFewMembers {
+                kind: "RAID 5",
+                need: 3,
+                got: 2
+            })
+        );
+        assert_eq!(
+            Raid5::try_new(disks(5), 0, true).err(),
+            Some(VolumeError::ZeroStripe)
+        );
+        assert_eq!(
+            Raid0::try_new(disks(1), STRIPE).err(),
+            Some(VolumeError::TooFewMembers {
+                kind: "RAID 0",
+                need: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            try_raid5_locate(0, STRIPE, 2).err(),
+            Some(VolumeError::TooFewMembers {
+                kind: "RAID 5",
+                need: 3,
+                got: 2
+            })
+        );
+        assert_eq!(
+            try_raid5_locate(0, 0, 5).err(),
+            Some(VolumeError::ZeroStripe)
+        );
+        assert!(try_raid5_locate(0, STRIPE, 5).is_ok());
+    }
+
+    #[test]
+    fn jbod_rejects_failure_but_accepts_slowdown() {
+        let mut j = Jbod::new(disk(1));
+        assert_eq!(j.fail_disk(0), Err(VolumeError::Unsupported("JBOD")));
+        assert!(j.set_disk_slowdown(0, 3.0).is_ok());
+        assert_eq!(
+            j.set_disk_slowdown(1, 3.0),
+            Err(VolumeError::UnknownMember {
+                disk: 1,
+                members: 1
+            })
+        );
+    }
+
+    #[test]
+    fn slow_member_drags_the_array() {
+        let measure = |slow: bool| {
+            let mut r = Raid5::new(disks(5), STRIPE, true);
+            if slow {
+                r.set_disk_slowdown(2, 4.0).unwrap();
+            }
+            let mut now = r.submit(Time::ZERO, BlockReq::read(0, 4 * MIB)).ack;
+            let start = now;
+            for i in 1..32u64 {
+                now = r.submit(now, BlockReq::read(i * 4 * MIB, 4 * MIB)).ack;
+            }
+            Bandwidth::measured(31 * 4 * MIB, now - start).as_mib_per_sec()
+        };
+        let nominal = measure(false);
+        let limping = measure(true);
+        assert!(
+            limping < nominal * 0.5,
+            "limping member: {limping} vs nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn raid1_degraded_reads_route_to_survivor() {
+        let mut r = Raid1::new(disk(1), disk(2));
+        r.fail_disk(0).unwrap();
+        assert_eq!(r.failed_disk(), Some(0));
+        let before = r.member_ios();
+        let mut now = Time::ZERO;
+        for i in 0..8u64 {
+            now = r.submit(now, BlockReq::read(i * MIB, MIB)).ack;
+        }
+        let after = r.member_ios();
+        assert_eq!(after[0], before[0], "dead member must not serve reads");
+        assert_eq!(after[1], before[1] + 8);
+    }
+
+    #[test]
+    fn raid1_degraded_writes_hit_survivor_only() {
+        let mut r = Raid1::new(disk(1), disk(2));
+        r.fail_disk(1).unwrap();
+        let g = r.submit(Time::ZERO, BlockReq::write(0, MIB));
+        assert!(g.ack > Time::ZERO);
+        assert_eq!(r.member_ios(), vec![1, 0]);
+        assert_eq!(
+            r.fail_disk(0),
+            Err(VolumeError::AlreadyDegraded { failed: 1 })
+        );
+    }
+
+    #[test]
+    fn raid1_rebuild_restores_the_mirror() {
+        let mut r = Raid1::new(disk(1), disk(2));
+        let mut now = Time::ZERO;
+        for i in 0..16u64 {
+            now = r.submit(now, BlockReq::write(i * 4 * MIB, 4 * MIB)).ack;
+        }
+        r.fail_disk(0).unwrap();
+        assert_eq!(
+            r.replace_disk(now, 1),
+            Err(VolumeError::NotFailed { disk: 1 })
+        );
+        r.replace_disk(now, 0).unwrap();
+        let done = r.finish_rebuild(now);
+        assert!(done > now, "rebuild must take simulated time");
+        let report = r.rebuild_report().unwrap();
+        assert_eq!(report.bytes_done, 64 * MIB);
+        assert_eq!(report.finished, Some(done));
+        assert_eq!(r.failed_disk(), None, "array healthy after rebuild");
+    }
+
+    #[test]
+    fn raid5_rebuild_completes_and_competes_with_foreground() {
+        let mut r = Raid5::new(disks(5), STRIPE, true);
+        let mut now = Time::ZERO;
+        for i in 0..64u64 {
+            now = r.submit(now, BlockReq::write(i * 4 * MIB, 4 * MIB)).ack;
+        }
+        let healthy_rate = {
+            let start = now;
+            let mut t = now;
+            for i in 0..16u64 {
+                t = r.submit(t, BlockReq::read(i * 4 * MIB, 4 * MIB)).ack;
+            }
+            now = t;
+            Bandwidth::measured(16 * 4 * MIB, t - start).as_mib_per_sec()
+        };
+        r.fail_disk(3).unwrap();
+        r.replace_disk(now, 3).unwrap();
+        // Foreground reads during the rebuild window are slower than healthy:
+        // they are reconstructed AND queue behind resilver batches.
+        let window_rate = {
+            let start = now;
+            let mut t = now;
+            for i in 0..16u64 {
+                t = r.submit(t, BlockReq::read(i * 4 * MIB, 4 * MIB)).ack;
+            }
+            now = t;
+            Bandwidth::measured(16 * 4 * MIB, t - start).as_mib_per_sec()
+        };
+        assert!(
+            window_rate < healthy_rate * 0.8,
+            "rebuild window {window_rate} vs healthy {healthy_rate}"
+        );
+        let done = r.finish_rebuild(now);
+        assert!(done > now);
+        let report = r.rebuild_report().unwrap();
+        assert_eq!(report.finished, Some(done));
+        assert!(
+            report.bytes_total >= 64 * MIB / 4,
+            "extent covers written rows"
+        );
+        assert_eq!(report.bytes_done, report.bytes_total);
+        assert_eq!(r.failed_disk(), None, "array healthy after rebuild");
+        // Reads after the rebuild are full-speed again (no reconstruction).
+        let after_rate = {
+            let start = done;
+            let mut t = done;
+            for i in 0..16u64 {
+                t = r.submit(t, BlockReq::read(i * 4 * MIB, 4 * MIB)).ack;
+            }
+            Bandwidth::measured(16 * 4 * MIB, t - start).as_mib_per_sec()
+        };
+        assert!(
+            after_rate > window_rate,
+            "post-rebuild {after_rate} vs window {window_rate}"
+        );
+    }
+
+    #[test]
+    fn rebuild_is_deterministic() {
+        let run = || {
+            let mut r = Raid5::new(disks(5), STRIPE, true);
+            let mut now = Time::ZERO;
+            for i in 0..32u64 {
+                now = r.submit(now, BlockReq::write(i * 4 * MIB, 4 * MIB)).ack;
+            }
+            r.fail_disk(1).unwrap();
+            r.replace_disk(now, 1).unwrap();
+            for i in 0..8u64 {
+                now = r.submit(now, BlockReq::read(i * 4 * MIB, 4 * MIB)).ack;
+            }
+            r.finish_rebuild(now)
+        };
+        assert_eq!(run(), run());
     }
 }

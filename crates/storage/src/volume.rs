@@ -4,6 +4,101 @@ use crate::req::{BlockReq, IoGrant};
 use serde::{Deserialize, Serialize};
 use simcore::stats::TransferMeter;
 use simcore::Time;
+use std::fmt;
+
+/// Typed errors for volume configuration and fault operations.
+///
+/// Configuration mistakes (too few members, zero stripe) and fault
+/// injections the volume cannot honour surface here instead of panicking,
+/// so evaluation campaigns can reject bad configs gracefully.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VolumeError {
+    /// The volume kind does not support the requested fault operation
+    /// (e.g. failing a member of a JBOD, which has no redundancy).
+    Unsupported(&'static str),
+    /// The layout needs more member disks than were supplied.
+    TooFewMembers {
+        /// Volume kind (e.g. `"RAID 5"`).
+        kind: &'static str,
+        /// Minimum member count for the layout.
+        need: usize,
+        /// Members actually supplied.
+        got: usize,
+    },
+    /// The stripe chunk size must be nonzero.
+    ZeroStripe,
+    /// A member index beyond the array width.
+    UnknownMember {
+        /// The offending index.
+        disk: usize,
+        /// Number of members in the array.
+        members: usize,
+    },
+    /// The array already lost a member; a second failure is data loss.
+    AlreadyDegraded {
+        /// The member that already failed.
+        failed: usize,
+    },
+    /// The member is healthy, so there is nothing to replace.
+    NotFailed {
+        /// The offending index.
+        disk: usize,
+    },
+    /// A replacement is already being rebuilt onto.
+    RebuildInProgress,
+}
+
+impl fmt::Display for VolumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VolumeError::Unsupported(kind) => {
+                write!(f, "{kind} does not support this fault operation")
+            }
+            VolumeError::TooFewMembers { kind, need, got } => {
+                write!(f, "{kind} needs at least {need} members, got {got}")
+            }
+            VolumeError::ZeroStripe => write!(f, "stripe chunk size must be nonzero"),
+            VolumeError::UnknownMember { disk, members } => {
+                write!(f, "member {disk} out of range (array has {members})")
+            }
+            VolumeError::AlreadyDegraded { failed } => {
+                write!(
+                    f,
+                    "member {failed} already failed; a second failure loses data"
+                )
+            }
+            VolumeError::NotFailed { disk } => {
+                write!(f, "member {disk} has not failed; nothing to replace")
+            }
+            VolumeError::RebuildInProgress => {
+                write!(f, "a rebuild is already in progress")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VolumeError {}
+
+/// Progress of a background rebuild onto a replacement member.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RebuildReport {
+    /// When the replacement arrived and the rebuild began.
+    pub started: Time,
+    /// When the rebuild completed (`None` while still running).
+    pub finished: Option<Time>,
+    /// Member-local bytes already written to the replacement.
+    pub bytes_done: u64,
+    /// Member-local bytes the rebuild must cover in total.
+    pub bytes_total: u64,
+}
+
+impl RebuildReport {
+    /// Length of the rebuild window so far (or in total once finished),
+    /// measured from `started` to `finished`/`now`.
+    pub fn duration(&self, now: Time) -> Time {
+        self.finished.unwrap_or(now).saturating_sub(self.started)
+    }
+}
 
 /// Transfer accounting for a volume, split by direction.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -50,6 +145,46 @@ pub trait Volume {
 
     /// Access statistics.
     fn meter(&self) -> &VolumeMeter;
+
+    // --- Fault hooks -----------------------------------------------------
+    //
+    // Default implementations reject every fault: a volume participates in
+    // fault injection only by overriding the hooks it can honour. Wrapper
+    // volumes (caches, adapters) must forward all of them.
+
+    /// Marks member `disk` as failed; redundant volumes keep serving in
+    /// degraded mode.
+    fn fail_disk(&mut self, _disk: usize) -> Result<(), VolumeError> {
+        Err(VolumeError::Unsupported(self.kind()))
+    }
+
+    /// Hot-swaps the failed member `disk` for a fresh drive at `now` and
+    /// starts a background rebuild onto it.
+    fn replace_disk(&mut self, _now: Time, _disk: usize) -> Result<(), VolumeError> {
+        Err(VolumeError::Unsupported(self.kind()))
+    }
+
+    /// Multiplies member `disk`'s service times by `factor` (a "limping"
+    /// drive; `1.0` restores nominal service).
+    fn set_disk_slowdown(&mut self, _disk: usize, _factor: f64) -> Result<(), VolumeError> {
+        Err(VolumeError::Unsupported(self.kind()))
+    }
+
+    /// Advances background work (rebuild) whose issue instants fall at or
+    /// before `now`. Called by the volume itself on every foreground
+    /// request; exposed so idle periods can also be covered.
+    fn pump(&mut self, _now: Time) {}
+
+    /// Progress of the current (or last) rebuild, if any ever ran.
+    fn rebuild_report(&self) -> Option<RebuildReport> {
+        None
+    }
+
+    /// Drives any in-flight rebuild to completion and returns the instant
+    /// it finishes (`now` when nothing is rebuilding).
+    fn finish_rebuild(&mut self, now: Time) -> Time {
+        now
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,16 @@
-//! Property tests of RAID geometry and device timing invariants.
+//! Property tests of RAID geometry, device timing, and degraded-mode
+//! invariants.
 
 use proptest::prelude::*;
 use simcore::{SplitMix64, Time, KIB};
 use storage::raid::raid5_locate;
-use storage::{BlockReq, Disk, DiskParams, Raid5, Volume};
+use storage::{BlockReq, Disk, DiskParams, Raid1, Raid5, Volume, VolumeError};
+
+fn raid5_members(n_disks: usize) -> Vec<Disk> {
+    (0..n_disks)
+        .map(|i| Disk::new(DiskParams::sata_7200(230, 75), i as u64 + 1))
+        .collect()
+}
 
 proptest! {
     /// RAID 5 mapping is injective: distinct logical chunks never collide
@@ -77,6 +84,116 @@ proptest! {
         let g1 = d1.submit(Time::ZERO, BlockReq::read(0, len_kib * KIB));
         let g2 = d2.submit(Time::ZERO, BlockReq::read(0, (len_kib + 1) * KIB));
         prop_assert!(g2.ack >= g1.ack);
+    }
+
+    /// A failed RAID 5 member never serves another command, and a
+    /// row-spanning degraded read reconstructs from every survivor.
+    #[test]
+    fn raid5_degraded_reads_touch_exactly_the_survivors(
+        n_disks in 3usize..8,
+        failed_pick in 0usize..8,
+        rows in 1u64..6,
+    ) {
+        let failed = failed_pick % n_disks;
+        let stripe = 64 * KIB;
+        let mut raid = Raid5::new(raid5_members(n_disks), stripe, true);
+        let row_width = (n_disks as u64 - 1) * stripe;
+        let g = raid.submit(Time::ZERO, BlockReq::read(0, rows * row_width));
+        let now = g.ack;
+        raid.fail_disk(failed).unwrap();
+        // A second failure would lose data: typed error, not a panic.
+        let second = (failed + 1) % n_disks;
+        prop_assert_eq!(
+            raid.fail_disk(second),
+            Err(VolumeError::AlreadyDegraded { failed })
+        );
+        let before = raid.member_ios();
+        let g = raid.submit(now, BlockReq::read(0, rows * row_width));
+        prop_assert!(g.ack >= now);
+        let after = raid.member_ios();
+        prop_assert_eq!(after[failed], before[failed], "dead member must not serve");
+        for d in (0..n_disks).filter(|&d| d != failed) {
+            prop_assert!(after[d] > before[d], "survivor {} idle in degraded read", d);
+        }
+    }
+
+    /// Degraded RAID 5 writes skip the dead member (its chunks are covered
+    /// by the surviving data + parity) and still acknowledge causally.
+    #[test]
+    fn raid5_degraded_writes_skip_the_dead_member(
+        n_disks in 3usize..8,
+        failed_pick in 0usize..8,
+        rows in 1u64..6,
+    ) {
+        let failed = failed_pick % n_disks;
+        let stripe = 64 * KIB;
+        let mut raid = Raid5::new(raid5_members(n_disks), stripe, true);
+        let row_width = (n_disks as u64 - 1) * stripe;
+        raid.fail_disk(failed).unwrap();
+        let before = raid.member_ios();
+        let g = raid.submit(Time::ZERO, BlockReq::write(0, rows * row_width));
+        prop_assert!(g.ack >= Time::ZERO);
+        prop_assert!(g.durable >= g.ack);
+        let after = raid.member_ios();
+        prop_assert_eq!(after[failed], before[failed], "dead member must not be written");
+        let touched = (0..n_disks).filter(|&d| after[d] > before[d]).count();
+        prop_assert!(touched > 0, "write must reach the survivors");
+        prop_assert!(touched < n_disks);
+    }
+
+    /// A degraded mirror routes every command to the survivor.
+    #[test]
+    fn raid1_degraded_routes_everything_to_the_survivor(
+        failed in 0usize..2,
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..1000u64, 1u64..64u64), 1..30
+        ),
+    ) {
+        let mut raid = Raid1::new(
+            Disk::new(DiskParams::sata_7200(230, 75), 1),
+            Disk::new(DiskParams::sata_7200(230, 75), 2),
+        );
+        raid.fail_disk(failed).unwrap();
+        let before = raid.member_ios();
+        let n_ops = ops.len() as u64;
+        let mut now = Time::ZERO;
+        for (is_write, block, len_kib) in ops {
+            let req = if is_write {
+                BlockReq::write(block * 4 * KIB, len_kib * KIB)
+            } else {
+                BlockReq::read(block * 4 * KIB, len_kib * KIB)
+            };
+            now = raid.submit(now, req).ack;
+        }
+        let after = raid.member_ios();
+        prop_assert_eq!(after[failed], before[failed], "dead mirror must not serve");
+        prop_assert!(after[1 - failed] >= before[1 - failed] + n_ops);
+    }
+
+    /// A replacement rebuild covers exactly the written extent (one stripe
+    /// chunk per addressed row, bitmap-assisted) and always finishes.
+    #[test]
+    fn raid5_rebuild_covers_the_addressed_extent(
+        n_disks in 3usize..7,
+        failed_pick in 0usize..7,
+        rows in 1u64..8,
+    ) {
+        let failed = failed_pick % n_disks;
+        let stripe = 64 * KIB;
+        let mut raid = Raid5::new(raid5_members(n_disks), stripe, true);
+        let row_width = (n_disks as u64 - 1) * stripe;
+        let g = raid.submit(Time::ZERO, BlockReq::write(0, rows * row_width));
+        let now = g.durable.max(g.ack);
+        raid.fail_disk(failed).unwrap();
+        raid.replace_disk(now, failed).unwrap();
+        let whole = raid.finish_rebuild(now);
+        prop_assert!(whole >= now);
+        let report = raid.rebuild_report().expect("rebuild ran");
+        prop_assert_eq!(report.finished, Some(whole));
+        prop_assert_eq!(report.bytes_done, report.bytes_total);
+        prop_assert_eq!(report.bytes_total, rows * stripe, "one chunk per addressed row");
+        // The array is whole again: a fresh failure is accepted.
+        prop_assert_eq!(raid.fail_disk(failed), Ok(()));
     }
 
     /// Identical request sequences produce identical timelines.

@@ -81,28 +81,36 @@ impl Bonnie {
         }]);
 
         let body: Box<dyn mpisim::OpStream> = match self.test {
-            BonnieTest::SeqOutput => Box::new(GenStream::new(blocks as usize, move |i| {
-                MpiOp::WriteAt {
+            BonnieTest::SeqOutput => {
+                Box::new(GenStream::new(blocks as usize, move |i| MpiOp::WriteAt {
                     file,
                     offset: i as u64 * block,
                     len: block,
-                }
-            })),
-            BonnieTest::SeqInput => Box::new(GenStream::new(blocks as usize, move |i| {
-                MpiOp::ReadAt {
+                }))
+            }
+            BonnieTest::SeqInput => {
+                Box::new(GenStream::new(blocks as usize, move |i| MpiOp::ReadAt {
                     file,
                     offset: i as u64 * block,
                     len: block,
-                }
-            })),
+                }))
+            }
             // Rewrite interleaves a read and a write per block: generate
             // 2×blocks ops, even index = read, odd = write-back.
             BonnieTest::Rewrite => Box::new(GenStream::new(2 * blocks as usize, move |i| {
                 let offset = (i as u64 / 2) * block;
                 if i % 2 == 0 {
-                    MpiOp::ReadAt { file, offset, len: block }
+                    MpiOp::ReadAt {
+                        file,
+                        offset,
+                        len: block,
+                    }
                 } else {
-                    MpiOp::WriteAt { file, offset, len: block }
+                    MpiOp::WriteAt {
+                        file,
+                        offset,
+                        len: block,
+                    }
                 }
             })),
             BonnieTest::RandomSeeks => {
@@ -111,7 +119,11 @@ impl Bonnie {
                 let read = self.seek_read;
                 Box::new(GenStream::new(self.seeks as usize, move |_| {
                     let offset = rng.next_below(span / read) * read;
-                    MpiOp::ReadAt { file, offset, len: read }
+                    MpiOp::ReadAt {
+                        file,
+                        offset,
+                        len: read,
+                    }
                 }))
             }
         };

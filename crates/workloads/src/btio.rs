@@ -312,7 +312,10 @@ impl BtIo {
                     out.push(MpiOp::Barrier);
                     out.push(MpiOp::FileClose { file });
                     if read_phase {
-                        out.push(MpiOp::FileOpen { file, create: false });
+                        out.push(MpiOp::FileOpen {
+                            file,
+                            create: false,
+                        });
                         out.push(MpiOp::Marker(1)); // read phase marker
                     }
                 } else if chunk <= 2 * dumps + 1 {
@@ -376,7 +379,7 @@ mod tests {
         assert_eq!(dims.iter().sum::<u64>(), 162);
         assert_eq!(bt.line_bytes(0), 840); // 21-point columns
         assert_eq!(bt.line_bytes(7), 800); // 20-point columns
-        // Ranks get 3280 or 3281 lines per dump.
+                                           // Ranks get 3280 or 3281 lines per dump.
         let ops0 = bt.simple_ops_per_rank_per_dump(0);
         let ops63 = bt.simple_ops_per_rank_per_dump(63);
         assert_eq!(ops0, 3281);

@@ -112,9 +112,17 @@ impl FlashIo {
             let var_base = header + (v as u64 * self.procs as u64) * block;
             let offset = var_base + rank as u64 * block;
             ops.push(if self.collective {
-                MpiOp::WriteAtAll { file, offset, len: block }
+                MpiOp::WriteAtAll {
+                    file,
+                    offset,
+                    len: block,
+                }
             } else {
-                MpiOp::WriteAt { file, offset, len: block }
+                MpiOp::WriteAt {
+                    file,
+                    offset,
+                    len: block,
+                }
             });
         }
         ops.push(MpiOp::FileClose { file });

@@ -192,9 +192,7 @@ mod tests {
         let ior = Ior::new(2, FileId(9), MIB, IorOp::Write).collective();
         let mut sc = ior.scenario();
         let ops = drain(&mut sc.programs[0]);
-        assert!(ops
-            .iter()
-            .any(|op| matches!(op, MpiOp::WriteAtAll { .. })));
+        assert!(ops.iter().any(|op| matches!(op, MpiOp::WriteAtAll { .. })));
         assert!(!ops.iter().any(|op| matches!(op, MpiOp::WriteAt { .. })));
     }
 

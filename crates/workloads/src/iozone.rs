@@ -145,10 +145,7 @@ impl IozoneRun {
             }
         });
 
-        let tail = vec![
-            MpiOp::FileSync { file },
-            MpiOp::FileClose { file },
-        ];
+        let tail = vec![MpiOp::FileSync { file }, MpiOp::FileClose { file }];
 
         let program: Box<dyn mpisim::OpStream> = Box::new(ChainStream::new(vec![
             Box::new(VecStream::new(ops)),

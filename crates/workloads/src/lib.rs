@@ -38,7 +38,7 @@ pub mod scenario;
 pub use bonnie::{Bonnie, BonnieTest};
 pub use btio::{BtClass, BtIo, BtSubtype};
 pub use flashio::FlashIo;
-pub use ior::Ior;
+pub use ior::{Ior, IorOp};
 pub use iozone::{IozonePattern, IozoneRun};
 pub use madbench::{FileType, MadBench};
 pub use scenario::Scenario;

@@ -288,10 +288,7 @@ mod tests {
     #[test]
     fn bytes_written_accounting() {
         let mb = MadBench::new(16, FileType::Unique);
-        assert_eq!(
-            mb.bytes_written_per_proc(),
-            16 * 162 * 1024 * 1024
-        );
+        assert_eq!(mb.bytes_written_per_proc(), 16 * 162 * 1024 * 1024);
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! cargo run --release --example custom_cluster
 //! ```
 
-use cluster_io_eval::prelude::*;
 use cluster_io_eval::fs::FileId;
 use cluster_io_eval::mpisim::{MpiOp, VecStream};
+use cluster_io_eval::prelude::*;
 
 /// A checkpoint/restart application: compute bursts, neighbour halo
 /// exchanges, then every rank appends a checkpoint slab to a shared file.
@@ -29,13 +29,21 @@ fn checkpoint_app(ranks: usize, rounds: usize, slab: u64) -> Scenario {
             let left = (r + ranks - 1) % ranks;
             let right = (r + 1) % ranks;
             let tag = round as u32;
-            ops.push(MpiOp::Send { dst: right, bytes: 32 * 1024, tag });
+            ops.push(MpiOp::Send {
+                dst: right,
+                bytes: 32 * 1024,
+                tag,
+            });
             ops.push(MpiOp::Recv { src: left, tag });
             // Global residual check before checkpointing.
             ops.push(MpiOp::Allreduce { bytes: 8 });
             // Checkpoint: rank-contiguous slabs, one barrier per round.
             let offset = (round * ranks + r) as u64 * slab;
-            ops.push(MpiOp::WriteAt { file, offset, len: slab });
+            ops.push(MpiOp::WriteAt {
+                file,
+                offset,
+                len: slab,
+            });
             ops.push(MpiOp::Barrier);
         }
         ops.push(MpiOp::FileClose { file });

@@ -34,7 +34,13 @@ fn main() {
     let app = BtIo::new(BtClass::S, 4, BtSubtype::Full)
         .with_dumps(4)
         .gflops(10.0);
-    let rep = evaluate(&spec, &config, app.scenario(), &tables, &EvalOptions::default());
+    let rep = evaluate(
+        &spec,
+        &config,
+        app.scenario(),
+        &tables,
+        &EvalOptions::default(),
+    );
     println!("=== Evaluation ===");
     println!(
         "execution time {}   I/O time {} ({:.1}% of runtime)",

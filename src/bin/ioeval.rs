@@ -152,8 +152,10 @@ fn app_by_name(name: &str, procs: usize, quick: bool) -> Scenario {
 }
 
 fn characterize(args: &[String]) {
-    let spec = cluster_by_name(&flag(args, "--cluster").unwrap_or_else(|| die("--cluster required")));
-    let config = config_by_name(&flag(args, "--config").unwrap_or_else(|| die("--config required")));
+    let spec =
+        cluster_by_name(&flag(args, "--cluster").unwrap_or_else(|| die("--cluster required")));
+    let config =
+        config_by_name(&flag(args, "--config").unwrap_or_else(|| die("--config required")));
     let opts = if has(args, "--quick") {
         CharacterizeOptions::quick()
     } else {
@@ -177,17 +179,22 @@ fn characterize(args: &[String]) {
 }
 
 fn load_tables(path: &str) -> PerfTableSet {
-    let s = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let s =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     PerfTableSet::from_json(&s).unwrap_or_else(|e| die(&format!("bad tables file {path}: {e}")))
 }
 
 fn evaluate_cmd(args: &[String]) {
-    let spec = cluster_by_name(&flag(args, "--cluster").unwrap_or_else(|| die("--cluster required")));
-    let config = config_by_name(&flag(args, "--config").unwrap_or_else(|| die("--config required")));
+    let spec =
+        cluster_by_name(&flag(args, "--cluster").unwrap_or_else(|| die("--cluster required")));
+    let config =
+        config_by_name(&flag(args, "--config").unwrap_or_else(|| die("--config required")));
     let tables = load_tables(&flag(args, "--tables").unwrap_or_else(|| die("--tables required")));
     let procs: usize = flag(args, "--procs")
-        .map(|p| p.parse().unwrap_or_else(|_| die("--procs must be a number")))
+        .map(|p| {
+            p.parse()
+                .unwrap_or_else(|_| die("--procs must be a number"))
+        })
         .unwrap_or(16);
     let app = app_by_name(
         &flag(args, "--app").unwrap_or_else(|| die("--app required")),
@@ -195,7 +202,10 @@ fn evaluate_cmd(args: &[String]) {
         has(args, "--quick"),
     );
     let name = app.name.clone();
-    eprintln!("[ioeval] evaluating {name} on {} / {} ...", spec.name, config.name);
+    eprintln!(
+        "[ioeval] evaluating {name} on {} / {} ...",
+        spec.name, config.name
+    );
     // Optional Chrome-trace capture of the run (open in ui.perfetto.dev).
     if let Some(trace_path) = flag(args, "--trace") {
         use cluster_io_eval::methodology::ChromeTraceSink;
@@ -227,7 +237,10 @@ fn evaluate_cmd(args: &[String]) {
         rep.write_rate,
         rep.read_rate
     );
-    println!("\ntimeline:\n{}", report::render_phase_timeline(&rep.profile, 100));
+    println!(
+        "\ntimeline:\n{}",
+        report::render_phase_timeline(&rep.profile, 100)
+    );
     println!("used percentage of characterized capacity:");
     for op in [OpType::Write, OpType::Read] {
         for level in IoLevel::ALL {
@@ -239,9 +252,13 @@ fn evaluate_cmd(args: &[String]) {
 }
 
 fn advise(args: &[String]) {
-    let spec = cluster_by_name(&flag(args, "--cluster").unwrap_or_else(|| die("--cluster required")));
+    let spec =
+        cluster_by_name(&flag(args, "--cluster").unwrap_or_else(|| die("--cluster required")));
     let procs: usize = flag(args, "--procs")
-        .map(|p| p.parse().unwrap_or_else(|_| die("--procs must be a number")))
+        .map(|p| {
+            p.parse()
+                .unwrap_or_else(|_| die("--procs must be a number"))
+        })
         .unwrap_or(16);
     let app_name = flag(args, "--app").unwrap_or_else(|| die("--app required"));
     // All positional values after --tables are table files.

@@ -59,16 +59,15 @@ pub mod prelude {
     pub use crate::methodology::charact::{
         characterize_app, characterize_system, CharacterizeOptions,
     };
-    pub use crate::methodology::trace_export::ChromeTraceSink;
     pub use crate::methodology::eval::{evaluate, EvalOptions, EvalReport, UsageRow};
     pub use crate::methodology::perf_table::{
         AccessMode, AccessType, IoLevel, OpType, PerfRow, PerfTable, PerfTableSet,
     };
     pub use crate::methodology::report;
     pub use crate::methodology::trace::{AppProfile, PhaseReport, ProfileSink};
+    pub use crate::methodology::trace_export::ChromeTraceSink;
     pub use crate::simcore::{Bandwidth, Time, GIB, KIB, MIB};
     pub use crate::workloads::{
-        self, BtClass, BtIo, BtSubtype, FileType, Ior, IozonePattern, IozoneRun, MadBench,
-        Scenario,
+        self, BtClass, BtIo, BtSubtype, FileType, Ior, IozonePattern, IozoneRun, MadBench, Scenario,
     };
 }

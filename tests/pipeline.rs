@@ -44,7 +44,13 @@ fn btio_full_beats_simple_end_to_end() {
     let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick());
     let run = |subtype| {
         let bt = BtIo::new(BtClass::S, 4, subtype).with_dumps(4).gflops(20.0);
-        evaluate(&spec, &config, bt.scenario(), &tables, &EvalOptions::default())
+        evaluate(
+            &spec,
+            &config,
+            bt.scenario(),
+            &tables,
+            &EvalOptions::default(),
+        )
     };
     let full = run(BtSubtype::Full);
     let simple = run(BtSubtype::Simple);
@@ -69,10 +75,10 @@ fn btio_full_beats_simple_end_to_end() {
 fn btio_profile_matches_table_geometry() {
     let spec = test_spec();
     let config = jbod();
-    let bt = BtIo::new(BtClass::S, 4, BtSubtype::Simple).with_dumps(3).gflops(20.0);
-    let expected: u64 = (0..4)
-        .map(|r| bt.simple_ops_per_rank_per_dump(r) * 3)
-        .sum();
+    let bt = BtIo::new(BtClass::S, 4, BtSubtype::Simple)
+        .with_dumps(3)
+        .gflops(20.0);
+    let expected: u64 = (0..4).map(|r| bt.simple_ops_per_rank_per_dump(r) * 3).sum();
     let profile = characterize_app(&spec, &config, bt.scenario(), None);
     assert_eq!(profile.numio_write, expected);
     assert_eq!(profile.numio_read, expected);
@@ -93,7 +99,13 @@ fn madbench_unique_rereads_hit_the_cache_shared_reads_do_too() {
     // Small matrices: everything fits in the client caches (the paper's
     // "reading operations are done on buffer/cache" situation).
     let mb = MadBench::new(4, FileType::Unique).with_kpix(1);
-    let rep = evaluate(&spec, &config, mb.scenario(), &tables, &EvalOptions::default());
+    let rep = evaluate(
+        &spec,
+        &config,
+        mb.scenario(),
+        &tables,
+        &EvalOptions::default(),
+    );
     let w_r = rep
         .marker_usage_of(1, OpType::Read, IoLevel::LocalFs)
         .expect("W_r usage");
@@ -137,7 +149,12 @@ fn raid5_config_beats_jbod_for_streaming_writes() {
     let rate = |t: &PerfTableSet| {
         t.get(IoLevel::LocalFs)
             .unwrap()
-            .search(OpType::Write, MIB, AccessType::Local, AccessMode::Sequential)
+            .search(
+                OpType::Write,
+                MIB,
+                AccessType::Local,
+                AccessMode::Sequential,
+            )
             .unwrap()
             .rate
     };
@@ -155,8 +172,16 @@ fn evaluation_is_deterministic() {
     let config = jbod();
     let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick());
     let run = || {
-        let bt = BtIo::new(BtClass::S, 4, BtSubtype::Full).with_dumps(3).gflops(20.0);
-        let rep = evaluate(&spec, &config, bt.scenario(), &tables, &EvalOptions::default());
+        let bt = BtIo::new(BtClass::S, 4, BtSubtype::Full)
+            .with_dumps(3)
+            .gflops(20.0);
+        let rep = evaluate(
+            &spec,
+            &config,
+            bt.scenario(),
+            &tables,
+            &EvalOptions::default(),
+        );
         (rep.exec_time, rep.io_time, format!("{:?}", rep.usage))
     };
     assert_eq!(run(), run());
@@ -171,7 +196,12 @@ fn usage_search_follows_fig11_on_real_tables() {
     // Quick options characterize 64 KiB and 1 MiB records. A 100 KiB
     // application block must resolve to the closest upper row (1 MiB).
     let row = t
-        .search(OpType::Read, 100 * KIB, AccessType::Local, AccessMode::Sequential)
+        .search(
+            OpType::Read,
+            100 * KIB,
+            AccessType::Local,
+            AccessMode::Sequential,
+        )
         .expect("row");
     assert_eq!(row.block, MIB);
     // Below the minimum → the minimum row.
@@ -196,7 +226,9 @@ fn shared_network_hurts_io_heavy_apps() {
     // An app that communicates while doing I/O suffers when the traffic
     // shares one fabric; quantify with BT-IO full (comm-heavy).
     let run = |config: &IoConfig| {
-        let bt = BtIo::new(BtClass::A, 4, BtSubtype::Full).with_dumps(4).gflops(20.0);
+        let bt = BtIo::new(BtClass::A, 4, BtSubtype::Full)
+            .with_dumps(4)
+            .gflops(20.0);
         let mut machine = cluster::ClusterMachine::new(&spec, config);
         let programs = bt.scenario().install(&mut machine);
         let placement = spec.placement(4);
@@ -222,7 +254,9 @@ fn advisor_ranking_matches_simulation_order() {
     use cluster_io_eval::methodology::advisor::rank_configs;
     let spec = test_spec();
     let configs = [
-        IoConfigBuilder::new(DeviceLayout::Jbod).write_cache_mib(0).build(),
+        IoConfigBuilder::new(DeviceLayout::Jbod)
+            .write_cache_mib(0)
+            .build(),
         IoConfigBuilder::new(DeviceLayout::Raid5 {
             disks: 5,
             stripe: 256 * KIB,
@@ -308,7 +342,13 @@ fn pfs_configs_characterize_their_own_architecture() {
         .with_dumps(4)
         .gflops(20.0)
         .on(Mount::Pfs);
-    let rep = evaluate(&spec, &pfs_config, bt.scenario(), &tables, &EvalOptions::default());
+    let rep = evaluate(
+        &spec,
+        &pfs_config,
+        bt.scenario(),
+        &tables,
+        &EvalOptions::default(),
+    );
     let lib = rep
         .usage_summary(OpType::Write, IoLevel::Library)
         .expect("library usage");
@@ -355,7 +395,12 @@ fn ior_collective_and_independent_both_complete() {
     let spec = test_spec();
     let config = jbod();
     for collective in [false, true] {
-        let mut ior = Ior::new(4, cluster_io_eval::fs::FileId(77), 4 * MIB, workloads::ior::IorOp::Write);
+        let mut ior = Ior::new(
+            4,
+            cluster_io_eval::fs::FileId(77),
+            4 * MIB,
+            workloads::ior::IorOp::Write,
+        );
         if collective {
             ior = ior.collective();
         }

@@ -1,0 +1,166 @@
+//! Offline vendored mini-criterion.
+//!
+//! Provides the subset of the `criterion` API this workspace's benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `Throughput`,
+//! `black_box`, `criterion_group!`, `criterion_main!`) with a simple
+//! wall-clock measurement loop: warm up briefly, then time batches until a
+//! fixed measurement budget elapses and report ns/iter plus derived
+//! throughput. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            measurement: Duration::from_millis(200),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates from iteration times.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the mini harness keys measurement
+    /// on wall-clock budget rather than sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shortens or lengthens the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            ns_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        let ns = bencher.ns_per_iter;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(", {:.1} Melem/s", n as f64 * 1e3 / ns.max(f64::MIN_POSITIVE))
+            }
+            Throughput::Bytes(n) => {
+                format!(", {:.1} MiB/s", n as f64 * 1e9 / ns.max(f64::MIN_POSITIVE) / (1 << 20) as f64)
+            }
+        });
+        println!(
+            "{}/{id}: {ns:.1} ns/iter{}",
+            self.name,
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the timed closure.
+pub struct Bencher {
+    measurement: Duration,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run for ~10% of the budget to fault in caches.
+        let warmup_end = Instant::now() + self.measurement / 10;
+        while Instant::now() < warmup_end {
+            black_box(f());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        let deadline = start + self.measurement;
+        loop {
+            for _ in 0..64 {
+                black_box(f());
+            }
+            iters += 64;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        g.bench_function("noop", |b| b.iter(|| count += 1));
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline vendored mini-serde.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports the shapes this workspace
+//! actually derives on:
+//!
+//! - structs with named fields → JSON objects in declaration order;
+//! - tuple structs with one field (newtypes) → the inner value;
+//! - enums with unit, named-field, and tuple variants → serde's default
+//!   externally-tagged representation.
+//!
+//! Generics, `#[serde(...)]` attributes, and multi-field tuple structs are
+//! not supported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses `name: Type` fields inside a brace group, returning the names.
+/// Type tokens are skipped tracking `<`/`>` depth so commas inside generic
+/// arguments don't split fields.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other}")),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field name, found {other}")),
+        }
+        // Skip the type up to a top-level comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut saw_any = false;
+    for t in group.stream() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g)?;
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the separating comma (covers `= discriminant`).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "mini-serde derive does not support generic type {name}"
+            ));
+        }
+    }
+    match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, Shape::NamedStruct(parse_named_fields(g)?)))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            match count_tuple_fields(g) {
+                1 => Ok((name, Shape::NewtypeStruct)),
+                n => Err(format!(
+                    "mini-serde derive supports only 1-field tuple structs, {name} has {n}"
+                )),
+            }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, Shape::Enum(parse_variants(g)?)))
+        }
+        _ => Err(format!("unsupported shape for {name}")),
+    }
+}
+
+/// Derives `serde::Serialize` (mini-serde `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_input(input) {
+        Ok(v) => v,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert({n:?}, ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Shape::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Named(fields) => {
+                        let pats: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        s.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{\n",
+                            v = v.name,
+                            pat = pats.join(", ")
+                        ));
+                        s.push_str("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            s.push_str(&format!(
+                                "inner.insert({n:?}, ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "let mut outer = ::serde::Map::new();\nouter.insert({v:?}, \
+                             ::serde::Value::Object(inner));\n::serde::Value::Object(outer)\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Tuple(1) => s.push_str(&format!(
+                        "{name}::{v}(x0) => {{\nlet mut outer = ::serde::Map::new();\n\
+                         outer.insert({v:?}, ::serde::Serialize::to_value(x0));\n\
+                         ::serde::Value::Object(outer)\n}}\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        s.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\nlet mut outer = ::serde::Map::new();\n\
+                             outer.insert({v:?}, ::serde::Value::Array(vec![{vals}]));\n\
+                             ::serde::Value::Object(outer)\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            vals = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives `serde::Deserialize` (mini-serde `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_input(input) {
+        Ok(v) => v,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(concat!(\"expected object for \", stringify!(",
+            );
+            s.push_str(&name);
+            s.push_str("))))?;\nOk(Self {\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "{n}: ::serde::Deserialize::from_value(\
+                     obj.get({n:?}).unwrap_or(&::serde::Value::Null))?,\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::NewtypeStruct => "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        Shape::Enum(variants) => {
+            let mut units = String::new();
+            let mut tagged = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => units.push_str(&format!(
+                        "{v:?} => Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Named(fields) => {
+                        tagged.push_str(&format!(
+                            "{v:?} => {{\nlet o = inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected variant object\"))?;\n\
+                             Ok({name}::{v} {{\n",
+                            v = v.name
+                        ));
+                        for f in fields {
+                            tagged.push_str(&format!(
+                                "{n}: ::serde::Deserialize::from_value(\
+                                 o.get({n:?}).unwrap_or(&::serde::Value::Null))?,\n",
+                                n = f.name
+                            ));
+                        }
+                        tagged.push_str("})\n}\n");
+                    }
+                    VariantKind::Tuple(1) => tagged.push_str(&format!(
+                        "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(\
+                                     a.get({i}).unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        tagged.push_str(&format!(
+                            "{v:?} => {{\nlet a = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected variant array\"))?;\n\
+                             Ok({name}::{v}({gets}))\n}}\n",
+                            v = v.name,
+                            gets = gets.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{units}\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant {{other}} for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = m.iter().next().unwrap();\n\
+                 match tag.as_str() {{\n{tagged}\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant {{other}} for {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::custom(concat!(\
+                 \"expected variant of \", stringify!({name})))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+         {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
