@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--scale quick|paper] [--out FILE] <experiment>... | all | list
+//! repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]
+//!       [--deadline SECS] [--wall-budget SECS] <experiment>... | all | list
 //! ```
 //!
 //! Experiments are named after the paper's artifacts (`table3`, `fig12`,
@@ -11,15 +12,32 @@
 //! uses the paper's exact parameters (class C BT-IO, 18 KPIX MADbench2,
 //! full sweeps); `--scale quick` (default) runs a structurally identical
 //! reduced version in seconds.
+//!
+//! `--checkpoint DIR` makes the run *resumable*: every finished experiment
+//! output and every completed characterization is persisted to `DIR`
+//! (digest-verified, written atomically), and a later run with `--resume
+//! DIR` (or the same `--checkpoint DIR`) replays finished work from disk
+//! instead of recomputing it — a `kill -9` mid-campaign costs at most the
+//! cell in flight, and the resumed output is byte-identical to an
+//! uninterrupted run. Corrupt or truncated checkpoint files are detected
+//! and recomputed.
+//!
+//! `--deadline SECS` arms a simulated-time watchdog on every run (a
+//! livelocked or runaway simulation aborts instead of hanging the
+//! campaign); `--wall-budget SECS` adds a host-time ceiling per run.
 
 use bench::experiments::registry;
 use bench::{Repro, Scale};
+use simcore::{Time, WatchdogSpec};
 use std::io::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut out_file: Option<String> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut deadline_secs: Option<u64> = None;
+    let mut wall_budget_secs: Option<u64> = None;
     let mut selected: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -39,6 +57,22 @@ fn main() {
                         .cloned()
                         .unwrap_or_else(|| die("expected --out FILE")),
                 );
+            }
+            "--checkpoint" | "--resume" => {
+                i += 1;
+                checkpoint = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("expected --checkpoint DIR")),
+                );
+            }
+            "--deadline" => {
+                i += 1;
+                deadline_secs = Some(parse_secs(args.get(i), "--deadline"));
+            }
+            "--wall-budget" => {
+                i += 1;
+                wall_budget_secs = Some(parse_secs(args.get(i), "--wall-budget"));
             }
             "--help" | "-h" => {
                 usage();
@@ -76,12 +110,41 @@ fn main() {
         };
 
     let mut repro = Repro::new(scale);
+    if deadline_secs.is_some() || wall_budget_secs.is_some() {
+        let mut w = WatchdogSpec::default();
+        if let Some(s) = deadline_secs {
+            w.sim_deadline = Some(Time::from_secs(s));
+        }
+        if let Some(s) = wall_budget_secs {
+            w = w.with_wall_budget_ms(s.saturating_mul(1000));
+        }
+        repro = repro.with_watchdog(w);
+    }
+    if let Some(dir) = &checkpoint {
+        repro = repro
+            .with_checkpoint(dir)
+            .unwrap_or_else(|e| die(&format!("cannot open checkpoint dir {dir}: {e}")));
+    }
+
     let mut full_output = String::new();
     for (id, desc, f) in to_run {
-        eprintln!("[repro] running {id} ({desc}, scale {scale:?}) ...");
-        let t0 = std::time::Instant::now();
-        let output = f(&mut repro);
-        eprintln!("[repro] {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+        let exp_key = format!("exp-{id}-{}", scale.label());
+        let output = match repro.checkpoint_dir().and_then(|d| d.load(&exp_key)) {
+            Some(cached) => {
+                eprintln!("[repro] {id} restored from checkpoint");
+                cached
+            }
+            None => {
+                eprintln!("[repro] running {id} ({desc}, scale {scale:?}) ...");
+                let t0 = std::time::Instant::now();
+                let output = f(&mut repro);
+                eprintln!("[repro] {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+                if let Some(d) = repro.checkpoint_dir() {
+                    d.save(&exp_key, &output);
+                }
+                output
+            }
+        };
         println!("\n######## {id} ########\n{output}");
         full_output.push_str(&format!("\n######## {id} ########\n{output}"));
     }
@@ -94,10 +157,18 @@ fn main() {
     }
 }
 
+fn parse_secs(arg: Option<&String>, flag: &str) -> u64 {
+    arg.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| die(&format!("expected {flag} SECS")))
+}
+
 fn usage() {
     eprintln!(
-        "usage: repro [--scale quick|paper] [--out FILE] <experiment>... | all | list\n\
-         experiments regenerate the paper's tables/figures; see 'repro list'."
+        "usage: repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]\n\
+         \x20            [--deadline SECS] [--wall-budget SECS] <experiment>... | all | list\n\
+         experiments regenerate the paper's tables/figures; see 'repro list'.\n\
+         --checkpoint/--resume persist finished work to DIR and replay it on rerun;\n\
+         --deadline arms a simulated-time watchdog, --wall-budget a host-time ceiling."
     );
 }
 

@@ -1,0 +1,275 @@
+//! Durable campaign checkpoints: versioned, digest-verified, atomic.
+//!
+//! Every artifact (a characterization, a cell outcome, a finished
+//! experiment's output) is one file under the checkpoint directory,
+//! wrapped in an [`Envelope`] carrying a format version and an FNV-1a
+//! digest of the payload. Writes go through a temp file and an atomic
+//! rename, so a `kill -9` mid-write leaves either the previous complete
+//! checkpoint or none — never a torn file. Loads verify version and
+//! digest and treat *any* mismatch (truncated file, flipped byte, future
+//! format) as a cache miss: the artifact is recomputed, never trusted.
+
+use ioeval_core::campaign::{CellOutcome, CellStore};
+use ioeval_core::perf_table::PerfTableSet;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Bump when the on-disk layout of any payload changes; older checkpoints
+/// are then recomputed instead of misparsed.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a — tiny, dependency-free, and plenty to catch truncation
+/// and bit-flips (this is integrity, not authentication).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The on-disk wrapper around every checkpointed payload.
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    version: u32,
+    digest: String,
+    payload: String,
+}
+
+/// A directory of digest-verified checkpoint files.
+pub struct CheckpointDir {
+    root: PathBuf,
+}
+
+impl CheckpointDir {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn new(root: impl Into<PathBuf>) -> std::io::Result<CheckpointDir> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(CheckpointDir { root })
+    }
+
+    /// The directory path.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn file_for(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{}.json", sanitize(key)))
+    }
+
+    /// Atomically checkpoints `payload` under `key`: the envelope is
+    /// written to a temp file first and renamed into place, so an
+    /// interrupted save never corrupts an existing checkpoint. Errors are
+    /// reported but non-fatal — a campaign that cannot checkpoint still
+    /// completes, it just cannot resume.
+    pub fn save(&self, key: &str, payload: &str) {
+        let envelope = Envelope {
+            version: CHECKPOINT_VERSION,
+            digest: format!("{:016x}", fnv1a64(payload.as_bytes())),
+            payload: payload.to_string(),
+        };
+        let bytes = serde_json::to_string(&envelope).expect("envelope serializes");
+        let target = self.file_for(key);
+        let tmp = self.root.join(format!(".{}.tmp", sanitize(key)));
+        let result = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, &target));
+        if let Err(e) = result {
+            let _ = fs::remove_file(&tmp);
+            eprintln!(
+                "[checkpoint] cannot save {} (continuing unchekpointed): {e}",
+                target.display()
+            );
+        }
+    }
+
+    /// Loads and verifies the checkpoint under `key`. Missing, truncated,
+    /// corrupt, or version-mismatched files all return `None`.
+    pub fn load(&self, key: &str) -> Option<String> {
+        let text = fs::read_to_string(self.file_for(key)).ok()?;
+        let envelope: Envelope = serde_json::from_str(&text).ok()?;
+        if envelope.version != CHECKPOINT_VERSION {
+            return None;
+        }
+        if envelope.digest != format!("{:016x}", fnv1a64(envelope.payload.as_bytes())) {
+            return None;
+        }
+        Some(envelope.payload)
+    }
+
+    /// Number of checkpoint files present (tests and progress reporting).
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.root)
+            .map(|d| {
+                d.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether no checkpoints exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Keys become file names; keep them portable.
+fn sanitize(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// A [`CellStore`] persisting every artifact to a [`CheckpointDir`] as it
+/// completes, so a killed campaign resumes from the last finished cell.
+pub struct CampaignStore {
+    dir: CheckpointDir,
+}
+
+impl CampaignStore {
+    /// A store over `dir`.
+    pub fn new(dir: CheckpointDir) -> CampaignStore {
+        CampaignStore { dir }
+    }
+
+    /// Opens (creating if needed) a store at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<CampaignStore> {
+        Ok(CampaignStore {
+            dir: CheckpointDir::new(path)?,
+        })
+    }
+
+    /// The underlying checkpoint directory.
+    pub fn dir(&self) -> &CheckpointDir {
+        &self.dir
+    }
+
+    fn tables_key(cluster: &str, config: &str) -> String {
+        format!("tables-{cluster}-{config}")
+    }
+
+    fn cell_key(app: &str, config: &str) -> String {
+        format!("cell-{app}-{config}")
+    }
+}
+
+impl CellStore for CampaignStore {
+    fn load_tables(&mut self, cluster: &str, config: &str) -> Option<PerfTableSet> {
+        let payload = self.dir.load(&Self::tables_key(cluster, config))?;
+        PerfTableSet::from_json(&payload).ok()
+    }
+
+    fn save_tables(&mut self, tables: &PerfTableSet) {
+        self.dir.save(
+            &Self::tables_key(&tables.cluster, &tables.config),
+            &tables.to_json(),
+        );
+    }
+
+    fn load_outcome(&mut self, app: &str, config: &str) -> Option<CellOutcome> {
+        let payload = self.dir.load(&Self::cell_key(app, config))?;
+        serde_json::from_str(&payload).ok()
+    }
+
+    fn save_outcome(&mut self, outcome: &CellOutcome) {
+        let payload = serde_json::to_string_pretty(outcome).expect("outcome serializes");
+        self.dir
+            .save(&Self::cell_key(outcome.app(), outcome.config()), &payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ioeval-ckpt-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = CheckpointDir::new(scratch("roundtrip")).unwrap();
+        assert!(dir.is_empty());
+        dir.save("alpha", "payload one");
+        assert_eq!(dir.load("alpha").as_deref(), Some("payload one"));
+        assert_eq!(dir.len(), 1);
+        // Overwrite is atomic and replaces.
+        dir.save("alpha", "payload two");
+        assert_eq!(dir.load("alpha").as_deref(), Some("payload two"));
+        assert_eq!(dir.len(), 1);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_files_are_cache_misses() {
+        let dir = CheckpointDir::new(scratch("corrupt")).unwrap();
+        dir.save("x", "the payload");
+        let path = dir.file_for("x");
+
+        // Truncate: torn write.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(dir.load("x"), None);
+
+        // Restore, then flip a payload byte: digest mismatch.
+        fs::write(&path, &full).unwrap();
+        let tampered = String::from_utf8(full.clone())
+            .unwrap()
+            .replace("the payload", "thE payload");
+        fs::write(&path, tampered).unwrap();
+        assert_eq!(dir.load("x"), None);
+
+        // Unknown future version: recompute rather than misparse.
+        let future = String::from_utf8(full).unwrap().replacen(
+            &format!("\"version\":{CHECKPOINT_VERSION}"),
+            "\"version\":999",
+            1,
+        );
+        fs::write(&path, future).unwrap();
+        assert_eq!(dir.load("x"), None);
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        let dir = CheckpointDir::new(scratch("missing")).unwrap();
+        assert_eq!(dir.load("nope"), None);
+    }
+
+    #[test]
+    fn keys_are_sanitized_to_portable_file_names() {
+        let dir = CheckpointDir::new(scratch("sanitize")).unwrap();
+        dir.save("cell-BT-IO full/16p::RAID 5", "v");
+        assert_eq!(
+            dir.load("cell-BT-IO full/16p::RAID 5").as_deref(),
+            Some("v")
+        );
+        for entry in fs::read_dir(dir.root()).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_string_lossy();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)),
+                "unportable file name {name}"
+            );
+        }
+    }
+}

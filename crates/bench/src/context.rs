@@ -1,11 +1,14 @@
 //! Shared experiment context: scales, cached characterizations and runs.
 
+use crate::checkpoint::{CampaignStore, CheckpointDir};
 use cluster::{config as ioconfig, presets, ClusterSpec, IoConfig};
+use ioeval_core::campaign::{CellStore, SuperviseOptions};
 use ioeval_core::charact::{characterize_system, CharacterizeOptions};
 use ioeval_core::eval::{evaluate, EvalOptions, EvalReport, FaultScenario};
 use ioeval_core::perf_table::{AccessMode, PerfTableSet};
-use simcore::{KIB, MIB};
+use simcore::{WatchdogSpec, KIB, MIB};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use workloads::{BtClass, BtIo, BtSubtype, FileType, MadBench, Scenario};
 
 /// Experiment scale.
@@ -26,16 +29,30 @@ impl Scale {
             _ => None,
         }
     }
+
+    /// Stable label for checkpoint keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
 }
 
 /// Experiment context: clusters, configurations, and memoized
 /// characterizations/evaluations shared between related experiments
 /// (Fig. 12 and Tables III/IV reuse the same runs, exactly like the paper).
+///
+/// With a checkpoint directory attached, every characterization is also
+/// persisted (digest-verified, atomically) and restored across processes,
+/// so an interrupted `repro` run resumes instead of restarting.
 pub struct Repro {
     /// Selected scale.
     pub scale: Scale,
     tables: HashMap<String, PerfTableSet>,
     reports: HashMap<String, EvalReport>,
+    store: Option<CampaignStore>,
+    watchdog: Option<WatchdogSpec>,
 }
 
 impl Repro {
@@ -45,6 +62,41 @@ impl Repro {
             scale,
             tables: HashMap::new(),
             reports: HashMap::new(),
+            store: None,
+            watchdog: None,
+        }
+    }
+
+    /// Attaches a durable checkpoint directory: characterizations and
+    /// campaign cells persist there and are restored on the next run.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> std::io::Result<Repro> {
+        self.store = Some(CampaignStore::open(path)?);
+        Ok(self)
+    }
+
+    /// Applies watchdog budgets to every simulation this context runs.
+    pub fn with_watchdog(mut self, watchdog: WatchdogSpec) -> Repro {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// The checkpoint directory, when one is attached.
+    pub fn checkpoint_dir(&self) -> Option<&CheckpointDir> {
+        self.store.as_ref().map(CampaignStore::dir)
+    }
+
+    /// The durable cell store, when a checkpoint directory is attached
+    /// (campaign experiments persist their cells through it).
+    pub fn cell_store_mut(&mut self) -> Option<&mut CampaignStore> {
+        self.store.as_mut()
+    }
+
+    /// Supervision policy for campaign experiments: the context's watchdog
+    /// plus default retry/quarantine limits.
+    pub fn supervise_options(&self) -> SuperviseOptions {
+        SuperviseOptions {
+            watchdog: self.watchdog.clone(),
+            ..SuperviseOptions::default()
         }
     }
 
@@ -70,7 +122,7 @@ impl Repro {
 
     /// Characterization sweep for the scale.
     pub fn charact_options(&self, spec: &ClusterSpec) -> CharacterizeOptions {
-        match self.scale {
+        let mut o = match self.scale {
             Scale::Paper => {
                 // The paper's published sweep (sequential, full record and
                 // block ranges); applications' strided/random operations
@@ -88,17 +140,40 @@ impl Repro {
                 o.modes = vec![AccessMode::Sequential];
                 o
             }
-        }
+        };
+        o.watchdog = self.watchdog.clone();
+        o
     }
 
-    /// Memoized system characterization of `(spec, config)`.
+    /// Memoized system characterization of `(spec, config)`: served from
+    /// memory, then from the checkpoint directory (digest-verified), and
+    /// only then computed — after which both caches are filled.
     pub fn characterize(&mut self, spec: &ClusterSpec, config: &IoConfig) -> PerfTableSet {
         let key = format!("{}::{}", spec.name, config.name);
         if let Some(t) = self.tables.get(&key) {
             return t.clone();
         }
         let opts = self.charact_options(spec);
-        let set = characterize_system(spec, config, &opts);
+        let restored = self
+            .store
+            .as_mut()
+            .and_then(|s| s.load_tables(&spec.name, &config.name))
+            .filter(|t| opts.levels.iter().all(|&l| t.get(l).is_some()));
+        let set = match restored {
+            Some(t) => t,
+            None => {
+                let t = characterize_system(spec, config, &opts).unwrap_or_else(|e| {
+                    panic!(
+                        "characterization of {} / {} failed: {e}",
+                        spec.name, config.name
+                    )
+                });
+                if let Some(s) = self.store.as_mut() {
+                    s.save_tables(&t);
+                }
+                t
+            }
+        };
         self.tables.insert(key, set.clone());
         set
     }
@@ -154,9 +229,11 @@ impl Repro {
         let tables = self.characterize(spec, config);
         let opts = EvalOptions {
             faults,
+            watchdog: self.watchdog.clone(),
             ..EvalOptions::default()
         };
-        let report = evaluate(spec, config, scenario, &tables, &opts);
+        let report = evaluate(spec, config, scenario, &tables, &opts)
+            .unwrap_or_else(|e| panic!("evaluation of {key} on {} failed: {e}", config.name));
         self.reports.insert(full_key, report.clone());
         report
     }
@@ -171,6 +248,7 @@ mod tests {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("x"), None);
+        assert_eq!(Scale::Quick.label(), "quick");
     }
 
     #[test]
@@ -191,5 +269,23 @@ mod tests {
         let b = r.characterize(&spec, &config);
         assert_eq!(a.to_json(), b.to_json());
         assert_eq!(r.tables.len(), 1);
+    }
+
+    #[test]
+    fn characterization_persists_across_contexts_via_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("ioeval-repro-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = presets::test_cluster();
+
+        let mut first = Repro::new(Scale::Quick).with_checkpoint(&dir).unwrap();
+        let config = first.aohyper_configs().remove(0);
+        let a = first.characterize(&spec, &config);
+        assert!(!first.checkpoint_dir().unwrap().is_empty());
+
+        // A fresh context (empty memory cache) restores from disk — the
+        // restored tables are byte-identical to the computed ones.
+        let mut second = Repro::new(Scale::Quick).with_checkpoint(&dir).unwrap();
+        let b = second.characterize(&spec, &config);
+        assert_eq!(a.to_json(), b.to_json());
     }
 }

@@ -167,7 +167,8 @@ fn btio_characterization_table(r: &mut Repro, procs: usize, title: &str) -> Stri
     let mut out = format!("{title}\n");
     for subtype in [BtSubtype::Full, BtSubtype::Simple] {
         let bt = r.btio(procs, subtype);
-        let profile = characterize_app(&spec, config, bt.scenario(), None);
+        let profile = characterize_app(&spec, config, bt.scenario(), None)
+            .expect("BT-IO characterization on a preset configuration");
         out.push_str(&format!("\n-- subtype: {subtype:?} --\n"));
         out.push_str(&render_app_profile(&profile));
     }
@@ -218,7 +219,8 @@ pub fn fig8(r: &mut Repro) -> String {
     let mut out = String::new();
     for subtype in [BtSubtype::Full, BtSubtype::Simple] {
         let bt = r.btio(16, subtype);
-        let profile = characterize_app(&spec, config, bt.scenario(), None);
+        let profile = characterize_app(&spec, config, bt.scenario(), None)
+            .expect("BT-IO characterization on a preset configuration");
         out.push_str(&phase_figure(
             &format!("Fig. 8 — NAS BT-IO {subtype:?} subtype traces (16 processes)"),
             &profile,
@@ -378,7 +380,8 @@ pub fn fig16(r: &mut Repro) -> String {
     let mut out = String::new();
     for ft in [FileType::Unique, FileType::Shared] {
         let mb = r.madbench(16, ft);
-        let profile = characterize_app(&spec, config, mb.scenario(), None);
+        let profile = characterize_app(&spec, config, mb.scenario(), None)
+            .expect("MADbench2 characterization on a preset configuration");
         out.push_str(&phase_figure(
             &format!("Fig. 16 — MADbench2 traces, 16 processes, {ft:?} filetype"),
             &profile,
@@ -396,7 +399,8 @@ pub fn table8(r: &mut Repro) -> String {
     for procs in [16usize, 64] {
         for ft in [FileType::Unique, FileType::Shared] {
             let mb = r.madbench(procs, ft);
-            let profile = characterize_app(&spec, &config, mb.scenario(), None);
+            let profile = characterize_app(&spec, &config, mb.scenario(), None)
+                .expect("MADbench2 characterization on a preset configuration");
             out.push_str(&format!("\n-- {procs} processes, {ft:?} --\n"));
             out.push_str(&render_app_profile(&profile));
         }
@@ -627,7 +631,8 @@ pub fn ablation_coalesce(r: &mut Repro) -> String {
         let mut opts = CharacterizeOptions::quick().all_modes();
         opts.records = vec![64 * KIB, MIB, 16 * MIB];
         opts.iozone_file_size = Some(512 * MIB);
-        let set = characterize_system(&spec, &config, &opts);
+        let set = characterize_system(&spec, &config, &opts)
+            .expect("coalescing ablation characterization");
         let records = opts.records.clone();
         let mut t = TextTable::new(vec!["record", "seq write MiB/s", "rand write MiB/s"]);
         for &rec in &records {
@@ -812,6 +817,35 @@ pub fn resilience(r: &mut Repro) -> String {
     )
 }
 
+/// Beyond the paper: the whole methodology as one *supervised* campaign —
+/// every Aohyper configuration characterized, BT-IO evaluated on each, the
+/// advisor's table-only predictions validated against the simulated runs.
+/// Cells run panic-isolated under the context's watchdog budgets; with a
+/// checkpoint directory attached (`repro --checkpoint DIR`), every
+/// finished characterization and cell persists to disk as it completes,
+/// so a killed run resumes from the last finished cell and renders
+/// byte-identically to an uninterrupted one.
+pub fn campaign(r: &mut Repro) -> String {
+    use ioeval_core::campaign::{run_campaign_supervised, AppFactory, NoStore};
+    let spec = r.aohyper();
+    let configs = r.aohyper_configs();
+    let opts = r.charact_options(&spec);
+    let sup = r.supervise_options();
+    let bt_full = r.btio(16, BtSubtype::Full);
+    let bt_simple = r.btio(16, BtSubtype::Simple);
+    let full = || bt_full.scenario();
+    let simple = || bt_simple.scenario();
+    let apps: Vec<AppFactory> = vec![("btio-full-16p", &full), ("btio-simple-16p", &simple)];
+    let campaign = match r.cell_store_mut() {
+        Some(store) => run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, store),
+        None => run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, &mut NoStore),
+    };
+    format!(
+        "Campaign — supervised methodology run (paper Fig. 1 end to end):\n\n{}",
+        campaign.render()
+    )
+}
+
 /// The experiment registry: (id, description, function).
 pub type ExperimentFn = fn(&mut Repro) -> String;
 
@@ -878,6 +912,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "resilience",
             "RAID 5 healthy vs degraded vs rebuilding",
             resilience,
+        ),
+        (
+            "campaign",
+            "supervised, resumable methodology campaign",
+            campaign,
         ),
     ]
 }

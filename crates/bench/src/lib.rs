@@ -12,7 +12,9 @@
 //! * [`Scale::Quick`] — reduced parameters with the same structure, for CI
 //!   and smoke-testing the harness end to end in seconds.
 
+pub mod checkpoint;
 pub mod context;
 pub mod experiments;
 
+pub use checkpoint::{CampaignStore, CheckpointDir};
 pub use context::{Repro, Scale};

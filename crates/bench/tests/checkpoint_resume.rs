@@ -1,0 +1,128 @@
+//! Kill-and-resume correctness for supervised campaigns.
+//!
+//! A campaign checkpointed to disk, interrupted at any point (simulated by
+//! deleting a suffix of its checkpoint files), then resumed, must render
+//! byte-identically to an uninterrupted same-seed run. A checkpoint that
+//! was torn mid-write (truncated) or corrupted on disk (bit flip) must be
+//! detected by its digest and recomputed, not trusted.
+
+use bench::checkpoint::CampaignStore;
+use cluster::{config as ioconfig, presets};
+use ioeval_core::campaign::Campaign;
+use ioeval_core::campaign::{run_campaign_supervised, AppFactory, NoStore, SuperviseOptions};
+use ioeval_core::charact::CharacterizeOptions;
+use simcore::{KIB, MIB};
+use std::fs;
+use std::path::PathBuf;
+use workloads::{BtClass, BtIo, BtSubtype};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ioeval-resume-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn charact_opts() -> CharacterizeOptions {
+    let mut o = CharacterizeOptions::quick();
+    o.records = vec![64 * KIB, MIB];
+    o.iozone_file_size = Some(64 * MIB);
+    o.ior_blocks = vec![MIB];
+    o.ior_ranks = 2;
+    o
+}
+
+fn run_campaign_with(store: &mut dyn ioeval_core::campaign::CellStore) -> Campaign {
+    let spec = presets::aohyper();
+    let configs = ioconfig::aohyper_configs();
+    let bt = || {
+        BtIo::new(BtClass::S, 4, BtSubtype::Full)
+            .with_dumps(3)
+            .gflops(20.0)
+            .scenario()
+    };
+    let apps: Vec<AppFactory> = vec![("btio-full", &bt)];
+    run_campaign_supervised(
+        &spec,
+        &configs,
+        &apps,
+        &charact_opts(),
+        &SuperviseOptions::default(),
+        store,
+    )
+}
+
+#[test]
+fn interrupted_campaign_resumes_byte_identically() {
+    let dir = scratch("kill");
+
+    // The reference: one uninterrupted, storeless run.
+    let reference = run_campaign_with(&mut NoStore).render();
+
+    // A checkpointed run; every characterization and cell lands on disk.
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let first = run_campaign_with(&mut store).render();
+    assert_eq!(first, reference, "checkpointing must not change results");
+    let files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert!(
+        files.len() >= 6,
+        "3 characterizations + 3 cells expected, got {}",
+        files.len()
+    );
+
+    // "Kill" the campaign mid-stream: erase a suffix of its progress (one
+    // characterization and one cell), as if the process died before
+    // writing them.
+    let mut sorted = files.clone();
+    sorted.sort();
+    fs::remove_file(&sorted[0]).unwrap();
+    fs::remove_file(sorted.last().unwrap()).unwrap();
+
+    // Resume: missing artifacts recompute, present ones replay.
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let resumed = run_campaign_with(&mut store).render();
+    assert_eq!(resumed, reference, "resume must be byte-identical");
+}
+
+#[test]
+fn corrupt_checkpoints_are_detected_and_recomputed() {
+    let dir = scratch("corrupt");
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let reference = run_campaign_with(&mut store).render();
+
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+
+    // Truncate one checkpoint (torn write) and flip a byte in another
+    // (silent corruption).
+    let torn = &files[0];
+    let full = fs::read(torn).unwrap();
+    fs::write(torn, &full[..full.len() / 3]).unwrap();
+
+    let flipped = files.last().unwrap();
+    let mut bytes = fs::read(flipped).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    fs::write(flipped, &bytes).unwrap();
+
+    // The resumed campaign must notice both (digest/parse mismatch),
+    // recompute them, and still render byte-identically.
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let resumed = run_campaign_with(&mut store).render();
+    assert_eq!(
+        resumed, reference,
+        "corrupt checkpoints must be recomputed, not trusted"
+    );
+
+    // And the recomputed artifacts must have been re-persisted intact.
+    let reloaded = fs::read(torn).unwrap();
+    assert!(
+        reloaded.len() > full.len() / 3,
+        "torn checkpoint must be rewritten"
+    );
+}

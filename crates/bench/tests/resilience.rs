@@ -22,7 +22,7 @@ fn run(faults: FaultScenario) -> EvalReport {
         faults,
         ..EvalOptions::default()
     };
-    evaluate(&spec, &config, ior.scenario(), &tables, &opts)
+    evaluate(&spec, &config, ior.scenario(), &tables, &opts).expect("evaluation")
 }
 
 fn campaign() -> Vec<EvalReport> {

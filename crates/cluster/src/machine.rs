@@ -136,17 +136,6 @@ impl ClusterMachine {
         Ok(ClusterMachine::build(spec, config))
     }
 
-    /// Builds the machine for `spec` under `config`.
-    ///
-    /// Panics on an invalid configuration; use [`try_new`](Self::try_new)
-    /// to get the reason as a typed [`ConfigError`] instead.
-    pub fn new(spec: &ClusterSpec, config: &IoConfig) -> ClusterMachine {
-        match ClusterMachine::try_new(spec, config) {
-            Ok(m) => m,
-            Err(e) => panic!("invalid cluster configuration: {e}"),
-        }
-    }
-
     fn build(spec: &ClusterSpec, config: &IoConfig) -> ClusterMachine {
         let nodes = spec.total_nodes();
         let net = match config.network {
@@ -617,7 +606,7 @@ mod tests {
     fn machine() -> ClusterMachine {
         let spec = presets::test_cluster();
         let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
-        ClusterMachine::new(&spec, &config)
+        ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration")
     }
 
     #[test]
@@ -662,7 +651,7 @@ mod tests {
     fn different_layouts_build_different_volumes() {
         let spec = presets::aohyper();
         for config in aohyper_configs() {
-            let m = ClusterMachine::new(&spec, &config);
+            let m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
             assert_eq!(m.server().fs().volume_kind(), config.devices.label());
         }
     }
@@ -677,7 +666,8 @@ mod tests {
                 .build(),
             IoConfigBuilder::new(DeviceLayout::raid5_paper()).build(),
         ] {
-            let mut m = ClusterMachine::new(&spec, &config);
+            let mut m =
+                ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
             m.mount(F, Mount::ServerLocal);
             let mut t = m.io_open(Time::ZERO, 0, F, true);
             let start = t;
@@ -736,7 +726,7 @@ mod tests {
     fn pfs_mount_routes_to_parallel_fs() {
         let spec = presets::test_cluster();
         let config = IoConfigBuilder::new(DeviceLayout::Jbod).pfs(2).build();
-        let mut m = ClusterMachine::new(&spec, &config);
+        let mut m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
         m.mount(F, Mount::Pfs);
         let t = m.io_open(Time::ZERO, 3, F, true);
         let t = m.io_write(t, 3, F, 0, 4 * MIB);
@@ -754,7 +744,7 @@ mod tests {
     fn pfs_mount_without_deployment_panics() {
         let spec = presets::test_cluster();
         let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
-        let mut m = ClusterMachine::new(&spec, &config);
+        let mut m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
         m.mount(F, Mount::Pfs);
         m.io_open(Time::ZERO, 0, F, true);
     }
@@ -798,18 +788,6 @@ mod tests {
         .is_ok());
     }
 
-    #[test]
-    #[should_panic(expected = "invalid cluster configuration")]
-    fn new_panics_on_invalid_config() {
-        let spec = presets::test_cluster();
-        let bad = IoConfigBuilder::new(DeviceLayout::Raid5 {
-            disks: 1,
-            stripe: 1,
-        })
-        .build();
-        ClusterMachine::new(&spec, &bad);
-    }
-
     /// Streams `total` bytes to the server volume and returns MiB/s.
     fn stream_rate(m: &mut ClusterMachine, total: u64) -> f64 {
         m.mount(F, Mount::ServerLocal);
@@ -849,11 +827,13 @@ mod tests {
         // the dead member and cost the same).
         let total = 1024 * MIB;
 
-        let mut healthy = ClusterMachine::new(&spec, &config);
+        let mut healthy =
+            ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
         let healthy_rate = read_rate(&mut healthy, total);
         assert!(healthy.fault_log().is_empty());
 
-        let mut degraded = ClusterMachine::new(&spec, &config);
+        let mut degraded =
+            ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
         degraded.install_faults(FaultSchedule::new(vec![FaultEvent {
             at: Time::ZERO,
             fault: Fault::DiskFail { disk: 2 },
@@ -872,7 +852,7 @@ mod tests {
         let config = IoConfigBuilder::new(DeviceLayout::raid5_paper())
             .write_cache_mib(0)
             .build();
-        let mut m = ClusterMachine::new(&spec, &config);
+        let mut m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
         m.install_faults(FaultSchedule::new(vec![
             FaultEvent {
                 at: Time::from_millis(1),
@@ -941,9 +921,9 @@ mod tests {
     fn network_degradation_slows_mpi_traffic() {
         let spec = presets::test_cluster();
         let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
-        let mut m = ClusterMachine::new(&spec, &config);
+        let mut m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
         let clean = m.mpi_send(Time::ZERO, 0, 1, 4 * MIB) - Time::ZERO;
-        let mut m = ClusterMachine::new(&spec, &config);
+        let mut m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
         m.install_faults(FaultSchedule::new(vec![FaultEvent {
             at: Time::ZERO,
             fault: Fault::NetDegrade {
@@ -965,10 +945,10 @@ mod tests {
         let shared = IoConfigBuilder::new(DeviceLayout::Jbod)
             .network(NetworkLayout::Shared)
             .build();
-        let m = ClusterMachine::new(&spec, &shared);
+        let m = ClusterMachine::try_new(&spec, &shared).expect("valid cluster configuration");
         assert!(!m.network().is_split());
         let split = IoConfigBuilder::new(DeviceLayout::Jbod).build();
-        let m = ClusterMachine::new(&spec, &split);
+        let m = ClusterMachine::try_new(&spec, &split).expect("valid cluster configuration");
         assert!(m.network().is_split());
     }
 }

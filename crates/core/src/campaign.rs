@@ -1,4 +1,4 @@
-//! A full methodology campaign in one call.
+//! A full methodology campaign in one call — supervised and resumable.
 //!
 //! The paper's workflow (Fig. 1) iterates: characterize each candidate
 //! configuration, characterize the application(s), evaluate every
@@ -7,21 +7,36 @@
 //! [`Campaign`] result carries every intermediate artifact plus the
 //! advisor's prediction quality, so the whole study is reproducible from
 //! one value.
+//!
+//! Real campaigns of this shape are long-running and frequently
+//! interrupted, so the runner is *supervised*: every cell executes isolated
+//! (a panic costs one cell, not the campaign), under optional watchdog
+//! budgets (a livelocked or runaway simulation becomes a
+//! [`CellOutcome::TimedOut`] cell), with bounded retry and per-configuration
+//! quarantine, and with every completed artifact offered to a [`CellStore`]
+//! so a killed campaign resumes instead of restarting. The campaign always
+//! completes with whatever cells survived — graceful degradation to partial
+//! results, reported in the outcome table.
 
 use crate::advisor::{predict, Prediction};
 use crate::charact::{characterize_system, CharacterizeOptions};
-use crate::eval::{evaluate, EvalOptions, EvalReport};
+use crate::eval::{evaluate, EvalError, EvalOptions, EvalReport};
 use crate::perf_table::PerfTableSet;
 use crate::report::{render_metrics, TextTable};
+use crate::supervise::run_isolated;
 use cluster::{ClusterSpec, IoConfig};
+use serde::{Deserialize, Serialize};
+use simcore::{Abort, WatchdogSpec};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
 use workloads::Scenario;
 
 /// A named application factory: campaigns run each scenario on several
 /// configurations, so the workload must be constructible repeatedly.
 pub type AppFactory<'a> = (&'a str, &'a dyn Fn() -> Scenario);
 
-/// One (application × configuration) cell of the campaign.
-#[derive(Clone, Debug)]
+/// One successfully evaluated (application × configuration) cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CampaignCell {
     /// Application label.
     pub app: String,
@@ -46,15 +61,243 @@ impl CampaignCell {
     }
 }
 
+/// What happened to one campaign cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum CellOutcome {
+    /// The cell evaluated successfully.
+    Ok(Box<CampaignCell>),
+    /// The cell failed (panic or invalid configuration) after `attempts`
+    /// tries.
+    Failed {
+        /// Application label.
+        app: String,
+        /// Configuration name.
+        config: String,
+        /// What went wrong (panic message or typed-error rendering).
+        error: String,
+        /// How many times the cell was attempted.
+        attempts: u32,
+    },
+    /// The watchdog aborted the cell's run.
+    TimedOut {
+        /// Application label.
+        app: String,
+        /// Configuration name.
+        config: String,
+        /// Why the watchdog stopped the run.
+        abort: Abort,
+        /// How many times the cell was attempted.
+        attempts: u32,
+    },
+    /// The cell never ran (quarantined configuration, failed
+    /// characterization, or exhausted campaign wall budget).
+    Skipped {
+        /// Application label.
+        app: String,
+        /// Configuration name.
+        config: String,
+        /// Why the cell was skipped.
+        reason: String,
+    },
+}
+
+impl CellOutcome {
+    /// Application label of the cell.
+    pub fn app(&self) -> &str {
+        match self {
+            CellOutcome::Ok(c) => &c.app,
+            CellOutcome::Failed { app, .. }
+            | CellOutcome::TimedOut { app, .. }
+            | CellOutcome::Skipped { app, .. } => app,
+        }
+    }
+
+    /// Configuration name of the cell.
+    pub fn config(&self) -> &str {
+        match self {
+            CellOutcome::Ok(c) => &c.config,
+            CellOutcome::Failed { config, .. }
+            | CellOutcome::TimedOut { config, .. }
+            | CellOutcome::Skipped { config, .. } => config,
+        }
+    }
+
+    /// Whether the cell produced a report.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok(_))
+    }
+
+    /// Short status label for the outcome table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Ok(_) => "ok",
+            CellOutcome::Failed { .. } => "failed",
+            CellOutcome::TimedOut { .. } => "timed out",
+            CellOutcome::Skipped { .. } => "skipped",
+        }
+    }
+
+    /// Whether a checkpoint may record this outcome. `Skipped` cells and
+    /// wall-clock aborts depend on host conditions, not the simulation, so
+    /// persisting them would make a resumed campaign diverge from an
+    /// uninterrupted one; they are recomputed on resume instead.
+    pub fn is_persistable(&self) -> bool {
+        match self {
+            CellOutcome::Skipped { .. } => false,
+            CellOutcome::TimedOut { abort, .. } => abort.is_deterministic(),
+            CellOutcome::Ok(_) | CellOutcome::Failed { .. } => true,
+        }
+    }
+}
+
+/// Where a supervised campaign checkpoints completed artifacts and looks
+/// them up on resume. Implementations must only return artifacts they can
+/// vouch for — a store backed by disk verifies integrity digests and treats
+/// any corrupt or unreadable entry as absent (recompute, never trust).
+pub trait CellStore {
+    /// A previously checkpointed characterization for `(cluster, config)`.
+    fn load_tables(&mut self, cluster: &str, config: &str) -> Option<PerfTableSet>;
+    /// Checkpoints a completed characterization.
+    fn save_tables(&mut self, tables: &PerfTableSet);
+    /// A previously checkpointed outcome for `(app, config)`.
+    fn load_outcome(&mut self, app: &str, config: &str) -> Option<CellOutcome>;
+    /// Checkpoints a completed cell outcome.
+    fn save_outcome(&mut self, outcome: &CellOutcome);
+}
+
+/// A store that never remembers anything: every run starts fresh.
+pub struct NoStore;
+
+impl CellStore for NoStore {
+    fn load_tables(&mut self, _cluster: &str, _config: &str) -> Option<PerfTableSet> {
+        None
+    }
+    fn save_tables(&mut self, _tables: &PerfTableSet) {}
+    fn load_outcome(&mut self, _app: &str, _config: &str) -> Option<CellOutcome> {
+        None
+    }
+    fn save_outcome(&mut self, _outcome: &CellOutcome) {}
+}
+
+/// An in-memory store (tests and same-process resume).
+#[derive(Default)]
+pub struct MemStore {
+    tables: HashMap<(String, String), PerfTableSet>,
+    outcomes: HashMap<(String, String), CellOutcome>,
+    /// Characterizations served from the store.
+    pub table_hits: u32,
+    /// Outcomes served from the store.
+    pub outcome_hits: u32,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Number of checkpointed outcomes.
+    pub fn outcome_count(&self) -> usize {
+        self.outcomes.len()
+    }
+}
+
+impl CellStore for MemStore {
+    fn load_tables(&mut self, cluster: &str, config: &str) -> Option<PerfTableSet> {
+        let hit = self
+            .tables
+            .get(&(cluster.to_string(), config.to_string()))
+            .cloned();
+        if hit.is_some() {
+            self.table_hits += 1;
+        }
+        hit
+    }
+    fn save_tables(&mut self, tables: &PerfTableSet) {
+        self.tables.insert(
+            (tables.cluster.clone(), tables.config.clone()),
+            tables.clone(),
+        );
+    }
+    fn load_outcome(&mut self, app: &str, config: &str) -> Option<CellOutcome> {
+        let hit = self
+            .outcomes
+            .get(&(app.to_string(), config.to_string()))
+            .cloned();
+        if hit.is_some() {
+            self.outcome_hits += 1;
+        }
+        hit
+    }
+    fn save_outcome(&mut self, outcome: &CellOutcome) {
+        self.outcomes.insert(
+            (outcome.app().to_string(), outcome.config().to_string()),
+            outcome.clone(),
+        );
+    }
+}
+
+/// Supervision policy for a campaign.
+#[derive(Clone, Debug)]
+pub struct SuperviseOptions {
+    /// Watchdog budgets applied to every characterization and evaluation
+    /// run (`None`: none). A `CharacterizeOptions`/`EvalOptions` watchdog,
+    /// when set, takes precedence for its phase.
+    pub watchdog: Option<WatchdogSpec>,
+    /// How many times a panicking cell is retried before it is recorded as
+    /// `Failed` (typed errors and aborts are deterministic and never
+    /// retried).
+    pub max_retries: u32,
+    /// Quarantine a configuration after this many *consecutive* failed or
+    /// timed-out cells: its remaining cells are skipped instead of burning
+    /// the rest of the campaign's budget.
+    pub quarantine_after: u32,
+    /// Optional wall-clock budget for the whole campaign; once exhausted,
+    /// remaining cells are skipped (and never persisted, so a resumed run
+    /// computes them).
+    pub wall_budget: Option<Duration>,
+}
+
+impl Default for SuperviseOptions {
+    fn default() -> Self {
+        SuperviseOptions {
+            watchdog: None,
+            max_retries: 1,
+            quarantine_after: 3,
+            wall_budget: None,
+        }
+    }
+}
+
+impl SuperviseOptions {
+    /// Sets the per-run watchdog budgets.
+    pub fn with_watchdog(mut self, watchdog: WatchdogSpec) -> SuperviseOptions {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Sets the whole-campaign wall-clock budget.
+    pub fn with_wall_budget(mut self, budget: Duration) -> SuperviseOptions {
+        self.wall_budget = Some(budget);
+        self
+    }
+}
+
 /// The outcome of a whole methodology campaign.
 #[derive(Clone, Debug)]
 pub struct Campaign {
     /// Cluster name.
     pub cluster: String,
-    /// Characterizations per configuration, in input order.
+    /// Characterizations of the successfully characterized configurations,
+    /// in input order.
     pub tables: Vec<PerfTableSet>,
-    /// Evaluation cells, application-major.
+    /// Successfully evaluated cells, application-major (the `Ok` subset of
+    /// `outcomes`).
     pub cells: Vec<CampaignCell>,
+    /// Every cell's outcome, application-major.
+    pub outcomes: Vec<CellOutcome>,
+    /// Configurations whose characterization failed, with the reason.
+    pub charact_errors: Vec<(String, String)>,
 }
 
 impl Campaign {
@@ -80,8 +323,28 @@ impl Campaign {
         }
     }
 
+    /// Whether any cell failed, timed out, or was skipped — i.e. the
+    /// campaign degraded to partial results.
+    pub fn is_degraded(&self) -> bool {
+        !self.charact_errors.is_empty() || self.outcomes.iter().any(|o| !o.is_ok())
+    }
+
+    /// One line counting outcomes by kind, e.g. `3 ok, 1 failed,
+    /// 1 timed out, 2 skipped`.
+    pub fn error_summary(&self) -> String {
+        let count = |label: &str| self.outcomes.iter().filter(|o| o.label() == label).count();
+        format!(
+            "{} ok, {} failed, {} timed out, {} skipped",
+            count("ok"),
+            count("failed"),
+            count("timed out"),
+            count("skipped")
+        )
+    }
+
     /// Renders the campaign summary: metrics per cell plus the winner and
-    /// prediction quality per application.
+    /// prediction quality per application; degraded campaigns additionally
+    /// report every failed/timed-out/skipped cell.
     pub fn render(&self) -> String {
         let mut out = format!("=== Campaign on {} ===\n", self.cluster);
         let mut apps: Vec<&str> = self.cells.iter().map(|c| c.app.as_str()).collect();
@@ -116,6 +379,37 @@ impl Campaign {
                 out.push_str(&t.render());
             }
         }
+        if self.is_degraded() {
+            out.push_str(&format!(
+                "\n-- degraded campaign: partial results ({}) --\n",
+                self.error_summary()
+            ));
+            for (config, error) in &self.charact_errors {
+                out.push_str(&format!("characterization of {config} failed: {error}\n"));
+            }
+            let mut t = TextTable::new(vec!["app", "config", "outcome", "detail"]);
+            for o in self.outcomes.iter().filter(|o| !o.is_ok()) {
+                let detail = match o {
+                    CellOutcome::Failed {
+                        error, attempts, ..
+                    } => format!("{error} (attempt {attempts})"),
+                    CellOutcome::TimedOut {
+                        abort, attempts, ..
+                    } => format!("{abort} (attempt {attempts})"),
+                    CellOutcome::Skipped { reason, .. } => reason.clone(),
+                    CellOutcome::Ok(_) => unreachable!("filtered"),
+                };
+                t.row(vec![
+                    o.app().to_string(),
+                    o.config().to_string(),
+                    o.label().to_string(),
+                    detail,
+                ]);
+            }
+            if !t.is_empty() {
+                out.push_str(&t.render());
+            }
+        }
         out
     }
 }
@@ -123,34 +417,213 @@ impl Campaign {
 /// Runs the full methodology: characterize every configuration, evaluate
 /// every application on every configuration, and validate the advisor's
 /// table-only predictions against the simulated outcomes.
+///
+/// Equivalent to [`run_campaign_supervised`] with default supervision and
+/// no checkpoint store: cells are still panic-isolated, so a bad cell
+/// degrades the campaign instead of aborting it.
 pub fn run_campaign(
     spec: &ClusterSpec,
     configs: &[IoConfig],
     apps: &[AppFactory<'_>],
     opts: &CharacterizeOptions,
 ) -> Campaign {
-    let tables: Vec<PerfTableSet> = configs
-        .iter()
-        .map(|c| characterize_system(spec, c, opts))
-        .collect();
+    run_campaign_supervised(
+        spec,
+        configs,
+        apps,
+        opts,
+        &SuperviseOptions::default(),
+        &mut NoStore,
+    )
+}
 
-    let mut cells = Vec::new();
-    for (app_name, factory) in apps {
-        for (config, tset) in configs.iter().zip(&tables) {
-            let report = evaluate(spec, config, factory(), tset, &EvalOptions::default());
-            let prediction = predict(&report.profile, tset);
-            cells.push(CampaignCell {
-                app: app_name.to_string(),
-                config: config.name.clone(),
-                report,
-                prediction,
-            });
+/// Runs a supervised, resumable campaign.
+///
+/// Per configuration, the characterization is loaded from `store` when a
+/// valid checkpoint covers every requested level, otherwise computed
+/// (isolated, watchdog-supervised) and checkpointed. Per cell, a
+/// checkpointed outcome is replayed; otherwise the evaluation runs
+/// isolated with bounded retry, and the resulting outcome is checkpointed
+/// when deterministic. A configuration whose characterization fails — or
+/// that accumulates `quarantine_after` consecutive cell failures — is
+/// quarantined: its remaining cells are skipped. The campaign always
+/// returns; inspect [`Campaign::is_degraded`] and [`Campaign::outcomes`]
+/// for what survived.
+pub fn run_campaign_supervised(
+    spec: &ClusterSpec,
+    configs: &[IoConfig],
+    apps: &[AppFactory<'_>],
+    opts: &CharacterizeOptions,
+    sup: &SuperviseOptions,
+    store: &mut dyn CellStore,
+) -> Campaign {
+    let started = Instant::now();
+    let over_budget = |started: &Instant| {
+        sup.wall_budget
+            .map(|b| started.elapsed() >= b)
+            .unwrap_or(false)
+    };
+    const BUDGET_REASON: &str = "campaign wall-clock budget exhausted";
+
+    let mut copts = opts.clone();
+    if copts.watchdog.is_none() {
+        copts.watchdog = sup.watchdog.clone();
+    }
+
+    // Phase 1: characterize (or restore) every configuration.
+    let mut tables: Vec<PerfTableSet> = Vec::new();
+    let mut table_of: Vec<Option<usize>> = Vec::with_capacity(configs.len());
+    let mut charact_errors: Vec<(String, String)> = Vec::new();
+    let mut quarantined: Vec<Option<String>> = vec![None; configs.len()];
+    for (ci, config) in configs.iter().enumerate() {
+        if over_budget(&started) {
+            quarantined[ci] = Some(BUDGET_REASON.to_string());
+            table_of.push(None);
+            continue;
+        }
+        // A checkpointed characterization is only trusted when it covers
+        // every requested level; a partial or stale one is recomputed.
+        let restored = store
+            .load_tables(&spec.name, &config.name)
+            .filter(|t| opts.levels.iter().all(|&l| t.get(l).is_some()));
+        let tset = match restored {
+            Some(t) => Some(t),
+            None => match run_isolated(|| characterize_system(spec, config, &copts)) {
+                Ok(Ok(t)) => {
+                    store.save_tables(&t);
+                    Some(t)
+                }
+                Ok(Err(e)) => {
+                    charact_errors.push((config.name.clone(), e.to_string()));
+                    None
+                }
+                Err(panic) => {
+                    charact_errors.push((config.name.clone(), format!("panic: {panic}")));
+                    None
+                }
+            },
+        };
+        match tset {
+            Some(t) => {
+                table_of.push(Some(tables.len()));
+                tables.push(t);
+            }
+            None => {
+                quarantined[ci] = Some("characterization failed".to_string());
+                table_of.push(None);
+            }
         }
     }
+
+    // Phase 3: evaluate every (application × configuration) cell.
+    let mut outcomes: Vec<CellOutcome> = Vec::new();
+    let mut consecutive_failures: Vec<u32> = vec![0; configs.len()];
+    for (app_name, factory) in apps {
+        for (ci, config) in configs.iter().enumerate() {
+            let app = app_name.to_string();
+            let cfg = config.name.clone();
+            if let Some(reason) = &quarantined[ci] {
+                outcomes.push(CellOutcome::Skipped {
+                    app,
+                    config: cfg,
+                    reason: reason.clone(),
+                });
+                continue;
+            }
+            if over_budget(&started) {
+                outcomes.push(CellOutcome::Skipped {
+                    app,
+                    config: cfg,
+                    reason: BUDGET_REASON.to_string(),
+                });
+                continue;
+            }
+            let tset = &tables[table_of[ci].expect("non-quarantined configs are characterized")];
+            let outcome = match store.load_outcome(&app, &cfg) {
+                Some(stored) => stored,
+                None => {
+                    let eopts = EvalOptions {
+                        watchdog: sup.watchdog.clone(),
+                        ..EvalOptions::default()
+                    };
+                    let mut attempts = 0u32;
+                    let outcome = loop {
+                        attempts += 1;
+                        match run_isolated(|| evaluate(spec, config, factory(), tset, &eopts)) {
+                            Ok(Ok(report)) => {
+                                let prediction = predict(&report.profile, tset);
+                                break CellOutcome::Ok(Box::new(CampaignCell {
+                                    app: app.clone(),
+                                    config: cfg.clone(),
+                                    report,
+                                    prediction,
+                                }));
+                            }
+                            Ok(Err(EvalError::Aborted { abort, .. })) => {
+                                break CellOutcome::TimedOut {
+                                    app: app.clone(),
+                                    config: cfg.clone(),
+                                    abort,
+                                    attempts,
+                                };
+                            }
+                            Ok(Err(e @ EvalError::Config(_))) => {
+                                break CellOutcome::Failed {
+                                    app: app.clone(),
+                                    config: cfg.clone(),
+                                    error: e.to_string(),
+                                    attempts,
+                                };
+                            }
+                            // Panics may be transient (e.g. a capacity race
+                            // in a model): bounded retry.
+                            Err(_) if attempts <= sup.max_retries => continue,
+                            Err(panic) => {
+                                break CellOutcome::Failed {
+                                    app: app.clone(),
+                                    config: cfg.clone(),
+                                    error: format!("panic: {panic}"),
+                                    attempts,
+                                };
+                            }
+                        }
+                    };
+                    if outcome.is_persistable() {
+                        store.save_outcome(&outcome);
+                    }
+                    outcome
+                }
+            };
+            match &outcome {
+                CellOutcome::Ok(_) => consecutive_failures[ci] = 0,
+                CellOutcome::Failed { .. } | CellOutcome::TimedOut { .. } => {
+                    consecutive_failures[ci] += 1;
+                    if consecutive_failures[ci] >= sup.quarantine_after {
+                        quarantined[ci] = Some(format!(
+                            "quarantined after {} consecutive failures",
+                            consecutive_failures[ci]
+                        ));
+                    }
+                }
+                CellOutcome::Skipped { .. } => {}
+            }
+            outcomes.push(outcome);
+        }
+    }
+
+    let cells = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            CellOutcome::Ok(c) => Some((**c).clone()),
+            _ => None,
+        })
+        .collect();
     Campaign {
         cluster: spec.name.clone(),
         tables,
         cells,
+        outcomes,
+        charact_errors,
     }
 }
 
@@ -158,12 +631,12 @@ pub fn run_campaign(
 mod tests {
     use super::*;
     use cluster::{presets, DeviceLayout, IoConfigBuilder};
+    use mpisim::{MpiOp, OpStream};
     use simcore::KIB;
     use workloads::{BtClass, BtIo, BtSubtype};
 
-    fn quick_campaign() -> Campaign {
-        let spec = presets::test_cluster();
-        let configs = vec![
+    fn quick_configs() -> Vec<IoConfig> {
+        vec![
             IoConfigBuilder::new(DeviceLayout::Jbod)
                 .write_cache_mib(0)
                 .build(),
@@ -172,13 +645,20 @@ mod tests {
                 stripe: 256 * KIB,
             })
             .build(),
-        ];
-        let bt = || {
-            BtIo::new(BtClass::S, 4, BtSubtype::Full)
-                .with_dumps(3)
-                .gflops(20.0)
-                .scenario()
-        };
+        ]
+    }
+
+    fn bt_scenario() -> Scenario {
+        BtIo::new(BtClass::S, 4, BtSubtype::Full)
+            .with_dumps(3)
+            .gflops(20.0)
+            .scenario()
+    }
+
+    fn quick_campaign() -> Campaign {
+        let spec = presets::test_cluster();
+        let configs = quick_configs();
+        let bt = bt_scenario;
         let apps: Vec<AppFactory> = vec![("btio-full", &bt)];
         run_campaign(&spec, &configs, &apps, &CharacterizeOptions::quick())
     }
@@ -191,6 +671,9 @@ mod tests {
         assert!(c.cells.iter().all(|cell| cell.app == "btio-full"));
         assert!(c.best_config("btio-full").is_some());
         assert!(c.best_config("unknown").is_none());
+        assert!(!c.is_degraded());
+        assert_eq!(c.outcomes.len(), 2);
+        assert!(c.outcomes.iter().all(CellOutcome::is_ok));
     }
 
     #[test]
@@ -217,5 +700,214 @@ mod tests {
         assert!(s.contains("btio-full"));
         assert!(s.contains("fastest configuration"));
         assert!(s.contains("advisor check"));
+        assert!(
+            !s.contains("degraded campaign"),
+            "healthy campaign must not report degradation"
+        );
+    }
+
+    /// A rank that forever yields zero-cost ops: a livelocked cell.
+    struct LivelockStream;
+
+    impl OpStream for LivelockStream {
+        fn next_op(&mut self) -> Option<MpiOp> {
+            Some(MpiOp::Marker(0))
+        }
+    }
+
+    fn livelock_scenario() -> Scenario {
+        Scenario {
+            name: "livelock".into(),
+            programs: vec![Box::new(LivelockStream)],
+            mounts: vec![],
+            prealloc: vec![],
+        }
+    }
+
+    fn panic_scenario() -> Scenario {
+        panic!("injected factory failure")
+    }
+
+    #[test]
+    fn panicking_and_livelocked_cells_degrade_not_abort() {
+        let spec = presets::test_cluster();
+        let configs = vec![IoConfigBuilder::new(DeviceLayout::Jbod).build()];
+        let healthy = bt_scenario;
+        let bad = panic_scenario;
+        let locked = livelock_scenario;
+        let apps: Vec<AppFactory> = vec![
+            ("btio-full", &healthy),
+            ("bad-app", &bad),
+            ("livelocked-app", &locked),
+        ];
+        let sup = SuperviseOptions::default()
+            .with_watchdog(WatchdogSpec::default().with_stall_limit(100_000));
+        let c = run_campaign_supervised(
+            &spec,
+            &configs,
+            &apps,
+            &CharacterizeOptions::quick(),
+            &sup,
+            &mut NoStore,
+        );
+        assert!(c.is_degraded());
+        assert_eq!(c.outcomes.len(), 3);
+        assert_eq!(c.cells.len(), 1, "only the healthy cell produced a report");
+        assert_eq!(c.cells[0].app, "btio-full");
+        let by_app = |app: &str| {
+            c.outcomes
+                .iter()
+                .find(|o| o.app() == app)
+                .expect("outcome present")
+        };
+        match by_app("bad-app") {
+            CellOutcome::Failed {
+                error, attempts, ..
+            } => {
+                assert!(error.contains("injected factory failure"), "{error}");
+                assert_eq!(*attempts, 2, "one retry by default");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        match by_app("livelocked-app") {
+            CellOutcome::TimedOut { abort, .. } => {
+                assert!(matches!(abort, Abort::Stalled { .. }), "{abort:?}");
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        let rendered = c.render();
+        assert!(rendered.contains("degraded campaign"));
+        assert!(rendered.contains("1 ok, 1 failed, 1 timed out, 0 skipped"));
+        assert!(rendered.contains("injected factory failure"));
+    }
+
+    #[test]
+    fn failed_characterization_quarantines_the_config() {
+        let spec = presets::test_cluster();
+        let configs = vec![
+            IoConfigBuilder::new(DeviceLayout::Raid5 {
+                disks: 1,
+                stripe: 1,
+            })
+            .build(),
+            IoConfigBuilder::new(DeviceLayout::Jbod).build(),
+        ];
+        let bt = bt_scenario;
+        let apps: Vec<AppFactory> = vec![("btio-full", &bt)];
+        let c = run_campaign(&spec, &configs, &apps, &CharacterizeOptions::quick());
+        assert_eq!(c.tables.len(), 1, "only the valid config characterized");
+        assert_eq!(c.charact_errors.len(), 1);
+        assert!(c.charact_errors[0]
+            .1
+            .contains("invalid cluster configuration"));
+        assert_eq!(c.cells.len(), 1);
+        assert!(matches!(
+            c.outcomes[0],
+            CellOutcome::Skipped { ref reason, .. } if reason.contains("characterization failed")
+        ));
+        assert!(c.render().contains("characterization of"));
+    }
+
+    #[test]
+    fn resumed_campaign_replays_checkpointed_cells_byte_identically() {
+        let spec = presets::test_cluster();
+        let configs = quick_configs();
+        let bt = bt_scenario;
+        let apps: Vec<AppFactory> = vec![("btio-full", &bt)];
+        let opts = CharacterizeOptions::quick();
+        let sup = SuperviseOptions::default();
+
+        let mut store = MemStore::new();
+        let first = run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, &mut store);
+        assert_eq!(store.outcome_count(), 2);
+        assert_eq!(store.table_hits, 0);
+        assert_eq!(store.outcome_hits, 0);
+
+        let resumed = run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, &mut store);
+        assert_eq!(store.table_hits, 2, "characterizations restored");
+        assert_eq!(store.outcome_hits, 2, "outcomes replayed");
+        assert_eq!(
+            first.render(),
+            resumed.render(),
+            "resume must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn quarantine_after_consecutive_failures() {
+        let spec = presets::test_cluster();
+        let configs = vec![IoConfigBuilder::new(DeviceLayout::Jbod).build()];
+        let bad = panic_scenario;
+        let bt = bt_scenario;
+        let apps: Vec<AppFactory> = vec![
+            ("bad-1", &bad),
+            ("bad-2", &bad),
+            ("late-healthy", &bt), // skipped: config quarantined by then
+        ];
+        let sup = SuperviseOptions {
+            max_retries: 0,
+            quarantine_after: 2,
+            ..SuperviseOptions::default()
+        };
+        let c = run_campaign_supervised(
+            &spec,
+            &configs,
+            &apps,
+            &CharacterizeOptions::quick(),
+            &sup,
+            &mut NoStore,
+        );
+        assert_eq!(c.outcomes.len(), 3);
+        assert!(matches!(
+            c.outcomes[0],
+            CellOutcome::Failed { attempts: 1, .. }
+        ));
+        assert!(matches!(c.outcomes[1], CellOutcome::Failed { .. }));
+        assert!(matches!(
+            c.outcomes[2],
+            CellOutcome::Skipped { ref reason, .. } if reason.contains("quarantined")
+        ));
+        assert!(c.cells.is_empty());
+    }
+
+    #[test]
+    fn exhausted_wall_budget_skips_remaining_cells() {
+        let spec = presets::test_cluster();
+        let configs = vec![IoConfigBuilder::new(DeviceLayout::Jbod).build()];
+        let bt = bt_scenario;
+        let apps: Vec<AppFactory> = vec![("btio-full", &bt)];
+        let sup = SuperviseOptions::default().with_wall_budget(Duration::ZERO);
+        let c = run_campaign_supervised(
+            &spec,
+            &configs,
+            &apps,
+            &CharacterizeOptions::quick(),
+            &sup,
+            &mut NoStore,
+        );
+        assert!(c.cells.is_empty());
+        assert!(c.outcomes.iter().all(
+            |o| matches!(o, CellOutcome::Skipped { reason, .. } if reason.contains("budget"))
+        ));
+        // Budget skips are host-dependent: never checkpointed.
+        assert!(!c.outcomes[0].is_persistable());
+    }
+
+    #[test]
+    fn outcomes_roundtrip_through_serde() {
+        let o = CellOutcome::TimedOut {
+            app: "a".into(),
+            config: "c".into(),
+            abort: Abort::Stalled {
+                events: 9,
+                at: simcore::Time(5),
+            },
+            attempts: 1,
+        };
+        let json = serde_json::to_string(&o).unwrap();
+        let back: CellOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.app(), "a");
+        assert_eq!(back.label(), "timed out");
+        assert!(back.is_persistable());
     }
 }

@@ -14,13 +14,61 @@
 
 use crate::perf_table::{AccessMode, IoLevel, OpType, PerfRow, PerfTable, PerfTableSet};
 use crate::trace::{AppProfile, ProfileSink};
-use cluster::{ClusterMachine, ClusterSpec, IoConfig, Mount};
+use cluster::{ClusterMachine, ClusterSpec, ConfigError, IoConfig, Mount};
 use fs::FileId;
 use mpisim::{NullSink, RunStats, Runtime};
-use simcore::{Bandwidth, Time, KIB, MIB};
+use simcore::{Abort, Bandwidth, Time, WatchdogSpec, KIB, MIB};
 use workloads::ior::{paper_block_sweep, Ior, IorOp};
 use workloads::iozone::{paper_record_sweep, IozonePattern, IozoneRun};
 use workloads::Scenario;
+
+/// Why a characterization could not produce a table set.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CharactError {
+    /// The cluster configuration failed validation.
+    Config(ConfigError),
+    /// A measurement run was aborted by the watchdog.
+    Aborted {
+        /// The workload that was running.
+        workload: String,
+        /// Why the watchdog stopped it.
+        abort: Abort,
+    },
+    /// A required level is absent from a table set (e.g. a checkpoint
+    /// written by an older sweep that skipped it).
+    MissingLevel {
+        /// The absent level.
+        level: IoLevel,
+    },
+}
+
+impl From<ConfigError> for CharactError {
+    fn from(e: ConfigError) -> Self {
+        CharactError::Config(e)
+    }
+}
+
+impl std::fmt::Display for CharactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CharactError::Config(e) => write!(f, "invalid cluster configuration: {e}"),
+            CharactError::Aborted { workload, abort } => {
+                write!(f, "characterization run '{workload}' aborted: {abort}")
+            }
+            CharactError::MissingLevel { level } => {
+                write!(f, "characterization is missing the {level:?} level")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CharactError {}
+
+/// The `level` table of `set`, or a typed [`CharactError::MissingLevel`] —
+/// so an incomplete characterization fails its cell instead of the process.
+pub fn require_level(set: &PerfTableSet, level: IoLevel) -> Result<&PerfTable, CharactError> {
+    set.get(level).ok_or(CharactError::MissingLevel { level })
+}
 
 /// What to sweep during system characterization.
 #[derive(Clone, Debug)]
@@ -39,6 +87,8 @@ pub struct CharacterizeOptions {
     pub ior_transfer: u64,
     /// Levels to characterize.
     pub levels: Vec<IoLevel>,
+    /// Watchdog budgets applied to every measurement run (`None`: none).
+    pub watchdog: Option<WatchdogSpec>,
 }
 
 impl CharacterizeOptions {
@@ -56,6 +106,7 @@ impl CharacterizeOptions {
             ior_ranks: 8,
             ior_transfer: 256 * KIB,
             levels: IoLevel::ALL.to_vec(),
+            watchdog: None,
         }
     }
 
@@ -79,7 +130,14 @@ impl CharacterizeOptions {
             ior_ranks: 2,
             ior_transfer: 256 * KIB,
             levels: IoLevel::ALL.to_vec(),
+            watchdog: None,
         }
+    }
+
+    /// Sets the per-run watchdog budgets.
+    pub fn with_watchdog(mut self, watchdog: WatchdogSpec) -> CharacterizeOptions {
+        self.watchdog = Some(watchdog);
+        self
     }
 }
 
@@ -87,13 +145,27 @@ impl CharacterizeOptions {
 const CHARACT_FILE: FileId = FileId(0xC4A2);
 
 /// Runs one scenario on a fresh machine; returns the run stats.
-fn run_fresh(spec: &ClusterSpec, config: &IoConfig, scenario: Scenario) -> RunStats {
+fn run_fresh(
+    spec: &ClusterSpec,
+    config: &IoConfig,
+    scenario: Scenario,
+    watchdog: Option<&WatchdogSpec>,
+) -> Result<RunStats, CharactError> {
     let ranks = scenario.ranks();
-    let mut machine = ClusterMachine::new(spec, config);
+    let workload = scenario.name.clone();
+    let mut machine = ClusterMachine::try_new(spec, config)?;
     let programs = scenario.install(&mut machine);
     let placement = spec.placement(ranks);
     let mut sink = NullSink;
-    Runtime::default().run(&mut machine, &placement, programs, &mut sink)
+    Runtime::default()
+        .run_supervised(
+            &mut machine,
+            &placement,
+            programs,
+            &mut sink,
+            watchdog.map(WatchdogSpec::arm),
+        )
+        .map_err(|abort| CharactError::Aborted { workload, abort })
 }
 
 /// Extracts (rate, iops, latency) from a measurement run.
@@ -128,7 +200,7 @@ fn characterize_fs_level(
     config: &IoConfig,
     opts: &CharacterizeOptions,
     level: IoLevel,
-) -> PerfTable {
+) -> Result<PerfTable, CharactError> {
     let mount = match level {
         IoLevel::LocalFs => Mount::ServerLocal,
         // The global-filesystem level is whatever shared filesystem the
@@ -155,7 +227,7 @@ fn characterize_fs_level(
             for op in [OpType::Write, OpType::Read] {
                 let run = IozoneRun::new(CHARACT_FILE, file_size, record, iozone_pattern(op, mode))
                     .on(mount);
-                let stats = run_fresh(spec, config, run.scenario());
+                let stats = run_fresh(spec, config, run.scenario(), opts.watchdog.as_ref())?;
                 let (rate, iops, latency) = point_metrics(&stats);
                 table.insert(PerfRow {
                     op,
@@ -169,7 +241,7 @@ fn characterize_fs_level(
             }
         }
     }
-    table
+    Ok(table)
 }
 
 /// Characterizes the I/O library level with the IOR sweep.
@@ -177,7 +249,7 @@ fn characterize_library_level(
     spec: &ClusterSpec,
     config: &IoConfig,
     opts: &CharacterizeOptions,
-) -> PerfTable {
+) -> Result<PerfTable, CharactError> {
     let mut table = PerfTable::new();
     for &block in &opts.ior_blocks {
         for op in [OpType::Write, OpType::Read] {
@@ -201,7 +273,7 @@ fn characterize_library_level(
                     Mount::NfsDirect
                 },
             };
-            let stats = run_fresh(spec, config, ior.scenario());
+            let stats = run_fresh(spec, config, ior.scenario(), opts.watchdog.as_ref())?;
             let (rate, iops, latency) = point_metrics(&stats);
             table.insert(PerfRow {
                 op,
@@ -214,7 +286,7 @@ fn characterize_library_level(
             });
         }
     }
-    table
+    Ok(table)
 }
 
 /// Phase 1a: characterizes the I/O system of `spec` under `config` at every
@@ -223,18 +295,18 @@ pub fn characterize_system(
     spec: &ClusterSpec,
     config: &IoConfig,
     opts: &CharacterizeOptions,
-) -> PerfTableSet {
+) -> Result<PerfTableSet, CharactError> {
     let mut set = PerfTableSet::new(spec.name.clone(), config.name.clone());
     for &level in &opts.levels {
         let table = match level {
-            IoLevel::Library => characterize_library_level(spec, config, opts),
+            IoLevel::Library => characterize_library_level(spec, config, opts)?,
             IoLevel::GlobalFs | IoLevel::LocalFs => {
-                characterize_fs_level(spec, config, opts, level)
+                characterize_fs_level(spec, config, opts, level)?
             }
         };
         set.set(level, table);
     }
-    set
+    Ok(set)
 }
 
 /// Phase 1b: characterizes an application by running its scenario under
@@ -244,14 +316,14 @@ pub fn characterize_app(
     config: &IoConfig,
     scenario: Scenario,
     placement: Option<Vec<usize>>,
-) -> AppProfile {
+) -> Result<AppProfile, CharactError> {
     let ranks = scenario.ranks();
-    let mut machine = ClusterMachine::new(spec, config);
+    let mut machine = ClusterMachine::try_new(spec, config)?;
     let programs = scenario.install(&mut machine);
     let placement = placement.unwrap_or_else(|| spec.placement(ranks));
     let mut sink = ProfileSink::new(ranks);
     Runtime::default().run(&mut machine, &placement, programs, &mut sink);
-    sink.finish()
+    Ok(sink.finish())
 }
 
 #[cfg(test)]
@@ -270,11 +342,10 @@ mod tests {
     #[test]
     fn quick_characterization_produces_all_levels() {
         let (spec, config) = quick_setup();
-        let set = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+        let set = characterize_system(&spec, &config, &CharacterizeOptions::quick())
+            .expect("characterization succeeds");
         for level in IoLevel::ALL {
-            let t = set
-                .get(level)
-                .unwrap_or_else(|| panic!("missing {level:?}"));
+            let t = require_level(&set, level).expect("level characterized");
             assert!(!t.is_empty(), "{level:?} table is empty");
             for row in t.rows() {
                 assert!(
@@ -292,7 +363,8 @@ mod tests {
     #[test]
     fn local_fs_is_at_least_as_fast_as_nfs_for_streaming() {
         let (spec, config) = quick_setup();
-        let set = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+        let set = characterize_system(&spec, &config, &CharacterizeOptions::quick())
+            .expect("characterization succeeds");
         let local = set
             .get(IoLevel::LocalFs)
             .unwrap()
@@ -328,7 +400,8 @@ mod tests {
             .with_dumps(2)
             .gflops(50.0);
         let expected_writes: u64 = (0..4).map(|r| bt.simple_ops_per_rank_per_dump(r) * 2).sum();
-        let profile = characterize_app(&spec, &config, bt.scenario(), None);
+        let profile =
+            characterize_app(&spec, &config, bt.scenario(), None).expect("profiling succeeds");
         assert_eq!(profile.numio_write, expected_writes);
         assert_eq!(profile.numio_read, expected_writes);
         assert_eq!(profile.procs, 4);
@@ -343,8 +416,50 @@ mod tests {
     #[test]
     fn deterministic_characterization() {
         let (spec, config) = quick_setup();
-        let a = characterize_system(&spec, &config, &CharacterizeOptions::quick());
-        let b = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+        let a = characterize_system(&spec, &config, &CharacterizeOptions::quick()).unwrap();
+        let b = characterize_system(&spec, &config, &CharacterizeOptions::quick()).unwrap();
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error_not_a_panic() {
+        let spec = presets::test_cluster();
+        let bad = IoConfigBuilder::new(DeviceLayout::Raid5 {
+            disks: 1,
+            stripe: 1,
+        })
+        .build();
+        let err = characterize_system(&spec, &bad, &CharacterizeOptions::quick())
+            .expect_err("invalid config must fail");
+        assert!(matches!(err, CharactError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("invalid cluster configuration"));
+    }
+
+    #[test]
+    fn missing_level_is_a_typed_error() {
+        let set = PerfTableSet::new("test", "JBOD");
+        let err = require_level(&set, IoLevel::Library).expect_err("empty set has no levels");
+        assert_eq!(
+            err,
+            CharactError::MissingLevel {
+                level: IoLevel::Library
+            }
+        );
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn watchdog_abort_surfaces_as_typed_charact_error() {
+        let (spec, config) = quick_setup();
+        // A 1ns simulated deadline: the very first measurement run aborts.
+        let opts = CharacterizeOptions::quick().with_watchdog(WatchdogSpec::sim_deadline(Time(1)));
+        let err = characterize_system(&spec, &config, &opts).expect_err("deadline must trip");
+        match err {
+            CharactError::Aborted { workload, abort } => {
+                assert!(!workload.is_empty());
+                assert!(abort.is_deterministic());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 }

@@ -11,12 +11,45 @@
 
 use crate::perf_table::{IoLevel, OpType, PerfTableSet};
 use crate::trace::{AppProfile, ProfileSink};
-use cluster::{ClusterMachine, ClusterSpec, IoConfig};
+use cluster::{ClusterMachine, ClusterSpec, ConfigError, IoConfig};
 use mpisim::Runtime;
 use serde::{Deserialize, Serialize};
-use simcore::{Bandwidth, Fault, FaultEvent, FaultSchedule, Time};
+use simcore::{Abort, Bandwidth, Fault, FaultEvent, FaultSchedule, Time, WatchdogSpec};
 use storage::RebuildReport;
 use workloads::Scenario;
+
+/// Why an evaluation could not produce a report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// The cluster configuration failed validation.
+    Config(ConfigError),
+    /// The application run was aborted by the watchdog.
+    Aborted {
+        /// The application that was running.
+        app: String,
+        /// Why the watchdog stopped it.
+        abort: Abort,
+    },
+}
+
+impl From<ConfigError> for EvalError {
+    fn from(e: ConfigError) -> Self {
+        EvalError::Config(e)
+    }
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Config(e) => write!(f, "invalid cluster configuration: {e}"),
+            EvalError::Aborted { app, abort } => {
+                write!(f, "evaluation of '{app}' aborted: {abort}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 /// The fault condition an evaluation runs under — the resilience axis of
 /// the methodology. `Healthy` reproduces the paper's measurements; the
@@ -101,6 +134,8 @@ pub struct EvalOptions {
     pub placement: Option<Vec<usize>>,
     /// Fault condition to run under (default: healthy).
     pub faults: FaultScenario,
+    /// Watchdog budgets applied to the run (`None`: none).
+    pub watchdog: Option<WatchdogSpec>,
 }
 
 /// One row of the used-percentage table.
@@ -295,10 +330,10 @@ pub fn evaluate(
     scenario: Scenario,
     tables: &PerfTableSet,
     opts: &EvalOptions,
-) -> EvalReport {
+) -> Result<EvalReport, EvalError> {
     let app = scenario.name.clone();
     let ranks = scenario.ranks();
-    let mut machine = ClusterMachine::new(spec, config);
+    let mut machine = ClusterMachine::try_new(spec, config)?;
     machine.install_faults(opts.faults.schedule());
     let programs = scenario.install(&mut machine);
     let placement = opts
@@ -306,7 +341,18 @@ pub fn evaluate(
         .clone()
         .unwrap_or_else(|| spec.placement(ranks));
     let mut sink = ProfileSink::new(ranks);
-    Runtime::default().run(&mut machine, &placement, programs, &mut sink);
+    Runtime::default()
+        .run_supervised(
+            &mut machine,
+            &placement,
+            programs,
+            &mut sink,
+            opts.watchdog.as_ref().map(WatchdogSpec::arm),
+        )
+        .map_err(|abort| EvalError::Aborted {
+            app: app.clone(),
+            abort,
+        })?;
     let profile = sink.finish();
 
     // Settle faults scheduled after the last I/O op (e.g. a replacement
@@ -323,7 +369,7 @@ pub fn evaluate(
 
     let usage = usage_table(&profile, tables);
     let marker_usage = marker_usage_table(&profile, tables);
-    EvalReport {
+    Ok(EvalReport {
         cluster: spec.name.clone(),
         config: config.name.clone(),
         app,
@@ -338,7 +384,7 @@ pub fn evaluate(
         io_errors: machine.io_errors(),
         client_retries: machine.client_retries(),
         rebuild,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -417,7 +463,7 @@ mod tests {
     fn end_to_end_btio_eval_on_test_cluster() {
         let spec = presets::test_cluster();
         let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
-        let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+        let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick()).unwrap();
         let bt = BtIo::new(BtClass::S, 4, BtSubtype::Full)
             .with_dumps(4)
             .gflops(50.0);
@@ -427,7 +473,8 @@ mod tests {
             bt.scenario(),
             &tables,
             &EvalOptions::default(),
-        );
+        )
+        .expect("healthy evaluation succeeds");
         assert!(report.exec_time > Time::ZERO);
         assert!(report.io_time > Time::ZERO);
         assert!(report.io_time <= report.exec_time);
@@ -453,6 +500,7 @@ mod tests {
                 &tables,
                 &EvalOptions::default(),
             )
+            .expect("evaluation succeeds")
         };
         let full = run(BtSubtype::Full);
         let simple = run(BtSubtype::Simple);
@@ -539,6 +587,49 @@ mod tests {
             ..EvalOptions::default()
         };
         evaluate(&spec, &config, ior.scenario(), &fake_tables(100), &opts)
+            .expect("evaluation succeeds")
+    }
+
+    #[test]
+    fn watchdog_abort_surfaces_as_typed_eval_error() {
+        use workloads::{Ior, IorOp};
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
+        let ior = Ior::new(2, fs::FileId(41), 8 * MIB, IorOp::Write);
+        let opts = EvalOptions {
+            watchdog: Some(WatchdogSpec::sim_deadline(Time(1))),
+            ..EvalOptions::default()
+        };
+        let err = evaluate(&spec, &config, ior.scenario(), &fake_tables(100), &opts)
+            .expect_err("deadline must trip");
+        match err {
+            EvalError::Aborted { app, abort } => {
+                assert!(!app.is_empty());
+                assert!(matches!(abort, Abort::SimDeadline { .. }));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_eval_error() {
+        use workloads::{Ior, IorOp};
+        let spec = presets::test_cluster();
+        let bad = IoConfigBuilder::new(DeviceLayout::Raid5 {
+            disks: 1,
+            stripe: 1,
+        })
+        .build();
+        let ior = Ior::new(2, fs::FileId(42), MIB, IorOp::Write);
+        let err = evaluate(
+            &spec,
+            &bad,
+            ior.scenario(),
+            &fake_tables(100),
+            &EvalOptions::default(),
+        )
+        .expect_err("invalid config must fail");
+        assert!(matches!(err, EvalError::Config(_)), "{err:?}");
     }
 
     #[test]

@@ -32,14 +32,21 @@ pub mod charact;
 pub mod eval;
 pub mod perf_table;
 pub mod report;
+pub mod supervise;
 pub mod trace;
 pub mod trace_export;
 
 pub use advisor::{predict, rank_configs, Prediction};
-pub use campaign::{run_campaign, Campaign};
-pub use charact::{characterize_app, characterize_system, CharacterizeOptions};
-pub use eval::{evaluate, EvalOptions, EvalReport, FaultScenario, UsageRow};
+pub use campaign::{
+    run_campaign, run_campaign_supervised, Campaign, CampaignCell, CellOutcome, CellStore,
+    MemStore, NoStore, SuperviseOptions,
+};
+pub use charact::{
+    characterize_app, characterize_system, require_level, CharactError, CharacterizeOptions,
+};
+pub use eval::{evaluate, EvalError, EvalOptions, EvalReport, FaultScenario, UsageRow};
 pub use perf_table::{AccessMode, AccessType, IoLevel, OpType, PerfRow, PerfTable, PerfTableSet};
 pub use report::render_resilience_table;
+pub use supervise::run_isolated;
 pub use trace::{AppProfile, PhaseReport, ProfileSink};
 pub use trace_export::ChromeTraceSink;

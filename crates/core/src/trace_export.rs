@@ -208,7 +208,8 @@ mod tests {
 
         let spec = presets::test_cluster();
         let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
-        let mut machine = ClusterMachine::new(&spec, &config);
+        let mut machine =
+            ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
         let sc = BtIo::new(BtClass::S, 4, BtSubtype::Full)
             .with_dumps(2)
             .gflops(50.0)

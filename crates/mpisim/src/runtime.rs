@@ -5,7 +5,7 @@ use crate::op::{MpiOp, OpStream, Rank};
 use crate::trace::{TraceEvent, TraceKind, TraceSink};
 use fs::FileId;
 use netsim::NodeId;
-use simcore::{EventQueue, Time};
+use simcore::{Abort, EventQueue, Time, Watchdog};
 use std::collections::{HashMap, VecDeque};
 
 /// Runtime tunables (MPICH-like defaults).
@@ -167,6 +167,27 @@ impl Runtime {
         programs: Vec<Box<dyn OpStream>>,
         sink: &mut dyn TraceSink,
     ) -> RunStats {
+        match self.run_supervised(machine, placement, programs, sink, None) {
+            Ok(stats) => stats,
+            Err(abort) => unreachable!("run without a watchdog cannot abort: {abort}"),
+        }
+    }
+
+    /// Like [`Runtime::run`], but every executed primitive is reported to
+    /// `watchdog`; the run aborts with the watchdog's [`Abort`] the moment
+    /// a simulated-time deadline, wall-clock budget, or livelock stall
+    /// limit is exceeded. The watchdog is consulted both between events and
+    /// inside the zero-cost inline stepping loop, so a rank spinning on
+    /// free operations (a livelock) is caught even though it never returns
+    /// to the event queue.
+    pub fn run_supervised(
+        &self,
+        machine: &mut dyn Machine,
+        placement: &[NodeId],
+        programs: Vec<Box<dyn OpStream>>,
+        sink: &mut dyn TraceSink,
+        watchdog: Option<Watchdog>,
+    ) -> Result<RunStats, Abort> {
         assert_eq!(
             placement.len(),
             programs.len(),
@@ -204,12 +225,20 @@ impl Runtime {
             bcast: Vec::new(),
             allreduce: Vec::new(),
             colls: HashMap::new(),
+            watchdog,
+            abort: None,
         };
         for r in 0..world {
             exec.queue.schedule(Time::ZERO, r);
         }
         while let Some((t, rank)) = exec.queue.pop() {
+            if !exec.guard(t) {
+                break;
+            }
             exec.resume(rank, t);
+        }
+        if let Some(abort) = exec.abort {
+            return Err(abort);
         }
         let mut stats = RunStats {
             wall_time: Time::ZERO,
@@ -225,7 +254,7 @@ impl Runtime {
             stats.wall_time = stats.wall_time.max(ctx.t);
             stats.per_rank.push(ctx.stats.clone());
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -251,9 +280,28 @@ struct Exec<'a> {
     allreduce: Vec<(Rank, Time)>,
     /// Collective I/O arrivals per (file, is_write).
     colls: HashMap<(u64, bool), CollState>,
+    /// Supervision: observes every executed primitive.
+    watchdog: Option<Watchdog>,
+    /// Set once the watchdog demands an abort; stops all further stepping.
+    abort: Option<Abort>,
 }
 
 impl Exec<'_> {
+    /// Reports progress at simulated instant `now`; `false` means the run
+    /// has been aborted and no more work may execute.
+    fn guard(&mut self, now: Time) -> bool {
+        if self.abort.is_some() {
+            return false;
+        }
+        if let Some(w) = self.watchdog.as_mut() {
+            if let Err(a) = w.observe(now) {
+                self.abort = Some(a);
+                return false;
+            }
+        }
+        true
+    }
+
     fn emit(&mut self, rank: Rank, start: Time, end: Time, kind: TraceKind) {
         self.sink.record(TraceEvent {
             rank,
@@ -351,6 +399,12 @@ impl Exec<'_> {
     /// take no simulated time run inline.
     fn step(&mut self, rank: Rank) {
         loop {
+            // Zero-cost ops run inline without returning to the event
+            // queue, so the watchdog must also be consulted here or a
+            // livelocked rank would spin forever.
+            if !self.guard(self.ranks[rank].t) {
+                return;
+            }
             let op = match self.ranks[rank].stream.next_op() {
                 Some(op) => op,
                 None => {
@@ -1367,5 +1421,91 @@ mod tests {
         let mut machine = FixedMachine::new(1);
         let mut sink = VecSink::new();
         Runtime::default().run(&mut machine, &[0, 0], vec![boxed(vec![])], &mut sink);
+    }
+
+    use simcore::WatchdogSpec;
+
+    /// A rank that forever yields zero-cost ops: the event loop spins
+    /// without simulated time ever advancing.
+    struct LivelockStream;
+
+    impl OpStream for LivelockStream {
+        fn next_op(&mut self) -> Option<MpiOp> {
+            Some(MpiOp::Marker(0))
+        }
+    }
+
+    /// A sink that drops everything (livelock tests would otherwise
+    /// accumulate millions of trace events).
+    struct NullSink;
+
+    impl crate::trace::TraceSink for NullSink {
+        fn record(&mut self, _event: TraceEvent) {}
+    }
+
+    #[test]
+    fn supervised_run_matches_plain_run() {
+        let programs = || {
+            vec![
+                vec![
+                    MpiOp::Compute(Time::from_secs(1)),
+                    MpiOp::Send {
+                        dst: 1,
+                        bytes: 100,
+                        tag: 0,
+                    },
+                ],
+                vec![MpiOp::Recv { src: 0, tag: 0 }],
+            ]
+        };
+        let (plain, _) = run(&[0, 1], programs());
+        let mut machine = FixedMachine::new(2);
+        let mut sink = VecSink::new();
+        let supervised = Runtime::default()
+            .run_supervised(
+                &mut machine,
+                &[0, 1],
+                programs().into_iter().map(boxed).collect(),
+                &mut sink,
+                Some(WatchdogSpec::sim_deadline(Time::from_secs(3600)).arm()),
+            )
+            .expect("healthy run must not abort");
+        assert_eq!(plain.wall_time, supervised.wall_time);
+        assert_eq!(plain.per_rank.len(), supervised.per_rank.len());
+    }
+
+    #[test]
+    fn livelocked_rank_is_aborted_as_stalled() {
+        let mut machine = FixedMachine::new(1);
+        let mut sink = NullSink;
+        let wd = WatchdogSpec::default().with_stall_limit(50_000).arm();
+        let err = Runtime::default()
+            .run_supervised(
+                &mut machine,
+                &[0],
+                vec![Box::new(LivelockStream)],
+                &mut sink,
+                Some(wd),
+            )
+            .expect_err("livelock must abort");
+        assert!(matches!(err, simcore::Abort::Stalled { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn runaway_compute_is_aborted_at_the_sim_deadline() {
+        let ops = vec![MpiOp::Compute(Time::from_secs(1)); 1000];
+        let mut machine = FixedMachine::new(1);
+        let mut sink = NullSink;
+        let wd = WatchdogSpec::sim_deadline(Time::from_secs(5)).arm();
+        let err = Runtime::default()
+            .run_supervised(&mut machine, &[0], vec![boxed(ops)], &mut sink, Some(wd))
+            .expect_err("runaway compute must abort");
+        match err {
+            simcore::Abort::SimDeadline { deadline, now } => {
+                assert_eq!(deadline, Time::from_secs(5));
+                assert!(now > deadline);
+            }
+            other => panic!("unexpected abort {other:?}"),
+        }
     }
 }

@@ -15,8 +15,12 @@
 //!   identical traces.
 //! * [`stats`] — online statistics, histograms and utilization meters used by
 //!   the characterization reports.
+//! * [`Watchdog`] — supervised-run budgets (simulated-time deadline,
+//!   wall-clock budget, livelock/stall detection) so runaway simulations
+//!   abort with a typed [`Abort`] instead of hanging a campaign.
 
 pub mod faults;
+pub mod progress;
 pub mod queue;
 pub mod resource;
 pub mod rng;
@@ -24,6 +28,7 @@ pub mod stats;
 pub mod time;
 
 pub use faults::{Fault, FaultEvent, FaultProfile, FaultSchedule, NetClass};
+pub use progress::{Abort, Watchdog, WatchdogSpec};
 pub use queue::EventQueue;
 pub use resource::{FifoResource, MultiResource};
 pub use rng::SplitMix64;

@@ -1,0 +1,268 @@
+//! Watchdog deadlines for supervised simulation runs.
+//!
+//! Long measurement campaigns die in two characteristic ways: a cell's
+//! simulation *livelocks* (the event loop keeps spinning without advancing
+//! simulated time — e.g. an op stream that yields zero-cost operations
+//! forever) or it *runs away* (simulated time advances but never reaches
+//! the end — e.g. a misconfigured workload computing for simulated years).
+//! A [`Watchdog`] observes every executed primitive and aborts the run the
+//! moment one of three budgets is exhausted:
+//!
+//! * a **simulated-time deadline** — the run's clock may not pass it;
+//! * a **wall-clock budget** — host time spent inside the run;
+//! * a **stall limit** — consecutive observations without any simulated
+//!   progress (the livelock detector).
+//!
+//! The supervisor (e.g. the campaign runner) converts the returned
+//! [`Abort`] into a typed cell outcome instead of losing the whole
+//! campaign. [`WatchdogSpec`] is the cloneable recipe carried inside
+//! options structs; [`WatchdogSpec::arm`] mints the stateful watchdog for
+//! one run.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Why a supervised run was aborted.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Abort {
+    /// Simulated time passed the configured deadline.
+    SimDeadline {
+        /// The configured deadline (ns of simulated time).
+        deadline: Time,
+        /// The simulated instant that tripped the check.
+        now: Time,
+    },
+    /// The run consumed its host wall-clock budget.
+    WallBudget {
+        /// The configured budget in milliseconds.
+        budget_ms: u64,
+    },
+    /// The event loop made `events` consecutive observations without any
+    /// simulated-time progress: a livelocked run.
+    Stalled {
+        /// Consecutive no-progress observations.
+        events: u64,
+        /// The simulated instant the clock was stuck at.
+        at: Time,
+    },
+}
+
+impl Abort {
+    /// Whether re-running the same cell can possibly change the outcome.
+    /// Simulated-time aborts are deterministic; only wall-clock budgets
+    /// depend on host conditions.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(self, Abort::WallBudget { .. })
+    }
+}
+
+impl std::fmt::Display for Abort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Abort::SimDeadline { deadline, now } => {
+                write!(f, "simulated deadline {deadline} exceeded at {now}")
+            }
+            Abort::WallBudget { budget_ms } => {
+                write!(f, "wall-clock budget {budget_ms}ms exhausted")
+            }
+            Abort::Stalled { events, at } => {
+                write!(f, "livelock: {events} events without progress at {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Cloneable watchdog recipe (carried by options structs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatchdogSpec {
+    /// Abort once simulated time passes this instant (`None`: no limit).
+    pub sim_deadline: Option<Time>,
+    /// Abort once the run has spent this much host time (`None`: no limit).
+    pub wall_budget_ms: Option<u64>,
+    /// Abort after this many consecutive observations without simulated
+    /// progress. High enough that legitimate zero-cost bursts (markers,
+    /// parked collectives) never trip it.
+    pub stall_limit: u64,
+}
+
+impl Default for WatchdogSpec {
+    fn default() -> Self {
+        WatchdogSpec {
+            sim_deadline: None,
+            wall_budget_ms: None,
+            stall_limit: 10_000_000,
+        }
+    }
+}
+
+impl WatchdogSpec {
+    /// A spec with only the simulated-time deadline set.
+    pub fn sim_deadline(deadline: Time) -> WatchdogSpec {
+        WatchdogSpec {
+            sim_deadline: Some(deadline),
+            ..WatchdogSpec::default()
+        }
+    }
+
+    /// Sets the wall-clock budget in milliseconds.
+    pub fn with_wall_budget_ms(mut self, ms: u64) -> WatchdogSpec {
+        self.wall_budget_ms = Some(ms);
+        self
+    }
+
+    /// Sets the livelock stall limit.
+    pub fn with_stall_limit(mut self, events: u64) -> WatchdogSpec {
+        self.stall_limit = events.max(1);
+        self
+    }
+
+    /// Mints the stateful watchdog for one run (starts the wall clock).
+    pub fn arm(&self) -> Watchdog {
+        Watchdog {
+            spec: self.clone(),
+            started: std::time::Instant::now(),
+            last_progress: Time::ZERO,
+            stalled: 0,
+            observations: 0,
+        }
+    }
+}
+
+/// Stateful per-run watchdog; feed it every executed primitive.
+#[derive(Clone, Debug)]
+pub struct Watchdog {
+    spec: WatchdogSpec,
+    started: std::time::Instant,
+    last_progress: Time,
+    stalled: u64,
+    observations: u64,
+}
+
+/// How often (in observations) the host clock is sampled; `Instant::now`
+/// is too expensive to call per simulated primitive.
+const WALL_CHECK_MASK: u64 = 0xFFF;
+
+impl Watchdog {
+    /// Observes the run at simulated instant `now`; `Err` demands an abort.
+    pub fn observe(&mut self, now: Time) -> Result<(), Abort> {
+        self.observations += 1;
+        if now > self.last_progress {
+            self.last_progress = now;
+            self.stalled = 0;
+        } else {
+            self.stalled += 1;
+            if self.stalled >= self.spec.stall_limit {
+                return Err(Abort::Stalled {
+                    events: self.stalled,
+                    at: self.last_progress,
+                });
+            }
+        }
+        if let Some(deadline) = self.spec.sim_deadline {
+            if now > deadline {
+                return Err(Abort::SimDeadline { deadline, now });
+            }
+        }
+        if let Some(budget_ms) = self.spec.wall_budget_ms {
+            if self.observations & WALL_CHECK_MASK == 0
+                && self.started.elapsed().as_millis() as u64 >= budget_ms
+            {
+                return Err(Abort::WallBudget { budget_ms });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total observations so far (diagnostics).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_watchdog_never_aborts() {
+        let mut w = WatchdogSpec::default().arm();
+        for i in 0..10_000u64 {
+            w.observe(Time(i)).unwrap();
+        }
+        assert_eq!(w.observations(), 10_000);
+    }
+
+    #[test]
+    fn sim_deadline_trips_once_passed() {
+        let mut w = WatchdogSpec::sim_deadline(Time::from_secs(1)).arm();
+        w.observe(Time::from_secs(1)).unwrap(); // at the deadline: fine
+        let err = w.observe(Time::from_secs(2)).unwrap_err();
+        assert!(matches!(err, Abort::SimDeadline { .. }));
+        assert!(err.is_deterministic());
+        assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn stall_limit_detects_livelock() {
+        let mut w = WatchdogSpec::default().with_stall_limit(100).arm();
+        w.observe(Time::from_millis(5)).unwrap();
+        let mut aborted = None;
+        for _ in 0..200 {
+            if let Err(a) = w.observe(Time::from_millis(5)) {
+                aborted = Some(a);
+                break;
+            }
+        }
+        match aborted.expect("stall must abort") {
+            Abort::Stalled { events, at } => {
+                assert_eq!(events, 100);
+                assert_eq!(at, Time::from_millis(5));
+            }
+            other => panic!("unexpected abort {other:?}"),
+        }
+    }
+
+    #[test]
+    fn progress_resets_the_stall_counter() {
+        let mut w = WatchdogSpec::default().with_stall_limit(10).arm();
+        for i in 0..100u64 {
+            // Advance every 5th observation: never 10 stalls in a row.
+            let t = Time(i / 5);
+            w.observe(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn wall_budget_abort_is_not_deterministic() {
+        let a = Abort::WallBudget { budget_ms: 10 };
+        assert!(!a.is_deterministic());
+    }
+
+    #[test]
+    fn zero_wall_budget_trips_on_the_sampled_observation() {
+        let mut w = WatchdogSpec::default().with_wall_budget_ms(0).arm();
+        let mut tripped = false;
+        // The host clock is only sampled every WALL_CHECK_MASK+1
+        // observations; a zero budget must trip on the first sample.
+        for _ in 0..=(WALL_CHECK_MASK + 1) {
+            if w.observe(Time(w.observations() + 1)).is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped);
+    }
+
+    #[test]
+    fn abort_serializes_roundtrip() {
+        let a = Abort::SimDeadline {
+            deadline: Time::from_secs(3),
+            now: Time::from_secs(4),
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Abort = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

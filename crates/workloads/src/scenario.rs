@@ -46,7 +46,8 @@ mod tests {
     fn install_applies_mounts_and_prealloc() {
         let spec = presets::test_cluster();
         let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
-        let mut machine = ClusterMachine::new(&spec, &config);
+        let mut machine =
+            ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
         let s = Scenario {
             name: "t".into(),
             programs: vec![Box::new(VecStream::new(vec![]))],

@@ -33,7 +33,7 @@ fn main() {
     );
 
     for config in cluster::config::aohyper_configs() {
-        let tables = characterize_system(&spec, &config, &opts);
+        let tables = characterize_system(&spec, &config, &opts).expect("characterization");
         for subtype in [BtSubtype::Full, BtSubtype::Simple] {
             let rep = evaluate(
                 &spec,
@@ -41,7 +41,8 @@ fn main() {
                 btio(subtype).scenario(),
                 &tables,
                 &EvalOptions::default(),
-            );
+            )
+            .expect("evaluation");
             let lib_w = rep
                 .usage_summary(OpType::Write, IoLevel::Library)
                 .unwrap_or(0.0);

@@ -34,7 +34,7 @@ fn main() {
             .on(Mount::Pfs);
         // Metrics only — no usage table needed for the sweep, so profile
         // the app directly instead of characterizing every deployment.
-        let profile = characterize_app(&spec, &config, bt.scenario(), None);
+        let profile = characterize_app(&spec, &config, bt.scenario(), None).expect("profile");
         println!(
             "{:>10} {:>12} {:>12} {:>7.1}% {:>14} {:>14}",
             servers,

@@ -39,7 +39,7 @@ fn main() {
     );
 
     for config in cluster::config::aohyper_configs() {
-        let tables = characterize_system(&spec, &config, &opts);
+        let tables = characterize_system(&spec, &config, &opts).expect("characterization");
         for ft in [FileType::Unique, FileType::Shared] {
             let rep = evaluate(
                 &spec,
@@ -47,7 +47,8 @@ fn main() {
                 mb(ft).scenario(),
                 &tables,
                 &EvalOptions::default(),
-            );
+            )
+            .expect("evaluation");
             let rate = |marker, op| {
                 rep.profile
                     .per_marker

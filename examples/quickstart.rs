@@ -19,14 +19,14 @@ fn main() {
 
     // ---- Phase 1a: system characterization -----------------------------
     let opts = CharacterizeOptions::quick();
-    let tables = characterize_system(&spec, &config, &opts);
+    let tables = characterize_system(&spec, &config, &opts).expect("characterization");
     println!("{}", report::render_table_set(&tables));
 
     // ---- Phase 1b: application characterization ------------------------
     let app = BtIo::new(BtClass::S, 4, BtSubtype::Full)
         .with_dumps(4)
         .gflops(10.0);
-    let profile = characterize_app(&spec, &config, app.scenario(), None);
+    let profile = characterize_app(&spec, &config, app.scenario(), None).expect("profile");
     println!("=== Application characterization (NAS BT-IO class S) ===");
     println!("{}", report::render_app_profile(&profile));
 
@@ -40,7 +40,8 @@ fn main() {
         app.scenario(),
         &tables,
         &EvalOptions::default(),
-    );
+    )
+    .expect("evaluation");
     println!("=== Evaluation ===");
     println!(
         "execution time {}   I/O time {} ({:.1}% of runtime)",

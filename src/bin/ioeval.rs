@@ -169,7 +169,8 @@ fn characterize(args: &[String]) {
         opts.modes.len(),
         opts.ior_blocks.len()
     );
-    let tables = characterize_system(&spec, &config, &opts);
+    let tables = characterize_system(&spec, &config, &opts)
+        .unwrap_or_else(|e| die(&format!("characterization failed: {e}")));
     println!("{}", report::render_table_set(&tables));
     if let Some(path) = flag(args, "--out") {
         std::fs::write(&path, tables.to_json())
@@ -210,7 +211,8 @@ fn evaluate_cmd(args: &[String]) {
     if let Some(trace_path) = flag(args, "--trace") {
         use cluster_io_eval::methodology::ChromeTraceSink;
         use cluster_io_eval::mpisim::Runtime;
-        let mut machine = ClusterMachine::new(&spec, &config);
+        let mut machine =
+            ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
         let programs = app.install(&mut machine);
         let mut sink = ChromeTraceSink::new(2_000_000);
         Runtime::default().run(&mut machine, &spec.placement(procs), programs, &mut sink);
@@ -227,7 +229,8 @@ fn evaluate_cmd(args: &[String]) {
         );
         return;
     }
-    let rep = evaluate(&spec, &config, app, &tables, &EvalOptions::default());
+    let rep = evaluate(&spec, &config, app, &tables, &EvalOptions::default())
+        .unwrap_or_else(|e| die(&format!("evaluation failed: {e}")));
     println!("application:   {name}");
     println!(
         "execution {}   I/O {} ({:.1}% of runtime)   write {}   read {}",
@@ -280,7 +283,8 @@ fn advise(args: &[String]) {
     let app = app_by_name(&app_name, procs, has(args, "--quick"));
     let any_config = config_by_name("jbod");
     eprintln!("[ioeval] profiling {app_name} ...");
-    let profile = characterize_app(&spec, &any_config, app, None);
+    let profile = characterize_app(&spec, &any_config, app, None)
+        .unwrap_or_else(|e| die(&format!("profiling failed: {e}")));
 
     let ranked = cluster_io_eval::methodology::advisor::rank_configs(&profile, sets.iter());
     if ranked.is_empty() {

@@ -27,15 +27,19 @@
 //! let spec = cluster::presets::test_cluster();
 //! let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
 //!
-//! // Phase 1a: characterize the system's I/O path levels.
-//! let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+//! // Phase 1a: characterize the system's I/O path levels. Both phases
+//! // return typed errors (bad configuration, watchdog abort) instead of
+//! // panicking.
+//! let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick())
+//!     .expect("valid configuration, no watchdog");
 //! assert!(tables.get(IoLevel::LocalFs).is_some());
 //!
 //! // Phase 3: evaluate an application against the characterization.
 //! let app = workloads::BtIo::new(workloads::BtClass::S, 4, workloads::BtSubtype::Full)
 //!     .with_dumps(2)
 //!     .gflops(50.0);
-//! let report = evaluate(&spec, &config, app.scenario(), &tables, &EvalOptions::default());
+//! let report = evaluate(&spec, &config, app.scenario(), &tables, &EvalOptions::default())
+//!     .expect("valid configuration, no watchdog");
 //! assert!(report.usage_summary(OpType::Write, IoLevel::Library).is_some());
 //! ```
 
@@ -55,18 +59,21 @@ pub mod prelude {
         NetworkLayout,
     };
     pub use crate::methodology::advisor::{predict, rank_configs, Prediction};
-    pub use crate::methodology::campaign::{run_campaign, AppFactory, Campaign};
-    pub use crate::methodology::charact::{
-        characterize_app, characterize_system, CharacterizeOptions,
+    pub use crate::methodology::campaign::{
+        run_campaign, run_campaign_supervised, AppFactory, Campaign, CampaignCell, CellOutcome,
+        CellStore, MemStore, NoStore, SuperviseOptions,
     };
-    pub use crate::methodology::eval::{evaluate, EvalOptions, EvalReport, UsageRow};
+    pub use crate::methodology::charact::{
+        characterize_app, characterize_system, CharactError, CharacterizeOptions,
+    };
+    pub use crate::methodology::eval::{evaluate, EvalError, EvalOptions, EvalReport, UsageRow};
     pub use crate::methodology::perf_table::{
         AccessMode, AccessType, IoLevel, OpType, PerfRow, PerfTable, PerfTableSet,
     };
     pub use crate::methodology::report;
     pub use crate::methodology::trace::{AppProfile, PhaseReport, ProfileSink};
     pub use crate::methodology::trace_export::ChromeTraceSink;
-    pub use crate::simcore::{Bandwidth, Time, GIB, KIB, MIB};
+    pub use crate::simcore::{Abort, Bandwidth, Time, Watchdog, WatchdogSpec, GIB, KIB, MIB};
     pub use crate::workloads::{
         self, BtClass, BtIo, BtSubtype, FileType, Ior, IozonePattern, IozoneRun, MadBench, Scenario,
     };

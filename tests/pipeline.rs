@@ -15,7 +15,8 @@ fn jbod() -> IoConfig {
 fn characterization_covers_all_levels_with_positive_rates() {
     let spec = test_spec();
     let config = jbod();
-    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick())
+        .expect("characterization");
     for level in IoLevel::ALL {
         let t = tables.get(level).expect("level characterized");
         assert!(!t.is_empty());
@@ -31,7 +32,8 @@ fn characterization_covers_all_levels_with_positive_rates() {
 fn performance_tables_roundtrip_through_json_files() {
     let spec = test_spec();
     let config = jbod();
-    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick())
+        .expect("characterization");
     let json = tables.to_json();
     let back = PerfTableSet::from_json(&json).expect("parse back");
     assert_eq!(back.to_json(), json);
@@ -41,7 +43,8 @@ fn performance_tables_roundtrip_through_json_files() {
 fn btio_full_beats_simple_end_to_end() {
     let spec = test_spec();
     let config = jbod();
-    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick())
+        .expect("characterization");
     let run = |subtype| {
         let bt = BtIo::new(BtClass::S, 4, subtype).with_dumps(4).gflops(20.0);
         evaluate(
@@ -51,6 +54,7 @@ fn btio_full_beats_simple_end_to_end() {
             &tables,
             &EvalOptions::default(),
         )
+        .expect("evaluation")
     };
     let full = run(BtSubtype::Full);
     let simple = run(BtSubtype::Simple);
@@ -79,7 +83,7 @@ fn btio_profile_matches_table_geometry() {
         .with_dumps(3)
         .gflops(20.0);
     let expected: u64 = (0..4).map(|r| bt.simple_ops_per_rank_per_dump(r) * 3).sum();
-    let profile = characterize_app(&spec, &config, bt.scenario(), None);
+    let profile = characterize_app(&spec, &config, bt.scenario(), None).expect("profile");
     assert_eq!(profile.numio_write, expected);
     assert_eq!(profile.numio_read, expected);
     assert_eq!(profile.num_files, 1);
@@ -95,7 +99,8 @@ fn btio_profile_matches_table_geometry() {
 fn madbench_unique_rereads_hit_the_cache_shared_reads_do_too() {
     let spec = test_spec();
     let config = jbod();
-    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick())
+        .expect("characterization");
     // Small matrices: everything fits in the client caches (the paper's
     // "reading operations are done on buffer/cache" situation).
     let mb = MadBench::new(4, FileType::Unique).with_kpix(1);
@@ -105,7 +110,8 @@ fn madbench_unique_rereads_hit_the_cache_shared_reads_do_too() {
         mb.scenario(),
         &tables,
         &EvalOptions::default(),
-    );
+    )
+    .expect("evaluation");
     let w_r = rep
         .marker_usage_of(1, OpType::Read, IoLevel::LocalFs)
         .expect("W_r usage");
@@ -117,7 +123,7 @@ fn madbench_phase_structure_is_captured() {
     let spec = test_spec();
     let config = jbod();
     let mb = MadBench::new(4, FileType::Shared).with_kpix(1);
-    let profile = characterize_app(&spec, &config, mb.scenario(), None);
+    let profile = characterize_app(&spec, &config, mb.scenario(), None).expect("profile");
     // 8 writes (S) + 8 reads + 8 writes (W) + 8 reads (C) per process.
     assert_eq!(profile.numio_write, 4 * 16);
     assert_eq!(profile.numio_read, 4 * 16);
@@ -144,8 +150,8 @@ fn raid5_config_beats_jbod_for_streaming_writes() {
     })
     .build();
     let opts = CharacterizeOptions::quick();
-    let t_jbod = characterize_system(&spec, &jbod(), &opts);
-    let t_raid5 = characterize_system(&spec, &raid5, &opts);
+    let t_jbod = characterize_system(&spec, &jbod(), &opts).expect("characterization");
+    let t_raid5 = characterize_system(&spec, &raid5, &opts).expect("characterization");
     let rate = |t: &PerfTableSet| {
         t.get(IoLevel::LocalFs)
             .unwrap()
@@ -170,7 +176,8 @@ fn raid5_config_beats_jbod_for_streaming_writes() {
 fn evaluation_is_deterministic() {
     let spec = test_spec();
     let config = jbod();
-    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick())
+        .expect("characterization");
     let run = || {
         let bt = BtIo::new(BtClass::S, 4, BtSubtype::Full)
             .with_dumps(3)
@@ -181,7 +188,8 @@ fn evaluation_is_deterministic() {
             bt.scenario(),
             &tables,
             &EvalOptions::default(),
-        );
+        )
+        .expect("evaluation");
         (rep.exec_time, rep.io_time, format!("{:?}", rep.usage))
     };
     assert_eq!(run(), run());
@@ -191,7 +199,8 @@ fn evaluation_is_deterministic() {
 fn usage_search_follows_fig11_on_real_tables() {
     let spec = test_spec();
     let config = jbod();
-    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick());
+    let tables = characterize_system(&spec, &config, &CharacterizeOptions::quick())
+        .expect("characterization");
     let t = tables.get(IoLevel::LocalFs).unwrap();
     // Quick options characterize 64 KiB and 1 MiB records. A 100 KiB
     // application block must resolve to the closest upper row (1 MiB).
@@ -229,7 +238,8 @@ fn shared_network_hurts_io_heavy_apps() {
         let bt = BtIo::new(BtClass::A, 4, BtSubtype::Full)
             .with_dumps(4)
             .gflops(20.0);
-        let mut machine = cluster::ClusterMachine::new(&spec, config);
+        let mut machine =
+            cluster::ClusterMachine::try_new(&spec, config).expect("valid cluster configuration");
         let programs = bt.scenario().install(&mut machine);
         let placement = spec.placement(4);
         let mut sink = cluster_io_eval::mpisim::NullSink;
@@ -266,14 +276,14 @@ fn advisor_ranking_matches_simulation_order() {
     let opts = CharacterizeOptions::quick();
     let table_sets: Vec<PerfTableSet> = configs
         .iter()
-        .map(|c| characterize_system(&spec, c, &opts))
+        .map(|c| characterize_system(&spec, c, &opts).expect("characterization"))
         .collect();
 
     // A write-heavy checkpoint app: server-device-bound once past caches.
     let app = || {
         MadBench::new(4, FileType::Shared).with_kpix(2) // 32 MiB components
     };
-    let profile = characterize_app(&spec, &configs[0], app().scenario(), None);
+    let profile = characterize_app(&spec, &configs[0], app().scenario(), None).expect("profile");
 
     let ranked = rank_configs(&profile, table_sets.iter());
     assert_eq!(ranked.len(), 2);
@@ -283,7 +293,8 @@ fn advisor_ranking_matches_simulation_order() {
         .iter()
         .zip(&table_sets)
         .map(|(c, t)| {
-            let rep = evaluate(&spec, c, app().scenario(), t, &EvalOptions::default());
+            let rep = evaluate(&spec, c, app().scenario(), t, &EvalOptions::default())
+                .expect("evaluation");
             (c.name.clone(), rep.io_time)
         })
         .collect();
@@ -312,7 +323,7 @@ fn parallel_fs_rescues_the_simple_subtype() {
             .with_dumps(4)
             .gflops(20.0)
             .on(mount);
-        characterize_app(&spec, config, bt.scenario(), None)
+        characterize_app(&spec, config, bt.scenario(), None).expect("profile")
     };
     let on_nfs = run(&nfs_config, Mount::NfsDirect);
     let on_pfs = run(&pfs_config, Mount::Pfs);
@@ -331,7 +342,8 @@ fn parallel_fs_rescues_the_simple_subtype() {
 fn pfs_configs_characterize_their_own_architecture() {
     let spec = test_spec();
     let pfs_config = IoConfigBuilder::new(DeviceLayout::Jbod).pfs(2).build();
-    let tables = characterize_system(&spec, &pfs_config, &CharacterizeOptions::quick());
+    let tables = characterize_system(&spec, &pfs_config, &CharacterizeOptions::quick())
+        .expect("characterization");
     // All three levels characterized against the PFS deployment.
     for level in IoLevel::ALL {
         assert!(tables.get(level).is_some(), "{level:?} missing");
@@ -348,7 +360,8 @@ fn pfs_configs_characterize_their_own_architecture() {
         bt.scenario(),
         &tables,
         &EvalOptions::default(),
-    );
+    )
+    .expect("evaluation");
     let lib = rep
         .usage_summary(OpType::Write, IoLevel::Library)
         .expect("library usage");
@@ -362,7 +375,7 @@ fn bonnie_tests_have_expected_cost_ordering() {
     let config = jbod();
     let run = |test| {
         let b = Bonnie::new(cluster_io_eval::fs::FileId(31), 64 * MIB, test);
-        characterize_app(&spec, &config, b.scenario(), None)
+        characterize_app(&spec, &config, b.scenario(), None).expect("profile")
     };
     let output = run(BonnieTest::SeqOutput);
     let input = run(BonnieTest::SeqInput);
@@ -404,7 +417,7 @@ fn ior_collective_and_independent_both_complete() {
         if collective {
             ior = ior.collective();
         }
-        let profile = characterize_app(&spec, &config, ior.scenario(), None);
+        let profile = characterize_app(&spec, &config, ior.scenario(), None).expect("profile");
         assert_eq!(profile.bytes_written, 16 * MIB, "collective={collective}");
         assert!(profile.exec_time > Time::ZERO);
     }
