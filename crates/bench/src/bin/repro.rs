@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]
-//!       [--deadline SECS] [--wall-budget SECS] <experiment>... | all | list
+//!       [--deadline SECS] [--wall-budget SECS] [--jobs N] <experiment>... | all | list
 //! ```
 //!
 //! Experiments are named after the paper's artifacts (`table3`, `fig12`,
@@ -25,6 +25,12 @@
 //! `--deadline SECS` arms a simulated-time watchdog on every run (a
 //! livelocked or runaway simulation aborts instead of hanging the
 //! campaign); `--wall-budget SECS` adds a host-time ceiling per run.
+//!
+//! `--jobs N` runs campaign experiments on N worker threads (default 1,
+//! or the `IOEVAL_JOBS` environment variable). Parallel campaigns merge
+//! deterministically: the rendered output and every checkpoint file are
+//! byte-identical to a sequential run — `--jobs` only trades wall-clock
+//! for cores.
 
 use bench::experiments::registry;
 use bench::{Repro, Scale};
@@ -38,6 +44,7 @@ fn main() {
     let mut checkpoint: Option<String> = None;
     let mut deadline_secs: Option<u64> = None;
     let mut wall_budget_secs: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
     let mut selected: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -73,6 +80,15 @@ fn main() {
             "--wall-budget" => {
                 i += 1;
                 wall_budget_secs = Some(parse_secs(args.get(i), "--wall-budget"));
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&j| j >= 1)
+                        .unwrap_or_else(|| die("expected --jobs N (N >= 1)")),
+                );
             }
             "--help" | "-h" => {
                 usage();
@@ -110,6 +126,9 @@ fn main() {
         };
 
     let mut repro = Repro::new(scale);
+    if let Some(j) = jobs {
+        repro = repro.with_jobs(j);
+    }
     if deadline_secs.is_some() || wall_budget_secs.is_some() {
         let mut w = WatchdogSpec::default();
         if let Some(s) = deadline_secs {
@@ -165,10 +184,12 @@ fn parse_secs(arg: Option<&String>, flag: &str) -> u64 {
 fn usage() {
     eprintln!(
         "usage: repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]\n\
-         \x20            [--deadline SECS] [--wall-budget SECS] <experiment>... | all | list\n\
+         \x20            [--deadline SECS] [--wall-budget SECS] [--jobs N] <experiment>... | all | list\n\
          experiments regenerate the paper's tables/figures; see 'repro list'.\n\
          --checkpoint/--resume persist finished work to DIR and replay it on rerun;\n\
-         --deadline arms a simulated-time watchdog, --wall-budget a host-time ceiling."
+         --deadline arms a simulated-time watchdog, --wall-budget a host-time ceiling;\n\
+         --jobs runs campaign cells on N workers (deterministic merge: output is\n\
+         byte-identical to --jobs 1; defaults to $IOEVAL_JOBS, else 1)."
     );
 }
 

@@ -73,14 +73,16 @@ impl CheckpointDir {
             digest: format!("{:016x}", fnv1a64(payload.as_bytes())),
             payload: payload.to_string(),
         };
-        let bytes = serde_json::to_string(&envelope).expect("envelope serializes");
+        let Some(bytes) = lossy_serialize(key, serde_json::to_string(&envelope)) else {
+            return;
+        };
         let target = self.file_for(key);
         let tmp = self.root.join(format!(".{}.tmp", sanitize(key)));
         let result = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, &target));
         if let Err(e) = result {
             let _ = fs::remove_file(&tmp);
             eprintln!(
-                "[checkpoint] cannot save {} (continuing unchekpointed): {e}",
+                "[checkpoint] cannot save {} (continuing uncheckpointed): {e}",
                 target.display()
             );
         }
@@ -114,6 +116,20 @@ impl CheckpointDir {
     /// Whether no checkpoints exist yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Store failures are uniformly non-fatal: a serialization error is
+/// logged against the key it would have checkpointed and the campaign
+/// continues (it just cannot resume that artifact), matching the
+/// behavior of I/O errors in [`CheckpointDir::save`].
+fn lossy_serialize(key: &str, result: Result<String, serde_json::Error>) -> Option<String> {
+    match result {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("[checkpoint] cannot serialize {key} (continuing uncheckpointed): {e}");
+            None
+        }
     }
 }
 
@@ -182,9 +198,10 @@ impl CellStore for CampaignStore {
     }
 
     fn save_outcome(&mut self, outcome: &CellOutcome) {
-        let payload = serde_json::to_string_pretty(outcome).expect("outcome serializes");
-        self.dir
-            .save(&Self::cell_key(outcome.app(), outcome.config()), &payload);
+        let key = Self::cell_key(outcome.app(), outcome.config());
+        if let Some(payload) = lossy_serialize(&key, serde_json::to_string_pretty(outcome)) {
+            self.dir.save(&key, &payload);
+        }
     }
 }
 

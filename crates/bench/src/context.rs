@@ -53,18 +53,42 @@ pub struct Repro {
     reports: HashMap<String, EvalReport>,
     store: Option<CampaignStore>,
     watchdog: Option<WatchdogSpec>,
+    jobs: usize,
 }
 
 impl Repro {
-    /// A fresh context.
+    /// A fresh context. The campaign worker count defaults to the
+    /// `IOEVAL_JOBS` environment variable (when set to a positive
+    /// integer), else 1 — parallelism is opt-in, so published outputs
+    /// stay reproducible by default. Parallel campaigns are
+    /// byte-identical to sequential ones anyway; the knob only trades
+    /// wall-clock for cores.
     pub fn new(scale: Scale) -> Repro {
+        let jobs = std::env::var("IOEVAL_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&j| j >= 1)
+            .unwrap_or(1);
         Repro {
             scale,
             tables: HashMap::new(),
             reports: HashMap::new(),
             store: None,
             watchdog: None,
+            jobs,
         }
+    }
+
+    /// Sets the campaign worker count (clamped to at least 1); overrides
+    /// `IOEVAL_JOBS`.
+    pub fn with_jobs(mut self, jobs: usize) -> Repro {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The campaign worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Attaches a durable checkpoint directory: characterizations and
@@ -98,6 +122,7 @@ impl Repro {
             watchdog: self.watchdog.clone(),
             ..SuperviseOptions::default()
         }
+        .with_jobs(self.jobs)
     }
 
     /// The Aohyper spec.
@@ -258,6 +283,16 @@ mod tests {
         let paper = Repro::new(Scale::Paper).btio(16, BtSubtype::Full);
         assert_eq!(paper.dumps, 40);
         assert_eq!(paper.class.size(), 162);
+    }
+
+    #[test]
+    fn jobs_default_and_override() {
+        // The env default is read in `new`; the builder wins over it and
+        // clamps to at least one worker.
+        let r = Repro::new(Scale::Quick).with_jobs(4);
+        assert_eq!(r.jobs(), 4);
+        assert_eq!(r.supervise_options().jobs, 4);
+        assert_eq!(Repro::new(Scale::Quick).with_jobs(0).jobs(), 1);
     }
 
     #[test]

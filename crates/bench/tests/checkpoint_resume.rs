@@ -31,7 +31,10 @@ fn charact_opts() -> CharacterizeOptions {
     o
 }
 
-fn run_campaign_with(store: &mut dyn ioeval_core::campaign::CellStore) -> Campaign {
+fn run_campaign_jobs(
+    store: &mut (dyn ioeval_core::campaign::CellStore + Send),
+    jobs: usize,
+) -> Campaign {
     let spec = presets::aohyper();
     let configs = ioconfig::aohyper_configs();
     let bt = || {
@@ -46,9 +49,28 @@ fn run_campaign_with(store: &mut dyn ioeval_core::campaign::CellStore) -> Campai
         &configs,
         &apps,
         &charact_opts(),
-        &SuperviseOptions::default(),
+        &SuperviseOptions::default().with_jobs(jobs),
         store,
     )
+}
+
+fn run_campaign_with(store: &mut (dyn ioeval_core::campaign::CellStore + Send)) -> Campaign {
+    run_campaign_jobs(store, 1)
+}
+
+/// A stable digest of a checkpoint directory: file names and contents.
+fn dir_digest(dir: &PathBuf) -> Vec<(String, u64)> {
+    let mut entries: Vec<(String, u64)> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            let name = e.file_name().to_string_lossy().into_owned();
+            let digest = bench::checkpoint::fnv1a64(&fs::read(e.path()).unwrap());
+            (name, digest)
+        })
+        .collect();
+    entries.sort();
+    entries
 }
 
 #[test]
@@ -125,4 +147,64 @@ fn corrupt_checkpoints_are_detected_and_recomputed() {
         reloaded.len() > full.len() / 3,
         "torn checkpoint must be rewritten"
     );
+}
+
+#[test]
+fn parallel_checkpoints_are_digest_identical_to_sequential() {
+    // A --jobs 4 campaign must leave *exactly* the same checkpoint
+    // directory behind as a --jobs 1 campaign: same file names, same
+    // bytes. Store writes are serialized through the input-ordered
+    // merger, so worker scheduling cannot leak into what is persisted.
+    let seq_dir = scratch("digest-seq");
+    let mut seq_store = CampaignStore::open(&seq_dir).unwrap();
+    let seq_render = run_campaign_jobs(&mut seq_store, 1).render();
+
+    let par_dir = scratch("digest-par");
+    let mut par_store = CampaignStore::open(&par_dir).unwrap();
+    let par_render = run_campaign_jobs(&mut par_store, 4).render();
+
+    assert_eq!(seq_render, par_render, "rendered campaigns must match");
+    assert_eq!(
+        dir_digest(&seq_dir),
+        dir_digest(&par_dir),
+        "checkpoint directories must be digest-identical"
+    );
+}
+
+#[test]
+fn interrupted_parallel_campaign_resumes_byte_identically() {
+    // Kill-and-resume across modes: a parallel campaign is interrupted
+    // (a suffix of its checkpoints erased), then resumed *sequentially*,
+    // and still converges to the reference — the store replays cells
+    // written by workers and recomputes the erased ones.
+    let dir = scratch("kill-par");
+    let reference = run_campaign_with(&mut NoStore).render();
+
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let first = run_campaign_jobs(&mut store, 4).render();
+    assert_eq!(first, reference, "parallel run must match the reference");
+
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert!(files.len() >= 6, "expected >= 6 checkpoints");
+    fs::remove_file(&files[1]).unwrap();
+    fs::remove_file(files.last().unwrap()).unwrap();
+
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let resumed_seq = run_campaign_with(&mut store).render();
+    assert_eq!(resumed_seq, reference, "sequential resume of parallel run");
+
+    // And the other direction: interrupt again, resume in parallel.
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    fs::remove_file(&files[0]).unwrap();
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let resumed_par = run_campaign_jobs(&mut store, 4).render();
+    assert_eq!(resumed_par, reference, "parallel resume of interrupted run");
 }

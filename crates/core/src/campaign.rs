@@ -20,20 +20,23 @@
 
 use crate::advisor::{predict, Prediction};
 use crate::charact::{characterize_system, CharacterizeOptions};
-use crate::eval::{evaluate, EvalError, EvalOptions, EvalReport};
+use crate::eval::{evaluate, EvalError, EvalOptions, EvalReport, FaultScenario};
 use crate::perf_table::PerfTableSet;
 use crate::report::{render_metrics, TextTable};
 use crate::supervise::run_isolated;
 use cluster::{ClusterSpec, IoConfig};
 use serde::{Deserialize, Serialize};
-use simcore::{Abort, WatchdogSpec};
+use simcore::{Abort, FaultProfile, FaultSchedule, Time, WatchdogSpec};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use workloads::Scenario;
 
 /// A named application factory: campaigns run each scenario on several
-/// configurations, so the workload must be constructible repeatedly.
-pub type AppFactory<'a> = (&'a str, &'a dyn Fn() -> Scenario);
+/// configurations (possibly from several worker threads at once), so the
+/// workload must be constructible repeatedly from any thread.
+pub type AppFactory<'a> = (&'a str, &'a (dyn Fn() -> Scenario + Sync));
 
 /// One successfully evaluated (application × configuration) cell.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -200,6 +203,20 @@ impl MemStore {
     pub fn outcome_count(&self) -> usize {
         self.outcomes.len()
     }
+
+    /// Every checkpointed outcome for `app`, sorted by configuration name
+    /// (the backing map is unordered, so the sort keeps inspection
+    /// deterministic).
+    pub fn outcomes_for(&self, app: &str) -> Vec<&CellOutcome> {
+        let mut v: Vec<&CellOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|((a, _), _)| a == app)
+            .map(|(_, o)| o)
+            .collect();
+        v.sort_by(|a, b| a.config().cmp(b.config()));
+        v
+    }
 }
 
 impl CellStore for MemStore {
@@ -237,6 +254,37 @@ impl CellStore for MemStore {
     }
 }
 
+/// Per-cell fault injection for stochastic resilience campaigns: every
+/// (application × configuration) cell draws its own [`FaultSchedule`] from
+/// a seed derived from the campaign seed and the cell's identity
+/// (`"app::config"`), never from a shared RNG stream. Cells are therefore
+/// order-independent — evaluating them in any order, on any number of
+/// worker threads, injects identical faults per cell.
+#[derive(Clone, Debug)]
+pub struct CellFaultPolicy {
+    /// Campaign-level base seed.
+    pub seed: u64,
+    /// Simulated-time window faults are drawn over.
+    pub horizon: Time,
+    /// What kinds of faults to draw, and how many.
+    pub profile: FaultProfile,
+}
+
+impl CellFaultPolicy {
+    /// The fault scenario for one named cell.
+    fn scenario_for(&self, app: &str, config: &str) -> FaultScenario {
+        FaultScenario::Custom {
+            label: "injected".to_string(),
+            schedule: FaultSchedule::random_for(
+                self.seed,
+                &format!("{app}::{config}"),
+                self.horizon,
+                &self.profile,
+            ),
+        }
+    }
+}
+
 /// Supervision policy for a campaign.
 #[derive(Clone, Debug)]
 pub struct SuperviseOptions {
@@ -256,6 +304,15 @@ pub struct SuperviseOptions {
     /// remaining cells are skipped (and never persisted, so a resumed run
     /// computes them).
     pub wall_budget: Option<Duration>,
+    /// Worker threads evaluating cells (and characterizing configurations).
+    /// `1` (the default) runs strictly sequentially on the caller's thread;
+    /// any higher value runs a bounded pool of scoped workers whose merged
+    /// output is byte-identical to the sequential run (see
+    /// [`CellMerger`]).
+    pub jobs: usize,
+    /// Optional per-cell stochastic fault injection (seeded by cell
+    /// identity, so parallel and sequential campaigns inject identically).
+    pub cell_faults: Option<CellFaultPolicy>,
 }
 
 impl Default for SuperviseOptions {
@@ -265,6 +322,8 @@ impl Default for SuperviseOptions {
             max_retries: 1,
             quarantine_after: 3,
             wall_budget: None,
+            jobs: 1,
+            cell_faults: None,
         }
     }
 }
@@ -279,6 +338,18 @@ impl SuperviseOptions {
     /// Sets the whole-campaign wall-clock budget.
     pub fn with_wall_budget(mut self, budget: Duration) -> SuperviseOptions {
         self.wall_budget = Some(budget);
+        self
+    }
+
+    /// Sets the worker-pool width (`0` is treated as `1`).
+    pub fn with_jobs(mut self, jobs: usize) -> SuperviseOptions {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Enables per-cell stochastic fault injection.
+    pub fn with_cell_faults(mut self, policy: CellFaultPolicy) -> SuperviseOptions {
+        self.cell_faults = Some(policy);
         self
     }
 }
@@ -414,6 +485,270 @@ impl Campaign {
     }
 }
 
+/// What a worker learned about one cell, before the deterministic merge.
+/// Workers never decide a cell's *final* outcome — that is the
+/// [`CellMerger`]'s job, performed strictly in input order so the merged
+/// campaign is independent of completion order.
+#[derive(Clone, Debug)]
+pub enum CellAttempt {
+    /// The worker produced an outcome, either by running the cell or by
+    /// replaying a checkpointed one (`from_store`).
+    Ran {
+        /// The outcome the worker computed or replayed.
+        outcome: CellOutcome,
+        /// Whether it came from the [`CellStore`] (replays are never
+        /// re-persisted).
+        from_store: bool,
+    },
+    /// The worker skipped the cell without running it (it observed a
+    /// confirmed quarantine, or the campaign wall budget was exhausted at
+    /// dispatch time).
+    NotRun {
+        /// Why the worker did not run the cell.
+        reason: String,
+    },
+}
+
+/// Deterministic, input-ordered merge of per-cell worker results.
+///
+/// Cells are indexed application-major (`idx = app_index × configs +
+/// config_index`), exactly the order a sequential campaign evaluates them.
+/// Workers [`offer`](CellMerger::offer) attempts in *any* completion
+/// order; [`merge_ready`](CellMerger::merge_ready) consumes the ready
+/// prefix in input order, applying the sequential campaign's quarantine
+/// semantics (consecutive-failure counting, permanent per-configuration
+/// poisoning) and serializing every checkpoint write through the single
+/// caller-provided store. Because quarantine is decided only from
+/// already-merged (strictly earlier) cells, and a confirmed quarantine is
+/// permanent, the merged outcome vector — and the set of persisted
+/// checkpoints — is byte-identical whatever order attempts arrive in.
+pub struct CellMerger {
+    /// `(app, config)` labels per cell, input order.
+    ids: Vec<(String, String)>,
+    configs: usize,
+    quarantine_after: u32,
+    quarantined: Vec<Option<String>>,
+    consecutive_failures: Vec<u32>,
+    pending: Vec<Option<CellAttempt>>,
+    merged: Vec<CellOutcome>,
+}
+
+impl CellMerger {
+    /// A merger over `apps × configs` cells. `quarantined` carries the
+    /// per-configuration poisoning decided before evaluation began
+    /// (failed characterizations, exhausted budget).
+    pub fn new(
+        apps: &[&str],
+        configs: &[&str],
+        quarantined: Vec<Option<String>>,
+        quarantine_after: u32,
+    ) -> CellMerger {
+        assert_eq!(quarantined.len(), configs.len());
+        let ids: Vec<(String, String)> = apps
+            .iter()
+            .flat_map(|a| configs.iter().map(|c| (a.to_string(), c.to_string())))
+            .collect();
+        let pending = ids.iter().map(|_| None).collect();
+        CellMerger {
+            ids,
+            configs: configs.len(),
+            quarantine_after,
+            quarantined,
+            consecutive_failures: vec![0; configs.len()],
+            pending,
+            merged: Vec::new(),
+        }
+    }
+
+    /// Total number of cells.
+    pub fn total(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of cells merged so far.
+    pub fn merged_count(&self) -> usize {
+        self.merged.len()
+    }
+
+    /// The *confirmed* quarantine reason for a configuration — confirmed
+    /// means decided by merged (input-order-earlier) cells only, so a
+    /// worker consulting it before dispatch can never skip a cell the
+    /// sequential campaign would have run.
+    pub fn quarantine_reason(&self, ci: usize) -> Option<&str> {
+        self.quarantined[ci].as_deref()
+    }
+
+    /// Records a worker's attempt for cell `idx`. Each cell may be offered
+    /// exactly once.
+    pub fn offer(&mut self, idx: usize, attempt: CellAttempt) {
+        assert!(
+            self.pending[idx].is_none() && idx >= self.merged.len(),
+            "cell {idx} offered twice"
+        );
+        self.pending[idx] = Some(attempt);
+    }
+
+    /// Merges every ready cell in input order, persisting newly computed
+    /// deterministic outcomes through `store` (the single serialized
+    /// writer). Returns the number of cells merged by this call.
+    pub fn merge_ready(&mut self, store: &mut dyn CellStore) -> usize {
+        let mut n = 0;
+        while self.merged.len() < self.ids.len() {
+            let idx = self.merged.len();
+            if self.pending[idx].is_none() {
+                break;
+            }
+            let attempt = self.pending[idx].take().expect("checked above");
+            let (app, cfg) = self.ids[idx].clone();
+            let ci = idx % self.configs;
+            let outcome = if let Some(reason) = self.quarantined[ci].clone() {
+                // Quarantine wins even when a racing worker already ran the
+                // cell: the sequential campaign would have skipped it.
+                CellOutcome::Skipped {
+                    app,
+                    config: cfg,
+                    reason,
+                }
+            } else {
+                match attempt {
+                    CellAttempt::NotRun { reason } => CellOutcome::Skipped {
+                        app,
+                        config: cfg,
+                        reason,
+                    },
+                    CellAttempt::Ran {
+                        outcome,
+                        from_store,
+                    } => {
+                        if !from_store && outcome.is_persistable() {
+                            store.save_outcome(&outcome);
+                        }
+                        outcome
+                    }
+                }
+            };
+            match &outcome {
+                CellOutcome::Ok(_) => self.consecutive_failures[ci] = 0,
+                CellOutcome::Failed { .. } | CellOutcome::TimedOut { .. } => {
+                    self.consecutive_failures[ci] += 1;
+                    if self.consecutive_failures[ci] >= self.quarantine_after {
+                        self.quarantined[ci] = Some(format!(
+                            "quarantined after {} consecutive failures",
+                            self.consecutive_failures[ci]
+                        ));
+                    }
+                }
+                CellOutcome::Skipped { .. } => {}
+            }
+            self.merged.push(outcome);
+            n += 1;
+        }
+        n
+    }
+
+    /// The merged outcome vector; panics unless every cell was merged.
+    pub fn finish(self) -> Vec<CellOutcome> {
+        assert_eq!(
+            self.merged.len(),
+            self.ids.len(),
+            "merger finished with unmerged cells"
+        );
+        self.merged
+    }
+}
+
+/// Runs `work(i)` for every `i in 0..total` on a pool of `jobs` scoped
+/// worker threads pulling indices from a shared counter. `jobs <= 1` runs
+/// inline on the caller's thread (identical code path, no spawn).
+fn for_each_cell(total: usize, jobs: usize, work: &(impl Fn(usize) + Sync)) {
+    let jobs = jobs.clamp(1, total.max(1));
+    if jobs == 1 {
+        for i in 0..total {
+            work(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                work(i);
+            });
+        }
+    });
+}
+
+/// Runs one evaluation cell (isolated, watchdog-supervised, with bounded
+/// panic retry) to a [`CellOutcome`]. Pure with respect to campaign state:
+/// workers call this concurrently, each constructing its own
+/// `ClusterMachine` inside [`evaluate`] (machines are not `Sync`).
+#[allow(clippy::too_many_arguments)]
+fn evaluate_cell(
+    spec: &ClusterSpec,
+    config: &IoConfig,
+    factory: &(dyn Fn() -> Scenario + Sync),
+    tset: &PerfTableSet,
+    sup: &SuperviseOptions,
+    app: &str,
+    cfg: &str,
+) -> CellOutcome {
+    let eopts = EvalOptions {
+        watchdog: sup.watchdog.clone(),
+        faults: sup
+            .cell_faults
+            .as_ref()
+            .map(|p| p.scenario_for(app, cfg))
+            .unwrap_or_default(),
+        ..EvalOptions::default()
+    };
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match run_isolated(|| evaluate(spec, config, factory(), tset, &eopts)) {
+            Ok(Ok(report)) => {
+                let prediction = predict(&report.profile, tset);
+                break CellOutcome::Ok(Box::new(CampaignCell {
+                    app: app.to_string(),
+                    config: cfg.to_string(),
+                    report,
+                    prediction,
+                }));
+            }
+            Ok(Err(EvalError::Aborted { abort, .. })) => {
+                break CellOutcome::TimedOut {
+                    app: app.to_string(),
+                    config: cfg.to_string(),
+                    abort,
+                    attempts,
+                };
+            }
+            Ok(Err(e @ EvalError::Config(_))) => {
+                break CellOutcome::Failed {
+                    app: app.to_string(),
+                    config: cfg.to_string(),
+                    error: e.to_string(),
+                    attempts,
+                };
+            }
+            // Panics may be transient (e.g. a capacity race in a model):
+            // bounded retry.
+            Err(_) if attempts <= sup.max_retries => continue,
+            Err(panic) => {
+                break CellOutcome::Failed {
+                    app: app.to_string(),
+                    config: cfg.to_string(),
+                    error: format!("panic: {panic}"),
+                    attempts,
+                };
+            }
+        }
+    }
+}
+
 /// Runs the full methodology: characterize every configuration, evaluate
 /// every application on every configuration, and validate the advisor's
 /// table-only predictions against the simulated outcomes.
@@ -437,7 +772,22 @@ pub fn run_campaign(
     )
 }
 
-/// Runs a supervised, resumable campaign.
+/// What a worker learned about one configuration's characterization.
+enum CharAttempt {
+    /// Replayed from the store (never re-persisted).
+    Restored(PerfTableSet),
+    /// Computed this run (already persisted by the worker; checkpoint
+    /// files are independent per configuration, so write order is
+    /// irrelevant to digest stability).
+    Computed(PerfTableSet),
+    /// Characterization failed (typed error or panic message).
+    Failed(String),
+    /// The campaign wall budget was exhausted before this configuration
+    /// was dispatched.
+    Budget,
+}
+
+/// Runs a supervised, resumable, optionally parallel campaign.
 ///
 /// Per configuration, the characterization is loaded from `store` when a
 /// valid checkpoint covers every requested level, otherwise computed
@@ -449,16 +799,27 @@ pub fn run_campaign(
 /// quarantined: its remaining cells are skipped. The campaign always
 /// returns; inspect [`Campaign::is_degraded`] and [`Campaign::outcomes`]
 /// for what survived.
+///
+/// With `sup.jobs > 1` the independent cells run on a bounded pool of
+/// scoped worker threads. Each worker constructs its own machines (they
+/// are not `Sync`); quarantine/retry state and the store sit behind one
+/// mutex; and every result flows through the input-ordered [`CellMerger`],
+/// so the rendered campaign and the persisted checkpoints are
+/// byte-identical to a `jobs = 1` run. The only permitted divergence is
+/// wasted work: a worker may *evaluate* a cell that merge-order quarantine
+/// then discards (recorded as `Skipped`, never persisted), and may read
+/// the store for such a cell; outputs never differ. Wall-budget skips
+/// remain host-dependent in either mode and are never persisted.
 pub fn run_campaign_supervised(
     spec: &ClusterSpec,
     configs: &[IoConfig],
     apps: &[AppFactory<'_>],
     opts: &CharacterizeOptions,
     sup: &SuperviseOptions,
-    store: &mut dyn CellStore,
+    store: &mut (dyn CellStore + Send),
 ) -> Campaign {
     let started = Instant::now();
-    let over_budget = |started: &Instant| {
+    let over_budget = || {
         sup.wall_budget
             .map(|b| started.elapsed() >= b)
             .unwrap_or(false)
@@ -470,146 +831,119 @@ pub fn run_campaign_supervised(
         copts.watchdog = sup.watchdog.clone();
     }
 
-    // Phase 1: characterize (or restore) every configuration.
+    // Phase 1: characterize (or restore) every configuration. Each
+    // configuration is independent, so the pool fans out over them; the
+    // input-order merge below rebuilds the exact sequential bookkeeping.
+    let char_attempts: Vec<Option<CharAttempt>> = {
+        let slots: Mutex<Vec<Option<CharAttempt>>> =
+            Mutex::new((0..configs.len()).map(|_| None).collect());
+        let store_mx: Mutex<&mut (dyn CellStore + Send)> = Mutex::new(store);
+        for_each_cell(configs.len(), sup.jobs, &|ci| {
+            let config = &configs[ci];
+            let attempt = if over_budget() {
+                CharAttempt::Budget
+            } else {
+                // A checkpointed characterization is only trusted when it
+                // covers every requested level; a partial or stale one is
+                // recomputed.
+                let restored = store_mx
+                    .lock()
+                    .expect("store lock")
+                    .load_tables(&spec.name, &config.name)
+                    .filter(|t| opts.levels.iter().all(|&l| t.get(l).is_some()));
+                match restored {
+                    Some(t) => CharAttempt::Restored(t),
+                    None => match run_isolated(|| characterize_system(spec, config, &copts)) {
+                        Ok(Ok(t)) => {
+                            store_mx.lock().expect("store lock").save_tables(&t);
+                            CharAttempt::Computed(t)
+                        }
+                        Ok(Err(e)) => CharAttempt::Failed(e.to_string()),
+                        Err(panic) => CharAttempt::Failed(format!("panic: {panic}")),
+                    },
+                }
+            };
+            slots.lock().expect("slot lock")[ci] = Some(attempt);
+        });
+        slots.into_inner().expect("workers joined")
+    };
+
     let mut tables: Vec<PerfTableSet> = Vec::new();
     let mut table_of: Vec<Option<usize>> = Vec::with_capacity(configs.len());
     let mut charact_errors: Vec<(String, String)> = Vec::new();
     let mut quarantined: Vec<Option<String>> = vec![None; configs.len()];
-    for (ci, config) in configs.iter().enumerate() {
-        if over_budget(&started) {
-            quarantined[ci] = Some(BUDGET_REASON.to_string());
-            table_of.push(None);
-            continue;
-        }
-        // A checkpointed characterization is only trusted when it covers
-        // every requested level; a partial or stale one is recomputed.
-        let restored = store
-            .load_tables(&spec.name, &config.name)
-            .filter(|t| opts.levels.iter().all(|&l| t.get(l).is_some()));
-        let tset = match restored {
-            Some(t) => Some(t),
-            None => match run_isolated(|| characterize_system(spec, config, &copts)) {
-                Ok(Ok(t)) => {
-                    store.save_tables(&t);
-                    Some(t)
-                }
-                Ok(Err(e)) => {
-                    charact_errors.push((config.name.clone(), e.to_string()));
-                    None
-                }
-                Err(panic) => {
-                    charact_errors.push((config.name.clone(), format!("panic: {panic}")));
-                    None
-                }
-            },
-        };
-        match tset {
-            Some(t) => {
+    for (ci, attempt) in char_attempts.into_iter().enumerate() {
+        match attempt.expect("every config characterized") {
+            CharAttempt::Restored(t) | CharAttempt::Computed(t) => {
                 table_of.push(Some(tables.len()));
                 tables.push(t);
             }
-            None => {
+            CharAttempt::Failed(e) => {
+                charact_errors.push((configs[ci].name.clone(), e));
                 quarantined[ci] = Some("characterization failed".to_string());
+                table_of.push(None);
+            }
+            CharAttempt::Budget => {
+                quarantined[ci] = Some(BUDGET_REASON.to_string());
                 table_of.push(None);
             }
         }
     }
 
-    // Phase 3: evaluate every (application × configuration) cell.
-    let mut outcomes: Vec<CellOutcome> = Vec::new();
-    let mut consecutive_failures: Vec<u32> = vec![0; configs.len()];
-    for (app_name, factory) in apps {
-        for (ci, config) in configs.iter().enumerate() {
-            let app = app_name.to_string();
-            let cfg = config.name.clone();
-            if let Some(reason) = &quarantined[ci] {
-                outcomes.push(CellOutcome::Skipped {
-                    app,
-                    config: cfg,
-                    reason: reason.clone(),
-                });
-                continue;
-            }
-            if over_budget(&started) {
-                outcomes.push(CellOutcome::Skipped {
-                    app,
-                    config: cfg,
-                    reason: BUDGET_REASON.to_string(),
-                });
-                continue;
-            }
-            let tset = &tables[table_of[ci].expect("non-quarantined configs are characterized")];
-            let outcome = match store.load_outcome(&app, &cfg) {
-                Some(stored) => stored,
-                None => {
-                    let eopts = EvalOptions {
-                        watchdog: sup.watchdog.clone(),
-                        ..EvalOptions::default()
-                    };
-                    let mut attempts = 0u32;
-                    let outcome = loop {
-                        attempts += 1;
-                        match run_isolated(|| evaluate(spec, config, factory(), tset, &eopts)) {
-                            Ok(Ok(report)) => {
-                                let prediction = predict(&report.profile, tset);
-                                break CellOutcome::Ok(Box::new(CampaignCell {
-                                    app: app.clone(),
-                                    config: cfg.clone(),
-                                    report,
-                                    prediction,
-                                }));
-                            }
-                            Ok(Err(EvalError::Aborted { abort, .. })) => {
-                                break CellOutcome::TimedOut {
-                                    app: app.clone(),
-                                    config: cfg.clone(),
-                                    abort,
-                                    attempts,
-                                };
-                            }
-                            Ok(Err(e @ EvalError::Config(_))) => {
-                                break CellOutcome::Failed {
-                                    app: app.clone(),
-                                    config: cfg.clone(),
-                                    error: e.to_string(),
-                                    attempts,
-                                };
-                            }
-                            // Panics may be transient (e.g. a capacity race
-                            // in a model): bounded retry.
-                            Err(_) if attempts <= sup.max_retries => continue,
-                            Err(panic) => {
-                                break CellOutcome::Failed {
-                                    app: app.clone(),
-                                    config: cfg.clone(),
-                                    error: format!("panic: {panic}"),
-                                    attempts,
-                                };
-                            }
-                        }
-                    };
-                    if outcome.is_persistable() {
-                        store.save_outcome(&outcome);
-                    }
-                    outcome
-                }
-            };
-            match &outcome {
-                CellOutcome::Ok(_) => consecutive_failures[ci] = 0,
-                CellOutcome::Failed { .. } | CellOutcome::TimedOut { .. } => {
-                    consecutive_failures[ci] += 1;
-                    if consecutive_failures[ci] >= sup.quarantine_after {
-                        quarantined[ci] = Some(format!(
-                            "quarantined after {} consecutive failures",
-                            consecutive_failures[ci]
-                        ));
-                    }
-                }
-                CellOutcome::Skipped { .. } => {}
-            }
-            outcomes.push(outcome);
-        }
+    // Phase 3: evaluate every (application × configuration) cell,
+    // application-major. Workers pull cells from a shared counter; every
+    // store access and all quarantine state sit behind one mutex; the
+    // merger replays results in input order (see `CellMerger`), so the
+    // parallel output is byte-identical to the sequential one.
+    struct Coord<'s> {
+        merger: CellMerger,
+        store: &'s mut (dyn CellStore + Send),
     }
+    let app_names: Vec<&str> = apps.iter().map(|(n, _)| *n).collect();
+    let config_names: Vec<&str> = configs.iter().map(|c| c.name.as_str()).collect();
+    let merger = CellMerger::new(&app_names, &config_names, quarantined, sup.quarantine_after);
+    let total = merger.total();
+    let coord = Mutex::new(Coord { merger, store });
+    for_each_cell(total, sup.jobs, &|idx| {
+        let (ai, ci) = (idx / configs.len(), idx % configs.len());
+        let (app, factory) = apps[ai];
+        let config = &configs[ci];
+        let cfg = config.name.as_str();
+        // Dispatch-time checks and the store read share the coordination
+        // lock, so replayed outcomes and quarantine observations are
+        // consistent with the merge order.
+        let early = {
+            let mut c = coord.lock().expect("coord lock");
+            if let Some(reason) = c.merger.quarantine_reason(ci) {
+                Some(CellAttempt::NotRun {
+                    reason: reason.to_string(),
+                })
+            } else if over_budget() {
+                Some(CellAttempt::NotRun {
+                    reason: BUDGET_REASON.to_string(),
+                })
+            } else {
+                c.store
+                    .load_outcome(app, cfg)
+                    .map(|stored| CellAttempt::Ran {
+                        outcome: stored,
+                        from_store: true,
+                    })
+            }
+        };
+        let attempt = early.unwrap_or_else(|| {
+            let tset = &tables[table_of[ci].expect("non-quarantined configs are characterized")];
+            CellAttempt::Ran {
+                outcome: evaluate_cell(spec, config, factory, tset, sup, app, cfg),
+                from_store: false,
+            }
+        });
+        let mut c = coord.lock().expect("coord lock");
+        let Coord { merger, store } = &mut *c;
+        merger.offer(idx, attempt);
+        merger.merge_ready(*store);
+    });
+    let outcomes = coord.into_inner().expect("workers joined").merger.finish();
 
     let cells = outcomes
         .iter()
@@ -891,6 +1225,79 @@ mod tests {
         ));
         // Budget skips are host-dependent: never checkpointed.
         assert!(!c.outcomes[0].is_persistable());
+    }
+
+    #[test]
+    fn parallel_jobs_render_byte_identical_to_sequential() {
+        let spec = presets::test_cluster();
+        let configs = quick_configs();
+        let healthy = bt_scenario;
+        let bad = panic_scenario;
+        // A failing app in the middle exercises quarantine bookkeeping
+        // under concurrency, not just the happy path.
+        let apps: Vec<AppFactory> = vec![
+            ("btio-full", &healthy),
+            ("bad-app", &bad),
+            ("btio-late", &healthy),
+        ];
+        let opts = CharacterizeOptions::quick();
+        let run = |jobs: usize| {
+            let sup = SuperviseOptions {
+                max_retries: 0,
+                quarantine_after: 1,
+                ..SuperviseOptions::default()
+            }
+            .with_jobs(jobs);
+            let mut store = MemStore::new();
+            let c = run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, &mut store);
+            let persisted: Vec<String> = ["btio-full", "bad-app", "btio-late"]
+                .iter()
+                .flat_map(|app| store.outcomes_for(app))
+                .map(|o| serde_json::to_string(o).expect("outcome serializes"))
+                .collect();
+            (c.render(), persisted)
+        };
+        let (seq_render, seq_persisted) = run(1);
+        for jobs in [4, 8] {
+            let (render, persisted) = run(jobs);
+            assert_eq!(seq_render, render, "jobs={jobs} render differs");
+            assert_eq!(
+                seq_persisted, persisted,
+                "jobs={jobs} persisted checkpoints differ"
+            );
+        }
+        // The quarantine actually bit: everything after bad-app's failure
+        // on each config is skipped, in both modes.
+        assert!(seq_render.contains("quarantined"));
+    }
+
+    #[test]
+    fn cell_fault_policy_is_jobs_invariant() {
+        let spec = presets::test_cluster();
+        let configs = vec![IoConfigBuilder::new(DeviceLayout::Jbod).build()];
+        let bt = bt_scenario;
+        let apps: Vec<AppFactory> = vec![("btio-full", &bt)];
+        let opts = CharacterizeOptions::quick();
+        let policy = CellFaultPolicy {
+            seed: 11,
+            horizon: simcore::Time::from_secs(20),
+            profile: FaultProfile {
+                disks: 4,
+                slowdowns: 1,
+                ..FaultProfile::default()
+            },
+        };
+        let run = |jobs: usize| {
+            let sup = SuperviseOptions::default()
+                .with_jobs(jobs)
+                .with_cell_faults(policy.clone());
+            run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, &mut NoStore).render()
+        };
+        assert_eq!(
+            run(1),
+            run(4),
+            "per-cell fault injection must not depend on jobs"
+        );
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub mod trace_export;
 
 pub use advisor::{predict, rank_configs, Prediction};
 pub use campaign::{
-    run_campaign, run_campaign_supervised, Campaign, CampaignCell, CellOutcome, CellStore,
-    MemStore, NoStore, SuperviseOptions,
+    run_campaign, run_campaign_supervised, Campaign, CampaignCell, CellAttempt, CellFaultPolicy,
+    CellMerger, CellOutcome, CellStore, MemStore, NoStore, SuperviseOptions,
 };
 pub use charact::{
     characterize_app, characterize_system, require_level, CharactError, CharacterizeOptions,

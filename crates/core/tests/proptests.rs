@@ -1,8 +1,14 @@
-//! Property tests of the Fig. 11 search rule and usage arithmetic.
+//! Property tests of the Fig. 11 search rule, usage arithmetic, and the
+//! parallel campaign's deterministic merge.
 
+use ioeval_core::campaign::{
+    run_campaign, AppFactory, CellAttempt, CellMerger, CellOutcome, CellStore, MemStore,
+};
+use ioeval_core::charact::CharacterizeOptions;
 use ioeval_core::perf_table::{AccessMode, AccessType, OpType, PerfRow, PerfTable};
 use proptest::prelude::*;
 use simcore::{Bandwidth, Time};
+use std::sync::OnceLock;
 
 fn table_from(blocks: &[u64]) -> PerfTable {
     let mut t = PerfTable::new();
@@ -71,5 +77,175 @@ proptest! {
         let t = table_from(&blocks);
         let distinct: std::collections::BTreeSet<u64> = blocks.iter().copied().collect();
         prop_assert_eq!(t.len(), distinct.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic-merge properties of the parallel campaign scheduler.
+// ---------------------------------------------------------------------------
+
+const APPS: [&str; 3] = ["app-a", "app-b", "app-c"];
+const CONFIGS: [&str; 2] = ["cfg-x", "cfg-y"];
+
+/// One genuine `Ok` outcome (with a real report and prediction), computed
+/// once and relabeled per cell — the merger only inspects the variant and
+/// the cell identity, but feeding it realistic payloads keeps the property
+/// honest about persistence.
+fn ok_template() -> &'static CellOutcome {
+    static CELL: OnceLock<CellOutcome> = OnceLock::new();
+    CELL.get_or_init(|| {
+        use cluster::{presets, DeviceLayout, IoConfigBuilder};
+        use workloads::{BtClass, BtIo, BtSubtype};
+        let spec = presets::test_cluster();
+        let configs = vec![IoConfigBuilder::new(DeviceLayout::Jbod).build()];
+        let bt = || {
+            BtIo::new(BtClass::S, 4, BtSubtype::Full)
+                .with_dumps(2)
+                .gflops(20.0)
+                .scenario()
+        };
+        let apps: Vec<AppFactory> = vec![("template", &bt)];
+        let c = run_campaign(&spec, &configs, &apps, &CharacterizeOptions::quick());
+        c.outcomes.into_iter().next().expect("one cell ran")
+    })
+}
+
+/// Builds the attempt a worker would offer for cell `idx`, from a small
+/// generated code: 0 = ok, 1 = failed, 2 = timed out, 3 = not run.
+fn attempt_for(idx: usize, code: u8) -> CellAttempt {
+    let app = APPS[idx / CONFIGS.len()].to_string();
+    let config = CONFIGS[idx % CONFIGS.len()].to_string();
+    match code % 4 {
+        0 => {
+            let mut cell = match ok_template() {
+                CellOutcome::Ok(c) => (**c).clone(),
+                other => panic!("template must be Ok, got {other:?}"),
+            };
+            cell.app.clone_from(&app);
+            cell.config.clone_from(&config);
+            CellAttempt::Ran {
+                outcome: CellOutcome::Ok(Box::new(cell)),
+                from_store: false,
+            }
+        }
+        1 => CellAttempt::Ran {
+            outcome: CellOutcome::Failed {
+                app,
+                config,
+                error: format!("injected failure in cell {idx}"),
+                attempts: 1,
+            },
+            from_store: false,
+        },
+        2 => CellAttempt::Ran {
+            outcome: CellOutcome::TimedOut {
+                app,
+                config,
+                abort: simcore::Abort::Stalled {
+                    events: 7,
+                    at: Time::from_secs(1),
+                },
+                attempts: 1,
+            },
+            from_store: false,
+        },
+        _ => CellAttempt::NotRun {
+            reason: "campaign wall-clock budget exhausted".to_string(),
+        },
+    }
+}
+
+/// Offers every cell in `order`, merging after each offer, and returns the
+/// merged outcomes plus everything the store persisted.
+fn merge_in_order(
+    codes: &[u8],
+    order: &[usize],
+    quarantine_after: u32,
+) -> (Vec<String>, Vec<String>) {
+    let quarantined = vec![None; CONFIGS.len()];
+    let mut merger = CellMerger::new(&APPS, &CONFIGS, quarantined, quarantine_after);
+    let mut store = MemStore::new();
+    for &idx in order {
+        merger.offer(idx, attempt_for(idx, codes[idx]));
+        merger.merge_ready(&mut store);
+    }
+    let outcomes = merger
+        .finish()
+        .iter()
+        .map(|o| serde_json::to_string(o).expect("outcome serializes"))
+        .collect();
+    let persisted = APPS
+        .iter()
+        .flat_map(|app| store.outcomes_for(app))
+        .map(|o| serde_json::to_string(o).expect("outcome serializes"))
+        .collect();
+    (outcomes, persisted)
+}
+
+proptest! {
+    /// Whatever completion order workers offer their attempts in, the
+    /// merged campaign — final outcomes *and* persisted checkpoints — is
+    /// identical to the sequential (input-order) merge. This is the merge
+    /// half of the jobs-invariance contract; quarantine decisions
+    /// (including which later cells get skipped) are part of the compared
+    /// output, so they must trigger identically under any schedule.
+    #[test]
+    fn merge_is_invariant_under_offer_order(
+        codes in proptest::collection::vec(0u8..4, APPS.len() * CONFIGS.len()),
+        seed in any::<u64>(),
+        quarantine_after in 1u32..4,
+    ) {
+        let n = APPS.len() * CONFIGS.len();
+        let sequential: Vec<usize> = (0..n).collect();
+        let mut shuffled = sequential.clone();
+        simcore::SplitMix64::new(seed).shuffle(&mut shuffled);
+
+        let (seq_out, seq_saved) = merge_in_order(&codes, &sequential, quarantine_after);
+        let (shf_out, shf_saved) = merge_in_order(&codes, &shuffled, quarantine_after);
+        prop_assert_eq!(seq_out, shf_out, "outcomes diverged for order {:?}", shuffled);
+        prop_assert_eq!(seq_saved, shf_saved, "persisted cells diverged");
+    }
+
+    /// Failure accounting is per configuration and strictly input-ordered:
+    /// once a configuration accumulates `quarantine_after` consecutive
+    /// failures, every later cell on it merges as `Skipped` — even when
+    /// its worker already produced a result — and skipped cells are never
+    /// persisted.
+    #[test]
+    fn quarantine_is_column_monotone(
+        codes in proptest::collection::vec(0u8..4, APPS.len() * CONFIGS.len()),
+        seed in any::<u64>(),
+    ) {
+        let n = APPS.len() * CONFIGS.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        simcore::SplitMix64::new(seed).shuffle(&mut order);
+
+        let quarantined = vec![None; CONFIGS.len()];
+        let mut merger = CellMerger::new(&APPS, &CONFIGS, quarantined, 1);
+        let mut store = MemStore::new();
+        for &idx in &order {
+            merger.offer(idx, attempt_for(idx, codes[idx]));
+            merger.merge_ready(&mut store);
+        }
+        let outcomes = merger.finish();
+
+        let mut poisoned = [false; CONFIGS.len()];
+        for (idx, outcome) in outcomes.iter().enumerate() {
+            let ci = idx % CONFIGS.len();
+            if poisoned[ci] {
+                prop_assert!(
+                    matches!(outcome, CellOutcome::Skipped { reason, .. }
+                        if reason.contains("quarantined")),
+                    "cell {idx} after quarantine must be Skipped, got {outcome:?}"
+                );
+                prop_assert!(
+                    store.load_outcome(APPS[idx / CONFIGS.len()], CONFIGS[ci]).is_none(),
+                    "skipped cell {idx} must not be persisted"
+                );
+            }
+            if matches!(outcome, CellOutcome::Failed { .. } | CellOutcome::TimedOut { .. }) {
+                poisoned[ci] = true; // quarantine_after = 1
+            }
+        }
     }
 }

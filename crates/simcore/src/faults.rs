@@ -190,6 +190,20 @@ impl FaultSchedule {
         FaultSchedule::new(events)
     }
 
+    /// Draws a schedule for one named campaign cell: the effective seed is
+    /// derived from `base_seed` and `label` (e.g. `"app::config"`), so the
+    /// schedule depends only on the cell's identity — not on how many other
+    /// cells were drawn first or on which worker thread runs it. Parallel
+    /// and sequential campaigns therefore inject identical faults per cell.
+    pub fn random_for(
+        base_seed: u64,
+        label: &str,
+        horizon: Time,
+        profile: &FaultProfile,
+    ) -> FaultSchedule {
+        FaultSchedule::random(crate::rng::seed_for(base_seed, label), horizon, profile)
+    }
+
     /// All events, time-sorted.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -277,6 +291,24 @@ mod tests {
         }
         let c = FaultSchedule::random(43, horizon, &profile);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_cell_schedules_are_order_independent() {
+        let profile = FaultProfile {
+            disks: 4,
+            disk_failures: 1,
+            server_stalls: 1,
+            ..FaultProfile::default()
+        };
+        let horizon = Time::from_secs(30);
+        // Identity determines the draw: drawing cells in any order (or from
+        // any thread) yields the same schedule per cell.
+        let a1 = FaultSchedule::random_for(7, "bt::JBOD", horizon, &profile);
+        let b = FaultSchedule::random_for(7, "bt::RAID 5", horizon, &profile);
+        let a2 = FaultSchedule::random_for(7, "bt::JBOD", horizon, &profile);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b, "distinct cells draw distinct schedules");
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use faults::{Fault, FaultEvent, FaultProfile, FaultSchedule, NetClass};
 pub use progress::{Abort, Watchdog, WatchdogSpec};
 pub use queue::EventQueue;
 pub use resource::{FifoResource, MultiResource};
-pub use rng::SplitMix64;
+pub use rng::{seed_for, SplitMix64};
 pub use time::{Bandwidth, Time};
 
 /// Number of bytes in a kibibyte.

@@ -8,6 +8,25 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Derives a seed from a base seed and a textual label (FNV-1a over the
+/// label, folded into the base). Campaign cells seed their stochastic
+/// components with `seed_for(campaign_seed, "app::config")`, so every cell
+/// draws an independent stream that depends only on *which* cell it is —
+/// never on how many cells ran before it or on which worker thread it
+/// landed. That is what keeps parallel campaigns byte-identical to
+/// sequential ones.
+pub fn seed_for(base: u64, label: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    // One SplitMix64 scramble so base and label both diffuse into every bit.
+    SplitMix64::new(base ^ h).next_u64()
+}
+
 /// The SplitMix64 generator (Steele, Lea & Flood; public domain algorithm).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SplitMix64 {
@@ -166,5 +185,14 @@ mod tests {
     #[should_panic(expected = "meaningless")]
     fn next_below_zero_panics() {
         SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn seed_for_depends_only_on_base_and_label() {
+        assert_eq!(seed_for(42, "btio::RAID 5"), seed_for(42, "btio::RAID 5"));
+        assert_ne!(seed_for(42, "btio::RAID 5"), seed_for(43, "btio::RAID 5"));
+        assert_ne!(seed_for(42, "btio::RAID 5"), seed_for(42, "btio::JBOD"));
+        // Near-identical labels must still diverge.
+        assert_ne!(seed_for(0, "a"), seed_for(0, "b"));
     }
 }

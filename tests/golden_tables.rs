@@ -1,0 +1,130 @@
+//! Golden-table regression suite for the characterization phase.
+//!
+//! The paper's methodology stands on the characterized performance tables
+//! (Fig. 5: `{OperationType, Blocksize, AccessType, AccessMode,
+//! transferRate}` rows per I/O-path level): every prediction and every
+//! campaign cell resolves against them. These tests pin the exact rows
+//! `characterize_system` produces for the three device layouts the `ioeval`
+//! CLI exposes (JBOD, RAID 1, RAID 5) on the test cluster, so an
+//! unintended change anywhere in the simulation stack — device models,
+//! RAID geometry, caches, network, filesystem — shows up as a readable
+//! table diff instead of a silent drift in downstream results.
+//!
+//! To regenerate after an *intended* model change:
+//!
+//! ```text
+//! IOEVAL_REGEN_GOLDEN=1 cargo test --test golden_tables
+//! ```
+//!
+//! and review the diff under `tests/golden/` like any other code change.
+
+use cluster::{presets, DeviceLayout, IoConfig, IoConfigBuilder};
+use ioeval_core::charact::{characterize_system, CharacterizeOptions};
+use ioeval_core::perf_table::{IoLevel, PerfTableSet};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The same presets `src/bin/ioeval.rs` offers as `--config`.
+fn preset(name: &str) -> IoConfig {
+    match name {
+        "jbod" => IoConfigBuilder::new(DeviceLayout::Jbod)
+            .write_cache_mib(0)
+            .build(),
+        "raid1" => IoConfigBuilder::new(DeviceLayout::Raid1).build(),
+        "raid5" => IoConfigBuilder::new(DeviceLayout::raid5_paper()).build(),
+        other => panic!("unknown preset {other}"),
+    }
+}
+
+/// Renders the golden snapshot: the paper's five table attributes, one
+/// line per characterized row, grouped by I/O-path level. Deliberately
+/// *not* the pretty-printed report table: this format is stable against
+/// cosmetic layout changes and diffs line-per-row.
+fn snapshot(set: &PerfTableSet) -> String {
+    let mut out = format!("# cluster={} config={}\n", set.cluster, set.config);
+    out.push_str("# OperationType | Blocksize | AccessType | AccessMode | transferRate\n");
+    for level in IoLevel::ALL {
+        let Some(table) = set.get(level) else {
+            continue;
+        };
+        let _ = writeln!(out, "[level: {}]", level.label());
+        for r in table.rows() {
+            let _ = writeln!(
+                out,
+                "{} | {} | {:?} | {} | {}",
+                r.op,
+                simcore::fmt_bytes(r.block),
+                r.access,
+                r.mode,
+                r.rate
+            );
+        }
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn check_golden(name: &str) {
+    let spec = presets::test_cluster();
+    let config = preset(name);
+    let set = characterize_system(&spec, &config, &CharacterizeOptions::quick())
+        .unwrap_or_else(|e| panic!("characterization of {name} failed: {e}"));
+    let actual = snapshot(&set);
+    let path = golden_path(name);
+    if std::env::var_os("IOEVAL_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with IOEVAL_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "characterization of `{name}` drifted from {}.\n\
+         If the model change is intended, regenerate with IOEVAL_REGEN_GOLDEN=1 \
+         and review the diff.\n--- expected ---\n{expected}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_jbod_characterization() {
+    check_golden("jbod");
+}
+
+#[test]
+fn golden_raid1_characterization() {
+    check_golden("raid1");
+}
+
+#[test]
+fn golden_raid5_characterization() {
+    check_golden("raid5");
+}
+
+#[test]
+fn golden_snapshots_cover_every_level() {
+    // The snapshots themselves must stay non-trivial: every quick-scale
+    // characterization level appears, with at least one row each.
+    for name in ["jbod", "raid1", "raid5"] {
+        let text = std::fs::read_to_string(golden_path(name))
+            .unwrap_or_else(|e| panic!("missing golden file for {name}: {e}"));
+        for level in IoLevel::ALL {
+            assert!(
+                text.contains(&format!("[level: {}]", level.label())),
+                "{name} snapshot lacks level {}",
+                level.label()
+            );
+        }
+        assert!(text.lines().count() > IoLevel::ALL.len() + 2);
+    }
+}

@@ -369,6 +369,59 @@ fn pfs_configs_characterize_their_own_architecture() {
 }
 
 #[test]
+fn supervised_campaign_is_jobs_invariant() {
+    // CI runs this test twice: once in the default lane and once with
+    // IOEVAL_JOBS=4. The campaign under the environment's worker count
+    // must render byte-identically to the sequential reference — the
+    // parallel scheduler's whole contract in one assertion.
+    let spec = test_spec();
+    let configs = vec![
+        IoConfigBuilder::new(DeviceLayout::Jbod)
+            .write_cache_mib(0)
+            .build(),
+        IoConfigBuilder::new(DeviceLayout::Raid5 {
+            disks: 5,
+            stripe: 256 * KIB,
+        })
+        .build(),
+    ];
+    let full = || {
+        BtIo::new(BtClass::S, 4, BtSubtype::Full)
+            .with_dumps(3)
+            .gflops(20.0)
+            .scenario()
+    };
+    let simple = || {
+        BtIo::new(BtClass::S, 4, BtSubtype::Simple)
+            .with_dumps(2)
+            .gflops(20.0)
+            .scenario()
+    };
+    let apps: Vec<AppFactory> = vec![("btio-full", &full), ("btio-simple", &simple)];
+    let opts = CharacterizeOptions::quick();
+    let env_jobs = std::env::var("IOEVAL_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+
+    let run = |jobs: usize| {
+        let sup = SuperviseOptions::default().with_jobs(jobs);
+        run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, &mut NoStore)
+    };
+    let reference = run(1);
+    assert_eq!(reference.outcomes.len(), 4);
+    assert!(!reference.is_degraded());
+    if env_jobs > 1 {
+        let parallel = run(env_jobs);
+        assert_eq!(
+            reference.render(),
+            parallel.render(),
+            "IOEVAL_JOBS={env_jobs} diverged from sequential"
+        );
+    }
+}
+
+#[test]
 fn bonnie_tests_have_expected_cost_ordering() {
     use workloads::{Bonnie, BonnieTest};
     let spec = test_spec();
