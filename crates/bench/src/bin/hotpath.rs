@@ -1,0 +1,67 @@
+//! `hotpath` — runs the hot-path microbenchmarks and writes
+//! `BENCH_hotpath.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin hotpath [-- --out FILE]
+//! ```
+//!
+//! The output path defaults to `BENCH_hotpath.json` in the current
+//! directory; `--out FILE` or the `IOEVAL_BENCH_OUT` environment variable
+//! override it. Build with `--release` — debug-build numbers are not
+//! comparable to the committed baseline.
+
+use bench::hotpath::{run, HotpathConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = std::env::var("IOEVAL_BENCH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("hotpath: expected --out FILE");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("hotpath: unknown argument '{other}' (usage: hotpath [--out FILE])");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if cfg!(debug_assertions) {
+        eprintln!("[hotpath] warning: debug build; numbers are not comparable to the baseline");
+    }
+
+    let report = run(&HotpathConfig::full());
+    eprintln!(
+        "[hotpath] event queue      {:>10.1} M ops/s",
+        report.event_queue_mops
+    );
+    eprintln!(
+        "[hotpath] striping         {:>10.1} ns/op",
+        report.striping_ns_per_op
+    );
+    for cell in &report.cells {
+        eprintln!("[hotpath] cell {:<17} {:>8.2} ms", cell.config, cell.ms);
+    }
+    eprintln!(
+        "[hotpath] pinned cells     {:>10.2} ms",
+        report.pinned_cell_ms
+    );
+    eprintln!(
+        "[hotpath] memo cold/warm   {:>8.2} / {:.2} ms ({:.0}x)",
+        report.memo_cold_ms, report.memo_warm_ms, report.memo_speedup
+    );
+
+    let json = report.to_json();
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("hotpath: cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("[hotpath] wrote {out}");
+}

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]
-//!       [--deadline SECS] [--wall-budget SECS] [--jobs N] <experiment>... | all | list
+//!       [--deadline SECS] [--wall-budget SECS] [--jobs N] [--no-memo]
+//!       <experiment>... | all | list
 //! ```
 //!
 //! Experiments are named after the paper's artifacts (`table3`, `fig12`,
@@ -31,6 +32,13 @@
 //! deterministically: the rendered output and every checkpoint file are
 //! byte-identical to a sequential run — `--jobs` only trades wall-clock
 //! for cores.
+//!
+//! Characterizations are memoized in-process by default: revisiting the
+//! same `(cluster, configuration, sweep)` point replays the cached tables
+//! instead of re-simulating the sweep. The memo is a pure cache — output
+//! is byte-identical with or without it — and its hit/miss counts are
+//! reported to stderr at the end of the run. `--no-memo` disables it
+//! (every characterization is recomputed), for timing studies.
 
 use bench::experiments::registry;
 use bench::{Repro, Scale};
@@ -45,6 +53,7 @@ fn main() {
     let mut deadline_secs: Option<u64> = None;
     let mut wall_budget_secs: Option<u64> = None;
     let mut jobs: Option<usize> = None;
+    let mut no_memo = false;
     let mut selected: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -90,6 +99,7 @@ fn main() {
                         .unwrap_or_else(|| die("expected --jobs N (N >= 1)")),
                 );
             }
+            "--no-memo" => no_memo = true,
             "--help" | "-h" => {
                 usage();
                 return;
@@ -126,6 +136,9 @@ fn main() {
         };
 
     let mut repro = Repro::new(scale);
+    if no_memo {
+        repro = repro.without_memo();
+    }
     if let Some(j) = jobs {
         repro = repro.with_jobs(j);
     }
@@ -167,6 +180,9 @@ fn main() {
         println!("\n######## {id} ########\n{output}");
         full_output.push_str(&format!("\n######## {id} ########\n{output}"));
     }
+    if let Some((hits, misses)) = repro.memo_stats() {
+        eprintln!("[repro] charact memo: {hits} hits, {misses} misses");
+    }
     if let Some(path) = out_file {
         let mut f = std::fs::File::create(&path)
             .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
@@ -184,12 +200,15 @@ fn parse_secs(arg: Option<&String>, flag: &str) -> u64 {
 fn usage() {
     eprintln!(
         "usage: repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]\n\
-         \x20            [--deadline SECS] [--wall-budget SECS] [--jobs N] <experiment>... | all | list\n\
+         \x20            [--deadline SECS] [--wall-budget SECS] [--jobs N] [--no-memo]\n\
+         \x20            <experiment>... | all | list\n\
          experiments regenerate the paper's tables/figures; see 'repro list'.\n\
          --checkpoint/--resume persist finished work to DIR and replay it on rerun;\n\
          --deadline arms a simulated-time watchdog, --wall-budget a host-time ceiling;\n\
          --jobs runs campaign cells on N workers (deterministic merge: output is\n\
-         byte-identical to --jobs 1; defaults to $IOEVAL_JOBS, else 1)."
+         byte-identical to --jobs 1; defaults to $IOEVAL_JOBS, else 1);\n\
+         --no-memo disables the in-process characterization memo (pure cache:\n\
+         output is byte-identical either way; hit/miss counts go to stderr)."
     );
 }
 

@@ -5,10 +5,12 @@ use cluster::{config as ioconfig, presets, ClusterSpec, IoConfig};
 use ioeval_core::campaign::{CellStore, SuperviseOptions};
 use ioeval_core::charact::{characterize_system, CharacterizeOptions};
 use ioeval_core::eval::{evaluate, EvalOptions, EvalReport, FaultScenario};
+use ioeval_core::memo::CharactMemo;
 use ioeval_core::perf_table::{AccessMode, PerfTableSet};
 use simcore::{WatchdogSpec, KIB, MIB};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 use workloads::{BtClass, BtIo, BtSubtype, FileType, MadBench, Scenario};
 
 /// Experiment scale.
@@ -54,6 +56,7 @@ pub struct Repro {
     store: Option<CampaignStore>,
     watchdog: Option<WatchdogSpec>,
     jobs: usize,
+    memo: Option<Arc<CharactMemo>>,
 }
 
 impl Repro {
@@ -76,7 +79,22 @@ impl Repro {
             store: None,
             watchdog: None,
             jobs,
+            memo: Some(Arc::new(CharactMemo::new())),
         }
+    }
+
+    /// Disables the in-process characterization memo (campaigns recompute
+    /// every characterization from scratch). The memo is a pure cache —
+    /// rendered output is byte-identical either way — so this knob exists
+    /// for timing studies and as an escape hatch, not for correctness.
+    pub fn without_memo(mut self) -> Repro {
+        self.memo = None;
+        self
+    }
+
+    /// `(hits, misses)` of the characterization memo, when one is enabled.
+    pub fn memo_stats(&self) -> Option<(u64, u64)> {
+        self.memo.as_ref().map(|m| m.stats())
     }
 
     /// Sets the campaign worker count (clamped to at least 1); overrides
@@ -120,6 +138,7 @@ impl Repro {
     pub fn supervise_options(&self) -> SuperviseOptions {
         SuperviseOptions {
             watchdog: self.watchdog.clone(),
+            memo: self.memo.clone(),
             ..SuperviseOptions::default()
         }
         .with_jobs(self.jobs)
@@ -184,7 +203,15 @@ impl Repro {
             .as_mut()
             .and_then(|s| s.load_tables(&spec.name, &config.name))
             .filter(|t| opts.levels.iter().all(|&l| t.get(l).is_some()));
-        let set = match restored {
+        // The process-wide memo sits between the checkpoint directory and a
+        // fresh computation, so campaign cells and direct characterizations
+        // share one cache (keyed by the full `(spec, config, opts)` digest,
+        // not just the names).
+        let memo_key = self
+            .memo
+            .as_deref()
+            .map(|m| (m, CharactMemo::key(spec, config, &opts)));
+        let set = match restored.or_else(|| memo_key.and_then(|(m, k)| m.get(k))) {
             Some(t) => t,
             None => {
                 let t = characterize_system(spec, config, &opts).unwrap_or_else(|e| {
@@ -195,6 +222,9 @@ impl Repro {
                 });
                 if let Some(s) = self.store.as_mut() {
                     s.save_tables(&t);
+                }
+                if let Some((m, k)) = memo_key {
+                    m.put(k, t.clone());
                 }
                 t
             }

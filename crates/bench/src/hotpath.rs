@@ -1,0 +1,236 @@
+//! Hot-path microbenchmark harness (no external bench framework).
+//!
+//! Measures the three quantities the simulation engine's fast paths exist
+//! for, and serializes them to `BENCH_hotpath.json` so every PR leaves a
+//! perf trajectory behind:
+//!
+//! * **event-queue throughput** — schedule/pop Mops/s of the slab-indexed
+//!   four-ary heap in `simcore`;
+//! * **striping ns/op** — cost of mapping one volume request onto member
+//!   extents (`Raid0::spans`, the allocation-free [`storage::InlineVec`]
+//!   path);
+//! * **pinned-cell wall time** — a pinned IOR characterization sweep
+//!   (library level, 1 MiB / 16 MiB blocks, 4 ranks, 256 KiB transfers)
+//!   per Aohyper configuration, the cell the release profile was taken
+//!   on;
+//! * **memo cold/warm** — the same characterization campaign run twice
+//!   against one [`ioeval_core::CharactMemo`]: the second run replays
+//!   every point from the memo.
+//!
+//! The `hotpath` binary runs the full sizes and writes the JSON; the
+//! `hotpath` integration test runs a smoke-sized version to pin the
+//! schema. Timings are wall-clock and host-dependent — the committed
+//! baseline is compared with generous tolerance (CI allows 25%
+//! regression on the pinned cell), never byte-for-byte.
+
+use cluster::{ClusterSpec, IoConfig};
+use ioeval_core::campaign::{run_campaign_supervised, AppFactory, NoStore, SuperviseOptions};
+use ioeval_core::charact::{characterize_system, CharacterizeOptions};
+use ioeval_core::memo::CharactMemo;
+use ioeval_core::perf_table::IoLevel;
+use serde::{Deserialize, Serialize};
+use simcore::{EventQueue, Time, KIB, MIB};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Work sizes for one harness run.
+#[derive(Clone, Copy, Debug)]
+pub struct HotpathConfig {
+    /// Events scheduled in the queue benchmark.
+    pub events: u64,
+    /// Striping requests mapped.
+    pub striping_iters: u64,
+    /// Repetitions per characterization cell (best-of is reported, which
+    /// filters scheduler noise).
+    pub cell_reps: u32,
+}
+
+impl HotpathConfig {
+    /// The published sizes (used by the `hotpath` binary and baseline).
+    pub fn full() -> HotpathConfig {
+        HotpathConfig {
+            events: 4_000_000,
+            striping_iters: 2_000_000,
+            cell_reps: 5,
+        }
+    }
+
+    /// Tiny sizes for schema/smoke tests (sub-second in debug builds).
+    pub fn smoke() -> HotpathConfig {
+        HotpathConfig {
+            events: 20_000,
+            striping_iters: 10_000,
+            cell_reps: 1,
+        }
+    }
+}
+
+/// Wall time of one pinned characterization cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellTime {
+    /// Configuration name.
+    pub config: String,
+    /// Best-of-reps wall time, milliseconds.
+    pub ms: f64,
+}
+
+/// One harness run, as serialized to `BENCH_hotpath.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HotpathReport {
+    /// Schema version of this JSON shape.
+    pub schema: u32,
+    /// Event-queue schedule+pop throughput, million ops per second.
+    pub event_queue_mops: f64,
+    /// Striping cost per request (`Raid0::spans`), nanoseconds.
+    pub striping_ns_per_op: f64,
+    /// Pinned IOR sweep wall time per Aohyper configuration.
+    pub cells: Vec<CellTime>,
+    /// Sum of the per-configuration cell times — the single number the CI
+    /// smoke job compares against the committed baseline.
+    pub pinned_cell_ms: f64,
+    /// Wall time of the characterization campaign with an empty memo.
+    pub memo_cold_ms: f64,
+    /// Wall time of the same campaign replayed from the filled memo.
+    pub memo_warm_ms: f64,
+    /// `memo_cold_ms / memo_warm_ms`.
+    pub memo_speedup: f64,
+}
+
+impl HotpathReport {
+    /// Pretty JSON rendering (what the binary writes).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// The pinned IOR sweep: library level only, 1 MiB and 16 MiB blocks,
+/// 4 ranks, 256 KiB transfers, against the paper's Aohyper cluster.
+pub fn pinned_sweep_options() -> CharacterizeOptions {
+    CharacterizeOptions {
+        records: vec![],
+        iozone_file_size: None,
+        modes: vec![],
+        ior_blocks: vec![MIB, 16 * MIB],
+        ior_ranks: 4,
+        ior_transfer: 256 * KIB,
+        levels: vec![IoLevel::Library],
+        watchdog: None,
+    }
+}
+
+fn aohyper() -> (ClusterSpec, Vec<IoConfig>) {
+    (
+        cluster::presets::aohyper(),
+        cluster::config::aohyper_configs(),
+    )
+}
+
+/// Schedule `events` timestamped events (popping every fourth), then
+/// drain; returns million ops per second over the combined
+/// schedule+pop count.
+pub fn event_queue_mops(events: u64) -> f64 {
+    let mut q = EventQueue::new();
+    let t0 = Instant::now();
+    for i in 0..events {
+        q.schedule_after(Time::from_nanos((i * 7919) % 100_000), i);
+        if i % 4 == 3 {
+            std::hint::black_box(q.pop());
+        }
+    }
+    while q.pop().is_some() {}
+    (2 * events) as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+/// Map `iters` striped requests (mixed offsets/lengths across an 8-disk
+/// RAID 0) to member extents; returns nanoseconds per request.
+pub fn striping_ns_per_op(iters: u64) -> f64 {
+    use storage::{BlockReq, Disk, DiskParams, Raid0};
+    let disks = (0..8)
+        .map(|i| Disk::new(DiskParams::sata_7200(230, 75), i + 1))
+        .collect();
+    let raid = Raid0::new(disks, 64 * KIB);
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..iters {
+        let offset = (i.wrapping_mul(37) * KIB) % (512 * MIB);
+        let len = 192 * KIB + (i % 7) * KIB;
+        let spans = raid.spans(&BlockReq::write(offset, len));
+        acc = acc
+            .wrapping_add(spans.len() as u64)
+            .wrapping_add(spans[0].2);
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Best-of-`reps` wall time of the pinned sweep on every Aohyper
+/// configuration.
+pub fn pinned_cell_times(reps: u32) -> Vec<CellTime> {
+    let (spec, configs) = aohyper();
+    let opts = pinned_sweep_options();
+    configs
+        .iter()
+        .map(|config| {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                let set = characterize_system(&spec, config, &opts).expect("characterize");
+                assert!(set.get(IoLevel::Library).is_some());
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            CellTime {
+                config: config.name.clone(),
+                ms: best,
+            }
+        })
+        .collect()
+}
+
+/// Runs the pinned characterization campaign twice against one shared
+/// memo; returns `(cold_ms, warm_ms)`. The first run computes every
+/// point, the second replays all of them from the memo — the ratio is
+/// the repeated-point campaign speedup the memo buys.
+pub fn memo_campaign_ms() -> (f64, f64) {
+    let (spec, configs) = aohyper();
+    let opts = pinned_sweep_options();
+    let memo = Arc::new(CharactMemo::new());
+    let sup = SuperviseOptions {
+        memo: Some(memo.clone()),
+        ..SuperviseOptions::default()
+    };
+    let apps: &[AppFactory] = &[];
+    let run = || {
+        let t0 = Instant::now();
+        let campaign = run_campaign_supervised(&spec, &configs, apps, &opts, &sup, &mut NoStore);
+        assert_eq!(campaign.tables.len(), configs.len());
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let cold = run();
+    let warm = run();
+    let (hits, misses) = memo.stats();
+    assert_eq!(
+        (hits, misses),
+        (configs.len() as u64, configs.len() as u64),
+        "second campaign should replay every point"
+    );
+    (cold, warm)
+}
+
+/// One full harness run at the given sizes.
+pub fn run(cfg: &HotpathConfig) -> HotpathReport {
+    let event_queue_mops = event_queue_mops(cfg.events);
+    let striping_ns_per_op = striping_ns_per_op(cfg.striping_iters);
+    let cells = pinned_cell_times(cfg.cell_reps);
+    let pinned_cell_ms = cells.iter().map(|c| c.ms).sum();
+    let (memo_cold_ms, memo_warm_ms) = memo_campaign_ms();
+    HotpathReport {
+        schema: 1,
+        event_queue_mops,
+        striping_ns_per_op,
+        cells,
+        pinned_cell_ms,
+        memo_cold_ms,
+        memo_warm_ms,
+        memo_speedup: memo_cold_ms / memo_warm_ms.max(1e-6),
+    }
+}

@@ -15,6 +15,7 @@
 pub mod checkpoint;
 pub mod context;
 pub mod experiments;
+pub mod hotpath;
 
 pub use checkpoint::{CampaignStore, CheckpointDir};
 pub use context::{Repro, Scale};

@@ -1,0 +1,54 @@
+//! Smoke tests for the hot-path microbenchmark harness.
+//!
+//! The real harness is the `hotpath` binary:
+//!
+//! ```text
+//! cargo run --release -p bench --bin hotpath
+//! ```
+//!
+//! which writes `BENCH_hotpath.json` (see README.md §"Hot-path
+//! benchmarks"). These tests run the same code at smoke sizes so the
+//! report schema — which the CI bench job and the committed baseline
+//! depend on — stays pinned by a fast, always-on test.
+
+use bench::hotpath::{run, HotpathConfig, HotpathReport};
+
+#[test]
+fn report_schema_is_stable() {
+    let report = run(&HotpathConfig::smoke());
+    assert_eq!(report.schema, 1);
+    assert!(report.event_queue_mops > 0.0);
+    assert!(report.striping_ns_per_op > 0.0);
+    assert_eq!(report.cells.len(), 3, "three Aohyper configurations");
+    assert!(report.cells.iter().all(|c| c.ms > 0.0));
+    let sum: f64 = report.cells.iter().map(|c| c.ms).sum();
+    assert!((report.pinned_cell_ms - sum).abs() < 1e-9);
+    assert!(report.memo_cold_ms > 0.0 && report.memo_warm_ms > 0.0);
+
+    // The JSON round-trips, and the fields the CI smoke job parses are
+    // present under their exact names.
+    let json = report.to_json();
+    let back: HotpathReport = serde_json::from_str(&json).expect("round-trip");
+    assert_eq!(back.schema, 1);
+    let value: serde_json::Value = serde_json::from_str(&json).expect("parse");
+    for field in [
+        "schema",
+        "pinned_cell_ms",
+        "event_queue_mops",
+        "memo_speedup",
+    ] {
+        assert!(value.get(field).is_some(), "missing field {field}");
+    }
+}
+
+#[test]
+fn memo_warm_replay_beats_cold_compute() {
+    // Even at smoke sizes the warm campaign only clones tables out of the
+    // memo, so it must not be slower than the cold one by more than noise.
+    let (cold, warm) = bench::hotpath::memo_campaign_ms();
+    assert!(cold > 0.0 && warm > 0.0);
+    assert!(
+        warm <= cold * 1.5,
+        "warm replay ({warm:.2} ms) slower than cold compute ({cold:.2} ms)"
+    );
+}

@@ -89,6 +89,26 @@ impl Volume for BoxedVolume {
     fn meter(&self) -> &storage::VolumeMeter {
         self.0.meter()
     }
+    fn submit_run(&mut self, now: Time, req: storage::BlockReq, chunk: u64) -> storage::IoGrant {
+        self.0.submit_run(now, req, chunk)
+    }
+    fn try_bulk_run(
+        &mut self,
+        now: Time,
+        req: storage::BlockReq,
+        chunk: u64,
+    ) -> Option<storage::IoGrant> {
+        self.0.try_bulk_run(now, req, chunk)
+    }
+    fn set_fault_horizon(&mut self, horizon: Option<Time>) {
+        self.0.set_fault_horizon(horizon)
+    }
+    fn set_bulk_enabled(&mut self, on: bool) {
+        self.0.set_bulk_enabled(on)
+    }
+    fn bulk_run_stats(&self) -> (u64, u64) {
+        self.0.bulk_run_stats()
+    }
     fn fail_disk(&mut self, disk: usize) -> Result<(), VolumeError> {
         self.0.fail_disk(disk)
     }
@@ -210,6 +230,12 @@ impl ClusterMachine {
     pub fn install_faults(&mut self, schedule: FaultSchedule) {
         self.faults = schedule;
         self.fault_cursor = 0;
+        // Tell the server volume when the next fault is due: any transfer
+        // whose completion bound crosses that horizon must stay on the
+        // event-granular path so the fault lands mid-transfer exactly as it
+        // would have pre-optimization.
+        let horizon = self.faults.next_at(0);
+        self.server.fs_mut().volume_mut().set_fault_horizon(horizon);
     }
 
     /// The applied-fault / surfaced-error trace: `(instant, description)`.
@@ -258,9 +284,20 @@ impl ClusterMachine {
         let mut cursor = self.fault_cursor;
         let due: Vec<FaultEvent> = self.faults.due(&mut cursor, now).to_vec();
         self.fault_cursor = cursor;
+        if due.is_empty() {
+            return;
+        }
         for e in due {
             self.apply_fault(now, &e);
         }
+        // Advance the bulk fast-path horizon to the next pending fault.
+        let horizon = self.faults.next_at(self.fault_cursor);
+        self.server.fs_mut().volume_mut().set_fault_horizon(horizon);
+    }
+
+    /// `(fast path runs, granular fallbacks)` of the I/O node's volume.
+    pub fn server_bulk_stats(&self) -> (u64, u64) {
+        self.server.fs().volume().bulk_run_stats()
     }
 
     fn log_volume_result(&mut self, now: Time, what: String, r: Result<(), VolumeError>) {
@@ -915,6 +952,70 @@ mod tests {
         let t2 = m.io_read(Time::from_secs(601), 0, F, 0, MIB);
         assert!(t2 > Time::from_secs(601));
         assert_eq!(m.io_errors(), 1);
+    }
+
+    /// Streams writes op by op and returns every per-op completion instant
+    /// (so a single diverging grant is caught, not just the total).
+    fn stream_trace(m: &mut ClusterMachine, total: u64) -> Vec<Time> {
+        m.mount(F, Mount::ServerLocal);
+        let mut t = m.io_open(Time::ZERO, 0, F, true);
+        let mut trace = vec![t];
+        let mut off = 0;
+        while off < total {
+            t = m.io_write(t, 0, F, off, 4 * MIB);
+            trace.push(t);
+            off += 4 * MIB;
+        }
+        trace.push(m.io_sync(t, 0, F));
+        trace
+    }
+
+    #[test]
+    fn bulk_fast_path_is_timing_identical_across_a_fault_window() {
+        let spec = presets::aohyper();
+        let config = IoConfigBuilder::new(DeviceLayout::raid5_paper())
+            .write_cache_mib(0)
+            .build();
+        let faults = || {
+            FaultSchedule::new(vec![
+                FaultEvent {
+                    at: Time::from_secs(2),
+                    fault: Fault::DiskSlow {
+                        disk: 1,
+                        factor: 3.0,
+                    },
+                },
+                FaultEvent {
+                    at: Time::from_secs(6),
+                    fault: Fault::DiskRecover { disk: 1 },
+                },
+            ])
+        };
+        let total = 1024 * MIB;
+
+        let mut fast = ClusterMachine::try_new(&spec, &config).expect("valid config");
+        fast.install_faults(faults());
+        let fast_trace = stream_trace(&mut fast, total);
+
+        let mut gran = ClusterMachine::try_new(&spec, &config).expect("valid config");
+        gran.install_faults(faults());
+        gran.server_mut()
+            .fs_mut()
+            .volume_mut()
+            .set_bulk_enabled(false);
+        let gran_trace = stream_trace(&mut gran, total);
+
+        assert_eq!(fast_trace, gran_trace, "fast path changed visible timing");
+        assert_eq!(fast.fault_log().len(), 2);
+        assert_eq!(fast.fault_log(), gran.fault_log());
+
+        let (hits, misses) = fast.server_bulk_stats();
+        assert!(hits > 0, "healthy stretch never took the fast path");
+        assert!(
+            misses > 0,
+            "runs near the fault window must fall back to the granular path"
+        );
+        assert_eq!(gran.server_bulk_stats().0, 0);
     }
 
     #[test]

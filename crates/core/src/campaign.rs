@@ -21,6 +21,7 @@
 use crate::advisor::{predict, Prediction};
 use crate::charact::{characterize_system, CharacterizeOptions};
 use crate::eval::{evaluate, EvalError, EvalOptions, EvalReport, FaultScenario};
+use crate::memo::CharactMemo;
 use crate::perf_table::PerfTableSet;
 use crate::report::{render_metrics, TextTable};
 use crate::supervise::run_isolated;
@@ -29,7 +30,7 @@ use serde::{Deserialize, Serialize};
 use simcore::{Abort, FaultProfile, FaultSchedule, Time, WatchdogSpec};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use workloads::Scenario;
 
@@ -313,6 +314,11 @@ pub struct SuperviseOptions {
     /// Optional per-cell stochastic fault injection (seeded by cell
     /// identity, so parallel and sequential campaigns inject identically).
     pub cell_faults: Option<CellFaultPolicy>,
+    /// Optional in-process characterization memo: repeated characterization
+    /// points replay from memory instead of re-running the sweep. A pure
+    /// cache — campaigns render and checkpoint byte-identically with or
+    /// without it (characterization is deterministic).
+    pub memo: Option<Arc<CharactMemo>>,
 }
 
 impl Default for SuperviseOptions {
@@ -324,6 +330,7 @@ impl Default for SuperviseOptions {
             wall_budget: None,
             jobs: 1,
             cell_faults: None,
+            memo: None,
         }
     }
 }
@@ -853,14 +860,35 @@ pub fn run_campaign_supervised(
                     .filter(|t| opts.levels.iter().all(|&l| t.get(l).is_some()));
                 match restored {
                     Some(t) => CharAttempt::Restored(t),
-                    None => match run_isolated(|| characterize_system(spec, config, &copts)) {
-                        Ok(Ok(t)) => {
-                            store_mx.lock().expect("store lock").save_tables(&t);
-                            CharAttempt::Computed(t)
+                    None => {
+                        // The memo replays a previously computed identical
+                        // point; a hit still checkpoints, so the store ends
+                        // up byte-identical to a memo-less run.
+                        let memo_key = sup
+                            .memo
+                            .as_deref()
+                            .map(|m| (m, CharactMemo::key(spec, config, &copts)));
+                        let replayed = memo_key.and_then(|(m, k)| m.get(k));
+                        match replayed {
+                            Some(t) => {
+                                store_mx.lock().expect("store lock").save_tables(&t);
+                                CharAttempt::Computed(t)
+                            }
+                            None => {
+                                match run_isolated(|| characterize_system(spec, config, &copts)) {
+                                    Ok(Ok(t)) => {
+                                        store_mx.lock().expect("store lock").save_tables(&t);
+                                        if let Some((m, k)) = memo_key {
+                                            m.put(k, t.clone());
+                                        }
+                                        CharAttempt::Computed(t)
+                                    }
+                                    Ok(Err(e)) => CharAttempt::Failed(e.to_string()),
+                                    Err(panic) => CharAttempt::Failed(format!("panic: {panic}")),
+                                }
+                            }
                         }
-                        Ok(Err(e)) => CharAttempt::Failed(e.to_string()),
-                        Err(panic) => CharAttempt::Failed(format!("panic: {panic}")),
-                    },
+                    }
                 }
             };
             slots.lock().expect("slot lock")[ci] = Some(attempt);

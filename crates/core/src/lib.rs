@@ -30,6 +30,7 @@ pub mod advisor;
 pub mod campaign;
 pub mod charact;
 pub mod eval;
+pub mod memo;
 pub mod perf_table;
 pub mod report;
 pub mod supervise;
@@ -45,6 +46,7 @@ pub use charact::{
     characterize_app, characterize_system, require_level, CharactError, CharacterizeOptions,
 };
 pub use eval::{evaluate, EvalError, EvalOptions, EvalReport, FaultScenario, UsageRow};
+pub use memo::CharactMemo;
 pub use perf_table::{AccessMode, AccessType, IoLevel, OpType, PerfRow, PerfTable, PerfTableSet};
 pub use report::render_resilience_table;
 pub use supervise::run_isolated;

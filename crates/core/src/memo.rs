@@ -1,0 +1,132 @@
+//! A characterization memo cache.
+//!
+//! Characterization is deterministic: the same `(spec, config, options)`
+//! triple always produces the same [`PerfTableSet`]. Campaigns frequently
+//! revisit the same point — resumed runs, repeated-point sweeps, studies
+//! sharing a configuration grid — and each revisit costs a full simulated
+//! IOzone/IOR sweep. [`CharactMemo`] keys completed characterizations by a
+//! digest of the triple and replays them in O(1).
+//!
+//! The memo is shared across worker threads via [`std::sync::Arc`] (the
+//! table sits behind a mutex, the hit/miss counters are atomic) and is a
+//! pure cache: campaigns that use it render byte-identically to campaigns
+//! that do not, because a hit replays the exact value a recomputation
+//! would produce. Hit/miss counters are surfaced out of band (reported to
+//! stderr by the reproduction driver), never in rendered campaign tables.
+
+use crate::charact::CharacterizeOptions;
+use crate::perf_table::PerfTableSet;
+use cluster::{ClusterSpec, IoConfig};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// FNV-1a over a byte string; collisions across the handful of distinct
+/// characterization points a campaign visits are not a practical concern,
+/// and the digest stays stable within a process run (which is the memo's
+/// lifetime — it is never persisted).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Memoized characterization results, keyed by `(spec, config, options)`.
+#[derive(Default)]
+pub struct CharactMemo {
+    tables: Mutex<HashMap<u64, PerfTableSet>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CharactMemo {
+    /// An empty memo.
+    pub fn new() -> CharactMemo {
+        CharactMemo::default()
+    }
+
+    /// Digest of one characterization point. Every field that influences
+    /// the result participates via the `Debug` rendering of the three
+    /// inputs (all three types derive exhaustive `Debug`).
+    pub fn key(spec: &ClusterSpec, config: &IoConfig, opts: &CharacterizeOptions) -> u64 {
+        fnv1a(format!("{spec:?}|{config:?}|{opts:?}").as_bytes())
+    }
+
+    /// The memoized result for `key`, counting a hit or a miss.
+    pub fn get(&self, key: u64) -> Option<PerfTableSet> {
+        let found = self.tables.lock().expect("memo lock").get(&key).cloned();
+        match found {
+            Some(t) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(t)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly computed result.
+    pub fn put(&self, key: u64, tables: PerfTableSet) {
+        self.tables.lock().expect("memo lock").insert(key, tables);
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl fmt::Debug for CharactMemo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (hits, misses) = self.stats();
+        let entries = self.tables.lock().map(|t| t.len()).unwrap_or(0);
+        f.debug_struct("CharactMemo")
+            .field("entries", &entries)
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_distinguishes_every_input() {
+        let spec = cluster::presets::test_cluster();
+        let mut spec2 = spec.clone();
+        spec2.seed ^= 1;
+        let config = cluster::IoConfigBuilder::new(cluster::DeviceLayout::Jbod).build();
+        let config2 = cluster::IoConfigBuilder::new(cluster::DeviceLayout::Raid1).build();
+        let opts = CharacterizeOptions::quick();
+        let mut opts2 = opts.clone();
+        opts2.ior_ranks += 1;
+
+        let base = CharactMemo::key(&spec, &config, &opts);
+        assert_eq!(base, CharactMemo::key(&spec, &config, &opts));
+        assert_ne!(base, CharactMemo::key(&spec2, &config, &opts));
+        assert_ne!(base, CharactMemo::key(&spec, &config2, &opts));
+        assert_ne!(base, CharactMemo::key(&spec, &config, &opts2));
+    }
+
+    #[test]
+    fn get_and_put_count_hits_and_misses() {
+        let memo = CharactMemo::new();
+        let key = 42;
+        assert!(memo.get(key).is_none());
+        memo.put(key, PerfTableSet::new("s", "c"));
+        let replay = memo.get(key).expect("memoized");
+        assert_eq!(replay.cluster, "s");
+        assert_eq!(memo.stats(), (1, 1));
+    }
+}

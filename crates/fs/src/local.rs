@@ -16,9 +16,8 @@
 use crate::file::FileId;
 use crate::range_cache::{RangeCache, RangeRef};
 use simcore::stats::TransferMeter;
-use simcore::{Bandwidth, Time};
-use std::collections::HashMap;
-use storage::{BlockReq, Volume};
+use simcore::{Bandwidth, FxHashMap, Time};
+use storage::{BlockReq, InlineVec, Volume};
 
 /// Tunables of a local filesystem.
 #[derive(Clone, Debug)]
@@ -81,9 +80,9 @@ pub struct LocalFs {
     params: LocalFsParams,
     cache: RangeCache,
     vol: Box<dyn Volume>,
-    files: HashMap<FileId, FileMeta>,
+    files: FxHashMap<FileId, FileMeta>,
     next_vol_off: u64,
-    last_read_end: HashMap<FileId, u64>,
+    last_read_end: FxHashMap<FileId, u64>,
     meter: FsMeter,
 }
 
@@ -95,9 +94,9 @@ impl LocalFs {
             params,
             cache,
             vol,
-            files: HashMap::new(),
+            files: FxHashMap::default(),
             next_vol_off: 0,
-            last_read_end: HashMap::new(),
+            last_read_end: FxHashMap::default(),
             meter: FsMeter::default(),
         }
     }
@@ -188,11 +187,12 @@ impl LocalFs {
         }
     }
 
-    /// Maps a file byte range to volume ranges.
-    fn map(&mut self, file: FileId, start: u64, end: u64) -> Vec<(u64, u64)> {
+    /// Maps a file byte range to volume ranges. Extents are huge (256 MiB),
+    /// so a mapping rarely crosses more than two of them.
+    fn map(&mut self, file: FileId, start: u64, end: u64) -> InlineVec<(u64, u64), 4> {
         self.ensure_extents(file, start, end);
         let meta = &self.files[&file];
-        let mut out = Vec::new();
+        let mut out = InlineVec::new();
         for &(foff, voff, len) in &meta.extents {
             let e_end = foff + len;
             if e_end <= start || foff >= end {
@@ -207,19 +207,17 @@ impl LocalFs {
 
     /// Writes `ranges` to the device, chunked; returns the completion time.
     /// All chunks are issued at `now` (device-level parallelism is the
-    /// volume's concern); completion is the last acknowledgment.
+    /// volume's concern); completion is the last acknowledgment. The whole
+    /// chunked run goes down as one call so eligible volumes can take the
+    /// bulk fast path — by construction the grant envelope is identical to
+    /// submitting each chunk individually.
     fn writeback(&mut self, now: Time, ranges: &[RangeRef]) -> Time {
         let chunk = self.params.writeback_chunk;
         let mut done = now;
         for r in ranges {
-            for (voff, len) in self.map(r.file, r.start, r.end) {
-                let mut pos = 0;
-                while pos < len {
-                    let take = chunk.min(len - pos);
-                    let g = self.vol.submit(now, BlockReq::write(voff + pos, take));
-                    done = done.max(g.ack);
-                    pos += take;
-                }
+            for &(voff, len) in self.map(r.file, r.start, r.end).iter() {
+                let g = self.vol.submit_run(now, BlockReq::write(voff, len), chunk);
+                done = done.max(g.ack);
             }
             self.cache.mark_clean(r.file, r.start, r.end);
         }
@@ -238,7 +236,9 @@ impl LocalFs {
             // These are detached from the cache already; write them out.
             let chunk = self.params.writeback_chunk;
             for r in &must_flush {
-                for (voff, l) in self.map(r.file, r.start, r.end) {
+                // Arrival advances per chunk here (the writer waits on each
+                // ack), so this loop stays event-granular by design.
+                for &(voff, l) in self.map(r.file, r.start, r.end).iter() {
                     let mut pos = 0;
                     while pos < l {
                         let take = chunk.min(l - pos);
@@ -294,7 +294,7 @@ impl LocalFs {
             if !flush.is_empty() {
                 device_done = self.writeback(device_done, &flush);
             }
-            for (voff, l) in self.map(m.file, m.start, m.end) {
+            for &(voff, l) in self.map(m.file, m.start, m.end).iter() {
                 let g = self.vol.submit(now, BlockReq::read(voff, l));
                 device_done = device_done.max(g.ack);
             }

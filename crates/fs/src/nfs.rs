@@ -17,8 +17,8 @@ use crate::file::FileId;
 use crate::local::{FsMeter, LocalFs};
 use crate::range_cache::{RangeCache, RangeRef};
 use netsim::{Network, NodeId, TrafficClass};
-use simcore::{Bandwidth, FifoResource, MultiResource, SplitMix64, Time};
-use std::collections::{HashMap, VecDeque};
+use simcore::{Bandwidth, FifoResource, FxHashMap, MultiResource, SplitMix64, Time};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// NFS RPC header/trailer size on the wire.
@@ -297,7 +297,7 @@ pub struct NfsClient {
     params: NfsClientParams,
     cache: RangeCache,
     inflight: VecDeque<Time>,
-    last_read_end: HashMap<FileId, u64>,
+    last_read_end: FxHashMap<FileId, u64>,
     meter: FsMeter,
     /// Jitter stream for retransmission backoff (seeded from the node id,
     /// so every mount has its own deterministic stream).
@@ -314,7 +314,7 @@ impl NfsClient {
             params,
             cache,
             inflight: VecDeque::new(),
-            last_read_end: HashMap::new(),
+            last_read_end: FxHashMap::default(),
             meter: FsMeter::default(),
             rng: SplitMix64::new(0x4e46_5343 ^ node as u64),
             retries: 0,

@@ -14,14 +14,111 @@
 //! * every segment is indexed by a unique LRU stamp.
 
 use crate::file::FileId;
-use std::collections::{BTreeMap, HashMap};
+use simcore::FxHashMap;
+use storage::InlineVec;
 
 /// A cached byte range of some file.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct Seg {
     end: u64,
     dirty: bool,
     stamp: u64,
+}
+
+/// Per-file segment list, sorted by start offset. Sequential streams
+/// coalesce, so these lists are short and a sorted vector with binary
+/// search beats a tree both in lookups and in cache locality.
+type SegList = Vec<(u64, Seg)>;
+
+/// Index of the first segment starting at or after `start`.
+fn seg_idx(segs: &SegList, start: u64) -> usize {
+    segs.partition_point(|&(s, _)| s < start)
+}
+
+/// One recency-ordered cache entry. Entries are appended in stamp order
+/// and deleted lazily (tombstoned), so recency updates are O(1) amortized
+/// instead of a tree rebalance per touch.
+#[derive(Clone, Copy, Debug)]
+struct LruEntry {
+    stamp: u64,
+    file: u64,
+    start: u64,
+    alive: bool,
+}
+
+/// Recency index over all segments: a stamp-sorted vector with lazy
+/// deletion. Stamps are allocated monotonically, so insertions append;
+/// the only out-of-order inserts are punch/mark-clean left remnants that
+/// keep their original (older) stamp, and those either resurrect their
+/// own tombstone or pay a rare mid-vector insert.
+#[derive(Clone, Debug, Default)]
+struct Lru {
+    /// Stamp-ascending entries, dead ones tombstoned in place.
+    entries: Vec<LruEntry>,
+    /// Entries before this index are all dead (advanced by `oldest`).
+    head: usize,
+    /// Total dead entries; compaction triggers when they dominate.
+    dead: usize,
+}
+
+impl Lru {
+    fn insert(&mut self, stamp: u64, file: u64, start: u64) {
+        let fresh = LruEntry {
+            stamp,
+            file,
+            start,
+            alive: true,
+        };
+        match self.entries.last() {
+            Some(last) if last.stamp >= stamp => {
+                let idx = self.entries.partition_point(|e| e.stamp < stamp);
+                if let Some(e) = self.entries.get_mut(idx) {
+                    if e.stamp == stamp {
+                        debug_assert!(!e.alive, "duplicate live LRU stamp");
+                        *e = fresh;
+                        self.dead -= 1;
+                        self.head = self.head.min(idx);
+                        return;
+                    }
+                }
+                self.entries.insert(idx, fresh);
+                self.head = self.head.min(idx);
+            }
+            _ => self.entries.push(fresh),
+        }
+    }
+
+    fn remove(&mut self, stamp: u64) {
+        let idx = self.entries.partition_point(|e| e.stamp < stamp);
+        let e = &mut self.entries[idx];
+        debug_assert!(e.stamp == stamp && e.alive, "remove of unknown LRU stamp");
+        e.alive = false;
+        self.dead += 1;
+        if self.dead >= 64 && self.dead * 2 > self.entries.len() {
+            self.entries.retain(|e| e.alive);
+            self.head = 0;
+            self.dead = 0;
+        }
+    }
+
+    /// The least-recently-used live entry, if any.
+    fn oldest(&mut self) -> Option<(u64, u64, u64)> {
+        while let Some(e) = self.entries.get(self.head) {
+            if e.alive {
+                return Some((e.stamp, e.file, e.start));
+            }
+            self.head += 1;
+        }
+        None
+    }
+
+    /// Live `(file, start)` pairs in recency order, oldest first.
+    fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.entries[self.head.min(self.entries.len())..]
+            .iter()
+            .filter(|e| e.alive)
+            .map(|e| (e.file, e.start))
+    }
 }
 
 /// A (file, start, end) triple returned by flush/evict operations.
@@ -54,8 +151,8 @@ pub struct RangeCache {
     used: u64,
     dirty: u64,
     next_stamp: u64,
-    files: HashMap<u64, BTreeMap<u64, Seg>>,
-    lru: BTreeMap<u64, (u64, u64)>,
+    files: FxHashMap<u64, SegList>,
+    lru: Lru,
 }
 
 impl RangeCache {
@@ -66,8 +163,8 @@ impl RangeCache {
             used: 0,
             dirty: 0,
             next_stamp: 0,
-            files: HashMap::new(),
-            lru: BTreeMap::new(),
+            files: FxHashMap::default(),
+            lru: Lru::default(),
         }
     }
 
@@ -94,12 +191,14 @@ impl RangeCache {
 
     /// Removes the segment starting at `start` from all indexes.
     fn detach(&mut self, file: u64, start: u64) -> Seg {
-        let seg = self
-            .files
-            .get_mut(&file)
-            .and_then(|m| m.remove(&start))
-            .expect("detach of unknown segment");
-        self.lru.remove(&seg.stamp);
+        let segs = self.files.get_mut(&file).expect("detach of unknown file");
+        let idx = seg_idx(segs, start);
+        debug_assert!(
+            idx < segs.len() && segs[idx].0 == start,
+            "detach of unknown segment"
+        );
+        let (_, seg) = segs.remove(idx);
+        self.lru.remove(seg.stamp);
         self.used -= seg.end - start;
         if seg.dirty {
             self.dirty -= seg.end - start;
@@ -114,24 +213,31 @@ impl RangeCache {
         if seg.dirty {
             self.dirty += seg.end - start;
         }
-        self.lru.insert(seg.stamp, (file, start));
-        self.files.entry(file).or_default().insert(start, seg);
+        self.lru.insert(seg.stamp, file, start);
+        let segs = self.files.entry(file).or_default();
+        let idx = seg_idx(segs, start);
+        debug_assert!(
+            idx == segs.len() || segs[idx].0 != start,
+            "attach over an existing segment"
+        );
+        segs.insert(idx, (start, seg));
     }
 
-    /// Segments of `file` overlapping `[start, end)`.
-    fn overlapping(&self, file: u64, start: u64, end: u64) -> Vec<(u64, Seg)> {
-        let Some(map) = self.files.get(&file) else {
-            return Vec::new();
+    /// Segments of `file` overlapping `[start, end)`. Sequential access
+    /// overlaps at most a couple of segments, so the snapshot stays inline.
+    fn overlapping(&self, file: u64, start: u64, end: u64) -> InlineVec<(u64, Seg), 4> {
+        let mut out = InlineVec::new();
+        let Some(segs) = self.files.get(&file) else {
+            return out;
         };
-        let mut out = Vec::new();
+        let mut idx = seg_idx(segs, start);
         // The predecessor segment may extend into [start, end).
-        if let Some((&s, seg)) = map.range(..start).next_back() {
-            if seg.end > start {
-                out.push((s, *seg));
-            }
+        if idx > 0 && segs[idx - 1].1.end > start {
+            out.push(segs[idx - 1]);
         }
-        for (&s, seg) in map.range(start..end) {
-            out.push((s, *seg));
+        while idx < segs.len() && segs[idx].0 < end {
+            out.push(segs[idx]);
+            idx += 1;
         }
         out
     }
@@ -142,11 +248,9 @@ impl RangeCache {
     /// only `insert(dirty=true)` over dirty data does — rely on this).
     fn punch(&mut self, file: u64, start: u64, end: u64) -> u64 {
         let mut lost_dirty = 0;
-        for (s, seg) in self.overlapping(file, start, end) {
-            let seg = {
-                self.detach(file, s);
-                seg
-            };
+        let overlaps = self.overlapping(file, start, end);
+        for &(s, seg) in overlaps.iter() {
+            self.detach(file, s);
             let cut_from = s.max(start);
             let cut_to = seg.end.min(end);
             if seg.dirty {
@@ -183,14 +287,16 @@ impl RangeCache {
 
     /// Merges the segment at `start` with adjacent same-state neighbours.
     fn coalesce(&mut self, file: u64, mut start: u64) {
-        let map = self.files.get(&file).expect("coalesce on unknown file");
-        let seg = *map.get(&start).expect("coalesce on unknown segment");
+        let segs = self.files.get(&file).expect("coalesce on unknown file");
+        let idx = seg_idx(segs, start);
+        debug_assert!(
+            idx < segs.len() && segs[idx].0 == start,
+            "coalesce on unknown segment"
+        );
+        let seg = segs[idx].1;
         // Merge with predecessor.
-        if let Some((ps, pseg)) = self
-            .files
-            .get(&file)
-            .and_then(|m| m.range(..start).next_back().map(|(a, b)| (*a, *b)))
-        {
+        if idx > 0 {
+            let (ps, pseg) = segs[idx - 1];
             if pseg.end == start && pseg.dirty == seg.dirty {
                 self.detach(file, ps);
                 let seg = self.detach(file, start);
@@ -208,16 +314,15 @@ impl RangeCache {
             }
         }
         // Merge with successor.
-        let seg = *self
-            .files
-            .get(&file)
-            .and_then(|m| m.get(&start))
-            .expect("segment vanished during coalesce");
-        if let Some((ns, nseg)) = self
-            .files
-            .get(&file)
-            .and_then(|m| m.range(start + 1..).next().map(|(a, b)| (*a, *b)))
-        {
+        let segs = self.files.get(&file).expect("segment vanished");
+        let idx = seg_idx(segs, start);
+        debug_assert!(
+            idx < segs.len() && segs[idx].0 == start,
+            "segment vanished during coalesce"
+        );
+        let seg = segs[idx].1;
+        if idx + 1 < segs.len() {
+            let (ns, nseg) = segs[idx + 1];
             if seg.end == ns && nseg.dirty == seg.dirty {
                 let nseg = self.detach(file, ns);
                 self.detach(file, start);
@@ -256,7 +361,7 @@ impl RangeCache {
         let mut misses = Vec::new();
         let mut pos = start;
         let overlaps = self.overlapping(file.0, start, end);
-        for (s, seg) in overlaps {
+        for &(s, seg) in overlaps.iter() {
             let h_from = s.max(start);
             let h_to = seg.end.min(end);
             if h_from > pos {
@@ -272,10 +377,13 @@ impl RangeCache {
                 end: h_to,
             });
             pos = h_to;
-            // Refresh LRU stamp.
-            let mut seg = self.detach(file.0, s);
-            seg.stamp = self.stamp();
-            self.attach(file.0, s, seg);
+            // Refresh the LRU stamp in place (no segment-list churn).
+            let stamp = self.stamp();
+            let segs = self.files.get_mut(&file.0).expect("hit on unknown file");
+            let idx = seg_idx(segs, s);
+            self.lru.remove(segs[idx].1.stamp);
+            segs[idx].1.stamp = stamp;
+            self.lru.insert(stamp, file.0, s);
         }
         if pos < end {
             misses.push(RangeRef {
@@ -290,7 +398,8 @@ impl RangeCache {
     /// Marks `[start, end)` clean where cached (after a successful
     /// writeback). Leaves LRU order unchanged.
     pub fn mark_clean(&mut self, file: FileId, start: u64, end: u64) {
-        for (s, seg) in self.overlapping(file.0, start, end) {
+        let overlaps = self.overlapping(file.0, start, end);
+        for &(s, seg) in overlaps.iter() {
             if !seg.dirty {
                 continue;
             }
@@ -342,7 +451,7 @@ impl RangeCache {
         let mut out = Vec::new();
         let mut budget = max_bytes;
         let mut files_seen = Vec::new();
-        for &(file, _) in self.lru.values() {
+        for (file, _) in self.lru.iter() {
             if budget == 0 {
                 break;
             }
@@ -350,10 +459,10 @@ impl RangeCache {
                 continue;
             }
             files_seen.push(file);
-            let Some(map) = self.files.get(&file) else {
+            let Some(segs) = self.files.get(&file) else {
                 continue;
             };
-            for (&s, seg) in map.iter() {
+            for &(s, seg) in segs.iter() {
                 if !seg.dirty {
                     continue;
                 }
@@ -376,10 +485,10 @@ impl RangeCache {
     pub fn dirty_ranges_of(&self, file: FileId) -> Vec<RangeRef> {
         self.files
             .get(&file.0)
-            .map(|m| {
-                m.iter()
+            .map(|segs| {
+                segs.iter()
                     .filter(|(_, seg)| seg.dirty)
-                    .map(|(&s, seg)| RangeRef {
+                    .map(|&(s, seg)| RangeRef {
                         file,
                         start: s,
                         end: seg.end,
@@ -396,15 +505,15 @@ impl RangeCache {
     pub fn ensure_room(&mut self, need: u64) -> Vec<RangeRef> {
         let mut must_flush = Vec::new();
         while self.used + need > self.capacity {
-            let Some((&stamp, &(file, start))) = self.lru.iter().next() else {
+            let Some((stamp, file, start)) = self.lru.oldest() else {
                 break; // nothing left to evict
             };
             debug_assert_eq!(
                 self.files
                     .get(&file)
-                    .and_then(|m| m.get(&start))
-                    .map(|s| s.stamp),
-                Some(stamp)
+                    .and_then(|segs| segs.get(seg_idx(segs, start)))
+                    .map(|&(s, seg)| (s, seg.stamp)),
+                Some((start, stamp))
             );
             let seg = self.detach(file, start);
             if seg.dirty {
@@ -421,12 +530,12 @@ impl RangeCache {
     /// Drops every cached range of `file` (e.g. on delete). Dirty data is
     /// discarded; returns how many dirty bytes were lost.
     pub fn drop_file(&mut self, file: FileId) -> u64 {
-        let Some(map) = self.files.remove(&file.0) else {
+        let Some(segs) = self.files.remove(&file.0) else {
             return 0;
         };
         let mut lost = 0;
-        for (s, seg) in map {
-            self.lru.remove(&seg.stamp);
+        for (s, seg) in segs {
+            self.lru.remove(seg.stamp);
             self.used -= seg.end - s;
             if seg.dirty {
                 self.dirty -= seg.end - s;
@@ -438,7 +547,7 @@ impl RangeCache {
 
     /// Number of cached segments (for tests and diagnostics).
     pub fn segments(&self) -> usize {
-        self.files.values().map(|m| m.len()).sum()
+        self.files.values().map(|segs| segs.len()).sum()
     }
 }
 

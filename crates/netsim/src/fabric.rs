@@ -111,22 +111,31 @@ impl Fabric {
             now + self.params.per_msg_overhead + self.params.loopback_bw.time_for(bytes)
         } else {
             let bw = self.params.link.bandwidth;
-            let mut remaining = bytes;
-            let mut t = now + self.params.per_msg_overhead;
-            let mut last_rx_end;
-            // Zero-byte messages still traverse the stack and the wire.
-            loop {
-                let frame = remaining.min(self.params.max_frame);
-                let service = bw.time_for(frame.max(1).min(remaining.max(1)));
-                let txg = self.tx[from].submit(t, service);
-                let rxg = self.rx[to].submit(txg.end, service);
-                last_rx_end = rxg.end;
-                t = txg.end;
-                if remaining <= self.params.max_frame {
-                    break;
-                }
-                remaining -= frame;
-            }
+            let frame = self.params.max_frame;
+            let t0 = now + self.params.per_msg_overhead;
+            let last_rx_end = if bytes <= frame {
+                // Single frame (zero-byte messages still cross the wire).
+                let service = bw.time_for(bytes.max(1));
+                let txg = self.tx[from].submit(t0, service);
+                self.rx[to].submit(txg.end, service).end
+            } else {
+                // F = ceil(bytes/frame) ≥ 2 frames: first and last go down
+                // individually, the F−2 full middle frames as closed-form
+                // runs. The per-frame RX chain collapses exactly: RX of
+                // frame 0 ends no earlier than TX of frame 1 (equal
+                // service), so every middle frame finds the RX link busy
+                // and queues directly behind its predecessor.
+                let full = bw.time_for(frame);
+                let tail = bytes - (bytes - 1) / frame * frame; // in (0, frame]
+                let middle = (bytes - 1) / frame - 1;
+                let txg0 = self.tx[from].submit(t0, full);
+                let rxg0 = self.rx[to].submit(txg0.end, full);
+                let tx_mid = self.tx[from].submit_run(txg0.end, full, middle);
+                let rx_mid = self.rx[to].submit_run(txg0.end + full, full, middle);
+                debug_assert_eq!(rx_mid.end, rxg0.end + full * middle);
+                let txl = self.tx[from].submit(tx_mid.end, bw.time_for(tail));
+                self.rx[to].submit(txl.end, bw.time_for(tail)).end
+            };
             last_rx_end + self.params.link.latency
         };
         self.meter.messages += 1;
@@ -393,6 +402,64 @@ mod tests {
         );
         assert!(split.is_split());
         assert!(!shared.is_split());
+    }
+
+    /// The pre-closed-form frame loop, kept verbatim as the reference
+    /// implementation for the equivalence test below.
+    fn reference_send(f: &mut Fabric, now: Time, from: usize, to: usize, bytes: u64) -> Time {
+        let params = f.params;
+        let bw = params.link.bandwidth;
+        let mut remaining = bytes;
+        let mut t = now + params.per_msg_overhead;
+        let mut last_rx_end;
+        loop {
+            let frame = remaining.min(params.max_frame);
+            let service = bw.time_for(frame.max(1).min(remaining.max(1)));
+            let txg = f.tx[from].submit(t, service);
+            let rxg = f.rx[to].submit(txg.end, service);
+            last_rx_end = rxg.end;
+            t = txg.end;
+            if remaining <= params.max_frame {
+                break;
+            }
+            remaining -= frame;
+        }
+        f.meter.messages += 1;
+        f.meter
+            .transfers
+            .record(bytes, last_rx_end + params.link.latency - now);
+        last_rx_end + params.link.latency
+    }
+
+    #[test]
+    fn closed_form_send_matches_the_frame_loop() {
+        let params = FabricParams::gigabit_ethernet();
+        let mut fast = Fabric::new(4, params);
+        let mut slow = Fabric::new(4, params);
+        let mut rng = SplitMix64::new(0xfab);
+        let mut now = Time::ZERO;
+        for i in 0..200u64 {
+            let from = (rng.next_below(3)) as usize;
+            let to = 3usize;
+            // Sizes straddle every regime: sub-frame, exact multiples,
+            // multi-frame with tails, and the occasional huge transfer.
+            let bytes = match i % 5 {
+                0 => rng.next_below(params.max_frame),
+                1 => params.max_frame * (1 + rng.next_below(4)),
+                2 => params.max_frame * (2 + rng.next_below(64)) + 1 + rng.next_below(1000),
+                3 => 0,
+                _ => rng.next_below(256 * MIB),
+            };
+            let a = fast.send(now, from, to, bytes);
+            let b = reference_send(&mut slow, now, from, to, bytes);
+            assert_eq!(a, b, "delivery diverged at message {i} ({bytes} bytes)");
+            now += Time::from_micros(rng.next_below(500));
+        }
+        assert_eq!(fast.meter().messages, slow.meter().messages);
+        assert_eq!(
+            fast.meter().transfers.bytes(),
+            slow.meter().transfers.bytes()
+        );
     }
 
     #[test]

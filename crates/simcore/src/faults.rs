@@ -226,6 +226,12 @@ impl FaultSchedule {
         *cursor = end;
         &self.events[start..end]
     }
+
+    /// Instant of the next event at or after `cursor`, if any — the *fault
+    /// horizon* closed-form fast paths must not simulate past.
+    pub fn next_at(&self, cursor: usize) -> Option<Time> {
+        self.events.get(cursor).map(|e| e.at)
+    }
 }
 
 #[cfg(test)]

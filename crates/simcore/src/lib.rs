@@ -4,7 +4,7 @@
 //!
 //! * [`Time`] / [`Bandwidth`] — nanosecond-resolution simulated time and
 //!   byte-per-second rates with overflow-safe conversions.
-//! * [`EventQueue`] — a binary-heap event queue with stable FIFO ordering for
+//! * [`EventQueue`] — a slab-backed four-ary-heap event queue with stable FIFO ordering for
 //!   events scheduled at the same instant.
 //! * [`FifoResource`] / [`MultiResource`] — *timeline resources*: a request
 //!   arriving at `t` starts at `max(t, free_at)` and occupies the resource for
@@ -20,6 +20,7 @@
 //!   abort with a typed [`Abort`] instead of hanging a campaign.
 
 pub mod faults;
+pub mod hash;
 pub mod progress;
 pub mod queue;
 pub mod resource;
@@ -28,8 +29,9 @@ pub mod stats;
 pub mod time;
 
 pub use faults::{Fault, FaultEvent, FaultProfile, FaultSchedule, NetClass};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
 pub use progress::{Abort, Watchdog, WatchdogSpec};
-pub use queue::EventQueue;
+pub use queue::{EventHandle, EventQueue};
 pub use resource::{FifoResource, MultiResource};
 pub use rng::{seed_for, SplitMix64};
 pub use time::{Bandwidth, Time};

@@ -5,44 +5,78 @@
 //! reproducibility: rank programs frequently schedule several events at the
 //! same instant (e.g. all ranks released by a barrier) and the methodology's
 //! determinism tests require identical delivery order on every run.
+//!
+//! # Implementation
+//!
+//! Events live in a slab (a `Vec` arena with a free list), and a four-ary
+//! min-heap orders compact `(timestamp, sequence, slot)` entries. Compared
+//! to a `BinaryHeap` of boxed-up entries this removes the per-push
+//! allocation entirely once the arena is warm — a simulation pushes and
+//! pops millions of events over a nearly constant population, so after the
+//! first few levels of growth every `schedule` reuses a freed slot. The
+//! ordering key is stored *inline* in the heap entry (not looked up
+//! through the slot index), so sifting never chases a pointer into the
+//! arena; payloads, which can be large, never move during sifts. The
+//! four-ary layout halves the tree depth, which trades slightly more
+//! comparisons per sift-down for far fewer cache misses on the hot pop
+//! path.
+//!
+//! Cancellation ([`EventQueue::cancel`]) is *lazy*: the slot's payload is
+//! taken out immediately, but the heap entry stays behind as a tombstone
+//! until it surfaces at the top, where it is purged. No decrease-key or
+//! arbitrary-position removal is ever needed, so the heap stays a flat
+//! array of `u32` indices.
 
 use crate::time::Time;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-struct Entry<T> {
+/// Heap arity. Four keeps parent/child arithmetic shift-based and the tree
+/// shallow; benchmarks on the simulator's event mix favour it over binary.
+const D: usize = 4;
+
+/// A handle to a scheduled event, returned by
+/// [`EventQueue::schedule_cancellable`]. Handles are generation-checked:
+/// once the event is delivered or cancelled the handle goes stale and
+/// [`EventQueue::cancel`] returns `None`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventHandle {
+    idx: u32,
+    gen: u32,
+}
+
+struct Slot<T> {
+    gen: u32,
+    /// `Some` while the event is pending; `None` for a cancelled tombstone
+    /// still sitting in the heap, or a vacant slot on the free list.
+    item: Option<T>,
+}
+
+/// One heap entry: the full ordering key plus the payload's slot. Keeping
+/// the key here (instead of dereferencing `slot`) makes every sift
+/// comparison a sequential read of the heap array itself.
+#[derive(Clone, Copy)]
+struct HeapEntry {
     at: Time,
     seq: u64,
-    item: T,
+    slot: u32,
 }
 
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<T> Eq for Entry<T> {}
-
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (then lowest
-        // sequence number) event is popped first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (Time, u64) {
+        (self.at, self.seq)
     }
 }
 
 /// A time-ordered queue of events with stable FIFO tie-breaking.
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
+    slots: Vec<Slot<T>>,
+    /// Vacant slot indices available for reuse.
+    free: Vec<u32>,
+    /// Four-ary min-heap keyed by `(at, seq)`.
+    heap: Vec<HeapEntry>,
+    /// Pending (non-cancelled) events; `heap` may be longer by the number
+    /// of tombstones below the top.
+    live: usize,
     next_seq: u64,
     now: Time,
 }
@@ -57,7 +91,10 @@ impl<T> EventQueue<T> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            live: 0,
             next_seq: 0,
             now: Time::ZERO,
         }
@@ -74,14 +111,7 @@ impl<T> EventQueue<T> {
     /// Scheduling in the past is a logic error in the caller; the queue
     /// panics (in debug and release) rather than silently reordering time.
     pub fn schedule(&mut self, at: Time, item: T) {
-        assert!(
-            at >= self.now,
-            "event scheduled in the past: at={at:?} now={:?}",
-            self.now
-        );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { at, seq, item });
+        self.schedule_cancellable(at, item);
     }
 
     /// Schedules `item` at `now() + delay`.
@@ -90,26 +120,154 @@ impl<T> EventQueue<T> {
         self.schedule(at, item);
     }
 
+    /// Like [`EventQueue::schedule`], but returns a handle that can later
+    /// be passed to [`EventQueue::cancel`].
+    pub fn schedule_cancellable(&mut self, at: Time, item: T) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize].item = Some(item);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("event arena exceeds u32 slots");
+                self.slots.push(Slot {
+                    gen: 0,
+                    item: Some(item),
+                });
+                idx
+            }
+        };
+        self.heap.push(HeapEntry { at, seq, slot: idx });
+        self.sift_up(self.heap.len() - 1);
+        self.live += 1;
+        EventHandle {
+            idx,
+            gen: self.slots[idx as usize].gen,
+        }
+    }
+
+    /// Cancels a pending event, returning its payload. Returns `None` when
+    /// the handle is stale (the event was already delivered or cancelled).
+    ///
+    /// The heap entry is *not* removed here; it becomes a tombstone that is
+    /// discarded when it reaches the top (lazy deletion — no decrease-key,
+    /// no arbitrary-position removal).
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<T> {
+        let slot = self.slots.get_mut(handle.idx as usize)?;
+        if slot.gen != handle.gen {
+            return None;
+        }
+        let item = slot.item.take()?;
+        self.live -= 1;
+        // Keep the invariant that the heap top, if any, is a live event, so
+        // `peek_time` stays O(1) and borrow-free.
+        self.purge_dead_top();
+        Some(item)
+    }
+
     /// Removes and returns the earliest event, advancing [`Self::now`].
     pub fn pop(&mut self) -> Option<(Time, T)> {
-        let entry = self.heap.pop()?;
-        self.now = entry.at;
-        Some((entry.at, entry.item))
+        let &top = self.heap.first()?;
+        // The top is live by invariant (tombstones are purged as soon as
+        // they surface).
+        let item = self.slots[top.slot as usize]
+            .item
+            .take()
+            .expect("top is live");
+        self.live -= 1;
+        self.remove_top();
+        self.purge_dead_top();
+        self.now = top.at;
+        Some((top.at, item))
     }
 
     /// The timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.first().map(|e| e.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
+    }
+
+    /// Removes `heap[0]`, retiring its slot to the free list.
+    fn remove_top(&mut self) {
+        let top = self.heap.swap_remove(0);
+        self.retire(top.slot);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+    }
+
+    /// Discards cancelled entries that surfaced at the heap top.
+    fn purge_dead_top(&mut self) {
+        while let Some(&e) = self.heap.first() {
+            if self.slots[e.slot as usize].item.is_some() {
+                break;
+            }
+            self.remove_top();
+        }
+    }
+
+    fn retire(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.item = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        let moved = self.heap[pos];
+        let key = moved.key();
+        while pos > 0 {
+            let parent = (pos - 1) / D;
+            if self.heap[parent].key() <= key {
+                break;
+            }
+            self.heap[pos] = self.heap[parent];
+            pos = parent;
+        }
+        self.heap[pos] = moved;
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let moved = self.heap[pos];
+        let key = moved.key();
+        loop {
+            let first_child = pos * D + 1;
+            if first_child >= self.heap.len() {
+                break;
+            }
+            let last_child = (first_child + D).min(self.heap.len());
+            let mut best = first_child;
+            let mut best_key = self.heap[first_child].key();
+            for c in first_child + 1..last_child {
+                let k = self.heap[c].key();
+                if k < best_key {
+                    best = c;
+                    best_key = k;
+                }
+            }
+            if key <= best_key {
+                break;
+            }
+            self.heap[pos] = self.heap[best];
+            pos = best;
+        }
+        self.heap[pos] = moved;
     }
 }
 
@@ -194,5 +352,114 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 3);
         assert_eq!(q.pop().unwrap().1, 4);
         assert_eq!(q.pop().unwrap().1, 5);
+    }
+
+    #[test]
+    fn cancel_removes_event_and_returns_payload() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(1), "keep");
+        let h = q.schedule_cancellable(Time::from_secs(2), "drop");
+        q.schedule(Time::from_secs(3), "last");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.cancel(h), Some("drop"));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((Time::from_secs(1), "keep")));
+        assert_eq!(q.pop(), Some((Time::from_secs(3), "last")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_stale_after_delivery() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancellable(Time::from_secs(1), 42);
+        assert_eq!(q.cancel(h), Some(42));
+        assert_eq!(q.cancel(h), None, "double cancel");
+        let h2 = q.schedule_cancellable(Time::from_secs(2), 43);
+        assert_eq!(q.pop(), Some((Time::from_secs(2), 43)));
+        assert_eq!(q.cancel(h2), None, "cancel after delivery");
+    }
+
+    #[test]
+    fn stale_handle_does_not_cancel_reused_slot() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancellable(Time::from_secs(1), 1u32);
+        q.pop();
+        // The delivered event's slot is reused; the old handle must not
+        // reach the new occupant.
+        let _h2 = q.schedule_cancellable(Time::from_secs(2), 2u32);
+        assert_eq!(q.cancel(h), None);
+        assert_eq!(q.pop(), Some((Time::from_secs(2), 2)));
+    }
+
+    #[test]
+    fn cancelled_top_is_purged_for_peek() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancellable(Time::from_secs(1), 1u32);
+        q.schedule(Time::from_secs(2), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_secs(1)));
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(Time::from_secs(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancel_everything_empties_the_queue() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..50)
+            .map(|i| q.schedule_cancellable(Time::from_millis(i % 7), i))
+            .collect();
+        for h in handles {
+            assert!(q.cancel(h).is_some());
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn slab_reuses_slots_across_pop_cycles() {
+        // Steady-state churn: the arena must not grow past the peak
+        // population, and ordering must survive heavy slot reuse.
+        let mut q = EventQueue::new();
+        for round in 0..200u64 {
+            q.schedule(Time::from_nanos(round * 10 + 5), round);
+            q.schedule(Time::from_nanos(round * 10 + 5), round + 1000);
+            let (_, first) = q.pop().unwrap();
+            let (_, second) = q.pop().unwrap();
+            assert_eq!(first, round);
+            assert_eq!(second, round + 1000);
+        }
+        assert!(q.slots.len() <= 4, "arena grew despite reuse");
+    }
+
+    #[test]
+    fn randomized_order_matches_reference_sort() {
+        // Deterministic pseudo-random mix of schedules and cancels checked
+        // against a sorted reference.
+        let mut q = EventQueue::new();
+        let mut expect: Vec<(Time, u64)> = Vec::new();
+        let mut handles = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let at = Time::from_nanos(x % 64);
+            let h = q.schedule_cancellable(at, i);
+            if x.is_multiple_of(5) {
+                handles.push((h, at, i));
+            } else {
+                expect.push((at, i));
+            }
+        }
+        for (h, _, _) in &handles {
+            assert!(q.cancel(*h).is_some());
+        }
+        expect.sort(); // (at, seq-order) — seq equals insertion index here
+        let mut got = Vec::new();
+        while let Some((at, i)) = q.pop() {
+            got.push((at, i));
+        }
+        assert_eq!(got, expect);
     }
 }

@@ -60,6 +60,26 @@ impl FifoResource {
         Grant { start, end }
     }
 
+    /// Submits `count` back-to-back requests, all arriving at `arrival`,
+    /// each needing `service` time. Exactly equivalent to `count` calls to
+    /// [`FifoResource::submit`] (the first starts at `max(arrival, free_at)`
+    /// and every later one starts when its predecessor completes), but in
+    /// O(1): the bulk-transfer fast path uses this to collapse a chunked
+    /// sequential run into closed form. Returns the grant envelope — start
+    /// of the first request, end of the last. `count == 0` is a no-op grant
+    /// at the would-be start instant.
+    pub fn submit_run(&mut self, arrival: Time, service: Time, count: u64) -> Grant {
+        let start = arrival.max(self.free_at);
+        if count == 0 {
+            return Grant { start, end: start };
+        }
+        let end = start + service * count;
+        self.free_at = end;
+        self.busy += service * count;
+        self.requests += count;
+        Grant { start, end }
+    }
+
     /// When the resource next becomes idle.
     pub fn free_at(&self) -> Time {
         self.free_at
@@ -216,6 +236,38 @@ mod tests {
         let g = r.submit(s(1), s(1));
         assert_eq!(g.start, s(1));
         assert_eq!(r.requests(), 1);
+    }
+
+    #[test]
+    fn submit_run_matches_repeated_submit() {
+        let mut bulk = FifoResource::new();
+        let mut loop_r = FifoResource::new();
+        bulk.submit(s(0), s(3));
+        loop_r.submit(s(0), s(3));
+        let g = bulk.submit_run(s(1), s(2), 5);
+        let mut first = None;
+        let mut last = None;
+        for _ in 0..5 {
+            let g = loop_r.submit(s(1), s(2));
+            first.get_or_insert(g.start);
+            last = Some(g.end);
+        }
+        assert_eq!(g.start, first.unwrap());
+        assert_eq!(g.end, last.unwrap());
+        assert_eq!(bulk.free_at(), loop_r.free_at());
+        assert_eq!(bulk.busy_time(), loop_r.busy_time());
+        assert_eq!(bulk.requests(), loop_r.requests());
+    }
+
+    #[test]
+    fn submit_run_of_zero_requests_changes_nothing() {
+        let mut r = FifoResource::new();
+        r.submit(s(0), s(4));
+        let g = r.submit_run(s(1), s(9), 0);
+        assert_eq!(g.start, s(4));
+        assert_eq!(g.end, s(4));
+        assert_eq!(r.requests(), 1);
+        assert_eq!(r.free_at(), s(4));
     }
 
     #[test]

@@ -106,18 +106,48 @@ impl Time {
     pub fn checked_add(self, rhs: Time) -> Option<Time> {
         self.0.checked_add(rhs.0).map(Time)
     }
+
+    /// Saturating addition: `min(self + rhs, Time::MAX)`. Unlike `+`, this
+    /// never debug-asserts — use it where clamping at the "infinity"
+    /// sentinel is the intended semantics (deadline arithmetic).
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating multiplication by a scalar (see [`Time::saturating_add`]).
+    pub const fn saturating_mul(self, rhs: u64) -> Time {
+        Time(self.0.saturating_mul(rhs))
+    }
 }
 
+// `Add`/`AddAssign`/`Mul` saturate at `Time::MAX` instead of wrapping.
+// Instants near `Time::MAX` arise legitimately (`Bandwidth(0).time_for`
+// returns the sentinel, watchdogs use "never" deadlines); wrapping them in
+// release mode silently reorders time. Saturation keeps the sentinel
+// absorbing, while the `debug_assert!` still flags overflow as a likely
+// logic error in debug builds — callers that *intend* to clamp should say
+// so via `saturating_add`/`saturating_mul`.
 impl Add for Time {
     type Output = Time;
     fn add(self, rhs: Time) -> Time {
-        Time(self.0 + rhs.0)
+        let (sum, overflowed) = self.0.overflowing_add(rhs.0);
+        debug_assert!(
+            !overflowed,
+            "Time addition overflow: {:?} + {:?}",
+            Time(self.0),
+            Time(rhs.0)
+        );
+        if overflowed {
+            Time::MAX
+        } else {
+            Time(sum)
+        }
     }
 }
 
 impl AddAssign for Time {
     fn add_assign(&mut self, rhs: Time) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -137,7 +167,17 @@ impl SubAssign for Time {
 impl Mul<u64> for Time {
     type Output = Time;
     fn mul(self, rhs: u64) -> Time {
-        Time(self.0 * rhs)
+        let (product, overflowed) = self.0.overflowing_mul(rhs);
+        debug_assert!(
+            !overflowed,
+            "Time multiplication overflow: {:?} * {rhs}",
+            Time(self.0)
+        );
+        if overflowed {
+            Time::MAX
+        } else {
+            Time(product)
+        }
     }
 }
 
@@ -279,6 +319,45 @@ mod tests {
         assert_eq!(a.min(b), b);
         let total: Time = [a, b, b].into_iter().sum();
         assert_eq!(total, Time::from_secs(2));
+    }
+
+    #[test]
+    fn time_saturating_ops_clamp_at_max() {
+        assert_eq!(Time::MAX.saturating_add(Time::from_secs(1)), Time::MAX);
+        assert_eq!(Time::MAX.saturating_mul(2), Time::MAX);
+        assert_eq!(
+            Time::from_secs(1).saturating_add(Time::from_secs(2)),
+            Time::from_secs(3)
+        );
+        assert_eq!(Time::from_secs(3).saturating_mul(2), Time::from_secs(6));
+        assert_eq!(Time::MAX.checked_add(Time::from_nanos(1)), None);
+    }
+
+    // Regression: `Time::MAX + x` used to wrap in release builds, turning a
+    // watchdog "never" deadline into an instant in the distant past. The
+    // operators now saturate; in debug builds they additionally assert.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn time_add_saturates_in_release() {
+        assert_eq!(Time::MAX + Time::from_secs(1), Time::MAX);
+        let mut t = Time::MAX;
+        t += Time::from_nanos(7);
+        assert_eq!(t, Time::MAX);
+        assert_eq!(Time::MAX * 3, Time::MAX);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "Time addition overflow")]
+    fn time_add_overflow_asserts_in_debug() {
+        let _ = Time::MAX + Time::from_nanos(1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "Time multiplication overflow")]
+    fn time_mul_overflow_asserts_in_debug() {
+        let _ = Time::MAX * 2;
     }
 
     #[test]

@@ -166,6 +166,23 @@ impl<V: Volume> Volume for CachedVolume<V> {
         &self.meter
     }
 
+    // The write cache acknowledges every chunk individually, so chunked
+    // runs keep the default granular `submit_run` (each chunk interacts
+    // with the cache) — `try_bulk_run` is deliberately NOT overridden.
+    // The bulk diagnostics and the fault horizon forward to the backing
+    // volume, which only ever sees per-chunk submissions from the cache.
+    fn set_fault_horizon(&mut self, horizon: Option<Time>) {
+        self.inner.set_fault_horizon(horizon);
+    }
+
+    fn set_bulk_enabled(&mut self, on: bool) {
+        self.inner.set_bulk_enabled(on);
+    }
+
+    fn bulk_run_stats(&self) -> (u64, u64) {
+        self.inner.bulk_run_stats()
+    }
+
     // Fault hooks pass straight through to the backing volume.
     fn fail_disk(&mut self, disk: usize) -> Result<(), VolumeError> {
         self.inner.fail_disk(disk)

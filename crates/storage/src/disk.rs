@@ -10,9 +10,30 @@
 //! (classic Ruemmler–Wilkes approximation); rotational delay is uniform in
 //! `[0, full_revolution)` drawn from a deterministic per-disk RNG.
 
-use crate::req::{BlockReq, IoGrant};
+use crate::req::{BlockOp, BlockReq, IoGrant};
 use serde::{Deserialize, Serialize};
 use simcore::{Bandwidth, FifoResource, SplitMix64, Time};
+
+/// Grant of a closed-form sequential command run
+/// (see [`Disk::submit_seq_run`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeqRunGrant {
+    /// Start instant of the first command in the run.
+    pub start: Time,
+    /// Completion of the first command.
+    pub first_ack: Time,
+    /// Service time of each command in the run.
+    pub service: Time,
+    /// Completion of the last command.
+    pub last_ack: Time,
+}
+
+impl SeqRunGrant {
+    /// Completion instant of command `i` (0-based) within the run.
+    pub fn ack(&self, i: u64) -> Time {
+        self.first_ack + self.service * i
+    }
+}
 
 /// Physical parameters of a disk.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -170,6 +191,48 @@ impl Disk {
             durable: grant.end,
         }
     }
+
+    /// Submits `count` equal-sized sequential commands, all arriving at
+    /// `now`, starting at `offset` — which must equal the previous
+    /// command's end. Every command in the run therefore skips positioning
+    /// and draws no rotational RNG, exactly as `count` individual
+    /// sequential [`Disk::submit`] calls would, so the whole run collapses
+    /// to one [`FifoResource::submit_run`]. Only valid on a nominal-speed
+    /// member (`slow_factor == 1.0`); bulk callers gate on that.
+    pub fn submit_seq_run(
+        &mut self,
+        now: Time,
+        op: BlockOp,
+        offset: u64,
+        len: u64,
+        count: u64,
+    ) -> SeqRunGrant {
+        debug_assert!(len > 0 && count > 0, "empty sequential run");
+        debug_assert_eq!(
+            self.last_end,
+            Some(offset),
+            "sequential run must continue the head position"
+        );
+        debug_assert_eq!(
+            self.slow_factor, 1.0,
+            "bulk runs are gated to nominal-speed members"
+        );
+        let bw = if op.is_write() {
+            self.params.write_bw
+        } else {
+            self.params.read_bw
+        };
+        let service = self.params.cmd_overhead + bw.time_for(len);
+        let grant = self.timeline.submit_run(now, service, count);
+        self.last_end = Some(offset + len * count);
+        self.ios += count;
+        SeqRunGrant {
+            start: grant.start,
+            first_ack: grant.start + service,
+            service,
+            last_ack: grant.end,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +319,31 @@ mod tests {
         let b = d.submit(Time::ZERO, BlockReq::read(MIB, MIB));
         assert!(b.start >= a.ack, "second request must wait");
         assert_eq!(d.ios(), 2);
+    }
+
+    #[test]
+    fn seq_run_matches_repeated_sequential_submits() {
+        let mut bulk = disk();
+        let mut granular = disk();
+        // Identical warm-up so both heads sit at the same position with the
+        // same RNG state.
+        let now = bulk.submit(Time::ZERO, BlockReq::write(0, MIB)).ack;
+        granular.submit(Time::ZERO, BlockReq::write(0, MIB));
+        let run = bulk.submit_seq_run(now, BlockOp::Write, MIB, MIB, 7);
+        let mut last = None;
+        for i in 0..7u64 {
+            last = Some(granular.submit(now, BlockReq::write(MIB + i * MIB, MIB)));
+        }
+        assert_eq!(run.last_ack, last.unwrap().ack);
+        assert_eq!(run.ack(6), run.last_ack);
+        assert_eq!(bulk.free_at(), granular.free_at());
+        assert_eq!(bulk.busy_time(), granular.busy_time());
+        assert_eq!(bulk.ios(), granular.ios());
+        // Both heads end at the same place: the next random submit draws
+        // the same positioning.
+        let a = bulk.submit(run.last_ack, BlockReq::read(500 * MIB, MIB));
+        let b = granular.submit(run.last_ack, BlockReq::read(500 * MIB, MIB));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! A small-vector type for allocation-free hot paths.
+//!
+//! [`InlineVec`] keeps up to `N` elements inline and spills to the heap
+//! only beyond that. The striping engines size `N` to the widest member
+//! arrays in the evaluated configurations, so per-request span computation
+//! performs no allocation at all on the hot path. This is deliberately the
+//! ~80-line subset of a small-vector crate that the storage engines need —
+//! no new dependency is pulled in.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A vector storing up to `N` elements inline before spilling to the heap.
+///
+/// Once spilled, all elements (including the former inline ones) live in
+/// the heap buffer, so the contents are always one contiguous slice.
+pub struct InlineVec<T, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            inline: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// A vector holding `count` copies of `value`.
+    pub fn filled(value: T, count: usize) -> Self {
+        let mut v = InlineVec::new();
+        for _ in 0..count {
+            v.push(value);
+        }
+        v
+    }
+
+    /// Appends an element, spilling to the heap past `N` elements.
+    pub fn push(&mut self, value: T) {
+        if self.spilled() {
+            self.spill.push(value);
+        } else if self.len < N {
+            self.inline[self.len] = value;
+            self.len += 1;
+        } else {
+            self.spill.reserve(N + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(value);
+        }
+    }
+
+    /// Whether the contents have spilled to the heap.
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+
+    /// The contents as a contiguous slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled() {
+            &self.spill
+        } else {
+            &self.inline[..self.len]
+        }
+    }
+
+    /// The contents as a contiguous mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled() {
+            &mut self.spill
+        } else {
+            &mut self.inline[..self.len]
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(&v[..], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_past_capacity_preserving_order() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        for i in 0..9 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.len(), 9);
+        assert_eq!(&v[..], &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn filled_and_mutation_through_slice() {
+        let mut v: InlineVec<u64, 8> = InlineVec::filled(0, 5);
+        v[2] += 7;
+        assert_eq!(&v[..], &[0, 0, 7, 0, 0]);
+        assert!(!v.spilled());
+    }
+
+    #[test]
+    fn debug_formats_as_slice() {
+        let v: InlineVec<u64, 4> = InlineVec::filled(3, 2);
+        assert_eq!(format!("{v:?}"), "[3, 3]");
+    }
+}

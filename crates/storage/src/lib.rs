@@ -20,12 +20,14 @@
 
 pub mod cache;
 pub mod disk;
+pub mod inline;
 pub mod raid;
 pub mod req;
 pub mod volume;
 
 pub use cache::{CachedVolume, WriteCacheParams};
-pub use disk::{Disk, DiskParams};
+pub use disk::{Disk, DiskParams, SeqRunGrant};
+pub use inline::InlineVec;
 pub use raid::{Jbod, Raid0, Raid1, Raid5};
 pub use req::{BlockOp, BlockReq, IoGrant};
-pub use volume::{RebuildReport, Volume, VolumeError, VolumeMeter};
+pub use volume::{fast_path, RebuildReport, Volume, VolumeError, VolumeMeter};

@@ -19,12 +19,156 @@
 //! the timing model (the spans are physically contiguous on each member).
 
 use crate::disk::Disk;
+use crate::inline::InlineVec;
 use crate::req::{BlockOp, BlockReq, IoGrant};
-use crate::volume::{RebuildReport, Volume, VolumeError, VolumeMeter};
+use crate::volume::{fast_path, RebuildReport, Volume, VolumeError, VolumeMeter};
 use simcore::Time;
 
 /// Member-local bytes reconstructed per background rebuild pass.
 const REBUILD_BATCH: u64 = 4 * 1024 * 1024;
+
+/// Inline capacity for per-member scratch arrays: sized to the widest
+/// arrays in the evaluated configurations so striping never allocates.
+const MAX_INLINE_MEMBERS: usize = 8;
+
+/// Per-member outcome of a closed-form bulk run: the normally positioned
+/// first command plus the uniform service time of its sequential followers.
+#[derive(Clone, Copy, Debug, Default)]
+struct MemberRun {
+    start: Time,
+    first_ack: Time,
+    service: Time,
+}
+
+impl MemberRun {
+    /// Completion of the member's `i`-th command (0-based).
+    fn ack(&self, i: u64) -> Time {
+        self.first_ack + self.service * i
+    }
+
+    /// Start of the member's `i`-th command; followers run back-to-back.
+    fn start_of(&self, i: u64) -> Time {
+        if i == 0 {
+            self.start
+        } else {
+            self.ack(i - 1)
+        }
+    }
+}
+
+/// Issues `count` equal chunk commands per member `(disk, first offset,
+/// piece length)`: the first through [`Disk::submit`] (normal positioning
+/// and RNG), the remaining `count - 1` collapsed through
+/// [`Disk::submit_seq_run`]. Members are visited in the order given — the
+/// order the granular loop submits in — so per-disk command sequences and
+/// RNG draws are identical to `count` chunked submissions.
+fn run_members<'a>(
+    members: impl Iterator<Item = (&'a mut Disk, u64, u64)>,
+    now: Time,
+    op: BlockOp,
+    count: u64,
+) -> InlineVec<MemberRun, MAX_INLINE_MEMBERS> {
+    let mut runs = InlineVec::new();
+    for (disk, off, piece) in members {
+        let first = disk.submit(
+            now,
+            BlockReq {
+                op,
+                offset: off,
+                len: piece,
+            },
+        );
+        let service = if count > 1 {
+            disk.submit_seq_run(now, op, off + piece, piece, count - 1)
+                .service
+        } else {
+            Time::ZERO
+        };
+        runs.push(MemberRun {
+            start: first.start,
+            first_ack: first.ack,
+            service,
+        });
+    }
+    runs
+}
+
+/// Replays the per-chunk logical grants the granular loop would have
+/// recorded (identical arrivals, identical join order) and returns the
+/// envelope grant of the whole run.
+fn record_chunks(
+    meter: &mut VolumeMeter,
+    runs: &[MemberRun],
+    now: Time,
+    op: BlockOp,
+    offset: u64,
+    chunk: u64,
+    count: u64,
+) -> IoGrant {
+    let mut envelope: Option<IoGrant> = None;
+    for i in 0..count {
+        let mut grant: Option<IoGrant> = None;
+        for r in runs {
+            let part = IoGrant {
+                start: r.start_of(i),
+                ack: r.ack(i),
+                durable: r.ack(i),
+            };
+            grant = Some(match grant {
+                Some(acc) => acc.join(part),
+                None => part,
+            });
+        }
+        let grant = grant.expect("bulk run has members");
+        meter.record(
+            &BlockReq {
+                op,
+                offset: offset + i * chunk,
+                len: chunk,
+            },
+            now,
+            &grant,
+        );
+        meter.disk_ios += runs.len() as u64;
+        envelope = Some(match envelope {
+            Some(acc) => acc.join(grant),
+            None => grant,
+        });
+    }
+    envelope.expect("bulk run has chunks")
+}
+
+/// Conservative completion bound for a member running `count` commands of
+/// `piece` bytes from `now`: one worst-case positioning (the sequential
+/// followers position for free) plus per-command overhead and media time.
+/// Used only to keep closed-form runs from crossing the fault horizon;
+/// overshooting merely falls back to the granular path.
+fn member_bound(disk: &Disk, now: Time, op: BlockOp, piece: u64, count: u64) -> Time {
+    let p = disk.params();
+    let bw = if op.is_write() { p.write_bw } else { p.read_bw };
+    now.max(disk.free_at())
+        + p.avg_seek * 2
+        + p.full_revolution
+        + (p.cmd_overhead + bw.time_for(piece)) * count
+}
+
+/// Whether a run bounded by `bound` stays clear of the fault horizon.
+fn horizon_allows(horizon: Option<Time>, bound: Time) -> bool {
+    horizon.is_none_or(|h| bound < h)
+}
+
+/// Number of `x` in `[a, b]` with `x % n == m`.
+fn count_mod(a: u64, b: u64, n: u64, m: u64) -> u64 {
+    if a > b {
+        return 0;
+    }
+    let first = a + (m + n - a % n) % n;
+    if first > b {
+        0
+    } else {
+        (b - first) / n + 1
+    }
+}
 
 /// Background rebuild of a replacement member.
 ///
@@ -131,6 +275,10 @@ pub fn try_raid5_locate(
 pub struct Jbod {
     disk: Disk,
     meter: VolumeMeter,
+    fault_horizon: Option<Time>,
+    bulk_enabled: bool,
+    bulk_hits: u64,
+    bulk_misses: u64,
 }
 
 impl Jbod {
@@ -139,6 +287,10 @@ impl Jbod {
         Jbod {
             disk,
             meter: VolumeMeter::default(),
+            fault_horizon: None,
+            bulk_enabled: true,
+            bulk_hits: 0,
+            bulk_misses: 0,
         }
     }
 }
@@ -149,6 +301,54 @@ impl Volume for Jbod {
         self.meter.record(&req, now, &grant);
         self.meter.disk_ios += 1;
         grant
+    }
+
+    fn try_bulk_run(&mut self, now: Time, req: BlockReq, chunk: u64) -> Option<IoGrant> {
+        let full = req.len / chunk;
+        let ok = fast_path::bulk_enabled()
+            && self.bulk_enabled
+            && full >= 2
+            && self.disk.slow_factor() == 1.0
+            && horizon_allows(
+                self.fault_horizon,
+                member_bound(&self.disk, now, req.op, chunk, full),
+            );
+        if !ok {
+            self.bulk_misses += 1;
+            return None;
+        }
+        self.bulk_hits += 1;
+        let runs = run_members(
+            std::iter::once((&mut self.disk, req.offset, chunk)),
+            now,
+            req.op,
+            full,
+        );
+        let mut grant = record_chunks(&mut self.meter, &runs, now, req.op, req.offset, chunk, full);
+        let tail = req.len % chunk;
+        if tail > 0 {
+            grant = grant.join(self.submit(
+                now,
+                BlockReq {
+                    op: req.op,
+                    offset: req.offset + full * chunk,
+                    len: tail,
+                },
+            ));
+        }
+        Some(grant)
+    }
+
+    fn set_fault_horizon(&mut self, horizon: Option<Time>) {
+        self.fault_horizon = horizon;
+    }
+
+    fn set_bulk_enabled(&mut self, on: bool) {
+        self.bulk_enabled = on;
+    }
+
+    fn bulk_run_stats(&self) -> (u64, u64) {
+        (self.bulk_hits, self.bulk_misses)
     }
 
     fn flush(&mut self, _now: Time) -> Time {
@@ -183,6 +383,10 @@ pub struct Raid0 {
     disks: Vec<Disk>,
     stripe: u64,
     meter: VolumeMeter,
+    fault_horizon: Option<Time>,
+    bulk_enabled: bool,
+    bulk_hits: u64,
+    bulk_misses: u64,
 }
 
 impl Raid0 {
@@ -211,38 +415,54 @@ impl Raid0 {
             disks,
             stripe,
             meter: VolumeMeter::default(),
+            fault_horizon: None,
+            bulk_enabled: true,
+            bulk_hits: 0,
+            bulk_misses: 0,
         })
     }
 
-    /// Per-disk contiguous spans covering `req` (offset, len on each disk).
-    fn spans(&self, req: &BlockReq) -> Vec<(usize, u64, u64)> {
+    /// Per-disk contiguous spans covering `req` (member, offset, len), in
+    /// member order. Closed form: the stripe chunks member `d` serves form
+    /// an arithmetic progression, so its span is delimited by its first and
+    /// last owned chunk — no per-chunk walk, and no allocation for arrays
+    /// of up to [`MAX_INLINE_MEMBERS`] members.
+    pub fn spans(&self, req: &BlockReq) -> InlineVec<(usize, u64, u64), MAX_INLINE_MEMBERS> {
         let n = self.disks.len() as u64;
-        let mut per_disk: Vec<Option<(u64, u64)>> = vec![None; self.disks.len()];
-        let mut pos = req.offset;
         let end = req.end();
-        while pos < end {
-            let chunk = pos / self.stripe;
-            let disk = (chunk % n) as usize;
-            let disk_off = (chunk / n) * self.stripe + pos % self.stripe;
-            let take = (self.stripe - pos % self.stripe).min(end - pos);
-            match &mut per_disk[disk] {
-                Some((_, len)) => *len += take,
-                None => per_disk[disk] = Some((disk_off, take)),
+        let c0 = req.offset / self.stripe;
+        let c1 = (end - 1) / self.stripe;
+        let mut out = InlineVec::new();
+        for d in 0..n {
+            // First and last chunk indices in [c0, c1] owned by member d
+            // (chunk c lives on member c % n).
+            let first = c0 + (d + n - c0 % n) % n;
+            if first > c1 {
+                continue;
             }
-            pos += take;
+            let last = c1 - (c1 % n + n - d) % n;
+            let start = (first / n) * self.stripe
+                + if first == c0 {
+                    req.offset % self.stripe
+                } else {
+                    0
+                };
+            let stop = (last / n) * self.stripe
+                + if last == c1 {
+                    (end - 1) % self.stripe + 1
+                } else {
+                    self.stripe
+                };
+            out.push((d as usize, start, stop - start));
         }
-        per_disk
-            .into_iter()
-            .enumerate()
-            .filter_map(|(d, s)| s.map(|(o, l)| (d, o, l)))
-            .collect()
+        out
     }
 }
 
 impl Volume for Raid0 {
     fn submit(&mut self, now: Time, req: BlockReq) -> IoGrant {
         let mut grant: Option<IoGrant> = None;
-        for (disk, off, len) in self.spans(&req) {
+        for &(disk, off, len) in self.spans(&req).iter() {
             let g = self.disks[disk].submit(
                 now,
                 BlockReq {
@@ -282,6 +502,66 @@ impl Volume for Raid0 {
         &self.meter
     }
 
+    fn try_bulk_run(&mut self, now: Time, req: BlockReq, chunk: u64) -> Option<IoGrant> {
+        let n = self.disks.len() as u64;
+        let width = n * self.stripe;
+        let full = req.len / chunk;
+        let piece = chunk / n;
+        let ok = fast_path::bulk_enabled()
+            && self.bulk_enabled
+            && full >= 2
+            && req.offset.is_multiple_of(width)
+            && chunk.is_multiple_of(width)
+            && self.disks.iter().all(|d| d.slow_factor() == 1.0)
+            && horizon_allows(
+                self.fault_horizon,
+                self.disks
+                    .iter()
+                    .map(|d| member_bound(d, now, req.op, piece, full))
+                    .max()
+                    .unwrap_or(now),
+            );
+        if !ok {
+            self.bulk_misses += 1;
+            return None;
+        }
+        self.bulk_hits += 1;
+        // Width-aligned chunks split evenly: every member serves piece
+        // `chunk / n` at member offset `req.offset / n`, per chunk.
+        let base = req.offset / n;
+        let runs = run_members(
+            self.disks.iter_mut().map(|d| (d, base, piece)),
+            now,
+            req.op,
+            full,
+        );
+        let mut grant = record_chunks(&mut self.meter, &runs, now, req.op, req.offset, chunk, full);
+        let tail = req.len % chunk;
+        if tail > 0 {
+            grant = grant.join(self.submit(
+                now,
+                BlockReq {
+                    op: req.op,
+                    offset: req.offset + full * chunk,
+                    len: tail,
+                },
+            ));
+        }
+        Some(grant)
+    }
+
+    fn set_fault_horizon(&mut self, horizon: Option<Time>) {
+        self.fault_horizon = horizon;
+    }
+
+    fn set_bulk_enabled(&mut self, on: bool) {
+        self.bulk_enabled = on;
+    }
+
+    fn bulk_run_stats(&self) -> (u64, u64) {
+        (self.bulk_hits, self.bulk_misses)
+    }
+
     // RAID 0 has no redundancy either; only slow-downs are injectable.
     fn set_disk_slowdown(&mut self, disk: usize, factor: f64) -> Result<(), VolumeError> {
         match self.disks.get_mut(disk) {
@@ -302,11 +582,19 @@ pub struct Raid1 {
     disks: [Box<Disk>; 2],
     meter: VolumeMeter,
     last_read_end: [Option<u64>; 2],
+    /// Rolling best reader: `(end offset, member)` of the most recent read,
+    /// with the scan's member-0 tie rule already applied. A sequential
+    /// stream hits this without rescanning the members.
+    seq_hint: Option<(u64, usize)>,
     /// A failed member (degraded mode), if any.
     failed: Option<usize>,
     rebuild: Option<Rebuilder>,
     /// Highest logical byte ever addressed — the extent a rebuild covers.
     high_water: u64,
+    fault_horizon: Option<Time>,
+    bulk_enabled: bool,
+    bulk_hits: u64,
+    bulk_misses: u64,
 }
 
 impl Raid1 {
@@ -316,9 +604,14 @@ impl Raid1 {
             disks: [Box::new(primary), Box::new(mirror)],
             meter: VolumeMeter::default(),
             last_read_end: [None, None],
+            seq_hint: None,
             failed: None,
             rebuild: None,
             high_water: 0,
+            fault_horizon: None,
+            bulk_enabled: true,
+            bulk_hits: 0,
+            bulk_misses: 0,
         }
     }
 
@@ -328,16 +621,24 @@ impl Raid1 {
     }
 
     /// Cumulative command counts per member (mirror balance analysis).
-    pub fn member_ios(&self) -> Vec<u64> {
-        self.disks.iter().map(|d| d.ios()).collect()
+    pub fn member_ios(&self) -> [u64; 2] {
+        [self.disks[0].ios(), self.disks[1].ios()]
     }
 
     /// Read balancing: a dead member never serves; otherwise prefer the
     /// member whose head is already positioned (sequential affinity), then
-    /// the member that frees up earliest.
+    /// the member that frees up earliest. The rolling `seq_hint` answers
+    /// the common sequential-stream case in O(1); the scan below only runs
+    /// on hint misses and is behaviour-identical to checking both members
+    /// in index order.
     fn pick_reader(&self, offset: u64) -> usize {
         if let Some(f) = self.failed {
             return 1 - f;
+        }
+        if let Some((end, d)) = self.seq_hint {
+            if end == offset {
+                return d;
+            }
         }
         for (i, end) in self.last_read_end.iter().enumerate() {
             if *end == Some(offset) {
@@ -349,6 +650,20 @@ impl Raid1 {
         } else {
             1
         }
+    }
+
+    /// Updates the rolling reader hint after a read on member `d` ending at
+    /// `end`, applying the scan's tie rule (member 0 wins when both heads
+    /// sit at `end`) so a later hint hit picks the same member the scan
+    /// would have.
+    fn note_read(&mut self, d: usize, end: u64) {
+        let hint = if d == 1 && self.last_read_end[0] == Some(end) {
+            0
+        } else {
+            d
+        };
+        self.seq_hint = Some((end, hint));
+        self.last_read_end[d] = Some(end);
     }
 }
 
@@ -375,7 +690,7 @@ impl Volume for Raid1 {
             BlockOp::Read => {
                 let d = self.pick_reader(req.offset);
                 let g = self.disks[d].submit(now, req);
-                self.last_read_end[d] = Some(req.end());
+                self.note_read(d, req.end());
                 self.meter.disk_ios += 1;
                 g
             }
@@ -413,6 +728,9 @@ impl Volume for Raid1 {
         }
         self.failed = Some(disk);
         self.last_read_end[disk] = None;
+        if self.seq_hint.is_some_and(|(_, d)| d == disk) {
+            self.seq_hint = None;
+        }
         Ok(())
     }
 
@@ -443,6 +761,63 @@ impl Volume for Raid1 {
         }
         self.disks[disk].set_slow_factor(factor);
         Ok(())
+    }
+
+    fn try_bulk_run(&mut self, now: Time, req: BlockReq, chunk: u64) -> Option<IoGrant> {
+        let full = req.len / chunk;
+        let ok = fast_path::bulk_enabled()
+            && self.bulk_enabled
+            && req.op.is_write()
+            && full >= 2
+            && self.failed.is_none()
+            && !self.rebuild.is_some_and(|rb| rb.running())
+            && self.disks.iter().all(|d| d.slow_factor() == 1.0)
+            && horizon_allows(
+                self.fault_horizon,
+                self.disks
+                    .iter()
+                    .map(|d| member_bound(d, now, req.op, chunk, full))
+                    .max()
+                    .unwrap_or(now),
+            );
+        if !ok {
+            self.bulk_misses += 1;
+            return None;
+        }
+        self.bulk_hits += 1;
+        // pump() is a no-op here (no running rebuild, by eligibility).
+        self.high_water = self.high_water.max(req.offset + full * chunk);
+        let runs = run_members(
+            self.disks.iter_mut().map(|d| (&mut **d, req.offset, chunk)),
+            now,
+            req.op,
+            full,
+        );
+        let mut grant = record_chunks(&mut self.meter, &runs, now, req.op, req.offset, chunk, full);
+        let tail = req.len % chunk;
+        if tail > 0 {
+            grant = grant.join(self.submit(
+                now,
+                BlockReq {
+                    op: req.op,
+                    offset: req.offset + full * chunk,
+                    len: tail,
+                },
+            ));
+        }
+        Some(grant)
+    }
+
+    fn set_fault_horizon(&mut self, horizon: Option<Time>) {
+        self.fault_horizon = horizon;
+    }
+
+    fn set_bulk_enabled(&mut self, on: bool) {
+        self.bulk_enabled = on;
+    }
+
+    fn bulk_run_stats(&self) -> (u64, u64) {
+        (self.bulk_hits, self.bulk_misses)
     }
 
     fn pump(&mut self, now: Time) {
@@ -506,6 +881,10 @@ pub struct Raid5 {
     rebuild: Option<Rebuilder>,
     /// Highest logical byte ever addressed — the extent a rebuild covers.
     high_water: u64,
+    fault_horizon: Option<Time>,
+    bulk_enabled: bool,
+    bulk_hits: u64,
+    bulk_misses: u64,
 }
 
 impl Raid5 {
@@ -540,6 +919,10 @@ impl Raid5 {
             failed: None,
             rebuild: None,
             high_water: 0,
+            fault_horizon: None,
+            bulk_enabled: true,
+            bulk_hits: 0,
+            bulk_misses: 0,
         })
     }
 
@@ -555,8 +938,49 @@ impl Raid5 {
 
     /// Cumulative command counts per member (used by the degraded-mode
     /// property tests to check exactly the survivors are touched).
-    pub fn member_ios(&self) -> Vec<u64> {
-        self.disks.iter().map(|d| d.ios()).collect()
+    pub fn member_ios(&self) -> InlineVec<u64, MAX_INLINE_MEMBERS> {
+        let mut ios = InlineVec::new();
+        for d in &self.disks {
+            ios.push(d.ios());
+        }
+        ios
+    }
+
+    /// Per-member byte shares of a read span, in closed form: the at most
+    /// two partial rows at the edges are chunk-walked, while the full rows
+    /// in between contribute `stripe` bytes per row to every member except
+    /// where the row's parity lands (left-symmetric: row `r`'s parity sits
+    /// on member `n - 1 - (r % n)`). Totals are identical to walking the
+    /// whole span chunk by chunk.
+    fn read_shares(&self, req: &BlockReq) -> InlineVec<u64, MAX_INLINE_MEMBERS> {
+        let n = self.disks.len();
+        let rw = self.row_width();
+        let end = req.end();
+        let mut per_disk = InlineVec::filled(0u64, n);
+        let walk = |per_disk: &mut InlineVec<u64, MAX_INLINE_MEMBERS>, from: u64, to: u64| {
+            let mut pos = from;
+            while pos < to {
+                let loc = raid5_locate(pos, self.stripe, n);
+                let take = (self.stripe - (pos % self.stripe)).min(to - pos);
+                per_disk[loc.disk] += take;
+                pos += take;
+            }
+        };
+        // Rows [first_full, full_end) are fully covered by the span.
+        let first_full = req.offset.div_ceil(rw);
+        let full_end = end / rw;
+        if first_full < full_end {
+            walk(&mut per_disk, req.offset, first_full * rw);
+            let rows = full_end - first_full;
+            for (d, share) in per_disk.iter_mut().enumerate() {
+                let parity_rows = count_mod(first_full, full_end - 1, n as u64, (n - 1 - d) as u64);
+                *share += self.stripe * (rows - parity_rows);
+            }
+            walk(&mut per_disk, full_end * rw, end);
+        } else {
+            walk(&mut per_disk, req.offset, end);
+        }
+        per_disk
     }
 
     /// Member-local extent a rebuild must cover for the current write
@@ -717,16 +1141,8 @@ impl Volume for Raid5 {
                 self.settle_open_row_unless(now, None);
                 // Aggregate per-disk: each member holds (n-1)/n of the span
                 // as physically contiguous data+gap regions; issue one span
-                // per member sized by its share.
-                let n = self.disks.len();
-                let mut per_disk = vec![0u64; n];
-                let mut pos = req.offset;
-                while pos < req.end() {
-                    let loc = raid5_locate(pos, self.stripe, n);
-                    let take = (self.stripe - (pos % self.stripe)).min(req.end() - pos);
-                    per_disk[loc.disk] += take;
-                    pos += take;
-                }
+                // per member sized by its share (computed in closed form).
+                let per_disk = self.read_shares(&req);
                 let base = first_row * self.stripe;
                 let mut grant: Option<IoGrant> = None;
                 // Degraded mode: the failed member's share is rebuilt from
@@ -828,6 +1244,72 @@ impl Volume for Raid5 {
 
     fn meter(&self) -> &VolumeMeter {
         &self.meter
+    }
+
+    fn try_bulk_run(&mut self, now: Time, req: BlockReq, chunk: u64) -> Option<IoGrant> {
+        let rw = self.row_width();
+        let full = req.len / chunk;
+        // A row-multiple chunk lands `chunk / rw` full rows — `stripe`
+        // bytes per row — on every member, parity included.
+        let piece = (chunk / rw) * self.stripe;
+        let ok = fast_path::bulk_enabled()
+            && self.bulk_enabled
+            && req.op.is_write()
+            && full >= 2
+            && chunk.is_multiple_of(rw)
+            && req.offset.is_multiple_of(rw)
+            && self.open_row.is_none()
+            && self.failed.is_none()
+            && !self.rebuild.is_some_and(|rb| rb.running())
+            && self.disks.iter().all(|d| d.slow_factor() == 1.0)
+            && horizon_allows(
+                self.fault_horizon,
+                self.disks
+                    .iter()
+                    .map(|d| member_bound(d, now, req.op, piece, full))
+                    .max()
+                    .unwrap_or(now),
+            );
+        if !ok {
+            self.bulk_misses += 1;
+            return None;
+        }
+        self.bulk_hits += 1;
+        // pump() and settle_open_row_unless() are no-ops here (no running
+        // rebuild, no open row, by eligibility).
+        self.high_water = self.high_water.max(req.offset + full * chunk);
+        let base = (req.offset / rw) * self.stripe;
+        let runs = run_members(
+            self.disks.iter_mut().map(|d| (d, base, piece)),
+            now,
+            req.op,
+            full,
+        );
+        let mut grant = record_chunks(&mut self.meter, &runs, now, req.op, req.offset, chunk, full);
+        let tail = req.len % chunk;
+        if tail > 0 {
+            grant = grant.join(self.submit(
+                now,
+                BlockReq {
+                    op: req.op,
+                    offset: req.offset + full * chunk,
+                    len: tail,
+                },
+            ));
+        }
+        Some(grant)
+    }
+
+    fn set_fault_horizon(&mut self, horizon: Option<Time>) {
+        self.fault_horizon = horizon;
+    }
+
+    fn set_bulk_enabled(&mut self, on: bool) {
+        self.bulk_enabled = on;
+    }
+
+    fn bulk_run_stats(&self) -> (u64, u64) {
+        (self.bulk_hits, self.bulk_misses)
     }
 
     /// Marks a member disk as failed. The array keeps serving requests in
@@ -1313,7 +1795,7 @@ mod tests {
         r.fail_disk(1).unwrap();
         let g = r.submit(Time::ZERO, BlockReq::write(0, MIB));
         assert!(g.ack > Time::ZERO);
-        assert_eq!(r.member_ios(), vec![1, 0]);
+        assert_eq!(r.member_ios(), [1, 0]);
         assert_eq!(
             r.fail_disk(0),
             Err(VolumeError::AlreadyDegraded { failed: 1 })
@@ -1397,6 +1879,245 @@ mod tests {
             after_rate > window_rate,
             "post-rebuild {after_rate} vs window {window_rate}"
         );
+    }
+
+    #[test]
+    fn raid0_spans_match_chunk_walk_reference() {
+        // The closed form must agree with a chunk-by-chunk reference walk
+        // for a grid of alignments and lengths.
+        let r = Raid0::new(disks(4), STRIPE);
+        let reference = |req: &BlockReq| -> Vec<(usize, u64, u64)> {
+            let n = 4u64;
+            let mut per_disk: Vec<Option<(u64, u64)>> = vec![None; 4];
+            let mut pos = req.offset;
+            while pos < req.end() {
+                let chunk = pos / STRIPE;
+                let disk = (chunk % n) as usize;
+                let disk_off = (chunk / n) * STRIPE + pos % STRIPE;
+                let take = (STRIPE - pos % STRIPE).min(req.end() - pos);
+                match &mut per_disk[disk] {
+                    Some((_, len)) => *len += take,
+                    None => per_disk[disk] = Some((disk_off, take)),
+                }
+                pos += take;
+            }
+            per_disk
+                .into_iter()
+                .enumerate()
+                .filter_map(|(d, s)| s.map(|(o, l)| (d, o, l)))
+                .collect()
+        };
+        for off in [0, 1, STRIPE / 2, STRIPE, 3 * STRIPE + 17, 9 * STRIPE] {
+            for len in [1, STRIPE - 1, STRIPE, 2 * STRIPE + 3, 13 * STRIPE, 64 * MIB] {
+                let req = BlockReq::read(off, len);
+                assert_eq!(
+                    r.spans(&req).to_vec(),
+                    reference(&req),
+                    "off={off} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raid5_read_shares_match_chunk_walk_reference() {
+        for n in [3usize, 5, 8] {
+            let r = Raid5::new(disks(n), STRIPE, true);
+            let rw = (n as u64 - 1) * STRIPE;
+            for off in [0, STRIPE / 2, rw - 1, rw, 3 * rw + STRIPE, 7 * rw] {
+                for len in [1, STRIPE, rw, rw + 1, 5 * rw - STRIPE / 2, 48 * MIB] {
+                    let req = BlockReq::read(off, len);
+                    let mut reference = vec![0u64; n];
+                    let mut pos = req.offset;
+                    while pos < req.end() {
+                        let loc = raid5_locate(pos, STRIPE, n);
+                        let take = (STRIPE - (pos % STRIPE)).min(req.end() - pos);
+                        reference[loc.disk] += take;
+                        pos += take;
+                    }
+                    assert_eq!(
+                        r.read_shares(&req).to_vec(),
+                        reference,
+                        "n={n} off={off} len={len}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Serializes tests that read or flip the process-wide fast-path
+    /// switch, so the hit-counter assertions cannot race the switch test.
+    static FAST_PATH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn fast_path_guard() -> std::sync::MutexGuard<'static, ()> {
+        FAST_PATH_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Runs the same chunked workload through a bulk-enabled and a
+    /// bulk-disabled twin and asserts every observable is identical.
+    fn assert_bulk_equivalence<V: Volume>(mut bulk: V, mut granular: V, reqs: &[(BlockReq, u64)]) {
+        let _guard = fast_path_guard();
+        bulk.set_bulk_enabled(true);
+        granular.set_bulk_enabled(false);
+        let mut now = Time::ZERO;
+        for &(req, chunk) in reqs {
+            let a = bulk.submit_run(now, req, chunk);
+            let b = granular.submit_run(now, req, chunk);
+            assert_eq!(a, b, "grant mismatch for {req:?} chunk {chunk}");
+            now = a.ack;
+        }
+        assert_eq!(bulk.flush(now), granular.flush(now));
+        assert_eq!(bulk.meter().disk_ios, granular.meter().disk_ios);
+        // Welford latency accumulators are order-sensitive f64 state: the
+        // Debug render only matches if the fast path recorded exactly the
+        // grants the granular loop did, in the same order.
+        assert_eq!(
+            format!("{:?}", bulk.meter()),
+            format!("{:?}", granular.meter())
+        );
+        let (hits, _) = bulk.bulk_run_stats();
+        assert!(hits > 0, "fast path never engaged");
+        let (g_hits, _) = granular.bulk_run_stats();
+        assert_eq!(g_hits, 0, "disabled twin must stay granular");
+    }
+
+    #[test]
+    fn jbod_bulk_run_matches_granular_loop() {
+        let reqs = [
+            (BlockReq::write(0, 64 * MIB), MIB),
+            (BlockReq::read(16 * MIB, 32 * MIB + 123), 4 * MIB),
+            (BlockReq::write(200 * MIB, 8 * MIB + 4 * KIB), MIB),
+        ];
+        assert_bulk_equivalence(Jbod::new(disk(5)), Jbod::new(disk(5)), &reqs);
+    }
+
+    #[test]
+    fn raid0_bulk_run_matches_granular_loop() {
+        let width = 4 * STRIPE;
+        let reqs = [
+            (BlockReq::write(0, 64 * MIB), width),
+            (
+                BlockReq::read(8 * width, 32 * width + STRIPE / 2),
+                2 * width,
+            ),
+        ];
+        assert_bulk_equivalence(
+            Raid0::new(disks(4), STRIPE),
+            Raid0::new(disks(4), STRIPE),
+            &reqs,
+        );
+    }
+
+    #[test]
+    fn raid1_bulk_run_matches_granular_loop() {
+        let reqs = [
+            (BlockReq::write(0, 48 * MIB), MIB),
+            (BlockReq::write(100 * MIB, 16 * MIB + 777), 2 * MIB),
+        ];
+        assert_bulk_equivalence(
+            Raid1::new(disk(1), disk(2)),
+            Raid1::new(disk(1), disk(2)),
+            &reqs,
+        );
+    }
+
+    #[test]
+    fn raid5_bulk_run_matches_granular_loop() {
+        let rw = 4 * STRIPE;
+        let reqs = [
+            (BlockReq::write(0, 64 * MIB), rw),
+            (BlockReq::write(16 * rw, 32 * rw + STRIPE), 4 * rw),
+        ];
+        assert_bulk_equivalence(
+            Raid5::new(disks(5), STRIPE, true),
+            Raid5::new(disks(5), STRIPE, true),
+            &reqs,
+        );
+    }
+
+    #[test]
+    fn bulk_run_declines_misaligned_degraded_and_small_runs() {
+        let rw = 4 * STRIPE;
+        let mut r = Raid5::new(disks(5), STRIPE, true);
+        // Misaligned offset.
+        r.submit_run(Time::ZERO, BlockReq::write(STRIPE, 8 * rw), rw);
+        // Single full chunk.
+        let t = r.flush(Time::ZERO);
+        r.submit_run(t, BlockReq::write(0, rw + 1), rw);
+        assert_eq!(r.bulk_run_stats().0, 0, "ineligible runs must miss");
+        assert!(r.bulk_run_stats().1 >= 2);
+        // Degraded array declines even aligned runs.
+        let t = r.flush(t);
+        r.fail_disk(2).unwrap();
+        r.submit_run(t, BlockReq::write(0, 8 * rw), rw);
+        assert_eq!(r.bulk_run_stats().0, 0);
+    }
+
+    #[test]
+    fn bulk_run_respects_the_fault_horizon() {
+        let _guard = fast_path_guard();
+        let rw = 4 * STRIPE;
+        let mut near = Raid5::new(disks(5), STRIPE, true);
+        let mut far = Raid5::new(disks(5), STRIPE, true);
+        near.set_fault_horizon(Some(Time::from_millis(1)));
+        far.set_fault_horizon(Some(Time::from_secs(3600)));
+        let req = BlockReq::write(0, 32 * rw);
+        let a = near.submit_run(Time::ZERO, req, rw);
+        let b = far.submit_run(Time::ZERO, req, rw);
+        // A fault window inside the transfer forces the granular path…
+        assert_eq!(near.bulk_run_stats(), (0, 1));
+        // …a distant horizon permits the closed form…
+        assert_eq!(far.bulk_run_stats(), (1, 0));
+        // …and both paths produce the same timings regardless.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_fast_path_switch_gates_the_closed_form() {
+        let _guard = fast_path_guard();
+        let mut r = Jbod::new(disk(3));
+        fast_path::set_bulk_enabled(false);
+        r.submit_run(Time::ZERO, BlockReq::write(0, 16 * MIB), MIB);
+        fast_path::set_bulk_enabled(true);
+        let t = r.flush(Time::ZERO);
+        r.submit_run(t, BlockReq::write(16 * MIB, 16 * MIB), MIB);
+        let (hits, misses) = r.bulk_run_stats();
+        assert_eq!(hits, 1, "re-enabled switch must restore the fast path");
+        assert!(misses >= 1, "disabled switch must force the granular path");
+    }
+
+    #[test]
+    fn raid1_pick_reader_keeps_affinity_via_rolling_hint() {
+        let mut r = Raid1::new(disk(1), disk(2));
+        // Stream A starts on member 0 (free_at tie prefers 0).
+        let a0 = r.submit(Time::ZERO, BlockReq::read(0, MIB));
+        // Stream B arrives while member 0 is busy → member 1.
+        r.submit(Time::ZERO, BlockReq::read(500 * MIB, MIB));
+        assert_eq!(r.member_ios(), [1, 1]);
+        // A continues sequentially: the rolling hint was overwritten by B,
+        // so the scan fallback must still pin A to member 0…
+        let a1 = r.submit(a0.ack, BlockReq::read(MIB, MIB));
+        assert_eq!(r.member_ios(), [2, 1]);
+        // …and now the hint itself answers the next sequential read.
+        assert_eq!(r.pick_reader(2 * MIB), 0);
+        r.submit(a1.ack, BlockReq::read(2 * MIB, MIB));
+        assert_eq!(r.member_ios(), [3, 1]);
+    }
+
+    #[test]
+    fn raid1_hint_tie_prefers_member_zero_like_the_scan() {
+        let mut r = Raid1::new(disk(1), disk(2));
+        // Both members end a read at the same offset: member 0 first…
+        let g = r.submit(Time::ZERO, BlockReq::read(0, MIB));
+        // …then member 1 (member 0 is busy at arrival time zero).
+        r.submit(Time::ZERO, BlockReq::read(0, MIB));
+        assert_eq!(r.member_ios(), [1, 1]);
+        // The scan would pick member 0; the hint must agree.
+        assert_eq!(r.pick_reader(MIB), 0);
+        r.submit(g.ack, BlockReq::read(MIB, MIB));
+        assert_eq!(r.member_ios(), [2, 1]);
     }
 
     #[test]

@@ -6,6 +6,29 @@ use simcore::stats::TransferMeter;
 use simcore::Time;
 use std::fmt;
 
+/// Process-wide switch for the bulk-transfer fast path.
+///
+/// The fast path is provably result-identical to the event-granular chunk
+/// loop (see the equivalence property tests), so this switch only trades
+/// wall-clock speed — it exists as a diagnostic escape hatch and so the
+/// harness can measure both paths. Relaxed ordering is sufficient: a racing
+/// reader takes one path or the other, and both produce the same grants.
+pub mod fast_path {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static BULK_ENABLED: AtomicBool = AtomicBool::new(true);
+
+    /// Enables or disables the closed-form bulk path process-wide.
+    pub fn set_bulk_enabled(on: bool) {
+        BULK_ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the closed-form bulk path may be taken.
+    pub fn bulk_enabled() -> bool {
+        BULK_ENABLED.load(Ordering::Relaxed)
+    }
+}
+
 /// Typed errors for volume configuration and fault operations.
 ///
 /// Configuration mistakes (too few members, zero stripe) and fault
@@ -132,6 +155,65 @@ impl VolumeMeter {
 pub trait Volume {
     /// Submits a request arriving at `now`; returns its completion times.
     fn submit(&mut self, now: Time, req: BlockReq) -> IoGrant;
+
+    /// Submits a logical request as `⌈len/chunk⌉` chunk-sized sub-requests
+    /// all arriving at `now` and returns the joined grant envelope — the
+    /// chunked submission pattern filesystem writeback uses. Volumes with a
+    /// closed-form bulk path ([`Volume::try_bulk_run`]) collapse eligible
+    /// runs to O(members) arithmetic; the grants, meters and member state
+    /// are identical either way.
+    fn submit_run(&mut self, now: Time, req: BlockReq, chunk: u64) -> IoGrant {
+        debug_assert!(req.len > 0 && chunk > 0, "empty chunked run");
+        if let Some(grant) = self.try_bulk_run(now, req, chunk) {
+            return grant;
+        }
+        let mut grant: Option<IoGrant> = None;
+        let mut pos = 0;
+        while pos < req.len {
+            let take = chunk.min(req.len - pos);
+            let g = self.submit(
+                now,
+                BlockReq {
+                    op: req.op,
+                    offset: req.offset + pos,
+                    len: take,
+                },
+            );
+            grant = Some(match grant {
+                Some(acc) => acc.join(g),
+                None => g,
+            });
+            pos += take;
+        }
+        grant.expect("nonzero request produced no chunks")
+    }
+
+    /// Attempts the closed-form bulk path for a chunked run; `None` makes
+    /// [`Volume::submit_run`] fall back to the event-granular loop.
+    /// Implementations must produce exactly the grants, meter updates and
+    /// member-disk state the granular loop would, and must decline whenever
+    /// a fault window ([`Volume::set_fault_horizon`]) could overlap the
+    /// transfer. Wrapper volumes with per-chunk state of their own (e.g.
+    /// the controller write cache) keep the default so every chunk passes
+    /// through their `submit`.
+    fn try_bulk_run(&mut self, _now: Time, _req: BlockReq, _chunk: u64) -> Option<IoGrant> {
+        None
+    }
+
+    /// Installs the *fault horizon*: the instant of the next scheduled
+    /// fault, if any. Bulk fast paths refuse runs whose completion bound
+    /// crosses it, so fault windows always see event-granular traffic.
+    fn set_fault_horizon(&mut self, _horizon: Option<Time>) {}
+
+    /// Enables or disables this volume's bulk fast path (diagnostics and
+    /// equivalence tests; the process-wide switch is [`fast_path`]).
+    fn set_bulk_enabled(&mut self, _on: bool) {}
+
+    /// `(hits, misses)` of the bulk fast path: runs served in closed form
+    /// vs. chunked runs that fell back to the granular loop.
+    fn bulk_run_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 
     /// Forces all previously acknowledged writes to stable media; returns
     /// the instant everything submitted so far is durable.

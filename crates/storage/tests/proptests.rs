@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use simcore::{SplitMix64, Time, KIB};
 use storage::raid::raid5_locate;
-use storage::{BlockReq, Disk, DiskParams, Raid1, Raid5, Volume, VolumeError};
+use storage::{BlockReq, Disk, DiskParams, Jbod, Raid1, Raid5, Volume, VolumeError};
 
 fn raid5_members(n_disks: usize) -> Vec<Disk> {
     (0..n_disks)
@@ -194,6 +194,98 @@ proptest! {
         prop_assert_eq!(report.bytes_total, rows * stripe, "one chunk per addressed row");
         // The array is whole again: a fresh failure is accepted.
         prop_assert_eq!(raid.fail_disk(failed), Ok(()));
+    }
+
+    /// The bulk fast path is grant-, meter- and IO-count-identical to the
+    /// granular chunk loop for arbitrary aligned RAID 5 write runs,
+    /// including runs with a partial tail chunk.
+    #[test]
+    fn raid5_bulk_runs_match_the_granular_loop(
+        n_disks in 3usize..8,
+        rows_per_chunk in 1u64..4,
+        chunks in 2u64..12,
+        tail_rows in 0u64..3,
+        start_row in 0u64..32,
+    ) {
+        let stripe = 64 * KIB;
+        let row_width = (n_disks as u64 - 1) * stripe;
+        let chunk = rows_per_chunk * row_width;
+        let len = chunks * chunk + tail_rows.min(rows_per_chunk - 1) * row_width;
+        let req = BlockReq::write(start_row * row_width, len);
+
+        let mut bulk = Raid5::new(raid5_members(n_disks), stripe, true);
+        let mut gran = Raid5::new(raid5_members(n_disks), stripe, true);
+        gran.set_bulk_enabled(false);
+
+        let a = bulk.submit_run(Time::ZERO, req, chunk);
+        let b = gran.submit_run(Time::ZERO, req, chunk);
+        prop_assert_eq!(a, b, "closed-form grant diverged from the chunk loop");
+        prop_assert_eq!(bulk.flush(a.ack), gran.flush(b.ack));
+        prop_assert_eq!(bulk.member_ios().to_vec(), gran.member_ios().to_vec());
+        prop_assert_eq!(
+            format!("{:?}", bulk.meter()),
+            format!("{:?}", gran.meter()),
+            "meter state diverged"
+        );
+        prop_assert!(bulk.bulk_run_stats().0 >= 1, "eligible run missed the fast path");
+        prop_assert_eq!(gran.bulk_run_stats().0, 0);
+    }
+
+    /// Chunked runs through a JBOD are equivalent under the fast path for
+    /// arbitrary op mixes, offsets and chunk sizes — eligible or not.
+    #[test]
+    fn jbod_chunked_runs_are_equivalent_for_arbitrary_mixes(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..4000u64, 1u64..96u64, 1u64..16u64), 1..16
+        ),
+    ) {
+        let mut bulk = Jbod::new(Disk::new(DiskParams::sata_7200(230, 75), 9));
+        let mut gran = Jbod::new(Disk::new(DiskParams::sata_7200(230, 75), 9));
+        gran.set_bulk_enabled(false);
+        let mut now = Time::ZERO;
+        for (is_write, block, len_kib, chunk_kib) in ops {
+            let off = block * 16 * KIB;
+            let len = len_kib * KIB + 17;
+            let req = if is_write {
+                BlockReq::write(off, len)
+            } else {
+                BlockReq::read(off, len)
+            };
+            let a = bulk.submit_run(now, req, chunk_kib * 8 * KIB);
+            let b = gran.submit_run(now, req, chunk_kib * 8 * KIB);
+            prop_assert_eq!(a, b);
+            now = now.max(a.ack);
+        }
+        // The meter debug state covers byte/op counters, Welford moments and
+        // the member IO count bit-for-bit.
+        prop_assert_eq!(format!("{:?}", bulk.meter()), format!("{:?}", gran.meter()));
+    }
+
+    /// A transfer whose conservative completion bound overlaps a pending
+    /// fault window always takes the event-granular path — and its timings
+    /// match the pre-fast-path engine exactly either way.
+    #[test]
+    fn fault_window_overlap_forces_the_granular_path(
+        n_disks in 3usize..6,
+        chunks in 2u64..10,
+        horizon_ms in 0u64..2000,
+    ) {
+        let stripe = 64 * KIB;
+        let row_width = (n_disks as u64 - 1) * stripe;
+        let mut v = Raid5::new(raid5_members(n_disks), stripe, true);
+        let mut reference = Raid5::new(raid5_members(n_disks), stripe, true);
+        reference.set_bulk_enabled(false);
+        v.set_fault_horizon(Some(Time::from_millis(horizon_ms)));
+
+        let req = BlockReq::write(0, chunks * row_width);
+        let a = v.submit_run(Time::ZERO, req, row_width);
+        let b = reference.submit_run(Time::ZERO, req, row_width);
+        prop_assert_eq!(a, b, "horizon gating must not change timing");
+        if Time::from_millis(horizon_ms) <= a.ack {
+            // The fault fires inside the transfer: the closed form is
+            // forbidden, every command must be individually schedulable.
+            prop_assert_eq!(v.bulk_run_stats(), (0, 1));
+        }
     }
 
     /// Identical request sequences produce identical timelines.

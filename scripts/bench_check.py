@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_hotpath.json against the committed baseline.
+
+Usage: bench_check.py BASELINE FRESH [--tolerance PCT]
+
+Fails (exit 1) when the fresh pinned-cell wall time regresses more than
+PCT percent (default 25) over the baseline. Timings are host-dependent,
+so only the pinned cell — a multi-millisecond simulation, the least
+noisy number in the report — is gated; the rest is printed for the log.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tolerance = 25.0
+    for a in sys.argv[1:]:
+        if a.startswith("--tolerance="):
+            tolerance = float(a.split("=", 1)[1])
+
+    with open(args[0]) as f:
+        base = json.load(f)
+    with open(args[1]) as f:
+        fresh = json.load(f)
+
+    if base["schema"] != fresh["schema"]:
+        print(
+            f"schema mismatch: baseline {base['schema']} vs fresh {fresh['schema']};"
+            " regenerate the baseline with: cargo run --release -p bench --bin hotpath",
+            file=sys.stderr,
+        )
+        return 1
+
+    for field in ("event_queue_mops", "striping_ns_per_op", "memo_speedup"):
+        print(f"{field:>22}: baseline {base[field]:10.1f}   fresh {fresh[field]:10.1f}")
+
+    b, f_ = base["pinned_cell_ms"], fresh["pinned_cell_ms"]
+    delta = (f_ - b) / b * 100.0
+    print(f"{'pinned_cell_ms':>22}: baseline {b:10.2f}   fresh {f_:10.2f}   ({delta:+.1f}%)")
+    if delta > tolerance:
+        print(
+            f"FAIL: pinned cell regressed {delta:.1f}% (> {tolerance:.0f}% tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: pinned cell within {tolerance:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
