@@ -5,6 +5,7 @@
 //! ```text
 //! repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]
 //!       [--deadline SECS] [--wall-budget SECS] [--jobs N] [--no-memo]
+//!       [--trace-out FILE] [--trace-format jsonl|chrome] [--metrics]
 //!       <experiment>... | all | list
 //! ```
 //!
@@ -39,6 +40,17 @@
 //! is byte-identical with or without it — and its hit/miss counts are
 //! reported to stderr at the end of the run. `--no-memo` disables it
 //! (every characterization is recomputed), for timing studies.
+//!
+//! `--trace-out FILE` records the I/O-path event stream of every directly
+//! evaluated run and writes it at exit: schema-versioned JSONL by default
+//! (one header line per run, then one line per event; all times integer
+//! nanoseconds of simulated time), or a Chrome trace loadable in
+//! `chrome://tracing` / Perfetto with `--trace-format chrome`.
+//! `--metrics` appends an aggregated per-level metrics table (ops, bytes,
+//! rate, service time, mean queue depth per I/O-path level) to the report.
+//! Both are pure observation: experiment tables stay byte-identical.
+//! Experiments restored from a checkpoint are not re-run, so they
+//! contribute no events — use a fresh run for a complete trace.
 
 use bench::experiments::registry;
 use bench::{Repro, Scale};
@@ -54,6 +66,9 @@ fn main() {
     let mut wall_budget_secs: Option<u64> = None;
     let mut jobs: Option<usize> = None;
     let mut no_memo = false;
+    let mut trace_out: Option<String> = None;
+    let mut trace_chrome = false;
+    let mut metrics = false;
     let mut selected: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -100,6 +115,23 @@ fn main() {
                 );
             }
             "--no-memo" => no_memo = true,
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("expected --trace-out FILE")),
+                );
+            }
+            "--trace-format" => {
+                i += 1;
+                trace_chrome = match args.get(i).map(String::as_str) {
+                    Some("jsonl") => false,
+                    Some("chrome") => true,
+                    _ => die("expected --trace-format jsonl|chrome"),
+                };
+            }
+            "--metrics" => metrics = true,
             "--help" | "-h" => {
                 usage();
                 return;
@@ -138,6 +170,9 @@ fn main() {
     let mut repro = Repro::new(scale);
     if no_memo {
         repro = repro.without_memo();
+    }
+    if trace_out.is_some() || metrics {
+        repro = repro.with_tracing();
     }
     if let Some(j) = jobs {
         repro = repro.with_jobs(j);
@@ -180,6 +215,32 @@ fn main() {
         println!("\n######## {id} ########\n{output}");
         full_output.push_str(&format!("\n######## {id} ########\n{output}"));
     }
+    if metrics {
+        let block = match repro.metrics_report() {
+            Some(table) => format!("\n######## metrics ########\n{table}"),
+            None => "\n######## metrics ########\n(no cells observed)\n".to_string(),
+        };
+        println!("{block}");
+        full_output.push_str(&block);
+    }
+    if let Some(path) = trace_out {
+        let runs = repro.traces();
+        let text = if trace_chrome {
+            ioeval_core::obs::to_chrome(runs)
+        } else {
+            runs.iter()
+                .map(|(meta, data)| ioeval_core::obs::to_jsonl(data, meta))
+                .collect::<String>()
+        };
+        std::fs::write(&path, text)
+            .unwrap_or_else(|e| die(&format!("cannot write trace {path}: {e}")));
+        let events: usize = runs.iter().map(|(_, d)| d.events.len()).sum();
+        eprintln!(
+            "[repro] wrote {} ({} runs, {events} events)",
+            path,
+            runs.len()
+        );
+    }
     if let Some((hits, misses)) = repro.memo_stats() {
         eprintln!("[repro] charact memo: {hits} hits, {misses} misses");
     }
@@ -201,6 +262,7 @@ fn usage() {
     eprintln!(
         "usage: repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]\n\
          \x20            [--deadline SECS] [--wall-budget SECS] [--jobs N] [--no-memo]\n\
+         \x20            [--trace-out FILE] [--trace-format jsonl|chrome] [--metrics]\n\
          \x20            <experiment>... | all | list\n\
          experiments regenerate the paper's tables/figures; see 'repro list'.\n\
          --checkpoint/--resume persist finished work to DIR and replay it on rerun;\n\
@@ -208,7 +270,10 @@ fn usage() {
          --jobs runs campaign cells on N workers (deterministic merge: output is\n\
          byte-identical to --jobs 1; defaults to $IOEVAL_JOBS, else 1);\n\
          --no-memo disables the in-process characterization memo (pure cache:\n\
-         output is byte-identical either way; hit/miss counts go to stderr)."
+         output is byte-identical either way; hit/miss counts go to stderr);\n\
+         --trace-out records the I/O-path event stream of every evaluated run\n\
+         (schema-versioned JSONL; --trace-format chrome for chrome://tracing);\n\
+         --metrics appends an aggregated per-level metrics table to the report."
     );
 }
 

@@ -6,8 +6,9 @@ use ioeval_core::campaign::{CellStore, SuperviseOptions};
 use ioeval_core::charact::{characterize_system, CharacterizeOptions};
 use ioeval_core::eval::{evaluate, EvalOptions, EvalReport, FaultScenario};
 use ioeval_core::memo::CharactMemo;
+use ioeval_core::obs::{Collector, MetricsHub, ObsData, TraceMeta};
 use ioeval_core::perf_table::{AccessMode, PerfTableSet};
-use simcore::{WatchdogSpec, KIB, MIB};
+use simcore::{Time, WatchdogSpec, KIB, MIB};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -57,6 +58,18 @@ pub struct Repro {
     watchdog: Option<WatchdogSpec>,
     jobs: usize,
     memo: Option<Arc<CharactMemo>>,
+    obs: Option<ReproObs>,
+}
+
+/// Observability state of a tracing-enabled context.
+struct ReproObs {
+    /// Per-cell metrics, shared with campaign workers.
+    hub: Arc<MetricsHub>,
+    /// Raw event streams of directly evaluated runs, in run order.
+    traces: Vec<(TraceMeta, ObsData)>,
+    /// Summed simulated execution time of the directly traced runs
+    /// (denominator for aggregate rates / queue depths).
+    traced_exec: Time,
 }
 
 impl Repro {
@@ -80,7 +93,49 @@ impl Repro {
             watchdog: None,
             jobs,
             memo: Some(Arc::new(CharactMemo::new())),
+            obs: None,
         }
+    }
+
+    /// Enables I/O-path observability: every evaluation this context runs
+    /// (directly or through campaign supervision) is collected — raw event
+    /// streams for [`Repro::traces`] and per-level metrics aggregated
+    /// across cells for [`Repro::metrics_report`]. Pure observation: all
+    /// rendered experiment output stays byte-identical.
+    pub fn with_tracing(mut self) -> Repro {
+        self.obs = Some(ReproObs {
+            hub: Arc::new(MetricsHub::new()),
+            traces: Vec::new(),
+            traced_exec: Time::ZERO,
+        });
+        self
+    }
+
+    /// Whether observability collection is enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// The raw event streams of directly evaluated runs (empty unless
+    /// [`Repro::with_tracing`] was called). Memoized re-evaluations do not
+    /// re-trace: each distinct cell appears once.
+    pub fn traces(&self) -> &[(TraceMeta, ObsData)] {
+        self.obs.as_ref().map_or(&[], |o| o.traces.as_slice())
+    }
+
+    /// Renders the aggregated per-level metrics table, when tracing is
+    /// enabled and at least one cell was observed. Rates and queue depths
+    /// are computed over the summed execution time of the directly traced
+    /// runs (campaign-supervised cells contribute counters only).
+    pub fn metrics_report(&self) -> Option<String> {
+        let obs = self.obs.as_ref().filter(|o| !o.hub.is_empty())?;
+        let agg = obs.hub.aggregate();
+        Some(format!(
+            "I/O-path metrics over {} cells ({} traced directly):\n{}",
+            obs.hub.len(),
+            obs.traces.len(),
+            ioeval_core::obs::render_obs_metrics(&agg, obs.traced_exec),
+        ))
     }
 
     /// Disables the in-process characterization memo (campaigns recompute
@@ -139,6 +194,7 @@ impl Repro {
         SuperviseOptions {
             watchdog: self.watchdog.clone(),
             memo: self.memo.clone(),
+            metrics: self.obs.as_ref().map(|o| o.hub.clone()),
             ..SuperviseOptions::default()
         }
         .with_jobs(self.jobs)
@@ -282,13 +338,32 @@ impl Repro {
             return r.clone();
         }
         let tables = self.characterize(spec, config);
+        let scenario_label = faults.label().to_string();
         let opts = EvalOptions {
             faults,
             watchdog: self.watchdog.clone(),
             ..EvalOptions::default()
         };
-        let report = evaluate(spec, config, scenario, &tables, &opts)
-            .unwrap_or_else(|e| panic!("evaluation of {key} on {} failed: {e}", config.name));
+        let collector = self.obs.as_ref().map(|_| Collector::new());
+        let report = {
+            let _guard = collector.as_ref().map(Collector::install);
+            evaluate(spec, config, scenario, &tables, &opts)
+                .unwrap_or_else(|e| panic!("evaluation of {key} on {} failed: {e}", config.name))
+        };
+        if let (Some(obs), Some(col)) = (self.obs.as_mut(), collector) {
+            let data = col.take();
+            obs.hub.add(full_key.clone(), data.metrics.clone());
+            obs.traced_exec = obs.traced_exec.saturating_add(report.profile.exec_time);
+            obs.traces.push((
+                TraceMeta {
+                    cluster: spec.name.clone(),
+                    config: config.name.clone(),
+                    app: key.to_string(),
+                    scenario: scenario_label,
+                },
+                data,
+            ));
+        }
         self.reports.insert(full_key, report.clone());
         report
     }

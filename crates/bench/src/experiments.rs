@@ -373,18 +373,30 @@ pub fn table7(r: &mut Repro) -> String {
     )
 }
 
-/// Fig. 16: MADbench2 trace phases.
+/// Fig. 16: MADbench2 trace phases, cross-checked against the I/O-path
+/// event stream: the traced phase boundaries bin the observed MPI-IO,
+/// fabric and storage activity into a per-phase utilization timeline.
 pub fn fig16(r: &mut Repro) -> String {
+    use ioeval_core::obs::{phase_timeline, render_phase_utilization, Collector};
     let spec = r.aohyper();
     let config = &r.aohyper_configs()[0];
     let mut out = String::new();
     for ft in [FileType::Unique, FileType::Shared] {
         let mb = r.madbench(16, ft);
-        let profile = characterize_app(&spec, config, mb.scenario(), None)
-            .expect("MADbench2 characterization on a preset configuration");
+        let collector = Collector::new();
+        let profile = {
+            let _guard = collector.install();
+            characterize_app(&spec, config, mb.scenario(), None)
+                .expect("MADbench2 characterization on a preset configuration")
+        };
         out.push_str(&phase_figure(
             &format!("Fig. 16 — MADbench2 traces, 16 processes, {ft:?} filetype"),
             &profile,
+        ));
+        let timeline = phase_timeline(&collector.take().events, &profile);
+        out.push_str(&format!(
+            "per-phase I/O-path utilization (observed events binned into the traced phases):\n{}",
+            render_phase_utilization(&timeline)
         ));
         out.push('\n');
     }
@@ -431,12 +443,11 @@ fn marker_usage_matrix(
     for (config, variant, report) in runs {
         let mut cells = vec![config.clone()];
         for (_, marker, op) in MARKER_COLS {
-            cells.push(
-                report
-                    .marker_usage_of(marker, op, level)
-                    .map(|v| format!("{v:.1}"))
-                    .unwrap_or_else(|| "-".into()),
-            );
+            cells.push(match report.marker_usage_of(marker, op, level) {
+                Some(v) => format!("{v:.1}"),
+                None if report.has_marker_usage_row(marker, op, level) => "n/a".into(),
+                None => "-".into(),
+            });
         }
         cells.push(variant.clone());
         t.row(cells);

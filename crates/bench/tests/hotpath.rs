@@ -42,6 +42,53 @@ fn report_schema_is_stable() {
 }
 
 #[test]
+fn hotpath_gate_runs_with_observability_disabled() {
+    // The CI bench gate times the pinned sweep with no sink installed:
+    // the observability layer must stay on its zero-cost NoSink path for
+    // the committed baseline (and its 25% tolerance) to stay meaningful.
+    assert!(
+        !simcore::obs::enabled(),
+        "no sink must be installed when the gate starts"
+    );
+    let cells = bench::hotpath::pinned_cell_times(1);
+    assert_eq!(cells.len(), 3);
+    assert!(
+        !simcore::obs::enabled(),
+        "the pinned sweep must not leave a sink installed"
+    );
+}
+
+#[test]
+fn characterization_is_identical_with_and_without_collector() {
+    // Observation is pure: a characterization run under a collector
+    // produces byte-identical tables to an unobserved run, and the
+    // collector actually saw the sweep's events.
+    use cluster::{presets, DeviceLayout, IoConfigBuilder};
+    use ioeval_core::charact::{characterize_system, CharacterizeOptions};
+    use ioeval_core::obs::Collector;
+
+    let spec = presets::test_cluster();
+    let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
+    let opts = CharacterizeOptions::quick();
+
+    let plain = characterize_system(&spec, &config, &opts).expect("characterize");
+    let collector = Collector::new();
+    let observed = {
+        let _guard = collector.install();
+        characterize_system(&spec, &config, &opts).expect("characterize observed")
+    };
+    assert_eq!(
+        plain.to_json(),
+        observed.to_json(),
+        "a collector must not perturb characterization"
+    );
+    assert!(
+        collector.metrics().total_ops() > 0,
+        "the collector should have observed the sweep"
+    );
+}
+
+#[test]
 fn memo_warm_replay_beats_cold_compute() {
     // Even at smoke sizes the warm campaign only clones tables out of the
     // memo, so it must not be slower than the cold one by more than noise.

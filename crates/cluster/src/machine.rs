@@ -308,6 +308,18 @@ impl ClusterMachine {
     }
 
     fn apply_fault(&mut self, now: Time, event: &FaultEvent) {
+        simcore::obs::emit(|| simcore::obs::ObsEvent::FaultApplied {
+            kind: match event.fault {
+                Fault::DiskFail { .. } => "disk_fail",
+                Fault::DiskReplace { .. } => "disk_replace",
+                Fault::DiskSlow { .. } => "disk_slow",
+                Fault::DiskRecover { .. } => "disk_recover",
+                Fault::ServerStall { .. } => "server_stall",
+                Fault::NetDegrade { .. } => "net_degrade",
+                Fault::NetHeal { .. } => "net_heal",
+            },
+            at: now,
+        });
         let seed = self.spec.seed;
         match event.fault {
             Fault::DiskFail { disk } => {

@@ -319,6 +319,13 @@ pub struct SuperviseOptions {
     /// cache — campaigns render and checkpoint byte-identically with or
     /// without it (characterization is deterministic).
     pub memo: Option<Arc<CharactMemo>>,
+    /// Optional observability aggregation: when set, every evaluation cell
+    /// runs under a [`crate::obs::Collector`] and contributes its
+    /// per-level metrics to the hub keyed by cell identity, so
+    /// [`crate::obs::MetricsHub::aggregate`] is identical for `jobs = 1`
+    /// and `jobs = N`. Pure observation — campaign results render and
+    /// checkpoint byte-identically with or without it.
+    pub metrics: Option<Arc<crate::obs::MetricsHub>>,
 }
 
 impl Default for SuperviseOptions {
@@ -331,6 +338,7 @@ impl Default for SuperviseOptions {
             jobs: 1,
             cell_faults: None,
             memo: None,
+            metrics: None,
         }
     }
 }
@@ -712,11 +720,23 @@ fn evaluate_cell(
             .unwrap_or_default(),
         ..EvalOptions::default()
     };
+    // Each attempt observes into a fresh thread-local collector; only the
+    // successful attempt's metrics reach the hub (keyed by cell identity,
+    // so a retry never double-counts).
+    let collector = sup.metrics.as_ref().map(|_| crate::obs::Collector::new());
     let mut attempts = 0u32;
     loop {
         attempts += 1;
-        match run_isolated(|| evaluate(spec, config, factory(), tset, &eopts)) {
+        let result = {
+            let _guard = collector.as_ref().map(crate::obs::Collector::install);
+            run_isolated(|| evaluate(spec, config, factory(), tset, &eopts))
+        };
+        let observed = collector.as_ref().map(|c| c.take());
+        match result {
             Ok(Ok(report)) => {
+                if let (Some(hub), Some(data)) = (&sup.metrics, observed) {
+                    hub.add(format!("{app}::{cfg}"), data.metrics);
+                }
                 let prediction = predict(&report.profile, tset);
                 break CellOutcome::Ok(Box::new(CampaignCell {
                     app: app.to_string(),
@@ -1297,6 +1317,29 @@ mod tests {
         // The quarantine actually bit: everything after bad-app's failure
         // on each config is skipped, in both modes.
         assert!(seq_render.contains("quarantined"));
+    }
+
+    #[test]
+    fn parallel_jobs_aggregate_identical_metrics() {
+        let spec = presets::test_cluster();
+        let configs = quick_configs();
+        let bt = bt_scenario;
+        let apps: Vec<AppFactory> = vec![("btio-a", &bt), ("btio-b", &bt)];
+        let opts = CharacterizeOptions::quick();
+        let run = |jobs: usize| {
+            let hub = Arc::new(crate::obs::MetricsHub::new());
+            let sup = SuperviseOptions {
+                metrics: Some(hub.clone()),
+                ..SuperviseOptions::default()
+            }
+            .with_jobs(jobs);
+            let c = run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, &mut NoStore);
+            assert_eq!(c.cells.len(), hub.len(), "one hub entry per cell");
+            crate::obs::render_obs_metrics(&hub.aggregate(), simcore::Time::from_secs(1))
+        };
+        let seq = run(1);
+        assert!(seq.contains("I/O Lib"), "{seq}");
+        assert_eq!(seq, run(4), "metrics aggregate must not depend on jobs");
     }
 
     #[test]

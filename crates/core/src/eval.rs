@@ -153,8 +153,10 @@ pub struct UsageRow {
     pub level: IoLevel,
     /// Characterized rate selected by the Fig. 11 search.
     pub characterized: Bandwidth,
-    /// `measured / characterized × 100`.
-    pub used_pct: f64,
+    /// `measured / characterized × 100`, or `None` when the characterized
+    /// rate is zero (a fully degraded level): the ratio is undefined and
+    /// renders as `n/a`, never `inf`/`NaN`.
+    pub used_pct: Option<f64>,
 }
 
 /// Usage of one workload-labelled section (MADbench2 S/W/C) at one level.
@@ -172,12 +174,43 @@ pub struct MarkerUsageRow {
     pub level: IoLevel,
     /// Characterized rate.
     pub characterized: Bandwidth,
-    /// Usage percentage.
-    pub used_pct: f64,
+    /// Usage percentage; `None` when the characterized rate is zero (see
+    /// [`UsageRow::used_pct`]).
+    pub used_pct: Option<f64>,
+}
+
+/// A typed annotation the evaluation attaches to its report when a value
+/// could not be computed (rather than silently rendering a bogus number).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EvalNote {
+    /// The Fig. 11 search selected a characterized row whose transfer rate
+    /// is zero (a fully degraded level), so the used percentage for this
+    /// `(op, block, level)` cell is undefined and renders `n/a`.
+    ZeroCharacterizedRate {
+        /// Operation type of the affected usage row.
+        op: OpType,
+        /// Application block size of the affected usage row.
+        block: u64,
+        /// I/O-path level whose characterized rate was zero.
+        level: IoLevel,
+    },
+}
+
+impl std::fmt::Display for EvalNote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalNote::ZeroCharacterizedRate { op, block, level } => write!(
+                f,
+                "characterized {op} rate at {} is zero for {} blocks: usage is n/a",
+                level.label(),
+                simcore::fmt_bytes(*block)
+            ),
+        }
+    }
 }
 
 /// The outcome of evaluating one application on one configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct EvalReport {
     /// Cluster name.
     pub cluster: String,
@@ -209,37 +242,115 @@ pub struct EvalReport {
     /// rebuild is driven to completion after the workload finishes, so
     /// `finished` is always set and `duration` reports the full window.
     pub rebuild: Option<RebuildReport>,
+    /// Typed annotations for values the run could not compute (e.g. a
+    /// zero-rate characterized row making a used percentage undefined).
+    /// Empty for every healthy, fully characterized run.
+    pub notes: Vec<EvalNote>,
+}
+
+// Serialization is hand-written (not derived) for one reason: `notes` is
+// omitted when empty. Healthy runs therefore serialize byte-identically
+// to reports produced before the field existed, which keeps persisted
+// campaign checkpoints stable, and older checkpoint payloads (no `notes`
+// key) still deserialize.
+impl Serialize for EvalReport {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("cluster", Serialize::to_value(&self.cluster));
+        m.insert("config", Serialize::to_value(&self.config));
+        m.insert("app", Serialize::to_value(&self.app));
+        m.insert("profile", Serialize::to_value(&self.profile));
+        m.insert("exec_time", Serialize::to_value(&self.exec_time));
+        m.insert("io_time", Serialize::to_value(&self.io_time));
+        m.insert("write_rate", Serialize::to_value(&self.write_rate));
+        m.insert("read_rate", Serialize::to_value(&self.read_rate));
+        m.insert("usage", Serialize::to_value(&self.usage));
+        m.insert("marker_usage", Serialize::to_value(&self.marker_usage));
+        m.insert("scenario", Serialize::to_value(&self.scenario));
+        m.insert("io_errors", Serialize::to_value(&self.io_errors));
+        m.insert("client_retries", Serialize::to_value(&self.client_retries));
+        m.insert("rebuild", Serialize::to_value(&self.rebuild));
+        if !self.notes.is_empty() {
+            m.insert("notes", Serialize::to_value(&self.notes));
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for EvalReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| v.get(name).unwrap_or(&serde::Value::Null);
+        Ok(EvalReport {
+            cluster: Deserialize::from_value(field("cluster"))?,
+            config: Deserialize::from_value(field("config"))?,
+            app: Deserialize::from_value(field("app"))?,
+            profile: Deserialize::from_value(field("profile"))?,
+            exec_time: Deserialize::from_value(field("exec_time"))?,
+            io_time: Deserialize::from_value(field("io_time"))?,
+            write_rate: Deserialize::from_value(field("write_rate"))?,
+            read_rate: Deserialize::from_value(field("read_rate"))?,
+            usage: Deserialize::from_value(field("usage"))?,
+            marker_usage: Deserialize::from_value(field("marker_usage"))?,
+            scenario: Deserialize::from_value(field("scenario"))?,
+            io_errors: Deserialize::from_value(field("io_errors"))?,
+            client_retries: Deserialize::from_value(field("client_retries"))?,
+            rebuild: Deserialize::from_value(field("rebuild"))?,
+            notes: match field("notes") {
+                serde::Value::Null => Vec::new(),
+                other => Deserialize::from_value(other)?,
+            },
+        })
+    }
 }
 
 impl EvalReport {
     /// Bytes-weighted mean usage for an operation at a level — the single
-    /// number the paper's Tables III/IV/VI/VII report per cell.
+    /// number the paper's Tables III/IV/VI/VII report per cell. Rows whose
+    /// usage is undefined (zero characterized rate) are excluded from the
+    /// mean; the summary is `None` when no row has a defined usage.
     pub fn usage_summary(&self, op: OpType, level: IoLevel) -> Option<f64> {
-        let rows: Vec<&UsageRow> = self
+        let rows: Vec<(&UsageRow, f64)> = self
             .usage
             .iter()
             .filter(|u| u.op == op && u.level == level)
+            .filter_map(|u| u.used_pct.map(|pct| (u, pct)))
             .collect();
         if rows.is_empty() {
             return None;
         }
-        let total: u64 = rows.iter().map(|u| u.bytes).sum();
+        let total: u64 = rows.iter().map(|(u, _)| u.bytes).sum();
         if total == 0 {
             return None;
         }
         Some(
             rows.iter()
-                .map(|u| u.used_pct * u.bytes as f64 / total as f64)
+                .map(|(u, pct)| pct * u.bytes as f64 / total as f64)
                 .sum(),
         )
     }
 
+    /// Whether any usage row exists for `(op, level)` — distinguishes "not
+    /// measured" (`-` in tables) from "measured but undefined" (`n/a`).
+    pub fn has_usage_rows(&self, op: OpType, level: IoLevel) -> bool {
+        self.usage.iter().any(|u| u.op == op && u.level == level)
+    }
+
     /// Usage of a marker section at a level (paper Tables IX/X/XI cells).
+    /// `None` when the section was not measured at this level *or* its
+    /// usage is undefined (zero characterized rate).
     pub fn marker_usage_of(&self, marker: u32, op: OpType, level: IoLevel) -> Option<f64> {
         self.marker_usage
             .iter()
             .find(|m| m.marker == marker && m.op == op && m.level == level)
-            .map(|m| m.used_pct)
+            .and_then(|m| m.used_pct)
+    }
+
+    /// Whether a marker usage row exists for `(marker, op, level)` — see
+    /// [`Self::has_usage_rows`].
+    pub fn has_marker_usage_row(&self, marker: u32, op: OpType, level: IoLevel) -> bool {
+        self.marker_usage
+            .iter()
+            .any(|m| m.marker == marker && m.op == op && m.level == level)
     }
 
     /// The fraction of execution time spent in I/O.
@@ -265,11 +376,11 @@ pub fn usage_table(profile: &AppProfile, tables: &PerfTableSet) -> Vec<UsageRow>
                 continue;
             };
             let characterized = row.rate;
-            let used_pct = if characterized.bytes_per_sec() == 0 {
-                0.0
-            } else {
+            // A zero characterized rate (fully degraded level) makes the
+            // ratio undefined: report `None`, never inf/NaN.
+            let used_pct = (characterized.bytes_per_sec() != 0).then(|| {
                 m.rate.bytes_per_sec() as f64 / characterized.bytes_per_sec() as f64 * 100.0
-            };
+            });
             out.push(UsageRow {
                 op: m.op,
                 block: m.block,
@@ -303,11 +414,8 @@ pub fn marker_usage_table(profile: &AppProfile, tables: &PerfTableSet) -> Vec<Ma
             let Some(row) = table.search_lenient(m.op, block, level.access_type(), mode) else {
                 continue;
             };
-            let used_pct = if row.rate.bytes_per_sec() == 0 {
-                0.0
-            } else {
-                m.rate.bytes_per_sec() as f64 / row.rate.bytes_per_sec() as f64 * 100.0
-            };
+            let used_pct = (row.rate.bytes_per_sec() != 0)
+                .then(|| m.rate.bytes_per_sec() as f64 / row.rate.bytes_per_sec() as f64 * 100.0);
             out.push(MarkerUsageRow {
                 marker: m.marker,
                 op: m.op,
@@ -369,6 +477,7 @@ pub fn evaluate(
 
     let usage = usage_table(&profile, tables);
     let marker_usage = marker_usage_table(&profile, tables);
+    let notes = usage_notes(&usage, &marker_usage);
     Ok(EvalReport {
         cluster: spec.name.clone(),
         config: config.name.clone(),
@@ -384,7 +493,31 @@ pub fn evaluate(
         io_errors: machine.io_errors(),
         client_retries: machine.client_retries(),
         rebuild,
+        notes,
     })
+}
+
+/// The typed notes implied by undefined usage rows (deduplicated, in row
+/// order).
+pub fn usage_notes(usage: &[UsageRow], marker_usage: &[MarkerUsageRow]) -> Vec<EvalNote> {
+    let mut notes: Vec<EvalNote> = Vec::new();
+    let undefined = usage
+        .iter()
+        .filter(|u| u.used_pct.is_none())
+        .map(|u| (u.op, u.block, u.level))
+        .chain(
+            marker_usage
+                .iter()
+                .filter(|m| m.used_pct.is_none())
+                .map(|m| (m.op, m.block, m.level)),
+        );
+    for (op, block, level) in undefined {
+        let note = EvalNote::ZeroCharacterizedRate { op, block, level };
+        if !notes.contains(&note) {
+            notes.push(note);
+        }
+    }
+    notes
 }
 
 #[cfg(test)]
@@ -447,7 +580,8 @@ mod tests {
         let rows = usage_table(&profile, &tables);
         assert_eq!(rows.len(), 3, "one row per level");
         for r in &rows {
-            assert!((r.used_pct - 50.0).abs() < 1e-9, "usage {}", r.used_pct);
+            let pct = r.used_pct.expect("nonzero characterized rate");
+            assert!((pct - 50.0).abs() < 1e-9, "usage {pct}");
         }
     }
 
@@ -456,7 +590,81 @@ mod tests {
         let tables = fake_tables(100);
         let profile = fake_profile(250);
         let rows = usage_table(&profile, &tables);
-        assert!(rows.iter().all(|r| (r.used_pct - 250.0).abs() < 1e-9));
+        assert!(rows
+            .iter()
+            .all(|r| (r.used_pct.unwrap() - 250.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn zero_characterized_rate_yields_undefined_usage_not_nan() {
+        let tables = fake_tables(0);
+        let profile = fake_profile(50);
+        let rows = usage_table(&profile, &tables);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.used_pct.is_none()));
+        let notes = usage_notes(&rows, &[]);
+        assert_eq!(notes.len(), 3, "one note per level: {notes:?}");
+        assert!(matches!(
+            notes[0],
+            EvalNote::ZeroCharacterizedRate {
+                op: OpType::Write,
+                ..
+            }
+        ));
+        // The rendered form never contains inf/NaN.
+        let text = notes.iter().map(|n| n.to_string()).collect::<String>();
+        assert!(text.contains("n/a"), "{text}");
+        assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn usage_summary_skips_undefined_rows() {
+        let mut report = ior_read_eval(FaultScenario::Healthy);
+        report.usage = usage_table(&fake_profile(50), &fake_tables(100));
+        // Poison one level with an undefined row: the other levels still
+        // summarize, the poisoned one returns None.
+        for u in report.usage.iter_mut() {
+            if u.level == IoLevel::GlobalFs {
+                u.used_pct = None;
+            }
+        }
+        assert!(report
+            .usage_summary(OpType::Write, IoLevel::Library)
+            .is_some());
+        assert!(report
+            .usage_summary(OpType::Write, IoLevel::GlobalFs)
+            .is_none());
+        assert!(report.has_usage_rows(OpType::Write, IoLevel::GlobalFs));
+        assert!(!report.has_usage_rows(OpType::Read, IoLevel::GlobalFs));
+    }
+
+    #[test]
+    fn empty_notes_are_omitted_from_serialized_reports() {
+        let report = ior_read_eval(FaultScenario::Healthy);
+        assert!(report.notes.is_empty());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(
+            !json.contains("\"notes\""),
+            "healthy reports serialize without a notes key (checkpoint byte stability)"
+        );
+        // Round trip (also the path for pre-notes checkpoint payloads).
+        let back: EvalReport = serde_json::from_str(&json).unwrap();
+        assert!(back.notes.is_empty());
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn nonempty_notes_round_trip() {
+        let mut report = ior_read_eval(FaultScenario::Healthy);
+        report.notes = vec![EvalNote::ZeroCharacterizedRate {
+            op: OpType::Write,
+            block: MIB,
+            level: IoLevel::GlobalFs,
+        }];
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"notes\""), "{json}");
+        let back: EvalReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.notes, report.notes);
     }
 
     #[test]
@@ -526,7 +734,7 @@ mod tests {
         }];
         let rows = marker_usage_table(&profile, &tables);
         assert_eq!(rows.len(), 3);
-        assert!((rows[0].used_pct - 25.0).abs() < 1e-9);
+        assert!((rows[0].used_pct.unwrap() - 25.0).abs() < 1e-9);
         assert_eq!(rows[0].block, MIB);
     }
 

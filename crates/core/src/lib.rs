@@ -31,6 +31,7 @@ pub mod campaign;
 pub mod charact;
 pub mod eval;
 pub mod memo;
+pub mod obs;
 pub mod perf_table;
 pub mod report;
 pub mod supervise;
@@ -47,6 +48,7 @@ pub use charact::{
 };
 pub use eval::{evaluate, EvalError, EvalOptions, EvalReport, FaultScenario, UsageRow};
 pub use memo::CharactMemo;
+pub use obs::{Collector, MetricsHub, ObsData, ObsMetrics, TraceMeta};
 pub use perf_table::{AccessMode, AccessType, IoLevel, OpType, PerfRow, PerfTable, PerfTableSet};
 pub use report::render_resilience_table;
 pub use supervise::run_isolated;

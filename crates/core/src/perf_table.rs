@@ -155,6 +155,20 @@ impl PerfTable {
         self.rows.iter()
     }
 
+    /// Restores the `(op, access, mode, block)` sort order [`Self::insert`]
+    /// maintains. Deserialized tables must pass through this before
+    /// [`Self::search`]: external JSON may list rows in any order, and the
+    /// search's closest-upper-block rule relies on the invariant.
+    fn resort(&mut self) {
+        self.rows.sort_by_key(|r| (r.op, r.access, r.mode, r.block));
+        // Duplicate keys keep the last occurrence, matching insert's
+        // replace-on-collision semantics (sort_by_key is stable).
+        self.rows.reverse();
+        self.rows
+            .dedup_by_key(|r| (r.op, r.access, r.mode, r.block));
+        self.rows.reverse();
+    }
+
     /// The paper's Fig. 11 search: resolves `(op, block, access, mode)` to
     /// the characterized row per the closest-upper-block-size rule.
     /// Returns `None` when no row matches the non-block key at all.
@@ -251,9 +265,16 @@ impl PerfTableSet {
         serde_json::to_string_pretty(self).expect("PerfTableSet serializes")
     }
 
-    /// Parses a JSON performance-table file.
+    /// Parses a JSON performance-table file. Rows are re-sorted into the
+    /// `(op, access, mode, block)` order [`PerfTable::search`] requires —
+    /// hand-edited or externally generated files may list them in any
+    /// order.
     pub fn from_json(s: &str) -> Result<PerfTableSet, serde_json::Error> {
-        serde_json::from_str(s)
+        let mut set: PerfTableSet = serde_json::from_str(s)?;
+        for table in set.tables.values_mut() {
+            table.resort();
+        }
+        Ok(set)
     }
 }
 
@@ -420,6 +441,69 @@ mod tests {
         assert_eq!(back.config, "RAID 5");
         assert_eq!(back.get(IoLevel::GlobalFs).unwrap().len(), 4);
         assert!(back.get(IoLevel::LocalFs).is_none());
+    }
+
+    /// A `PerfTableSet` JSON file whose `GlobalFs` rows appear in the
+    /// given order (as a hand-edited or externally generated table file
+    /// might list them).
+    fn table_file_json(rows: &[PerfRow]) -> String {
+        let rows = rows
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            r#"{{"cluster":"Aohyper","config":"RAID 5","tables":{{"GlobalFs":{{"rows":[{rows}]}}}}}}"#
+        )
+    }
+
+    #[test]
+    fn from_json_resorts_shuffled_rows() {
+        // Rows arrive block-unsorted; search must still follow Fig. 11.
+        let json = table_file_json(&[
+            row(OpType::Write, 4096, 80),
+            row(OpType::Write, 256, 20),
+            row(OpType::Write, 16384, 90),
+            row(OpType::Write, 1024, 50),
+        ]);
+        let back = PerfTableSet::from_json(&json).unwrap();
+        let t = back.get(IoLevel::GlobalFs).unwrap();
+        let blocks: Vec<u64> = t.rows().map(|r| r.block).collect();
+        assert_eq!(blocks, vec![256, 1024, 4096, 16384], "re-sorted on load");
+        // The closest-upper-block rule works on the re-sorted rows (it
+        // would pick a wrong row — or hit the unreachable! — unsorted).
+        let r = t
+            .search(
+                OpType::Write,
+                2000,
+                AccessType::Global,
+                AccessMode::Sequential,
+            )
+            .unwrap();
+        assert_eq!(r.block, 4096);
+        // And the round trip is stable from here on.
+        let again = PerfTableSet::from_json(&back.to_json()).unwrap();
+        let blocks: Vec<u64> = again
+            .get(IoLevel::GlobalFs)
+            .unwrap()
+            .rows()
+            .map(|r| r.block)
+            .collect();
+        assert_eq!(blocks, vec![256, 1024, 4096, 16384]);
+    }
+
+    #[test]
+    fn from_json_keeps_last_duplicate_key() {
+        // Duplicate key: the later row wins, matching insert's
+        // replace-on-collision behavior.
+        let json = table_file_json(&[row(OpType::Write, 1024, 50), row(OpType::Write, 1024, 99)]);
+        let back = PerfTableSet::from_json(&json).unwrap();
+        let t = back.get(IoLevel::GlobalFs).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.rows().next().unwrap().rate,
+            Bandwidth::from_mib_per_sec(99)
+        );
     }
 
     #[test]

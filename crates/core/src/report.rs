@@ -22,9 +22,17 @@ impl TextTable {
         }
     }
 
-    /// Appends a row (padded/truncated to the header width).
+    /// Appends a row (padded to the header width; rows wider than the
+    /// header are a caller bug).
     pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
         let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        debug_assert!(
+            cells.len() <= self.header.len(),
+            "row has {} cells but the table has {} columns: {:?}",
+            cells.len(),
+            self.header.len(),
+            cells
+        );
         cells.resize(self.header.len(), String::new());
         self.rows.push(cells);
         self
@@ -40,13 +48,15 @@ impl TextTable {
         self.rows.is_empty()
     }
 
-    /// Renders with aligned columns.
+    /// Renders with aligned columns. Widths are measured in characters,
+    /// not bytes, so non-ASCII cells (`µs`, `≈`) stay aligned.
     pub fn render(&self) -> String {
         let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let width_of = |c: &str| c.chars().count();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| width_of(h)).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate().take(cols) {
-                widths[i] = widths[i].max(c.len());
+                widths[i] = widths[i].max(width_of(c));
             }
         }
         let mut out = String::new();
@@ -56,7 +66,7 @@ impl TextTable {
                     out.push_str("  ");
                 }
                 out.push_str(c);
-                for _ in c.len()..widths[i] {
+                for _ in width_of(c)..widths[i] {
                     out.push(' ');
                 }
             }
@@ -157,11 +167,12 @@ pub fn render_usage_matrix(
         "VARIANT".to_string(),
     ]);
     for (config, variant, report) in reports {
-        let cell = |level| {
-            report
-                .usage_summary(op, level)
-                .map(|v| format!("{v:.1}"))
-                .unwrap_or_else(|| "-".to_string())
+        let cell = |level| match report.usage_summary(op, level) {
+            Some(v) => format!("{v:.1}"),
+            // Measured but undefined (zero characterized rate) is `n/a`;
+            // a level with no rows at all stays `-`.
+            None if report.has_usage_rows(op, level) => "n/a".to_string(),
+            None => "-".to_string(),
         };
         t.row(vec![
             config.to_string(),
@@ -309,6 +320,27 @@ mod tests {
     }
 
     #[test]
+    fn text_table_aligns_non_ascii_cells() {
+        let mut t = TextTable::new(vec!["lat", "note"]);
+        t.row(vec!["1.5µs", "x"]);
+        t.row(vec!["500ns", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Both data rows put the second column at the same character
+        // offset even though `µ` is two bytes.
+        let col = |l: &str, ch: char| l.chars().position(|c| c == ch).unwrap();
+        assert_eq!(col(lines[2], 'x'), col(lines[3], 'y'), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 3 cells")]
+    #[cfg(debug_assertions)]
+    fn text_table_rejects_overlong_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1", "2", "3"]);
+    }
+
+    #[test]
     fn perf_table_renders_rows() {
         let mut table = PerfTable::new();
         table.insert(PerfRow {
@@ -381,6 +413,7 @@ mod tests {
             io_errors: 0,
             client_retries: 0,
             rebuild,
+            notes: Vec::new(),
         };
         let healthy = report("healthy", 100, None);
         let degraded = report("degraded", 60, None);

@@ -214,12 +214,21 @@ impl LocalFs {
     fn writeback(&mut self, now: Time, ranges: &[RangeRef]) -> Time {
         let chunk = self.params.writeback_chunk;
         let mut done = now;
+        let mut total = 0u64;
         for r in ranges {
             for &(voff, len) in self.map(r.file, r.start, r.end).iter() {
                 let g = self.vol.submit_run(now, BlockReq::write(voff, len), chunk);
                 done = done.max(g.ack);
+                total += len;
             }
             self.cache.mark_clean(r.file, r.start, r.end);
+        }
+        if total > 0 {
+            simcore::obs::emit(|| simcore::obs::ObsEvent::Writeback {
+                bytes: total,
+                start: now,
+                end: done,
+            });
         }
         done
     }
@@ -233,6 +242,8 @@ impl LocalFs {
         // Make room; evicted dirty ranges must hit the device first.
         let must_flush = self.cache.ensure_room(len.min(self.cache.capacity()));
         if !must_flush.is_empty() {
+            let evict_start = t;
+            let mut evicted = 0u64;
             // These are detached from the cache already; write them out.
             let chunk = self.params.writeback_chunk;
             for r in &must_flush {
@@ -246,8 +257,13 @@ impl LocalFs {
                         t = t.max(g.ack);
                         pos += take;
                     }
+                    evicted += l;
                 }
             }
+            simcore::obs::emit(|| simcore::obs::ObsEvent::CacheEvict {
+                bytes: evicted,
+                at: evict_start,
+            });
         }
 
         // Copy into the cache.
@@ -288,6 +304,12 @@ impl LocalFs {
 
         let mut device_done = now;
         let miss_list = misses.clone();
+        let miss_bytes: u64 = miss_list.iter().map(|m| m.len()).sum();
+        simcore::obs::emit(|| simcore::obs::ObsEvent::CacheAccess {
+            hit_bytes,
+            miss_bytes,
+            at: now,
+        });
         for m in &miss_list {
             let need = m.len();
             let flush = self.cache.ensure_room(need.min(self.cache.capacity()));
@@ -297,11 +319,17 @@ impl LocalFs {
             for &(voff, l) in self.map(m.file, m.start, m.end).iter() {
                 let g = self.vol.submit(now, BlockReq::read(voff, l));
                 device_done = device_done.max(g.ack);
+                simcore::obs::emit(|| simcore::obs::ObsEvent::StorageIo {
+                    volume: self.vol.kind(),
+                    write: false,
+                    bytes: l,
+                    start: now,
+                    end: g.ack,
+                });
             }
             self.cache.insert(m.file, m.start, m.end, false);
         }
 
-        let _ = hit_bytes;
         let copy = self.params.mem_bw.time_for(len);
         let t = device_done.max(now) + copy;
         self.meter.reads.record(len, t - now);

@@ -403,6 +403,11 @@ impl NfsClient {
                 });
             }
             self.retries += 1;
+            simcore::obs::emit(|| simcore::obs::ObsEvent::NfsRetry {
+                op,
+                at: deadline,
+                attempt,
+            });
             let jitter = timeout.as_secs_f64() * retry.jitter_frac * self.rng.next_f64();
             issue = deadline + Time::from_secs_f64(jitter);
             timeout = Time::from_nanos(timeout.as_nanos().saturating_mul(2)).min(retry.max_timeo);

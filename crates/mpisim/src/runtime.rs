@@ -303,6 +303,14 @@ impl Exec<'_> {
     }
 
     fn emit(&mut self, rank: Rank, start: Time, end: Time, kind: TraceKind) {
+        simcore::obs::emit(|| simcore::obs::ObsEvent::MpiOp {
+            rank,
+            label: kind.label(),
+            start,
+            end,
+            bytes: kind.payload_bytes(),
+            io: kind.is_io_data(),
+        });
         self.sink.record(TraceEvent {
             rank,
             start,

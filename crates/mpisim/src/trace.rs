@@ -94,6 +94,36 @@ impl TraceKind {
         matches!(self, TraceKind::Write { .. } | TraceKind::Read { .. })
     }
 
+    /// Stable label of the primitive (trace exports, metrics).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::Compute => "compute",
+            TraceKind::Send { .. } => "send",
+            TraceKind::Recv { .. } => "recv",
+            TraceKind::Barrier => "barrier",
+            TraceKind::Bcast { .. } => "bcast",
+            TraceKind::Allreduce { .. } => "allreduce",
+            TraceKind::Wait => "wait",
+            TraceKind::Open { .. } => "open",
+            TraceKind::Close { .. } => "close",
+            TraceKind::Write { .. } => "write",
+            TraceKind::Read { .. } => "read",
+            TraceKind::Sync { .. } => "sync",
+            TraceKind::Marker(_) => "marker",
+        }
+    }
+
+    /// Payload bytes the primitive moved (0 for control/compute).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            TraceKind::Send { bytes, .. }
+            | TraceKind::Bcast { bytes, .. }
+            | TraceKind::Allreduce { bytes } => *bytes,
+            TraceKind::Write { len, .. } | TraceKind::Read { len, .. } => *len,
+            _ => 0,
+        }
+    }
+
     /// Whether this is communication (send/recv/collectives).
     pub fn is_comm(&self) -> bool {
         matches!(

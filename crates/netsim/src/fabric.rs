@@ -140,6 +140,13 @@ impl Fabric {
         };
         self.meter.messages += 1;
         self.meter.transfers.record(bytes, delivered - now);
+        simcore::obs::emit(|| simcore::obs::ObsEvent::NetSend {
+            from,
+            to,
+            bytes,
+            start: now,
+            end: delivered,
+        });
         delivered
     }
 }

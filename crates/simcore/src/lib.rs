@@ -21,6 +21,7 @@
 
 pub mod faults;
 pub mod hash;
+pub mod obs;
 pub mod progress;
 pub mod queue;
 pub mod resource;

@@ -1,0 +1,313 @@
+//! Observability: a lightweight event stream out of the simulated I/O path.
+//!
+//! Every layer of the path (MPI runtime, fabric, NFS, local filesystem,
+//! volumes) calls [`emit`] at its chokepoints. The call is free when no
+//! sink is installed — a thread-local `bool` is checked before the event
+//! is even constructed, so the hot paths (the slab event queue, the bulk
+//! closed forms) pay one predictable branch and nothing else. Installing
+//! a sink is per-thread and scoped by an RAII [`ObsGuard`], which makes
+//! collection safe under the parallel campaign scheduler: each campaign
+//! cell runs wholly on one worker thread and observes only itself.
+//!
+//! The closed-form bulk paths emit **aggregate** events (`ops > 1`)
+//! carrying the same totals the event-granular loop would have produced
+//! one event at a time, so a trace taken with fast paths on and off
+//! aggregates identically.
+
+use crate::time::Time;
+use std::cell::{Cell, RefCell};
+
+/// One event out of the simulated I/O path.
+///
+/// Variants carry plain data only (no references into the simulation), so
+/// sinks may retain them. Times are simulated time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ObsEvent {
+    /// An MPI-level primitive completed on a rank (begin = `start`,
+    /// end = `end`). `bytes` is the payload for data operations, 0
+    /// otherwise.
+    MpiOp {
+        /// Executing rank.
+        rank: usize,
+        /// Primitive label (`"write"`, `"read"`, `"barrier"`, ...).
+        label: &'static str,
+        /// When the primitive began.
+        start: Time,
+        /// When it completed.
+        end: Time,
+        /// Payload bytes (0 for non-data primitives).
+        bytes: u64,
+        /// Whether this primitive is file I/O (vs. compute/comm).
+        io: bool,
+    },
+    /// A fabric message was delivered (`from == to` is loopback). A
+    /// dropped-and-retransmitted message emits once per wire crossing.
+    NetSend {
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// Message bytes.
+        bytes: u64,
+        /// When the send was issued.
+        start: Time,
+        /// When the last byte (plus link latency) arrived.
+        end: Time,
+    },
+    /// An NFS RPC was retransmitted after a minor timeout.
+    NfsRetry {
+        /// RPC procedure (`"WRITE"`, `"READ"`, ...).
+        op: &'static str,
+        /// When the expired timeout's deadline passed.
+        at: Time,
+        /// The attempt that timed out (1-based).
+        attempt: u32,
+    },
+    /// A local-filesystem page-cache lookup was served (fully, partially
+    /// or not at all) from memory.
+    CacheAccess {
+        /// Bytes found in the cache.
+        hit_bytes: u64,
+        /// Bytes that had to come from the device.
+        miss_bytes: u64,
+        /// Lookup instant.
+        at: Time,
+    },
+    /// Dirty ranges were evicted from the page cache to make room and had
+    /// to reach the device before the evictor could continue.
+    CacheEvict {
+        /// Dirty bytes written out.
+        bytes: u64,
+        /// Eviction instant.
+        at: Time,
+    },
+    /// The local filesystem wrote dirty ranges back to its volume
+    /// (throttling drain, fsync, sync).
+    Writeback {
+        /// Bytes written back.
+        bytes: u64,
+        /// When the writeback started.
+        start: Time,
+        /// When the device acknowledged the last range.
+        end: Time,
+    },
+    /// A volume granted a chunked transfer run. `ops` is the number of
+    /// chunk grants the run decomposed into: the closed-form bulk path
+    /// emits one aggregate event with `ops > 1`, the granular loop emits
+    /// the identical aggregate after its last chunk.
+    StorageRun {
+        /// Volume kind (`"RAID 5"`, `"JBOD"`, ...).
+        volume: &'static str,
+        /// Whether the run was a write.
+        write: bool,
+        /// Total bytes across all chunks.
+        bytes: u64,
+        /// Chunk grants in the run.
+        ops: u64,
+        /// Arrival of the run.
+        start: Time,
+        /// Acknowledgement of the last chunk.
+        end: Time,
+        /// Whether the closed-form bulk path served the run.
+        bulk: bool,
+    },
+    /// A single volume grant outside a chunked run (cache-miss reads,
+    /// evictions, metadata).
+    StorageIo {
+        /// Volume kind.
+        volume: &'static str,
+        /// Whether the request was a write.
+        write: bool,
+        /// Request bytes.
+        bytes: u64,
+        /// Arrival.
+        start: Time,
+        /// Acknowledgement.
+        end: Time,
+    },
+    /// A fault-schedule event was applied to the I/O system.
+    FaultApplied {
+        /// Fault label (`"disk_fail"`, `"disk_replace"`, ...).
+        kind: &'static str,
+        /// Injection instant.
+        at: Time,
+    },
+}
+
+impl ObsEvent {
+    /// Schema label of the variant (stable across versions of the JSONL
+    /// export; see `core::obs`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::MpiOp { .. } => "mpi_op",
+            ObsEvent::NetSend { .. } => "net_send",
+            ObsEvent::NfsRetry { .. } => "nfs_retry",
+            ObsEvent::CacheAccess { .. } => "cache_access",
+            ObsEvent::CacheEvict { .. } => "cache_evict",
+            ObsEvent::Writeback { .. } => "writeback",
+            ObsEvent::StorageRun { .. } => "storage_run",
+            ObsEvent::StorageIo { .. } => "storage_io",
+            ObsEvent::FaultApplied { .. } => "fault",
+        }
+    }
+}
+
+/// Consumer of [`ObsEvent`]s. Implementations live on the thread that
+/// runs the simulation; events arrive in emission order.
+pub trait ObsSink {
+    /// Records one event.
+    fn event(&mut self, ev: &ObsEvent);
+}
+
+/// The disabled default: ignores everything. Installing `NoSink` is
+/// equivalent to installing nothing — [`emit`] still constructs events —
+/// so leave the sink uninstalled for zero-cost disabled operation; this
+/// type exists for tests and as the explicit name of "observation off".
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoSink;
+
+impl ObsSink for NoSink {
+    fn event(&mut self, _ev: &ObsEvent) {}
+}
+
+thread_local! {
+    /// Fast flag checked by [`emit`] before anything else. Kept separate
+    /// from `SINK` so the disabled path never touches the `RefCell`.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static SINK: RefCell<Option<Box<dyn ObsSink>>> = const { RefCell::new(None) };
+}
+
+/// Whether a sink is installed on the current thread.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Emits an event to the current thread's sink. `build` runs only when a
+/// sink is installed, so instrumentation points pay a single predictable
+/// branch when observation is off.
+#[inline]
+pub fn emit(build: impl FnOnce() -> ObsEvent) {
+    if enabled() {
+        deliver(build());
+    }
+}
+
+#[cold]
+fn deliver(ev: ObsEvent) {
+    SINK.with(|s| {
+        // Re-entrant emits (a sink whose event handler itself emits) find
+        // the RefCell borrowed; drop them instead of panicking.
+        if let Ok(mut slot) = s.try_borrow_mut() {
+            if let Some(sink) = slot.as_mut() {
+                sink.event(&ev);
+            }
+        }
+    });
+}
+
+/// Installs `sink` as the current thread's observer; returns a guard that
+/// restores the previous sink (usually none) when dropped. Share state
+/// with the sink (e.g. via `Rc<RefCell<..>>`) to read results back after
+/// the guard is gone.
+#[must_use = "the sink is uninstalled when the guard drops"]
+pub fn install(sink: Box<dyn ObsSink>) -> ObsGuard {
+    let prev = SINK.with(|s| s.borrow_mut().replace(sink));
+    let was_enabled = ENABLED.with(|e| e.replace(true));
+    ObsGuard { prev, was_enabled }
+}
+
+/// RAII scope of an installed sink (see [`install`]).
+pub struct ObsGuard {
+    prev: Option<Box<dyn ObsSink>>,
+    was_enabled: bool,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        ENABLED.with(|e| e.set(self.was_enabled));
+        SINK.with(|s| {
+            *s.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A sink that counts into shared state.
+    struct Counter(Rc<RefCell<Vec<&'static str>>>);
+
+    impl ObsSink for Counter {
+        fn event(&mut self, ev: &ObsEvent) {
+            self.0.borrow_mut().push(ev.kind());
+        }
+    }
+
+    fn fault_event() -> ObsEvent {
+        ObsEvent::FaultApplied {
+            kind: "disk_fail",
+            at: Time::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn emit_without_sink_is_a_no_op() {
+        assert!(!enabled());
+        emit(|| panic!("event must not be built when disabled"));
+    }
+
+    #[test]
+    fn install_scopes_delivery_to_the_guard() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        {
+            let _guard = install(Box::new(Counter(seen.clone())));
+            assert!(enabled());
+            emit(fault_event);
+            emit(|| ObsEvent::CacheEvict {
+                bytes: 4096,
+                at: Time::ZERO,
+            });
+        }
+        assert!(!enabled());
+        emit(|| panic!("uninstalled after guard drop"));
+        assert_eq!(*seen.borrow(), vec!["fault", "cache_evict"]);
+    }
+
+    #[test]
+    fn nested_install_restores_the_outer_sink() {
+        let outer = Rc::new(RefCell::new(Vec::new()));
+        let inner = Rc::new(RefCell::new(Vec::new()));
+        let _g1 = install(Box::new(Counter(outer.clone())));
+        {
+            let _g2 = install(Box::new(Counter(inner.clone())));
+            emit(fault_event);
+        }
+        emit(fault_event);
+        assert_eq!(inner.borrow().len(), 1);
+        assert_eq!(outer.borrow().len(), 1);
+    }
+
+    #[test]
+    fn no_sink_discards() {
+        let mut s = NoSink;
+        s.event(&fault_event());
+    }
+
+    #[test]
+    fn event_kinds_are_stable() {
+        assert_eq!(fault_event().kind(), "fault");
+        let e = ObsEvent::MpiOp {
+            rank: 0,
+            label: "write",
+            start: Time::ZERO,
+            end: Time::from_secs(1),
+            bytes: 1,
+            io: true,
+        };
+        assert_eq!(e.kind(), "mpi_op");
+    }
+}

@@ -218,6 +218,17 @@ impl SizeHistogram {
             .map(|(i, &c)| (1u64 << i, c))
     }
 
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &SizeHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.total += other.total;
+    }
+
     /// The floor of the most frequent bucket, or `None` when empty.
     pub fn mode_bucket(&self) -> Option<u64> {
         self.buckets

@@ -4,12 +4,15 @@
 Usage: bench_check.py BASELINE FRESH [--tolerance PCT]
 
 Fails (exit 1) when the fresh pinned-cell wall time regresses more than
-PCT percent (default 25) over the baseline. Timings are host-dependent,
-so only the pinned cell — a multi-millisecond simulation, the least
-noisy number in the report — is gated; the rest is printed for the log.
+PCT percent over the baseline. The tolerance defaults to 25 and can be
+set with --tolerance or the IOEVAL_BENCH_TOLERANCE environment variable
+(the flag wins when both are given). Timings are host-dependent, so only
+the pinned cell — a multi-millisecond simulation, the least noisy number
+in the report — is gated; the rest is printed for the log.
 """
 
 import json
+import os
 import sys
 
 
@@ -19,6 +22,16 @@ def main() -> int:
         print(__doc__, file=sys.stderr)
         return 2
     tolerance = 25.0
+    env_tol = os.environ.get("IOEVAL_BENCH_TOLERANCE")
+    if env_tol is not None:
+        try:
+            tolerance = float(env_tol)
+        except ValueError:
+            print(
+                f"invalid IOEVAL_BENCH_TOLERANCE: {env_tol!r} (expected a number)",
+                file=sys.stderr,
+            )
+            return 2
     for a in sys.argv[1:]:
         if a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
@@ -40,6 +53,13 @@ def main() -> int:
         print(f"{field:>22}: baseline {base[field]:10.1f}   fresh {fresh[field]:10.1f}")
 
     b, f_ = base["pinned_cell_ms"], fresh["pinned_cell_ms"]
+    if not b > 0.0:
+        print(
+            f"FAIL: baseline pinned_cell_ms is {b!r} (zero/negative/corrupt);"
+            " regenerate the baseline with: cargo run --release -p bench --bin hotpath",
+            file=sys.stderr,
+        )
+        return 1
     delta = (f_ - b) / b * 100.0
     print(f"{'pinned_cell_ms':>22}: baseline {b:10.2f}   fresh {f_:10.2f}   ({delta:+.1f}%)")
     if delta > tolerance:

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate a repro --trace-out JSONL stream against the v1 trace schema.
+
+Usage: validate_trace.py TRACE.jsonl
+
+The stream is a concatenation of runs; each run is a header line followed
+by its event lines. Every line must be a single JSON object with a "kind"
+field; this script checks required fields and types per kind, that all
+times are non-negative integer nanoseconds with start <= end, and that
+each header's declared event count matches the lines that follow it.
+
+Exit codes: 0 valid, 1 invalid, 2 usage error.
+"""
+
+import json
+import sys
+
+SCHEMA = 1
+
+# kind -> {field: type-or-tuple}. bool is checked before int (bool is a
+# subclass of int in Python).
+EVENT_FIELDS = {
+    "mpi_op": {
+        "rank": int,
+        "label": str,
+        "start_ns": int,
+        "end_ns": int,
+        "bytes": int,
+        "io": bool,
+    },
+    "net_send": {
+        "from": int,
+        "to": int,
+        "bytes": int,
+        "start_ns": int,
+        "end_ns": int,
+    },
+    "nfs_retry": {"op": str, "at_ns": int, "attempt": int},
+    "cache_access": {"hit_bytes": int, "miss_bytes": int, "at_ns": int},
+    "cache_evict": {"bytes": int, "at_ns": int},
+    "writeback": {"bytes": int, "start_ns": int, "end_ns": int},
+    "storage_run": {
+        "volume": str,
+        "write": bool,
+        "bytes": int,
+        "ops": int,
+        "start_ns": int,
+        "end_ns": int,
+        "bulk": bool,
+    },
+    "storage_io": {
+        "volume": str,
+        "write": bool,
+        "bytes": int,
+        "start_ns": int,
+        "end_ns": int,
+    },
+    "fault_applied": {"fault": str, "at_ns": int},
+}
+
+HEADER_FIELDS = {
+    "schema": int,
+    "cluster": str,
+    "config": str,
+    "app": str,
+    "scenario": str,
+    "events": int,
+    "dropped": int,
+}
+
+
+def fail(lineno, msg):
+    print(f"FAIL: line {lineno}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_fields(obj, fields, lineno):
+    for name, ty in fields.items():
+        if name not in obj:
+            return fail(lineno, f"{obj.get('kind')}: missing field {name!r}")
+        v = obj[name]
+        if ty is int:
+            if isinstance(v, bool) or not isinstance(v, int):
+                return fail(lineno, f"{obj.get('kind')}.{name}: expected integer, got {v!r}")
+            if v < 0:
+                return fail(lineno, f"{obj.get('kind')}.{name}: negative value {v}")
+        elif not isinstance(v, ty):
+            return fail(lineno, f"{obj.get('kind')}.{name}: expected {ty.__name__}, got {v!r}")
+    if "start_ns" in fields and obj["start_ns"] > obj["end_ns"]:
+        return fail(lineno, f"{obj.get('kind')}: start_ns > end_ns")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"FAIL: cannot read {path}: {e}", file=sys.stderr)
+        return 1
+
+    runs = 0
+    events = 0
+    expected_remaining = None  # events still owed to the current header
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            return fail(lineno, "blank line in trace stream")
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(lineno, f"invalid JSON: {e}")
+        if not isinstance(obj, dict) or "kind" not in obj:
+            return fail(lineno, "not an object with a 'kind' field")
+        kind = obj["kind"]
+        if kind == "header":
+            if expected_remaining not in (None, 0):
+                return fail(
+                    lineno,
+                    f"previous run is short {expected_remaining} events",
+                )
+            if check_fields(obj, HEADER_FIELDS, lineno):
+                return 1
+            if obj["schema"] != SCHEMA:
+                return fail(lineno, f"schema {obj['schema']}, expected {SCHEMA}")
+            expected_remaining = obj["events"]
+            runs += 1
+        else:
+            if expected_remaining is None:
+                return fail(lineno, "event line before any header")
+            if expected_remaining == 0:
+                return fail(lineno, "more event lines than the header declared")
+            if kind not in EVENT_FIELDS:
+                return fail(lineno, f"unknown event kind {kind!r}")
+            if check_fields(obj, EVENT_FIELDS[kind], lineno):
+                return 1
+            expected_remaining -= 1
+            events += 1
+
+    if runs == 0:
+        print("FAIL: no header line (empty trace?)", file=sys.stderr)
+        return 1
+    if expected_remaining not in (None, 0):
+        print(
+            f"FAIL: last run is short {expected_remaining} events",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: {runs} runs, {events} events, schema {SCHEMA}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
