@@ -6,6 +6,8 @@
 //! repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]
 //!       [--deadline SECS] [--wall-budget SECS] [--jobs N] [--no-memo]
 //!       [--trace-out FILE] [--trace-format jsonl|chrome] [--metrics]
+//!       [--chaos-seed N] [--chaos-profile NAME] [--chaos-repro TOKEN]
+//!       [--strict-store]
 //!       <experiment>... | all | list
 //! ```
 //!
@@ -51,9 +53,23 @@
 //! Both are pure observation: experiment tables stay byte-identical.
 //! Experiments restored from a checkpoint are not re-run, so they
 //! contribute no events — use a fresh run for a complete trace.
+//!
+//! `--chaos-seed N` installs a deterministic host-fault plan drawn under
+//! `--chaos-profile` (`store`, `panic`, `memo`, `trace`, or the default
+//! `mixed`) that injects failures into the campaign *runtime* — torn or
+//! failed checkpoint writes, ENOSPC, worker panics at cell boundaries,
+//! memo-cache corruption, trace-export errors. The runtime heals every
+//! one of them (retry, quarantine-and-recompute, degrade to in-memory),
+//! and resuming an interrupted chaos run with `--resume` renders output
+//! byte-identical to an uninterrupted fault-free run. `--chaos-repro
+//! TOKEN` replays an exact fault schedule (the token is printed by every
+//! chaos run and by the shrinker). `--strict-store` turns surviving
+//! store-level damage (serialize errors, write failures, quarantines)
+//! into exit code 3 after all output is written.
 
 use bench::experiments::registry;
 use bench::{Repro, Scale};
+use simcore::chaos::{ChaosProfile, HostFaultPlan};
 use simcore::{Time, WatchdogSpec};
 use std::io::Write as _;
 
@@ -69,6 +85,10 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut trace_chrome = false;
     let mut metrics = false;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_profile: Option<String> = None;
+    let mut chaos_repro: Option<String> = None;
+    let mut strict_store = false;
     let mut selected: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -132,6 +152,31 @@ fn main() {
                 };
             }
             "--metrics" => metrics = true,
+            "--chaos-seed" => {
+                i += 1;
+                chaos_seed = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| die("expected --chaos-seed N")),
+                );
+            }
+            "--chaos-profile" => {
+                i += 1;
+                chaos_profile = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("expected --chaos-profile NAME")),
+                );
+            }
+            "--chaos-repro" => {
+                i += 1;
+                chaos_repro = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("expected --chaos-repro TOKEN")),
+                );
+            }
+            "--strict-store" => strict_store = true,
             "--help" | "-h" => {
                 usage();
                 return;
@@ -166,6 +211,32 @@ fn main() {
                 })
                 .collect()
         };
+
+    // Host-fault injection: a replay token wins over a seeded draw. The
+    // plan is printed up front so any chaos run is reproducible verbatim.
+    let plan = match (&chaos_repro, chaos_seed) {
+        (Some(token), _) => Some(
+            HostFaultPlan::parse(token)
+                .unwrap_or_else(|e| die(&format!("bad --chaos-repro token: {e}"))),
+        ),
+        (None, Some(seed)) => {
+            let name = chaos_profile.as_deref().unwrap_or("mixed");
+            let profile = ChaosProfile::named(name).unwrap_or_else(|| {
+                die(&format!(
+                    "unknown --chaos-profile '{name}' (store|panic|memo|trace|mixed)"
+                ))
+            });
+            Some(HostFaultPlan::random(seed, &profile))
+        }
+        (None, None) if chaos_profile.is_some() => {
+            die("--chaos-profile requires --chaos-seed (or use --chaos-repro TOKEN)")
+        }
+        (None, None) => None,
+    };
+    let chaos_guard = plan.map(|p| {
+        eprintln!("[chaos] installing host-fault plan: {}", p.token());
+        simcore::chaos::install(p)
+    });
 
     let mut repro = Repro::new(scale);
     if no_memo {
@@ -207,7 +278,10 @@ fn main() {
                 let output = f(&mut repro);
                 eprintln!("[repro] {id} done in {:.1}s", t0.elapsed().as_secs_f64());
                 if let Some(d) = repro.checkpoint_dir() {
-                    d.save(&exp_key, &output);
+                    // Checkpoint the results only: the store-health footer
+                    // is this process's operational state, and persisting
+                    // it would replay old trouble into a healthy resume.
+                    d.save(&exp_key, ioeval_core::campaign::strip_store_health(&output));
                 }
                 output
             }
@@ -232,14 +306,17 @@ fn main() {
                 .map(|(meta, data)| ioeval_core::obs::to_jsonl(data, meta))
                 .collect::<String>()
         };
-        std::fs::write(&path, text)
-            .unwrap_or_else(|e| die(&format!("cannot write trace {path}: {e}")));
-        let events: usize = runs.iter().map(|(_, d)| d.events.len()).sum();
-        eprintln!(
-            "[repro] wrote {} ({} runs, {events} events)",
-            path,
-            runs.len()
-        );
+        // A trace is a secondary artifact: a failed export (real or
+        // injected) is reported and swallowed — it never poisons the
+        // evaluation results or the exit code.
+        if bench::write_artifact("trace", std::path::Path::new(&path), &text) {
+            let events: usize = runs.iter().map(|(_, d)| d.events.len()).sum();
+            eprintln!(
+                "[repro] wrote {} ({} runs, {events} events)",
+                path,
+                runs.len()
+            );
+        }
     }
     if let Some((hits, misses)) = repro.memo_stats() {
         eprintln!("[repro] charact memo: {hits} hits, {misses} misses");
@@ -250,6 +327,33 @@ fn main() {
         f.write_all(full_output.as_bytes())
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         eprintln!("[repro] wrote {path}");
+    }
+    if let Some(guard) = &chaos_guard {
+        let fired = guard.fired();
+        let token = HostFaultPlan::from_injections(
+            fired
+                .iter()
+                .map(|f| simcore::chaos::Injection {
+                    site: f.site,
+                    nth: f.nth,
+                    action: f.action,
+                })
+                .collect(),
+        )
+        .token();
+        eprintln!(
+            "[chaos] {} of the planned injections fired (replay what fired: --chaos-repro '{token}')",
+            fired.len()
+        );
+    }
+    drop(chaos_guard);
+    let health = repro.store_health();
+    if health.any() {
+        eprintln!("[repro] store health: {}", health.summary());
+        if strict_store {
+            eprintln!("repro: exiting non-zero (--strict-store)");
+            std::process::exit(3);
+        }
     }
 }
 
@@ -263,6 +367,8 @@ fn usage() {
         "usage: repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]\n\
          \x20            [--deadline SECS] [--wall-budget SECS] [--jobs N] [--no-memo]\n\
          \x20            [--trace-out FILE] [--trace-format jsonl|chrome] [--metrics]\n\
+         \x20            [--chaos-seed N] [--chaos-profile store|panic|memo|trace|mixed]\n\
+         \x20            [--chaos-repro TOKEN] [--strict-store]\n\
          \x20            <experiment>... | all | list\n\
          experiments regenerate the paper's tables/figures; see 'repro list'.\n\
          --checkpoint/--resume persist finished work to DIR and replay it on rerun;\n\
@@ -273,7 +379,11 @@ fn usage() {
          output is byte-identical either way; hit/miss counts go to stderr);\n\
          --trace-out records the I/O-path event stream of every evaluated run\n\
          (schema-versioned JSONL; --trace-format chrome for chrome://tracing);\n\
-         --metrics appends an aggregated per-level metrics table to the report."
+         --metrics appends an aggregated per-level metrics table to the report;\n\
+         --chaos-seed/--chaos-profile inject deterministic host faults (torn\n\
+         checkpoint writes, ENOSPC, worker panics, memo corruption, trace errors)\n\
+         to exercise recovery; --chaos-repro TOKEN replays an exact schedule;\n\
+         --strict-store exits 3 if store-level damage survived the run."
     );
 }
 

@@ -1,4 +1,5 @@
-//! Durable campaign checkpoints: versioned, digest-verified, atomic.
+//! Durable campaign checkpoints: versioned, digest-verified, atomic,
+//! self-healing.
 //!
 //! Every artifact (a characterization, a cell outcome, a finished
 //! experiment's output) is one file under the checkpoint directory,
@@ -8,12 +9,36 @@
 //! checkpoint or none — never a torn file. Loads verify version and
 //! digest and treat *any* mismatch (truncated file, flipped byte, future
 //! format) as a cache miss: the artifact is recomputed, never trusted.
+//!
+//! On top of that, the store heals rather than aborts:
+//!
+//! * a corrupt checkpoint found on load is **quarantined** — renamed to
+//!   `*.json.quarantined` (kept for forensics, invisible to the store) —
+//!   and recomputed;
+//! * a failed write is retried with bounded, deterministically jittered
+//!   backoff, then **degrades to an in-memory overlay**: the campaign
+//!   still completes and can replay the artifact within the process, it
+//!   just cannot resume it after a crash;
+//! * every failure is counted in the store's
+//!   [`StoreHealth`] so campaigns can surface — and `--strict-store` can
+//!   gate on — exactly what went wrong.
+//!
+//! All write and load paths are instrumented for
+//! [`simcore::chaos`] host-fault injection, which is how the recovery
+//! behavior above is actually tested (see `tests/chaos.rs`).
 
-use ioeval_core::campaign::{CellOutcome, CellStore};
+use ioeval_core::campaign::{CellOutcome, CellStore, StoreHealth};
 use ioeval_core::perf_table::PerfTableSet;
 use serde::{Deserialize, Serialize};
+use simcore::chaos::{self, ChaosAction, ChaosSite};
+use simcore::SplitMix64;
+use std::collections::HashMap;
 use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// Bump when the on-disk layout of any payload changes; older checkpoints
 /// are then recomputed instead of misparsed.
@@ -40,9 +65,44 @@ struct Envelope {
     payload: String,
 }
 
+/// Bounded-retry policy for checkpoint writes. The jitter is drawn from a
+/// [`SplitMix64`] seeded by `(jitter_seed, key, attempt)` — deterministic
+/// per write attempt regardless of thread interleaving, so chaos runs
+/// replay exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteRetry {
+    /// Total write attempts per save (first try included). At least 1.
+    pub attempts: u32,
+    /// Base backoff before the first retry; doubles per retry, plus
+    /// jitter in `[0, backoff)`.
+    pub backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for WriteRetry {
+    fn default() -> WriteRetry {
+        WriteRetry {
+            attempts: 3,
+            backoff: Duration::from_micros(500),
+            jitter_seed: 0x636b_7074, // "ckpt"
+        }
+    }
+}
+
 /// A directory of digest-verified checkpoint files.
 pub struct CheckpointDir {
     root: PathBuf,
+    retry: WriteRetry,
+    /// Payloads whose writes exhausted their retries: the store degrades
+    /// to memory rather than losing the artifact mid-campaign. Entries
+    /// shadow whatever (possibly stale or torn) file is on disk.
+    overlay: Mutex<HashMap<String, String>>,
+    serialize_errors: AtomicU64,
+    write_retries: AtomicU64,
+    write_failures: AtomicU64,
+    quarantined: AtomicU64,
+    degraded: AtomicBool,
 }
 
 impl CheckpointDir {
@@ -50,12 +110,38 @@ impl CheckpointDir {
     pub fn new(root: impl Into<PathBuf>) -> std::io::Result<CheckpointDir> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(CheckpointDir { root })
+        Ok(CheckpointDir {
+            root,
+            retry: WriteRetry::default(),
+            overlay: Mutex::new(HashMap::new()),
+            serialize_errors: AtomicU64::new(0),
+            write_retries: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+        })
+    }
+
+    /// Replaces the write-retry policy (tests tighten the backoff).
+    pub fn with_retry(mut self, retry: WriteRetry) -> CheckpointDir {
+        self.retry = retry;
+        self
     }
 
     /// The directory path.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Snapshot of the host-side failure counters.
+    pub fn health(&self) -> StoreHealth {
+        StoreHealth {
+            serialize_errors: self.serialize_errors.load(Ordering::Relaxed),
+            write_retries: self.write_retries.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
     }
 
     fn file_for(&self, key: &str) -> PathBuf {
@@ -64,45 +150,126 @@ impl CheckpointDir {
 
     /// Atomically checkpoints `payload` under `key`: the envelope is
     /// written to a temp file first and renamed into place, so an
-    /// interrupted save never corrupts an existing checkpoint. Errors are
-    /// reported but non-fatal — a campaign that cannot checkpoint still
-    /// completes, it just cannot resume.
+    /// interrupted save never corrupts an existing checkpoint. A failed
+    /// write is retried with seeded backoff; exhausting the retries
+    /// degrades this artifact to the in-memory overlay — the campaign
+    /// still completes and replays it in-process, it just cannot resume
+    /// it after a crash.
     pub fn save(&self, key: &str, payload: &str) {
         let envelope = Envelope {
             version: CHECKPOINT_VERSION,
             digest: format!("{:016x}", fnv1a64(payload.as_bytes())),
             payload: payload.to_string(),
         };
-        let Some(bytes) = lossy_serialize(key, serde_json::to_string(&envelope)) else {
+        let Some(bytes) = self.lossy_serialize(key, serde_json::to_string(&envelope)) else {
             return;
         };
         let target = self.file_for(key);
         let tmp = self.root.join(format!(".{}.tmp", sanitize(key)));
-        let result = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, &target));
-        if let Err(e) = result {
-            let _ = fs::remove_file(&tmp);
-            eprintln!(
-                "[checkpoint] cannot save {} (continuing uncheckpointed): {e}",
-                target.display()
-            );
+        let attempts = self.retry.attempts.max(1);
+        for attempt in 0..attempts {
+            match self.write_attempt(&tmp, &target, bytes.as_bytes()) {
+                Ok(()) => {
+                    // A durable copy exists again; drop any degraded one.
+                    self.overlay.lock().expect("overlay lock").remove(key);
+                    return;
+                }
+                Err(e) => {
+                    let _ = fs::remove_file(&tmp);
+                    if attempt + 1 == attempts {
+                        self.write_failures.fetch_add(1, Ordering::Relaxed);
+                        self.degraded.store(true, Ordering::Relaxed);
+                        self.overlay
+                            .lock()
+                            .expect("overlay lock")
+                            .insert(key.to_string(), payload.to_string());
+                        eprintln!(
+                            "[checkpoint] cannot save {} after {attempts} attempts \
+                             (kept in memory; a resumed run recomputes it): {e}",
+                            target.display()
+                        );
+                    } else {
+                        self.write_retries.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "[checkpoint] save {} failed (attempt {}/{attempts}), retrying: {e}",
+                            target.display(),
+                            attempt + 1
+                        );
+                        std::thread::sleep(self.backoff_delay(key, attempt));
+                    }
+                }
+            }
         }
+    }
+
+    /// One physical write attempt, or an injected chaos failure. The
+    /// `Torn` action writes a prefix of the bytes *directly to the target
+    /// file* — deliberately bypassing the temp+rename protocol — because
+    /// that is the damage pattern (in-place torn write, e.g. by a dying
+    /// NFS client) the digest-verified loader must survive.
+    fn write_attempt(&self, tmp: &Path, target: &Path, bytes: &[u8]) -> io::Result<()> {
+        if let Some(action) = chaos::decide(ChaosSite::CheckpointWrite) {
+            return Err(match action {
+                ChaosAction::Torn { sixteenths } => {
+                    let cut = bytes.len() * sixteenths as usize / 16;
+                    let _ = fs::write(target, &bytes[..cut]);
+                    io::Error::other("injected torn checkpoint write")
+                }
+                ChaosAction::Enospc => io::Error::other("injected ENOSPC: no space left on device"),
+                ChaosAction::Fail => io::Error::other("injected checkpoint write failure"),
+            });
+        }
+        fs::write(tmp, bytes).and_then(|()| fs::rename(tmp, target))
+    }
+
+    /// Exponential backoff (base × 2^attempt) plus deterministic jitter in
+    /// `[0, base)` drawn from `(jitter_seed, key, attempt)`.
+    fn backoff_delay(&self, key: &str, attempt: u32) -> Duration {
+        let base = self.retry.backoff.max(Duration::from_nanos(1));
+        let mut rng =
+            SplitMix64::new(self.retry.jitter_seed ^ fnv1a64(key.as_bytes()) ^ attempt as u64);
+        let jitter = Duration::from_nanos(rng.next_below(base.as_nanos().max(1) as u64));
+        base.saturating_mul(1 << attempt.min(16)) + jitter
     }
 
     /// Loads and verifies the checkpoint under `key`. Missing, truncated,
-    /// corrupt, or version-mismatched files all return `None`.
+    /// corrupt, or version-mismatched files all return `None`; a present
+    /// but corrupt file is additionally quarantined (renamed aside) so the
+    /// damage is kept for forensics and never re-read. Artifacts that
+    /// degraded to the in-memory overlay replay from there.
     pub fn load(&self, key: &str) -> Option<String> {
-        let text = fs::read_to_string(self.file_for(key)).ok()?;
-        let envelope: Envelope = serde_json::from_str(&text).ok()?;
-        if envelope.version != CHECKPOINT_VERSION {
-            return None;
+        if let Some(v) = self.overlay.lock().expect("overlay lock").get(key) {
+            return Some(v.clone());
         }
-        if envelope.digest != format!("{:016x}", fnv1a64(envelope.payload.as_bytes())) {
-            return None;
+        let path = self.file_for(key);
+        let text = fs::read_to_string(&path).ok()?;
+        match verify_envelope(&text) {
+            Some(payload) => Some(payload),
+            None => {
+                self.quarantine(&path);
+                None
+            }
         }
-        Some(envelope.payload)
+    }
+
+    /// Moves a corrupt checkpoint aside as `*.json.quarantined` (which
+    /// [`CheckpointDir::len`] ignores), falling back to deletion if even
+    /// the rename fails. Either way the corrupt bytes can never be
+    /// re-served.
+    fn quarantine(&self, path: &Path) {
+        let aside = path.with_extension("json.quarantined");
+        if fs::rename(path, &aside).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "[checkpoint] quarantined corrupt checkpoint {} (recomputing)",
+            path.display()
+        );
     }
 
     /// Number of checkpoint files present (tests and progress reporting).
+    /// Quarantined files do not count.
     pub fn len(&self) -> usize {
         fs::read_dir(&self.root)
             .map(|d| {
@@ -117,20 +284,45 @@ impl CheckpointDir {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
-}
 
-/// Store failures are uniformly non-fatal: a serialization error is
-/// logged against the key it would have checkpointed and the campaign
-/// continues (it just cannot resume that artifact), matching the
-/// behavior of I/O errors in [`CheckpointDir::save`].
-fn lossy_serialize(key: &str, result: Result<String, serde_json::Error>) -> Option<String> {
-    match result {
-        Ok(s) => Some(s),
-        Err(e) => {
-            eprintln!("[checkpoint] cannot serialize {key} (continuing uncheckpointed): {e}");
-            None
+    /// Store failures are uniformly non-fatal: a serialization error is
+    /// counted, logged against the key it would have checkpointed, and the
+    /// campaign continues (it just cannot resume that artifact), matching
+    /// the behavior of exhausted I/O retries in [`CheckpointDir::save`].
+    fn lossy_serialize(
+        &self,
+        key: &str,
+        result: Result<String, serde_json::Error>,
+    ) -> Option<String> {
+        let result = match result {
+            Ok(_) if chaos::decide(ChaosSite::StoreSerialize).is_some() => {
+                Err("injected serialization failure".to_string())
+            }
+            Ok(s) => Ok(s),
+            Err(e) => Err(e.to_string()),
+        };
+        match result {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.serialize_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("[checkpoint] cannot serialize {key} (continuing uncheckpointed): {e}");
+                None
+            }
         }
     }
+}
+
+/// Parses and digest-verifies one envelope; `None` means corrupt, torn,
+/// or from a different format version.
+fn verify_envelope(text: &str) -> Option<String> {
+    let envelope: Envelope = serde_json::from_str(text).ok()?;
+    if envelope.version != CHECKPOINT_VERSION {
+        return None;
+    }
+    if envelope.digest != format!("{:016x}", fnv1a64(envelope.payload.as_bytes())) {
+        return None;
+    }
+    Some(envelope.payload)
 }
 
 /// Keys become file names; keep them portable.
@@ -199,9 +391,16 @@ impl CellStore for CampaignStore {
 
     fn save_outcome(&mut self, outcome: &CellOutcome) {
         let key = Self::cell_key(outcome.app(), outcome.config());
-        if let Some(payload) = lossy_serialize(&key, serde_json::to_string_pretty(outcome)) {
+        if let Some(payload) = self
+            .dir
+            .lossy_serialize(&key, serde_json::to_string_pretty(outcome))
+        {
             self.dir.save(&key, &payload);
         }
+    }
+
+    fn health(&self) -> StoreHealth {
+        self.dir.health()
     }
 }
 
@@ -234,10 +433,11 @@ mod tests {
         dir.save("alpha", "payload two");
         assert_eq!(dir.load("alpha").as_deref(), Some("payload two"));
         assert_eq!(dir.len(), 1);
+        assert_eq!(dir.health(), StoreHealth::default());
     }
 
     #[test]
-    fn truncated_and_corrupt_files_are_cache_misses() {
+    fn truncated_and_corrupt_files_are_quarantined_cache_misses() {
         let dir = CheckpointDir::new(scratch("corrupt")).unwrap();
         dir.save("x", "the payload");
         let path = dir.file_for("x");
@@ -246,6 +446,11 @@ mod tests {
         let full = fs::read(&path).unwrap();
         fs::write(&path, &full[..full.len() / 2]).unwrap();
         assert_eq!(dir.load("x"), None);
+        // The torn file was quarantined: moved aside, not re-readable, and
+        // no longer counted as a checkpoint.
+        assert_eq!(dir.len(), 0);
+        assert!(path.with_extension("json.quarantined").exists());
+        assert_eq!(dir.health().quarantined, 1);
 
         // Restore, then flip a payload byte: digest mismatch.
         fs::write(&path, &full).unwrap();
@@ -256,19 +461,47 @@ mod tests {
         assert_eq!(dir.load("x"), None);
 
         // Unknown future version: recompute rather than misparse.
-        let future = String::from_utf8(full).unwrap().replacen(
-            &format!("\"version\":{CHECKPOINT_VERSION}"),
-            "\"version\":999",
-            1,
-        );
-        fs::write(&path, future).unwrap();
+        fs::write(
+            &path,
+            String::from_utf8(full).unwrap().replacen(
+                &format!("\"version\":{CHECKPOINT_VERSION}"),
+                "\"version\":999",
+                1,
+            ),
+        )
+        .unwrap();
         assert_eq!(dir.load("x"), None);
+        assert_eq!(dir.health().quarantined, 3);
+
+        // A fresh save heals the key completely.
+        dir.save("x", "recomputed");
+        assert_eq!(dir.load("x").as_deref(), Some("recomputed"));
     }
 
     #[test]
     fn missing_key_is_none() {
         let dir = CheckpointDir::new(scratch("missing")).unwrap();
         assert_eq!(dir.load("nope"), None);
+        assert_eq!(dir.health().quarantined, 0, "missing is not corrupt");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let dir = CheckpointDir::new(scratch("backoff")).unwrap();
+        let a = dir.backoff_delay("k", 0);
+        assert_eq!(a, dir.backoff_delay("k", 0), "same key+attempt, same delay");
+        assert_ne!(
+            a,
+            dir.backoff_delay("k2", 0),
+            "jitter differs across keys (no thundering herd)"
+        );
+        let base = WriteRetry::default().backoff;
+        // base * 2^attempt <= delay < base * (2^attempt + 1)
+        for attempt in 0..3u32 {
+            let d = dir.backoff_delay("k", attempt);
+            let floor = base * (1 << attempt);
+            assert!(d >= floor && d < floor + base, "attempt {attempt}: {d:?}");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::checkpoint::{CampaignStore, CheckpointDir};
 use cluster::{config as ioconfig, presets, ClusterSpec, IoConfig};
-use ioeval_core::campaign::{CellStore, SuperviseOptions};
+use ioeval_core::campaign::{CellStore, StoreHealth, SuperviseOptions};
 use ioeval_core::charact::{characterize_system, CharacterizeOptions};
 use ioeval_core::eval::{evaluate, EvalOptions, EvalReport, FaultScenario};
 use ioeval_core::memo::CharactMemo;
@@ -188,6 +188,18 @@ impl Repro {
         self.store.as_mut()
     }
 
+    /// Host-side store health for this context: the checkpoint store's
+    /// failure counters, with memo-cache quarantines folded into
+    /// `quarantined`. All-zero (default) when nothing went wrong — the
+    /// `--strict-store` exit code gates on [`StoreHealth::any`].
+    pub fn store_health(&self) -> StoreHealth {
+        let mut health = self.store.as_ref().map(|s| s.health()).unwrap_or_default();
+        if let Some(m) = self.memo.as_deref() {
+            health.quarantined += m.quarantined();
+        }
+        health
+    }
+
     /// Supervision policy for campaign experiments: the context's watchdog
     /// plus default retry/quarantine limits.
     pub fn supervise_options(&self) -> SuperviseOptions {
@@ -366,6 +378,31 @@ impl Repro {
         }
         self.reports.insert(full_key, report.clone());
         report
+    }
+}
+
+/// Best-effort write of a *secondary* artifact (trace export, metrics
+/// dump). Export failures — real or injected via
+/// [`simcore::chaos::ChaosSite::TraceWrite`] — must never poison the
+/// evaluation results, so errors are reported to stderr and swallowed.
+/// Returns whether the artifact reached disk. Primary results (`--out`)
+/// do not go through here; losing those is an error worth dying for.
+pub fn write_artifact(label: &str, path: &std::path::Path, content: &str) -> bool {
+    use simcore::chaos::{self, ChaosSite};
+    let result = if chaos::decide(ChaosSite::TraceWrite).is_some() {
+        Err(std::io::Error::other("injected trace write failure"))
+    } else {
+        std::fs::write(path, content)
+    };
+    match result {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!(
+                "[repro] cannot write {label} {} (evaluation results unaffected): {e}",
+                path.display()
+            );
+            false
+        }
     }
 }
 

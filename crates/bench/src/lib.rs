@@ -17,5 +17,5 @@ pub mod context;
 pub mod experiments;
 pub mod hotpath;
 
-pub use checkpoint::{CampaignStore, CheckpointDir};
-pub use context::{Repro, Scale};
+pub use checkpoint::{CampaignStore, CheckpointDir, WriteRetry};
+pub use context::{write_artifact, Repro, Scale};

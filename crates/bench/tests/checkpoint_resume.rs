@@ -150,6 +150,51 @@ fn corrupt_checkpoints_are_detected_and_recomputed() {
 }
 
 #[test]
+fn quarantine_state_survives_checkpoint_and_resume() {
+    let dir = scratch("quarantine");
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let reference = run_campaign_with(&mut store).render();
+
+    // Tear one checkpoint mid-write.
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    let torn = &files[0];
+    let full = fs::read(torn).unwrap();
+    fs::write(torn, &full[..full.len() / 2]).unwrap();
+
+    // The resume quarantines the torn file (kept aside for forensics),
+    // recomputes the artifact, and renders byte-identically — quarantines
+    // are successful healing, so they must never leak into the rendering.
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let resumed = run_campaign_with(&mut store).render();
+    assert_eq!(resumed, reference, "healing must be invisible in results");
+    assert_eq!(store.dir().health().quarantined, 1);
+    let quarantined: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().ends_with(".json.quarantined"))
+        .collect();
+    assert_eq!(quarantined.len(), 1, "torn file kept aside");
+
+    // The quarantine survives a further checkpoint/resume cycle: the next
+    // resume replays every (recomputed) checkpoint, quarantines nothing
+    // new, and leaves the forensic copy untouched.
+    let aside_bytes = fs::read(&quarantined[0]).unwrap();
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let again = run_campaign_with(&mut store).render();
+    assert_eq!(again, reference);
+    assert_eq!(store.dir().health().quarantined, 0, "nothing left to heal");
+    assert_eq!(
+        fs::read(&quarantined[0]).unwrap(),
+        aside_bytes,
+        "the quarantined file must survive resume untouched"
+    );
+}
+
+#[test]
 fn parallel_checkpoints_are_digest_identical_to_sequential() {
     // A --jobs 4 campaign must leave *exactly* the same checkpoint
     // directory behind as a --jobs 1 campaign: same file names, same

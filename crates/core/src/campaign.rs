@@ -154,6 +154,72 @@ impl CellOutcome {
     }
 }
 
+/// Typed health counters for a [`CellStore`]: what went wrong on the host
+/// side while persisting or loading campaign artifacts. Store failures are
+/// never fatal to a campaign (the self-healing paths retry, quarantine, or
+/// degrade to memory), but they must not be silent either — the counters
+/// are surfaced in the campaign summary and drive the `--strict-store`
+/// exit code.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreHealth {
+    /// Artifacts that could not be serialized (never reached disk).
+    pub serialize_errors: u64,
+    /// Write attempts that failed and were retried with backoff.
+    pub write_retries: u64,
+    /// Writes that exhausted their retries (artifact kept in memory only).
+    pub write_failures: u64,
+    /// Corrupt checkpoint files quarantined on load (renamed aside and
+    /// recomputed).
+    pub quarantined: u64,
+    /// Whether the store degraded to in-memory operation for at least one
+    /// artifact — a resumed run will recompute those artifacts.
+    pub degraded: bool,
+}
+
+impl StoreHealth {
+    /// Whether anything at all went wrong.
+    pub fn any(&self) -> bool {
+        self.serialize_errors > 0
+            || self.write_retries > 0
+            || self.write_failures > 0
+            || self.quarantined > 0
+            || self.degraded
+    }
+
+    /// One line of counters, e.g.
+    /// `1 serialize error, 2 write retries, 1 write failure (degraded to in-memory), 1 quarantined checkpoint`.
+    pub fn summary(&self) -> String {
+        fn part(n: u64, one: &str, many: &str) -> Option<String> {
+            (n > 0).then(|| format!("{n} {}", if n == 1 { one } else { many }))
+        }
+        let mut parts: Vec<String> = Vec::new();
+        parts.extend(part(
+            self.serialize_errors,
+            "serialize error",
+            "serialize errors",
+        ));
+        parts.extend(part(self.write_retries, "write retry", "write retries"));
+        if let Some(mut s) = part(self.write_failures, "write failure", "write failures") {
+            if self.degraded {
+                s.push_str(" (degraded to in-memory)");
+            }
+            parts.push(s);
+        } else if self.degraded {
+            parts.push("degraded to in-memory".to_string());
+        }
+        parts.extend(part(
+            self.quarantined,
+            "quarantined checkpoint",
+            "quarantined checkpoints",
+        ));
+        if parts.is_empty() {
+            "healthy".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+}
+
 /// Where a supervised campaign checkpoints completed artifacts and looks
 /// them up on resume. Implementations must only return artifacts they can
 /// vouch for — a store backed by disk verifies integrity digests and treats
@@ -167,6 +233,11 @@ pub trait CellStore {
     fn load_outcome(&mut self, app: &str, config: &str) -> Option<CellOutcome>;
     /// Checkpoints a completed cell outcome.
     fn save_outcome(&mut self, outcome: &CellOutcome);
+    /// Host-side failure counters accumulated so far (see [`StoreHealth`]).
+    /// Infallible in-memory stores report the healthy default.
+    fn health(&self) -> StoreHealth {
+        StoreHealth::default()
+    }
 }
 
 /// A store that never remembers anything: every run starts fresh.
@@ -384,6 +455,11 @@ pub struct Campaign {
     pub outcomes: Vec<CellOutcome>,
     /// Configurations whose characterization failed, with the reason.
     pub charact_errors: Vec<(String, String)>,
+    /// Host-side store failure counters for the run (see [`StoreHealth`]).
+    /// All-zero for in-memory stores and healthy disk stores; surfaced in
+    /// [`Campaign::render`] only when something went wrong, so healthy runs
+    /// render byte-identically to runs of older versions.
+    pub store_health: StoreHealth,
 }
 
 impl Campaign {
@@ -496,8 +572,35 @@ impl Campaign {
                 out.push_str(&t.render());
             }
         }
+        // Quarantine-on-load is *successful healing* of damage left by an
+        // earlier run: the quarantined artifact is recomputed to an
+        // identical value, so it must not perturb the rendered campaign
+        // (resume-after-fault renders byte-identical to an uninterrupted
+        // run). It is logged when it happens and still counts toward
+        // `store_health.any()` for `--strict-store`.
+        let rendered = StoreHealth {
+            quarantined: 0,
+            ..self.store_health
+        };
+        if rendered.any() {
+            out.push_str(&format!("{STORE_HEALTH_MARKER}{} --\n", rendered.summary()));
+        }
         out
     }
+}
+
+/// Opening marker of the store-health footer appended by
+/// [`Campaign::render`]. The footer is operational state of the process
+/// that rendered it — artifact caches that persist rendered output should
+/// strip it (see [`strip_store_health`]), or a later healthy run would
+/// replay a long-gone store problem.
+pub const STORE_HEALTH_MARKER: &str = "\n-- store health: ";
+
+/// `rendered` without its trailing store-health footer, if any.
+pub fn strip_store_health(rendered: &str) -> &str {
+    rendered
+        .rfind(STORE_HEALTH_MARKER)
+        .map_or(rendered, |i| &rendered[..i])
 }
 
 /// What a worker learned about one cell, before the deterministic merge.
@@ -729,7 +832,12 @@ fn evaluate_cell(
         attempts += 1;
         let result = {
             let _guard = collector.as_ref().map(crate::obs::Collector::install);
-            run_isolated(|| evaluate(spec, config, factory(), tset, &eopts))
+            run_isolated(|| {
+                // Chaos cell boundary: an installed host-fault plan may kill
+                // this worker here, exactly as a crashed worker thread would.
+                simcore::chaos::panic_point(simcore::chaos::ChaosSite::WorkerPanic);
+                evaluate(spec, config, factory(), tset, &eopts)
+            })
         };
         let observed = collector.as_ref().map(|c| c.take());
         match result {
@@ -760,6 +868,15 @@ fn evaluate_cell(
                     error: e.to_string(),
                     attempts,
                 };
+            }
+            // Injected host faults are transient by construction (a plan is
+            // a finite set of hit indices, so the retry terminates): always
+            // re-run, and keep the retry invisible to attempt accounting so
+            // outcomes — and anything persisted from them — are identical
+            // to a fault-free run.
+            Err(panic) if simcore::chaos::is_host_fault_panic(&panic) => {
+                attempts -= 1;
+                continue;
             }
             // Panics may be transient (e.g. a capacity race in a model):
             // bounded retry.
@@ -991,7 +1108,9 @@ pub fn run_campaign_supervised(
         merger.offer(idx, attempt);
         merger.merge_ready(*store);
     });
-    let outcomes = coord.into_inner().expect("workers joined").merger.finish();
+    let Coord { merger, store } = coord.into_inner().expect("workers joined");
+    let outcomes = merger.finish();
+    let store_health = store.health();
 
     let cells = outcomes
         .iter()
@@ -1006,6 +1125,7 @@ pub fn run_campaign_supervised(
         cells,
         outcomes,
         charact_errors,
+        store_health,
     }
 }
 

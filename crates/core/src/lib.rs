@@ -41,7 +41,7 @@ pub mod trace_export;
 pub use advisor::{predict, rank_configs, Prediction};
 pub use campaign::{
     run_campaign, run_campaign_supervised, Campaign, CampaignCell, CellAttempt, CellFaultPolicy,
-    CellMerger, CellOutcome, CellStore, MemStore, NoStore, SuperviseOptions,
+    CellMerger, CellOutcome, CellStore, MemStore, NoStore, StoreHealth, SuperviseOptions,
 };
 pub use charact::{
     characterize_app, characterize_system, require_level, CharactError, CharacterizeOptions,

@@ -35,12 +35,23 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// One memoized result plus the integrity digest captured when it was
+/// stored. The digest covers the canonical JSON rendering, so any
+/// corruption of the cached value between `put` and `get` (or an injected
+/// [`simcore::chaos::ChaosSite::MemoLoad`] fault) is detected on load and
+/// treated as a miss — the point is recomputed, never trusted.
+struct MemoEntry {
+    digest: u64,
+    tables: PerfTableSet,
+}
+
 /// Memoized characterization results, keyed by `(spec, config, options)`.
 #[derive(Default)]
 pub struct CharactMemo {
-    tables: Mutex<HashMap<u64, PerfTableSet>>,
+    tables: Mutex<HashMap<u64, MemoEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl CharactMemo {
@@ -56,10 +67,35 @@ impl CharactMemo {
         fnv1a(format!("{spec:?}|{config:?}|{opts:?}").as_bytes())
     }
 
-    /// The memoized result for `key`, counting a hit or a miss.
+    /// The memoized result for `key`, counting a hit or a miss. An entry
+    /// whose integrity digest no longer matches its value is quarantined
+    /// (evicted and counted) and reported as a miss, so the caller
+    /// recomputes it — a corrupt cache can cost time, never correctness.
     pub fn get(&self, key: u64) -> Option<PerfTableSet> {
-        let found = self.tables.lock().expect("memo lock").get(&key).cloned();
-        match found {
+        let mut map = self.tables.lock().expect("memo lock");
+        let verified = match map.get(&key) {
+            None => None,
+            Some(entry) => {
+                let mut digest = fnv1a(entry.tables.to_json().as_bytes());
+                if simcore::chaos::decide(simcore::chaos::ChaosSite::MemoLoad).is_some() {
+                    // Injected corruption: flip the digest so the entry
+                    // fails verification exactly as a real bit-flip would.
+                    digest ^= 1;
+                }
+                if digest == entry.digest {
+                    Some(entry.tables.clone())
+                } else {
+                    map.remove(&key);
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "[memo] quarantined corrupt entry {key:016x} (digest mismatch); recomputing"
+                    );
+                    None
+                }
+            }
+        };
+        drop(map);
+        match verified {
             Some(t) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(t)
@@ -71,9 +107,13 @@ impl CharactMemo {
         }
     }
 
-    /// Stores a freshly computed result.
+    /// Stores a freshly computed result with its integrity digest.
     pub fn put(&self, key: u64, tables: PerfTableSet) {
-        self.tables.lock().expect("memo lock").insert(key, tables);
+        let digest = fnv1a(tables.to_json().as_bytes());
+        self.tables
+            .lock()
+            .expect("memo lock")
+            .insert(key, MemoEntry { digest, tables });
     }
 
     /// `(hits, misses)` so far.
@@ -82,6 +122,22 @@ impl CharactMemo {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Entries evicted because their digest no longer matched (real
+    /// corruption or injected [`simcore::chaos::ChaosSite::MemoLoad`]
+    /// faults).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Flips the stored digest of `key`, simulating in-memory corruption
+    /// of the cached value (tests only).
+    #[cfg(test)]
+    fn corrupt(&self, key: u64) {
+        if let Some(entry) = self.tables.lock().expect("memo lock").get_mut(&key) {
+            entry.digest ^= 1;
+        }
     }
 }
 
@@ -128,5 +184,19 @@ mod tests {
         let replay = memo.get(key).expect("memoized");
         assert_eq!(replay.cluster, "s");
         assert_eq!(memo.stats(), (1, 1));
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_not_served() {
+        let memo = CharactMemo::new();
+        let key = 7;
+        memo.put(key, PerfTableSet::new("s", "c"));
+        memo.corrupt(key);
+        assert!(memo.get(key).is_none(), "corrupt entry must not be served");
+        assert_eq!(memo.quarantined(), 1);
+        // The entry was evicted: a recomputed value replays cleanly.
+        memo.put(key, PerfTableSet::new("s", "c"));
+        assert!(memo.get(key).is_some());
+        assert_eq!(memo.quarantined(), 1);
     }
 }

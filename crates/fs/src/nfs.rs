@@ -79,7 +79,8 @@ impl std::error::Error for NfsError {}
 /// RPC retransmission discipline of a mount (the `timeo`/`retrans` options).
 #[derive(Clone, Copy, Debug)]
 pub struct NfsRetryParams {
-    /// Initial per-RPC timeout; doubles on every retransmission.
+    /// Initial per-RPC timeout; multiplied by `backoff_mult` on every
+    /// retransmission (doubles by default).
     pub timeo: Time,
     /// Retransmissions after the first send before a major timeout.
     pub retrans: u32,
@@ -88,6 +89,15 @@ pub struct NfsRetryParams {
     /// Deterministic jitter added to each retransmission instant, as a
     /// fraction of the current timeout (desynchronizes client herds).
     pub jitter_frac: f64,
+    /// Multiplier applied to the timeout after each retransmission
+    /// (classic exponential backoff doubles; values below 1 are treated
+    /// as 1, i.e. a constant timeout).
+    pub backoff_mult: u32,
+    /// Base seed of the mount's jitter stream; XORed with the node id at
+    /// mount time so every mount draws a distinct deterministic sequence.
+    /// Takes effect when the client is constructed — [`NfsClient::set_retry`]
+    /// reseeds the stream only if this value changes.
+    pub jitter_seed: u64,
 }
 
 impl NfsRetryParams {
@@ -100,6 +110,8 @@ impl NfsRetryParams {
             retrans: 2,
             max_timeo: Time::from_secs(600),
             jitter_frac: 0.1,
+            backoff_mult: 2,
+            jitter_seed: DEFAULT_JITTER_SEED,
         }
     }
 
@@ -111,9 +123,14 @@ impl NfsRetryParams {
             retrans,
             max_timeo: Time::from_secs(60),
             jitter_frac: 0.1,
+            backoff_mult: 2,
+            jitter_seed: DEFAULT_JITTER_SEED,
         }
     }
 }
+
+/// Default base seed of every mount's jitter stream (`b"NFSC"` as a word).
+const DEFAULT_JITTER_SEED: u64 = 0x4e46_5343;
 
 impl Default for NfsRetryParams {
     fn default() -> NfsRetryParams {
@@ -309,6 +326,7 @@ impl NfsClient {
     /// Mounts the export on `node`.
     pub fn new(node: NodeId, params: NfsClientParams) -> NfsClient {
         let cache = RangeCache::new(params.cache_capacity);
+        let rng = SplitMix64::new(params.retry.jitter_seed ^ node as u64);
         NfsClient {
             node,
             params,
@@ -316,7 +334,7 @@ impl NfsClient {
             inflight: VecDeque::new(),
             last_read_end: FxHashMap::default(),
             meter: FsMeter::default(),
-            rng: SplitMix64::new(0x4e46_5343 ^ node as u64),
+            rng,
             retries: 0,
         }
     }
@@ -332,8 +350,14 @@ impl NfsClient {
     }
 
     /// Replaces the mount's timeout/retransmission discipline (remounting
-    /// with different `timeo`/`retrans` options).
+    /// with different `timeo`/`retrans` options). The jitter stream is
+    /// reseeded only when `jitter_seed` changes, so remounts that merely
+    /// tune `timeo`/`retrans` leave the established deterministic jitter
+    /// sequence untouched.
     pub fn set_retry(&mut self, retry: NfsRetryParams) {
+        if retry.jitter_seed != self.params.retry.jitter_seed {
+            self.rng = SplitMix64::new(retry.jitter_seed ^ self.node as u64);
+        }
         self.params.retry = retry;
     }
 
@@ -368,9 +392,10 @@ impl NfsClient {
     /// retransmission is a real RPC that burns wire and daemon time. A reply
     /// arriving within the current timeout completes the call (the earliest
     /// reply wins — duplicate replies are discarded by XID matching). Each
-    /// timeout doubles the next one up to `max_timeo` and fires the
-    /// retransmission at the deadline plus deterministic jitter; exhausting
-    /// the budget surfaces a soft-mount [`NfsError::MajorTimeout`].
+    /// timeout scales the next one by `backoff_mult` (doubling by default)
+    /// up to `max_timeo` and fires the retransmission at the deadline plus
+    /// deterministic jitter; exhausting the budget surfaces a soft-mount
+    /// [`NfsError::MajorTimeout`].
     fn retry_rpc<F>(
         &mut self,
         op: &'static str,
@@ -410,7 +435,12 @@ impl NfsClient {
             });
             let jitter = timeout.as_secs_f64() * retry.jitter_frac * self.rng.next_f64();
             issue = deadline + Time::from_secs_f64(jitter);
-            timeout = Time::from_nanos(timeout.as_nanos().saturating_mul(2)).min(retry.max_timeo);
+            timeout = Time::from_nanos(
+                timeout
+                    .as_nanos()
+                    .saturating_mul(retry.backoff_mult.max(1) as u64),
+            )
+            .min(retry.max_timeo);
         }
         unreachable!("retry loop returns on success or exhaustion");
     }
@@ -1062,6 +1092,56 @@ mod tests {
         }
         // Same seed, same trace.
         assert_eq!(trace().0, issues);
+    }
+
+    #[test]
+    fn backoff_mult_and_jitter_seed_are_configurable() {
+        let trace = |retry: NfsRetryParams| {
+            let mut params = NfsClientParams::linux_default(2 * GIB);
+            params.retry = retry;
+            let mut c = NfsClient::new(0, params);
+            let mut issues = Vec::new();
+            let _ = c.retry_rpc("READ", F, Time::ZERO, |t| {
+                issues.push(t);
+                Time::MAX
+            });
+            issues
+        };
+        // A tripling discipline: gaps grow 10, 30, 90, 270 ms within the
+        // 10% jitter allowance.
+        let mut tripling = NfsRetryParams::impatient(Time::from_millis(10), 4);
+        tripling.backoff_mult = 3;
+        let issues = trace(tripling);
+        assert_eq!(issues.len(), 5);
+        for (k, pair) in issues.windows(2).enumerate() {
+            let gap = (pair[1] - pair[0]).as_secs_f64();
+            let timeo = 0.010 * 3u64.pow(k as u32) as f64;
+            assert!(
+                gap >= timeo && gap <= timeo * 1.1,
+                "gap {k} = {gap}s outside [{timeo}, {}]",
+                timeo * 1.1
+            );
+        }
+        assert_eq!(trace(tripling), issues, "same params, same trace");
+
+        // A different jitter seed draws a different (still deterministic)
+        // jitter sequence under the same timeout schedule.
+        let mut reseeded = tripling;
+        reseeded.jitter_seed ^= 0xDEAD_BEEF;
+        let other = trace(reseeded);
+        assert_ne!(other, issues, "distinct seeds must not share a trace");
+        assert_eq!(trace(reseeded), other);
+
+        // set_retry with a changed seed reseeds the stream, matching a
+        // mount constructed with that seed from the start.
+        let mut c = NfsClient::new(0, NfsClientParams::linux_default(2 * GIB));
+        c.set_retry(reseeded);
+        let mut issues_via_set = Vec::new();
+        let _ = c.retry_rpc("READ", F, Time::ZERO, |t| {
+            issues_via_set.push(t);
+            Time::MAX
+        });
+        assert_eq!(issues_via_set, other);
     }
 
     #[test]

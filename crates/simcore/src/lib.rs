@@ -18,7 +18,11 @@
 //! * [`Watchdog`] — supervised-run budgets (simulated-time deadline,
 //!   wall-clock budget, livelock/stall detection) so runaway simulations
 //!   abort with a typed [`Abort`] instead of hanging a campaign.
+//! * [`chaos`] — deterministic host-fault injection (torn checkpoint
+//!   writes, worker panics, store errors, ENOSPC) for exercising the
+//!   campaign runtime's recovery paths.
 
+pub mod chaos;
 pub mod faults;
 pub mod hash;
 pub mod obs;
@@ -29,6 +33,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use chaos::{ChaosAction, ChaosProfile, ChaosSite, HostFaultPlan};
 pub use faults::{Fault, FaultEvent, FaultProfile, FaultSchedule, NetClass};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
 pub use progress::{Abort, Watchdog, WatchdogSpec};

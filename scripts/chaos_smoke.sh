@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Chaos smoke test for the repro harness.
+#
+# Runs a checkpointed campaign under pinned seeded host-fault plans
+# (failed/torn/ENOSPC checkpoint writes, serialization errors, worker
+# panics), then resumes each wounded checkpoint directory chaos-free and
+# diffs against an uninterrupted clean run. The resumed output must be
+# byte-identical: every injected fault is healed (retried, quarantined,
+# or recomputed), never absorbed into results. Also checks that
+# --strict-store turns surviving store degradation into a non-zero exit.
+#
+# Usage: scripts/chaos_smoke.sh [path-to-repro-binary]
+set -euo pipefail
+
+REPRO="${1:-target/release/repro}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ioeval-chaos-smoke.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+if [[ ! -x "$REPRO" ]]; then
+    echo "chaos_smoke: building repro ..." >&2
+    cargo build --release -p bench --bin repro
+fi
+
+echo "== 1/3 clean reference run ==" >&2
+"$REPRO" --scale quick --out "$WORK/clean.txt" campaign >/dev/null
+
+echo "== 2/3 seeded chaos runs + chaos-free resumes ==" >&2
+for seed in 1 2; do
+    for profile in store mixed; do
+        tag="$profile-$seed"
+        "$REPRO" --scale quick --chaos-seed "$seed" --chaos-profile "$profile" \
+            --checkpoint "$WORK/ckpt-$tag" --out "$WORK/wounded-$tag.txt" \
+            campaign >/dev/null 2>"$WORK/chaos-$tag.log"
+        grep -q "installing host-fault plan" "$WORK/chaos-$tag.log" || {
+            echo "FAIL: chaos run $tag installed no plan" >&2
+            exit 1
+        }
+        # Drop the whole-experiment artifact so the resume re-renders from
+        # the cell-level checkpoints the wounded run left behind.
+        rm -f "$WORK/ckpt-$tag"/exp-*.json
+        "$REPRO" --scale quick --resume "$WORK/ckpt-$tag" \
+            --out "$WORK/resumed-$tag.txt" campaign >/dev/null
+        if ! diff -u "$WORK/clean.txt" "$WORK/resumed-$tag.txt" >"$WORK/diff-$tag.txt"; then
+            echo "FAIL: resume after chaos ($tag) differs from the clean run:" >&2
+            head -50 "$WORK/diff-$tag.txt" >&2
+            exit 1
+        fi
+        echo "   $tag: resume byte-identical" >&2
+    done
+done
+
+echo "== 3/3 --strict-store gates on surviving store faults ==" >&2
+set +e
+"$REPRO" --scale quick --chaos-repro 'ser@0' --strict-store \
+    --checkpoint "$WORK/ckpt-strict" --out "$WORK/strict.txt" \
+    campaign >/dev/null 2>"$WORK/strict.log"
+rc=$?
+set -e
+if [[ "$rc" -ne 3 ]]; then
+    echo "FAIL: expected exit 3 from --strict-store, got $rc" >&2
+    tail -20 "$WORK/strict.log" >&2
+    exit 1
+fi
+grep -q "store health" "$WORK/strict.log" || {
+    echo "FAIL: strict run reported no store health summary" >&2
+    exit 1
+}
+echo "OK: chaos runs heal, resumes are byte-identical, --strict-store gates" >&2

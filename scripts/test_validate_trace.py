@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fixture tests for validate_trace.py (unittest, no dependencies).
+
+Run: python3 scripts/test_validate_trace.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import validate_trace  # noqa: E402
+
+
+def header(events):
+    return {
+        "kind": "header",
+        "schema": validate_trace.SCHEMA,
+        "cluster": "aohyper",
+        "config": "JBOD",
+        "app": "btio",
+        "scenario": "full",
+        "events": events,
+        "dropped": 0,
+    }
+
+
+def evict(at_ns=5):
+    return {"kind": "cache_evict", "bytes": 4096, "at_ns": at_ns}
+
+
+def jsonl(objs):
+    return "".join(json.dumps(o) + "\n" for o in objs)
+
+
+class ValidateTraceTest(unittest.TestCase):
+    def validate(self, content):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".jsonl", delete=False, encoding="utf-8"
+        ) as f:
+            f.write(content)
+            path = f.name
+        try:
+            return validate_trace.main(["validate_trace.py", path])
+        finally:
+            os.unlink(path)
+
+    def test_valid_stream_passes(self):
+        self.assertEqual(self.validate(jsonl([header(2), evict(1), evict(2)])), 0)
+
+    def test_truncated_final_partial_line_fails(self):
+        # The writer died mid-line: no trailing newline. The partial tail
+        # here is even valid JSON — truncation must fail regardless.
+        full = jsonl([header(2), evict(1), evict(2)])
+        self.assertEqual(self.validate(full[:-1]), 1)
+
+    def test_truncated_mid_json_fails(self):
+        full = jsonl([header(2), evict(1), evict(2)])
+        self.assertEqual(self.validate(full[: len(full) - 12]), 1)
+
+    def test_short_run_fails(self):
+        self.assertEqual(self.validate(jsonl([header(2), evict(1)])), 1)
+
+    def test_extra_event_fails(self):
+        self.assertEqual(
+            self.validate(jsonl([header(1), evict(1), evict(2)])), 1
+        )
+
+    def test_empty_trace_fails(self):
+        self.assertEqual(self.validate(""), 1)
+
+    def test_negative_time_fails(self):
+        bad = {"kind": "cache_evict", "bytes": 1, "at_ns": -1}
+        self.assertEqual(self.validate(jsonl([header(1), bad])), 1)
+
+    def test_event_before_header_fails(self):
+        self.assertEqual(self.validate(jsonl([evict(1)])), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

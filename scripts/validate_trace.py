@@ -98,10 +98,22 @@ def main(argv):
     path = argv[1]
     try:
         with open(path, encoding="utf-8") as f:
-            lines = f.read().splitlines()
+            content = f.read()
     except OSError as e:
         print(f"FAIL: cannot read {path}: {e}", file=sys.stderr)
         return 1
+
+    # A complete JSONL stream ends every line — including the last — with
+    # a newline. A missing final newline means the writer died mid-line
+    # (torn write / full disk); the partial tail may even still parse as
+    # JSON, so catch the truncation itself, not just its symptoms.
+    if content and not content.endswith("\n"):
+        print(
+            "FAIL: truncated final line (stream does not end with a newline)",
+            file=sys.stderr,
+        )
+        return 1
+    lines = content.splitlines()
 
     runs = 0
     events = 0

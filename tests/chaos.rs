@@ -1,0 +1,255 @@
+//! End-to-end chaos harness for the campaign runtime.
+//!
+//! The recovery invariant under test: a campaign that suffered *any*
+//! injected host fault — failed/torn/ENOSPC checkpoint writes, store
+//! serialization errors, worker panics at cell boundaries, memo-cache
+//! corruption — completes, and a chaos-free resume over the same
+//! checkpoint directory renders **byte-identically** to an uninterrupted
+//! run. The sweep below proves it for 28 distinct seeded fault schedules;
+//! the shrinker test proves a failing schedule bisects to a 1-minimal
+//! replayable `--chaos-repro` token.
+//!
+//! Chaos plans are process-global, so every test that installs one
+//! serializes on [`CHAOS_LOCK`].
+
+use bench::checkpoint::CampaignStore;
+use cluster::{config as ioconfig, presets};
+use ioeval_core::campaign::{run_campaign_supervised, AppFactory, NoStore, SuperviseOptions};
+use ioeval_core::charact::CharacterizeOptions;
+use ioeval_core::memo::CharactMemo;
+use simcore::chaos::{self, ChaosAction, ChaosProfile, ChaosSite, HostFaultPlan, Injection};
+use simcore::{KIB, MIB};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use workloads::{BtClass, BtIo, BtSubtype};
+
+/// Chaos state is process-global; tests that install plans must not
+/// overlap. `into_inner` on poison: a failed assertion elsewhere must not
+/// cascade into every remaining chaos test.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ioeval-chaos-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn charact_opts() -> CharacterizeOptions {
+    let mut o = CharacterizeOptions::quick();
+    o.records = vec![64 * KIB, MIB];
+    o.iozone_file_size = Some(64 * MIB);
+    o.ior_blocks = vec![MIB];
+    o.ior_ranks = 2;
+    o
+}
+
+/// One pinned small campaign (aohyper, 3 configs, one BT-IO app),
+/// rendered. The memo, when given, replays characterizations in-process.
+fn run(
+    store: &mut (dyn ioeval_core::campaign::CellStore + Send),
+    memo: Option<Arc<CharactMemo>>,
+) -> String {
+    let spec = presets::aohyper();
+    let configs = ioconfig::aohyper_configs();
+    let bt = || {
+        BtIo::new(BtClass::S, 4, BtSubtype::Full)
+            .with_dumps(3)
+            .gflops(20.0)
+            .scenario()
+    };
+    let apps: Vec<AppFactory> = vec![("btio-full", &bt)];
+    let opts = SuperviseOptions {
+        memo,
+        ..SuperviseOptions::default()
+    };
+    run_campaign_supervised(&spec, &configs, &apps, &charact_opts(), &opts, store).render()
+}
+
+#[test]
+fn resume_after_any_injected_fault_is_byte_identical() {
+    let _l = chaos_lock();
+    let reference = run(&mut NoStore, None);
+
+    // 28 distinct seeded schedules across the profiles whose sites a plain
+    // supervised campaign hits (memo-load injection needs a warm memo and
+    // has its own test below; trace export is a CLI-side site).
+    let sweep: &[(&str, u64)] = &[("store", 10), ("panic", 8), ("mixed", 10)];
+    let mut schedules = 0usize;
+    let mut fired_total = 0usize;
+    for &(profile_name, seeds) in sweep {
+        let profile = ChaosProfile::named(profile_name).expect("known profile");
+        for seed in 0..seeds {
+            let plan = HostFaultPlan::random(seed, &profile);
+            assert!(
+                !plan.is_empty(),
+                "profile {profile_name} drew an empty plan"
+            );
+            schedules += 1;
+            let dir = scratch(&format!("sweep-{profile_name}-{seed}"));
+
+            // The wounded run: injected faults, must still complete.
+            let mut store = CampaignStore::open(&dir).unwrap();
+            let guard = chaos::install(plan.clone());
+            let wounded = run(&mut store, None);
+            fired_total += guard.fired().len();
+            drop(guard);
+
+            // Self-healing: results are unharmed — at most a store-health
+            // footer is appended to the uninterrupted rendering.
+            assert!(
+                wounded.starts_with(&reference),
+                "profile {profile_name} seed {seed} (plan {}): faults must not \
+                 alter campaign results",
+                plan.token()
+            );
+
+            // The recovery invariant: a chaos-free resume over whatever the
+            // wounded run left on disk is byte-identical to an
+            // uninterrupted run.
+            let mut store = CampaignStore::open(&dir).unwrap();
+            let resumed = run(&mut store, None);
+            assert_eq!(
+                resumed,
+                reference,
+                "profile {profile_name} seed {seed} (plan {}): resume must be \
+                 byte-identical",
+                plan.token()
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+    assert!(schedules >= 25, "only {schedules} schedules swept");
+    assert!(
+        fired_total >= schedules,
+        "sweep too tame: {fired_total} injections fired over {schedules} schedules"
+    );
+}
+
+#[test]
+fn memo_corruption_is_quarantined_and_recomputed() {
+    let _l = chaos_lock();
+    let reference = run(&mut NoStore, None);
+
+    // Warm the memo, then replay the campaign from it under injected
+    // memo-load corruption: every poisoned entry must be quarantined and
+    // recomputed, never served, and the rendering must not change.
+    let memo = Arc::new(CharactMemo::new());
+    let warm = run(&mut NoStore, Some(Arc::clone(&memo)));
+    assert_eq!(warm, reference);
+
+    let plan = HostFaultPlan::from_injections(vec![
+        Injection {
+            site: ChaosSite::MemoLoad,
+            nth: 0,
+            action: ChaosAction::Fail,
+        },
+        Injection {
+            site: ChaosSite::MemoLoad,
+            nth: 2,
+            action: ChaosAction::Fail,
+        },
+    ]);
+    let guard = chaos::install(plan);
+    let replayed = run(&mut NoStore, Some(Arc::clone(&memo)));
+    let fired = guard.fired().len();
+    drop(guard);
+    assert_eq!(
+        replayed, reference,
+        "memo corruption must not leak into results"
+    );
+    assert_eq!(fired, 2, "both corruptions must have fired");
+    assert_eq!(memo.quarantined(), 2, "corrupt entries are quarantined");
+}
+
+#[test]
+fn store_faults_surface_in_the_campaign_health_footer() {
+    let _l = chaos_lock();
+    let reference = run(&mut NoStore, None);
+    let dir = scratch("health-footer");
+    let mut store = CampaignStore::open(&dir).unwrap();
+    let guard = chaos::install(HostFaultPlan::single(
+        ChaosSite::StoreSerialize,
+        0,
+        ChaosAction::Fail,
+    ));
+    let wounded = run(&mut store, None);
+    drop(guard);
+    assert!(wounded.starts_with(&reference));
+    assert!(
+        wounded.contains("-- store health: 1 serialize error --"),
+        "the typed counter must be surfaced:\n{}",
+        &wounded[reference.len()..]
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shrinker_bisects_a_failing_schedule_to_a_replayable_minimal_repro() {
+    let _l = chaos_lock();
+
+    // The failure being hunted: a checkpoint key degrades to memory, which
+    // takes all three write attempts of one save failing — exactly the
+    // injections ckpt@0, ckpt@1, ckpt@2. Bury them in 14 irrelevant
+    // injections and let the shrinker dig them out.
+    let mut noisy = vec![];
+    for nth in 0..3 {
+        noisy.push(Injection {
+            site: ChaosSite::CheckpointWrite,
+            nth,
+            action: ChaosAction::Fail,
+        });
+    }
+    for nth in 3..9 {
+        noisy.push(Injection {
+            site: ChaosSite::CheckpointWrite,
+            nth,
+            action: ChaosAction::Enospc,
+        });
+    }
+    for nth in 0..4 {
+        noisy.push(Injection {
+            site: ChaosSite::WorkerPanic,
+            nth,
+            action: ChaosAction::Fail,
+        });
+        noisy.push(Injection {
+            site: ChaosSite::MemoLoad,
+            nth,
+            action: ChaosAction::Fail,
+        });
+    }
+    let plan = HostFaultPlan::from_injections(noisy);
+
+    // Deterministic predicate: does this schedule make the store degrade?
+    let runs = std::cell::Cell::new(0u32);
+    let mut fails = |candidate: &HostFaultPlan| {
+        runs.set(runs.get() + 1);
+        let dir = bench::checkpoint::CheckpointDir::new(scratch("shrink")).unwrap();
+        let guard = chaos::install(candidate.clone());
+        dir.save("tables-shrink", "payload under test");
+        drop(guard);
+        dir.health().write_failures > 0
+    };
+
+    let minimal = chaos::shrink(&plan, &mut fails);
+    assert_eq!(
+        minimal.token(),
+        "ckpt@0,ckpt@1,ckpt@2",
+        "1-minimal repro: the three attempts of the first save"
+    );
+    assert!(
+        runs.get() < 200,
+        "shrinker exploded: {} predicate runs",
+        runs.get()
+    );
+
+    // The emitted token replays: parse it back and reproduce the failure.
+    let parsed = HostFaultPlan::parse(&minimal.token()).unwrap();
+    assert_eq!(parsed, minimal);
+    assert!(fails(&parsed), "the minimal repro must still reproduce");
+}
