@@ -7,7 +7,7 @@
 //!       [--deadline SECS] [--wall-budget SECS] [--jobs N] [--no-memo]
 //!       [--trace-out FILE] [--trace-format jsonl|chrome] [--metrics]
 //!       [--chaos-seed N] [--chaos-profile NAME] [--chaos-repro TOKEN]
-//!       [--strict-store]
+//!       [--pfs-profile full|fail|recover|none] [--strict-store]
 //!       <experiment>... | all | list
 //! ```
 //!
@@ -54,6 +54,13 @@
 //! Experiments restored from a checkpoint are not re-run, so they
 //! contribute no events — use a fresh run for a complete trace.
 //!
+//! `--pfs-profile` selects which PFS fault rows the `resilience`
+//! experiment adds to its RAID table: `full` (default) runs
+//! one-server-down *and* recover-mid-run against the replicated PVFS
+//! deployment, `fail` / `recover` run just one of them, and `none` skips
+//! the PFS table entirely (the experiment renders exactly its RAID-only
+//! output).
+//!
 //! `--chaos-seed N` installs a deterministic host-fault plan drawn under
 //! `--chaos-profile` (`store`, `panic`, `memo`, `trace`, or the default
 //! `mixed`) that injects failures into the campaign *runtime* — torn or
@@ -68,7 +75,7 @@
 //! into exit code 3 after all output is written.
 
 use bench::experiments::registry;
-use bench::{Repro, Scale};
+use bench::{PfsFaultProfile, Repro, Scale};
 use simcore::chaos::{ChaosProfile, HostFaultPlan};
 use simcore::{Time, WatchdogSpec};
 use std::io::Write as _;
@@ -89,6 +96,7 @@ fn main() {
     let mut chaos_profile: Option<String> = None;
     let mut chaos_repro: Option<String> = None;
     let mut strict_store = false;
+    let mut pfs_profile = PfsFaultProfile::default();
     let mut selected: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -176,6 +184,13 @@ fn main() {
                         .unwrap_or_else(|| die("expected --chaos-repro TOKEN")),
                 );
             }
+            "--pfs-profile" => {
+                i += 1;
+                pfs_profile = args
+                    .get(i)
+                    .and_then(|s| PfsFaultProfile::parse(s))
+                    .unwrap_or_else(|| die("expected --pfs-profile full|fail|recover|none"));
+            }
             "--strict-store" => strict_store = true,
             "--help" | "-h" => {
                 usage();
@@ -238,7 +253,7 @@ fn main() {
         simcore::chaos::install(p)
     });
 
-    let mut repro = Repro::new(scale);
+    let mut repro = Repro::new(scale).with_pfs_profile(pfs_profile);
     if no_memo {
         repro = repro.without_memo();
     }
@@ -368,7 +383,8 @@ fn usage() {
          \x20            [--deadline SECS] [--wall-budget SECS] [--jobs N] [--no-memo]\n\
          \x20            [--trace-out FILE] [--trace-format jsonl|chrome] [--metrics]\n\
          \x20            [--chaos-seed N] [--chaos-profile store|panic|memo|trace|mixed]\n\
-         \x20            [--chaos-repro TOKEN] [--strict-store]\n\
+         \x20            [--chaos-repro TOKEN] [--pfs-profile full|fail|recover|none]\n\
+         \x20            [--strict-store]\n\
          \x20            <experiment>... | all | list\n\
          experiments regenerate the paper's tables/figures; see 'repro list'.\n\
          --checkpoint/--resume persist finished work to DIR and replay it on rerun;\n\
@@ -383,6 +399,8 @@ fn usage() {
          --chaos-seed/--chaos-profile inject deterministic host faults (torn\n\
          checkpoint writes, ENOSPC, worker panics, memo corruption, trace errors)\n\
          to exercise recovery; --chaos-repro TOKEN replays an exact schedule;\n\
+         --pfs-profile picks the PFS fault rows of the resilience experiment\n\
+         (full = fail + recover, none = RAID-only table);\n\
          --strict-store exits 3 if store-level damage survived the run."
     );
 }

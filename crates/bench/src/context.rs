@@ -42,6 +42,45 @@ impl Scale {
     }
 }
 
+/// Which PFS fault rows the resilience experiment runs alongside its
+/// nominal row (selected by `repro --pfs-profile`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PfsFaultProfile {
+    /// One-server-down *and* recover-mid-run (the full comparison).
+    #[default]
+    Full,
+    /// One-server-down only.
+    Fail,
+    /// Recover-mid-run only.
+    Recover,
+    /// No PFS rows at all: the experiment renders exactly its pre-PFS
+    /// RAID-only table.
+    Off,
+}
+
+impl PfsFaultProfile {
+    /// Parses `"full"` / `"fail"` / `"recover"` / `"none"`.
+    pub fn parse(s: &str) -> Option<PfsFaultProfile> {
+        match s {
+            "full" => Some(PfsFaultProfile::Full),
+            "fail" => Some(PfsFaultProfile::Fail),
+            "recover" => Some(PfsFaultProfile::Recover),
+            "none" => Some(PfsFaultProfile::Off),
+            _ => None,
+        }
+    }
+
+    /// Stable label (the CLI spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PfsFaultProfile::Full => "full",
+            PfsFaultProfile::Fail => "fail",
+            PfsFaultProfile::Recover => "recover",
+            PfsFaultProfile::Off => "none",
+        }
+    }
+}
+
 /// Experiment context: clusters, configurations, and memoized
 /// characterizations/evaluations shared between related experiments
 /// (Fig. 12 and Tables III/IV reuse the same runs, exactly like the paper).
@@ -59,6 +98,7 @@ pub struct Repro {
     jobs: usize,
     memo: Option<Arc<CharactMemo>>,
     obs: Option<ReproObs>,
+    pfs_profile: PfsFaultProfile,
 }
 
 /// Observability state of a tracing-enabled context.
@@ -94,7 +134,19 @@ impl Repro {
             jobs,
             memo: Some(Arc::new(CharactMemo::new())),
             obs: None,
+            pfs_profile: PfsFaultProfile::default(),
         }
+    }
+
+    /// Selects which PFS fault rows the resilience experiment runs.
+    pub fn with_pfs_profile(mut self, profile: PfsFaultProfile) -> Repro {
+        self.pfs_profile = profile;
+        self
+    }
+
+    /// The selected PFS fault profile.
+    pub fn pfs_profile(&self) -> PfsFaultProfile {
+        self.pfs_profile
     }
 
     /// Enables I/O-path observability: every evaluation this context runs
@@ -416,6 +468,22 @@ mod tests {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("x"), None);
         assert_eq!(Scale::Quick.label(), "quick");
+    }
+
+    #[test]
+    fn pfs_profile_parsing() {
+        assert_eq!(PfsFaultProfile::parse("full"), Some(PfsFaultProfile::Full));
+        assert_eq!(PfsFaultProfile::parse("fail"), Some(PfsFaultProfile::Fail));
+        assert_eq!(
+            PfsFaultProfile::parse("recover"),
+            Some(PfsFaultProfile::Recover)
+        );
+        assert_eq!(PfsFaultProfile::parse("none"), Some(PfsFaultProfile::Off));
+        assert_eq!(PfsFaultProfile::parse("x"), None);
+        assert_eq!(PfsFaultProfile::default(), PfsFaultProfile::Full);
+        assert_eq!(PfsFaultProfile::Off.label(), "none");
+        let r = Repro::new(Scale::Quick).with_pfs_profile(PfsFaultProfile::Fail);
+        assert_eq!(r.pfs_profile(), PfsFaultProfile::Fail);
     }
 
     #[test]

@@ -787,7 +787,16 @@ pub fn advisor(r: &mut Repro) -> String {
 /// member's chunks from every survivor, and the resilver competes with the
 /// foreground stream — the table reports how much of the healthy transfer
 /// rate each condition retains and how long the rebuild window lasts.
+///
+/// A second table runs an IOR write campaign on the replicated PVFS
+/// deployment (4 I/O servers, 2 replicas per stripe) under the context's
+/// [`PfsFaultProfile`]: nominal vs one-server-down (writes fail over to
+/// the surviving replica holders) vs recover-mid-run (the returning server
+/// resyncs the writes it missed). `--pfs-profile none` skips the second
+/// table entirely, rendering exactly the RAID-only output.
 pub fn resilience(r: &mut Repro) -> String {
+    use crate::context::PfsFaultProfile;
+    use cluster::{IoConfigBuilder, Mount};
     use ioeval_core::eval::FaultScenario;
     use ioeval_core::report::render_resilience_table;
     use simcore::{Time, MIB};
@@ -819,13 +828,61 @@ pub fn resilience(r: &mut Repro) -> String {
         .map(|f| r.eval_under(&spec, &config, &key, ior.scenario(), f.clone()))
         .collect();
     let refs: Vec<&EvalReport> = reports.iter().collect();
-    format!(
+    let mut out = format!(
         "Resilience — {} on {} / {}: healthy vs degraded vs rebuilding:\n\n{}",
         reports[0].app,
         spec.name,
         config.name,
         render_resilience_table(&refs)
-    )
+    );
+
+    let fail_at = Time::from_millis(100);
+    let recover_at = Time::from_millis(500);
+    let pfs_faults: Vec<FaultScenario> = match r.pfs_profile() {
+        PfsFaultProfile::Off => Vec::new(),
+        PfsFaultProfile::Fail => vec![FaultScenario::PfsDegraded {
+            server: 1,
+            at: fail_at,
+        }],
+        PfsFaultProfile::Recover => vec![FaultScenario::PfsRecovered {
+            server: 1,
+            fail_at,
+            recover_at,
+        }],
+        PfsFaultProfile::Full => vec![
+            FaultScenario::PfsDegraded {
+                server: 1,
+                at: fail_at,
+            },
+            FaultScenario::PfsRecovered {
+                server: 1,
+                fail_at,
+                recover_at,
+            },
+        ],
+    };
+    if !pfs_faults.is_empty() {
+        let pfs_config = IoConfigBuilder::new(cluster::DeviceLayout::raid5_paper())
+            .pfs(4)
+            .pfs_replicas(2)
+            .name("PVFS x4 r2")
+            .build();
+        let pfs_ior = Ior::new(ranks, fs::FileId(91), block, IorOp::Write).on(Mount::Pfs);
+        let pfs_key = format!("resilience-pfs-ior{ranks}-{}", fmt_bytes(block));
+        let pfs_reports: Vec<EvalReport> = std::iter::once(FaultScenario::Healthy)
+            .chain(pfs_faults)
+            .map(|f| r.eval_under(&spec, &pfs_config, &pfs_key, pfs_ior.scenario(), f))
+            .collect();
+        let pfs_refs: Vec<&EvalReport> = pfs_reports.iter().collect();
+        out.push_str(&format!(
+            "\n\nPFS resilience — {} on {} / {} (2 replicas): nominal vs server faults:\n\n{}",
+            pfs_reports[0].app,
+            spec.name,
+            pfs_config.name,
+            render_resilience_table(&pfs_refs)
+        ));
+    }
+    out
 }
 
 /// Beyond the paper: the whole methodology as one *supervised* campaign —

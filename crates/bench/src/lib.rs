@@ -18,4 +18,4 @@ pub mod experiments;
 pub mod hotpath;
 
 pub use checkpoint::{CampaignStore, CheckpointDir, WriteRetry};
-pub use context::{write_artifact, Repro, Scale};
+pub use context::{write_artifact, PfsFaultProfile, Repro, Scale};

@@ -4,8 +4,14 @@
 //! Degraded cold reads must pay the reconstruction penalty (strictly
 //! below the healthy rate), the rebuild must complete in finite simulated
 //! time, and two same-seed campaigns must render byte-identical reports.
+//!
+//! A second campaign runs an IOR write stream on a replicated PVFS
+//! deployment while one I/O server is down (writes fail over to the
+//! surviving replica holders) and while the server recovers mid-run (the
+//! resync replays the writes it missed) — no workload byte may be lost
+//! either way.
 
-use cluster::{presets, DeviceLayout, IoConfigBuilder};
+use cluster::{presets, DeviceLayout, IoConfigBuilder, Mount};
 use ioeval_core::eval::{evaluate, EvalOptions, EvalReport, FaultScenario};
 use ioeval_core::perf_table::PerfTableSet;
 use ioeval_core::report::render_resilience_table;
@@ -70,6 +76,83 @@ fn degraded_reads_trail_healthy_and_rebuild_is_finite() {
     }
 }
 
+fn pfs_run(faults: FaultScenario) -> EvalReport {
+    let spec = presets::test_cluster();
+    let config = IoConfigBuilder::new(DeviceLayout::raid5_paper())
+        .pfs(2)
+        .pfs_replicas(2)
+        .build();
+    let ior = Ior::new(4, fs::FileId(8), 32 * MIB, IorOp::Write).on(Mount::Pfs);
+    let tables = PerfTableSet::new("test", "PVFS x2");
+    let opts = EvalOptions {
+        faults,
+        ..EvalOptions::default()
+    };
+    evaluate(&spec, &config, ior.scenario(), &tables, &opts).expect("evaluation")
+}
+
+fn pfs_campaign() -> Vec<EvalReport> {
+    vec![
+        pfs_run(FaultScenario::Healthy),
+        pfs_run(FaultScenario::PfsDegraded {
+            server: 1,
+            at: Time::from_millis(1),
+        }),
+        pfs_run(FaultScenario::PfsRecovered {
+            server: 1,
+            fail_at: Time::from_millis(1),
+            recover_at: Time::from_millis(500),
+        }),
+    ]
+}
+
+#[test]
+fn pfs_failover_campaign_loses_no_bytes() {
+    let reports = pfs_campaign();
+    let (healthy, degraded, recovered) = (&reports[0], &reports[1], &reports[2]);
+
+    assert_eq!(healthy.io_errors, 0);
+    assert_eq!(healthy.client_retries, 0, "fault-free runs never retry");
+    assert_eq!(healthy.pfs_failovers, 0);
+
+    for r in [degraded, recovered] {
+        assert_eq!(
+            r.profile.bytes_written, healthy.profile.bytes_written,
+            "{}: every workload byte must land despite the dead server",
+            r.scenario
+        );
+        assert_eq!(r.io_errors, 0, "{}: replicas absorb the outage", r.scenario);
+        assert!(r.client_retries > 0, "{}: detection retries", r.scenario);
+        assert!(r.pfs_failovers > 0, "{}: writes fail over", r.scenario);
+    }
+    assert_eq!(degraded.pfs_resync_bytes, 0, "no recovery, no resync");
+    assert!(
+        recovered.pfs_resync_bytes > 0,
+        "the recovered server must replay missed writes"
+    );
+
+    let refs: Vec<&EvalReport> = reports.iter().collect();
+    let table = render_resilience_table(&refs);
+    for needle in ["pfs-degraded", "pfs-recovered", "failovers", "resync"] {
+        assert!(table.contains(needle), "missing {needle} in:\n{table}");
+    }
+}
+
+#[test]
+fn same_seed_pfs_campaigns_render_identically() {
+    let a = pfs_campaign();
+    let b = pfs_campaign();
+    let render = |reports: &[EvalReport]| {
+        let refs: Vec<&EvalReport> = reports.iter().collect();
+        render_resilience_table(&refs)
+    };
+    assert_eq!(
+        render(&a),
+        render(&b),
+        "PFS failover campaigns must be deterministic"
+    );
+}
+
 #[test]
 fn same_seed_campaigns_render_identically() {
     let a = campaign();
@@ -90,8 +173,30 @@ fn same_seed_campaigns_render_identically() {
 fn resilience_experiment_renders_the_full_table() {
     let mut repro = bench::Repro::new(bench::Scale::Quick);
     let out = bench::experiments::resilience(&mut repro);
-    for needle in ["Resilience", "healthy", "degraded", "rebuilding"] {
+    for needle in [
+        "Resilience",
+        "healthy",
+        "degraded",
+        "rebuilding",
+        "PFS resilience",
+        "pfs-degraded",
+        "pfs-recovered",
+    ] {
         assert!(out.contains(needle), "missing {needle} in:\n{out}");
     }
     assert!(!out.contains("NaN") && !out.contains("inf"));
+}
+
+#[test]
+#[ignore = "characterizes Aohyper at quick scale (slow in debug)"]
+fn resilience_experiment_is_byte_identical_across_jobs() {
+    let run = |jobs: usize| {
+        let mut repro = bench::Repro::new(bench::Scale::Quick).with_jobs(jobs);
+        bench::experiments::resilience(&mut repro)
+    };
+    assert_eq!(
+        run(1),
+        run(4),
+        "the PFS failover campaign must render identically under --jobs 1 and --jobs 4"
+    );
 }

@@ -35,6 +35,29 @@ pub enum ConfigError {
         /// Compute nodes available.
         compute_nodes: usize,
     },
+    /// More stripe replicas than PFS servers to hold them.
+    TooManyPfsReplicas {
+        /// Configured replica count.
+        replicas: usize,
+        /// PFS servers deployed.
+        servers: usize,
+    },
+    /// A fault schedule targets a disk member the device layout does not
+    /// have.
+    FaultDiskOutOfRange {
+        /// Targeted member index.
+        disk: usize,
+        /// Members in the configured layout.
+        members: usize,
+    },
+    /// A fault schedule targets a PFS server outside the deployment (or a
+    /// deployment of zero servers).
+    FaultPfsServerOutOfRange {
+        /// Targeted server index.
+        server: usize,
+        /// PFS servers deployed.
+        servers: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -52,6 +75,18 @@ impl fmt::Display for ConfigError {
             } => write!(
                 f,
                 "{servers} PFS servers cannot be placed on {compute_nodes} compute nodes"
+            ),
+            ConfigError::TooManyPfsReplicas { replicas, servers } => write!(
+                f,
+                "{replicas} stripe replicas cannot be held by {servers} PFS servers"
+            ),
+            ConfigError::FaultDiskOutOfRange { disk, members } => write!(
+                f,
+                "fault schedule targets disk {disk} but the layout has {members} member(s)"
+            ),
+            ConfigError::FaultPfsServerOutOfRange { server, servers } => write!(
+                f,
+                "fault schedule targets PFS server {server} but the deployment has {servers} server(s)"
             ),
         }
     }
@@ -132,6 +167,9 @@ pub struct IoConfig {
     pub pfs_servers: usize,
     /// PFS stripe unit in bytes.
     pub pfs_stripe: u64,
+    /// Copies of every PFS stripe chunk (1 = no replication; ≥ 2 enables
+    /// server failover and degraded-mode operation).
+    pub pfs_replicas: usize,
 }
 
 impl IoConfig {
@@ -172,6 +210,12 @@ impl IoConfig {
                 compute_nodes: spec.compute_nodes,
             });
         }
+        if self.pfs_servers > 0 && self.pfs_replicas.max(1) > self.pfs_servers {
+            return Err(ConfigError::TooManyPfsReplicas {
+                replicas: self.pfs_replicas,
+                servers: self.pfs_servers,
+            });
+        }
         Ok(())
     }
 }
@@ -185,6 +229,7 @@ pub struct IoConfigBuilder {
     raid5_coalesce: bool,
     pfs_servers: usize,
     pfs_stripe: u64,
+    pfs_replicas: usize,
     name: Option<String>,
 }
 
@@ -199,6 +244,7 @@ impl IoConfigBuilder {
             raid5_coalesce: true,
             pfs_servers: 0,
             pfs_stripe: 64 * KIB,
+            pfs_replicas: 1,
             name: None,
         }
     }
@@ -233,6 +279,13 @@ impl IoConfigBuilder {
         self
     }
 
+    /// Stores every PFS stripe chunk on `replicas` servers (chained
+    /// placement), enabling failover when a server dies.
+    pub fn pfs_replicas(mut self, replicas: usize) -> Self {
+        self.pfs_replicas = replicas;
+        self
+    }
+
     /// Overrides the report label.
     pub fn name(mut self, name: impl Into<String>) -> Self {
         self.name = Some(name.into());
@@ -251,6 +304,7 @@ impl IoConfigBuilder {
             raid5_coalesce: self.raid5_coalesce,
             pfs_servers: self.pfs_servers,
             pfs_stripe: self.pfs_stripe,
+            pfs_replicas: self.pfs_replicas,
         }
     }
 }
@@ -341,6 +395,22 @@ mod tests {
             bad.validate(&spec),
             Err(ConfigError::TooManyPfsServers { .. })
         ));
+        let bad = IoConfigBuilder::new(DeviceLayout::Jbod)
+            .pfs(2)
+            .pfs_replicas(3)
+            .build();
+        assert_eq!(
+            bad.validate(&spec),
+            Err(ConfigError::TooManyPfsReplicas {
+                replicas: 3,
+                servers: 2
+            })
+        );
+        // Replication without a deployment is inert, not an error.
+        let ok = IoConfigBuilder::new(DeviceLayout::Jbod)
+            .pfs_replicas(3)
+            .build();
+        assert_eq!(ok.validate(&spec), Ok(()));
         // Errors read like sentences for report logs.
         assert!(bad
             .validate(&spec)

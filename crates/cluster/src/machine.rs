@@ -4,7 +4,7 @@ use crate::config::{ConfigError, DeviceLayout, IoConfig, NetworkLayout};
 use crate::spec::ClusterSpec;
 use fs::{
     FileId, LocalFs, LocalFsParams, NfsClient, NfsClientParams, NfsError, NfsRetryParams,
-    NfsServer, NfsServerParams, PfsParams, PfsSystem,
+    NfsServer, NfsServerParams, PfsError, PfsParams, PfsSystem,
 };
 use mpisim::Machine;
 use netsim::{Network, NodeId, TrafficClass};
@@ -198,6 +198,7 @@ impl ClusterMachine {
             Some(PfsSystem::new(
                 PfsParams {
                     stripe: config.pfs_stripe,
+                    replicas: config.pfs_replicas.max(1),
                     ..PfsParams::default()
                 },
                 (0..config.pfs_servers).collect(),
@@ -223,11 +224,52 @@ impl ClusterMachine {
         }
     }
 
-    /// Installs a fault schedule. Events are applied lazily: each simulated
-    /// operation first applies every event due by its start instant, so a
-    /// schedule installed before the run plays out deterministically as the
-    /// workload advances the clock.
-    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+    /// Checks a fault schedule against this machine's configuration:
+    /// disk faults must target a member the device layout actually has,
+    /// and PFS server faults must target a deployed server. (The NFS
+    /// export always exists, so `ServerStall` is always applicable.)
+    /// Faults a layout supports structurally but a volume rejects at
+    /// apply time — e.g. `DiskFail` on the JBOD's only member — stay
+    /// log-and-continue, preserving exploratory campaigns.
+    fn validate_faults(&self, schedule: &FaultSchedule) -> Result<(), ConfigError> {
+        let members = match self.config.devices {
+            DeviceLayout::Jbod => 1,
+            DeviceLayout::Raid1 => 2,
+            DeviceLayout::Raid5 { disks, .. } | DeviceLayout::Raid0 { disks, .. } => disks,
+        };
+        for e in schedule.events() {
+            match e.fault {
+                Fault::DiskFail { disk }
+                | Fault::DiskReplace { disk }
+                | Fault::DiskSlow { disk, .. }
+                | Fault::DiskRecover { disk } => {
+                    if disk >= members {
+                        return Err(ConfigError::FaultDiskOutOfRange { disk, members });
+                    }
+                }
+                Fault::PfsServerFail { server }
+                | Fault::PfsServerRecover { server }
+                | Fault::PfsServerSlow { server, .. } => {
+                    if server >= self.config.pfs_servers {
+                        return Err(ConfigError::FaultPfsServerOutOfRange {
+                            server,
+                            servers: self.config.pfs_servers,
+                        });
+                    }
+                }
+                Fault::ServerStall { .. } | Fault::NetDegrade { .. } | Fault::NetHeal { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs a fault schedule, validating it against the configuration
+    /// first (see [`Self::validate_faults`]). Events are applied lazily:
+    /// each simulated operation first applies every event due by its start
+    /// instant, so a schedule installed before the run plays out
+    /// deterministically as the workload advances the clock.
+    pub fn install_faults(&mut self, schedule: FaultSchedule) -> Result<(), ConfigError> {
+        self.validate_faults(&schedule)?;
         self.faults = schedule;
         self.fault_cursor = 0;
         // Tell the server volume when the next fault is due: any transfer
@@ -236,6 +278,7 @@ impl ClusterMachine {
         // would have pre-optimization.
         let horizon = self.faults.next_at(0);
         self.server.fs_mut().volume_mut().set_fault_horizon(horizon);
+        Ok(())
     }
 
     /// The applied-fault / surfaced-error trace: `(instant, description)`.
@@ -248,9 +291,21 @@ impl ClusterMachine {
         self.io_errors
     }
 
-    /// Total RPC retransmissions across every NFS mount.
+    /// Total RPC retransmissions across every NFS mount and the PFS
+    /// clients' dead-server detection.
     pub fn client_retries(&self) -> u64 {
-        self.clients.iter().map(|c| c.retries()).sum()
+        self.clients.iter().map(|c| c.retries()).sum::<u64>()
+            + self.pfs.as_ref().map_or(0, |p| p.retries())
+    }
+
+    /// PFS spans served by a surviving replica after a server failure.
+    pub fn pfs_failovers(&self) -> u64 {
+        self.pfs.as_ref().map_or(0, |p| p.failovers())
+    }
+
+    /// Bytes replayed onto recovered PFS servers.
+    pub fn pfs_resync_bytes(&self) -> u64 {
+        self.pfs.as_ref().map_or(0, |p| p.resync_bytes())
     }
 
     /// Remounts every NFS client with a different retry discipline (e.g.
@@ -314,9 +369,12 @@ impl ClusterMachine {
                 Fault::DiskReplace { .. } => "disk_replace",
                 Fault::DiskSlow { .. } => "disk_slow",
                 Fault::DiskRecover { .. } => "disk_recover",
-                Fault::ServerStall { .. } => "server_stall",
+                Fault::ServerStall { .. } => "nfs_server_stall",
                 Fault::NetDegrade { .. } => "net_degrade",
                 Fault::NetHeal { .. } => "net_heal",
+                Fault::PfsServerFail { .. } => "pfs_server_fail",
+                Fault::PfsServerRecover { .. } => "pfs_server_recover",
+                Fault::PfsServerSlow { .. } => "pfs_server_slow",
             },
             at: now,
         });
@@ -350,8 +408,41 @@ impl ClusterMachine {
                 self.server.stall(now, duration);
                 self.fault_log.push((
                     now,
-                    format!("server stalled for {:.3}s", duration.as_secs_f64()),
+                    format!("nfs server stalled for {:.3}s", duration.as_secs_f64()),
                 ));
+            }
+            Fault::PfsServerFail { server } => {
+                let pfs = self
+                    .pfs
+                    .as_mut()
+                    .expect("PFS faults are validated at install time");
+                pfs.fail_server(server);
+                self.fault_log
+                    .push((now, format!("pfs server {server} failed")));
+            }
+            Fault::PfsServerRecover { server } => {
+                let net = &mut self.net;
+                let pfs = self
+                    .pfs
+                    .as_mut()
+                    .expect("PFS faults are validated at install time");
+                let (done, bytes) = pfs.recover_server(net, now, server);
+                self.fault_log.push((
+                    now,
+                    format!(
+                        "pfs server {server} recovered; resynced {bytes} B by {:.3}s",
+                        done.as_secs_f64()
+                    ),
+                ));
+            }
+            Fault::PfsServerSlow { server, factor } => {
+                let pfs = self
+                    .pfs
+                    .as_mut()
+                    .expect("PFS faults are validated at install time");
+                pfs.set_server_slow(server, factor);
+                self.fault_log
+                    .push((now, format!("pfs server {server} slowed {factor}x")));
             }
             Fault::NetDegrade {
                 class,
@@ -376,6 +467,13 @@ impl ClusterMachine {
     /// Records a surfaced I/O error and returns the instant the caller's
     /// clock resumes (failed operations cost their timeout budget).
     fn note_error(&mut self, e: NfsError) -> Time {
+        self.io_errors += 1;
+        self.fault_log.push((e.at(), e.to_string()));
+        e.at()
+    }
+
+    /// Same, for a degraded-mode PFS failure (every replica holder down).
+    fn note_pfs_error(&mut self, e: PfsError) -> Time {
         self.io_errors += 1;
         self.fault_log.push((e.at(), e.to_string()));
         e.at()
@@ -500,7 +598,10 @@ impl Machine for ClusterMachine {
             Mount::Pfs => {
                 let net = &mut self.net;
                 let pfs = self.pfs.as_mut().expect("PFS not deployed");
-                pfs.open(net, node, now, file, create)
+                match pfs.open(net, node, now, file, create) {
+                    Ok(t) => t,
+                    Err(e) => self.note_pfs_error(e),
+                }
             }
             Mount::Local => {
                 if create && self.local[node].file_size(file) == 0 {
@@ -539,7 +640,10 @@ impl Machine for ClusterMachine {
             Mount::Pfs => {
                 let net = &mut self.net;
                 let pfs = self.pfs.as_mut().expect("PFS not deployed");
-                pfs.close(net, node, now, file)
+                match pfs.close(net, node, now, file) {
+                    Ok(t) => t,
+                    Err(e) => self.note_pfs_error(e),
+                }
             }
             Mount::Local => self.local[node].close(now, file),
             Mount::ServerLocal => self.server.fs_mut().close(now, file),
@@ -576,7 +680,10 @@ impl Machine for ClusterMachine {
             Mount::Pfs => {
                 let net = &mut self.net;
                 let pfs = self.pfs.as_mut().expect("PFS not deployed");
-                pfs.read(net, node, now, file, offset, len)
+                match pfs.read(net, node, now, file, offset, len) {
+                    Ok(t) => t,
+                    Err(e) => self.note_pfs_error(e),
+                }
             }
             Mount::Local => self.local[node].read(now, file, offset, len),
             Mount::ServerLocal => self.server.fs_mut().read(now, file, offset, len),
@@ -616,7 +723,10 @@ impl Machine for ClusterMachine {
             Mount::Pfs => {
                 let net = &mut self.net;
                 let pfs = self.pfs.as_mut().expect("PFS not deployed");
-                pfs.write(net, node, now, file, offset, len)
+                match pfs.write(net, node, now, file, offset, len) {
+                    Ok(t) => t,
+                    Err(e) => self.note_pfs_error(e),
+                }
             }
             Mount::Local => self.local[node].write(now, file, offset, len),
             Mount::ServerLocal => self.server.fs_mut().write(now, file, offset, len),
@@ -635,7 +745,10 @@ impl Machine for ClusterMachine {
             Mount::Pfs => {
                 let net = &mut self.net;
                 let pfs = self.pfs.as_mut().expect("PFS not deployed");
-                pfs.sync(net, node, now, file)
+                match pfs.sync(net, node, now, file) {
+                    Ok(t) => t,
+                    Err(e) => self.note_pfs_error(e),
+                }
             }
             Mount::Local => self.local[node].fsync(now, file),
             Mount::ServerLocal => self.server.fs_mut().fsync(now, file),
@@ -883,10 +996,12 @@ mod tests {
 
         let mut degraded =
             ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
-        degraded.install_faults(FaultSchedule::new(vec![FaultEvent {
-            at: Time::ZERO,
-            fault: Fault::DiskFail { disk: 2 },
-        }]));
+        degraded
+            .install_faults(FaultSchedule::new(vec![FaultEvent {
+                at: Time::ZERO,
+                fault: Fault::DiskFail { disk: 2 },
+            }]))
+            .expect("valid fault schedule");
         let degraded_rate = read_rate(&mut degraded, total);
         assert_eq!(degraded.fault_log().len(), 1);
         assert!(
@@ -911,7 +1026,8 @@ mod tests {
                 at: Time::from_secs(2),
                 fault: Fault::DiskReplace { disk: 0 },
             },
-        ]));
+        ]))
+        .expect("valid fault schedule");
         let rate = stream_rate(&mut m, 1024 * MIB);
         assert!(rate > 0.0);
         let report = m.rebuild_report().expect("rebuild must have started");
@@ -929,7 +1045,8 @@ mod tests {
         m.install_faults(FaultSchedule::new(vec![FaultEvent {
             at: Time::ZERO,
             fault: Fault::DiskFail { disk: 0 },
-        }]));
+        }]))
+        .expect("in-range member of the single-disk JBOD");
         m.mount(F, Mount::Nfs);
         let t = m.io_open(Time::ZERO, 0, F, true);
         assert!(t > Time::ZERO);
@@ -954,7 +1071,8 @@ mod tests {
             fault: Fault::ServerStall {
                 duration: Time::from_secs(600),
             },
-        }]));
+        }]))
+        .expect("valid fault schedule");
         let t = m.io_read(Time::from_millis(1), 0, F, 0, MIB);
         assert_eq!(m.io_errors(), 1, "log: {:?}", m.fault_log());
         assert!(m.client_retries() >= 2);
@@ -1006,11 +1124,11 @@ mod tests {
         let total = 1024 * MIB;
 
         let mut fast = ClusterMachine::try_new(&spec, &config).expect("valid config");
-        fast.install_faults(faults());
+        fast.install_faults(faults()).expect("valid fault schedule");
         let fast_trace = stream_trace(&mut fast, total);
 
         let mut gran = ClusterMachine::try_new(&spec, &config).expect("valid config");
-        gran.install_faults(faults());
+        gran.install_faults(faults()).expect("valid fault schedule");
         gran.server_mut()
             .fs_mut()
             .volume_mut()
@@ -1031,6 +1149,139 @@ mod tests {
     }
 
     #[test]
+    fn install_faults_rejects_out_of_range_disk_member() {
+        let mut m = machine(); // JBOD server: exactly one member
+        let err = m
+            .install_faults(FaultSchedule::new(vec![FaultEvent {
+                at: Time::ZERO,
+                fault: Fault::DiskFail { disk: 1 },
+            }]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::config::ConfigError::FaultDiskOutOfRange {
+                disk: 1,
+                members: 1
+            }
+        );
+        // The rejected schedule was not installed.
+        m.mount(F, Mount::Nfs);
+        m.io_open(Time::ZERO, 0, F, true);
+        assert!(m.fault_log().is_empty());
+    }
+
+    #[test]
+    fn install_faults_rejects_pfs_faults_without_a_deployment() {
+        let mut m = machine(); // pfs_servers == 0
+        let err = m
+            .install_faults(FaultSchedule::new(vec![FaultEvent {
+                at: Time::ZERO,
+                fault: Fault::PfsServerFail { server: 0 },
+            }]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::config::ConfigError::FaultPfsServerOutOfRange {
+                server: 0,
+                servers: 0
+            }
+        );
+
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).pfs(2).build();
+        let mut m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
+        let err = m
+            .install_faults(FaultSchedule::new(vec![FaultEvent {
+                at: Time::ZERO,
+                fault: Fault::PfsServerSlow {
+                    server: 2,
+                    factor: 4.0,
+                },
+            }]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::config::ConfigError::FaultPfsServerOutOfRange {
+                server: 2,
+                servers: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn pfs_server_failure_fails_over_and_resyncs_through_machine() {
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod)
+            .pfs(2)
+            .pfs_replicas(2)
+            .build();
+        let mut m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
+        m.install_faults(FaultSchedule::new(vec![
+            FaultEvent {
+                at: Time::from_micros(1),
+                fault: Fault::PfsServerFail { server: 1 },
+            },
+            FaultEvent {
+                at: Time::from_secs(30),
+                fault: Fault::PfsServerRecover { server: 1 },
+            },
+        ]))
+        .expect("valid fault schedule");
+        m.mount(F, Mount::Pfs);
+        let t = m.io_open(Time::ZERO, 3, F, true);
+        // The write hits both servers; server 1 is dead, so its replica
+        // spans burn the detection budget and are owed for resync. Every
+        // byte still lands on the surviving holder.
+        let t = m.io_write(t, 3, F, 0, 4 * MIB);
+        assert_eq!(m.pfs().unwrap().meter().writes.bytes(), 4 * MIB);
+        assert_eq!(
+            m.io_errors(),
+            0,
+            "degraded, not failed: {:?}",
+            m.fault_log()
+        );
+        assert!(m.client_retries() > 0, "detection retransmissions count");
+        // Reads in the outage are served by the survivor (failover).
+        let t2 = m.io_read(t, 3, F, 0, 4 * MIB);
+        assert!(t2 > t);
+        assert!(m.pfs_failovers() > 0, "log: {:?}", m.fault_log());
+        // Settle the scheduled recovery: the missed writes are replayed.
+        m.apply_faults_up_to(Time::from_secs(31));
+        assert!(m.pfs_resync_bytes() > 0, "log: {:?}", m.fault_log());
+        assert_eq!(m.pfs().unwrap().resyncs(), 1);
+        // Post-recovery the filesystem serves reads again, fault-free.
+        let errors = m.io_errors();
+        let t3 = m.io_read(Time::from_secs(40), 3, F, 0, 4 * MIB);
+        assert!(t3 > Time::from_secs(40));
+        assert_eq!(m.io_errors(), errors);
+    }
+
+    #[test]
+    fn pfs_outage_without_replicas_surfaces_counted_errors() {
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).pfs(2).build();
+        let mut m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
+        m.install_faults(FaultSchedule::new(vec![FaultEvent {
+            at: Time::from_micros(1),
+            fault: Fault::PfsServerFail { server: 1 },
+        }]))
+        .expect("valid fault schedule");
+        m.mount(F, Mount::Pfs);
+        m.preallocate(F, 4 * MIB);
+        let t = m.io_open(Time::ZERO, 3, F, false);
+        // Unreplicated: spans on the dead server are unavailable; the
+        // operation surfaces as a counted, typed error, not a panic.
+        let t2 = m.io_read(t.max(Time::from_millis(1)), 3, F, 0, 4 * MIB);
+        assert!(t2 > t);
+        assert_eq!(m.io_errors(), 1, "log: {:?}", m.fault_log());
+        assert!(
+            m.fault_log().iter().any(|(_, l)| l.contains("unavailable")),
+            "log: {:?}",
+            m.fault_log()
+        );
+    }
+
+    #[test]
     fn network_degradation_slows_mpi_traffic() {
         let spec = presets::test_cluster();
         let config = IoConfigBuilder::new(DeviceLayout::Jbod).build();
@@ -1044,7 +1295,8 @@ mod tests {
                 drop: 1.0,
                 duplicate: 0.0,
             },
-        }]));
+        }]))
+        .expect("valid fault schedule");
         let lossy = m.mpi_send(Time::ZERO, 0, 1, 4 * MIB) - Time::ZERO;
         assert!(
             lossy.as_secs_f64() > clean.as_secs_f64() * 1.5,

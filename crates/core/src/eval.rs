@@ -79,6 +79,24 @@ pub enum FaultScenario {
         /// When the hot-spare arrives and the resilver starts.
         replace_at: Time,
     },
+    /// A PFS I/O server fails at `at` and never comes back: reads and
+    /// writes fail over to surviving replica holders for the whole run.
+    PfsDegraded {
+        /// Index of the failing PFS server.
+        server: usize,
+        /// When the server fails.
+        at: Time,
+    },
+    /// A PFS I/O server fails at `fail_at` and recovers at `recover_at`:
+    /// the recovered server resyncs the writes it missed.
+    PfsRecovered {
+        /// Index of the failing PFS server.
+        server: usize,
+        /// When the server fails.
+        fail_at: Time,
+        /// When the server comes back and the resync runs.
+        recover_at: Time,
+    },
     /// Any explicit schedule (stall windows, limping disks, lossy
     /// networks, ...), with a label for the report.
     Custom {
@@ -96,6 +114,8 @@ impl FaultScenario {
             FaultScenario::Healthy => "healthy",
             FaultScenario::Degraded { .. } => "degraded",
             FaultScenario::Rebuilding { .. } => "rebuilding",
+            FaultScenario::PfsDegraded { .. } => "pfs-degraded",
+            FaultScenario::PfsRecovered { .. } => "pfs-recovered",
             FaultScenario::Custom { label, .. } => label,
         }
     }
@@ -120,6 +140,24 @@ impl FaultScenario {
                 FaultEvent {
                     at: *replace_at,
                     fault: Fault::DiskReplace { disk: *disk },
+                },
+            ]),
+            FaultScenario::PfsDegraded { server, at } => FaultSchedule::new(vec![FaultEvent {
+                at: *at,
+                fault: Fault::PfsServerFail { server: *server },
+            }]),
+            FaultScenario::PfsRecovered {
+                server,
+                fail_at,
+                recover_at,
+            } => FaultSchedule::new(vec![
+                FaultEvent {
+                    at: *fail_at,
+                    fault: Fault::PfsServerFail { server: *server },
+                },
+                FaultEvent {
+                    at: *recover_at,
+                    fault: Fault::PfsServerRecover { server: *server },
                 },
             ]),
             FaultScenario::Custom { schedule, .. } => schedule.clone(),
@@ -236,8 +274,12 @@ pub struct EvalReport {
     pub scenario: String,
     /// I/O operations that exhausted their NFS retry budget.
     pub io_errors: u64,
-    /// NFS RPC retransmissions across all clients.
+    /// RPC retransmissions across all clients (NFS and PFS).
     pub client_retries: u64,
+    /// PFS operations that fell back to a surviving replica holder.
+    pub pfs_failovers: u64,
+    /// Bytes replayed to recovered PFS servers by background resync.
+    pub pfs_resync_bytes: u64,
     /// Rebuild progress, if the scenario replaced a failed member. The
     /// rebuild is driven to completion after the workload finishes, so
     /// `finished` is always set and `duration` reports the full window.
@@ -248,11 +290,11 @@ pub struct EvalReport {
     pub notes: Vec<EvalNote>,
 }
 
-// Serialization is hand-written (not derived) for one reason: `notes` is
-// omitted when empty. Healthy runs therefore serialize byte-identically
-// to reports produced before the field existed, which keeps persisted
-// campaign checkpoints stable, and older checkpoint payloads (no `notes`
-// key) still deserialize.
+// Serialization is hand-written (not derived) for one reason: `notes`,
+// `pfs_failovers`, and `pfs_resync_bytes` are omitted when empty/zero.
+// Fault-free runs therefore serialize byte-identically to reports produced
+// before the fields existed, which keeps persisted campaign checkpoints
+// stable, and older checkpoint payloads (no such keys) still deserialize.
 impl Serialize for EvalReport {
     fn to_value(&self) -> serde::Value {
         let mut m = serde::Map::new();
@@ -269,6 +311,15 @@ impl Serialize for EvalReport {
         m.insert("scenario", Serialize::to_value(&self.scenario));
         m.insert("io_errors", Serialize::to_value(&self.io_errors));
         m.insert("client_retries", Serialize::to_value(&self.client_retries));
+        if self.pfs_failovers != 0 {
+            m.insert("pfs_failovers", Serialize::to_value(&self.pfs_failovers));
+        }
+        if self.pfs_resync_bytes != 0 {
+            m.insert(
+                "pfs_resync_bytes",
+                Serialize::to_value(&self.pfs_resync_bytes),
+            );
+        }
         m.insert("rebuild", Serialize::to_value(&self.rebuild));
         if !self.notes.is_empty() {
             m.insert("notes", Serialize::to_value(&self.notes));
@@ -294,6 +345,14 @@ impl Deserialize for EvalReport {
             scenario: Deserialize::from_value(field("scenario"))?,
             io_errors: Deserialize::from_value(field("io_errors"))?,
             client_retries: Deserialize::from_value(field("client_retries"))?,
+            pfs_failovers: match field("pfs_failovers") {
+                serde::Value::Null => 0,
+                other => Deserialize::from_value(other)?,
+            },
+            pfs_resync_bytes: match field("pfs_resync_bytes") {
+                serde::Value::Null => 0,
+                other => Deserialize::from_value(other)?,
+            },
             rebuild: Deserialize::from_value(field("rebuild"))?,
             notes: match field("notes") {
                 serde::Value::Null => Vec::new(),
@@ -442,7 +501,7 @@ pub fn evaluate(
     let app = scenario.name.clone();
     let ranks = scenario.ranks();
     let mut machine = ClusterMachine::try_new(spec, config)?;
-    machine.install_faults(opts.faults.schedule());
+    machine.install_faults(opts.faults.schedule())?;
     let programs = scenario.install(&mut machine);
     let placement = opts
         .placement
@@ -464,12 +523,21 @@ pub fn evaluate(
     let profile = sink.finish();
 
     // Settle faults scheduled after the last I/O op (e.g. a replacement
-    // arriving once the workload is quiescent), then let any in-progress
-    // resilver drain so the report shows a finite rebuild window.
-    machine.apply_faults_up_to(profile.exec_time);
+    // or PFS server recovery arriving once the workload is quiescent),
+    // then let any in-progress resilver drain so the report shows a
+    // finite rebuild window.
+    let settle_at = opts
+        .faults
+        .schedule()
+        .events()
+        .iter()
+        .map(|e| e.at)
+        .max()
+        .map_or(profile.exec_time, |last| last.max(profile.exec_time));
+    machine.apply_faults_up_to(settle_at);
     let rebuild = match machine.rebuild_report() {
         Some(r) if r.finished.is_none() => {
-            machine.finish_rebuild(profile.exec_time);
+            machine.finish_rebuild(settle_at);
             machine.rebuild_report()
         }
         other => other,
@@ -492,6 +560,8 @@ pub fn evaluate(
         scenario: opts.faults.label().to_string(),
         io_errors: machine.io_errors(),
         client_retries: machine.client_retries(),
+        pfs_failovers: machine.pfs_failovers(),
+        pfs_resync_bytes: machine.pfs_resync_bytes(),
         rebuild,
         notes,
     })
@@ -783,6 +853,27 @@ mod tests {
             schedule: FaultSchedule::none(),
         };
         assert_eq!(c.label(), "stall 2s");
+        let pd = FaultScenario::PfsDegraded {
+            server: 1,
+            at: Time::from_secs(1),
+        };
+        assert_eq!(pd.label(), "pfs-degraded");
+        assert!(matches!(
+            pd.schedule().events()[0].fault,
+            simcore::Fault::PfsServerFail { server: 1 }
+        ));
+        let pr = FaultScenario::PfsRecovered {
+            server: 1,
+            fail_at: Time::from_secs(1),
+            recover_at: Time::from_secs(3),
+        };
+        assert_eq!(pr.label(), "pfs-recovered");
+        let events = pr.schedule().events().to_vec();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[1].fault,
+            simcore::Fault::PfsServerRecover { server: 1 }
+        ));
     }
 
     fn ior_read_eval(faults: FaultScenario) -> EvalReport {
@@ -796,6 +887,88 @@ mod tests {
         };
         evaluate(&spec, &config, ior.scenario(), &fake_tables(100), &opts)
             .expect("evaluation succeeds")
+    }
+
+    fn pfs_ior_eval(faults: FaultScenario) -> EvalReport {
+        use cluster::Mount;
+        use workloads::{Ior, IorOp};
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::raid5_paper())
+            .pfs(2)
+            .pfs_replicas(2)
+            .build();
+        let ior = Ior::new(4, fs::FileId(43), 32 * MIB, IorOp::Write).on(Mount::Pfs);
+        let opts = EvalOptions {
+            faults,
+            ..EvalOptions::default()
+        };
+        evaluate(&spec, &config, ior.scenario(), &fake_tables(100), &opts)
+            .expect("evaluation succeeds")
+    }
+
+    #[test]
+    fn pfs_degraded_eval_fails_over_without_losing_bytes() {
+        let healthy = pfs_ior_eval(FaultScenario::Healthy);
+        assert_eq!(healthy.io_errors, 0);
+        assert_eq!(healthy.client_retries, 0);
+        assert_eq!(healthy.pfs_failovers, 0);
+        let degraded = pfs_ior_eval(FaultScenario::PfsDegraded {
+            server: 1,
+            at: Time::from_millis(1),
+        });
+        assert_eq!(degraded.scenario, "pfs-degraded");
+        assert_eq!(degraded.io_errors, 0, "replicas absorb the outage");
+        assert!(
+            degraded.client_retries > 0,
+            "detection burns a retry budget"
+        );
+        assert_eq!(
+            degraded.profile.bytes_written, healthy.profile.bytes_written,
+            "every workload byte lands despite the dead server"
+        );
+    }
+
+    #[test]
+    fn pfs_recovered_eval_reports_resynced_bytes() {
+        let report = pfs_ior_eval(FaultScenario::PfsRecovered {
+            server: 1,
+            fail_at: Time::from_millis(1),
+            recover_at: Time::from_secs(3600),
+        });
+        assert_eq!(report.scenario, "pfs-recovered");
+        assert_eq!(report.io_errors, 0);
+        assert!(
+            report.pfs_resync_bytes > 0,
+            "the recovered server must replay missed writes"
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"pfs_resync_bytes\""), "{json}");
+        let back: EvalReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.pfs_resync_bytes, report.pfs_resync_bytes);
+    }
+
+    #[test]
+    fn pfs_fault_on_nonpfs_config_is_a_typed_eval_error() {
+        use workloads::{Ior, IorOp};
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::raid5_paper()).build();
+        let ior = Ior::new(2, fs::FileId(44), MIB, IorOp::Write);
+        let opts = EvalOptions {
+            faults: FaultScenario::PfsDegraded {
+                server: 0,
+                at: Time::ZERO,
+            },
+            ..EvalOptions::default()
+        };
+        let err = evaluate(&spec, &config, ior.scenario(), &fake_tables(100), &opts)
+            .expect_err("PFS fault without a PFS deployment must fail");
+        assert!(
+            matches!(
+                err,
+                EvalError::Config(ConfigError::FaultPfsServerOutOfRange { .. })
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

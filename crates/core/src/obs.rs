@@ -106,6 +106,14 @@ pub struct ObsMetrics {
     pub bulk_runs: u64,
     /// Storage runs that fell back to the event-granular loop.
     pub granular_runs: u64,
+    /// PFS client RPC retransmissions.
+    pub pfs_retries: u64,
+    /// PFS spans served by a surviving replica after a server failure.
+    pub pfs_failovers: u64,
+    /// Recovered-PFS-server catch-up episodes.
+    pub pfs_resyncs: u64,
+    /// Bytes replayed onto recovered PFS servers.
+    pub pfs_resync_bytes: u64,
     /// Fault-schedule events applied.
     pub faults: u64,
 }
@@ -161,6 +169,12 @@ impl ObsMetrics {
             } => {
                 self.level(IoLevel::LocalFs).record(bytes, start, end);
             }
+            ObsEvent::PfsRetry { .. } => self.pfs_retries += 1,
+            ObsEvent::PfsFailover { .. } => self.pfs_failovers += 1,
+            ObsEvent::PfsResync { bytes, .. } => {
+                self.pfs_resyncs += 1;
+                self.pfs_resync_bytes += bytes;
+            }
             ObsEvent::FaultApplied { .. } => self.faults += 1,
         }
     }
@@ -182,6 +196,10 @@ impl ObsMetrics {
         self.net_messages += other.net_messages;
         self.bulk_runs += other.bulk_runs;
         self.granular_runs += other.granular_runs;
+        self.pfs_retries += other.pfs_retries;
+        self.pfs_failovers += other.pfs_failovers;
+        self.pfs_resyncs += other.pfs_resyncs;
+        self.pfs_resync_bytes += other.pfs_resync_bytes;
         self.faults += other.faults;
     }
 
@@ -440,6 +458,15 @@ pub fn render_obs_metrics(m: &ObsMetrics, elapsed: Time) -> String {
         m.granular_runs,
         m.faults,
     ));
+    if m.pfs_retries + m.pfs_failovers + m.pfs_resyncs > 0 {
+        out.push_str(&format!(
+            "pfs: retries {}; failovers {}; resyncs {} ({})\n",
+            m.pfs_retries,
+            m.pfs_failovers,
+            m.pfs_resyncs,
+            fmt_bytes(m.pfs_resync_bytes),
+        ));
+    }
     out
 }
 
@@ -552,6 +579,29 @@ fn event_jsonl(ev: &ObsEvent) -> String {
         } => format!(
             "{{\"kind\":\"{kind}\",\"volume\":\"{}\",\"write\":{write},\"bytes\":{bytes},\"start_ns\":{},\"end_ns\":{}}}",
             esc(volume),
+            start.as_nanos(),
+            end.as_nanos()
+        ),
+        ObsEvent::PfsRetry {
+            op,
+            server,
+            at,
+            attempt,
+        } => format!(
+            "{{\"kind\":\"{kind}\",\"op\":\"{op}\",\"server\":{server},\"at_ns\":{},\"attempt\":{attempt}}}",
+            at.as_nanos()
+        ),
+        ObsEvent::PfsFailover { op, from, to, at } => format!(
+            "{{\"kind\":\"{kind}\",\"op\":\"{op}\",\"from\":{from},\"to\":{to},\"at_ns\":{}}}",
+            at.as_nanos()
+        ),
+        ObsEvent::PfsResync {
+            server,
+            bytes,
+            start,
+            end,
+        } => format!(
+            "{{\"kind\":\"{kind}\",\"server\":{server},\"bytes\":{bytes},\"start_ns\":{},\"end_ns\":{}}}",
             start.as_nanos(),
             end.as_nanos()
         ),
@@ -691,6 +741,36 @@ fn chrome_event(ev: &ObsEvent, prefix: &str) -> String {
             format!("{prefix}{} io", esc(volume)),
             4,
             usize::from(write),
+            start,
+            end,
+            format!("\"bytes\":{bytes}"),
+        ),
+        ObsEvent::PfsRetry {
+            op,
+            server,
+            at,
+            attempt,
+        } => instant(
+            format!("{prefix}pfs retry {op}"),
+            3,
+            at,
+            format!("\"server\":{server},\"attempt\":{attempt}"),
+        ),
+        ObsEvent::PfsFailover { op, from, to, at } => instant(
+            format!("{prefix}pfs failover {op}"),
+            3,
+            at,
+            format!("\"from\":{from},\"to\":{to}"),
+        ),
+        ObsEvent::PfsResync {
+            server,
+            bytes,
+            start,
+            end,
+        } => complete(
+            format!("{prefix}pfs resync"),
+            3,
+            server,
             start,
             end,
             format!("\"bytes\":{bytes}"),

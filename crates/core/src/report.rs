@@ -223,8 +223,9 @@ pub fn render_phase_timeline(p: &AppProfile, width: usize) -> String {
 
 /// Renders the resilience comparison: the same workload under each fault
 /// scenario, with throughput retained relative to the first (healthy) row,
-/// surfaced I/O errors / RPC retransmissions, and the rebuild window.
-/// Pass the healthy run first — it is the 100% baseline.
+/// surfaced I/O errors / RPC retransmissions, PFS replica failovers and
+/// resynced bytes, and the rebuild window. Pass the healthy run first — it
+/// is the 100% baseline.
 pub fn render_resilience_table(reports: &[&EvalReport]) -> String {
     let retained = |rate: simcore::Bandwidth, base: simcore::Bandwidth| {
         if base.bytes_per_sec() == 0 {
@@ -245,6 +246,8 @@ pub fn render_resilience_table(reports: &[&EvalReport]) -> String {
         "r_retained",
         "io_errors",
         "retries",
+        "failovers",
+        "resync",
         "rebuild",
     ]);
     let base = reports.first();
@@ -269,6 +272,12 @@ pub fn render_resilience_table(reports: &[&EvalReport]) -> String {
             r_ret,
             format!("{}", r.io_errors),
             format!("{}", r.client_retries),
+            format!("{}", r.pfs_failovers),
+            if r.pfs_resync_bytes == 0 {
+                "-".to_string()
+            } else {
+                simcore::fmt_bytes(r.pfs_resync_bytes)
+            },
             rebuild,
         ]);
     }
@@ -412,6 +421,8 @@ mod tests {
             scenario: scenario.to_string(),
             io_errors: 0,
             client_retries: 0,
+            pfs_failovers: 0,
+            pfs_resync_bytes: 0,
             rebuild,
             notes: Vec::new(),
         };
@@ -435,6 +446,17 @@ mod tests {
         assert!(s.contains("6.000s"), "rebuild window: {s}");
         // The degraded/no-rebuild rows render a dash.
         assert!(s.lines().nth(2).unwrap().trim_end().ends_with('-'), "{s}");
+
+        // PFS rows surface failovers and resynced bytes.
+        let mut pfs_degraded = report("pfs-degraded", 80, None);
+        pfs_degraded.pfs_failovers = 12;
+        let mut pfs_recovered = report("pfs-recovered", 90, None);
+        pfs_recovered.pfs_failovers = 4;
+        pfs_recovered.pfs_resync_bytes = 2 * MIB;
+        let s = render_resilience_table(&[&healthy, &pfs_degraded, &pfs_recovered]);
+        assert!(s.contains("failovers"), "{s}");
+        assert!(s.contains("12"), "degraded failover count: {s}");
+        assert!(s.contains("2MiB"), "resynced bytes: {s}");
     }
 
     #[test]

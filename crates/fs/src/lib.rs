@@ -35,5 +35,5 @@ pub mod range_cache;
 pub use file::FileId;
 pub use local::{LocalFs, LocalFsParams};
 pub use nfs::{NfsClient, NfsClientParams, NfsError, NfsRetryParams, NfsServer, NfsServerParams};
-pub use pfs::{PfsParams, PfsSystem};
+pub use pfs::{PfsError, PfsParams, PfsSystem};
 pub use range_cache::RangeCache;

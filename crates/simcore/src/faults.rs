@@ -52,11 +52,33 @@ pub enum Fault {
         /// Member index within the server volume.
         disk: usize,
     },
-    /// The NFS server stops dispatching RPCs for `duration` (daemon pause,
-    /// failover window, deep firmware hiccup).
+    /// The cluster's **NFS server** (the I/O node's `nfsd` pool) stops
+    /// dispatching RPCs for `duration` (daemon pause, failover window, deep
+    /// firmware hiccup). Targets only the NFS export — parallel-filesystem
+    /// I/O servers have their own `PfsServer*` faults.
     ServerStall {
         /// Length of the stall window.
         duration: Time,
+    },
+    /// A parallel-filesystem I/O server crashes: it stops answering RPCs
+    /// and stays down until a matching [`Fault::PfsServerRecover`].
+    PfsServerFail {
+        /// PFS I/O server index (`0 .. pfs_servers`).
+        server: usize,
+    },
+    /// A crashed PFS I/O server rejoins and resyncs the writes it missed
+    /// from its surviving replica peers (storage-class catch-up traffic).
+    PfsServerRecover {
+        /// PFS I/O server index.
+        server: usize,
+    },
+    /// A PFS I/O server limps: its RPC dispatch and disk service times are
+    /// multiplied by `factor` (1.0 restores nominal service).
+    PfsServerSlow {
+        /// PFS I/O server index.
+        server: usize,
+        /// Service-time multiplier (> 1.0 slows the server down).
+        factor: f64,
     },
     /// A traffic class starts dropping and/or duplicating messages.
     NetDegrade {
@@ -104,6 +126,18 @@ pub struct FaultProfile {
     pub server_stalls: usize,
     /// Length of each drawn stall window.
     pub stall_duration: Time,
+    /// PFS I/O servers eligible for failure/slow-down (0 disables the
+    /// PFS draws entirely).
+    pub pfs_servers: usize,
+    /// PFS server crashes to draw (each followed by a recovery after
+    /// `pfs_recover_after`, if nonzero).
+    pub pfs_failures: usize,
+    /// Delay between a drawn PFS server crash and its recovery
+    /// (`Time::ZERO` leaves the server down for the rest of the run).
+    pub pfs_recover_after: Time,
+    /// Limping-PFS-server episodes to draw (reusing `slow_factor` and
+    /// `slow_duration`).
+    pub pfs_slowdowns: usize,
 }
 
 impl Default for FaultProfile {
@@ -117,6 +151,10 @@ impl Default for FaultProfile {
             slow_duration: Time::from_secs(5),
             server_stalls: 0,
             stall_duration: Time::from_millis(500),
+            pfs_servers: 0,
+            pfs_failures: 0,
+            pfs_recover_after: Time::ZERO,
+            pfs_slowdowns: 0,
         }
     }
 }
@@ -184,6 +222,40 @@ impl FaultSchedule {
                 at: draw_at(&mut rng),
                 fault: Fault::ServerStall {
                     duration: profile.stall_duration,
+                },
+            });
+        }
+        // PFS draws come last so profiles without them (every pre-existing
+        // profile) consume the identical RNG sequence as before.
+        for _ in 0..profile.pfs_failures {
+            let at = draw_at(&mut rng);
+            let server = rng.next_below(profile.pfs_servers.max(1) as u64) as usize;
+            events.push(FaultEvent {
+                at,
+                fault: Fault::PfsServerFail { server },
+            });
+            if profile.pfs_recover_after > Time::ZERO {
+                events.push(FaultEvent {
+                    at: at + profile.pfs_recover_after,
+                    fault: Fault::PfsServerRecover { server },
+                });
+            }
+        }
+        for _ in 0..profile.pfs_slowdowns {
+            let at = draw_at(&mut rng);
+            let server = rng.next_below(profile.pfs_servers.max(1) as u64) as usize;
+            events.push(FaultEvent {
+                at,
+                fault: Fault::PfsServerSlow {
+                    server,
+                    factor: profile.slow_factor,
+                },
+            });
+            events.push(FaultEvent {
+                at: at + profile.slow_duration,
+                fault: Fault::PfsServerSlow {
+                    server,
+                    factor: 1.0,
                 },
             });
         }
@@ -315,6 +387,53 @@ mod tests {
         let a2 = FaultSchedule::random_for(7, "bt::JBOD", horizon, &profile);
         assert_eq!(a1, a2);
         assert_ne!(a1, b, "distinct cells draw distinct schedules");
+    }
+
+    #[test]
+    fn pfs_draws_extend_but_do_not_perturb_existing_profiles() {
+        let base = FaultProfile {
+            disks: 5,
+            disk_failures: 1,
+            server_stalls: 1,
+            ..FaultProfile::default()
+        };
+        let horizon = Time::from_secs(60);
+        let a = FaultSchedule::random(7, horizon, &base);
+        // Adding PFS knobs draws *after* every existing loop: the shared
+        // prefix of the schedule is identical event for event.
+        let extended = FaultProfile {
+            pfs_servers: 4,
+            pfs_failures: 2,
+            pfs_recover_after: Time::from_secs(3),
+            pfs_slowdowns: 1,
+            ..base.clone()
+        };
+        let b = FaultSchedule::random(7, horizon, &extended);
+        let from_a: Vec<&FaultEvent> = a.events().iter().collect();
+        let shared: Vec<&FaultEvent> = b
+            .events()
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.fault,
+                    Fault::PfsServerFail { .. }
+                        | Fault::PfsServerRecover { .. }
+                        | Fault::PfsServerSlow { .. }
+                )
+            })
+            .collect();
+        assert_eq!(from_a, shared);
+        // 2 fails + 2 recoveries + 1 slow + 1 un-slow.
+        assert_eq!(b.events().len(), a.events().len() + 6);
+        for e in b.events() {
+            if let Fault::PfsServerFail { server }
+            | Fault::PfsServerRecover { server }
+            | Fault::PfsServerSlow { server, .. } = e.fault
+            {
+                assert!(server < 4);
+            }
+        }
+        assert_eq!(b, FaultSchedule::random(7, horizon, &extended));
     }
 
     #[test]

@@ -125,6 +125,42 @@ pub enum ObsEvent {
         /// Acknowledgement.
         end: Time,
     },
+    /// A PFS client RPC to an unresponsive I/O server was retransmitted
+    /// after a minor timeout.
+    PfsRetry {
+        /// RPC procedure (`"WRITE"`, `"READ"`, `"META"`).
+        op: &'static str,
+        /// The unresponsive I/O server.
+        server: usize,
+        /// When the expired timeout's deadline passed.
+        at: Time,
+        /// The attempt that timed out (1-based).
+        attempt: u32,
+    },
+    /// A PFS span was served by a surviving replica holder after its
+    /// preferred server was declared dead.
+    PfsFailover {
+        /// RPC procedure that failed over (`"READ"`, `"META"`).
+        op: &'static str,
+        /// The dead preferred server.
+        from: usize,
+        /// The surviving replica holder that served the span.
+        to: usize,
+        /// When the failed-over RPC was issued.
+        at: Time,
+    },
+    /// A recovered PFS I/O server caught up the writes it missed from its
+    /// replica peers.
+    PfsResync {
+        /// The recovered server.
+        server: usize,
+        /// Bytes replayed onto it.
+        bytes: u64,
+        /// When the catch-up started.
+        start: Time,
+        /// When the last missed extent was durable again.
+        end: Time,
+    },
     /// A fault-schedule event was applied to the I/O system.
     FaultApplied {
         /// Fault label (`"disk_fail"`, `"disk_replace"`, ...).
@@ -147,6 +183,9 @@ impl ObsEvent {
             ObsEvent::Writeback { .. } => "writeback",
             ObsEvent::StorageRun { .. } => "storage_run",
             ObsEvent::StorageIo { .. } => "storage_io",
+            ObsEvent::PfsRetry { .. } => "pfs_retry",
+            ObsEvent::PfsFailover { .. } => "pfs_failover",
+            ObsEvent::PfsResync { .. } => "pfs_resync",
             ObsEvent::FaultApplied { .. } => "fault",
         }
     }

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Resilience smoke test for the PFS failover path.
+#
+# Drives the `resilience` experiment end to end under its pinned seeds
+# (all RPC jitter is drawn from fixed per-subsystem seeds, so every run
+# is deterministic): the degraded PFS campaign must complete without
+# I/O errors, its render must differ from the nominal RAID-only render,
+# two identical invocations must render byte-identically, and resuming
+# a checkpoint taken mid-campaign must reproduce the uninterrupted
+# output byte for byte.
+#
+# Usage: scripts/resilience_smoke.sh [path-to-repro-binary]
+set -euo pipefail
+
+REPRO="${1:-target/release/repro}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ioeval-resilience-smoke.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+if [[ ! -x "$REPRO" ]]; then
+    echo "resilience_smoke: building repro ..." >&2
+    cargo build --release -p bench --bin repro
+fi
+
+echo "== 1/4 nominal (RAID-only) vs full PFS fault profile ==" >&2
+"$REPRO" --scale quick --pfs-profile none --out "$WORK/nominal.txt" resilience >/dev/null
+"$REPRO" --scale quick --pfs-profile full --out "$WORK/full.txt" resilience >/dev/null
+
+grep -q "pfs-degraded" "$WORK/nominal.txt" && {
+    echo "FAIL: --pfs-profile none still renders PFS rows" >&2
+    exit 1
+}
+for needle in "PFS resilience" "pfs-degraded" "pfs-recovered"; do
+    grep -q "$needle" "$WORK/full.txt" || {
+        echo "FAIL: full profile render lacks '$needle'" >&2
+        exit 1
+    }
+done
+if cmp -s "$WORK/nominal.txt" "$WORK/full.txt"; then
+    echo "FAIL: nominal and degraded renders are identical" >&2
+    exit 1
+fi
+echo "   nominal render is RAID-only, full render adds the PFS rows" >&2
+
+echo "== 2/4 degraded campaign completes cleanly ==" >&2
+# The PFS rows must report zero I/O errors (replicas absorb the outage),
+# nonzero detection retries, and a nonzero resync on the recovered row.
+awk '/^pfs-degraded/ { if ($7 != 0) exit 1 }' "$WORK/full.txt" || {
+    echo "FAIL: degraded run surfaced I/O errors" >&2
+    exit 1
+}
+awk '/^pfs-degraded/ { if ($8 == 0) exit 1 }' "$WORK/full.txt" || {
+    echo "FAIL: degraded run burned no detection retries" >&2
+    exit 1
+}
+awk '/^pfs-recovered/ { if ($10 == "-") exit 1 }' "$WORK/full.txt" || {
+    echo "FAIL: recovered run resynced no bytes" >&2
+    exit 1
+}
+echo "   degraded rows: 0 io_errors, retries burned, resync recorded" >&2
+
+echo "== 3/4 pinned seeds: identical reruns render byte-identically ==" >&2
+"$REPRO" --scale quick --pfs-profile full --out "$WORK/full2.txt" resilience >/dev/null
+if ! diff -u "$WORK/full.txt" "$WORK/full2.txt" >"$WORK/diff-rerun.txt"; then
+    echo "FAIL: two identical invocations rendered differently:" >&2
+    head -50 "$WORK/diff-rerun.txt" >&2
+    exit 1
+fi
+echo "   rerun byte-identical" >&2
+
+echo "== 4/4 mid-campaign checkpoint resume is byte-identical ==" >&2
+"$REPRO" --scale quick --pfs-profile full --checkpoint "$WORK/ckpt" \
+    --out "$WORK/ckpt-run.txt" resilience >/dev/null
+# Drop the whole-experiment artifact so the resume re-renders the
+# campaign from the characterization checkpoints left behind — the
+# mid-failover state a killed run would resume from.
+rm -f "$WORK/ckpt"/exp-*.json
+"$REPRO" --scale quick --pfs-profile full --resume "$WORK/ckpt" \
+    --out "$WORK/resumed.txt" resilience >/dev/null
+if ! diff -u "$WORK/full.txt" "$WORK/resumed.txt" >"$WORK/diff-resume.txt"; then
+    echo "FAIL: checkpoint resume differs from the uninterrupted run:" >&2
+    head -50 "$WORK/diff-resume.txt" >&2
+    exit 1
+fi
+echo "   resume byte-identical" >&2
+
+echo "OK: degraded PFS campaigns complete, diverge from nominal, and resume byte-identically" >&2

@@ -32,6 +32,10 @@ fn preset(name: &str) -> IoConfig {
             .build(),
         "raid1" => IoConfigBuilder::new(DeviceLayout::Raid1).build(),
         "raid5" => IoConfigBuilder::new(DeviceLayout::raid5_paper()).build(),
+        "raid5-pfs4" => IoConfigBuilder::new(DeviceLayout::raid5_paper())
+            .pfs(4)
+            .name("raid5-pfs4")
+            .build(),
         other => panic!("unknown preset {other}"),
     }
 }
@@ -112,10 +116,17 @@ fn golden_raid5_characterization() {
 }
 
 #[test]
+fn golden_raid5_pfs4_characterization() {
+    // The parallel-filesystem deployment the `ioeval` CLI exposes: the
+    // global level resolves through PVFS striping over 4 I/O servers.
+    check_golden("raid5-pfs4");
+}
+
+#[test]
 fn golden_snapshots_cover_every_level() {
     // The snapshots themselves must stay non-trivial: every quick-scale
     // characterization level appears, with at least one row each.
-    for name in ["jbod", "raid1", "raid5"] {
+    for name in ["jbod", "raid1", "raid5", "raid5-pfs4"] {
         let text = std::fs::read_to_string(golden_path(name))
             .unwrap_or_else(|e| panic!("missing golden file for {name}: {e}"));
         for level in IoLevel::ALL {
