@@ -914,6 +914,138 @@ pub fn campaign(r: &mut Repro) -> String {
     )
 }
 
+/// Geometric mean of strictly positive samples (`None` when empty or any
+/// sample is non-positive — a zero phase score voids an IO500 submission
+/// rather than silently inflating the mean).
+fn geomean(vals: &[f64]) -> Option<f64> {
+    if vals.is_empty() || vals.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    Some((vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp())
+}
+
+/// Beyond the paper: an IO500-style flagship run — the bandwidth phases
+/// (ior-easy: large sequential transfers; ior-hard: small 47008-byte
+/// interleaved transfers into a shared file) and the metadata phases
+/// (mdtest-easy: unique directory per rank; mdtest-hard: one shared
+/// directory), executed as one supervised campaign per storage backend
+/// (single NFS node vs replicated PVFS). Each backend's score is the
+/// IO500 composite: the geometric mean of the ior rates (MiB/s), the
+/// geometric mean of the mdtest rates (kIOPS), and the square root of
+/// their product. With a checkpoint directory attached the campaign cells
+/// persist and resume exactly like the `campaign` experiment.
+pub fn io500(r: &mut Repro) -> String {
+    use cluster::{IoConfigBuilder, Mount};
+    use ioeval_core::campaign::{run_campaign_supervised, AppFactory, NoStore};
+    use simcore::MIB;
+    use workloads::{Ior, IorOp, Mdtest};
+
+    let spec = r.aohyper();
+    let (ranks, easy_block, hard_block, files) = match r.scale {
+        crate::context::Scale::Paper => (8usize, 64 * MIB, 8 * MIB, 200usize),
+        crate::context::Scale::Quick => (4, 8 * MIB, MIB, 25),
+    };
+    let backends: [(cluster::IoConfig, Mount); 2] = [
+        (
+            IoConfigBuilder::new(cluster::DeviceLayout::raid5_paper())
+                .name("NFS RAID5")
+                .build(),
+            Mount::NfsDirect,
+        ),
+        (
+            IoConfigBuilder::new(cluster::DeviceLayout::raid5_paper())
+                .pfs(4)
+                .pfs_replicas(2)
+                .name("PVFS x4 r2")
+                .build(),
+            Mount::Pfs,
+        ),
+    ];
+
+    let mut out = String::from(
+        "IO500 — flagship composite: ior bandwidth + mdtest metadata phases per backend:\n",
+    );
+    for (config, mount) in backends {
+        // ior-hard uses the IO500's odd 47008-byte transfers, so the last
+        // transfer of every rank is a ragged remainder.
+        let mut ior_hard_w = Ior::new(ranks, fs::FileId(700), hard_block, IorOp::Write).on(mount);
+        ior_hard_w.transfer = 47_008;
+        let mut ior_hard_r = Ior::new(ranks, fs::FileId(700), hard_block, IorOp::Read).on(mount);
+        ior_hard_r.transfer = 47_008;
+        let ior_easy_w = Ior::new(ranks, fs::FileId(701), easy_block, IorOp::Write).on(mount);
+        let ior_easy_r = Ior::new(ranks, fs::FileId(701), easy_block, IorOp::Read).on(mount);
+        let md_easy = Mdtest::easy(ranks, files).on(mount).base(fs::FileId(6000));
+        let md_hard = Mdtest::hard(ranks, files).on(mount).base(fs::FileId(7000));
+
+        let f_easy_w = || ior_easy_w.scenario();
+        let f_easy_r = || ior_easy_r.scenario();
+        let f_hard_w = || ior_hard_w.scenario();
+        let f_hard_r = || ior_hard_r.scenario();
+        let f_md_easy = || md_easy.scenario();
+        let f_md_hard = || md_hard.scenario();
+        let apps: Vec<AppFactory> = vec![
+            ("ior-easy-write", &f_easy_w),
+            ("ior-easy-read", &f_easy_r),
+            ("ior-hard-write", &f_hard_w),
+            ("ior-hard-read", &f_hard_r),
+            ("mdtest-easy", &f_md_easy),
+            ("mdtest-hard", &f_md_hard),
+        ];
+        let opts = r.charact_options(&spec);
+        let sup = r.supervise_options();
+        let configs = [config];
+        let campaign = match r.cell_store_mut() {
+            Some(store) => run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, store),
+            None => run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, &mut NoStore),
+        };
+
+        let mut t = TextTable::new(vec!["phase", "result"]);
+        let mut bw = Vec::new();
+        let mut md = Vec::new();
+        for (app, _) in &apps {
+            let cell = campaign.cells.iter().find(|c| c.app == *app);
+            let result = match cell {
+                Some(c) if app.starts_with("ior") => {
+                    let rate = c.report.write_rate.max(c.report.read_rate).as_mib_per_sec();
+                    bw.push(rate);
+                    format!("{rate:.1} MiB/s")
+                }
+                Some(c) => {
+                    let kiops = c.report.meta_ops_per_sec() / 1000.0;
+                    md.push(kiops);
+                    format!("{kiops:.3} kIOPS")
+                }
+                None => "-".into(),
+            };
+            t.row(vec![app.to_string(), result]);
+        }
+        out.push_str(&format!(
+            "\n-- backend: {} ({} ranks) --\n{}",
+            configs[0].name,
+            ranks,
+            t.render()
+        ));
+        match (geomean(&bw), geomean(&md)) {
+            (Some(b), Some(m)) => out.push_str(&format!(
+                "bandwidth score: {b:.1} MiB/s (geometric mean of {} ior phases)\n\
+                 metadata score: {m:.3} kIOPS (geometric mean of {} mdtest phases)\n\
+                 io500 score: {:.3} (sqrt of bandwidth x metadata)\n",
+                bw.len(),
+                md.len(),
+                (b * m).sqrt()
+            )),
+            _ => out.push_str("io500 score: incomplete (a phase failed or scored zero)\n"),
+        }
+        if campaign.is_degraded() {
+            out.push_str(&format!(
+                "degraded campaign: {}\n",
+                campaign.error_summary()
+            ));
+        }
+    }
+    out
+}
+
 /// The experiment registry: (id, description, function).
 pub type ExperimentFn = fn(&mut Repro) -> String;
 
@@ -986,6 +1118,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "supervised, resumable methodology campaign",
             campaign,
         ),
+        (
+            "io500",
+            "IO500-style composite: ior + mdtest, NFS vs PFS",
+            io500,
+        ),
     ]
 }
 
@@ -1000,7 +1137,7 @@ mod tests {
         for required in [
             "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
             "table9", "table10", "table11", "fig4", "fig5", "fig6", "fig8", "fig12", "fig13",
-            "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig14", "fig15", "fig16", "fig17", "fig18", "io500",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }

@@ -3,8 +3,8 @@
 use crate::config::{ConfigError, DeviceLayout, IoConfig, NetworkLayout};
 use crate::spec::ClusterSpec;
 use fs::{
-    FileId, LocalFs, LocalFsParams, NfsClient, NfsClientParams, NfsError, NfsRetryParams,
-    NfsServer, NfsServerParams, PfsError, PfsParams, PfsSystem,
+    FileId, LocalFs, LocalFsParams, MetaOps, MetaVerb, NfsClient, NfsClientParams, NfsError,
+    NfsRetryParams, NfsServer, NfsServerParams, PfsError, PfsParams, PfsSystem,
 };
 use mpisim::Machine;
 use netsim::{Network, NodeId, TrafficClass};
@@ -754,6 +754,57 @@ impl Machine for ClusterMachine {
             Mount::ServerLocal => self.server.fs_mut().fsync(now, file),
         }
     }
+
+    fn io_meta(
+        &mut self,
+        now: Time,
+        node: NodeId,
+        verb: MetaVerb,
+        dir: FileId,
+        target: FileId,
+    ) -> Time {
+        self.apply_faults_up_to(now);
+        // Metadata routes by the *directory's* mount: an mdtest cell
+        // registers its working directory once and every verb inside it
+        // follows, target files included.
+        let end = match self.mount_of(dir) {
+            Mount::Nfs | Mount::NfsDirect => {
+                match self.clients[node].meta_verb(
+                    &mut self.net,
+                    &mut self.server,
+                    now,
+                    verb,
+                    dir,
+                    target,
+                ) {
+                    Ok(t) => t,
+                    Err(e) => self.note_error(e),
+                }
+            }
+            Mount::Pfs => {
+                let net = &mut self.net;
+                let pfs = self.pfs.as_mut().expect("PFS not deployed");
+                match pfs.meta_verb(net, node, now, verb, dir, target) {
+                    Ok(t) => t,
+                    Err(e) => self.note_pfs_error(e),
+                }
+            }
+            Mount::Local => match self.local[node].meta((), now, verb, dir, target) {
+                Ok(t) => t,
+                Err(never) => match never {},
+            },
+            Mount::ServerLocal => match self.server.fs_mut().meta((), now, verb, dir, target) {
+                Ok(t) => t,
+                Err(never) => match never {},
+            },
+        };
+        simcore::obs::emit(|| simcore::obs::ObsEvent::MetaOp {
+            op: verb.label(),
+            start: now,
+            end,
+        });
+        end
+    }
 }
 
 #[cfg(test)]
@@ -1206,6 +1257,102 @@ mod tests {
                 servers: 2
             }
         ));
+    }
+
+    #[test]
+    fn install_faults_accepts_pfs_faults_at_time_zero() {
+        // Regression: validation is against the *configuration* (deployed
+        // server count), not runtime activation state, so a schedule that
+        // kills a PFS server at t=0 — before any operation has touched the
+        // deployment — must install and then apply on the first op.
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod)
+            .pfs(2)
+            .pfs_replicas(2)
+            .build();
+        let mut m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
+        m.install_faults(FaultSchedule::new(vec![FaultEvent {
+            at: Time::ZERO,
+            fault: Fault::PfsServerFail { server: 1 },
+        }]))
+        .expect("t=0 PFS fault on a deployed PFS must install");
+        assert!(m.fault_log().is_empty(), "faults apply lazily, not eagerly");
+        m.mount(F, Mount::Pfs);
+        let t = m.io_open(Time::ZERO, 0, F, true);
+        assert!(t > Time::ZERO);
+        assert_eq!(m.fault_log().len(), 1, "log: {:?}", m.fault_log());
+        assert!(m.fault_log()[0].1.contains("pfs server 1 failed"));
+    }
+
+    #[test]
+    fn install_faults_reports_the_first_offending_event_in_schedule_order() {
+        // Pin the typed-error ordering: with several invalid events in one
+        // schedule, the earliest event in schedule order wins — here the
+        // out-of-range disk at t=0 masks the out-of-range PFS server at
+        // t=1, and swapping instants flips the error.
+        let mut m = machine(); // JBOD (1 disk member), no PFS
+        let bad_disk = |at| FaultEvent {
+            at,
+            fault: Fault::DiskFail { disk: 9 },
+        };
+        let bad_pfs = |at| FaultEvent {
+            at,
+            fault: Fault::PfsServerFail { server: 0 },
+        };
+        let err = m
+            .install_faults(FaultSchedule::new(vec![
+                bad_disk(Time::ZERO),
+                bad_pfs(Time::from_secs(1)),
+            ]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::config::ConfigError::FaultDiskOutOfRange {
+                disk: 9,
+                members: 1
+            }
+        );
+        let err = m
+            .install_faults(FaultSchedule::new(vec![
+                bad_pfs(Time::ZERO),
+                bad_disk(Time::from_secs(1)),
+            ]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::config::ConfigError::FaultPfsServerOutOfRange {
+                server: 0,
+                servers: 0
+            }
+        );
+    }
+
+    #[test]
+    fn metadata_routes_by_directory_mount() {
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).pfs(2).build();
+        let mut m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
+        let (nfs_dir, pfs_dir, local_dir) = (FileId(500), FileId(510), FileId(520));
+        m.mount(nfs_dir, Mount::Nfs);
+        m.mount(pfs_dir, Mount::Pfs);
+        m.mount(local_dir, Mount::Local);
+        // The target file is unregistered; the *directory* decides.
+        let t = m.io_meta(Time::ZERO, 0, MetaVerb::Create, nfs_dir, FileId(501));
+        assert!(t > Time::ZERO);
+        assert_eq!(m.client(0).meter().meta_ops, 1);
+        let t = m.io_meta(t, 0, MetaVerb::Create, pfs_dir, FileId(511));
+        assert!(t > Time::ZERO);
+        assert_eq!(m.pfs().unwrap().meter().meta_ops, 1);
+        let before = m.network().fabric(TrafficClass::Storage).meter().messages;
+        let t2 = m.io_meta(t, 1, MetaVerb::Create, local_dir, FileId(521));
+        assert!(t2 > t);
+        assert_eq!(
+            m.network().fabric(TrafficClass::Storage).meter().messages,
+            before,
+            "local metadata must not touch the network"
+        );
+        assert_eq!(m.local_fs(1).meter().meta_ops, 1);
+        assert_eq!(m.io_errors(), 0);
     }
 
     #[test]

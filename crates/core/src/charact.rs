@@ -209,6 +209,7 @@ fn characterize_fs_level(
         IoLevel::GlobalFs if config.pfs_servers > 0 => Mount::Pfs,
         IoLevel::GlobalFs => Mount::Nfs,
         IoLevel::Library => unreachable!("library level uses IOR"),
+        IoLevel::Metadata => unreachable!("metadata level has no bandwidth sweep"),
     };
     // The paper's rule: a file twice the main memory of the machine under
     // test, so the page cache cannot hide the device.
@@ -303,6 +304,9 @@ pub fn characterize_system(
             IoLevel::GlobalFs | IoLevel::LocalFs => {
                 characterize_fs_level(spec, config, opts, level)?
             }
+            // The metadata path is rate-characterized by the mdtest
+            // workloads, not the IOzone/IOR bandwidth sweep.
+            IoLevel::Metadata => continue,
         };
         set.set(level, table);
     }

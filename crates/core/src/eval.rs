@@ -272,6 +272,9 @@ pub struct EvalReport {
     pub marker_usage: Vec<MarkerUsageRow>,
     /// Label of the fault scenario the run executed under.
     pub scenario: String,
+    /// mdtest-class metadata operations executed across all ranks (zero
+    /// for pure data-path workloads).
+    pub meta_ops: u64,
     /// I/O operations that exhausted their NFS retry budget.
     pub io_errors: u64,
     /// RPC retransmissions across all clients (NFS and PFS).
@@ -291,7 +294,8 @@ pub struct EvalReport {
 }
 
 // Serialization is hand-written (not derived) for one reason: `notes`,
-// `pfs_failovers`, and `pfs_resync_bytes` are omitted when empty/zero.
+// `meta_ops`, `pfs_failovers`, and `pfs_resync_bytes` are omitted when
+// empty/zero.
 // Fault-free runs therefore serialize byte-identically to reports produced
 // before the fields existed, which keeps persisted campaign checkpoints
 // stable, and older checkpoint payloads (no such keys) still deserialize.
@@ -309,6 +313,9 @@ impl Serialize for EvalReport {
         m.insert("usage", Serialize::to_value(&self.usage));
         m.insert("marker_usage", Serialize::to_value(&self.marker_usage));
         m.insert("scenario", Serialize::to_value(&self.scenario));
+        if self.meta_ops != 0 {
+            m.insert("meta_ops", Serialize::to_value(&self.meta_ops));
+        }
         m.insert("io_errors", Serialize::to_value(&self.io_errors));
         m.insert("client_retries", Serialize::to_value(&self.client_retries));
         if self.pfs_failovers != 0 {
@@ -343,6 +350,10 @@ impl Deserialize for EvalReport {
             usage: Deserialize::from_value(field("usage"))?,
             marker_usage: Deserialize::from_value(field("marker_usage"))?,
             scenario: Deserialize::from_value(field("scenario"))?,
+            meta_ops: match field("meta_ops") {
+                serde::Value::Null => 0,
+                other => Deserialize::from_value(other)?,
+            },
             io_errors: Deserialize::from_value(field("io_errors"))?,
             client_retries: Deserialize::from_value(field("client_retries"))?,
             pfs_failovers: match field("pfs_failovers") {
@@ -410,6 +421,17 @@ impl EvalReport {
         self.marker_usage
             .iter()
             .any(|m| m.marker == marker && m.op == op && m.level == level)
+    }
+
+    /// Aggregate metadata rate in operations per second over the whole
+    /// run — the number an mdtest row reports. Zero when the workload
+    /// performed no metadata operations.
+    pub fn meta_ops_per_sec(&self) -> f64 {
+        if self.exec_time == Time::ZERO {
+            0.0
+        } else {
+            self.meta_ops as f64 / self.exec_time.as_secs_f64()
+        }
     }
 
     /// The fraction of execution time spent in I/O.
@@ -508,7 +530,7 @@ pub fn evaluate(
         .clone()
         .unwrap_or_else(|| spec.placement(ranks));
     let mut sink = ProfileSink::new(ranks);
-    Runtime::default()
+    let stats = Runtime::default()
         .run_supervised(
             &mut machine,
             &placement,
@@ -520,6 +542,7 @@ pub fn evaluate(
             app: app.clone(),
             abort,
         })?;
+    let meta_ops: u64 = stats.per_rank.iter().map(|r| r.meta_ops).sum();
     let profile = sink.finish();
 
     // Settle faults scheduled after the last I/O op (e.g. a replacement
@@ -558,6 +581,7 @@ pub fn evaluate(
         marker_usage,
         profile,
         scenario: opts.faults.label().to_string(),
+        meta_ops,
         io_errors: machine.io_errors(),
         client_retries: machine.client_retries(),
         pfs_failovers: machine.pfs_failovers(),

@@ -175,6 +175,9 @@ impl ObsMetrics {
                 self.pfs_resyncs += 1;
                 self.pfs_resync_bytes += bytes;
             }
+            ObsEvent::MetaOp { start, end, .. } => {
+                self.level(IoLevel::Metadata).record(0, start, end);
+            }
             ObsEvent::FaultApplied { .. } => self.faults += 1,
         }
     }
@@ -605,6 +608,11 @@ fn event_jsonl(ev: &ObsEvent) -> String {
             start.as_nanos(),
             end.as_nanos()
         ),
+        ObsEvent::MetaOp { op, start, end } => format!(
+            "{{\"kind\":\"{kind}\",\"op\":\"{op}\",\"start_ns\":{},\"end_ns\":{}}}",
+            start.as_nanos(),
+            end.as_nanos()
+        ),
         ObsEvent::FaultApplied { kind: fault, at } => format!(
             "{{\"kind\":\"{kind}\",\"fault\":\"{fault}\",\"at_ns\":{}}}",
             at.as_nanos()
@@ -774,6 +782,14 @@ fn chrome_event(ev: &ObsEvent, prefix: &str) -> String {
             start,
             end,
             format!("\"bytes\":{bytes}"),
+        ),
+        ObsEvent::MetaOp { op, start, end } => complete(
+            format!("{prefix}meta {op}"),
+            3,
+            0,
+            start,
+            end,
+            String::new(),
         ),
         ObsEvent::FaultApplied { kind, at } => {
             instant(format!("{prefix}fault {kind}"), 5, at, String::new())
@@ -980,6 +996,34 @@ mod tests {
         let arr = v.as_array().expect("array");
         assert_eq!(arr.len(), 2);
         assert_eq!(arr[0]["ph"], "X");
+    }
+
+    #[test]
+    fn meta_ops_land_in_the_metadata_level() {
+        let mut m = ObsMetrics::default();
+        let ev = ObsEvent::MetaOp {
+            op: "create",
+            start: Time::from_secs(1),
+            end: Time::from_secs(2),
+        };
+        m.record(&ev);
+        m.record(&mpi(0, 0, 10));
+        let md = &m.levels[&IoLevel::Metadata];
+        assert_eq!(md.ops, 1);
+        assert_eq!(md.bytes, 0, "metadata moves no payload bytes");
+        assert_eq!(md.busy, Time::from_secs(1));
+        // The data-path level is untouched by the metadata op.
+        assert_eq!(m.levels[&IoLevel::Library].ops, 1);
+        let rendered = render_obs_metrics(&m, Time::from_secs(2));
+        assert!(rendered.contains("Metadata"), "{rendered}");
+        // JSONL and Chrome lines are well-formed.
+        let line = event_jsonl(&ev);
+        let v: serde_json::Value = serde_json::from_str(&line).expect(&line);
+        assert_eq!(v["kind"], "meta_op");
+        assert_eq!(v["op"], "create");
+        let chrome = chrome_event(&ev, "");
+        let v: serde_json::Value = serde_json::from_str(&chrome).expect(&chrome);
+        assert_eq!(v["pid"], 3);
     }
 
     #[test]

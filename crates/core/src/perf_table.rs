@@ -75,10 +75,17 @@ pub enum IoLevel {
     GlobalFs,
     /// The local filesystem and devices below it.
     LocalFs,
+    /// The namespace metadata path (mdtest verbs). Not part of the
+    /// paper's Fig. 2 data path, so it is excluded from [`IoLevel::ALL`]:
+    /// bandwidth characterization sweeps and usage tables keep their
+    /// three-level shape, and metadata appears only in reports that
+    /// actually observed metadata operations.
+    Metadata,
 }
 
 impl IoLevel {
-    /// All levels, top-down along the I/O path.
+    /// The data-path levels, top-down (the paper's characterization
+    /// sweep; excludes [`IoLevel::Metadata`]).
     pub const ALL: [IoLevel; 3] = [IoLevel::Library, IoLevel::GlobalFs, IoLevel::LocalFs];
 
     /// Report label (matches the paper's table headers).
@@ -87,6 +94,7 @@ impl IoLevel {
             IoLevel::Library => "I/O Lib",
             IoLevel::GlobalFs => "NFS",
             IoLevel::LocalFs => "Local FS",
+            IoLevel::Metadata => "Metadata",
         }
     }
 
@@ -513,5 +521,8 @@ mod tests {
         assert_eq!(IoLevel::LocalFs.label(), "Local FS");
         assert_eq!(IoLevel::LocalFs.access_type(), AccessType::Local);
         assert_eq!(IoLevel::Library.access_type(), AccessType::Global);
+        assert_eq!(IoLevel::Metadata.label(), "Metadata");
+        assert_eq!(IoLevel::Metadata.access_type(), AccessType::Global);
+        assert!(!IoLevel::ALL.contains(&IoLevel::Metadata));
     }
 }

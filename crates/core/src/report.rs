@@ -306,7 +306,20 @@ pub fn render_metrics(reports: &[(&str, &str, &EvalReport)]) -> String {
             format!("{}", r.read_rate),
         ]);
     }
-    t.render()
+    let mut out = t.render();
+    // Metadata rates render only for runs that performed metadata ops, so
+    // pure data-path reports (and their goldens) are byte-identical to the
+    // pre-metadata layout.
+    for (config, variant, r) in reports {
+        if r.meta_ops > 0 {
+            out.push_str(&format!(
+                "metadata: {config} {variant}: {} ops, {:.1} ops/s\n",
+                r.meta_ops,
+                r.meta_ops_per_sec(),
+            ));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -419,6 +432,7 @@ mod tests {
             usage: Vec::new(),
             marker_usage: Vec::new(),
             scenario: scenario.to_string(),
+            meta_ops: 0,
             io_errors: 0,
             client_retries: 0,
             pfs_failovers: 0,

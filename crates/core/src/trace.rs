@@ -466,6 +466,11 @@ impl TraceSink for ProfileSink {
                     self.push_burst_event(&ev, 0);
                 }
             }
+            TraceKind::Meta { .. } => {
+                if ev.rank == self.rep_rank {
+                    self.push_burst_event(&ev, 0);
+                }
+            }
             TraceKind::Marker(id) => {
                 self.marker_of_rank[ev.rank] = id;
                 if ev.rank == self.rep_rank {

@@ -81,6 +81,7 @@ impl ChromeTraceSink {
             ),
             TraceKind::Sync { file } => format!("sync {file}"),
             TraceKind::Marker(id) => format!("marker {id}"),
+            TraceKind::Meta { verb, file, .. } => format!("{} {file}", verb.label()),
         }
     }
 

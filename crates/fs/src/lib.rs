@@ -28,12 +28,14 @@
 
 pub mod file;
 pub mod local;
+pub mod meta;
 pub mod nfs;
 pub mod pfs;
 pub mod range_cache;
 
 pub use file::FileId;
 pub use local::{LocalFs, LocalFsParams};
+pub use meta::{MetaOps, MetaVerb};
 pub use nfs::{NfsClient, NfsClientParams, NfsError, NfsRetryParams, NfsServer, NfsServerParams};
 pub use pfs::{PfsError, PfsParams, PfsSystem};
 pub use range_cache::RangeCache;

@@ -14,6 +14,7 @@
 //! * **fsync/close** semantics and metadata operation costs.
 
 use crate::file::FileId;
+use crate::meta::{MetaOps, MetaVerb};
 use crate::range_cache::{RangeCache, RangeRef};
 use simcore::stats::TransferMeter;
 use simcore::{Bandwidth, FxHashMap, Time};
@@ -161,6 +162,34 @@ impl LocalFs {
 
     /// Closes a file. Local-filesystem close does not imply flush.
     pub fn close(&mut self, now: Time, _file: FileId) -> Time {
+        self.meter.meta_ops += 1;
+        now + self.params.meta_op
+    }
+
+    /// Looks up a file's attributes (`stat`); fixed metadata cost.
+    pub fn stat(&mut self, now: Time, _file: FileId) -> Time {
+        self.meter.meta_ops += 1;
+        now + self.params.meta_op
+    }
+
+    /// Removes a file: drops its cached pages and extent map.
+    pub fn unlink(&mut self, now: Time, file: FileId) -> Time {
+        self.cache.drop_file(file);
+        self.files.remove(&file);
+        self.last_read_end.remove(&file);
+        self.meter.meta_ops += 1;
+        now + self.params.meta_op
+    }
+
+    /// Creates a directory entry. Directories are not separately modeled,
+    /// so this is a fixed-cost namespace update.
+    pub fn mkdir(&mut self, now: Time, _dir: FileId) -> Time {
+        self.meter.meta_ops += 1;
+        now + self.params.meta_op
+    }
+
+    /// Lists a directory; fixed metadata cost.
+    pub fn readdir(&mut self, now: Time, _dir: FileId) -> Time {
         self.meter.meta_ops += 1;
         now + self.params.meta_op
     }
@@ -365,6 +394,28 @@ impl LocalFs {
     }
 }
 
+impl MetaOps for LocalFs {
+    type Ctx<'a> = ();
+    type Error = std::convert::Infallible;
+
+    fn meta(
+        &mut self,
+        _ctx: (),
+        now: Time,
+        verb: MetaVerb,
+        dir: FileId,
+        target: FileId,
+    ) -> Result<Time, Self::Error> {
+        Ok(match verb {
+            MetaVerb::Create => self.create(now, target),
+            MetaVerb::Stat => self.stat(now, target),
+            MetaVerb::Unlink => self.unlink(now, target),
+            MetaVerb::Mkdir => self.mkdir(now, dir),
+            MetaVerb::Readdir => self.readdir(now, dir),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +576,31 @@ mod tests {
         let t3 = fs.close(t2, F);
         assert_eq!(t3 - Time::ZERO, fs.params().meta_op * 3);
         assert_eq!(fs.meter().meta_ops, 3);
+    }
+
+    #[test]
+    fn unlink_drops_file_state() {
+        let mut fs = fs_with(2);
+        let now = fs.create(Time::ZERO, F);
+        let t = fs.write(now, F, 0, MIB);
+        assert!(fs.dirty_bytes() > 0);
+        let t2 = fs.unlink(t, F);
+        assert_eq!(t2 - t, fs.params().meta_op);
+        assert_eq!(fs.dirty_bytes(), 0);
+        assert_eq!(fs.file_size(F), 0);
+    }
+
+    #[test]
+    fn meta_ops_trait_dispatches_all_verbs() {
+        use crate::meta::{MetaOps, MetaVerb};
+        let mut fs = fs_with(2);
+        let dir = FileId(40);
+        let mut t = Time::ZERO;
+        for v in MetaVerb::ALL {
+            t = fs.meta((), t, v, dir, F).unwrap();
+        }
+        assert_eq!(t - Time::ZERO, fs.params().meta_op * 5);
+        assert_eq!(fs.meter().meta_ops, 5);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::file::FileId;
 use crate::local::{FsMeter, LocalFs};
+use crate::meta::{MetaOps, MetaVerb};
 use crate::range_cache::{RangeCache, RangeRef};
 use netsim::{Network, NodeId, TrafficClass};
 use simcore::{Bandwidth, FifoResource, FxHashMap, MultiResource, SplitMix64, Time};
@@ -231,6 +232,25 @@ impl NfsServer {
         }
     }
 
+    /// Serves an mdtest-class metadata RPC (CREATE / GETATTR / REMOVE /
+    /// MKDIR / READDIR) against the exported filesystem.
+    pub fn serve_meta_op(
+        &mut self,
+        arrival: Time,
+        verb: MetaVerb,
+        dir: FileId,
+        target: FileId,
+    ) -> Time {
+        let t = self.dispatch(arrival);
+        match verb {
+            MetaVerb::Create => self.fs.create(t, target),
+            MetaVerb::Stat => self.fs.stat(t, target),
+            MetaVerb::Unlink => self.fs.unlink(t, target),
+            MetaVerb::Mkdir => self.fs.mkdir(t, dir),
+            MetaVerb::Readdir => self.fs.readdir(t, dir),
+        }
+    }
+
     /// Serves a COMMIT RPC: makes `file` durable on the server.
     pub fn serve_commit(&mut self, arrival: Time, file: FileId) -> Time {
         let t = self.dispatch(arrival);
@@ -283,6 +303,13 @@ pub struct NfsClientParams {
     pub readahead: u64,
     /// Flush dirty data on close (close-to-open consistency).
     pub close_to_open: bool,
+    /// Attribute-cache validity window (`acregmin`): a GETATTR within this
+    /// window of a previous lookup is answered from the client's attribute
+    /// cache without an RPC. Engaged only by the metadata path ([`stat`]);
+    /// data operations never consult it.
+    ///
+    /// [`stat`]: NfsClient::stat
+    pub attr_timeo: Time,
     /// RPC timeout/retransmission discipline.
     pub retry: NfsRetryParams,
 }
@@ -302,6 +329,7 @@ impl NfsClientParams {
             mem_bw: Bandwidth::from_mib_per_sec(1600),
             readahead: 512 * 1024,
             close_to_open: true,
+            attr_timeo: Time::from_secs(3),
             retry: NfsRetryParams::linux_tcp(),
         }
     }
@@ -315,6 +343,9 @@ pub struct NfsClient {
     cache: RangeCache,
     inflight: VecDeque<Time>,
     last_read_end: FxHashMap<FileId, u64>,
+    /// Attribute cache: per-file instant until which cached attributes are
+    /// considered fresh (populated by `stat`/`create`, dropped by `unlink`).
+    attr_valid: FxHashMap<FileId, Time>,
     meter: FsMeter,
     /// Jitter stream for retransmission backoff (seeded from the node id,
     /// so every mount has its own deterministic stream).
@@ -333,6 +364,7 @@ impl NfsClient {
             cache,
             inflight: VecDeque::new(),
             last_read_end: FxHashMap::default(),
+            attr_valid: FxHashMap::default(),
             meter: FsMeter::default(),
             rng,
             retries: 0,
@@ -763,6 +795,88 @@ impl NfsClient {
             })
         }
     }
+
+    /// Runs one mdtest-class metadata verb over the mount, under the same
+    /// timeout/retransmission discipline as the data path.
+    ///
+    /// `Stat` consults the attribute cache first: within `attr_timeo` of a
+    /// previous lookup the call is answered locally, with no RPC — the
+    /// `acregmin` behaviour that makes NFS stat-heavy phases cache-bound
+    /// rather than wire-bound. `Create` and `Stat` refresh the cached
+    /// attributes; `Unlink` drops them along with any cached pages.
+    pub fn meta_verb(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+        verb: MetaVerb,
+        dir: FileId,
+        target: FileId,
+    ) -> Result<Time, NfsError> {
+        if verb == MetaVerb::Stat
+            && self
+                .attr_valid
+                .get(&target)
+                .is_some_and(|&until| now < until)
+        {
+            self.meter.meta_ops += 1;
+            return Ok(now);
+        }
+        let op = match verb {
+            MetaVerb::Create => "CREATE",
+            MetaVerb::Stat => "GETATTR",
+            MetaVerb::Unlink => "REMOVE",
+            MetaVerb::Mkdir => "MKDIR",
+            MetaVerb::Readdir => "READDIR",
+        };
+        let node = self.node;
+        let reply = self.retry_rpc(op, target, now, |t| {
+            let arrive = net.send(t, node, srv.node, RPC_HEADER, TrafficClass::Storage);
+            let ready = srv.serve_meta_op(arrive, verb, dir, target);
+            net.send(ready, srv.node, node, RPC_REPLY, TrafficClass::Storage)
+        })?;
+        match verb {
+            MetaVerb::Create | MetaVerb::Stat => {
+                self.attr_valid
+                    .insert(target, reply + self.params.attr_timeo);
+            }
+            MetaVerb::Unlink => {
+                self.attr_valid.remove(&target);
+                self.cache.drop_file(target);
+                self.last_read_end.remove(&target);
+            }
+            MetaVerb::Mkdir | MetaVerb::Readdir => {}
+        }
+        self.meter.meta_ops += 1;
+        Ok(reply)
+    }
+
+    /// Stats `file` (GETATTR through the attribute cache).
+    pub fn stat(
+        &mut self,
+        net: &mut Network,
+        srv: &mut NfsServer,
+        now: Time,
+        file: FileId,
+    ) -> Result<Time, NfsError> {
+        self.meta_verb(net, srv, now, MetaVerb::Stat, file, file)
+    }
+}
+
+impl MetaOps for NfsClient {
+    type Ctx<'a> = (&'a mut Network, &'a mut NfsServer);
+    type Error = NfsError;
+
+    fn meta(
+        &mut self,
+        (net, srv): Self::Ctx<'_>,
+        now: Time,
+        verb: MetaVerb,
+        dir: FileId,
+        target: FileId,
+    ) -> Result<Time, NfsError> {
+        self.meta_verb(net, srv, now, verb, dir, target)
+    }
 }
 
 #[cfg(test)]
@@ -1183,6 +1297,93 @@ mod tests {
             .unwrap();
         assert!(t > stall, "completion {t:?} must absorb the stall window");
         assert_eq!(r.client.retries(), 0, "60s timeo outlasts a 2s stall");
+    }
+
+    #[test]
+    fn stat_within_attr_window_skips_the_rpc() {
+        let mut r = rig();
+        let dir = FileId(30);
+        let t = r
+            .client
+            .meta_verb(&mut r.net, &mut r.srv, Time::ZERO, MetaVerb::Create, dir, F)
+            .unwrap();
+        let rpcs_after_create = r.srv.rpcs();
+        // First stat is inside the window populated by CREATE: no RPC, no time.
+        let t2 = r.client.stat(&mut r.net, &mut r.srv, t, F).unwrap();
+        assert_eq!(t2, t, "attribute-cache hit must be free");
+        assert_eq!(r.srv.rpcs(), rpcs_after_create, "no RPC on a hit");
+        // Past the window the client revalidates with a real GETATTR.
+        let later = t + r.client.params().attr_timeo + Time::from_micros(1);
+        let t3 = r.client.stat(&mut r.net, &mut r.srv, later, F).unwrap();
+        assert!(t3 > later, "expired attributes force a GETATTR round trip");
+        assert_eq!(r.srv.rpcs(), rpcs_after_create + 1);
+    }
+
+    #[test]
+    fn unlink_invalidates_attributes_and_pages() {
+        let mut r = rig();
+        let dir = FileId(30);
+        let t = r
+            .client
+            .meta_verb(&mut r.net, &mut r.srv, Time::ZERO, MetaVerb::Create, dir, F)
+            .unwrap();
+        let t = r
+            .client
+            .meta_verb(&mut r.net, &mut r.srv, t, MetaVerb::Unlink, dir, F)
+            .unwrap();
+        let rpcs = r.srv.rpcs();
+        // Attributes were dropped: the next stat must go to the server.
+        let t2 = r.client.stat(&mut r.net, &mut r.srv, t, F).unwrap();
+        assert!(t2 > t);
+        assert_eq!(r.srv.rpcs(), rpcs + 1);
+        assert_eq!(r.srv.fs().file_size(F), 0, "server dropped the file");
+    }
+
+    #[test]
+    fn mdtest_cycle_is_deterministic_and_counts_meta_ops() {
+        let run = || {
+            let mut r = rig();
+            let dir = FileId(30);
+            let mut t = r
+                .client
+                .meta_verb(
+                    &mut r.net,
+                    &mut r.srv,
+                    Time::ZERO,
+                    MetaVerb::Mkdir,
+                    dir,
+                    dir,
+                )
+                .unwrap();
+            for i in 0..16u64 {
+                let f = FileId(100 + i);
+                t = r
+                    .client
+                    .meta_verb(&mut r.net, &mut r.srv, t, MetaVerb::Create, dir, f)
+                    .unwrap();
+            }
+            for i in 0..16u64 {
+                let f = FileId(100 + i);
+                t = r.client.stat(&mut r.net, &mut r.srv, t, f).unwrap();
+            }
+            for i in 0..16u64 {
+                let f = FileId(100 + i);
+                t = r
+                    .client
+                    .meta_verb(&mut r.net, &mut r.srv, t, MetaVerb::Unlink, dir, f)
+                    .unwrap();
+            }
+            t = r
+                .client
+                .meta_verb(&mut r.net, &mut r.srv, t, MetaVerb::Readdir, dir, dir)
+                .unwrap();
+            (t, r.client.meter().meta_ops, r.client.retries())
+        };
+        let (t, meta_ops, retries) = run();
+        assert!(t > Time::ZERO);
+        assert_eq!(meta_ops, 1 + 16 * 3 + 1);
+        assert_eq!(retries, 0, "healthy metadata path never retransmits");
+        assert_eq!(run(), (t, meta_ops, retries));
     }
 
     #[test]

@@ -39,9 +39,10 @@
 
 use crate::file::FileId;
 use crate::local::{FsMeter, LocalFs};
+use crate::meta::{MetaOps, MetaVerb};
 use crate::nfs::NfsRetryParams;
 use netsim::{Network, NodeId, TrafficClass};
-use simcore::{MultiResource, SplitMix64, Time};
+use simcore::{FifoResource, MultiResource, SplitMix64, Time};
 use std::fmt;
 
 /// RPC framing overhead on the wire.
@@ -201,6 +202,10 @@ struct PfsServer {
     slow: f64,
     /// Writes this server missed while down, pending resync.
     missed: Vec<Missed>,
+    /// Dir-entry lock of the namespace shard homed here: every mdtest-class
+    /// metadata verb holds it for its service interval, so concurrent
+    /// updates to directories of this shard serialize FIFO.
+    dirlock: FifoResource,
 }
 
 /// Burns the full retransmission budget against a down server: every
@@ -298,6 +303,7 @@ impl PfsSystem {
                 marked: false,
                 slow: 1.0,
                 missed: Vec::new(),
+                dirlock: FifoResource::new(),
             })
             .collect();
         PfsSystem {
@@ -547,6 +553,108 @@ impl PfsSystem {
     ) -> Result<Time, PfsError> {
         self.meta_rpc(net, client, now, file, "META", move |fs, t| {
             fs.close(t, file)
+        })
+    }
+
+    /// The home server of `dir`'s namespace shard: a seed-stable FNV-1a
+    /// hash of the directory id modulo the server count. Replica `r` of
+    /// the shard lives `r` places after the home in ring order, mirroring
+    /// the data path's chained-declustered placement.
+    pub fn meta_home(&self, dir: FileId) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in dir.0.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % self.servers.len() as u64) as usize
+    }
+
+    /// One mdtest-class metadata verb against `dir`'s namespace shard.
+    ///
+    /// The verb is served by the first live replica holder in ring order
+    /// from the shard's home server ([`meta_home`]); dead-but-unmarked
+    /// holders burn the retry budget first, exactly like the data path.
+    /// On the serving server the namespace update holds the shard's
+    /// dir-entry lock (a FIFO resource) for its service interval — a
+    /// single shared directory funnels every rank through one queue
+    /// (mdtest-hard), unique per-rank directories spread across shards
+    /// (mdtest-easy). With every holder down the verb surfaces a typed
+    /// [`PfsError::Unavailable`].
+    ///
+    /// [`meta_home`]: PfsSystem::meta_home
+    pub fn meta_verb(
+        &mut self,
+        net: &mut Network,
+        client: NodeId,
+        now: Time,
+        verb: MetaVerb,
+        dir: FileId,
+        target: FileId,
+    ) -> Result<Time, PfsError> {
+        let n = self.servers.len();
+        let reps = self.params.replicas.max(1);
+        let overhead = self.params.rpc_overhead;
+        let retry = self.params.retry;
+        let home = self.meta_home(dir);
+        let op = match verb {
+            MetaVerb::Create => "CREATE",
+            MetaVerb::Stat => "STAT",
+            MetaVerb::Unlink => "UNLINK",
+            MetaVerb::Mkdir => "MKDIR",
+            MetaVerb::Readdir => "READDIR",
+        };
+        let mut issue = now;
+        for k in 0..reps {
+            let idx = (home + k) % n;
+            let srv = &mut self.servers[idx];
+            if srv.up && !srv.marked {
+                let arrive = net.send(issue, client, srv.node, RPC_HEADER, TrafficClass::Storage);
+                let t = srv.pool.submit(arrive, overhead).end;
+                let done = match verb {
+                    MetaVerb::Create => srv.fs.create(t, target),
+                    MetaVerb::Stat => srv.fs.stat(t, target),
+                    MetaVerb::Unlink => srv.fs.unlink(t, target),
+                    MetaVerb::Mkdir => srv.fs.mkdir(t, dir),
+                    MetaVerb::Readdir => srv.fs.readdir(t, dir),
+                };
+                // The namespace update serializes on the shard's dir-entry
+                // lock for its service interval (no-op when uncontended).
+                let done = srv.dirlock.submit(t, done - t).end;
+                let done = stretch(srv.slow, arrive, done);
+                self.meter.meta_ops += 1;
+                let reply = net.send(done, srv.node, client, RPC_REPLY, TrafficClass::Storage);
+                if k > 0 {
+                    self.failovers += 1;
+                    let at = issue;
+                    simcore::obs::emit(|| simcore::obs::ObsEvent::PfsFailover {
+                        op,
+                        from: home,
+                        to: idx,
+                        at,
+                    });
+                }
+                return Ok(reply);
+            }
+            if !srv.marked {
+                issue = detect_down(
+                    net,
+                    srv,
+                    &mut self.rng,
+                    &retry,
+                    &mut self.retries,
+                    op,
+                    idx,
+                    client,
+                    issue,
+                    RPC_HEADER,
+                );
+            }
+        }
+        Err(PfsError::Unavailable {
+            op,
+            file: target,
+            at: issue,
+            server: home,
         })
     }
 
@@ -809,6 +917,22 @@ impl PfsSystem {
     }
 }
 
+impl MetaOps for PfsSystem {
+    type Ctx<'a> = (&'a mut Network, NodeId);
+    type Error = PfsError;
+
+    fn meta(
+        &mut self,
+        (net, client): Self::Ctx<'_>,
+        now: Time,
+        verb: MetaVerb,
+        dir: FileId,
+        target: FileId,
+    ) -> Result<Time, PfsError> {
+        self.meta_verb(net, client, now, verb, dir, target)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1041,6 +1165,120 @@ mod tests {
         let dragging = elapsed(Some(8.0));
         assert_eq!(nominal, unit, "factor 1.0 is exactly a no-op");
         assert!(dragging > nominal, "an 8x slowdown shows up end-to-end");
+    }
+
+    /// Finds a directory id homed on shard `want` (4-server deployment).
+    fn dir_on_shard(p: &PfsSystem, want: usize) -> FileId {
+        (0..256u64)
+            .map(|i| FileId(1000 + i))
+            .find(|&d| p.meta_home(d) == want)
+            .expect("some id lands on every shard")
+    }
+
+    #[test]
+    fn meta_verbs_shard_across_servers() {
+        let (mut net, mut p) = pfs(4);
+        let homes: std::collections::BTreeSet<usize> =
+            (0..16u64).map(|i| p.meta_home(FileId(1000 + i))).collect();
+        assert!(homes.len() > 1, "hashing must spread dirs across shards");
+        // Every verb completes on a healthy deployment and counts once.
+        let dir = dir_on_shard(&p, 2);
+        let mut t = Time::ZERO;
+        for v in MetaVerb::ALL {
+            t = p.meta_verb(&mut net, 5, t, v, dir, F).unwrap();
+        }
+        assert!(t > Time::ZERO);
+        assert_eq!(p.meter().meta_ops, 5);
+        assert_eq!(p.retries(), 0, "healthy metadata path never retransmits");
+        assert_eq!(p.failovers(), 0);
+        // The shard's home server did the work.
+        assert_eq!(p.server_fs(2).meter().meta_ops, 5);
+    }
+
+    #[test]
+    fn shared_dir_serializes_on_the_shard_lock() {
+        // Two clients issue a create at the same instant: into the same
+        // directory the second op queues on the shard's dir-entry lock,
+        // into dirs on different shards both proceed in parallel.
+        let makespan = |same_dir: bool| {
+            let (mut net, mut p) = pfs(4);
+            let d1 = dir_on_shard(&p, 0);
+            let d2 = if same_dir { d1 } else { dir_on_shard(&p, 1) };
+            let t1 = p
+                .meta_verb(&mut net, 5, Time::ZERO, MetaVerb::Create, d1, FileId(7000))
+                .unwrap();
+            let t2 = p
+                .meta_verb(&mut net, 6, Time::ZERO, MetaVerb::Create, d2, FileId(7001))
+                .unwrap();
+            t1.max(t2)
+        };
+        let contended = makespan(true);
+        let spread = makespan(false);
+        assert!(
+            contended > spread,
+            "shared-dir ops ({contended:?}) must queue behind the shard lock vs spread dirs ({spread:?})"
+        );
+    }
+
+    #[test]
+    fn metadata_fails_over_to_the_shard_replica() {
+        let (mut net, mut p) = replicated(4);
+        let dir = dir_on_shard(&p, 1);
+        p.fail_server(1);
+        let t = p
+            .meta_verb(&mut net, 5, Time::ZERO, MetaVerb::Mkdir, dir, dir)
+            .unwrap();
+        assert!(t > Time::ZERO);
+        assert!(p.retries() > 0, "detection burns the retry budget");
+        assert!(p.failovers() > 0, "the next ring server served the shard");
+        // Server 2 (home + 1) holds replica 1 of shard 1.
+        assert_eq!(p.server_fs(2).meter().meta_ops, 1);
+    }
+
+    #[test]
+    fn unreplicated_shard_outage_is_a_typed_error() {
+        let (mut net, mut p) = pfs(4);
+        let dir = dir_on_shard(&p, 3);
+        p.fail_server(3);
+        let err = p
+            .meta_verb(&mut net, 5, Time::ZERO, MetaVerb::Create, dir, F)
+            .unwrap_err();
+        match err {
+            PfsError::Unavailable { op, server, at, .. } => {
+                assert_eq!(op, "CREATE");
+                assert_eq!(server, 3, "the error names the shard's home");
+                assert!(at > Time::ZERO);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// With replicas >= 2, any single-server failure leaves every
+        /// metadata verb able to complete successfully (degraded via
+        /// failover, never failed) — the metadata mirror of the
+        /// full-byte-count degraded-read property below.
+        #[test]
+        fn degraded_metadata_ops_always_succeed(
+            dead in 0usize..4,
+            dir_id in 0u64..64,
+            n_files in 1u64..16,
+        ) {
+            let (mut net, mut p) = replicated(4);
+            p.fail_server(dead);
+            let dir = FileId(1000 + dir_id);
+            let mut t = p
+                .meta_verb(&mut net, 5, Time::ZERO, MetaVerb::Mkdir, dir, dir)
+                .unwrap();
+            for i in 0..n_files {
+                let f = FileId(2000 + dir_id * 100 + i);
+                t = p.meta_verb(&mut net, 5, t, MetaVerb::Create, dir, f).unwrap();
+                t = p.meta_verb(&mut net, 5, t, MetaVerb::Stat, dir, f).unwrap();
+                t = p.meta_verb(&mut net, 5, t, MetaVerb::Unlink, dir, f).unwrap();
+            }
+            t = p.meta_verb(&mut net, 5, t, MetaVerb::Readdir, dir, dir).unwrap();
+            proptest::prop_assert!(t > Time::ZERO);
+            proptest::prop_assert_eq!(p.meter().meta_ops, 2 + 3 * n_files);
+        }
     }
 
     proptest::proptest! {

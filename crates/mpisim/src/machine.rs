@@ -1,6 +1,6 @@
 //! The machine abstraction the runtime executes against.
 
-use fs::FileId;
+use fs::{FileId, MetaVerb};
 use netsim::NodeId;
 use simcore::Time;
 
@@ -35,6 +35,22 @@ pub trait Machine {
 
     /// Forces `file` durable; returns the durable instant.
     fn io_sync(&mut self, now: Time, node: NodeId, file: FileId) -> Time;
+
+    /// Performs an mdtest-class metadata verb on `target` inside `dir`
+    /// from `node`; returns completion. Machines without a dedicated
+    /// metadata path (synthetic test machines) default to the cost of a
+    /// non-creating open.
+    fn io_meta(
+        &mut self,
+        now: Time,
+        node: NodeId,
+        verb: MetaVerb,
+        dir: FileId,
+        target: FileId,
+    ) -> Time {
+        let _ = (verb, dir);
+        self.io_open(now, node, target, false)
+    }
 }
 
 /// A synthetic machine with fixed costs, for runtime unit tests.

@@ -54,6 +54,8 @@ pub struct RankStats {
     pub bytes_read: u64,
     /// Number of data I/O operations.
     pub io_ops: u64,
+    /// Number of mdtest-class metadata operations ([`MpiOp::Meta`]).
+    pub meta_ops: u64,
 }
 
 /// Whole-run outcome.
@@ -587,6 +589,14 @@ impl Exec<'_> {
                 ctx.stats.meta_time += end - start;
                 self.emit(rank, start, end, TraceKind::Sync { file });
             }
+            MpiOp::Meta { verb, dir, file } => {
+                let end = self.machine.io_meta(start, node, verb, dir, file);
+                let ctx = &mut self.ranks[rank];
+                ctx.t = end;
+                ctx.stats.meta_time += end - start;
+                ctx.stats.meta_ops += 1;
+                self.emit(rank, start, end, TraceKind::Meta { verb, dir, file });
+            }
             MpiOp::WriteAt { file, offset, len } => {
                 let end = self.machine.io_write(start, node, file, offset, len);
                 let ctx = &mut self.ranks[rank];
@@ -1115,6 +1125,47 @@ mod tests {
         assert!(s.io_time > Time::ZERO);
         assert!(s.meta_time > Time::ZERO);
         assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn metadata_ops_count_and_trace_as_meta() {
+        use fs::MetaVerb;
+        let dir = FileId(70);
+        let (stats, events) = run(
+            &[0],
+            vec![vec![
+                MpiOp::Meta {
+                    verb: MetaVerb::Mkdir,
+                    dir,
+                    file: dir,
+                },
+                MpiOp::Meta {
+                    verb: MetaVerb::Create,
+                    dir,
+                    file: F,
+                },
+                MpiOp::Meta {
+                    verb: MetaVerb::Stat,
+                    dir,
+                    file: F,
+                },
+                MpiOp::Meta {
+                    verb: MetaVerb::Unlink,
+                    dir,
+                    file: F,
+                },
+            ]],
+        );
+        let s = &stats.per_rank[0];
+        assert_eq!(s.meta_ops, 4);
+        assert_eq!(s.io_ops, 0);
+        assert!(s.meta_time > Time::ZERO);
+        assert_eq!(s.io_time, Time::ZERO);
+        let labels: Vec<&str> = events.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["meta_mkdir", "meta_create", "meta_stat", "meta_unlink"]
+        );
     }
 
     #[test]

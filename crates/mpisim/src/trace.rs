@@ -8,7 +8,7 @@
 //! without materializing multi-million-event logs.
 
 use crate::op::Rank;
-use fs::FileId;
+use fs::{FileId, MetaVerb};
 use serde::{Deserialize, Serialize};
 use simcore::Time;
 
@@ -86,6 +86,15 @@ pub enum TraceKind {
     },
     /// A workload-defined section marker.
     Marker(u32),
+    /// An mdtest-class metadata operation.
+    Meta {
+        /// The metadata verb.
+        verb: MetaVerb,
+        /// Containing directory.
+        dir: FileId,
+        /// Target file (the directory itself for mkdir/readdir).
+        file: FileId,
+    },
 }
 
 impl TraceKind {
@@ -110,6 +119,13 @@ impl TraceKind {
             TraceKind::Read { .. } => "read",
             TraceKind::Sync { .. } => "sync",
             TraceKind::Marker(_) => "marker",
+            TraceKind::Meta { verb, .. } => match verb {
+                MetaVerb::Create => "meta_create",
+                MetaVerb::Stat => "meta_stat",
+                MetaVerb::Unlink => "meta_unlink",
+                MetaVerb::Mkdir => "meta_mkdir",
+                MetaVerb::Readdir => "meta_readdir",
+            },
         }
     }
 

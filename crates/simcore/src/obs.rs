@@ -161,6 +161,18 @@ pub enum ObsEvent {
         /// When the last missed extent was durable again.
         end: Time,
     },
+    /// A filesystem-level metadata operation (mdtest verb) completed on
+    /// its backend. Emitted by the cluster machine after routing the verb
+    /// to the directory's mount, so one op emits exactly one event.
+    MetaOp {
+        /// Verb label (`"create"`, `"stat"`, `"unlink"`, `"mkdir"`,
+        /// `"readdir"`).
+        op: &'static str,
+        /// When the operation was issued.
+        start: Time,
+        /// When the backend completed it.
+        end: Time,
+    },
     /// A fault-schedule event was applied to the I/O system.
     FaultApplied {
         /// Fault label (`"disk_fail"`, `"disk_replace"`, ...).
@@ -186,6 +198,7 @@ impl ObsEvent {
             ObsEvent::PfsRetry { .. } => "pfs_retry",
             ObsEvent::PfsFailover { .. } => "pfs_failover",
             ObsEvent::PfsResync { .. } => "pfs_resync",
+            ObsEvent::MetaOp { .. } => "meta_op",
             ObsEvent::FaultApplied { .. } => "fault",
         }
     }

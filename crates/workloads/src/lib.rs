@@ -22,6 +22,11 @@
 //!   structure with 8 writes / 8 writes + 8 reads / 8 reads per process of
 //!   162 MB (16p) or 40.5 MB (64p) components, UNIQUE or SHARED filetypes
 //!   (Table VIII, Figs. 16–18).
+//! * [`mdtest`] — an mdtest-like metadata exerciser in the IO500 easy
+//!   (unique directory per rank) and hard (single shared directory)
+//!   patterns: per-rank create/stat/unlink populations with barriers
+//!   between verb phases, driving the metadata level instead of the data
+//!   path.
 //!
 //! Each generator returns a [`scenario::Scenario`]: per-rank op streams
 //! plus file-mount routing and preallocation directives for the
@@ -33,6 +38,7 @@ pub mod flashio;
 pub mod ior;
 pub mod iozone;
 pub mod madbench;
+pub mod mdtest;
 pub mod scenario;
 
 pub use bonnie::{Bonnie, BonnieTest};
@@ -41,4 +47,5 @@ pub use flashio::FlashIo;
 pub use ior::{Ior, IorOp};
 pub use iozone::{IozonePattern, IozoneRun};
 pub use madbench::{FileType, MadBench};
+pub use mdtest::{Mdtest, MdtestVariant};
 pub use scenario::Scenario;

@@ -1,0 +1,313 @@
+//! An mdtest-like metadata benchmark.
+//!
+//! mdtest stresses the *namespace* rather than the data path: each rank
+//! creates, stats and unlinks a population of zero-byte files, and the
+//! result is an operation rate (ops/s) per verb. The IO500 convention
+//! defines two access patterns:
+//!
+//! * **easy** — every rank works in its own private directory, so
+//!   directory entries (and their locks) are spread across the metadata
+//!   servers;
+//! * **hard** — all ranks hammer one shared directory, serializing on its
+//!   directory-entry lock exactly like N processes in one `mdtest -d`
+//!   shared tree.
+//!
+//! Each rank's program follows the mdtest phase order — mkdir, create,
+//! stat, unlink, readdir — with a barrier between phases so per-verb
+//! timings are not overlapped.
+
+use crate::scenario::Scenario;
+use cluster::Mount;
+use fs::{FileId, MetaVerb};
+use mpisim::{ChainStream, GenStream, MpiOp, VecStream};
+
+/// Which IO500 access pattern to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MdtestVariant {
+    /// Unique directory per rank.
+    Easy,
+    /// Single shared directory for all ranks.
+    Hard,
+}
+
+impl MdtestVariant {
+    /// Lowercase label used in scenario names.
+    pub fn label(self) -> &'static str {
+        match self {
+            MdtestVariant::Easy => "easy",
+            MdtestVariant::Hard => "hard",
+        }
+    }
+}
+
+/// An mdtest run description.
+#[derive(Clone, Debug)]
+pub struct Mdtest {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Files each rank creates/stats/unlinks.
+    pub files_per_rank: usize,
+    /// Access pattern.
+    pub variant: MdtestVariant,
+    /// Mount under test.
+    pub mount: Mount,
+    /// First [`FileId`] of the id range the run occupies (directories
+    /// first, then per-rank file populations).
+    pub base: FileId,
+}
+
+impl Mdtest {
+    /// An easy (unique-directory) run over NFS.
+    pub fn easy(ranks: usize, files_per_rank: usize) -> Mdtest {
+        Mdtest::new(ranks, files_per_rank, MdtestVariant::Easy)
+    }
+
+    /// A hard (single-shared-directory) run over NFS.
+    pub fn hard(ranks: usize, files_per_rank: usize) -> Mdtest {
+        Mdtest::new(ranks, files_per_rank, MdtestVariant::Hard)
+    }
+
+    fn new(ranks: usize, files_per_rank: usize, variant: MdtestVariant) -> Mdtest {
+        assert!(ranks > 0 && files_per_rank > 0);
+        Mdtest {
+            ranks,
+            files_per_rank,
+            variant,
+            mount: Mount::Nfs,
+            base: FileId(6000),
+        }
+    }
+
+    /// Selects the mount under test.
+    pub fn on(mut self, mount: Mount) -> Self {
+        self.mount = mount;
+        self
+    }
+
+    /// Relocates the run's id range (directories and file populations).
+    pub fn base(mut self, base: FileId) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// The directory rank `r` works in.
+    pub fn dir_of(&self, rank: usize) -> FileId {
+        match self.variant {
+            MdtestVariant::Easy => FileId(self.base.0 + rank as u64),
+            MdtestVariant::Hard => self.base,
+        }
+    }
+
+    /// The `i`-th file in rank `r`'s population.
+    fn file_of(&self, rank: usize, i: usize) -> FileId {
+        FileId(
+            self.base.0 + self.ranks as u64 + rank as u64 * self.files_per_rank as u64 + i as u64,
+        )
+    }
+
+    /// Total metadata operations the run issues across all ranks.
+    pub fn total_ops(&self) -> u64 {
+        // 3 file verbs per file, plus mkdir+readdir once per directory.
+        let dirs = match self.variant {
+            MdtestVariant::Easy => self.ranks as u64,
+            MdtestVariant::Hard => 1,
+        };
+        3 * (self.ranks * self.files_per_rank) as u64 + 2 * dirs
+    }
+
+    /// Builds the scenario.
+    pub fn scenario(&self) -> Scenario {
+        let mut programs: Vec<Box<dyn mpisim::OpStream>> = Vec::with_capacity(self.ranks);
+        for r in 0..self.ranks {
+            let dir = self.dir_of(r);
+            let owns_dir = self.variant == MdtestVariant::Easy || r == 0;
+            let n = self.files_per_rank;
+            let this = self.clone();
+            let meta = move |verb, i| MpiOp::Meta {
+                verb,
+                dir,
+                file: this.file_of(r, i),
+            };
+            // Phase order is MetaVerb::ALL: mkdir, create, stat, unlink,
+            // readdir — barriers keep per-verb timings unoverlapped.
+            let mut head = Vec::new();
+            if owns_dir {
+                head.push(MpiOp::Meta {
+                    verb: MetaVerb::Mkdir,
+                    dir,
+                    file: dir,
+                });
+            }
+            head.push(MpiOp::Barrier);
+            let creates = {
+                let meta = meta.clone();
+                GenStream::new(n, move |i| meta(MetaVerb::Create, i))
+            };
+            let stats = {
+                let meta = meta.clone();
+                GenStream::new(n, move |i| meta(MetaVerb::Stat, i))
+            };
+            let unlinks = GenStream::new(n, move |i| meta(MetaVerb::Unlink, i));
+            let mut tail = vec![MpiOp::Barrier];
+            if owns_dir {
+                tail.push(MpiOp::Meta {
+                    verb: MetaVerb::Readdir,
+                    dir,
+                    file: dir,
+                });
+            }
+            programs.push(Box::new(ChainStream::new(vec![
+                Box::new(VecStream::new(head)),
+                Box::new(creates),
+                Box::new(VecStream::new(vec![MpiOp::Barrier])),
+                Box::new(stats),
+                Box::new(VecStream::new(vec![MpiOp::Barrier])),
+                Box::new(unlinks),
+                Box::new(VecStream::new(tail)),
+            ])));
+        }
+        // Only the directories are mounted: every verb routes by its
+        // containing directory, target files included.
+        let mounts = match self.variant {
+            MdtestVariant::Easy => (0..self.ranks)
+                .map(|r| (self.dir_of(r), self.mount))
+                .collect(),
+            MdtestVariant::Hard => vec![(self.base, self.mount)],
+        };
+        Scenario {
+            name: format!(
+                "mdtest-{} {} ranks, {} files/rank",
+                self.variant.label(),
+                self.ranks,
+                self.files_per_rank
+            ),
+            programs,
+            mounts,
+            prealloc: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::OpStream;
+
+    fn drain(s: &mut Box<dyn OpStream>) -> Vec<MpiOp> {
+        let mut v = Vec::new();
+        while let Some(op) = s.next_op() {
+            v.push(op);
+        }
+        v
+    }
+
+    fn verbs(ops: &[MpiOp]) -> Vec<MetaVerb> {
+        ops.iter()
+            .filter_map(|op| match op {
+                MpiOp::Meta { verb, .. } => Some(*verb),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn easy_gives_every_rank_its_own_directory() {
+        let md = Mdtest::easy(4, 3);
+        let mut sc = md.scenario();
+        assert_eq!(sc.ranks(), 4);
+        assert_eq!(sc.mounts.len(), 4, "one mounted directory per rank");
+        let mut dirs = std::collections::BTreeSet::new();
+        for program in sc.programs.iter_mut() {
+            let ops = drain(program);
+            let v = verbs(&ops);
+            // Every rank mkdirs and readdirs its own directory.
+            assert_eq!(v.first(), Some(&MetaVerb::Mkdir));
+            assert_eq!(v.last(), Some(&MetaVerb::Readdir));
+            for op in &ops {
+                if let MpiOp::Meta { dir, .. } = op {
+                    dirs.insert(*dir);
+                }
+            }
+        }
+        assert_eq!(dirs.len(), 4, "directories are disjoint");
+    }
+
+    #[test]
+    fn hard_shares_one_directory_and_only_rank_zero_owns_it() {
+        let md = Mdtest::hard(4, 3);
+        let mut sc = md.scenario();
+        assert_eq!(sc.mounts.len(), 1, "single shared directory");
+        for (r, program) in sc.programs.iter_mut().enumerate() {
+            let ops = drain(program);
+            let v = verbs(&ops);
+            if r == 0 {
+                assert_eq!(v.first(), Some(&MetaVerb::Mkdir));
+                assert_eq!(v.last(), Some(&MetaVerb::Readdir));
+            } else {
+                assert!(!v.contains(&MetaVerb::Mkdir));
+                assert!(!v.contains(&MetaVerb::Readdir));
+            }
+            for op in &ops {
+                if let MpiOp::Meta { dir, .. } = op {
+                    assert_eq!(*dir, md.base, "all verbs hit the shared directory");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phases_follow_mdtest_order_with_barriers_between() {
+        let md = Mdtest::easy(2, 5);
+        let mut sc = md.scenario();
+        let ops = drain(&mut sc.programs[1]);
+        let v = verbs(&ops);
+        let expected: Vec<MetaVerb> = std::iter::once(MetaVerb::Mkdir)
+            .chain(std::iter::repeat_n(MetaVerb::Create, 5))
+            .chain(std::iter::repeat_n(MetaVerb::Stat, 5))
+            .chain(std::iter::repeat_n(MetaVerb::Unlink, 5))
+            .chain(std::iter::once(MetaVerb::Readdir))
+            .collect();
+        assert_eq!(v, expected);
+        let barriers = ops.iter().filter(|op| matches!(op, MpiOp::Barrier)).count();
+        assert_eq!(barriers, 4, "a barrier between each of the five phases");
+    }
+
+    #[test]
+    fn file_populations_are_disjoint_across_ranks() {
+        let md = Mdtest::hard(3, 4);
+        let mut sc = md.scenario();
+        let mut files = std::collections::BTreeSet::new();
+        let mut total = 0usize;
+        for program in sc.programs.iter_mut() {
+            for op in drain(program) {
+                if let MpiOp::Meta {
+                    verb: MetaVerb::Create,
+                    file,
+                    ..
+                } = op
+                {
+                    files.insert(file);
+                    total += 1;
+                }
+            }
+        }
+        assert_eq!(total, 12);
+        assert_eq!(files.len(), 12, "no two ranks create the same file");
+        assert!(
+            files.iter().all(|f| f.0 > md.base.0),
+            "files sit above the directory range"
+        );
+    }
+
+    #[test]
+    fn total_ops_matches_the_drained_stream() {
+        for md in [Mdtest::easy(3, 7), Mdtest::hard(3, 7)] {
+            let mut sc = md.scenario();
+            let mut seen = 0u64;
+            for program in sc.programs.iter_mut() {
+                seen += verbs(&drain(program)).len() as u64;
+            }
+            assert_eq!(seen, md.total_ops());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# IO500 smoke test for the metadata path.
+#
+# Drives the `io500` flagship experiment end to end at quick scale (the
+# simulation draws all jitter from pinned per-subsystem seeds, so every
+# run is deterministic): the render must carry the ior bandwidth rows,
+# the mdtest metadata rows and a composite score for BOTH backends (NFS
+# and the replicated PVFS deployment), two identical invocations must
+# render byte-identically, a parallel (--jobs 4) run must match the
+# sequential render byte for byte, and resuming a checkpoint whose
+# whole-experiment artifact was killed must reproduce the uninterrupted
+# output exactly — the metadata-heavy campaign cells replay from their
+# per-cell checkpoints.
+#
+# Usage: scripts/io500_smoke.sh [path-to-repro-binary]
+set -euo pipefail
+
+REPRO="${1:-target/release/repro}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ioeval-io500-smoke.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+if [[ ! -x "$REPRO" ]]; then
+    echo "io500_smoke: building repro ..." >&2
+    cargo build --release -p bench --bin repro
+fi
+
+echo "== 1/4 flagship render carries both backends' phases and scores ==" >&2
+"$REPRO" --scale quick --out "$WORK/io500.txt" io500 >/dev/null
+for needle in \
+    "backend: NFS RAID5" \
+    "backend: PVFS x4 r2" \
+    "ior-easy-write" \
+    "ior-hard-read" \
+    "mdtest-easy" \
+    "mdtest-hard" \
+    "bandwidth score:" \
+    "metadata score:" \
+    "io500 score:"; do
+    grep -q "$needle" "$WORK/io500.txt" || {
+        echo "FAIL: io500 render lacks '$needle'" >&2
+        exit 1
+    }
+done
+if grep -q "degraded campaign" "$WORK/io500.txt"; then
+    echo "FAIL: io500 campaign degraded (a phase failed)" >&2
+    exit 1
+fi
+[[ "$(grep -c "io500 score:" "$WORK/io500.txt")" == 2 ]] || {
+    echo "FAIL: expected one composite score per backend" >&2
+    exit 1
+}
+echo "   both backends render all six phases plus composite" >&2
+
+echo "== 2/4 pinned seeds: identical reruns render byte-identically ==" >&2
+"$REPRO" --scale quick --out "$WORK/io500-2.txt" io500 >/dev/null
+if ! diff -u "$WORK/io500.txt" "$WORK/io500-2.txt" >"$WORK/diff-rerun.txt"; then
+    echo "FAIL: two identical invocations rendered differently:" >&2
+    head -50 "$WORK/diff-rerun.txt" >&2
+    exit 1
+fi
+echo "   rerun byte-identical" >&2
+
+echo "== 3/4 parallel campaign scheduler: --jobs 4 matches --jobs 1 ==" >&2
+"$REPRO" --scale quick --jobs 4 --out "$WORK/io500-par.txt" io500 >/dev/null
+if ! diff -u "$WORK/io500.txt" "$WORK/io500-par.txt" >"$WORK/diff-jobs.txt"; then
+    echo "FAIL: --jobs 4 rendered differently from sequential:" >&2
+    head -50 "$WORK/diff-jobs.txt" >&2
+    exit 1
+fi
+echo "   parallel render byte-identical" >&2
+
+echo "== 4/4 mid-campaign checkpoint resume is byte-identical ==" >&2
+"$REPRO" --scale quick --checkpoint "$WORK/ckpt" \
+    --out "$WORK/ckpt-run.txt" io500 >/dev/null
+# Drop the whole-experiment artifact so the resume re-renders from the
+# per-cell checkpoints (characterizations + mdtest/ior outcomes) — the
+# state a SIGKILLed run would leave behind.
+rm -f "$WORK/ckpt"/exp-*.json
+"$REPRO" --scale quick --resume "$WORK/ckpt" \
+    --out "$WORK/resumed.txt" io500 >/dev/null
+if ! diff -u "$WORK/io500.txt" "$WORK/resumed.txt" >"$WORK/diff-resume.txt"; then
+    echo "FAIL: checkpoint resume differs from the uninterrupted run:" >&2
+    head -50 "$WORK/diff-resume.txt" >&2
+    exit 1
+fi
+echo "   resume byte-identical" >&2
+
+echo "OK: io500 renders both backends, is rerun/jobs/resume byte-stable" >&2

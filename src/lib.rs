@@ -75,6 +75,7 @@ pub mod prelude {
     pub use crate::methodology::trace_export::ChromeTraceSink;
     pub use crate::simcore::{Abort, Bandwidth, Time, Watchdog, WatchdogSpec, GIB, KIB, MIB};
     pub use crate::workloads::{
-        self, BtClass, BtIo, BtSubtype, FileType, Ior, IozonePattern, IozoneRun, MadBench, Scenario,
+        self, BtClass, BtIo, BtSubtype, FileType, Ior, IorOp, IozonePattern, IozoneRun, MadBench,
+        Mdtest, MdtestVariant, Scenario,
     };
 }

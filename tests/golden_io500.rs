@@ -1,0 +1,192 @@
+//! Golden regression suite for the metadata level: mdtest evaluations and
+//! the IO500-style composite score.
+//!
+//! The data-path goldens (`golden_tables.rs`) pin the characterized
+//! transfer rates; these pin the *metadata* path end to end — operation
+//! counts, simulated execution time and the derived ops/s of the mdtest
+//! workloads on the single-server NFS backend and the 4-server PVFS
+//! deployment — plus the composite IO500 scoring (geometric means of the
+//! ior and mdtest phases and their square-rooted product), so a change
+//! anywhere in the namespace model (attr caches, shard hashing, directory
+//! locks, replica routing) shows up as a readable diff.
+//!
+//! To regenerate after an *intended* model change:
+//!
+//! ```text
+//! IOEVAL_REGEN_GOLDEN=1 cargo test --test golden_io500
+//! ```
+
+use cluster::{presets, DeviceLayout, IoConfig, IoConfigBuilder, Mount};
+use ioeval_core::charact::{characterize_system, CharacterizeOptions};
+use ioeval_core::eval::{evaluate, EvalOptions, EvalReport};
+use ioeval_core::perf_table::PerfTableSet;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use workloads::{Ior, IorOp, Mdtest, Scenario};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("IOEVAL_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with IOEVAL_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "`{name}` drifted from {}.\n\
+         If the model change is intended, regenerate with IOEVAL_REGEN_GOLDEN=1 \
+         and review the diff.\n--- expected ---\n{expected}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+/// The two storage backends under test: the single NFS I/O node and the
+/// 4-server PVFS deployment, both over the paper's RAID 5 arrays.
+fn backends() -> [(IoConfig, Mount); 2] {
+    [
+        (
+            IoConfigBuilder::new(DeviceLayout::raid5_paper()).build(),
+            Mount::NfsDirect,
+        ),
+        (
+            IoConfigBuilder::new(DeviceLayout::raid5_paper())
+                .pfs(4)
+                .name("raid5-pfs4")
+                .build(),
+            Mount::Pfs,
+        ),
+    ]
+}
+
+fn tables_for(config: &IoConfig) -> PerfTableSet {
+    characterize_system(
+        &presets::test_cluster(),
+        config,
+        &CharacterizeOptions::quick(),
+    )
+    .unwrap_or_else(|e| panic!("characterization of {} failed: {e}", config.name))
+}
+
+fn run(config: &IoConfig, tables: &PerfTableSet, scenario: Scenario) -> EvalReport {
+    evaluate(
+        &presets::test_cluster(),
+        config,
+        scenario,
+        tables,
+        &EvalOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("evaluation on {} failed: {e}", config.name))
+}
+
+const RANKS: usize = 4;
+const FILES_PER_RANK: usize = 20;
+
+/// One snapshot line per (backend × variant) mdtest cell: operation
+/// counts, simulated time and the derived rate, pinned exactly.
+#[test]
+fn golden_mdtest_evaluations() {
+    let mut out = String::from("# mdtest golden: app | config | meta_ops | exec_time | ops/s\n");
+    for (config, mount) in backends() {
+        let tables = tables_for(&config);
+        for md in [
+            Mdtest::easy(RANKS, FILES_PER_RANK).on(mount),
+            Mdtest::hard(RANKS, FILES_PER_RANK).on(mount),
+        ] {
+            let rep = run(&config, &tables, md.scenario());
+            assert_eq!(
+                rep.meta_ops,
+                md.total_ops(),
+                "every issued metadata op must be accounted"
+            );
+            let _ = writeln!(
+                out,
+                "{} | {} | {} | {} | {:.1}",
+                rep.app,
+                config.name,
+                rep.meta_ops,
+                rep.exec_time,
+                rep.meta_ops_per_sec()
+            );
+        }
+    }
+    assert_matches_golden("mdtest", &out);
+}
+
+fn geomean(vals: &[f64]) -> f64 {
+    assert!(!vals.is_empty() && vals.iter().all(|v| *v > 0.0));
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// The IO500 composite scoring on both backends: four ior phases (easy =
+/// 256 KiB transfers, hard = the IO500's odd 47008-byte transfers), two
+/// mdtest phases, geometric means and the final sqrt(bw x md) score.
+#[test]
+fn golden_io500_composite() {
+    use simcore::MIB;
+    let mut out = String::from("# io500 golden: phase scores and composite per backend\n");
+    for (config, mount) in backends() {
+        let tables = tables_for(&config);
+        let mut ior_hard_w = Ior::new(RANKS, fs::FileId(700), MIB, IorOp::Write).on(mount);
+        ior_hard_w.transfer = 47_008;
+        let mut ior_hard_r = Ior::new(RANKS, fs::FileId(700), MIB, IorOp::Read).on(mount);
+        ior_hard_r.transfer = 47_008;
+        let phases: Vec<(&str, Scenario)> = vec![
+            (
+                "ior-easy-write",
+                Ior::new(RANKS, fs::FileId(701), 4 * MIB, IorOp::Write)
+                    .on(mount)
+                    .scenario(),
+            ),
+            (
+                "ior-easy-read",
+                Ior::new(RANKS, fs::FileId(701), 4 * MIB, IorOp::Read)
+                    .on(mount)
+                    .scenario(),
+            ),
+            ("ior-hard-write", ior_hard_w.scenario()),
+            ("ior-hard-read", ior_hard_r.scenario()),
+            (
+                "mdtest-easy",
+                Mdtest::easy(RANKS, FILES_PER_RANK).on(mount).scenario(),
+            ),
+            (
+                "mdtest-hard",
+                Mdtest::hard(RANKS, FILES_PER_RANK).on(mount).scenario(),
+            ),
+        ];
+        let mut bw = Vec::new();
+        let mut md = Vec::new();
+        let _ = writeln!(out, "[backend: {}]", config.name);
+        for (phase, scenario) in phases {
+            let rep = run(&config, &tables, scenario);
+            if phase.starts_with("ior") {
+                let rate = rep.write_rate.max(rep.read_rate).as_mib_per_sec();
+                bw.push(rate);
+                let _ = writeln!(out, "{phase} | {rate:.1} MiB/s");
+            } else {
+                let kiops = rep.meta_ops_per_sec() / 1000.0;
+                md.push(kiops);
+                let _ = writeln!(out, "{phase} | {kiops:.3} kIOPS");
+            }
+        }
+        let (b, m) = (geomean(&bw), geomean(&md));
+        let _ = writeln!(
+            out,
+            "bandwidth {b:.1} MiB/s | metadata {m:.3} kIOPS | score {:.3}",
+            (b * m).sqrt()
+        );
+    }
+    assert_matches_golden("io500", &out);
+}

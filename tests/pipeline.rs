@@ -422,6 +422,60 @@ fn supervised_campaign_is_jobs_invariant() {
 }
 
 #[test]
+fn io500_style_campaign_and_metadata_metrics_are_jobs_invariant() {
+    // The io500 experiment fans its ior + mdtest phases out through the
+    // parallel campaign scheduler; both the rendered campaign (including
+    // the metadata ops/s lines) and the aggregated per-level metrics —
+    // Metadata level included — must be byte-identical however many
+    // workers run the cells.
+    use std::sync::Arc;
+    use workloads::Mdtest;
+    let spec = test_spec();
+    let configs = vec![
+        IoConfigBuilder::new(DeviceLayout::raid5_paper()).build(),
+        IoConfigBuilder::new(DeviceLayout::raid5_paper())
+            .pfs(4)
+            .name("raid5-pfs4")
+            .build(),
+    ];
+    let ior = || {
+        Ior::new(4, cluster_io_eval::fs::FileId(701), 4 * MIB, IorOp::Write)
+            .on(Mount::Nfs)
+            .scenario()
+    };
+    let md_easy = || Mdtest::easy(4, 10).scenario();
+    let md_hard = || Mdtest::hard(4, 10).scenario();
+    let apps: Vec<AppFactory> = vec![
+        ("ior-easy-write", &ior),
+        ("mdtest-easy", &md_easy),
+        ("mdtest-hard", &md_hard),
+    ];
+    let opts = CharacterizeOptions::quick();
+    let run = |jobs: usize| {
+        let hub = Arc::new(ioeval_core::obs::MetricsHub::new());
+        let sup = SuperviseOptions {
+            metrics: Some(hub.clone()),
+            ..SuperviseOptions::default()
+        }
+        .with_jobs(jobs);
+        let campaign = run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, &mut NoStore);
+        assert!(!campaign.is_degraded());
+        let metrics = ioeval_core::obs::render_obs_metrics(&hub.aggregate(), Time::from_secs(1));
+        (campaign.render(), metrics)
+    };
+    let (seq_render, seq_metrics) = run(1);
+    // The metadata level was actually observed and rendered.
+    assert!(seq_render.contains("metadata: "), "{seq_render}");
+    assert!(seq_metrics.contains("Metadata"), "{seq_metrics}");
+    let (par_render, par_metrics) = run(4);
+    assert_eq!(seq_render, par_render, "campaign render diverged at jobs=4");
+    assert_eq!(
+        seq_metrics, par_metrics,
+        "metadata metrics diverged at jobs=4"
+    );
+}
+
+#[test]
 fn bonnie_tests_have_expected_cost_ordering() {
     use workloads::{Bonnie, BonnieTest};
     let spec = test_spec();
