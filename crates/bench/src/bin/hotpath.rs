@@ -57,6 +57,10 @@ fn main() {
         "[hotpath] memo cold/warm   {:>8.2} / {:.2} ms ({:.0}x)",
         report.memo_cold_ms, report.memo_warm_ms, report.memo_speedup
     );
+    eprintln!(
+        "[hotpath] scale full/coll  {:>8.2} / {:.2} ms ({:.0}x)",
+        report.scale_full_ms, report.scale_collapsed_ms, report.scale_speedup
+    );
 
     let json = report.to_json();
     std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| {

@@ -5,7 +5,7 @@
 //! ```text
 //! repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]
 //!       [--deadline SECS] [--wall-budget SECS] [--jobs N] [--no-memo]
-//!       [--trace-out FILE] [--trace-format jsonl|chrome] [--metrics]
+//!       [--memo-stats] [--trace-out FILE] [--trace-format jsonl|chrome] [--metrics]
 //!       [--chaos-seed N] [--chaos-profile NAME] [--chaos-repro TOKEN]
 //!       [--pfs-profile full|fail|recover|none] [--strict-store]
 //!       <experiment>... | all | list
@@ -89,6 +89,7 @@ fn main() {
     let mut wall_budget_secs: Option<u64> = None;
     let mut jobs: Option<usize> = None;
     let mut no_memo = false;
+    let mut memo_stats = false;
     let mut trace_out: Option<String> = None;
     let mut trace_chrome = false;
     let mut metrics = false;
@@ -143,6 +144,7 @@ fn main() {
                 );
             }
             "--no-memo" => no_memo = true,
+            "--memo-stats" => memo_stats = true,
             "--trace-out" => {
                 i += 1;
                 trace_out = Some(
@@ -202,6 +204,19 @@ fn main() {
     }
 
     if selected.is_empty() {
+        if memo_stats {
+            // Report the memo state without running any experiments. The
+            // memo is in-process, so a fresh invocation reports an empty
+            // cache — useful as a machine-checkable baseline and as the
+            // no-rerun form of the report experiments print at exit.
+            let repro = if no_memo {
+                Repro::new(scale).without_memo()
+            } else {
+                Repro::new(scale)
+            };
+            print_memo_report(&repro);
+            return;
+        }
         usage();
         return;
     }
@@ -334,7 +349,13 @@ fn main() {
         }
     }
     if let Some((hits, misses)) = repro.memo_stats() {
-        eprintln!("[repro] charact memo: {hits} hits, {misses} misses");
+        let (ph, pm) = repro.memo_phase_stats().unwrap_or((0, 0));
+        eprintln!(
+            "[repro] charact memo: {hits} hits, {misses} misses ({ph} phase hits, {pm} phase misses)"
+        );
+    }
+    if memo_stats {
+        print_memo_report(&repro);
     }
     if let Some(path) = out_file {
         let mut f = std::fs::File::create(&path)
@@ -372,6 +393,18 @@ fn main() {
     }
 }
 
+/// The `--memo-stats` report: whole-triple and phase-level counters of the
+/// characterization memo, on stdout so it can be machine-checked.
+fn print_memo_report(repro: &Repro) {
+    match (repro.memo_stats(), repro.memo_phase_stats()) {
+        (Some((hits, misses)), Some((ph, pm))) => {
+            println!("charact memo: {hits} hits, {misses} misses");
+            println!("phase memo:   {ph} hits, {pm} misses");
+        }
+        _ => println!("charact memo: disabled (--no-memo)"),
+    }
+}
+
 fn parse_secs(arg: Option<&String>, flag: &str) -> u64 {
     arg.and_then(|s| s.parse().ok())
         .unwrap_or_else(|| die(&format!("expected {flag} SECS")))
@@ -381,6 +414,7 @@ fn usage() {
     eprintln!(
         "usage: repro [--scale quick|paper] [--out FILE] [--checkpoint DIR | --resume DIR]\n\
          \x20            [--deadline SECS] [--wall-budget SECS] [--jobs N] [--no-memo]\n\
+         \x20            [--memo-stats]\n\
          \x20            [--trace-out FILE] [--trace-format jsonl|chrome] [--metrics]\n\
          \x20            [--chaos-seed N] [--chaos-profile store|panic|memo|trace|mixed]\n\
          \x20            [--chaos-repro TOKEN] [--pfs-profile full|fail|recover|none]\n\
@@ -393,6 +427,8 @@ fn usage() {
          byte-identical to --jobs 1; defaults to $IOEVAL_JOBS, else 1);\n\
          --no-memo disables the in-process characterization memo (pure cache:\n\
          output is byte-identical either way; hit/miss counts go to stderr);\n\
+         --memo-stats prints the memo report (whole-triple and phase counters)\n\
+         to stdout — with no experiments selected it reports without running;\n\
          --trace-out records the I/O-path event stream of every evaluated run\n\
          (schema-versioned JSONL; --trace-format chrome for chrome://tracing);\n\
          --metrics appends an aggregated per-level metrics table to the report;\n\

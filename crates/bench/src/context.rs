@@ -3,7 +3,7 @@
 use crate::checkpoint::{CampaignStore, CheckpointDir};
 use cluster::{config as ioconfig, presets, ClusterSpec, IoConfig};
 use ioeval_core::campaign::{CellStore, StoreHealth, SuperviseOptions};
-use ioeval_core::charact::{characterize_system, CharacterizeOptions};
+use ioeval_core::charact::{characterize_system_memo, CharacterizeOptions};
 use ioeval_core::eval::{evaluate, EvalOptions, EvalReport, FaultScenario};
 use ioeval_core::memo::CharactMemo;
 use ioeval_core::obs::{Collector, MetricsHub, ObsData, TraceMeta};
@@ -204,6 +204,13 @@ impl Repro {
         self.memo.as_ref().map(|m| m.stats())
     }
 
+    /// `(phase hits, phase misses)` of the characterization memo — the
+    /// per-measurement granularity that replays individual sweep points
+    /// even when the whole-triple key misses.
+    pub fn memo_phase_stats(&self) -> Option<(u64, u64)> {
+        self.memo.as_ref().map(|m| m.phase_stats())
+    }
+
     /// Sets the campaign worker count (clamped to at least 1); overrides
     /// `IOEVAL_JOBS`.
     pub fn with_jobs(mut self, jobs: usize) -> Repro {
@@ -334,12 +341,13 @@ impl Repro {
         let set = match restored.or_else(|| memo_key.and_then(|(m, k)| m.get(k))) {
             Some(t) => t,
             None => {
-                let t = characterize_system(spec, config, &opts).unwrap_or_else(|e| {
-                    panic!(
-                        "characterization of {} / {} failed: {e}",
-                        spec.name, config.name
-                    )
-                });
+                let t = characterize_system_memo(spec, config, &opts, self.memo.as_deref())
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "characterization of {} / {} failed: {e}",
+                            spec.name, config.name
+                        )
+                    });
                 if let Some(s) = self.store.as_mut() {
                     s.save_tables(&t);
                 }

@@ -15,7 +15,10 @@
 //!   on;
 //! * **memo cold/warm** — the same characterization campaign run twice
 //!   against one [`ioeval_core::CharactMemo`]: the second run replays
-//!   every point from the memo.
+//!   every point from the memo;
+//! * **scale full/collapsed** — a 1024-rank IOR sweep on the leaf-spine
+//!   scale testbed, run with rank-group collapsing off and on; the ratio
+//!   is the scale-out fast-path speedup (CI gates it at ≥ 10×).
 //!
 //! The `hotpath` binary runs the full sizes and writes the JSON; the
 //! `hotpath` integration test runs a smoke-sized version to pin the
@@ -43,6 +46,10 @@ pub struct HotpathConfig {
     /// Repetitions per characterization cell (best-of is reported, which
     /// filters scheduler noise).
     pub cell_reps: u32,
+    /// Ranks of the scale-out IOR sweep (the 1024-rank cell).
+    pub scale_ranks: usize,
+    /// Per-rank block of the scale-out sweep's largest point.
+    pub scale_block: u64,
 }
 
 impl HotpathConfig {
@@ -52,15 +59,22 @@ impl HotpathConfig {
             events: 4_000_000,
             striping_iters: 2_000_000,
             cell_reps: 5,
+            scale_ranks: 1024,
+            scale_block: 64 * MIB,
         }
     }
 
     /// Tiny sizes for schema/smoke tests (sub-second in debug builds).
+    /// The scale cell keeps its full 1024 ranks — the rank-group collapse
+    /// is exactly what makes that affordable — and shrinks only the
+    /// per-rank block.
     pub fn smoke() -> HotpathConfig {
         HotpathConfig {
             events: 20_000,
             striping_iters: 10_000,
             cell_reps: 1,
+            scale_ranks: 1024,
+            scale_block: 4 * MIB,
         }
     }
 }
@@ -94,6 +108,14 @@ pub struct HotpathReport {
     pub memo_warm_ms: f64,
     /// `memo_cold_ms / memo_warm_ms`.
     pub memo_speedup: f64,
+    /// Wall time of the 1024-rank IOR sweep with rank-group collapsing
+    /// disabled (full per-rank execution).
+    pub scale_full_ms: f64,
+    /// Wall time of the same sweep with collapsing enabled.
+    pub scale_collapsed_ms: f64,
+    /// `scale_full_ms / scale_collapsed_ms` — the speedup the rank-group
+    /// fast path buys at scale (CI gates this at ≥ 10×).
+    pub scale_speedup: f64,
 }
 
 impl HotpathReport {
@@ -216,6 +238,39 @@ pub fn memo_campaign_ms() -> (f64, f64) {
     (cold, warm)
 }
 
+/// Wall time of the scale-out IOR sweep: `ranks` ranks on the 1024-host
+/// leaf-spine testbed, writing then reading at two block sizes, with the
+/// rank-group collapse toggled by `collapse`. The harness toggle is the
+/// only difference between the two timings — collapse provably changes
+/// speed, never results (see `mpisim::collapse`).
+pub fn scale_sweep_ms(ranks: usize, block: u64, collapse: bool) -> f64 {
+    use workloads::ior::{Ior, IorOp};
+    let spec = cluster::scale::scale_1024();
+    let placement = spec.placement(ranks);
+    let t0 = Instant::now();
+    for b in [block / 4, block] {
+        for op in [IorOp::Write, IorOp::Read] {
+            // The scenario's mounts/prealloc are ClusterMachine concerns;
+            // the scale machine models the PFS itself, so the rank
+            // programs run on it directly.
+            let programs = Ior::new(ranks, fs::FileId(0x5CA1E), b, op)
+                .scenario()
+                .programs;
+            let mut machine = spec.machine();
+            let mut sink = mpisim::NullSink;
+            let stats = mpisim::Runtime::default().with_collapse(collapse).run(
+                &mut machine,
+                &placement,
+                programs,
+                &mut sink,
+            );
+            assert_eq!(stats.per_rank.len(), ranks);
+            assert!(stats.wall_time > Time::ZERO);
+        }
+    }
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
 /// One full harness run at the given sizes.
 pub fn run(cfg: &HotpathConfig) -> HotpathReport {
     let event_queue_mops = event_queue_mops(cfg.events);
@@ -223,6 +278,13 @@ pub fn run(cfg: &HotpathConfig) -> HotpathReport {
     let cells = pinned_cell_times(cfg.cell_reps);
     let pinned_cell_ms = cells.iter().map(|c| c.ms).sum();
     let (memo_cold_ms, memo_warm_ms) = memo_campaign_ms();
+    let scale_full_ms = scale_sweep_ms(cfg.scale_ranks, cfg.scale_block, false);
+    let before = mpisim::collapsed_run_count();
+    let scale_collapsed_ms = scale_sweep_ms(cfg.scale_ranks, cfg.scale_block, true);
+    assert!(
+        mpisim::collapsed_run_count() > before,
+        "the scale sweep must engage the rank-group fast path"
+    );
     HotpathReport {
         schema: 1,
         event_queue_mops,
@@ -232,5 +294,8 @@ pub fn run(cfg: &HotpathConfig) -> HotpathReport {
         memo_cold_ms,
         memo_warm_ms,
         memo_speedup: memo_cold_ms / memo_warm_ms.max(1e-6),
+        scale_full_ms,
+        scale_collapsed_ms,
+        scale_speedup: scale_full_ms / scale_collapsed_ms.max(1e-6),
     }
 }

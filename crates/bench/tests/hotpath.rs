@@ -24,6 +24,8 @@ fn report_schema_is_stable() {
     let sum: f64 = report.cells.iter().map(|c| c.ms).sum();
     assert!((report.pinned_cell_ms - sum).abs() < 1e-9);
     assert!(report.memo_cold_ms > 0.0 && report.memo_warm_ms > 0.0);
+    assert!(report.scale_full_ms > 0.0 && report.scale_collapsed_ms > 0.0);
+    assert!(report.scale_speedup > 0.0);
 
     // The JSON round-trips, and the fields the CI smoke job parses are
     // present under their exact names.
@@ -36,6 +38,9 @@ fn report_schema_is_stable() {
         "pinned_cell_ms",
         "event_queue_mops",
         "memo_speedup",
+        "scale_full_ms",
+        "scale_collapsed_ms",
+        "scale_speedup",
     ] {
         assert!(value.get(field).is_some(), "missing field {field}");
     }

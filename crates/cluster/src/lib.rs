@@ -19,8 +19,10 @@
 pub mod config;
 pub mod machine;
 pub mod presets;
+pub mod scale;
 pub mod spec;
 
 pub use config::{ConfigError, DeviceLayout, IoConfig, IoConfigBuilder, NetworkLayout};
 pub use machine::{ClusterMachine, Mount};
+pub use scale::{scale_1024, ScaleMachine, ScaleSpec};
 pub use spec::ClusterSpec;

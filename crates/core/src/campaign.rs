@@ -19,7 +19,7 @@
 //! results, reported in the outcome table.
 
 use crate::advisor::{predict, Prediction};
-use crate::charact::{characterize_system, CharacterizeOptions};
+use crate::charact::{characterize_system_memo, CharacterizeOptions};
 use crate::eval::{evaluate, EvalError, EvalOptions, EvalReport, FaultScenario};
 use crate::memo::CharactMemo;
 use crate::perf_table::PerfTableSet;
@@ -1012,7 +1012,13 @@ pub fn run_campaign_supervised(
                                 CharAttempt::Computed(t)
                             }
                             None => {
-                                match run_isolated(|| characterize_system(spec, config, &copts)) {
+                                // Whole-triple miss: compute, consulting the
+                                // phase memo so points shared with earlier
+                                // (differently keyed) sweeps still replay.
+                                let phase_memo = sup.memo.as_deref();
+                                match run_isolated(|| {
+                                    characterize_system_memo(spec, config, &copts, phase_memo)
+                                }) {
                                     Ok(Ok(t)) => {
                                         store_mx.lock().expect("store lock").save_tables(&t);
                                         if let Some((m, k)) = memo_key {

@@ -12,6 +12,7 @@
 //! *Application side*: run the application once with a [`ProfileSink`]
 //! attached and collect its [`AppProfile`].
 
+use crate::memo::CharactMemo;
 use crate::perf_table::{AccessMode, IoLevel, OpType, PerfRow, PerfTable, PerfTableSet};
 use crate::trace::{AppProfile, ProfileSink};
 use cluster::{ClusterMachine, ClusterSpec, ConfigError, IoConfig, Mount};
@@ -200,6 +201,7 @@ fn characterize_fs_level(
     config: &IoConfig,
     opts: &CharacterizeOptions,
     level: IoLevel,
+    memo: Option<&CharactMemo>,
 ) -> Result<PerfTable, CharactError> {
     let mount = match level {
         IoLevel::LocalFs => Mount::ServerLocal,
@@ -226,11 +228,22 @@ fn characterize_fs_level(
         }
         for &mode in &opts.modes {
             for op in [OpType::Write, OpType::Read] {
+                // The phase key names everything that shapes this one
+                // measurement: the machine, the point, and the watchdog
+                // budget (an aborted sweep must not alias a finished one).
+                let key = CharactMemo::phase_key(&format!(
+                    "fs|{spec:?}|{config:?}|{level:?}|{mode:?}|{op:?}|record={record}|file={file_size}|wd={:?}",
+                    opts.watchdog
+                ));
+                if let Some(row) = memo.and_then(|m| m.phase_get(key)) {
+                    table.insert(row);
+                    continue;
+                }
                 let run = IozoneRun::new(CHARACT_FILE, file_size, record, iozone_pattern(op, mode))
                     .on(mount);
                 let stats = run_fresh(spec, config, run.scenario(), opts.watchdog.as_ref())?;
                 let (rate, iops, latency) = point_metrics(&stats);
-                table.insert(PerfRow {
+                let row = PerfRow {
                     op,
                     block: record,
                     access: level.access_type(),
@@ -238,7 +251,11 @@ fn characterize_fs_level(
                     rate,
                     iops,
                     latency,
-                });
+                };
+                if let Some(m) = memo {
+                    m.phase_put(key, row);
+                }
+                table.insert(row);
             }
         }
     }
@@ -250,10 +267,19 @@ fn characterize_library_level(
     spec: &ClusterSpec,
     config: &IoConfig,
     opts: &CharacterizeOptions,
+    memo: Option<&CharactMemo>,
 ) -> Result<PerfTable, CharactError> {
     let mut table = PerfTable::new();
     for &block in &opts.ior_blocks {
         for op in [OpType::Write, OpType::Read] {
+            let key = CharactMemo::phase_key(&format!(
+                "lib|{spec:?}|{config:?}|{op:?}|block={block}|ranks={}|transfer={}|wd={:?}",
+                opts.ior_ranks, opts.ior_transfer, opts.watchdog
+            ));
+            if let Some(row) = memo.and_then(|m| m.phase_get(key)) {
+                table.insert(row);
+                continue;
+            }
             let ior = Ior {
                 ranks: opts.ior_ranks,
                 file: CHARACT_FILE,
@@ -276,7 +302,7 @@ fn characterize_library_level(
             };
             let stats = run_fresh(spec, config, ior.scenario(), opts.watchdog.as_ref())?;
             let (rate, iops, latency) = point_metrics(&stats);
-            table.insert(PerfRow {
+            let row = PerfRow {
                 op,
                 block,
                 access: IoLevel::Library.access_type(),
@@ -284,7 +310,11 @@ fn characterize_library_level(
                 rate,
                 iops,
                 latency,
-            });
+            };
+            if let Some(m) = memo {
+                m.phase_put(key, row);
+            }
+            table.insert(row);
         }
     }
     Ok(table)
@@ -297,12 +327,27 @@ pub fn characterize_system(
     config: &IoConfig,
     opts: &CharacterizeOptions,
 ) -> Result<PerfTableSet, CharactError> {
+    characterize_system_memo(spec, config, opts, None)
+}
+
+/// [`characterize_system`] with phase-granular memoization: each
+/// `(workload, point)` measurement consults `memo` before simulating and
+/// stores its row after. A memo hit replays the exact row a recomputation
+/// would produce (digest-verified on load), so memoized and fresh
+/// characterizations render byte-identically — including across sweeps
+/// that only partially overlap, where the whole-triple cache misses.
+pub fn characterize_system_memo(
+    spec: &ClusterSpec,
+    config: &IoConfig,
+    opts: &CharacterizeOptions,
+    memo: Option<&CharactMemo>,
+) -> Result<PerfTableSet, CharactError> {
     let mut set = PerfTableSet::new(spec.name.clone(), config.name.clone());
     for &level in &opts.levels {
         let table = match level {
-            IoLevel::Library => characterize_library_level(spec, config, opts)?,
+            IoLevel::Library => characterize_library_level(spec, config, opts, memo)?,
             IoLevel::GlobalFs | IoLevel::LocalFs => {
-                characterize_fs_level(spec, config, opts, level)?
+                characterize_fs_level(spec, config, opts, level, memo)?
             }
             // The metadata path is rate-characterized by the mdtest
             // workloads, not the IOzone/IOR bandwidth sweep.
@@ -423,6 +468,49 @@ mod tests {
         let a = characterize_system(&spec, &config, &CharacterizeOptions::quick()).unwrap();
         let b = characterize_system(&spec, &config, &CharacterizeOptions::quick()).unwrap();
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn memoized_characterization_renders_byte_identical_and_hits_phases() {
+        let (spec, config) = quick_setup();
+        let opts = CharacterizeOptions::quick();
+        let fresh = characterize_system(&spec, &config, &opts).unwrap();
+
+        let memo = crate::memo::CharactMemo::new();
+        let first = characterize_system_memo(&spec, &config, &opts, Some(&memo)).unwrap();
+        let (h0, m0) = memo.phase_stats();
+        assert_eq!(h0, 0, "cold memo cannot hit");
+        assert!(m0 > 0, "every point is a phase miss on a cold memo");
+        let warm = characterize_system_memo(&spec, &config, &opts, Some(&memo)).unwrap();
+        let (h1, m1) = memo.phase_stats();
+        assert_eq!(h1, m0, "warm rerun must replay every point");
+        assert_eq!(m1, m0);
+
+        assert_eq!(fresh.to_json(), first.to_json());
+        assert_eq!(fresh.to_json(), warm.to_json());
+    }
+
+    #[test]
+    fn partially_overlapping_sweeps_share_phases() {
+        let (spec, config) = quick_setup();
+        let memo = crate::memo::CharactMemo::new();
+        let narrow = CharacterizeOptions::quick();
+        characterize_system_memo(&spec, &config, &narrow, Some(&memo)).unwrap();
+        let (_, misses) = memo.phase_stats();
+
+        // A wider sweep sharing the narrow one's points: the shared points
+        // replay (whole-triple keys would differ, phase keys match), only
+        // the new block pays a simulation.
+        let mut wide = CharacterizeOptions::quick();
+        wide.ior_blocks = vec![2 * MIB, 4 * MIB];
+        let set = characterize_system_memo(&spec, &config, &wide, Some(&memo)).unwrap();
+        let (hits2, misses2) = memo.phase_stats();
+        assert_eq!(hits2, misses, "every shared point must be a phase hit");
+        assert_eq!(misses2 - misses, 2, "only the new block's two ops run");
+
+        // And the memo-assisted wide sweep matches a fresh wide sweep.
+        let fresh = characterize_system(&spec, &config, &wide).unwrap();
+        assert_eq!(fresh.to_json(), set.to_json());
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub use campaign::{
     CellMerger, CellOutcome, CellStore, MemStore, NoStore, StoreHealth, SuperviseOptions,
 };
 pub use charact::{
-    characterize_app, characterize_system, require_level, CharactError, CharacterizeOptions,
+    characterize_app, characterize_system, characterize_system_memo, require_level, CharactError,
+    CharacterizeOptions,
 };
 pub use eval::{evaluate, EvalError, EvalOptions, EvalReport, FaultScenario, UsageRow};
 pub use memo::CharactMemo;

@@ -15,7 +15,7 @@
 //! stderr by the reproduction driver), never in rendered campaign tables.
 
 use crate::charact::CharacterizeOptions;
-use crate::perf_table::PerfTableSet;
+use crate::perf_table::{PerfRow, PerfTableSet};
 use cluster::{ClusterSpec, IoConfig};
 use std::collections::HashMap;
 use std::fmt;
@@ -45,12 +45,26 @@ struct MemoEntry {
     tables: PerfTableSet,
 }
 
+/// One memoized measurement *phase* — a single `(workload, point)` run
+/// inside a characterization sweep — with the same digest-on-store,
+/// verify-on-load discipline as [`MemoEntry`]. Phase entries let partially
+/// overlapping sweeps (a different block list sharing some points, a
+/// resumed run with a changed level set) replay the points they share even
+/// when the whole-triple key misses.
+struct PhaseEntry {
+    digest: u64,
+    row: PerfRow,
+}
+
 /// Memoized characterization results, keyed by `(spec, config, options)`.
 #[derive(Default)]
 pub struct CharactMemo {
     tables: Mutex<HashMap<u64, MemoEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    phases: Mutex<HashMap<u64, PhaseEntry>>,
+    phase_hits: AtomicU64,
+    phase_misses: AtomicU64,
     quarantined: AtomicU64,
 }
 
@@ -116,6 +130,71 @@ impl CharactMemo {
             .insert(key, MemoEntry { digest, tables });
     }
 
+    /// Digest of one measurement phase. `descriptor` must spell out every
+    /// input that shapes the row — the cluster spec, the I/O
+    /// configuration, the workload point (record/block, mode, op) and the
+    /// watchdog budget — exactly as the whole-triple [`Self::key`] does,
+    /// only at phase granularity.
+    pub fn phase_key(descriptor: &str) -> u64 {
+        fnv1a(descriptor.as_bytes())
+    }
+
+    /// The memoized row for a phase, counting a phase hit or miss. The
+    /// same quarantine rule as [`Self::get`] applies: a digest mismatch
+    /// (real corruption or an injected
+    /// [`simcore::chaos::ChaosSite::MemoLoad`] fault) evicts the entry and
+    /// reports a miss.
+    pub fn phase_get(&self, key: u64) -> Option<PerfRow> {
+        let mut map = self.phases.lock().expect("memo lock");
+        let verified = match map.get(&key) {
+            None => None,
+            Some(entry) => {
+                let mut digest = fnv1a(format!("{:?}", entry.row).as_bytes());
+                if simcore::chaos::decide(simcore::chaos::ChaosSite::MemoLoad).is_some() {
+                    digest ^= 1;
+                }
+                if digest == entry.digest {
+                    Some(entry.row)
+                } else {
+                    map.remove(&key);
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "[memo] quarantined corrupt phase {key:016x} (digest mismatch); recomputing"
+                    );
+                    None
+                }
+            }
+        };
+        drop(map);
+        match verified {
+            Some(row) => {
+                self.phase_hits.fetch_add(1, Ordering::Relaxed);
+                Some(row)
+            }
+            None => {
+                self.phase_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores one freshly measured phase row with its integrity digest.
+    pub fn phase_put(&self, key: u64, row: PerfRow) {
+        let digest = fnv1a(format!("{row:?}").as_bytes());
+        self.phases
+            .lock()
+            .expect("memo lock")
+            .insert(key, PhaseEntry { digest, row });
+    }
+
+    /// `(phase hits, phase misses)` so far.
+    pub fn phase_stats(&self) -> (u64, u64) {
+        (
+            self.phase_hits.load(Ordering::Relaxed),
+            self.phase_misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         (
@@ -139,16 +218,29 @@ impl CharactMemo {
             entry.digest ^= 1;
         }
     }
+
+    /// [`Self::corrupt`] for a phase entry (tests only).
+    #[cfg(test)]
+    fn corrupt_phase(&self, key: u64) {
+        if let Some(entry) = self.phases.lock().expect("memo lock").get_mut(&key) {
+            entry.digest ^= 1;
+        }
+    }
 }
 
 impl fmt::Debug for CharactMemo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (hits, misses) = self.stats();
+        let (phase_hits, phase_misses) = self.phase_stats();
         let entries = self.tables.lock().map(|t| t.len()).unwrap_or(0);
+        let phases = self.phases.lock().map(|t| t.len()).unwrap_or(0);
         f.debug_struct("CharactMemo")
             .field("entries", &entries)
             .field("hits", &hits)
             .field("misses", &misses)
+            .field("phases", &phases)
+            .field("phase_hits", &phase_hits)
+            .field("phase_misses", &phase_misses)
             .finish()
     }
 }
@@ -184,6 +276,48 @@ mod tests {
         let replay = memo.get(key).expect("memoized");
         assert_eq!(replay.cluster, "s");
         assert_eq!(memo.stats(), (1, 1));
+    }
+
+    fn sample_row() -> PerfRow {
+        use crate::perf_table::{AccessMode, AccessType, OpType};
+        PerfRow {
+            op: OpType::Write,
+            block: 1024,
+            access: AccessType::Local,
+            mode: AccessMode::Sequential,
+            rate: simcore::Bandwidth::from_mib_per_sec(42),
+            iops: 17.5,
+            latency: simcore::Time::from_micros(90),
+        }
+    }
+
+    #[test]
+    fn phase_get_and_put_count_phase_hits_and_misses() {
+        let memo = CharactMemo::new();
+        let key = CharactMemo::phase_key("spec|config|fs|LocalFs|1024|Sequential|Write");
+        assert!(memo.phase_get(key).is_none());
+        memo.phase_put(key, sample_row());
+        let replay = memo.phase_get(key).expect("memoized phase");
+        assert_eq!(format!("{replay:?}"), format!("{:?}", sample_row()));
+        assert_eq!(memo.phase_stats(), (1, 1));
+        // Whole-triple counters are untouched by phase traffic.
+        assert_eq!(memo.stats(), (0, 0));
+    }
+
+    #[test]
+    fn corrupt_phase_entries_are_quarantined_not_served() {
+        let memo = CharactMemo::new();
+        let key = 11;
+        memo.phase_put(key, sample_row());
+        memo.corrupt_phase(key);
+        assert!(
+            memo.phase_get(key).is_none(),
+            "corrupt phase must not be served"
+        );
+        assert_eq!(memo.quarantined(), 1);
+        memo.phase_put(key, sample_row());
+        assert!(memo.phase_get(key).is_some());
+        assert_eq!(memo.quarantined(), 1);
     }
 
     #[test]

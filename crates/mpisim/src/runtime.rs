@@ -36,7 +36,7 @@ impl Default for RuntimeParams {
 }
 
 /// Per-rank outcome of a run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RankStats {
     /// When the rank finished its program.
     pub end: Time,
@@ -59,7 +59,7 @@ pub struct RankStats {
 }
 
 /// Whole-run outcome.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Completion time of the slowest rank.
     pub wall_time: Time,
@@ -145,6 +145,7 @@ struct CollState {
 /// The MPI runtime.
 pub struct Runtime {
     params: RuntimeParams,
+    collapse: bool,
 }
 
 impl Default for Runtime {
@@ -156,7 +157,20 @@ impl Default for Runtime {
 impl Runtime {
     /// A runtime with the given parameters.
     pub fn new(params: RuntimeParams) -> Runtime {
-        Runtime { params }
+        Runtime {
+            params,
+            collapse: true,
+        }
+    }
+
+    /// Enables or disables the collapsed execution of symmetric rank
+    /// cohorts (see [`crate::collapse`]; on by default). Collapse only
+    /// ever engages when machine, programs and placement all prove
+    /// symmetric, so disabling it changes speed, never results — the
+    /// bench harness uses this toggle to measure exactly that speedup.
+    pub fn with_collapse(mut self, enabled: bool) -> Runtime {
+        self.collapse = enabled;
+        self
     }
 
     /// Executes `programs` (one per rank) placed on `placement`
@@ -197,6 +211,20 @@ impl Runtime {
         );
         for &n in placement {
             assert!(n < machine.nodes(), "placement references unknown node");
+        }
+        if self.collapse {
+            let signatures: Vec<_> = programs.iter().map(|p| p.signature()).collect();
+            if let Some(cohorts) = crate::collapse::plan(&*machine, placement, &signatures) {
+                return crate::collapse::run(
+                    &self.params,
+                    machine,
+                    placement,
+                    programs,
+                    cohorts,
+                    sink,
+                    watchdog,
+                );
+            }
         }
         let world = programs.len();
         let mut exec = Exec {
@@ -254,7 +282,7 @@ impl Runtime {
             );
             ctx.stats.end = ctx.t;
             stats.wall_time = stats.wall_time.max(ctx.t);
-            stats.per_rank.push(ctx.stats.clone());
+            stats.per_rank.push(std::mem::take(&mut ctx.stats));
         }
         Ok(stats)
     }

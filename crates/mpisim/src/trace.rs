@@ -179,6 +179,16 @@ pub trait TraceSink {
     /// Records one event. Events of one rank arrive in program order;
     /// events of different ranks may interleave arbitrarily.
     fn record(&mut self, ev: TraceEvent);
+
+    /// Whether this sink needs the events of *every* member of a collapsed
+    /// symmetric cohort. Returning `false` permits the runtime to skip
+    /// event emission for cohorts entirely (members *and* representative),
+    /// which is what makes collapsed execution O(1) per member. The
+    /// default keeps every sink complete; only sinks that discard events
+    /// ([`NullSink`]) should opt out.
+    fn wants_cohort_members(&self) -> bool {
+        true
+    }
 }
 
 /// A sink that stores every event (use only for small runs / diagrams).
@@ -207,6 +217,10 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn record(&mut self, _ev: TraceEvent) {}
+
+    fn wants_cohort_members(&self) -> bool {
+        false
+    }
 }
 
 /// Two sinks in sequence.

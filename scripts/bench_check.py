@@ -49,8 +49,33 @@ def main() -> int:
         )
         return 1
 
-    for field in ("event_queue_mops", "striping_ns_per_op", "memo_speedup"):
-        print(f"{field:>22}: baseline {base[field]:10.1f}   fresh {fresh[field]:10.1f}")
+    for field in (
+        "event_queue_mops",
+        "striping_ns_per_op",
+        "memo_speedup",
+        "scale_speedup",
+    ):
+        # A baseline committed before a cell existed simply lacks its
+        # fields; that is a stale-but-valid baseline, not an error.
+        b_val, f_val = base.get(field), fresh.get(field)
+        if b_val is None or f_val is None:
+            side = "baseline" if b_val is None else "fresh report"
+            print(f"{field:>22}: missing from {side}; skipped")
+            continue
+        print(f"{field:>22}: baseline {b_val:10.1f}   fresh {f_val:10.1f}")
+
+    # The rank-group collapse must keep paying for itself at scale: the
+    # speedup is a work-count ratio (collapsed runs execute ~1/ranks of
+    # the ops), so unlike wall times it is host-noise-insensitive and can
+    # be gated with a hard floor.
+    scale_speedup = fresh.get("scale_speedup")
+    if scale_speedup is not None and scale_speedup < 10.0:
+        print(
+            f"FAIL: scale_speedup {scale_speedup:.1f}x is below the 10x floor"
+            " (rank-group collapsing is not engaging or has regressed)",
+            file=sys.stderr,
+        )
+        return 1
 
     b, f_ = base["pinned_cell_ms"], fresh["pinned_cell_ms"]
     if not b > 0.0:
