@@ -8,8 +8,16 @@
 //!       [--memo-stats] [--trace-out FILE] [--trace-format jsonl|chrome] [--metrics]
 //!       [--chaos-seed N] [--chaos-profile NAME] [--chaos-repro TOKEN]
 //!       [--pfs-profile full|fail|recover|none] [--strict-store]
+//!       [--grammar FILE] [--sample N] [--seed S]
 //!       <experiment>... | all | list
 //! ```
+//!
+//! `--grammar FILE`, `--sample N`, and `--seed S` parameterize the
+//! `scenario` experiment: the grammar file describes a workload *space*
+//! (see `DESIGN.md` §5k), the sampler draws `N` concrete variants under
+//! seed `S`, and the variant × configuration grid runs as one supervised
+//! campaign — 10k+ cells sweep fine under `--jobs`, with byte-identical
+//! output for any worker count.
 //!
 //! Experiments are named after the paper's artifacts (`table3`, `fig12`,
 //! ...); `all` runs the full evaluation section in order. `--scale paper`
@@ -98,6 +106,9 @@ fn main() {
     let mut chaos_repro: Option<String> = None;
     let mut strict_store = false;
     let mut pfs_profile = PfsFaultProfile::default();
+    let mut grammar_file: Option<String> = None;
+    let mut scenario_sample: Option<usize> = None;
+    let mut scenario_seed: Option<u64> = None;
     let mut selected: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -194,6 +205,31 @@ fn main() {
                     .unwrap_or_else(|| die("expected --pfs-profile full|fail|recover|none"));
             }
             "--strict-store" => strict_store = true,
+            "--grammar" => {
+                i += 1;
+                grammar_file = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("expected --grammar FILE")),
+                );
+            }
+            "--sample" => {
+                i += 1;
+                scenario_sample = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("expected --sample N (N >= 1)")),
+                );
+            }
+            "--seed" => {
+                i += 1;
+                scenario_seed = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| die("expected --seed N")),
+                );
+            }
             "--help" | "-h" => {
                 usage();
                 return;
@@ -269,6 +305,17 @@ fn main() {
     });
 
     let mut repro = Repro::new(scale).with_pfs_profile(pfs_profile);
+    if let Some(path) = &grammar_file {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read --grammar {path}: {e}")));
+        repro = repro.with_scenario_grammar(src);
+    }
+    if let Some(n) = scenario_sample {
+        repro = repro.with_scenario_sample(n);
+    }
+    if let Some(s) = scenario_seed {
+        repro = repro.with_scenario_seed(s);
+    }
     if no_memo {
         repro = repro.without_memo();
     }
@@ -296,7 +343,19 @@ fn main() {
 
     let mut full_output = String::new();
     for (id, desc, f) in to_run {
-        let exp_key = format!("exp-{id}-{}", scale.label());
+        // The scenario experiment's output depends on the grammar, seed,
+        // and sample count, so its checkpoint key carries the full grid
+        // identity — a rerun with different scenario flags recomputes
+        // instead of replaying a stale grid.
+        let exp_key = if *id == "scenario" {
+            format!(
+                "exp-scenario-{}-{}",
+                scale.label(),
+                bench::scenario_grid::grid_key(&repro)
+            )
+        } else {
+            format!("exp-{id}-{}", scale.label())
+        };
         let output = match repro.checkpoint_dir().and_then(|d| d.load(&exp_key)) {
             Some(cached) => {
                 eprintln!("[repro] {id} restored from checkpoint");
@@ -418,7 +477,7 @@ fn usage() {
          \x20            [--trace-out FILE] [--trace-format jsonl|chrome] [--metrics]\n\
          \x20            [--chaos-seed N] [--chaos-profile store|panic|memo|trace|mixed]\n\
          \x20            [--chaos-repro TOKEN] [--pfs-profile full|fail|recover|none]\n\
-         \x20            [--strict-store]\n\
+         \x20            [--strict-store] [--grammar FILE] [--sample N] [--seed S]\n\
          \x20            <experiment>... | all | list\n\
          experiments regenerate the paper's tables/figures; see 'repro list'.\n\
          --checkpoint/--resume persist finished work to DIR and replay it on rerun;\n\
@@ -437,7 +496,10 @@ fn usage() {
          to exercise recovery; --chaos-repro TOKEN replays an exact schedule;\n\
          --pfs-profile picks the PFS fault rows of the resilience experiment\n\
          (full = fail + recover, none = RAID-only table);\n\
-         --strict-store exits 3 if store-level damage survived the run."
+         --strict-store exits 3 if store-level damage survived the run;\n\
+         --grammar/--sample/--seed parameterize the scenario experiment: a\n\
+         grammar file describing a workload space, how many variants to draw,\n\
+         and the sampler seed (grid identity keys the checkpoint)."
     );
 }
 

@@ -99,7 +99,14 @@ pub struct Repro {
     memo: Option<Arc<CharactMemo>>,
     obs: Option<ReproObs>,
     pfs_profile: PfsFaultProfile,
+    scenario_grammar: Option<String>,
+    scenario_sample: Option<usize>,
+    scenario_seed: u64,
 }
+
+/// Default sampler seed of the `scenario` experiment (pinned so default
+/// runs and the golden grid agree).
+pub const SCENARIO_SEED: u64 = 42;
 
 /// Observability state of a tracing-enabled context.
 struct ReproObs {
@@ -135,7 +142,46 @@ impl Repro {
             memo: Some(Arc::new(CharactMemo::new())),
             obs: None,
             pfs_profile: PfsFaultProfile::default(),
+            scenario_grammar: None,
+            scenario_sample: None,
+            scenario_seed: SCENARIO_SEED,
         }
+    }
+
+    /// Overrides the scenario grammar the `scenario` experiment sweeps
+    /// (`repro scenario --grammar FILE`). Defaults to the worked example,
+    /// [`workloads::grammar::EXAMPLE`].
+    pub fn with_scenario_grammar(mut self, src: impl Into<String>) -> Repro {
+        self.scenario_grammar = Some(src.into());
+        self
+    }
+
+    /// The grammar source override, if any.
+    pub fn scenario_grammar(&self) -> Option<&str> {
+        self.scenario_grammar.as_deref()
+    }
+
+    /// Overrides how many variants the scenario sampler draws (`--sample
+    /// N`). Defaults per scale (see `scenario_grid`).
+    pub fn with_scenario_sample(mut self, n: usize) -> Repro {
+        self.scenario_sample = Some(n.max(1));
+        self
+    }
+
+    /// The sample-count override, if any.
+    pub fn scenario_sample(&self) -> Option<usize> {
+        self.scenario_sample
+    }
+
+    /// Sets the scenario sampler seed (`--seed S`).
+    pub fn with_scenario_seed(mut self, seed: u64) -> Repro {
+        self.scenario_seed = seed;
+        self
+    }
+
+    /// The scenario sampler seed.
+    pub fn scenario_seed(&self) -> u64 {
+        self.scenario_seed
     }
 
     /// Selects which PFS fault rows the resilience experiment runs.

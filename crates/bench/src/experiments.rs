@@ -999,23 +999,45 @@ pub fn io500(r: &mut Repro) -> String {
             None => run_campaign_supervised(&spec, &configs, &apps, &opts, &sup, &mut NoStore),
         };
 
+        // A phase that completed without moving any bytes (or metadata
+        // ops) has a zero — or, with a zero-duration run, NaN — rate.
+        // Feeding that into the geometric mean would void the whole
+        // composite with no explanation (or worse, propagate NaN/-inf
+        // into the score line), so undefined phases render `n/a` with the
+        // reason, are excluded from their mean, and are named next to the
+        // composite — the same discipline `EvalNote` applies to zero
+        // characterized rates.
         let mut t = TextTable::new(vec!["phase", "result"]);
         let mut bw = Vec::new();
         let mut md = Vec::new();
+        let mut undefined: Vec<String> = Vec::new();
         for (app, _) in &apps {
             let cell = campaign.cells.iter().find(|c| c.app == *app);
             let result = match cell {
                 Some(c) if app.starts_with("ior") => {
                     let rate = c.report.write_rate.max(c.report.read_rate).as_mib_per_sec();
-                    bw.push(rate);
-                    format!("{rate:.1} MiB/s")
+                    if rate.is_finite() && rate > 0.0 {
+                        bw.push(rate);
+                        format!("{rate:.1} MiB/s")
+                    } else {
+                        undefined.push(app.to_string());
+                        "n/a (zero I/O rate)".into()
+                    }
                 }
                 Some(c) => {
                     let kiops = c.report.meta_ops_per_sec() / 1000.0;
-                    md.push(kiops);
-                    format!("{kiops:.3} kIOPS")
+                    if kiops.is_finite() && kiops > 0.0 {
+                        md.push(kiops);
+                        format!("{kiops:.3} kIOPS")
+                    } else {
+                        undefined.push(app.to_string());
+                        "n/a (zero metadata rate)".into()
+                    }
                 }
-                None => "-".into(),
+                None => {
+                    undefined.push(app.to_string());
+                    "n/a (cell did not complete)".into()
+                }
             };
             t.row(vec![app.to_string(), result]);
         }
@@ -1026,15 +1048,31 @@ pub fn io500(r: &mut Repro) -> String {
             t.render()
         ));
         match (geomean(&bw), geomean(&md)) {
-            (Some(b), Some(m)) => out.push_str(&format!(
-                "bandwidth score: {b:.1} MiB/s (geometric mean of {} ior phases)\n\
-                 metadata score: {m:.3} kIOPS (geometric mean of {} mdtest phases)\n\
-                 io500 score: {:.3} (sqrt of bandwidth x metadata)\n",
-                bw.len(),
-                md.len(),
-                (b * m).sqrt()
+            (Some(b), Some(m)) => {
+                out.push_str(&format!(
+                    "bandwidth score: {b:.1} MiB/s (geometric mean of {} ior phases)\n\
+                     metadata score: {m:.3} kIOPS (geometric mean of {} mdtest phases)\n\
+                     io500 score: {:.3} (sqrt of bandwidth x metadata)\n",
+                    bw.len(),
+                    md.len(),
+                    (b * m).sqrt()
+                ));
+                if !undefined.is_empty() {
+                    out.push_str(&format!(
+                        "note: composite over defined phases only; n/a: {}\n",
+                        undefined.join(", ")
+                    ));
+                }
+            }
+            _ => out.push_str(&format!(
+                "io500 score: incomplete (every {} phase is n/a: {})\n",
+                if bw.is_empty() {
+                    "bandwidth"
+                } else {
+                    "metadata"
+                },
+                undefined.join(", ")
             )),
-            _ => out.push_str("io500 score: incomplete (a phase failed or scored zero)\n"),
         }
         if campaign.is_degraded() {
             out.push_str(&format!(
@@ -1122,6 +1160,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "io500",
             "IO500-style composite: ior + mdtest, NFS vs PFS",
             io500,
+        ),
+        (
+            "scenario",
+            "sampled scenario-grammar what-if grid",
+            crate::scenario_grid::scenario,
         ),
     ]
 }

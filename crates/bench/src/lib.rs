@@ -16,6 +16,7 @@ pub mod checkpoint;
 pub mod context;
 pub mod experiments;
 pub mod hotpath;
+pub mod scenario_grid;
 
 pub use checkpoint::{CampaignStore, CheckpointDir, WriteRetry};
 pub use context::{write_artifact, PfsFaultProfile, Repro, Scale};

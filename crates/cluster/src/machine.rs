@@ -651,6 +651,13 @@ impl Machine for ClusterMachine {
     }
 
     fn io_read(&mut self, now: Time, node: NodeId, file: FileId, offset: u64, len: u64) -> Time {
+        // A zero-length transfer is a well-defined no-op, filtered here so
+        // degenerate op programs cannot reach the byte-moving layers —
+        // `PfsSystem::{write,read}` assert `len > 0` as an internal
+        // invariant (see the panic audit there).
+        if len == 0 {
+            return now;
+        }
         self.apply_faults_up_to(now);
         match self.mount_of(file) {
             Mount::Nfs => {
@@ -691,6 +698,10 @@ impl Machine for ClusterMachine {
     }
 
     fn io_write(&mut self, now: Time, node: NodeId, file: FileId, offset: u64, len: u64) -> Time {
+        // Zero-length writes are no-ops, same as `io_read`.
+        if len == 0 {
+            return now;
+        }
         self.apply_faults_up_to(now);
         match self.mount_of(file) {
             Mount::Nfs => {
@@ -831,6 +842,27 @@ mod tests {
         let t = m.io_close(t, 0, F);
         assert!(t > Time::ZERO);
         assert_eq!(m.server().fs().file_size(F), 4 * MIB);
+    }
+
+    #[test]
+    fn zero_length_io_is_a_noop_on_every_mount() {
+        // Degenerate programs must not cost time, move bytes, or panic
+        // (the PFS layer asserts len > 0 as an internal invariant).
+        let spec = presets::test_cluster();
+        let config = IoConfigBuilder::new(DeviceLayout::Jbod).pfs(2).build();
+        let mut m = ClusterMachine::try_new(&spec, &config).expect("valid cluster configuration");
+        for mount in [
+            Mount::Nfs,
+            Mount::NfsDirect,
+            Mount::Local,
+            Mount::ServerLocal,
+            Mount::Pfs,
+        ] {
+            m.mount(F, mount);
+            let t = m.io_open(Time::ZERO, 0, F, true);
+            assert_eq!(m.io_write(t, 0, F, 0, 0), t, "{mount:?} write");
+            assert_eq!(m.io_read(t, 0, F, 0, 0), t, "{mount:?} read");
+        }
     }
 
     #[test]

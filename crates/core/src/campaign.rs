@@ -603,6 +603,34 @@ pub fn strip_store_health(rendered: &str) -> &str {
         .map_or(rendered, |i| &rendered[..i])
 }
 
+/// Identity of a sampled scenario grid: the grammar's source digest, the
+/// sampler seed, and the sample count. Everything that determines which
+/// workload variants a campaign sweeps is pinned by these three values,
+/// so the rendered key is safe to use as a checkpoint namespace — change
+/// the grammar text (beyond comments/whitespace), the seed, or the count
+/// and the key moves with it, keeping stale checkpoints from replaying
+/// into a different grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GridKey {
+    /// Normalized-source digest of the grammar (see
+    /// `workloads::grammar::Grammar::digest`).
+    pub grammar: u64,
+    /// Sampler seed.
+    pub seed: u64,
+    /// Number of variants drawn.
+    pub sample: usize,
+}
+
+impl std::fmt::Display for GridKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario-{:016x}-s{}-n{}",
+            self.grammar, self.seed, self.sample
+        )
+    }
+}
+
 /// What a worker learned about one cell, before the deterministic merge.
 /// Workers never decide a cell's *final* outcome — that is the
 /// [`CellMerger`]'s job, performed strictly in input order so the merged
@@ -861,7 +889,10 @@ fn evaluate_cell(
                     attempts,
                 };
             }
-            Ok(Err(e @ EvalError::Config(_))) => {
+            // Config and program errors are deterministic: the same cell
+            // fails identically on every attempt, so they break straight to
+            // a typed failure without touching the panic-retry budget.
+            Ok(Err(e @ (EvalError::Config(_) | EvalError::Program { .. }))) => {
                 break CellOutcome::Failed {
                     app: app.to_string(),
                     config: cfg.to_string(),
@@ -1287,6 +1318,50 @@ mod tests {
         assert!(rendered.contains("degraded campaign"));
         assert!(rendered.contains("1 ok, 1 failed, 1 timed out, 0 skipped"));
         assert!(rendered.contains("injected factory failure"));
+    }
+
+    /// One rank blocks on a receive that can never match: a structurally
+    /// broken program, the kind a buggy scenario grammar could emit.
+    fn deadlock_scenario() -> Scenario {
+        Scenario {
+            name: "deadlock".into(),
+            programs: vec![Box::new(mpisim::VecStream::new(vec![MpiOp::Recv {
+                src: 0,
+                tag: 9,
+            }]))],
+            mounts: vec![],
+            prealloc: vec![],
+        }
+    }
+
+    #[test]
+    fn invalid_program_cell_fails_typed_without_burning_retries() {
+        let spec = presets::test_cluster();
+        let configs = vec![IoConfigBuilder::new(DeviceLayout::Jbod).build()];
+        let bad = deadlock_scenario;
+        let apps: Vec<AppFactory> = vec![("generated-bad", &bad)];
+        let sup = SuperviseOptions::default(); // max_retries = 1
+        let c = run_campaign_supervised(
+            &spec,
+            &configs,
+            &apps,
+            &CharacterizeOptions::quick(),
+            &sup,
+            &mut NoStore,
+        );
+        match &c.outcomes[0] {
+            CellOutcome::Failed {
+                error, attempts, ..
+            } => {
+                assert!(error.contains("deadlock"), "{error}");
+                assert!(error.contains("invalid op program"), "{error}");
+                assert_eq!(
+                    *attempts, 1,
+                    "typed program faults are deterministic: no retry"
+                );
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
     }
 
     #[test]

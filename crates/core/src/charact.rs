@@ -166,7 +166,17 @@ fn run_fresh(
             &mut sink,
             watchdog.map(WatchdogSpec::arm),
         )
-        .map_err(|abort| CharactError::Aborted { workload, abort })
+        .map_err(|e| match e {
+            mpisim::RunError::Aborted(abort) => CharactError::Aborted { workload, abort },
+            // Characterization scenarios are built internally from already
+            // validated configurations; an invalid program here is a bug in
+            // this crate, not an input error.
+            mpisim::RunError::Invalid(fault) => {
+                unreachable!(
+                    "characterization workload '{workload}' built an invalid program: {fault}"
+                )
+            }
+        })
 }
 
 /// Extracts (rate, iops, latency) from a measurement run.

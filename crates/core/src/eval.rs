@@ -30,6 +30,17 @@ pub enum EvalError {
         /// Why the watchdog stopped it.
         abort: Abort,
     },
+    /// The op program was structurally invalid — it referenced unknown
+    /// ranks, mismatched its placement, or deadlocked. Deterministic:
+    /// retrying the same program cannot succeed, so campaign workers
+    /// classify this as a permanent cell failure without burning their
+    /// panic-retry budget.
+    Program {
+        /// The application whose program was invalid.
+        app: String,
+        /// The structural defect.
+        fault: mpisim::ProgramFault,
+    },
 }
 
 impl From<ConfigError> for EvalError {
@@ -44,6 +55,9 @@ impl std::fmt::Display for EvalError {
             EvalError::Config(e) => write!(f, "invalid cluster configuration: {e}"),
             EvalError::Aborted { app, abort } => {
                 write!(f, "evaluation of '{app}' aborted: {abort}")
+            }
+            EvalError::Program { app, fault } => {
+                write!(f, "invalid op program in '{app}': {fault}")
             }
         }
     }
@@ -538,9 +552,15 @@ pub fn evaluate(
             &mut sink,
             opts.watchdog.as_ref().map(WatchdogSpec::arm),
         )
-        .map_err(|abort| EvalError::Aborted {
-            app: app.clone(),
-            abort,
+        .map_err(|e| match e {
+            mpisim::RunError::Aborted(abort) => EvalError::Aborted {
+                app: app.clone(),
+                abort,
+            },
+            mpisim::RunError::Invalid(fault) => EvalError::Program {
+                app: app.clone(),
+                fault,
+            },
         })?;
     let meta_ops: u64 = stats.per_rank.iter().map(|r| r.meta_ops).sum();
     let profile = sink.finish();

@@ -283,6 +283,13 @@ pub struct PfsSystem {
 
 impl PfsSystem {
     /// Deploys servers on `server_nodes`, one backing filesystem each.
+    ///
+    /// Panic audit (campaign-worker reachability): the constructor asserts
+    /// below restate what `IoConfig::validate` already rejects with typed
+    /// `ConfigError`s (`TooManyPfsServers`, `TooManyPfsReplicas`) before
+    /// any machine is built — `ClusterMachine::try_new` validates first —
+    /// so no configuration a campaign cell can carry reaches them. They
+    /// stay asserts to guard direct (test/embedding) construction.
     pub fn new(params: PfsParams, server_nodes: Vec<NodeId>, backends: Vec<LocalFs>) -> PfsSystem {
         assert!(!server_nodes.is_empty(), "a PFS needs at least one server");
         assert_eq!(server_nodes.len(), backends.len(), "one backend per server");
@@ -671,6 +678,10 @@ impl PfsSystem {
         offset: u64,
         len: u64,
     ) -> Result<Time, PfsError> {
+        // Panic audit: `ClusterMachine::{io_write,io_read}` filter
+        // zero-length transfers as no-ops before dispatching here, so this
+        // invariant is unreachable from op programs; it guards direct
+        // embeddings against a division-free but meaningless span walk.
         assert!(len > 0, "zero-length write");
         let n = self.servers.len();
         let reps = self.params.replicas;
@@ -779,6 +790,8 @@ impl PfsSystem {
         offset: u64,
         len: u64,
     ) -> Result<Time, PfsError> {
+        // Panic audit: unreachable from op programs — see the write-side
+        // note; zero-length reads are filtered upstream as no-ops.
         assert!(len > 0, "zero-length read");
         let n = self.servers.len();
         let reps = self.params.replicas;

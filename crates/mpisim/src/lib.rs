@@ -30,5 +30,5 @@ pub use op::{
     ChainStream, ChunkedStream, GenStream, MpiOp, OpStream, SignedStream, StreamSignature,
     VecStream,
 };
-pub use runtime::{RunStats, Runtime, RuntimeParams};
+pub use runtime::{ProgramFault, RunError, RunStats, Runtime, RuntimeParams};
 pub use trace::{NullSink, TraceEvent, TraceKind, TraceSink, VecSink};

@@ -87,6 +87,106 @@ impl RunStats {
     }
 }
 
+/// A structural defect in an op program or its placement. These are
+/// deterministic — the same program fails the same way on every attempt —
+/// so campaign workers surface them as typed cell failures instead of
+/// panics: a malformed *generated* program (e.g. sampled from a scenario
+/// grammar) must land in the `CellOutcome` taxonomy, not burn the
+/// panic-retry budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramFault {
+    /// `placement.len() != programs.len()`.
+    PlacementMismatch {
+        /// Number of placement entries supplied.
+        placements: usize,
+        /// Number of rank programs supplied.
+        ranks: usize,
+    },
+    /// A placement entry references a node the machine does not have.
+    UnknownNode {
+        /// The rank whose placement is invalid.
+        rank: usize,
+        /// The referenced node.
+        node: usize,
+        /// How many nodes the machine has.
+        nodes: usize,
+    },
+    /// A message op targets a rank outside the world.
+    UnknownRank {
+        /// The op kind ("send", "recv", ...).
+        op: &'static str,
+        /// The rank executing the op.
+        rank: usize,
+        /// The out-of-range target rank (or root).
+        target: usize,
+        /// World size.
+        world: usize,
+    },
+    /// The event queue drained with at least one rank still blocked.
+    Deadlock {
+        /// The first unfinished rank.
+        rank: usize,
+        /// What it was blocked on.
+        waiting: String,
+    },
+}
+
+impl std::fmt::Display for ProgramFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramFault::PlacementMismatch { placements, ranks } => write!(
+                f,
+                "one placement entry per rank: {placements} placement entries for {ranks} ranks"
+            ),
+            ProgramFault::UnknownNode { rank, node, nodes } => write!(
+                f,
+                "placement references unknown node: rank {rank} on node {node}, machine has {nodes}"
+            ),
+            ProgramFault::UnknownRank {
+                op,
+                rank,
+                target,
+                world,
+            } => write!(
+                f,
+                "{op} on rank {rank} targets unknown rank {target} (world size {world})"
+            ),
+            ProgramFault::Deadlock { rank, waiting } => write!(
+                f,
+                "deadlock in the program: rank {rank} never finished (blocked on {waiting})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramFault {}
+
+/// Why a supervised run did not complete.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// The watchdog stopped the run (deadline, budget, or stall limit).
+    Aborted(Abort),
+    /// The program itself is invalid; retrying cannot succeed.
+    Invalid(ProgramFault),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Aborted(a) => a.fmt(f),
+            RunError::Invalid(p) => p.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<Abort> for RunError {
+    fn from(a: Abort) -> Self {
+        RunError::Aborted(a)
+    }
+}
+
 /// What a parked rank is waiting for (to finalize its trace on resume).
 #[derive(Clone, Copy, Debug)]
 enum ResumeAction {
@@ -185,7 +285,13 @@ impl Runtime {
     ) -> RunStats {
         match self.run_supervised(machine, placement, programs, sink, None) {
             Ok(stats) => stats,
-            Err(abort) => unreachable!("run without a watchdog cannot abort: {abort}"),
+            Err(RunError::Aborted(abort)) => {
+                unreachable!("run without a watchdog cannot abort: {abort}")
+            }
+            // In the unsupervised entry point an invalid program is a caller
+            // bug, reported by panic as it always was; supervised campaign
+            // workers get the typed error instead.
+            Err(RunError::Invalid(fault)) => panic!("{fault}"),
         }
     }
 
@@ -203,18 +309,27 @@ impl Runtime {
         programs: Vec<Box<dyn OpStream>>,
         sink: &mut dyn TraceSink,
         watchdog: Option<Watchdog>,
-    ) -> Result<RunStats, Abort> {
-        assert_eq!(
-            placement.len(),
-            programs.len(),
-            "one placement entry per rank"
-        );
-        for &n in placement {
-            assert!(n < machine.nodes(), "placement references unknown node");
+    ) -> Result<RunStats, RunError> {
+        if placement.len() != programs.len() {
+            return Err(RunError::Invalid(ProgramFault::PlacementMismatch {
+                placements: placement.len(),
+                ranks: programs.len(),
+            }));
+        }
+        for (rank, &n) in placement.iter().enumerate() {
+            if n >= machine.nodes() {
+                return Err(RunError::Invalid(ProgramFault::UnknownNode {
+                    rank,
+                    node: n,
+                    nodes: machine.nodes(),
+                }));
+            }
         }
         if self.collapse {
             let signatures: Vec<_> = programs.iter().map(|p| p.signature()).collect();
             if let Some(cohorts) = crate::collapse::plan(&*machine, placement, &signatures) {
+                // Signed streams attest collapse-safety (no p2p, no rank
+                // divergence), so the collapsed executor can only abort.
                 return crate::collapse::run(
                     &self.params,
                     machine,
@@ -223,7 +338,8 @@ impl Runtime {
                     cohorts,
                     sink,
                     watchdog,
-                );
+                )
+                .map_err(RunError::Aborted);
             }
         }
         let world = programs.len();
@@ -257,29 +373,36 @@ impl Runtime {
             colls: HashMap::new(),
             watchdog,
             abort: None,
+            fatal: None,
         };
         for r in 0..world {
             exec.queue.schedule(Time::ZERO, r);
         }
         while let Some((t, rank)) = exec.queue.pop() {
-            if !exec.guard(t) {
+            if exec.fatal.is_some() || !exec.guard(t) {
                 break;
             }
             exec.resume(rank, t);
         }
+        if let Some(fault) = exec.fatal {
+            return Err(RunError::Invalid(fault));
+        }
         if let Some(abort) = exec.abort {
-            return Err(abort);
+            return Err(RunError::Aborted(abort));
+        }
+        for (rank, ctx) in exec.ranks.iter().enumerate() {
+            if !ctx.done {
+                return Err(RunError::Invalid(ProgramFault::Deadlock {
+                    rank,
+                    waiting: format!("{:?}", ctx.resume),
+                }));
+            }
         }
         let mut stats = RunStats {
             wall_time: Time::ZERO,
             per_rank: Vec::with_capacity(world),
         };
         for ctx in &mut exec.ranks {
-            assert!(
-                ctx.done,
-                "rank never finished: deadlock in the program (blocked on {:?})",
-                ctx.resume
-            );
             ctx.stats.end = ctx.t;
             stats.wall_time = stats.wall_time.max(ctx.t);
             stats.per_rank.push(std::mem::take(&mut ctx.stats));
@@ -314,9 +437,19 @@ struct Exec<'a> {
     watchdog: Option<Watchdog>,
     /// Set once the watchdog demands an abort; stops all further stepping.
     abort: Option<Abort>,
+    /// Set when an op exposes a structural program defect (e.g. a message
+    /// to an unknown rank); stops all further stepping, reported as
+    /// [`RunError::Invalid`].
+    fatal: Option<ProgramFault>,
 }
 
 impl Exec<'_> {
+    /// Records a program fault and parks the offending rank; the main loop
+    /// stops before dispatching any further event.
+    fn fail(&mut self, fault: ProgramFault) -> bool {
+        self.fatal = Some(fault);
+        false
+    }
     /// Reports progress at simulated instant `now`; `false` means the run
     /// has been aborted and no more work may execute.
     fn guard(&mut self, now: Time) -> bool {
@@ -477,7 +610,14 @@ impl Exec<'_> {
                 self.emit(rank, start, start, TraceKind::Marker(id));
             }
             MpiOp::Send { dst, bytes, tag } => {
-                assert!(dst < self.world, "send to unknown rank");
+                if dst >= self.world {
+                    return self.fail(ProgramFault::UnknownRank {
+                        op: "send",
+                        rank,
+                        target: dst,
+                        world: self.world,
+                    });
+                }
                 let delivery = self
                     .machine
                     .mpi_send(start, node, self.placement[dst], bytes);
@@ -495,7 +635,14 @@ impl Exec<'_> {
                 self.deliver(rank, dst, tag, delivery, bytes);
             }
             MpiOp::Isend { dst, bytes, tag } => {
-                assert!(dst < self.world, "isend to unknown rank");
+                if dst >= self.world {
+                    return self.fail(ProgramFault::UnknownRank {
+                        op: "isend",
+                        rank,
+                        target: dst,
+                        world: self.world,
+                    });
+                }
                 let delivery = self
                     .machine
                     .mpi_send(start, node, self.placement[dst], bytes);
@@ -512,7 +659,14 @@ impl Exec<'_> {
                 self.deliver(rank, dst, tag, delivery, bytes);
             }
             MpiOp::Irecv { src, tag } => {
-                assert!(src < self.world, "irecv from unknown rank");
+                if src >= self.world {
+                    return self.fail(ProgramFault::UnknownRank {
+                        op: "irecv",
+                        rank,
+                        target: src,
+                        world: self.world,
+                    });
+                }
                 let key = (src, rank, tag);
                 if let Some((delivery, _bytes)) =
                     self.sends.get_mut(&key).and_then(|q| q.pop_front())
@@ -543,7 +697,14 @@ impl Exec<'_> {
                 }
             }
             MpiOp::Recv { src, tag } => {
-                assert!(src < self.world, "recv from unknown rank");
+                if src >= self.world {
+                    return self.fail(ProgramFault::UnknownRank {
+                        op: "recv",
+                        rank,
+                        target: src,
+                        world: self.world,
+                    });
+                }
                 let key = (src, rank, tag);
                 if let Some((delivery, _bytes)) =
                     self.sends.get_mut(&key).and_then(|q| q.pop_front())
@@ -578,7 +739,14 @@ impl Exec<'_> {
                 return false;
             }
             MpiOp::Bcast { root, bytes } => {
-                assert!(root < self.world, "bcast from unknown root");
+                if root >= self.world {
+                    return self.fail(ProgramFault::UnknownRank {
+                        op: "bcast",
+                        rank,
+                        target: root,
+                        world: self.world,
+                    });
+                }
                 self.bcast.push((rank, start));
                 self.ranks[rank].resume = Some(ResumeAction::Bcast { root, bytes, start });
                 if self.bcast.len() == self.world {
@@ -1575,7 +1743,10 @@ mod tests {
                 Some(wd),
             )
             .expect_err("livelock must abort");
-        assert!(matches!(err, simcore::Abort::Stalled { .. }), "{err:?}");
+        assert!(
+            matches!(err, RunError::Aborted(simcore::Abort::Stalled { .. })),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -1588,11 +1759,107 @@ mod tests {
             .run_supervised(&mut machine, &[0], vec![boxed(ops)], &mut sink, Some(wd))
             .expect_err("runaway compute must abort");
         match err {
-            simcore::Abort::SimDeadline { deadline, now } => {
+            RunError::Aborted(simcore::Abort::SimDeadline { deadline, now }) => {
                 assert_eq!(deadline, Time::from_secs(5));
                 assert!(now > deadline);
             }
             other => panic!("unexpected abort {other:?}"),
         }
+    }
+
+    /// Supervised entry point: structural program defects come back as
+    /// typed [`RunError::Invalid`] values (never panics), so campaign
+    /// workers can classify them without burning a panic-retry budget.
+    fn run_checked(placement: &[NodeId], programs: Vec<Vec<MpiOp>>) -> Result<RunStats, RunError> {
+        let mut machine = FixedMachine::new(placement.iter().max().map_or(1, |m| m + 1));
+        let mut sink = VecSink::new();
+        Runtime::default().run_supervised(
+            &mut machine,
+            placement,
+            programs.into_iter().map(boxed).collect(),
+            &mut sink,
+            None,
+        )
+    }
+
+    #[test]
+    fn supervised_unmatched_recv_is_a_typed_deadlock() {
+        let err = run_checked(&[0], vec![vec![MpiOp::Recv { src: 0, tag: 9 }]])
+            .expect_err("deadlock must be reported");
+        match err {
+            RunError::Invalid(ProgramFault::Deadlock { rank: 0, .. }) => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn supervised_placement_mismatch_is_typed() {
+        let err = run_checked(&[0, 0], vec![vec![]]).expect_err("mismatch must be reported");
+        assert_eq!(
+            err,
+            RunError::Invalid(ProgramFault::PlacementMismatch {
+                placements: 2,
+                ranks: 1
+            })
+        );
+    }
+
+    #[test]
+    fn supervised_unknown_node_is_typed() {
+        let mut machine = FixedMachine::new(1);
+        let mut sink = VecSink::new();
+        let err = Runtime::default()
+            .run_supervised(&mut machine, &[7], vec![boxed(vec![])], &mut sink, None)
+            .expect_err("unknown node must be reported");
+        assert_eq!(
+            err,
+            RunError::Invalid(ProgramFault::UnknownNode {
+                rank: 0,
+                node: 7,
+                nodes: 1
+            })
+        );
+    }
+
+    #[test]
+    fn supervised_send_to_unknown_rank_is_typed() {
+        let err = run_checked(
+            &[0],
+            vec![vec![MpiOp::Send {
+                dst: 3,
+                bytes: 1,
+                tag: 0,
+            }]],
+        )
+        .expect_err("unknown rank must be reported");
+        match err {
+            RunError::Invalid(ProgramFault::UnknownRank {
+                op: "send",
+                rank: 0,
+                target: 3,
+                world: 1,
+            }) => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervised_bcast_from_unknown_root_is_typed() {
+        let err = run_checked(
+            &[0, 0],
+            vec![
+                vec![MpiOp::Bcast { root: 5, bytes: 8 }],
+                vec![MpiOp::Bcast { root: 5, bytes: 8 }],
+            ],
+        )
+        .expect_err("unknown root must be reported");
+        assert!(
+            matches!(
+                err,
+                RunError::Invalid(ProgramFault::UnknownRank { op: "bcast", .. })
+            ),
+            "{err:?}"
+        );
     }
 }

@@ -122,6 +122,13 @@ impl<T> EventQueue<T> {
 
     /// Like [`EventQueue::schedule`], but returns a handle that can later
     /// be passed to [`EventQueue::cancel`].
+    ///
+    /// Panic audit (campaign-worker reachability): the past-scheduling
+    /// assert below fires only on a caller logic error — every scheduling
+    /// site derives `at` from `now() + delay` with unsigned delays — and
+    /// no op-program or configuration input can produce it, so it stays a
+    /// panic (caught by the worker's panic isolation if a model bug ever
+    /// introduces one) rather than a typed error on the hot path.
     pub fn schedule_cancellable(&mut self, at: Time, item: T) -> EventHandle {
         assert!(
             at >= self.now,
@@ -136,6 +143,10 @@ impl<T> EventQueue<T> {
                 idx
             }
             None => {
+                // Panic audit: >4 billion *simultaneously pending* events
+                // would need hundreds of GiB of host memory first; watchdog
+                // budgets abort runaway simulations long before. Invariant,
+                // not an input-reachable failure.
                 let idx = u32::try_from(self.slots.len()).expect("event arena exceeds u32 slots");
                 self.slots.push(Slot {
                     gen: 0,
@@ -176,7 +187,9 @@ impl<T> EventQueue<T> {
     pub fn pop(&mut self) -> Option<(Time, T)> {
         let &top = self.heap.first()?;
         // The top is live by invariant (tombstones are purged as soon as
-        // they surface).
+        // they surface). Panic audit: the expect below is unreachable
+        // unless the purge discipline itself regresses — a heap bug, not
+        // anything an op program or configuration can trigger.
         let item = self.slots[top.slot as usize]
             .item
             .take()

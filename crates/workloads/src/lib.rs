@@ -31,10 +31,17 @@
 //! Each generator returns a [`scenario::Scenario`]: per-rank op streams
 //! plus file-mount routing and preallocation directives for the
 //! [`cluster::ClusterMachine`].
+//!
+//! Beyond the hand-coded generators, [`grammar`] provides a declarative
+//! scenario grammar — phases, loops, probabilistic branches, and
+//! size/count distributions — whose seeded sampler draws thousands of
+//! concrete workload variants byte-reproducibly for campaign-scale
+//! what-if exploration.
 
 pub mod bonnie;
 pub mod btio;
 pub mod flashio;
+pub mod grammar;
 pub mod ior;
 pub mod iozone;
 pub mod madbench;
@@ -44,6 +51,7 @@ pub mod scenario;
 pub use bonnie::{Bonnie, BonnieTest};
 pub use btio::{BtClass, BtIo, BtSubtype};
 pub use flashio::FlashIo;
+pub use grammar::{source_digest, Dist, Grammar, GrammarError, Variant};
 pub use ior::{Ior, IorOp};
 pub use iozone::{IozonePattern, IozoneRun};
 pub use madbench::{FileType, MadBench};

@@ -34,12 +34,41 @@ def main() -> int:
             return 2
     for a in sys.argv[1:]:
         if a.startswith("--tolerance="):
-            tolerance = float(a.split("=", 1)[1])
+            raw = a.split("=", 1)[1]
+            try:
+                tolerance = float(raw)
+            except ValueError:
+                print(f"invalid --tolerance: {raw!r} (expected a number)", file=sys.stderr)
+                return 2
 
-    with open(args[0]) as f:
-        base = json.load(f)
-    with open(args[1]) as f:
-        fresh = json.load(f)
+    def load_report(path: str, role: str) -> dict:
+        """A malformed report must fail the check loudly: a truncated
+        baseline silently treated as empty would skip every gate and turn
+        the job green on garbage."""
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except OSError as e:
+            print(f"FAIL: cannot read {role} {path}: {e}", file=sys.stderr)
+            raise SystemExit(2)
+        except json.JSONDecodeError as e:
+            print(
+                f"FAIL: {role} {path} is not valid JSON (truncated or corrupt): {e};"
+                " regenerate with: cargo run --release -p bench --bin hotpath",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        if not isinstance(data, dict) or "schema" not in data:
+            print(
+                f"FAIL: {role} {path} is not a hotpath report (missing 'schema');"
+                " regenerate with: cargo run --release -p bench --bin hotpath",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return data
+
+    base = load_report(args[0], "baseline")
+    fresh = load_report(args[1], "fresh report")
 
     if base["schema"] != fresh["schema"]:
         print(
@@ -56,11 +85,15 @@ def main() -> int:
         "scale_speedup",
     ):
         # A baseline committed before a cell existed simply lacks its
-        # fields; that is a stale-but-valid baseline, not an error.
+        # fields; that is a stale-but-valid baseline, not an error — but
+        # the skip names the cell and the file, so a log reader can tell
+        # a stale baseline from a cell that silently stopped reporting.
         b_val, f_val = base.get(field), fresh.get(field)
         if b_val is None or f_val is None:
-            side = "baseline" if b_val is None else "fresh report"
-            print(f"{field:>22}: missing from {side}; skipped")
+            side, path = (
+                ("baseline", args[0]) if b_val is None else ("fresh report", args[1])
+            )
+            print(f"{field:>22}: cell missing from {side} ({path}); skipped")
             continue
         print(f"{field:>22}: baseline {b_val:10.1f}   fresh {f_val:10.1f}")
 
@@ -77,6 +110,15 @@ def main() -> int:
         )
         return 1
 
+    for role, path, report in (("baseline", args[0], base), ("fresh report", args[1], fresh)):
+        if "pinned_cell_ms" not in report:
+            print(
+                f"FAIL: pinned_cell_ms missing from {role} ({path}) — the gated"
+                " cell cannot be skipped; regenerate with:"
+                " cargo run --release -p bench --bin hotpath",
+                file=sys.stderr,
+            )
+            return 1
     b, f_ = base["pinned_cell_ms"], fresh["pinned_cell_ms"]
     if not b > 0.0:
         print(

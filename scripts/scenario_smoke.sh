@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Scenario-grammar smoke test for the campaign what-if front-end.
+#
+# Drives the `scenario` experiment end to end at quick scale: the default
+# grid (the worked example grammar, seed 42, 16 variants x 4 configs =
+# 64 cells) must render byte-identically to the committed golden pin,
+# a parallel (--jobs 4) run must match the sequential render byte for
+# byte, a custom --grammar/--sample/--seed run must complete with its own
+# grid key, and resuming a checkpointed grid must replay it exactly.
+#
+# Usage: scripts/scenario_smoke.sh [path-to-repro-binary]
+set -euo pipefail
+
+REPRO="${1:-target/release/repro}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ioeval-scenario-smoke.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+if [[ ! -x "$REPRO" ]]; then
+    echo "scenario_smoke: building repro ..." >&2
+    cargo build --release -p bench --bin repro
+fi
+
+echo "== 1/4 pinned 64-cell grid matches the committed golden render ==" >&2
+"$REPRO" --scale quick --out "$WORK/grid.txt" scenario >/dev/null
+# The experiment output is the golden body plus the repro banner line.
+tail -n +3 "$WORK/grid.txt" >"$WORK/grid-body.txt"
+if ! diff -u tests/golden/scenario_grid.txt "$WORK/grid-body.txt" >"$WORK/diff-golden.txt"; then
+    echo "FAIL: sampled grid drifted from tests/golden/scenario_grid.txt" >&2
+    echo "      (regenerate with IOEVAL_REGEN_GOLDEN=1 cargo test --test golden_scenario" >&2
+    echo "       and review the diff like any other code change):" >&2
+    head -50 "$WORK/diff-golden.txt" >&2
+    exit 1
+fi
+grep -q "outcomes: 64 ok, 0 failed, 0 timed out, 0 skipped" "$WORK/grid.txt" || {
+    echo "FAIL: pinned grid is not fully healthy" >&2
+    exit 1
+}
+echo "   64-cell grid is byte-identical to the committed pin" >&2
+
+echo "== 2/4 worker count does not change the render ==" >&2
+"$REPRO" --scale quick --jobs 4 --out "$WORK/grid-j4.txt" scenario >/dev/null
+if ! diff -u "$WORK/grid.txt" "$WORK/grid-j4.txt" >"$WORK/diff-jobs.txt"; then
+    echo "FAIL: --jobs 4 rendered a different grid:" >&2
+    head -50 "$WORK/diff-jobs.txt" >&2
+    exit 1
+fi
+echo "   --jobs 4 render is byte-identical to --jobs 1" >&2
+
+echo "== 3/4 custom grammar + seed sweeps its own grid ==" >&2
+cat >"$WORK/custom.gram" <<'EOF'
+scenario smoke
+ranks 2
+file f
+phase p repeat 1..2 {
+  write f block 64K..256K pow2 count 2
+  barrier
+  read f block 64K count 2
+}
+EOF
+"$REPRO" --scale quick --grammar "$WORK/custom.gram" --sample 5 --seed 9 \
+    --out "$WORK/custom.txt" scenario >/dev/null
+grep -q "grammar 'smoke'" "$WORK/custom.txt" || {
+    echo "FAIL: custom grammar not picked up" >&2
+    exit 1
+}
+grep -q "5 variants x 4 configurations = 20 cells" "$WORK/custom.txt" || {
+    echo "FAIL: custom sample count not honored" >&2
+    exit 1
+}
+grep -q -- "-s9-n5" "$WORK/custom.txt" || {
+    echo "FAIL: grid key does not carry the custom seed/sample" >&2
+    exit 1
+}
+grep -q "outcomes: 20 ok, 0 failed, 0 timed out, 0 skipped" "$WORK/custom.txt" || {
+    echo "FAIL: custom grid is not fully healthy" >&2
+    exit 1
+}
+echo "   custom 20-cell grid completed healthy under its own key" >&2
+
+echo "== 4/4 checkpointed grid resumes byte-identically ==" >&2
+"$REPRO" --scale quick --checkpoint "$WORK/ckpt" --grammar "$WORK/custom.gram" \
+    --sample 5 --seed 9 --out "$WORK/ckpt-1.txt" scenario >/dev/null
+"$REPRO" --scale quick --resume "$WORK/ckpt" --grammar "$WORK/custom.gram" \
+    --sample 5 --seed 9 --out "$WORK/ckpt-2.txt" scenario 2>"$WORK/resume.log" >/dev/null
+if ! diff -u "$WORK/ckpt-1.txt" "$WORK/ckpt-2.txt" >"$WORK/diff-resume.txt"; then
+    echo "FAIL: resumed grid rendered differently:" >&2
+    head -50 "$WORK/diff-resume.txt" >&2
+    exit 1
+fi
+grep -q "restored from checkpoint" "$WORK/resume.log" || {
+    echo "FAIL: resume did not replay the checkpointed experiment" >&2
+    exit 1
+}
+echo "   resume replayed the grid byte-identically" >&2
+
+echo "scenario_smoke: all checks passed" >&2

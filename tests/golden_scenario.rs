@@ -1,0 +1,68 @@
+//! Golden pin of the sampled scenario grid.
+//!
+//! The `scenario` experiment's quick-scale default — the worked example
+//! grammar, seed 42, 16 variants × 4 configurations = 64 cells — is
+//! pinned byte-for-byte. The pin covers the whole path at once: grammar
+//! parsing, seeded variant resolution, op-program compilation, stream
+//! signing, characterization, campaign supervision, and the grid render.
+//! Any drift in any of those layers shows up as a readable table diff.
+//!
+//! To regenerate after an *intended* change:
+//!
+//! ```text
+//! IOEVAL_REGEN_GOLDEN=1 cargo test --test golden_scenario
+//! ```
+//!
+//! and review the diff under `tests/golden/` like any other code change.
+
+use bench::{Repro, Scale};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/scenario_grid.txt")
+}
+
+#[test]
+fn golden_scenario_grid_64_cells() {
+    let mut r = Repro::new(Scale::Quick).with_jobs(1);
+    let actual = bench::scenario_grid::scenario(&mut r);
+    assert!(
+        actual.contains("16 variants x 4 configurations = 64 cells"),
+        "the pinned grid must stay 64 cells:\n{actual}"
+    );
+    let path = golden_path();
+    if std::env::var_os("IOEVAL_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with IOEVAL_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "the sampled scenario grid drifted from {}.\n\
+         If the change is intended (grammar example, sampler, model),\n\
+         regenerate with IOEVAL_REGEN_GOLDEN=1 and review the diff.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_scenario_grid_is_complete() {
+    // The committed pin itself must describe a fully healthy grid: all 64
+    // cells ok, every variant row present.
+    let text = std::fs::read_to_string(golden_path())
+        .unwrap_or_else(|e| panic!("missing golden scenario grid: {e}"));
+    assert!(text.contains("outcomes: 64 ok, 0 failed, 0 timed out, 0 skipped"));
+    for i in 0..16 {
+        assert!(
+            text.contains(&format!("mixed/v{i:04}")),
+            "variant v{i:04} missing from the pinned grid"
+        );
+    }
+}
